@@ -1,0 +1,101 @@
+"""Ablation A3 — CSF space best/average/worst cases (paper §II-E).
+
+Constructs inputs realizing each of the paper's three space regimes and
+checks the measured tree sizes against the closed-form bounds, plus the
+Fig 4 observation that CSF's size varies strongly across TSP/GSP/MSP.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import csf_space_bounds
+from repro.bench import render_table
+from repro.formats import CSFFormat
+from repro.patterns import PATTERN_NAMES
+
+from conftest import emit_report
+
+N = 4096
+D = 3
+SIDE = 1 << 13
+
+
+def chain_tensor():
+    """Best case: one shared prefix chain."""
+    coords = np.zeros((N, D), dtype=np.uint64)
+    coords[:, -1] = np.arange(N, dtype=np.uint64)
+    return coords, (SIDE,) * D
+
+
+def half_duplication_tensor():
+    """Average case: fan-out 2 per level (half the nodes duplicated)."""
+    coords = np.zeros((N, D), dtype=np.uint64)
+    coords[:, 0] = np.arange(N, dtype=np.uint64) // 4
+    coords[:, 1] = np.arange(N, dtype=np.uint64) // 2
+    coords[:, 2] = np.arange(N, dtype=np.uint64)
+    return coords, (SIDE,) * D
+
+
+def divergent_tensor():
+    """Worst case: every point has a unique root coordinate."""
+    coords = np.column_stack([np.arange(N, dtype=np.uint64)] * D)
+    return coords, (SIDE,) * D
+
+
+CASES = {
+    "best (chain)": chain_tensor,
+    "average (fan-out 2)": half_duplication_tensor,
+    "worst (divergent)": divergent_tensor,
+}
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_build_case(benchmark, case):
+    coords, shape = CASES[case]()
+    fmt = CSFFormat()
+    result = benchmark.pedantic(
+        lambda: fmt.build(coords, shape), rounds=3, iterations=1
+    )
+    benchmark.extra_info["fids_elements"] = int(
+        result.payload["nfibs"].sum()
+    )
+
+
+def test_report_csf_space(benchmark, datasets):
+    def run():
+        fmt = CSFFormat()
+        bounds = csf_space_bounds(N, D)
+        rows = []
+        for case, builder in CASES.items():
+            coords, shape = builder()
+            result = fmt.build(coords, shape)
+            fids = int(result.payload["nfibs"].sum())
+            rows.append([case, N, fids, bounds.best, bounds.average,
+                         bounds.worst])
+        for pattern in PATTERN_NAMES:
+            tensor = datasets[(3, pattern)]
+            result = fmt.build(tensor.coords, tensor.shape)
+            b = csf_space_bounds(tensor.nnz, 3)
+            rows.append([f"3D {pattern}", tensor.nnz,
+                         int(result.payload["nfibs"].sum()),
+                         b.best, b.average, b.worst])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["input", "n", "fids elements", "bound best", "bound avg",
+         "bound worst"],
+        rows,
+        title="Ablation A3: CSF space vs the paper's §II-E cases",
+    )
+    emit_report("ablation_csf_space", text)
+    by_case = {r[0]: r[2] for r in rows}
+    bounds = csf_space_bounds(N, D)
+    assert by_case["best (chain)"] == N + (D - 1)
+    assert by_case["worst (divergent)"] == N * D
+    assert by_case["average (fan-out 2)"] == pytest.approx(
+        bounds.average, rel=0.15
+    )
+    # Every measured case within [best, worst].
+    for row in rows:
+        assert row[3] - 1 <= row[2] <= row[5]

@@ -1,0 +1,112 @@
+"""Ablation A11 — read cost vs fragment count.
+
+The fragment-array model (Algorithm 3 / TileDB) appends immutable
+fragments; READ fans out across every overlapping fragment.  This bench
+splits the same dataset into 1/4/16 fragments two ways — spatially disjoint
+tiles (bbox pruning saves the day) and interleaved writes (every fragment
+overlaps everything) — and measures region reads, then shows compaction
+restoring single-fragment cost.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import render_table
+from repro.core import Box
+from repro.storage import FragmentStore
+
+from conftest import emit_report
+
+COUNTS = [1, 4, 16]
+
+
+def spatial_parts(tensor, k):
+    """Split along dim 0 into k disjoint slabs."""
+    edges = np.linspace(0, tensor.shape[0], k + 1).astype(np.uint64)
+    parts = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (tensor.coords[:, 0] >= lo) & (tensor.coords[:, 0] < hi)
+        if mask.any():
+            parts.append((tensor.coords[mask], tensor.values[mask]))
+    return parts
+
+
+def interleaved_parts(tensor, k):
+    return [
+        (tensor.coords[i::k], tensor.values[i::k]) for i in range(k)
+    ]
+
+
+@pytest.fixture(scope="module")
+def tensor(datasets):
+    return datasets[(3, "GSP")]
+
+
+@pytest.fixture(scope="module")
+def probe_box(tensor):
+    side = max(1, tensor.shape[0] // 8)
+    return Box(tuple(m // 2 for m in tensor.shape), (side,) * 3)
+
+
+@pytest.mark.parametrize("k", COUNTS)
+@pytest.mark.parametrize("layout", ["spatial", "interleaved"])
+def test_region_read(benchmark, tmp_path_factory, tensor, probe_box,
+                     layout, k):
+    splitter = spatial_parts if layout == "spatial" else interleaved_parts
+    root = tmp_path_factory.mktemp(f"{layout}{k}")
+    store = FragmentStore(root, tensor.shape, "LINEAR")
+    for c, v in splitter(tensor, k):
+        store.write(c, v)
+    got = benchmark.pedantic(
+        lambda: store.read_box(probe_box), rounds=3, iterations=1
+    )
+    assert got.same_points(tensor.select_box(probe_box))
+
+
+def test_report_fragments(benchmark, tmp_path_factory, tensor, probe_box):
+    def run():
+        rows = []
+        for layout, splitter in (("spatial", spatial_parts),
+                                 ("interleaved", interleaved_parts)):
+            for k in COUNTS:
+                root = tmp_path_factory.mktemp(f"r{layout}{k}")
+                store = FragmentStore(root, tensor.shape, "LINEAR")
+                for c, v in splitter(tensor, k):
+                    store.write(c, v)
+                probe = np.vstack([probe_box.sample_coords(
+                    128, np.random.default_rng(0))])
+                t0 = time.perf_counter()
+                out = store.read_points(probe)
+                elapsed = time.perf_counter() - t0
+                rows.append([layout, k, out.fragments_visited,
+                             round(elapsed * 1000, 2)])
+        # Compaction: the 16-fragment interleaved store back to 1 fragment.
+        root = tmp_path_factory.mktemp("compacted")
+        store = FragmentStore(root, tensor.shape, "LINEAR")
+        for c, v in interleaved_parts(tensor, 16):
+            store.write(c, v)
+        store.compact()
+        probe = probe_box.sample_coords(128, np.random.default_rng(0))
+        t0 = time.perf_counter()
+        out = store.read_points(probe)
+        elapsed = time.perf_counter() - t0
+        rows.append(["compacted(16->1)", 1, out.fragments_visited,
+                     round(elapsed * 1000, 2)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["layout", "fragments", "visited by probe", "probe read ms"],
+        rows,
+        title="Ablation A11: fragment fan-out, bbox pruning, and compaction",
+    )
+    emit_report("ablation_fragments", text)
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Spatial split: the probe box touches few slabs; pruning works.
+    assert by_key[("spatial", 16)][2] <= 4
+    # Interleaved split: every fragment overlaps -> all visited.
+    assert by_key[("interleaved", 16)][2] == 16
+    # Compaction restores single-fragment reads.
+    assert by_key[("compacted(16->1)", 1)][2] == 1

@@ -1,0 +1,73 @@
+"""Ablation A1 — the sorted-COO trade-off the paper discusses (§II-A).
+
+"Sorting the coordinates can reduce the complexity of read … but it may
+take extra time to sort before write."  This bench quantifies both sides:
+sorted COO pays an n log n build premium over plain COO and wins reads by
+orders of magnitude.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import render_table
+from repro.core import OpCounter
+from repro.formats import get_format
+
+from conftest import emit_report
+
+
+@pytest.fixture(scope="module")
+def tensor(datasets):
+    return datasets[(3, "GSP")]
+
+
+@pytest.fixture(scope="module")
+def queries(tensor):
+    rng = np.random.default_rng(2)
+    idx = rng.choice(tensor.nnz, size=min(256, tensor.nnz), replace=False)
+    return tensor.coords[idx]
+
+
+@pytest.mark.parametrize("fmt_name", ["COO", "COO-SORTED"])
+def test_build(benchmark, tensor, fmt_name):
+    fmt = get_format(fmt_name)
+    benchmark.pedantic(
+        lambda: fmt.build(tensor.coords, tensor.shape),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("fmt_name", ["COO", "COO-SORTED"])
+def test_read(benchmark, tensor, queries, fmt_name):
+    fmt = get_format(fmt_name)
+    result = fmt.build(tensor.coords, tensor.shape)
+    benchmark.pedantic(
+        lambda: fmt.read_faithful(
+            result.payload, result.meta, tensor.shape, queries
+        ),
+        rounds=3, iterations=1,
+    )
+
+
+def test_report_sorted_coo(benchmark, tensor, queries):
+    def run():
+        rows = []
+        for name in ("COO", "COO-SORTED"):
+            fmt = get_format(name)
+            bc = OpCounter()
+            result = fmt.build(tensor.coords, tensor.shape, counter=bc)
+            rc = OpCounter()
+            fmt.read_faithful(result.payload, result.meta, tensor.shape,
+                              queries, counter=rc)
+            rows.append([name, bc.total, rc.total, result.index_nbytes()])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["format", "build ops", "read ops", "index bytes"], rows,
+        title="Ablation A1: sorted vs unsorted COO (paper §II-A trade-off)",
+    )
+    emit_report("ablation_sorted_coo", text)
+    # Sorting wins reads by >10x and costs build ops COO does not pay.
+    assert rows[1][2] < rows[0][2] / 10
+    assert rows[1][1] > rows[0][1]

@@ -1,0 +1,38 @@
+"""The paper-claims scorecard as a benchmark artifact.
+
+Evaluates every encoded §I/§III/§IV claim against the shared sweep and
+emits the pass/fail table.  Structural claims (sizes, ratios) must pass at
+any scale; timing claims are reported but only asserted above tiny scale
+(Python per-query constants hide the O(n*q) signal on hundred-point
+tensors — see EXPERIMENTS.md).
+"""
+
+from repro.analysis.claims import claims_report, evaluate_claims
+from repro.bench import run_experiment
+
+from conftest import BENCH_SCALE, emit_report
+
+#: Claims that must hold at every scale (byte-exact or structural).
+STRUCTURAL = {"C3", "C4", "C6"}
+
+
+def test_report_claims(benchmark, experiment_config):
+    text = benchmark.pedantic(
+        lambda: run_experiment("claims", experiment_config),
+        rounds=1, iterations=1,
+    )
+    emit_report("claims", text)
+    assert "scorecard" in text
+
+
+def test_structural_claims_hold(benchmark, experiment_config):
+    sweep = experiment_config.sweep()
+    results = benchmark.pedantic(
+        lambda: evaluate_claims(sweep), rounds=1, iterations=1
+    )
+    by_id = {r.claim_id: r for r in results}
+    for cid in STRUCTURAL:
+        assert by_id[cid].passed, by_id[cid].evidence
+    if BENCH_SCALE != "tiny":
+        failing = [r.claim_id for r in results if not r.passed]
+        assert not failing, failing

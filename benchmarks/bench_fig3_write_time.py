@@ -1,0 +1,38 @@
+"""Fig 3 — writing time of each organization across patterns and dims.
+
+One benchmark per (pattern, dimensionality, format) cell measuring the full
+Algorithm 3 WRITE (build + reorg + serialize + file write), then the
+grouped series report.
+"""
+
+import pytest
+
+from repro.bench import run_experiment, write_benchmark
+from repro.formats import PAPER_FORMATS
+from repro.patterns import PATTERN_NAMES
+
+from conftest import emit_report
+
+
+@pytest.mark.parametrize("fmt_name", PAPER_FORMATS)
+@pytest.mark.parametrize("ndim", [2, 3, 4])
+@pytest.mark.parametrize("pattern", PATTERN_NAMES)
+def test_write(benchmark, datasets, pattern, ndim, fmt_name):
+    tensor = datasets[(ndim, pattern)]
+    measurement = benchmark.pedantic(
+        lambda: write_benchmark(tensor, fmt_name, fsync=True),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["file_bytes"] = measurement.file_nbytes
+    benchmark.extra_info["modeled_lustre_s"] = round(
+        measurement.modeled_total_seconds, 5
+    )
+
+
+def test_report_fig3(benchmark, experiment_config):
+    text = benchmark.pedantic(
+        lambda: run_experiment("fig3", experiment_config),
+        rounds=1, iterations=1,
+    )
+    emit_report("fig3", text)
+    assert "writing time" in text

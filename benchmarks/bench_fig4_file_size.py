@@ -1,0 +1,59 @@
+"""Fig 4 — fragment file size of each organization.
+
+Sizes are deterministic, so next to the timing benchmark of the build+
+serialize path this file *asserts* the paper's size ordering per cell:
+LINEAR < GCSR++ <= GCSC++, COO largest, CSF in between and data-dependent.
+"""
+
+import pytest
+
+from repro.bench import run_experiment
+from repro.formats import PAPER_FORMATS, get_format
+from repro.patterns import PATTERN_NAMES
+
+from conftest import emit_report
+
+
+def index_bytes(fmt_name, tensor):
+    return get_format(fmt_name).build(
+        tensor.coords, tensor.shape
+    ).index_nbytes()
+
+
+@pytest.mark.parametrize("fmt_name", PAPER_FORMATS)
+@pytest.mark.parametrize("ndim", [2, 3, 4])
+def test_build_and_size(benchmark, datasets, ndim, fmt_name):
+    tensor = datasets[(ndim, "GSP")]
+    fmt = get_format(fmt_name)
+    result = benchmark.pedantic(
+        lambda: fmt.build(tensor.coords, tensor.shape),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["index_bytes"] = result.index_nbytes()
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 4])
+@pytest.mark.parametrize("pattern", PATTERN_NAMES)
+def test_size_ordering(benchmark, datasets, pattern, ndim):
+    """§III-B ordering holds in every cell of the sweep."""
+    tensor = datasets[(ndim, pattern)]
+    sizes = benchmark.pedantic(
+        lambda: {f: index_bytes(f, tensor) for f in PAPER_FORMATS},
+        rounds=1, iterations=1,
+    )
+    assert sizes["LINEAR"] < sizes["GCSR++"]
+    assert sizes["GCSR++"] == sizes["GCSC++"]
+    assert sizes["COO"] == tensor.nnz * tensor.ndim * 8
+    if tensor.nnz >= 4 * min(tensor.shape):
+        # The paper's ordering assumes n >> min(m); below that the GCSR++
+        # pointer array (min(m)+1 entries) dominates its footprint.
+        assert max(sizes.values()) in (sizes["COO"], sizes["CSF"])
+
+
+def test_report_fig4(benchmark, experiment_config):
+    text = benchmark.pedantic(
+        lambda: run_experiment("fig4", experiment_config),
+        rounds=1, iterations=1,
+    )
+    emit_report("fig4", text)
+    assert "file size" in text

@@ -1,0 +1,55 @@
+"""Fig 5 — reading time of each organization.
+
+One benchmark per (pattern, dimensionality, format) cell measuring the
+Algorithm 3 READ with the paper's faithful per-point algorithms against the
+(m/2, size m/10) region (sampled; see DESIGN.md §4), then the grouped
+series report.
+"""
+
+import pytest
+
+from repro.bench import make_read_queries, read_benchmark, run_experiment
+from repro.formats import PAPER_FORMATS
+from repro.patterns import PATTERN_NAMES
+from repro.storage import FragmentStore
+
+from conftest import QUERY_SAMPLE, emit_report
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory, datasets):
+    """Each dataset written once per format, reused across read rounds."""
+    root = tmp_path_factory.mktemp("fig5")
+    out = {}
+    for (ndim, pattern), tensor in datasets.items():
+        for fmt in PAPER_FORMATS:
+            store = FragmentStore(
+                root / f"{ndim}-{pattern}-{fmt.replace('+', 'p')}",
+                tensor.shape, fmt,
+            )
+            store.write_tensor(tensor)
+            out[(ndim, pattern, fmt)] = store
+    return out
+
+
+@pytest.mark.parametrize("fmt_name", PAPER_FORMATS)
+@pytest.mark.parametrize("ndim", [2, 3, 4])
+@pytest.mark.parametrize("pattern", PATTERN_NAMES)
+def test_read(benchmark, stores, datasets, pattern, ndim, fmt_name):
+    store = stores[(ndim, pattern, fmt_name)]
+    queries = make_read_queries(store.shape, sample=QUERY_SAMPLE)
+    measurement = benchmark.pedantic(
+        lambda: read_benchmark(store, queries, faithful=True),
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info["n_found"] = measurement.n_found
+    benchmark.extra_info["comparisons"] = measurement.op_counts["comparisons"]
+
+
+def test_report_fig5(benchmark, experiment_config):
+    text = benchmark.pedantic(
+        lambda: run_experiment("fig5", experiment_config),
+        rounds=1, iterations=1,
+    )
+    emit_report("fig5", text)
+    assert "reading time" in text

@@ -1,0 +1,43 @@
+"""Table I — complexity model benchmarks + validation report.
+
+Benchmarks the real BUILD wall-clock per format at a size sweep and prints
+the op-count scaling fits against the Table I predictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_experiment
+from repro.formats import PAPER_FORMATS, get_format
+from repro.patterns import GSPPattern
+
+from conftest import emit_report
+
+
+@pytest.fixture(scope="module")
+def sweep_tensors():
+    sizes = [64, 128, 256]
+    return {
+        m: GSPPattern((m, m, 8), threshold=0.98).generate(m) for m in sizes
+    }
+
+
+@pytest.mark.parametrize("fmt_name", PAPER_FORMATS)
+@pytest.mark.parametrize("m", [64, 128, 256])
+def test_build_scaling(benchmark, sweep_tensors, fmt_name, m):
+    tensor = sweep_tensors[m]
+    fmt = get_format(fmt_name)
+    benchmark.extra_info["nnz"] = tensor.nnz
+    benchmark.pedantic(
+        lambda: fmt.build(tensor.coords, tensor.shape),
+        rounds=3, iterations=1,
+    )
+
+
+def test_report_table1(benchmark, experiment_config):
+    text = benchmark.pedantic(
+        lambda: run_experiment("table1", experiment_config),
+        rounds=1, iterations=1,
+    )
+    emit_report("table1", text)
+    assert "build k" in text

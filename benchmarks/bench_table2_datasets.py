@@ -1,0 +1,36 @@
+"""Table II — synthetic dataset generation benchmarks + regeneration.
+
+Benchmarks the three pattern generators at each dimensionality and prints
+the measured size/density table next to the paper's values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_experiment
+from repro.patterns import PATTERN_NAMES, SCALES, make_pattern
+
+from conftest import BENCH_SCALE, emit_report
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 4])
+@pytest.mark.parametrize("pattern", PATTERN_NAMES)
+def test_generate(benchmark, pattern, ndim):
+    shape = SCALES[BENCH_SCALE][ndim]
+    gen = make_pattern(pattern, shape)
+    tensor = benchmark.pedantic(
+        lambda: gen.generate(np.random.default_rng(1)),
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["nnz"] = tensor.nnz
+    benchmark.extra_info["density"] = round(tensor.density, 5)
+    assert tensor.nnz > 0
+
+
+def test_report_table2(benchmark, experiment_config):
+    text = benchmark.pedantic(
+        lambda: run_experiment("table2", experiment_config),
+        rounds=1, iterations=1,
+    )
+    emit_report("table2", text)
+    assert "Table II" in text

@@ -1,0 +1,34 @@
+"""Table III — write-time breakdown for the 4D MSP pattern.
+
+Benchmarks each phase-instrumented WRITE and prints the Build/Reorg/Write/
+Others/Sum breakdown next to the paper's Perlmutter numbers, plus the
+Lustre-modeled totals.
+"""
+
+import pytest
+
+from repro.bench import run_experiment, write_benchmark
+from repro.formats import PAPER_FORMATS
+
+from conftest import emit_report
+
+
+@pytest.mark.parametrize("fmt_name", PAPER_FORMATS)
+def test_write_4d_msp(benchmark, datasets, fmt_name):
+    tensor = datasets[(4, "MSP")]
+    measurement = benchmark.pedantic(
+        lambda: write_benchmark(tensor, fmt_name, fsync=True),
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["build_s"] = round(measurement.build_seconds, 5)
+    benchmark.extra_info["file_bytes"] = measurement.file_nbytes
+    assert measurement.total_seconds > 0
+
+
+def test_report_table3(benchmark, experiment_config):
+    text = benchmark.pedantic(
+        lambda: run_experiment("table3", experiment_config),
+        rounds=1, iterations=1,
+    )
+    emit_report("table3", text)
+    assert "Reorg." in text

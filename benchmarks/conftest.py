@@ -1,0 +1,61 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one paper artifact (DESIGN.md §3): the
+pytest-benchmark timings measure the underlying operations, and a final
+``test_report_*`` in each file renders the paper's rows/series, prints them,
+and saves them under ``benchmarks/reports/``.
+
+Scale is selected with ``REPRO_BENCH_SCALE`` (tiny | default | paper);
+benchmarks default to ``tiny`` so the whole suite runs in a couple of
+minutes.  ``default`` gives paper-shaped results (used for EXPERIMENTS.md);
+``paper`` uses the paper's exact 8192^2 / 512^3 / 128^4 tensors and needs
+several GB of RAM and tens of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ExperimentConfig
+from repro.patterns import dataset_suite
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+#: Query sample per read benchmark (the faithful O(n*q) algorithms cap q).
+QUERY_SAMPLE = {"tiny": 256, "default": 1024, "paper": 2048}.get(
+    BENCH_SCALE, 256
+)
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """One shared config (and therefore one shared sweep) per session."""
+    return ExperimentConfig(
+        scale=BENCH_SCALE, query_sample=QUERY_SAMPLE, fsync=True
+    )
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All nine Table II tensors, generated once."""
+    return {
+        (spec.ndim, spec.pattern): spec.generate()
+        for spec in dataset_suite(BENCH_SCALE)
+    }
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/reports/."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""LCLS-II style detector workload (the paper's MSP motivation).
+
+The paper cites the Linac Coherent Light Source II experiment as a source
+of the Mixed Sparse Pattern: each detector exposure is mostly empty pixels,
+a bright contiguous Bragg-peak region, and scattered background hits.  This
+example simulates an acquisition loop — one fragment appended per exposure
+frame into a 3D (frame x row x col) dataset — then runs the analysis-side
+region reads, comparing two candidate organizations end to end.
+
+Run:  python examples/lcls_detector_workload.py
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Box, FragmentStore, SparseTensor
+from repro.patterns import MSPPattern
+
+FRAMES = 24
+DETECTOR = (256, 256)
+SHAPE = (FRAMES,) + DETECTOR
+
+
+def make_frame(frame_idx: int, rng_seed: int) -> SparseTensor:
+    """One exposure: MSP in 2D, lifted to the 3D (frame, row, col) space."""
+    image = MSPPattern(
+        DETECTOR,
+        background_threshold=0.999,
+        region_density=0.05,
+        region_start_frac=0.4,
+        region_size_frac=0.2,
+    ).generate(rng_seed)
+    coords3d = np.column_stack(
+        [np.full(image.nnz, frame_idx, dtype=np.uint64), image.coords]
+    )
+    return SparseTensor(SHAPE, coords3d, np.abs(image.values) * 1000.0)
+
+
+def run(format_name: str, root: Path) -> None:
+    store = FragmentStore(root / format_name.replace("+", "p"), SHAPE,
+                          format_name)
+    # --- Acquisition: append one fragment per exposure. ---
+    t0 = time.perf_counter()
+    total_points = 0
+    for f in range(FRAMES):
+        frame = make_frame(f, 1000 + f)
+        store.write(frame.coords, frame.values)
+        total_points += frame.nnz
+    write_s = time.perf_counter() - t0
+
+    # --- Analysis: read the Bragg-peak window across all frames. ---
+    peak_window = Box((0, 96, 96), (FRAMES, 64, 64))
+    t0 = time.perf_counter()
+    peaks = store.read_box(peak_window)
+    read_s = time.perf_counter() - t0
+
+    # --- Analysis: per-frame hot-pixel lookups. ---
+    rng = np.random.default_rng(5)
+    probes = np.column_stack([
+        rng.integers(0, FRAMES, 500, dtype=np.uint64),
+        rng.integers(0, DETECTOR[0], 500, dtype=np.uint64),
+        rng.integers(0, DETECTOR[1], 500, dtype=np.uint64),
+    ])
+    out = store.read_points(probes)
+
+    print(f"{format_name:<8s} ingest={write_s * 1000:7.1f} ms "
+          f"({total_points:,} hits, {len(store.fragments)} fragments, "
+          f"{store.total_file_nbytes / 1024:8.1f} KiB)  "
+          f"peak-read={read_s * 1000:6.1f} ms ({peaks.nnz:,} px)  "
+          f"probes-hit={int(out.found.sum())}/500")
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="lcls-"))
+    print(f"simulated LCLS dataset: {FRAMES} frames of "
+          f"{DETECTOR[0]}x{DETECTOR[1]} pixels -> {SHAPE}")
+    try:
+        for fmt in ("COO", "LINEAR", "GCSR++", "CSF"):
+            run(fmt, root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    print("\nLINEAR keeps fragments smallest; CSF/GCSR++ answer the "
+          "region reads without scanning whole fragments (paper §IV).")
+
+
+if __name__ == "__main__":
+    main()

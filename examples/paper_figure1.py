@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Fig 1: one tensor, five organizations.
+
+Encodes the 3x3x3 example tensor with points (0,0,1) (0,1,1) (0,1,2)
+(2,2,1) (2,2,2) in every organization and prints the exact structures the
+figure shows.  Fig 1(a) (COO/LINEAR) and Fig 1(d) (CSF) match the paper
+verbatim; Fig 1(b)/(c) print the self-consistent Algorithm 1 encodings (the
+figure's listed values contradict its own linear addresses — see
+DESIGN.md §5).
+
+Run:  python examples/paper_figure1.py
+"""
+
+from repro import SparseTensor, get_format
+
+
+def main() -> None:
+    tensor = SparseTensor.from_points(
+        (3, 3, 3),
+        [(0, 0, 1), (0, 1, 1), (0, 1, 2), (2, 2, 1), (2, 2, 2)],
+        [1.0, 2.0, 3.0, 4.0, 5.0],
+    )
+
+    print("Fig 1(a) — COO and LINEAR")
+    linear = get_format("LINEAR").build(tensor.coords, tensor.shape)
+    for coord, addr, v in zip(tensor.coords, linear.payload["addresses"],
+                              tensor.values):
+        print(f"  {tuple(int(c) for c in coord)}  ->  {int(addr):2d}   v{int(v)}")
+
+    print("\nFig 1(b) — GCSR++ (algorithm-text encoding)")
+    gcsr = get_format("GCSR++").build(tensor.coords, tensor.shape)
+    print(f"  2D fold: {tuple(gcsr.meta['shape2d'])}")
+    print(f"  row_ptr: {gcsr.payload['row_ptr'].tolist()}")
+    print(f"  col_ind: {gcsr.payload['col_ind'].tolist()}")
+
+    print("\nFig 1(c) — GCSC++ (algorithm-text encoding)")
+    gcsc = get_format("GCSC++").build(tensor.coords, tensor.shape)
+    print(f"  2D fold: {tuple(gcsc.meta['shape2d'])}")
+    print(f"  col_ptr: {gcsc.payload['col_ptr'].tolist()}")
+    print(f"  row_ind: {gcsc.payload['row_ind'].tolist()}")
+
+    print("\nFig 1(d) — CSF tree (matches the paper exactly)")
+    csf = get_format("CSF").build(tensor.coords, tensor.shape)
+    print(f"  nfibs: {csf.payload['nfibs'].tolist()}")
+    print(f"  fids:  {[csf.payload[f'fids_{i}'].tolist() for i in range(3)]}")
+    print(f"  fptr:  {[csf.payload[f'fptr_{i}'].tolist() for i in range(2)]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Pattern gallery: the paper's Fig 2 as ASCII density maps.
+
+Renders 2D instances of the three sparsity patterns (TSP, GSP, MSP) and
+prints their characterization statistics — including the CSF prefix-sharing
+ratio that explains Fig 4's CSF size variance.
+
+Run:  python examples/pattern_gallery.py
+"""
+
+import numpy as np
+
+from repro import characterize, make_pattern
+
+SHAPE = (512, 512)
+CELLS = 32  # terminal raster resolution
+RAMP = " .:-=+*#%@"
+
+
+def render(tensor) -> str:
+    """Downsample occupancy onto a CELLS x CELLS character raster."""
+    grid = np.zeros((CELLS, CELLS), dtype=np.int64)
+    step0 = tensor.shape[0] / CELLS
+    step1 = tensor.shape[1] / CELLS
+    r = (tensor.coords[:, 0] / step0).astype(np.int64).clip(0, CELLS - 1)
+    c = (tensor.coords[:, 1] / step1).astype(np.int64).clip(0, CELLS - 1)
+    np.add.at(grid, (r, c), 1)
+    peak = grid.max() or 1
+    lines = []
+    for row in grid:
+        lines.append(
+            "".join(RAMP[min(len(RAMP) - 1, int(v / peak * (len(RAMP) - 1)))]
+                    for v in row)
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    for name in ("TSP", "GSP", "MSP"):
+        tensor = make_pattern(name, SHAPE).generate(42)
+        stats = characterize(tensor)
+        print(f"\n=== {name} ({SHAPE[0]}x{SHAPE[1]}) ===")
+        print(render(tensor))
+        print(f"nnz={stats.nnz:,}  density={stats.density:.3%}  "
+              f"csf-sharing={stats.csf_sharing_ratio:.3f}  "
+              f"bbox-fill={stats.bbox_fill:.3%}")
+        print("(low csf-sharing = clustered coordinates = small CSF trees)")
+
+
+if __name__ == "__main__":
+    main()

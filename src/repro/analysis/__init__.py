@@ -1,0 +1,65 @@
+"""Analysis: Table I complexity models, scaling fits, format advisor."""
+
+from .advisor import (
+    ANALYTICAL,
+    ARCHIVAL,
+    BALANCED,
+    FormatPrediction,
+    Recommendation,
+    Workload,
+    predict_costs,
+    recommend,
+)
+from .claims import ClaimResult, claims_report, evaluate_claims
+from .crossover import (
+    CrossoverPoint,
+    compare_read_costs,
+    critical_occupancy,
+    dimensionality_sweep,
+    measured_crossover,
+)
+from .complexity import (
+    PREDICTED_BUILD_ORDER,
+    PREDICTED_READ_ORDER,
+    PREDICTED_SIZE_ORDER,
+    CSFSpaceBounds,
+    build_ops,
+    csf_space_bounds,
+    predicted_growth_exponent,
+    read_ops,
+    sort_ops,
+    space_elements,
+)
+from .fit import PowerLawFit, exponent_matches, fit_power_law
+
+__all__ = [
+    "ClaimResult",
+    "claims_report",
+    "evaluate_claims",
+    "CrossoverPoint",
+    "compare_read_costs",
+    "critical_occupancy",
+    "dimensionality_sweep",
+    "measured_crossover",
+    "ANALYTICAL",
+    "ARCHIVAL",
+    "BALANCED",
+    "FormatPrediction",
+    "Recommendation",
+    "Workload",
+    "predict_costs",
+    "recommend",
+    "PREDICTED_BUILD_ORDER",
+    "PREDICTED_READ_ORDER",
+    "PREDICTED_SIZE_ORDER",
+    "CSFSpaceBounds",
+    "build_ops",
+    "csf_space_bounds",
+    "predicted_growth_exponent",
+    "read_ops",
+    "sort_ops",
+    "space_elements",
+    "PowerLawFit",
+    "exponent_matches",
+    "fit_power_law",
+]

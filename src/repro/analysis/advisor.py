@@ -1,0 +1,195 @@
+"""Automatic organization selection — the paper's stated future work.
+
+§VI: "In future, we plan to explore automatic strategies for selecting
+different organization for applications based on the characterization of
+sparsity in their data."  This module implements that strategy: given a
+tensor's :class:`~repro.patterns.stats.PatternStats` and a workload
+description (how write-heavy / read-heavy / size-sensitive the application
+is), predict each organization's cost from the Table I closed forms plus
+the measured sparsity characterization, and rank them.
+
+The predictions deliberately reuse the same normalized-score construction
+as Table IV so the advisor's ranking can be validated against an actual
+measured sweep (``benchmarks/bench_ablation_advisor.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.tensor import SparseTensor
+from ..formats.registry import PAPER_FORMATS
+from ..patterns.stats import PatternStats, characterize
+from .complexity import build_ops, read_ops, space_elements
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Relative importance of the three cost axes, plus read volume.
+
+    ``write_weight`` / ``read_weight`` / ``size_weight`` mirror the paper's
+    equal-weight score (all 1.0 by default).  ``reads_per_write`` scales the
+    read cost: an archival workload queries rarely (~0), an analysis
+    workload queries constantly (>> 1).
+    """
+
+    write_weight: float = 1.0
+    read_weight: float = 1.0
+    size_weight: float = 1.0
+    reads_per_write: float = 1.0
+    queries_per_read: int = 2048
+
+    def __post_init__(self) -> None:
+        if min(self.write_weight, self.read_weight, self.size_weight) < 0:
+            raise ValueError("workload weights must be non-negative")
+        if self.reads_per_write < 0 or self.queries_per_read < 0:
+            raise ValueError("workload volumes must be non-negative")
+
+
+#: Archive-style workload: write once, rarely read, size matters most.
+ARCHIVAL = Workload(write_weight=1.0, read_weight=0.25, size_weight=2.0,
+                    reads_per_write=0.1)
+
+#: Analysis-style workload: write once, read constantly.
+ANALYTICAL = Workload(write_weight=0.5, read_weight=2.0, size_weight=0.5,
+                      reads_per_write=50.0)
+
+#: The paper's balanced score.
+BALANCED = Workload()
+
+
+@dataclass
+class FormatPrediction:
+    """Predicted per-axis costs for one organization (abstract units)."""
+
+    format_name: str
+    build_cost: float
+    read_cost: float
+    space_cost: float
+    combined: float = 0.0
+
+
+@dataclass
+class Recommendation:
+    """Ranked advisor output."""
+
+    ranked: list[FormatPrediction]
+    workload: Workload
+    stats: PatternStats = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def best(self) -> str:
+        return self.ranked[0].format_name
+
+    def order(self) -> list[str]:
+        return [p.format_name for p in self.ranked]
+
+
+def _predicted_space(fmt: str, stats: PatternStats) -> float:
+    """Index elements, using the characterization for data-dependent CSF."""
+    key = fmt.upper()
+    n = stats.nnz
+    shape = stats.shape
+    if key == "CSF":
+        # Measured prefix sharing: nodes per level, plus the fptr arrays
+        # (one pointer per non-leaf node plus a terminator per level).
+        non_leaf = sum(stats.csf_levels[:-1]) if stats.csf_levels else 0
+        return stats.csf_total_nodes + non_leaf + max(0, len(shape) - 1)
+    return float(space_elements(fmt, n, shape))
+
+
+def _predicted_read(fmt: str, stats: PatternStats, q: int) -> float:
+    """Read ops, refined with the measured row-occupancy for GCSR/GCSC."""
+    key = fmt.upper()
+    n = stats.nnz
+    shape = stats.shape
+    if key in ("GCSR++", "GCSC++"):
+        # Replace the uniform n/min(m) estimate with the measured average
+        # folded-row occupancy.
+        per_query = max(1.0, stats.avg_points_per_folded_row)
+        return q * per_query + 2 * q * len(shape)
+    if key == "CSF":
+        # Per-level average fan-out from the measured node counts.
+        cost = 0.0
+        prev = 1
+        for count in stats.csf_levels:
+            fanout = max(1.0, count / max(1, prev))
+            cost += math.log2(fanout + 1)
+            prev = count
+        return q * max(1.0, cost)
+    return float(read_ops(fmt, n, q, shape))
+
+
+def predict_costs(
+    stats: PatternStats,
+    workload: Workload = BALANCED,
+    *,
+    formats: Sequence[str] = PAPER_FORMATS,
+) -> list[FormatPrediction]:
+    """Predicted per-axis costs for each candidate organization.
+
+    Write cost combines the build ops with the serialized index size (the
+    Table III lesson: a cheap build can be paid back by a large fragment
+    write).  The I/O term converts index elements to "op equivalents" with
+    a single calibration constant chosen so that COO's write penalty
+    dominates its build advantage, as measured in the paper.
+    """
+    n = stats.nnz
+    shape = stats.shape
+    q = workload.queries_per_read
+    # One stored index element costs about as much to push through the
+    # filesystem as ~8 in-memory ops (8 bytes at ~GB/s vs ~GHz op rates).
+    io_ops_per_element = 8.0
+    predictions = []
+    for fmt in formats:
+        space = _predicted_space(fmt, stats)
+        build = build_ops(fmt, n, shape) + io_ops_per_element * space
+        read = _predicted_read(fmt, stats, q) + io_ops_per_element * space * 0.25
+        predictions.append(
+            FormatPrediction(
+                format_name=fmt,
+                build_cost=build,
+                read_cost=read,
+                space_cost=space,
+            )
+        )
+    return predictions
+
+
+def recommend(
+    tensor_or_stats: SparseTensor | PatternStats,
+    workload: Workload = BALANCED,
+    *,
+    formats: Sequence[str] = PAPER_FORMATS,
+) -> Recommendation:
+    """Rank organizations for a tensor under a workload.
+
+    Costs are normalized per axis by the worst candidate (exactly the Table
+    IV construction) and combined with the workload weights; lower is
+    better.
+    """
+    if isinstance(tensor_or_stats, SparseTensor):
+        stats = characterize(tensor_or_stats)
+    else:
+        stats = tensor_or_stats
+    predictions = predict_costs(stats, workload, formats=formats)
+    max_build = max(p.build_cost for p in predictions) or 1.0
+    max_read = max(p.read_cost for p in predictions) or 1.0
+    max_space = max(p.space_cost for p in predictions) or 1.0
+    # The read axis is amplified by how often the application re-reads what
+    # it wrote; an archival workload (reads_per_write ~ 0) all but ignores
+    # read cost.
+    effective_read_weight = workload.read_weight * workload.reads_per_write
+    wsum = (
+        workload.write_weight + effective_read_weight + workload.size_weight
+    ) or 1.0
+    for p in predictions:
+        p.combined = (
+            workload.write_weight * (p.build_cost / max_build)
+            + effective_read_weight * (p.read_cost / max_read)
+            + workload.size_weight * (p.space_cost / max_space)
+        ) / wsum
+    ranked = sorted(predictions, key=lambda p: p.combined)
+    return Recommendation(ranked=ranked, workload=workload, stats=stats)

@@ -1,0 +1,222 @@
+"""Automated validation of the paper's empirical claims.
+
+Each claim from the paper's findings (§I bullets, §III discussion, §IV
+lessons) is encoded as a predicate over a measured
+:class:`~repro.bench.sweep.SweepResult`; evaluating them yields a pass/fail
+table with numeric evidence — the reproduction's scorecard.
+
+Wall-clock claims are evaluated with majority-of-cells semantics (timing
+noise at small scales), size claims exactly.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..bench.score import overall_scores
+from ..bench.sweep import SweepResult
+
+Cell = tuple[str, int]  # (pattern, ndim)
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of evaluating one claim."""
+
+    claim_id: str
+    statement: str
+    passed: bool
+    evidence: str
+
+
+def _cells(sweep: SweepResult) -> list[Cell]:
+    seen: list[Cell] = []
+    for rec in sweep.records:
+        key = (rec.pattern, rec.ndim)
+        if key not in seen:
+            seen.append(key)
+    return seen
+
+
+def _cell_values(sweep: SweepResult, metric: str) -> dict[Cell, dict[str, float]]:
+    out: dict[Cell, dict[str, float]] = {}
+    for (pattern, ndim, fmt), v in sweep.metric_cells(metric).items():
+        out.setdefault((pattern, ndim), {})[fmt] = v
+    return out
+
+
+def _majority(results: Iterable[bool], *, frac: float = 0.66) -> bool:
+    results = list(results)
+    if not results:
+        return False
+    return sum(results) / len(results) >= frac
+
+
+def check_build_is_cheapest_for_coo(sweep: SweepResult) -> ClaimResult:
+    """§III-A: COO's build phase is negligible versus every other format."""
+    wins = []
+    for rec_cell in _cells(sweep):
+        pattern, ndim = rec_cell
+        coo = sweep.cell(pattern, ndim, "COO").write.build_seconds
+        others = [
+            sweep.cell(pattern, ndim, f).write.build_seconds
+            for f in ("GCSR++", "GCSC++", "CSF")
+            if _has(sweep, pattern, ndim, f)
+        ]
+        wins.append(bool(others) and coo <= min(others))
+    return ClaimResult(
+        "C1",
+        "COO build time is the smallest of all organizations",
+        _majority(wins),
+        f"cells won: {sum(wins)}/{len(wins)}",
+    )
+
+
+def _has(sweep: SweepResult, pattern: str, ndim: int, fmt: str) -> bool:
+    try:
+        sweep.cell(pattern, ndim, fmt)
+        return True
+    except KeyError:
+        return False
+
+
+def check_linear_beats_coo_overall(sweep: SweepResult) -> ClaimResult:
+    """§III-A / Table III: COO pays its free build back at write time —
+    LINEAR's total write is at most COO's (within noise) in most cells."""
+    sizes = _cell_values(sweep, "write_time")
+    wins = [
+        by_fmt.get("LINEAR", float("inf")) <= 1.2 * by_fmt.get("COO", 0.0)
+        for by_fmt in sizes.values()
+    ]
+    return ClaimResult(
+        "C2",
+        "LINEAR's total write time <= COO's (free build paid back by bytes)",
+        _majority(wins),
+        f"cells won: {sum(wins)}/{len(wins)}",
+    )
+
+
+def check_size_ordering(sweep: SweepResult) -> ClaimResult:
+    """§III-B: LINEAR < GCSR++ = GCSC++, with COO the largest — exact in
+    every cell."""
+    sizes = _cell_values(sweep, "file_size")
+    ok = True
+    for by_fmt in sizes.values():
+        ok &= by_fmt["LINEAR"] < by_fmt["GCSR++"]
+        ok &= abs(by_fmt["GCSR++"] - by_fmt["GCSC++"]) <= 16  # header noise
+        ok &= by_fmt["COO"] >= by_fmt["LINEAR"]
+    return ClaimResult(
+        "C3",
+        "File sizes: LINEAR < GCSR++ = GCSC++ and COO >= LINEAR everywhere",
+        ok,
+        f"cells checked: {len(sizes)}",
+    )
+
+
+def check_coo_reduction_factor(sweep: SweepResult) -> ClaimResult:
+    """§III-B: 'the potential reduction in storage space can be as much as
+    O(d) times' — COO/LINEAR index ratio equals d."""
+    ratios = []
+    for pattern, ndim in _cells(sweep):
+        coo = sweep.cell(pattern, ndim, "COO").write.index_nbytes
+        lin = sweep.cell(pattern, ndim, "LINEAR").write.index_nbytes
+        ratios.append((ndim, coo / lin if lin else 0.0))
+    ok = all(abs(r - d) < 0.01 for d, r in ratios)
+    return ClaimResult(
+        "C4",
+        "COO's index is exactly d times LINEAR's",
+        ok,
+        "; ".join(f"{d}D: {r:.2f}x" for d, r in sorted(set(ratios))),
+    )
+
+
+def check_scans_read_slowest(sweep: SweepResult) -> ClaimResult:
+    """§III-C: COO and LINEAR read significantly slower than the
+    compressed organizations."""
+    times = _cell_values(sweep, "read_time")
+    wins = []
+    for by_fmt in times.values():
+        scan_best = min(by_fmt["COO"], by_fmt["LINEAR"])
+        comp_worst = max(by_fmt["GCSR++"], by_fmt["GCSC++"])
+        wins.append(by_fmt["COO"] == max(by_fmt.values())
+                    and comp_worst < scan_best)
+    return ClaimResult(
+        "C5",
+        "COO reads slowest; GCSR++/GCSC++ beat both scan formats",
+        _majority(wins),
+        f"cells won: {sum(wins)}/{len(wins)}",
+    )
+
+
+def check_csf_size_variance(sweep: SweepResult) -> ClaimResult:
+    """§III-B: CSF 'exhibits variable space sizes across different sparse
+    patterns' — its per-point size varies more than LINEAR's."""
+
+    def per_point_spread(fmt: str) -> float:
+        vals = []
+        for pattern, ndim in _cells(sweep):
+            rec = sweep.cell(pattern, ndim, fmt)
+            if rec.write.nnz:
+                vals.append(rec.write.index_nbytes / rec.write.nnz)
+        if len(vals) < 2:
+            return 0.0
+        return statistics.pstdev(vals) / (statistics.mean(vals) or 1.0)
+
+    csf = per_point_spread("CSF")
+    linear = per_point_spread("LINEAR")
+    return ClaimResult(
+        "C6",
+        "CSF's per-point size varies across patterns; LINEAR's is fixed",
+        csf > 2 * linear,
+        f"relative spread: CSF {csf:.3f} vs LINEAR {linear:.3f}",
+    )
+
+
+def check_overall_scores(sweep: SweepResult) -> ClaimResult:
+    """Table IV: LINEAR holds the best balanced score (GCSR++ within a
+    whisker) and COO sits at the bottom of the ranking."""
+    ranked = [s.format_name for s in sweep.scores()]
+    ok = ranked[0] in ("LINEAR", "GCSR++", "GCSC++") and "COO" in ranked[-2:]
+    return ClaimResult(
+        "C7",
+        "Balanced scores: LINEAR-family best, COO among the worst",
+        ok,
+        " > ".join(ranked) + " (best first)",
+    )
+
+
+ALL_CHECKS: tuple[Callable[[SweepResult], ClaimResult], ...] = (
+    check_build_is_cheapest_for_coo,
+    check_linear_beats_coo_overall,
+    check_size_ordering,
+    check_coo_reduction_factor,
+    check_scans_read_slowest,
+    check_csf_size_variance,
+    check_overall_scores,
+)
+
+
+def evaluate_claims(sweep: SweepResult) -> list[ClaimResult]:
+    """Evaluate every registered claim against a measured sweep."""
+    return [check(sweep) for check in ALL_CHECKS]
+
+
+def claims_report(sweep: SweepResult) -> str:
+    """Render the scorecard."""
+    from ..bench.report import render_table
+
+    results = evaluate_claims(sweep)
+    rows = [
+        [r.claim_id, "PASS" if r.passed else "FAIL", r.statement, r.evidence]
+        for r in results
+    ]
+    passed = sum(r.passed for r in results)
+    return render_table(
+        ["id", "verdict", "claim", "evidence"],
+        rows,
+        title=(f"Paper-claims scorecard: {passed}/{len(results)} reproduced "
+               "on this sweep"),
+        formatters={2: str, 3: str},
+    )

@@ -1,0 +1,184 @@
+"""Closed-form complexity models — Table I as executable code.
+
+For every organization the paper states build time, read time, and space
+complexity (Table I).  This module turns those into evaluable functions of
+``(n, d, shape, q)`` so that:
+
+* the op-counting tests can check measured counts against the models,
+* the advisor can rank organizations for a predicted workload, and
+* the Table I bench can report predicted vs fitted scaling exponents.
+
+Unit conventions: "ops" are the abstract operations
+:class:`~repro.core.costmodel.OpCounter` tallies; "space" is counted in
+index *elements* (the paper's "units of the index type's size"), values and
+negligible metadata excluded, as in §II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import FormatError
+
+
+def _min_dim(shape: Sequence[int]) -> int:
+    return min(int(m) for m in shape)
+
+
+def sort_ops(n: int) -> int:
+    """The n log2 n budget the cost model charges per sort."""
+    return 0 if n <= 1 else math.ceil(n * math.log2(n))
+
+
+# ----------------------------------------------------------------------
+# Build time (Table I column 2)
+# ----------------------------------------------------------------------
+
+
+def build_ops(fmt: str, n: int, shape: Sequence[int]) -> int:
+    """Predicted build operations for ``n`` points in ``shape``."""
+    d = len(shape)
+    key = fmt.upper()
+    if key == "COO":
+        return 1  # O(1): adopt the buffer
+    if key == "LINEAR":
+        return n * d  # O(n*d) transform
+    if key in ("GCSR++", "GCSC++"):
+        # O(n log n + 2n): sort plus transform-and-package passes.
+        return sort_ops(n) + 2 * n
+    if key == "CSF":
+        return sort_ops(n) + n * d  # O(n log n + n*d)
+    if key == "COO-SORTED":
+        return sort_ops(n) + n * d
+    if key == "HICOO":
+        return sort_ops(n) + 2 * n * d
+    raise FormatError(f"no build model for format {fmt!r}")
+
+
+# ----------------------------------------------------------------------
+# Read time (Table I column 3)
+# ----------------------------------------------------------------------
+
+
+def read_ops(fmt: str, n: int, q: int, shape: Sequence[int]) -> int:
+    """Predicted read operations for ``q`` queries against ``n`` points."""
+    d = len(shape)
+    key = fmt.upper()
+    if key in ("COO", "LINEAR"):
+        base = n * q  # full scan per query
+        if key == "LINEAR":
+            base += q * d  # query transform pass
+        return base
+    if key in ("GCSR++", "GCSC++"):
+        # O(q * n/min(m) + q): segment scan plus one fold-transform pass
+        # over the query buffer (Table I's "+ n" term, with q queries),
+        # plus the two indptr lookups per query.
+        return math.ceil(q * n / _min_dim(shape)) + q + 2 * q
+    if key == "CSF":
+        # Root-to-leaf descent: d levels, each a binary search over the
+        # node's fan-out; modeled with the global average fan-out.
+        avg_fanout = max(2.0, n ** (1.0 / d))
+        return math.ceil(q * d * math.log2(avg_fanout + 1))
+    if key == "COO-SORTED":
+        return math.ceil(q * math.log2(n + 1)) + q * d
+    if key == "HICOO":
+        n_blocks = max(1, n // 64)
+        return math.ceil(q * math.log2(n_blocks + 1)) + q * max(
+            1, n // n_blocks
+        )
+    raise FormatError(f"no read model for format {fmt!r}")
+
+
+# ----------------------------------------------------------------------
+# Space (Table I column 4)
+# ----------------------------------------------------------------------
+
+
+def space_elements(fmt: str, n: int, shape: Sequence[int]) -> int:
+    """Predicted index elements stored (deterministic formats)."""
+    d = len(shape)
+    key = fmt.upper()
+    if key in ("COO", "COO-SORTED"):
+        return n * d
+    if key == "LINEAR":
+        return n
+    if key in ("GCSR++", "GCSC++"):
+        return n + _min_dim(shape) + 1  # indices + pointer array
+    if key == "CSF":
+        raise FormatError(
+            "CSF space is data-dependent; use csf_space_bounds or "
+            "patterns.stats.csf_level_counts"
+        )
+    raise FormatError(f"no space model for format {fmt!r}")
+
+
+@dataclass(frozen=True)
+class CSFSpaceBounds:
+    """The paper's three CSF space cases (§II-E), in index elements."""
+
+    best: int  # O(n + d): single chain above the leaves
+    average: int  # ~O(2n (1 - (1/2)^d)): half duplication per level
+    worst: int  # O(n * d): no shared prefixes
+
+
+def csf_space_bounds(n: int, d: int) -> CSFSpaceBounds:
+    """Evaluate the paper's best/average/worst CSF space cases."""
+    best = n + d
+    average = math.ceil(2 * n * (1.0 - 0.5**d))
+    worst = n * d
+    return CSFSpaceBounds(best=best, average=average, worst=worst)
+
+
+# ----------------------------------------------------------------------
+# Predicted orderings (the inequalities the paper's text asserts)
+# ----------------------------------------------------------------------
+
+#: §III-A: build-time ranking, fastest first.
+PREDICTED_BUILD_ORDER: tuple[str, ...] = (
+    "COO",
+    "LINEAR",
+    "GCSR++",
+    "GCSC++",
+    "CSF",
+)
+
+#: §III-B: file-size ranking, smallest first.
+PREDICTED_SIZE_ORDER: tuple[str, ...] = (
+    "LINEAR",
+    "GCSR++",
+    "GCSC++",
+    "CSF",
+    "COO",
+)
+
+#: §III-C: query-time ranking, fastest first (CSF fastest at high d).
+PREDICTED_READ_ORDER: tuple[str, ...] = (
+    "CSF",
+    "GCSR++",
+    "GCSC++",
+    "LINEAR",
+    "COO",
+)
+
+
+def predicted_growth_exponent(fmt: str, *, operation: str) -> float:
+    """Leading-order exponent of ops vs n (for scaling-fit validation).
+
+    ``operation`` is "build" or "read-per-query".  Sorting contributes the
+    log factor, which a finite-range power-law fit absorbs as a small bump
+    above 1.0 — callers should use generous tolerances.
+    """
+    key = fmt.upper()
+    if operation == "build":
+        return 0.0 if key == "COO" else 1.0
+    if operation == "read-per-query":
+        if key in ("COO", "LINEAR"):
+            return 1.0  # per query cost grows linearly with n
+        if key in ("GCSR++", "GCSC++"):
+            return 1.0  # n / min(m) with fixed shape is linear in n
+        if key in ("CSF", "COO-SORTED", "HICOO"):
+            return 0.0  # logarithmic: exponent ~ 0
+        raise FormatError(f"no read growth model for {fmt!r}")
+    raise ValueError(f"operation must be 'build' or 'read-per-query', got {operation!r}")

@@ -1,0 +1,105 @@
+"""Crossover analysis: where does CSF overtake GCSR++ on reads?
+
+§III-C's key observation: "the read time complexity of GCSR++ and GCSC++
+increases as the number of dimensions rises … CSF exhibits lower
+performance when handling 2D tensors but surpasses GCSR++ and GCSC++ when
+dealing with 3D or 4D tensors."  The mechanism is folded-row occupancy:
+GCSR++ scans ``n / min(m)`` entries per query while CSF descends
+``d * log2(fanout)`` levels.  This module computes the crossover point from
+the Table I models and checks it against measured op counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.tensor import SparseTensor
+from .complexity import read_ops
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """The occupancy at which CSF's per-query read cost undercuts GCSR++."""
+
+    n: int
+    shape: tuple[int, ...]
+    gcsr_per_query: float
+    csf_per_query: float
+
+    @property
+    def csf_wins(self) -> bool:
+        return self.csf_per_query < self.gcsr_per_query
+
+    @property
+    def row_occupancy(self) -> float:
+        return self.n / min(self.shape)
+
+
+def compare_read_costs(n: int, shape: Sequence[int]) -> CrossoverPoint:
+    """Model per-query read cost of GCSR++ vs CSF for one configuration."""
+    q = 1000
+    gcsr = read_ops("GCSR++", n, q, shape) / q
+    csf = read_ops("CSF", n, q, shape) / q
+    return CrossoverPoint(
+        n=n,
+        shape=tuple(int(m) for m in shape),
+        gcsr_per_query=gcsr,
+        csf_per_query=csf,
+    )
+
+
+def critical_occupancy(n: int, d: int) -> float:
+    """Folded-row occupancy above which CSF's descent is predicted cheaper.
+
+    GCSR++ scans ``occupancy`` entries per query; CSF compares
+    ``d * log2(n^(1/d) + 1)`` per query — so the crossover sits at
+    ``occupancy* = d * log2(n^(1/d) + 1)`` (a few dozen for realistic n/d).
+    """
+    if n <= 0 or d <= 0:
+        raise ValueError("n and d must be positive")
+    avg_fanout = max(2.0, n ** (1.0 / d))
+    return d * math.log2(avg_fanout + 1)
+
+
+def dimensionality_sweep(
+    n: int, *, min_dim: int = 2, max_dim: int = 6, side_budget: int = 1 << 24
+) -> list[CrossoverPoint]:
+    """Model the 2D→high-d crossover at (approximately) constant cell count.
+
+    Mirrors the paper's Table II construction: as d grows, per-dimension
+    sides shrink (8192² → 512³ → 128⁴ all have ~2^26 cells), so the min
+    dimension — GCSR++'s folded row count — shrinks and row occupancy
+    grows.
+    """
+    points = []
+    for d in range(min_dim, max_dim + 1):
+        side = max(2, round(side_budget ** (1.0 / d)))
+        points.append(compare_read_costs(n, (side,) * d))
+    return points
+
+
+def measured_crossover(
+    tensor: SparseTensor, q: int = 256
+) -> CrossoverPoint:
+    """Measured (op-counted) per-query costs for one real tensor."""
+    from ..core.costmodel import OpCounter
+    from ..formats import CSFFormat, GCSRFormat
+
+    queries = tensor.coords[: min(q, tensor.nnz)]
+    costs = {}
+    for fmt in (GCSRFormat(), CSFFormat()):
+        result = fmt.build(tensor.coords, tensor.shape)
+        counter = OpCounter()
+        fmt.read_faithful(
+            result.payload, result.meta, tensor.shape, queries,
+            counter=counter,
+        )
+        costs[fmt.name] = counter.total / max(1, queries.shape[0])
+    return CrossoverPoint(
+        n=tensor.nnz,
+        shape=tensor.shape,
+        gcsr_per_query=costs["GCSR++"],
+        csf_per_query=costs["CSF"],
+    )

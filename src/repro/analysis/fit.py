@@ -1,0 +1,64 @@
+"""Empirical scaling fits (log–log regression) for Table I validation.
+
+Measured operation counts (or wall times) at a sweep of problem sizes are
+fit to ``y = c * n^k`` by least squares in log space; the fitted exponent
+``k`` is compared against :func:`repro.analysis.complexity.predicted_growth_exponent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log–log least squares fit ``y = coefficient * x^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x^k`` by linear regression on (log x, log y).
+
+    Zero or negative samples are rejected — callers should add a small
+    epsilon to op counts that can be zero (COO's O(1) build).
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be 1D and aligned")
+    if x.shape[0] < 2:
+        raise ValueError("need at least two samples to fit")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive samples")
+    lx = np.log(x)
+    ly = np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=r2,
+    )
+
+
+def exponent_matches(
+    fit: PowerLawFit, predicted: float, *, tolerance: float = 0.35
+) -> bool:
+    """Whether a fitted exponent is consistent with the predicted one.
+
+    Tolerance is generous by design: log factors from sorting and constant
+    terms at small n both bias finite-range exponents.
+    """
+    return abs(fit.exponent - predicted) <= tolerance

@@ -1,0 +1,66 @@
+"""Benchmark harness (paper §III: Algorithm 3 + scoring)."""
+
+from .experiments import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentConfig,
+    run_experiment,
+)
+from .report import (
+    format_bytes,
+    format_number,
+    render_comparison,
+    render_grouped_series,
+    render_table,
+)
+from .runner import (
+    DEFAULT_QUERY_SAMPLE,
+    ReadMeasurement,
+    WriteMeasurement,
+    WriteReadResult,
+    make_read_queries,
+    paper_read_region,
+    read_benchmark,
+    run_write_read,
+    write_benchmark,
+)
+from .score import (
+    DEFAULT_METRICS,
+    ScoreBreakdown,
+    metric_scores,
+    normalize_cells,
+    overall_scores,
+)
+from .sweep import SweepRecord, SweepResult, run_sweep
+from .timers import PhaseTimer, time_call
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentConfig",
+    "run_experiment",
+    "format_bytes",
+    "format_number",
+    "render_comparison",
+    "render_grouped_series",
+    "render_table",
+    "DEFAULT_QUERY_SAMPLE",
+    "ReadMeasurement",
+    "WriteMeasurement",
+    "WriteReadResult",
+    "make_read_queries",
+    "paper_read_region",
+    "read_benchmark",
+    "run_write_read",
+    "write_benchmark",
+    "DEFAULT_METRICS",
+    "ScoreBreakdown",
+    "metric_scores",
+    "normalize_cells",
+    "overall_scores",
+    "SweepRecord",
+    "SweepResult",
+    "run_sweep",
+    "PhaseTimer",
+    "time_call",
+]

@@ -1,0 +1,115 @@
+"""Plain-text table and series rendering for benchmark reports.
+
+Every experiment regenerator prints the same rows/series the paper reports
+(DESIGN.md §3); this module is the shared renderer — monospace tables with
+aligned columns, engineering-formatted numbers, and simple grouped "figure"
+series (the textual stand-in for the paper's bar charts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+
+def format_number(value: Any, *, digits: int = 4) -> str:
+    """Human-friendly scalar formatting (times, bytes, ratios)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 10 ** (-digits):
+            return f"{value:.{digits}g}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_bytes(nbytes: int) -> str:
+    """IEC-ish byte formatting (B / KiB / MiB / GiB)."""
+    size = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(size)} {unit}"
+            return f"{size:.2f} {unit}"
+        size /= 1024
+    raise AssertionError("unreachable")
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    formatters: Mapping[int, Callable[[Any], str]] | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    formatters = formatters or {}
+    text_rows: list[list[str]] = []
+    for row in rows:
+        text_row = []
+        for i, cell in enumerate(row):
+            fmt = formatters.get(i, format_number)
+            text_row.append(fmt(cell))
+        text_rows.append(text_row)
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_grouped_series(
+    title: str,
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    unit: str = "s",
+    bar_width: int = 40,
+) -> str:
+    """Textual bar chart: one block per group, one bar per series.
+
+    The stand-in for Figs 3/4/5: ``groups`` maps a group label (e.g.
+    "2D TSP") to ``{format: value}``.
+    """
+    lines = [title]
+    for group, series in groups.items():
+        lines.append(f"\n  {group}")
+        # Bars are scaled per group: the paper's figures compare formats
+        # within each (pattern, dimensionality) panel.
+        gmax = max(series.values(), default=0.0)
+        for name, value in series.items():
+            frac = value / gmax if gmax else 0.0
+            bar = "#" * max(1 if value > 0 else 0, int(round(frac * bar_width)))
+            lines.append(
+                f"    {name:<11s} {format_number(value):>12s} {unit}  {bar}"
+            )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    headers: Sequence[str],
+    paper_rows: Sequence[Sequence[Any]],
+    measured_rows: Sequence[Sequence[Any]],
+) -> str:
+    """Paper-vs-measured side-by-side block (EXPERIMENTS.md source)."""
+    parts = [
+        title,
+        "",
+        render_table(headers, paper_rows, title="paper:"),
+        "",
+        render_table(headers, measured_rows, title="measured:"),
+    ]
+    return "\n".join(parts)

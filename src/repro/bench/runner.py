@@ -1,0 +1,308 @@
+"""The benchmark runner — Algorithm 3 instrumented.
+
+WRITE: package the coordinate buffer with one organization (*Build*),
+reorganize the value buffer by the returned map (*Reorg.*), serialize and
+write the fragment (*Write*), everything else is *Others* — Table III's
+exact decomposition.  Next to the measured local-filesystem write time the
+runner reports a modeled parallel-filesystem time from
+:mod:`repro.storage.iosim` (DESIGN.md §4 substitution).
+
+READ: discover overlapping fragments, run the organization's *faithful*
+read per fragment (the paper's per-point algorithms, Table I costs), merge
+results sorted by linear address.  Queries default to the paper's region —
+start ``(m/2, ...)``, size ``(m/10, ...)`` — optionally sampled down so the
+O(n*q) baselines stay tractable at large scale.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.boundary import Box, region_box
+from ..core.costmodel import OpCounter
+from ..core.sorting import stable_argsort
+from ..core.tensor import SparseTensor
+from ..storage.fragment import load_fragment, query_fragment
+from ..storage.iosim import PERLMUTTER_LUSTRE, PFSProfile
+from ..storage.store import FragmentStore
+from .timers import PhaseTimer
+
+#: Paper read-region parameters (§III).
+READ_REGION_START_FRAC = 0.5
+READ_REGION_SIZE_FRAC = 0.1
+
+#: Default query-sample size for the faithful O(n*q) read algorithms.
+DEFAULT_QUERY_SAMPLE = 2048
+
+
+@dataclass
+class WriteMeasurement:
+    """One WRITE benchmark run (Table III columns / Fig 3 bars)."""
+
+    format_name: str
+    nnz: int
+    build_seconds: float
+    reorg_seconds: float
+    write_seconds: float
+    others_seconds: float
+    total_seconds: float
+    index_nbytes: int
+    value_nbytes: int
+    file_nbytes: int
+    modeled_pfs_write_seconds: float
+
+    @property
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "Build": self.build_seconds,
+            "Reorg.": self.reorg_seconds,
+            "Write": self.write_seconds,
+            "Others": self.others_seconds,
+            "Sum": self.total_seconds,
+        }
+
+    @property
+    def modeled_total_seconds(self) -> float:
+        """Build + reorg measured, file transfer modeled on the PFS."""
+        return (
+            self.build_seconds
+            + self.reorg_seconds
+            + self.others_seconds
+            + self.modeled_pfs_write_seconds
+        )
+
+
+@dataclass
+class ReadMeasurement:
+    """One READ benchmark run (Fig 5 bars)."""
+
+    format_name: str
+    n_queries: int
+    n_found: int
+    extract_seconds: float  # load + unpack fragment metadata
+    query_seconds: float  # organization-specific existence search
+    merge_seconds: float  # sort results by linear address
+    total_seconds: float
+    fragments_visited: int
+    bytes_read: int
+    modeled_pfs_read_seconds: float
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def modeled_total_seconds(self) -> float:
+        return (
+            self.query_seconds + self.merge_seconds + self.modeled_pfs_read_seconds
+        )
+
+
+def write_benchmark(
+    tensor: SparseTensor,
+    format_name: str,
+    directory: str | Path | None = None,
+    *,
+    pfs: PFSProfile = PERLMUTTER_LUSTRE,
+    fsync: bool = True,
+) -> WriteMeasurement:
+    """Measure one WRITE of ``tensor`` in ``format_name``.
+
+    When ``directory`` is omitted a temporary directory is used and cleaned
+    up afterwards.
+    """
+    cleanup = directory is None
+    directory = Path(directory or tempfile.mkdtemp(prefix="repro-bench-"))
+    try:
+        timer = PhaseTimer()
+        with timer.total():
+            store = FragmentStore(directory, tensor.shape, format_name, fsync=fsync)
+            receipt = store.write_tensor(tensor)
+        timer.add("build", receipt.build_seconds)
+        timer.add("reorg", receipt.reorg_seconds)
+        timer.add("write", receipt.write_seconds)
+        return WriteMeasurement(
+            format_name=format_name,
+            nnz=tensor.nnz,
+            build_seconds=receipt.build_seconds,
+            reorg_seconds=receipt.reorg_seconds,
+            write_seconds=receipt.write_seconds,
+            others_seconds=timer.others_seconds,
+            total_seconds=timer.total_seconds,
+            index_nbytes=receipt.index_nbytes,
+            value_nbytes=receipt.value_nbytes,
+            file_nbytes=receipt.file_nbytes,
+            modeled_pfs_write_seconds=pfs.write_time(receipt.file_nbytes),
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def paper_read_region(shape: Sequence[int]) -> Box:
+    """The paper's read region: start (m/2, ...), size (m/10, ...)."""
+    return region_box(
+        shape,
+        start_frac=READ_REGION_START_FRAC,
+        size_frac=READ_REGION_SIZE_FRAC,
+    )
+
+
+def make_read_queries(
+    shape: Sequence[int],
+    *,
+    box: Box | None = None,
+    sample: int | None = DEFAULT_QUERY_SAMPLE,
+    rng: np.random.Generator | int | None = 7,
+) -> np.ndarray:
+    """Query coordinate buffer for the read benchmark.
+
+    ``sample=None`` materializes the full region grid (the paper's exact
+    query set); an integer samples that many distinct cells from the region
+    so the O(n*q) baselines stay tractable (DESIGN.md §4).
+    """
+    box = box or paper_read_region(shape)
+    if sample is None:
+        return box.grid_coords()
+    return box.sample_coords(sample, np.random.default_rng(rng))
+
+
+def read_benchmark(
+    store: FragmentStore,
+    query_coords: np.ndarray,
+    *,
+    faithful: bool = True,
+    pfs: PFSProfile = PERLMUTTER_LUSTRE,
+    counter: OpCounter | None = None,
+) -> ReadMeasurement:
+    """Measure one READ against an existing store (Algorithm 3 READ).
+
+    The per-fragment phases are timed separately: metadata extraction
+    (fragment load + unpack), the organization query, and the final
+    merge-sort by linear address (Algorithm 3 line 12).
+    """
+    query = store.fmt.validate_query(query_coords, store.shape)
+    q = query.shape[0]
+    counter = counter if counter is not None else OpCounter()
+    t_extract = 0.0
+    t_query = 0.0
+    visited = 0
+    bytes_read = 0
+    found = np.zeros(q, dtype=bool)
+    out_values = np.zeros(q, dtype=float)
+    t0 = time.perf_counter()
+    if q:
+        from ..core.boundary import extract_boundary
+        from ..core.dtypes import as_index_array
+
+        qbox = extract_boundary(query)
+        for frag in store.fragments:
+            if not frag.bbox.intersects(qbox):
+                continue
+            visited += 1
+            s = time.perf_counter()
+            payload = load_fragment(frag.path)
+            bytes_read += frag.nbytes
+            t_extract += time.perf_counter() - s
+            mask = frag.bbox.contains_points(query)
+            if not mask.any():
+                continue
+            sub = query[mask]
+            if payload.extra.get("relative"):
+                origin = as_index_array(list(frag.bbox.origin))
+                sub = sub - origin[np.newaxis, :]
+            s = time.perf_counter()
+            fmt = store.fmt
+            if faithful:
+                res = fmt.read_faithful(
+                    payload.buffers, payload.meta, payload.shape, sub,
+                    counter=counter,
+                )
+            else:
+                res = fmt.read(payload.buffers, payload.meta, payload.shape, sub)
+            t_query += time.perf_counter() - s
+            vals = res.gather_values(payload.values)
+            idx = np.flatnonzero(mask)[res.found]
+            found[idx] = True
+            out_values[idx] = vals
+    # Merge: sort results by linear address (Algorithm 3 line 12).
+    s = time.perf_counter()
+    result_coords = query[found]
+    if result_coords.shape[0]:
+        from ..core.linearize import linearize
+
+        addr = linearize(result_coords, store.shape, validate=False)
+        order = stable_argsort(addr)
+        _ = result_coords[order]
+        _ = out_values[found][order]
+    t_merge = time.perf_counter() - s
+    total = time.perf_counter() - t0
+    return ReadMeasurement(
+        format_name=store.format_name,
+        n_queries=q,
+        n_found=int(found.sum()),
+        extract_seconds=t_extract,
+        query_seconds=t_query,
+        merge_seconds=t_merge,
+        total_seconds=total,
+        fragments_visited=visited,
+        bytes_read=bytes_read,
+        modeled_pfs_read_seconds=pfs.read_time(bytes_read),
+        op_counts=counter.snapshot(),
+    )
+
+
+@dataclass
+class WriteReadResult:
+    """Joint result of one write-then-read benchmark for one format."""
+
+    write: WriteMeasurement
+    read: ReadMeasurement
+
+
+def run_write_read(
+    tensor: SparseTensor,
+    format_name: str,
+    *,
+    query_sample: int | None = DEFAULT_QUERY_SAMPLE,
+    faithful_read: bool = True,
+    pfs: PFSProfile = PERLMUTTER_LUSTRE,
+    fsync: bool = True,
+) -> WriteReadResult:
+    """Write ``tensor`` and read the paper's region back, both measured."""
+    directory = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    try:
+        timer = PhaseTimer()
+        with timer.total():
+            store = FragmentStore(
+                directory, tensor.shape, format_name, fsync=fsync
+            )
+            receipt = store.write_tensor(tensor)
+        write = WriteMeasurement(
+            format_name=format_name,
+            nnz=tensor.nnz,
+            build_seconds=receipt.build_seconds,
+            reorg_seconds=receipt.reorg_seconds,
+            write_seconds=receipt.write_seconds,
+            others_seconds=max(
+                0.0,
+                timer.total_seconds
+                - receipt.build_seconds
+                - receipt.reorg_seconds
+                - receipt.write_seconds,
+            ),
+            total_seconds=timer.total_seconds,
+            index_nbytes=receipt.index_nbytes,
+            value_nbytes=receipt.value_nbytes,
+            file_nbytes=receipt.file_nbytes,
+            modeled_pfs_write_seconds=pfs.write_time(receipt.file_nbytes),
+        )
+        queries = make_read_queries(tensor.shape, sample=query_sample)
+        read = read_benchmark(store, queries, faithful=faithful_read, pfs=pfs)
+        return WriteReadResult(write=write, read=read)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)

@@ -1,0 +1,102 @@
+"""The paper's overall score (Table IV).
+
+§IV defines, per metric and per (pattern, dimensionality) cell,
+
+    r_i = m_i / max{m_1, ..., m_5}
+
+— each organization's measurement normalized by the *worst* organization in
+that cell — and then averages the r_i over the 2D/3D/4D cells and the
+TSP/GSP/MSP patterns with equal weights.  Lower is better: Table IV reports
+LINEAR = 0.34 (best balance) and COO = 0.76 (worst).
+
+The metrics combined are the three the paper evaluates: write time (Fig 3),
+file size (Fig 4), and read time (Fig 5), equally weighted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+#: (pattern, ndim, format) -> measurement
+CellKey = tuple[str, int, str]
+
+DEFAULT_METRICS: tuple[str, ...] = ("write_time", "file_size", "read_time")
+
+
+@dataclass(frozen=True)
+class ScoreBreakdown:
+    """Final score plus per-metric contributions for one organization."""
+
+    format_name: str
+    score: float
+    per_metric: dict[str, float]
+
+
+def normalize_cells(
+    measurements: Mapping[CellKey, float]
+) -> dict[CellKey, float]:
+    """Divide each measurement by the max over formats in its cell."""
+    groups: dict[tuple[str, int], float] = defaultdict(float)
+    for (pattern, ndim, _fmt), value in measurements.items():
+        key = (pattern, ndim)
+        groups[key] = max(groups[key], float(value))
+    out: dict[CellKey, float] = {}
+    for (pattern, ndim, fmt), value in measurements.items():
+        ceiling = groups[(pattern, ndim)]
+        out[(pattern, ndim, fmt)] = float(value) / ceiling if ceiling else 0.0
+    return out
+
+
+def metric_scores(
+    measurements: Mapping[CellKey, float]
+) -> dict[str, float]:
+    """Average normalized ratio per format for one metric (equal weights)."""
+    normalized = normalize_cells(measurements)
+    sums: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    for (_pattern, _ndim, fmt), r in normalized.items():
+        sums[fmt] += r
+        counts[fmt] += 1
+    return {fmt: sums[fmt] / counts[fmt] for fmt in sums}
+
+
+def overall_scores(
+    per_metric_measurements: Mapping[str, Mapping[CellKey, float]],
+    *,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> list[ScoreBreakdown]:
+    """Table IV: combine per-metric normalized scores with equal weights.
+
+    Parameters
+    ----------
+    per_metric_measurements:
+        ``{"write_time": {(pattern, ndim, fmt): seconds, ...},
+        "file_size": {...}, "read_time": {...}}``.
+
+    Returns
+    -------
+    list[ScoreBreakdown]
+        One entry per format, sorted best (lowest) first.
+    """
+    per_metric: dict[str, dict[str, float]] = {}
+    formats: set[str] = set()
+    for metric in metrics:
+        if metric not in per_metric_measurements:
+            raise KeyError(f"missing measurements for metric {metric!r}")
+        scores = metric_scores(per_metric_measurements[metric])
+        per_metric[metric] = scores
+        formats.update(scores)
+    results = []
+    for fmt in formats:
+        contributions = {m: per_metric[m].get(fmt, 0.0) for m in metrics}
+        results.append(
+            ScoreBreakdown(
+                format_name=fmt,
+                score=sum(contributions.values()) / len(metrics),
+                per_metric=contributions,
+            )
+        )
+    results.sort(key=lambda s: s.score)
+    return results

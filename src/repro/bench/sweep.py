@@ -1,0 +1,144 @@
+"""The full evaluation sweep: {TSP,GSP,MSP} x {2D,3D,4D} x formats.
+
+One sweep produces every measurement Figs 3/4/5 and Tables III/IV are built
+from, so the experiment regenerators share a single (cached) sweep instead
+of re-running writes per figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..formats.registry import PAPER_FORMATS
+from ..patterns.suite import DatasetSpec, dataset_suite
+from ..storage.iosim import PERLMUTTER_LUSTRE, PFSProfile
+from .runner import (
+    DEFAULT_QUERY_SAMPLE,
+    ReadMeasurement,
+    WriteMeasurement,
+    run_write_read,
+)
+from .score import CellKey, ScoreBreakdown, overall_scores
+
+
+@dataclass
+class SweepRecord:
+    """One (dataset, format) measurement pair."""
+
+    spec: DatasetSpec
+    write: WriteMeasurement
+    read: ReadMeasurement
+
+    @property
+    def pattern(self) -> str:
+        return self.spec.pattern
+
+    @property
+    def ndim(self) -> int:
+        return self.spec.ndim
+
+    @property
+    def format_name(self) -> str:
+        return self.write.format_name
+
+
+@dataclass
+class SweepResult:
+    """All records of one full sweep, with Table IV scoring attached."""
+
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def cell(self, pattern: str, ndim: int, fmt: str) -> SweepRecord:
+        for rec in self.records:
+            if (
+                rec.pattern == pattern
+                and rec.ndim == ndim
+                and rec.format_name == fmt
+            ):
+                return rec
+        raise KeyError((pattern, ndim, fmt))
+
+    def metric_cells(self, metric: str) -> dict[CellKey, float]:
+        """Extract one metric as the score module's cell mapping.
+
+        ``metric`` is one of ``write_time`` (measured total write seconds),
+        ``read_time`` (measured total read seconds), ``file_size``
+        (fragment bytes), or the modeled variants ``write_time_modeled`` /
+        ``read_time_modeled``.
+        """
+        out: dict[CellKey, float] = {}
+        for rec in self.records:
+            key = (rec.pattern, rec.ndim, rec.format_name)
+            if metric == "write_time":
+                out[key] = rec.write.total_seconds
+            elif metric == "write_time_modeled":
+                out[key] = rec.write.modeled_total_seconds
+            elif metric == "read_time":
+                out[key] = rec.read.total_seconds
+            elif metric == "read_time_modeled":
+                out[key] = rec.read.modeled_total_seconds
+            elif metric == "file_size":
+                out[key] = float(rec.write.file_nbytes)
+            else:
+                raise KeyError(f"unknown metric {metric!r}")
+        return out
+
+    def scores(
+        self, *, modeled: bool = False
+    ) -> list[ScoreBreakdown]:
+        """Table IV scores over write time, file size, and read time."""
+        suffix = "_modeled" if modeled else ""
+        return overall_scores(
+            {
+                "write_time": self.metric_cells(f"write_time{suffix}"
+                                                if modeled else "write_time"),
+                "file_size": self.metric_cells("file_size"),
+                "read_time": self.metric_cells(f"read_time{suffix}"
+                                               if modeled else "read_time"),
+            }
+        )
+
+
+def run_sweep(
+    *,
+    scale: str | None = None,
+    formats: Sequence[str] = PAPER_FORMATS,
+    patterns: Sequence[str] | None = None,
+    dims: Sequence[int] | None = None,
+    query_sample: int | None = DEFAULT_QUERY_SAMPLE,
+    faithful_read: bool = True,
+    pfs: PFSProfile = PERLMUTTER_LUSTRE,
+    fsync: bool = True,
+    verbose: bool = False,
+) -> SweepResult:
+    """Run the full write+read benchmark grid.
+
+    Datasets are generated once per (pattern, dimensionality) and reused
+    across formats so every organization packages identical input buffers,
+    as in the paper's benchmark system.
+    """
+    kwargs = {}
+    if patterns is not None:
+        kwargs["patterns"] = patterns
+    if dims is not None:
+        kwargs["dims"] = dims
+    specs = dataset_suite(scale, **kwargs)
+    result = SweepResult()
+    for spec in specs:
+        tensor = spec.generate()
+        for fmt in formats:
+            if verbose:  # pragma: no cover - console feedback only
+                print(f"[sweep] {spec.name} {fmt} (n={tensor.nnz}) ...")
+            wr = run_write_read(
+                tensor,
+                fmt,
+                query_sample=query_sample,
+                faithful_read=faithful_read,
+                pfs=pfs,
+                fsync=fsync,
+            )
+            result.records.append(
+                SweepRecord(spec=spec, write=wr.write, read=wr.read)
+            )
+    return result

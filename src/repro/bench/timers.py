@@ -1,0 +1,67 @@
+"""Phase timing utilities for the benchmark harness.
+
+Table III decomposes WRITE into *Build* / *Reorg.* / *Write* / *Others*; the
+:class:`PhaseTimer` records named phases against a monotonic clock and
+exposes exactly that breakdown, with *Others* defined (as in the paper) as
+the residual between the sum of named phases and the enclosing total.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+    _total_start: float | None = None
+    total_seconds: float = 0.0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    @contextmanager
+    def total(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.total_seconds += time.perf_counter() - start
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured phase duration."""
+        self.phases[name] = self.phases.get(name, 0.0) + float(seconds)
+
+    @property
+    def named_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def others_seconds(self) -> float:
+        """Residual time not attributed to any named phase."""
+        return max(0.0, self.total_seconds - self.named_seconds)
+
+    def breakdown(self) -> dict[str, float]:
+        """Phases plus ``others`` and ``sum`` (Table III's rows)."""
+        out = dict(self.phases)
+        out["others"] = self.others_seconds
+        out["sum"] = max(self.total_seconds, self.named_seconds)
+        return out
+
+
+def time_call(fn, *args, **kwargs) -> tuple[float, object]:
+    """Run ``fn`` and return ``(seconds, result)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result

@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+``formats``
+    List the registered organizations with their Table I complexities.
+``generate``
+    Generate a synthetic pattern dataset and save it as ``.npz``.
+``encode``
+    Write a ``.npz`` dataset into a fragment store directory.
+``info``
+    Inspect a fragment store (fragments, sizes, bounding boxes).
+``advise``
+    Characterize a dataset and recommend an organization for a workload.
+``experiment``
+    Regenerate a paper table/figure (same ids as
+    ``python -m repro.bench.experiments``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _load_dataset(path: str):
+    from .io import load_dataset
+
+    return load_dataset(path)
+
+
+def cmd_formats(args: argparse.Namespace) -> int:
+    from .analysis.complexity import build_ops, read_ops
+    from .bench.report import render_table
+    from .formats.registry import PAPER_FORMATS, available_formats
+
+    rows = []
+    n, q, shape = 1_000_000, 1000, (128, 128, 128, 128)
+    for name in available_formats(include_extensions=not args.paper_only):
+        tag = "paper" if name in PAPER_FORMATS else "extension"
+        try:
+            b = f"{build_ops(name, n, shape):,}"
+            r = f"{read_ops(name, n, q, shape):,}"
+        except Exception:
+            b = r = "-"
+        rows.append([name, tag, b, r])
+    print(render_table(
+        ["format", "kind", "build ops (n=1e6,d=4)", "read ops (q=1e3)"],
+        rows,
+        title="Registered sparse tensor organizations",
+        formatters={2: str, 3: str},
+    ))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .patterns.suite import make_pattern
+
+    shape = tuple(int(s) for s in args.shape)
+    gen = make_pattern(args.pattern, shape)
+    tensor = gen.generate(np.random.default_rng(args.seed))
+    np.savez_compressed(
+        args.output,
+        shape=np.asarray(tensor.shape, dtype=np.int64),
+        coords=tensor.coords,
+        values=tensor.values,
+    )
+    print(f"{args.pattern} tensor {shape}: nnz={tensor.nnz:,} "
+          f"density={tensor.density:.3%} -> {args.output}")
+    return 0
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    from .storage.store import FragmentStore
+
+    tensor = _load_dataset(args.dataset)
+    store = FragmentStore(
+        args.store, tensor.shape, args.format, codec=args.codec
+    )
+    receipt = store.write_tensor(tensor)
+    print(f"wrote fragment {receipt.info.path.name}: "
+          f"index={receipt.index_nbytes:,} B values={receipt.value_nbytes:,} B "
+          f"file={receipt.file_nbytes:,} B "
+          f"(build {receipt.build_seconds * 1000:.1f} ms)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.report import format_bytes, render_table
+    from .storage.store import FragmentStore
+
+    manifest = json.loads((Path(args.store) / "manifest.json").read_text())
+    store = FragmentStore(args.store, manifest["shape"], manifest["format"])
+    rows = [
+        [f.path.name, f.format_name, f.nnz,
+         str(f.bbox.origin), str(f.bbox.size), format_bytes(f.nbytes)]
+        for f in store.fragments
+    ]
+    print(render_table(
+        ["fragment", "format", "nnz", "bbox origin", "bbox size", "size"],
+        rows,
+        title=(f"store {args.store}: shape={tuple(store.shape)} "
+               f"{len(store.fragments)} fragments, {store.nnz:,} points, "
+               f"{format_bytes(store.total_file_nbytes)}"),
+        formatters={3: str, 4: str, 5: str},
+    ))
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    from .analysis.advisor import ANALYTICAL, ARCHIVAL, BALANCED, recommend
+    from .patterns.stats import characterize
+
+    tensor = _load_dataset(args.dataset)
+    stats = characterize(tensor)
+    workload = {"balanced": BALANCED, "archival": ARCHIVAL,
+                "analytical": ANALYTICAL}[args.workload]
+    rec = recommend(stats, workload)
+    print(f"dataset: shape={stats.shape} nnz={stats.nnz:,} "
+          f"density={stats.density:.3%} "
+          f"csf-sharing={stats.csf_sharing_ratio:.2f}")
+    print(f"workload: {args.workload}")
+    for i, p in enumerate(rec.ranked, 1):
+        print(f"  {i}. {p.format_name:<10s} combined={p.combined:.3f}")
+    print(f"recommendation: {rec.best}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .bench.experiments import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(scale=args.scale, verbose=args.verbose)
+    print(run_experiment(args.experiment, config))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sparse tensor storage organizations "
+                    "(reproduction of Dong/Wu/Byna, IPPS 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("formats", help="list organizations + complexities")
+    p.add_argument("--paper-only", action="store_true")
+    p.set_defaults(func=cmd_formats)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("pattern", choices=["TSP", "GSP", "MSP"])
+    p.add_argument("shape", nargs="+", help="dimension sizes")
+    p.add_argument("-o", "--output", required=True, help="output .npz")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("encode", help="write a dataset into a store")
+    p.add_argument("dataset", help="input dataset (.npz/.mtx/.tns)")
+    p.add_argument("store", help="fragment store directory")
+    p.add_argument("-f", "--format", default="LINEAR")
+    p.add_argument("--codec", default="raw",
+                   choices=["raw", "zlib", "delta-zlib"])
+    p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser("info", help="inspect a fragment store")
+    p.add_argument("store")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("advise", help="recommend an organization")
+    p.add_argument("dataset", help="input dataset (.npz/.mtx/.tns)")
+    p.add_argument("-w", "--workload", default="balanced",
+                   choices=["balanced", "archival", "analytical"])
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("experiment",
+                   choices=["table1", "table2", "table3", "table4",
+                            "fig2", "fig3", "fig4", "fig5", "claims"])
+    p.add_argument("scale", nargs="?", default=None,
+                   choices=["tiny", "default", "paper"])
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Core substrate: tensors, coordinates, linearization, sorting, costing."""
+
+from .boundary import Box, boundary_shape, extract_boundary, region_box
+from .costmodel import NULL_COUNTER, NullCounter, OpCounter
+from .dtypes import (
+    INDEX_DTYPE,
+    INDEX_MAX,
+    POINTER_DTYPE,
+    IndexOverflowError,
+    as_index_array,
+    cell_count,
+    check_linearizable,
+    column_major_strides,
+    fits_index_dtype,
+    row_major_strides,
+)
+from .errors import (
+    FormatError,
+    FragmentError,
+    PatternError,
+    ReproError,
+    ShapeError,
+)
+from .linearize import (
+    delinearize,
+    delinearize_block_local,
+    fold_coords_2d,
+    fold_shape_2d,
+    linearize,
+    linearize_block_local,
+)
+from .sorting import (
+    apply_map,
+    counts_to_pointer,
+    invert_permutation,
+    is_permutation,
+    lexsort_rows,
+    segment_boundaries,
+    stable_argsort,
+)
+from .tensor import VALUE_DTYPE, SparseTensor, from_linear, infer_shape, random_values
+
+__all__ = [
+    "Box",
+    "boundary_shape",
+    "extract_boundary",
+    "region_box",
+    "NULL_COUNTER",
+    "NullCounter",
+    "OpCounter",
+    "INDEX_DTYPE",
+    "INDEX_MAX",
+    "POINTER_DTYPE",
+    "IndexOverflowError",
+    "as_index_array",
+    "cell_count",
+    "check_linearizable",
+    "column_major_strides",
+    "fits_index_dtype",
+    "row_major_strides",
+    "FormatError",
+    "FragmentError",
+    "PatternError",
+    "ReproError",
+    "ShapeError",
+    "delinearize",
+    "delinearize_block_local",
+    "fold_coords_2d",
+    "fold_shape_2d",
+    "linearize",
+    "linearize_block_local",
+    "apply_map",
+    "counts_to_pointer",
+    "invert_permutation",
+    "is_permutation",
+    "lexsort_rows",
+    "segment_boundaries",
+    "stable_argsort",
+    "VALUE_DTYPE",
+    "SparseTensor",
+    "from_linear",
+    "infer_shape",
+    "random_values",
+]

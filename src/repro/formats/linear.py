@@ -1,0 +1,100 @@
+"""LINEAR — row-major linearized addresses (paper §II-B).
+
+BUILD pays O(n * d) to transform every coordinate into a single linear
+address; space drops to O(n) indices — a d-fold reduction over COO that the
+paper identifies as the best overall balance (Table IV winner).  READ of the
+unsorted variant is still an O(n * q) scan, but over scalars instead of
+d-tuples.
+
+Overflow of the linear address on extremely large tensors is the format's
+stated risk; :func:`repro.core.dtypes.check_linearizable` rejects such
+shapes, and :mod:`repro.storage.blocks` provides the paper's block-local
+mitigation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.costmodel import NULL_COUNTER, OpCounter
+from ..core.linearize import linearize
+from .base import (
+    BuildResult,
+    ReadResult,
+    SparseFormat,
+    empty_read,
+    linearize_for_format,
+    match_addresses,
+    require_buffers,
+    scan_addresses_faithful,
+)
+
+
+class LinearFormat(SparseFormat):
+    """Unsorted linear-address list."""
+
+    name = "LINEAR"
+    reorders_values = False
+
+    def build(
+        self,
+        coords: np.ndarray,
+        shape: Sequence[int],
+        *,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> BuildResult:
+        addresses = linearize_for_format(
+            coords, shape, counter, note="LINEAR.build transform"
+        )
+        return BuildResult(payload={"addresses": addresses}, perm=None, meta={})
+
+    def read(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+        query_coords: np.ndarray,
+    ) -> ReadResult:
+        require_buffers(payload, ["addresses"], self.name)
+        query = self.validate_query(query_coords, shape)
+        stored = payload["addresses"]
+        if stored.shape[0] == 0 or query.shape[0] == 0:
+            return empty_read(query.shape[0])
+        query_addr = linearize(query, shape, validate=False)
+        found, positions = match_addresses(stored, query_addr)
+        return ReadResult(found=found, value_positions=positions)
+
+    def decode(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+    ) -> np.ndarray:
+        from ..core.linearize import delinearize
+
+        require_buffers(payload, ["addresses"], self.name)
+        return delinearize(payload["addresses"], shape, validate=False)
+
+    def read_faithful(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+        query_coords: np.ndarray,
+        *,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> ReadResult:
+        require_buffers(payload, ["addresses"], self.name)
+        query = self.validate_query(query_coords, shape)
+        stored = payload["addresses"]
+        if stored.shape[0] == 0 or query.shape[0] == 0:
+            return empty_read(query.shape[0])
+        query_addr = linearize_for_format(
+            query, shape, counter, note="LINEAR.read transform"
+        )
+        found, positions = scan_addresses_faithful(
+            stored, query_addr, counter, note="LINEAR.read scan"
+        )
+        return ReadResult(found=found, value_positions=positions)

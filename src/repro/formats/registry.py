@@ -1,0 +1,61 @@
+"""Format registry: name -> organization instance.
+
+The benchmark harness, fragment codec, and advisor all look formats up by
+their paper name ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF", plus the
+extension formats).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.errors import FormatError
+from .base import SparseFormat
+from .coo import COOFormat
+from .coo_sorted import SortedCOOFormat
+from .csf import CSFFormat
+from .gcsr import GCSCFormat, GCSRFormat
+from .hicoo import HiCOOFormat
+from .linear import LinearFormat
+
+#: The five organizations the paper studies, in its presentation order.
+PAPER_FORMATS: tuple[str, ...] = ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF")
+
+#: Extension formats implemented beyond the paper's benchmarked set.
+EXTENSION_FORMATS: tuple[str, ...] = ("COO-SORTED", "HICOO")
+
+_FACTORIES: dict[str, Callable[[], SparseFormat]] = {
+    "COO": COOFormat,
+    "LINEAR": LinearFormat,
+    "GCSR++": GCSRFormat,
+    "GCSC++": GCSCFormat,
+    "CSF": CSFFormat,
+    "COO-SORTED": SortedCOOFormat,
+    "HICOO": HiCOOFormat,
+}
+
+
+def available_formats(*, include_extensions: bool = True) -> tuple[str, ...]:
+    """Registered format names (paper order first)."""
+    if include_extensions:
+        return PAPER_FORMATS + EXTENSION_FORMATS
+    return PAPER_FORMATS
+
+
+def get_format(name: str) -> SparseFormat:
+    """Instantiate a format by its registry name (case-insensitive)."""
+    key = name.upper()
+    try:
+        return _FACTORIES[key]()
+    except KeyError:
+        raise FormatError(
+            f"unknown format {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def register_format(name: str, factory: Callable[[], SparseFormat]) -> None:
+    """Register a custom organization (used by tests and extensions)."""
+    key = name.upper()
+    if key in _FACTORIES:
+        raise FormatError(f"format {name!r} already registered")
+    _FACTORIES[key] = factory

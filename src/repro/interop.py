@@ -1,0 +1,107 @@
+"""SciPy sparse interoperability.
+
+The paper positions its organizations against the classic 2D CSR/CSC
+ecosystem (Barrett et al. [24], scipy.sparse being the ubiquitous
+implementation).  This module bridges both directions:
+
+* 2D :class:`~repro.core.tensor.SparseTensor` <-> ``scipy.sparse`` matrices;
+* high-dimensional tensors -> scipy CSR *through the GCSR++ fold*, which is
+  exactly the paper's dimensionality-reduction trick — giving downstream
+  users scipy's mature kernels (SpMV, slicing) over folded tensors;
+* GCSR++/GCSC++ payloads -> scipy matrices without re-sorting (the pointer
+  arrays are already CSR/CSC form).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+from .core.errors import FormatError, ShapeError
+from .core.linearize import fold_coords_2d
+from .core.tensor import SparseTensor
+
+
+def to_scipy(tensor: SparseTensor, *, format: str = "csr") -> sp.spmatrix:
+    """Convert a 2D sparse tensor to a scipy matrix (csr/csc/coo)."""
+    if tensor.ndim != 2:
+        raise ShapeError(
+            f"to_scipy needs a 2D tensor; got {tensor.ndim}D "
+            "(use fold_to_scipy for higher dimensions)"
+        )
+    coo = sp.coo_matrix(
+        (
+            tensor.values,
+            (
+                tensor.coords[:, 0].astype(np.int64),
+                tensor.coords[:, 1].astype(np.int64),
+            ),
+        ),
+        shape=tensor.shape,
+    )
+    return coo.asformat(format)
+
+
+def from_scipy(matrix: sp.spmatrix | sp.sparray) -> SparseTensor:
+    """Convert any scipy sparse matrix to a :class:`SparseTensor`."""
+    coo = sp.coo_matrix(matrix)
+    coords = np.column_stack(
+        [coo.row.astype(np.uint64), coo.col.astype(np.uint64)]
+    )
+    return SparseTensor(tuple(int(s) for s in coo.shape), coords,
+                        np.asarray(coo.data))
+
+
+def fold_to_scipy(tensor: SparseTensor, *, format: str = "csr") -> sp.spmatrix:
+    """Fold a d-dimensional tensor to 2D (the GCSR++ mapping) as scipy.
+
+    The fold keeps the row-major linear order, so a cell of the folded
+    matrix corresponds to exactly one cell of the original tensor:
+    ``(r, c)`` maps back through the linear address ``r * n_cols + c``.
+    """
+    min_dim_as = "rows" if format != "csc" else "cols"
+    coords2d, shape2d = fold_coords_2d(
+        tensor.coords, tensor.shape, min_dim_as=min_dim_as
+    )
+    folded = SparseTensor(shape2d, coords2d, tensor.values)
+    return to_scipy(folded, format=format)
+
+
+def gcsr_payload_to_scipy(
+    payload: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any],
+    values: np.ndarray,
+) -> sp.csr_matrix:
+    """Wrap a GCSR++ payload as scipy CSR without copying the structure."""
+    if "row_ptr" not in payload or "col_ind" not in payload:
+        raise FormatError("not a GCSR++ payload (row_ptr/col_ind missing)")
+    shape2d = tuple(int(v) for v in meta["shape2d"])
+    return sp.csr_matrix(
+        (
+            np.asarray(values),
+            payload["col_ind"].astype(np.int64),
+            payload["row_ptr"].astype(np.int64),
+        ),
+        shape=shape2d,
+    )
+
+
+def gcsc_payload_to_scipy(
+    payload: Mapping[str, np.ndarray],
+    meta: Mapping[str, Any],
+    values: np.ndarray,
+) -> sp.csc_matrix:
+    """Wrap a GCSC++ payload as scipy CSC without copying the structure."""
+    if "col_ptr" not in payload or "row_ind" not in payload:
+        raise FormatError("not a GCSC++ payload (col_ptr/row_ind missing)")
+    shape2d = tuple(int(v) for v in meta["shape2d"])
+    return sp.csc_matrix(
+        (
+            np.asarray(values),
+            payload["row_ind"].astype(np.int64),
+            payload["col_ptr"].astype(np.int64),
+        ),
+        shape=shape2d,
+    )

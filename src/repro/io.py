@@ -1,0 +1,114 @@
+"""External dataset I/O.
+
+The paper's pattern survey draws on the SuiteSparse collection [25], whose
+interchange format is Matrix Market.  This module reads/writes Matrix
+Market files as :class:`~repro.core.tensor.SparseTensor` (2D via
+``scipy.io``), plus a simple ``.tns`` text format (the FROSTT convention:
+one line per point, 1-based coordinates then the value) for tensors of any
+dimensionality — so real datasets can be dropped straight into the
+benchmark harness and the advisor.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.io
+import scipy.sparse as sp
+
+from .core.dtypes import INDEX_DTYPE
+from .core.errors import ShapeError
+from .core.tensor import SparseTensor
+from .interop import from_scipy, to_scipy
+
+
+def read_matrix_market(path: str | Path) -> SparseTensor:
+    """Load a Matrix Market file as a 2D sparse tensor."""
+    matrix = scipy.io.mmread(str(path))
+    if not sp.issparse(matrix):
+        matrix = sp.coo_matrix(np.asarray(matrix))
+    return from_scipy(matrix).deduplicated(keep="last")
+
+
+def write_matrix_market(
+    path: str | Path, tensor: SparseTensor, *, comment: str = ""
+) -> None:
+    """Write a 2D sparse tensor as Matrix Market."""
+    if tensor.ndim != 2:
+        raise ShapeError(
+            f"Matrix Market holds 2D matrices; got {tensor.ndim}D "
+            "(use write_tns for higher dimensions)"
+        )
+    scipy.io.mmwrite(str(path), to_scipy(tensor, format="coo"),
+                     comment=comment)
+
+
+def read_tns(path: str | Path) -> SparseTensor:
+    """Load a FROSTT-style ``.tns`` file (1-based coords, value last).
+
+    Lines starting with ``#`` or ``%`` are comments; the tensor shape is
+    the per-dimension coordinate maximum.
+    """
+    rows = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ShapeError(
+                    f"{path}:{line_no}: need at least one coordinate and "
+                    "a value"
+                )
+            rows.append(parts)
+    if not rows:
+        raise ShapeError(f"{path}: no data lines")
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise ShapeError(f"{path}: inconsistent column counts")
+    d = width - 1
+    coords = np.empty((len(rows), d), dtype=INDEX_DTYPE)
+    values = np.empty(len(rows))
+    for i, parts in enumerate(rows):
+        for k in range(d):
+            c = int(parts[k])
+            if c < 1:
+                raise ShapeError(
+                    f"{path}: coordinates are 1-based; got {c}"
+                )
+            coords[i, k] = c - 1
+        values[i] = float(parts[d])
+    shape = tuple(int(coords[:, k].max()) + 1 for k in range(d))
+    return SparseTensor(shape, coords, values)
+
+
+def write_tns(path: str | Path, tensor: SparseTensor) -> None:
+    """Write a tensor in the FROSTT ``.tns`` convention (1-based coords)."""
+    with open(path, "w") as fh:
+        fh.write(f"# shape: {' '.join(str(m) for m in tensor.shape)}\n")
+        for coord, value in zip(tensor.coords, tensor.values):
+            cells = " ".join(str(int(c) + 1) for c in coord)
+            fh.write(f"{cells} {float(value)!r}\n")
+
+
+def load_dataset(path: str | Path) -> SparseTensor:
+    """Dispatch on extension: ``.mtx``/``.mm`` -> Matrix Market,
+    ``.tns`` -> FROSTT text, ``.npz`` -> the CLI's native bundle."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix in (".mtx", ".mm"):
+        return read_matrix_market(path)
+    if suffix == ".tns":
+        return read_tns(path)
+    if suffix == ".npz":
+        with np.load(path) as data:
+            return SparseTensor(
+                tuple(int(m) for m in data["shape"]),
+                data["coords"],
+                data["values"],
+            )
+    raise ShapeError(
+        f"unknown dataset extension {suffix!r}; expected .mtx/.mm/.tns/.npz"
+    )

@@ -1,0 +1,47 @@
+"""Synthetic sparsity patterns (paper §III, Fig 2, Table II)."""
+
+from .base import (
+    PatternGenerator,
+    bernoulli_point_count,
+    sample_distinct_addresses,
+)
+from .gsp import GSPPattern
+from .msp import MSPPattern
+from .stats import PatternStats, characterize, csf_level_counts, density_report
+from .suite import (
+    DIMENSIONALITIES,
+    PATTERN_NAMES,
+    SCALES,
+    TSP_TARGET_DENSITY,
+    DatasetSpec,
+    active_scale,
+    dataset_suite,
+    get_spec,
+    make_pattern,
+    table2_rows,
+)
+from .tsp import TSPPattern, solve_band_width
+
+__all__ = [
+    "PatternGenerator",
+    "bernoulli_point_count",
+    "sample_distinct_addresses",
+    "GSPPattern",
+    "MSPPattern",
+    "PatternStats",
+    "characterize",
+    "csf_level_counts",
+    "density_report",
+    "DIMENSIONALITIES",
+    "PATTERN_NAMES",
+    "SCALES",
+    "TSP_TARGET_DENSITY",
+    "DatasetSpec",
+    "active_scale",
+    "dataset_suite",
+    "get_spec",
+    "make_pattern",
+    "table2_rows",
+    "TSPPattern",
+    "solve_band_width",
+]

@@ -1,0 +1,116 @@
+"""Sparsity-pattern generator contract.
+
+The paper distills three prevalent patterns from the SuiteSparse survey
+(§III, Fig 2): TSP (tridiagonal bands), GSP/CGP (uniform random — "general
+graph"), and MSP (random background plus a contiguous dense region).  Each
+generator here produces a :class:`~repro.core.tensor.SparseTensor` whose
+coordinate buffer is *unsorted* (shuffled), matching the paper's input
+contract (§II-A), with deterministic output under a seeded generator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dtypes import INDEX_DTYPE, as_index_array, cell_count, check_linearizable
+from ..core.errors import PatternError
+from ..core.linearize import delinearize
+from ..core.tensor import SparseTensor, random_values
+
+
+class PatternGenerator(abc.ABC):
+    """Base class for synthetic sparsity patterns."""
+
+    #: Registry / display name ("TSP", "GSP", "MSP").
+    name: str = ""
+
+    def __init__(self, shape: Sequence[int]):
+        self.shape = tuple(int(m) for m in shape)
+        if any(m <= 0 for m in self.shape):
+            raise PatternError(f"pattern shape must be positive, got {self.shape}")
+        check_linearizable(self.shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_cells(self) -> int:
+        return cell_count(self.shape)
+
+    @abc.abstractmethod
+    def expected_density(self) -> float:
+        """Analytic (approximate) density of the pattern."""
+
+    @abc.abstractmethod
+    def generate_addresses(self, rng: np.random.Generator) -> np.ndarray:
+        """Distinct row-major linear addresses of the pattern's points."""
+
+    def generate(self, rng: np.random.Generator | int | None = None) -> SparseTensor:
+        """Generate the pattern as an unsorted sparse tensor."""
+        rng = np.random.default_rng(rng)
+        addresses = self.generate_addresses(rng)
+        # Shuffle: the paper's input is an *unsorted* coordinate buffer.
+        addresses = rng.permutation(addresses)
+        coords = delinearize(addresses, self.shape, validate=False)
+        values = random_values(addresses.shape[0], rng)
+        return SparseTensor(self.shape, coords, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} shape={self.shape}>"
+
+
+def sample_distinct_addresses(
+    n_cells: int, n_points: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n_points`` distinct uniform addresses in ``[0, n_cells)``.
+
+    Uses rejection with top-up (expected O(n) for the sparse regimes the
+    paper studies) rather than materializing the full address space.
+    """
+    if n_points > n_cells:
+        raise PatternError(
+            f"cannot place {n_points} distinct points in {n_cells} cells"
+        )
+    if n_points == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if n_points * 4 >= n_cells:
+        # Dense-ish regime: permutation of the full space is cheaper/safer.
+        return as_index_array(
+            rng.choice(n_cells, size=n_points, replace=False)
+        )
+    got = np.unique(rng.integers(0, n_cells, size=n_points, dtype=np.uint64))
+    while got.shape[0] < n_points:
+        extra = rng.integers(
+            0, n_cells, size=(n_points - got.shape[0]) * 2, dtype=np.uint64
+        )
+        got = np.unique(np.concatenate([got, extra]))
+    if got.shape[0] > n_points:
+        keep = rng.choice(got.shape[0], size=n_points, replace=False)
+        got = got[np.sort(keep)]
+    return got.astype(INDEX_DTYPE, copy=False)
+
+
+def bernoulli_point_count(
+    n_cells: int, p: float, rng: np.random.Generator
+) -> int:
+    """Number of occupied cells under iid Bernoulli(p) over ``n_cells``.
+
+    Drawn as a Binomial so that address sampling is distributionally
+    equivalent to thresholding a per-cell (0,1) random draw — the paper's
+    CGP/MSP construction — without materializing the full tensor.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise PatternError(f"probability must be in [0,1], got {p}")
+    if n_cells <= 0 or p == 0.0:
+        return 0
+    # numpy binomial takes int64 n; the paper's tensors are < 2^31 cells,
+    # but guard with a normal approximation for larger spaces.
+    if n_cells <= np.iinfo(np.int64).max:
+        return int(rng.binomial(int(n_cells), p))
+    mean = n_cells * p
+    std = (n_cells * p * (1 - p)) ** 0.5
+    return max(0, int(round(rng.normal(mean, std))))

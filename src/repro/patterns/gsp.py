@@ -1,0 +1,44 @@
+"""GSP — General Graph Sparse Pattern (uniform random; paper Fig 2(b)).
+
+"A (0,1) random number generator is employed to determine whether a cell of
+the sparse tensor should have a value (when the number is bigger than 0.99
+threshold)" (§III), i.e. iid Bernoulli occupancy with p = 1 - threshold.
+Table II labels this column CGP; the text calls the pattern GSP — we use
+GSP as the canonical name and accept both.
+
+Instead of thresholding every cell (prohibitive at 128^4), the point count
+is drawn from the equivalent Binomial and that many *distinct* uniform
+addresses are sampled — the exact same distribution over point sets.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import PatternError
+from .base import PatternGenerator, bernoulli_point_count, sample_distinct_addresses
+
+
+class GSPPattern(PatternGenerator):
+    """Uniform random occupancy (threshold 0.99 -> density 1 %)."""
+
+    name = "GSP"
+
+    def __init__(self, shape: Sequence[int], *, threshold: float = 0.99):
+        super().__init__(shape)
+        if not 0.0 <= threshold < 1.0:
+            raise PatternError(f"threshold must be in [0,1), got {threshold}")
+        self.threshold = float(threshold)
+
+    @property
+    def density_param(self) -> float:
+        return 1.0 - self.threshold
+
+    def expected_density(self) -> float:
+        return self.density_param
+
+    def generate_addresses(self, rng: np.random.Generator) -> np.ndarray:
+        n_points = bernoulli_point_count(self.n_cells, self.density_param, rng)
+        return sample_distinct_addresses(self.n_cells, n_points, rng)

@@ -1,0 +1,74 @@
+"""MSP — Mixed Sparse Pattern (paper Fig 2, LCLS-II style data).
+
+"MSP pattern has a dense area among the random sparse points … the
+probability threshold is increased to 0.999, and the contiguous region is
+defined with a starting address of (m/3, ..., m/3) and a size of
+(m/3, ..., m/3)" (§III).
+
+Construction: iid Bernoulli background at ``1 - background_threshold``
+(default 0.1 %) over the whole tensor, overlaid with a *denser* Bernoulli
+region occupying the middle-third box.  The paper leaves the in-region
+density unstated (a fully dense region contradicts Table II — DESIGN.md
+§4); ``region_density`` defaults to 1 % (the CGP threshold), which matches
+Table II's 2D MSP density almost exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.boundary import Box
+from ..core.dtypes import INDEX_DTYPE, as_index_array
+from ..core.errors import PatternError
+from ..core.linearize import delinearize, linearize
+from .base import PatternGenerator, bernoulli_point_count, sample_distinct_addresses
+
+
+class MSPPattern(PatternGenerator):
+    """Random background plus a denser contiguous middle-third region."""
+
+    name = "MSP"
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        *,
+        background_threshold: float = 0.999,
+        region_density: float = 0.01,
+        region_start_frac: float = 1.0 / 3.0,
+        region_size_frac: float = 1.0 / 3.0,
+    ):
+        super().__init__(shape)
+        if not 0.0 <= background_threshold <= 1.0:
+            raise PatternError("background_threshold must be in [0,1]")
+        if not 0.0 <= region_density <= 1.0:
+            raise PatternError("region_density must be in [0,1]")
+        self.background_density = 1.0 - float(background_threshold)
+        self.region_density = float(region_density)
+        origin = tuple(int(m * region_start_frac) for m in self.shape)
+        size = tuple(
+            max(1, min(int(m * region_size_frac), m - o))
+            for m, o in zip(self.shape, origin)
+        )
+        self.region = Box(origin, size)
+
+    def expected_density(self) -> float:
+        frac = self.region.n_cells / self.n_cells
+        bg = self.background_density
+        # Inside the region points come from either process.
+        inside = 1.0 - (1.0 - bg) * (1.0 - self.region_density)
+        return bg * (1.0 - frac) + inside * frac
+
+    def generate_addresses(self, rng: np.random.Generator) -> np.ndarray:
+        # Background points over the whole tensor.
+        n_bg = bernoulli_point_count(self.n_cells, self.background_density, rng)
+        bg = sample_distinct_addresses(self.n_cells, n_bg, rng)
+        # Dense-region points, sampled in region-local space then shifted.
+        n_rg = bernoulli_point_count(self.region.n_cells, self.region_density, rng)
+        local = sample_distinct_addresses(self.region.n_cells, n_rg, rng)
+        local_coords = delinearize(local, self.region.size, validate=False)
+        global_coords = local_coords + as_index_array(list(self.region.origin))
+        region_addr = linearize(global_coords, self.shape, validate=False)
+        return np.unique(np.concatenate([bg, region_addr]))

@@ -1,0 +1,107 @@
+"""Sparsity characterization statistics.
+
+These are the measurements Table II reports (size, density) plus the
+structural features that *explain* the organization rankings — per-level
+prefix sharing (CSF's space driver), per-folded-row occupancy (GCSR++'s
+read driver) — and that the format advisor (paper §VI future work) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dtypes import cell_count
+from ..core.linearize import fold_shape_2d
+from ..core.sorting import lexsort_rows
+from ..core.tensor import SparseTensor
+from ..formats.csf import sort_dimensions
+
+
+def csf_level_counts(tensor: SparseTensor) -> list[int]:
+    """Number of CSF nodes per level (``nfibs``) without building the tree.
+
+    Dimensions are sorted ascending by size first, exactly as CSF_BUILD
+    does, so ``sum(csf_level_counts) + pointer overhead`` predicts the CSF
+    index size.
+    """
+    n = tensor.nnz
+    if n == 0:
+        return [0] * tensor.ndim
+    dim_perm, _ = sort_dimensions(tensor.shape)
+    pc = tensor.coords[:, dim_perm]
+    order = lexsort_rows(pc)
+    sc = pc[order]
+    counts: list[int] = []
+    diff_acc = np.zeros(max(n - 1, 0), dtype=bool)
+    d = tensor.ndim
+    for i in range(d):
+        if i == d - 1:
+            counts.append(n)
+            break
+        if n > 1:
+            diff_acc |= sc[1:, i] != sc[:-1, i]
+        counts.append(1 + int(np.count_nonzero(diff_acc)))
+    return counts
+
+
+@dataclass
+class PatternStats:
+    """Characterization of one sparse tensor."""
+
+    shape: tuple[int, ...]
+    nnz: int
+    density: float
+    per_dim_unique: tuple[int, ...]
+    csf_levels: tuple[int, ...]
+    csf_total_nodes: int
+    avg_points_per_folded_row: float
+    bbox_fill: float  # nnz / bounding-box cells: clustering indicator
+
+    @property
+    def csf_sharing_ratio(self) -> float:
+        """Total CSF nodes / (n * d) — 1.0 means no prefix sharing at all.
+
+        Low values indicate tree-friendly (clustered) data; values near 1
+        are CSF's worst case (Fig 4's GSP columns).
+        """
+        denom = self.nnz * len(self.shape)
+        return self.csf_total_nodes / denom if denom else 0.0
+
+
+def characterize(tensor: SparseTensor) -> PatternStats:
+    """Compute the full statistics bundle for ``tensor``."""
+    per_dim = tuple(
+        int(np.unique(tensor.coords[:, i]).shape[0]) if tensor.nnz else 0
+        for i in range(tensor.ndim)
+    )
+    levels = csf_level_counts(tensor)
+    min_dim = min(tensor.shape) if tensor.shape else 1
+    bbox = tensor.bounding_box
+    bbox_cells = bbox.n_cells
+    if tensor.ndim:
+        fold_rows = fold_shape_2d(tensor.shape, min_dim_as="rows")[0]
+    else:
+        fold_rows = 1
+    return PatternStats(
+        shape=tensor.shape,
+        nnz=tensor.nnz,
+        density=tensor.density,
+        per_dim_unique=per_dim,
+        csf_levels=tuple(levels),
+        csf_total_nodes=int(sum(levels)),
+        avg_points_per_folded_row=tensor.nnz / max(1, fold_rows),
+        bbox_fill=tensor.nnz / bbox_cells if bbox_cells else 0.0,
+    )
+
+
+def density_report(tensor: SparseTensor, expected: float) -> dict[str, float]:
+    """Measured vs expected density, with relative error (Table II checks)."""
+    measured = tensor.density
+    rel_err = abs(measured - expected) / expected if expected else float("inf")
+    return {
+        "expected": expected,
+        "measured": measured,
+        "relative_error": rel_err,
+    }

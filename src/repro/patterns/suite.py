@@ -1,0 +1,143 @@
+"""The Table II synthetic dataset suite.
+
+Nine datasets: {2D, 3D, 4D} x {TSP, GSP, MSP}.  The paper's shapes are
+8192^2, 512^3, 128^4; those are the ``"paper"`` scale here, with smaller
+``"default"`` and ``"tiny"`` scales so the test and benchmark suites run in
+seconds (select with ``REPRO_BENCH_SCALE``; see DESIGN.md §4).
+
+TSP widths are solved from the paper's Table II densities (1.67 % / 3.47 %
+/ 8.22 %) under the union-of-adjacent-pair-bands model, so the *density*
+targets track the paper across scales even though the paper's own stated
+band parameter does not reproduce them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.errors import PatternError
+from ..core.tensor import SparseTensor
+from .base import PatternGenerator
+from .gsp import GSPPattern
+from .msp import MSPPattern
+from .tsp import TSPPattern
+
+#: Tensor shapes per scale and dimensionality.
+SCALES: dict[str, dict[int, tuple[int, ...]]] = {
+    "tiny": {2: (256, 256), 3: (64, 64, 64), 4: (24, 24, 24, 24)},
+    "default": {2: (2048, 2048), 3: (192, 192, 192), 4: (64, 64, 64, 64)},
+    "paper": {2: (8192, 8192), 3: (512, 512, 512), 4: (128, 128, 128, 128)},
+}
+
+#: Table II target densities for TSP per dimensionality.
+TSP_TARGET_DENSITY = {2: 0.0167, 3: 0.0347, 4: 0.0822}
+
+PATTERN_NAMES: tuple[str, ...] = ("TSP", "GSP", "MSP")
+DIMENSIONALITIES: tuple[int, ...] = (2, 3, 4)
+
+_ENV_SCALE = "REPRO_BENCH_SCALE"
+
+
+def active_scale(default: str = "default") -> str:
+    """Scale selected by the ``REPRO_BENCH_SCALE`` environment variable."""
+    scale = os.environ.get(_ENV_SCALE, default)
+    if scale not in SCALES:
+        raise PatternError(
+            f"{_ENV_SCALE}={scale!r} unknown; choose from {sorted(SCALES)}"
+        )
+    return scale
+
+
+def make_pattern(
+    pattern: str, shape: Sequence[int], **overrides
+) -> PatternGenerator:
+    """Instantiate a pattern generator with the suite's paper defaults."""
+    d = len(shape)
+    key = pattern.upper()
+    if key == "TSP":
+        if not overrides:
+            overrides = {"target_density": TSP_TARGET_DENSITY.get(d, 0.02)}
+        return TSPPattern(shape, **overrides)
+    if key in ("GSP", "CGP"):
+        return GSPPattern(shape, **overrides)
+    if key == "MSP":
+        return MSPPattern(shape, **overrides)
+    raise PatternError(f"unknown pattern {pattern!r}; choose TSP/GSP/MSP")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One cell of Table II: a (dimensionality, pattern) pair at a scale."""
+
+    ndim: int
+    pattern: str
+    shape: tuple[int, ...]
+    seed: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.ndim}D-{self.pattern}"
+
+    @property
+    def size_label(self) -> str:
+        return " x ".join(str(m) for m in self.shape)
+
+    def generator(self, **overrides) -> PatternGenerator:
+        return make_pattern(self.pattern, self.shape, **overrides)
+
+    def generate(self) -> SparseTensor:
+        return self.generator().generate(np.random.default_rng(self.seed))
+
+
+def dataset_suite(
+    scale: str | None = None,
+    *,
+    patterns: Sequence[str] = PATTERN_NAMES,
+    dims: Sequence[int] = DIMENSIONALITIES,
+    base_seed: int = 20240001,
+) -> list[DatasetSpec]:
+    """The full (dims x patterns) grid of dataset specs at ``scale``."""
+    scale = scale or active_scale()
+    shapes = SCALES[scale]
+    specs = []
+    for d in dims:
+        for p_idx, pattern in enumerate(patterns):
+            specs.append(
+                DatasetSpec(
+                    ndim=d,
+                    pattern=pattern.upper(),
+                    shape=shapes[d],
+                    seed=base_seed + 97 * d + p_idx,
+                )
+            )
+    return specs
+
+
+def get_spec(ndim: int, pattern: str, scale: str | None = None) -> DatasetSpec:
+    """Look up one dataset spec from the suite grid."""
+    for spec in dataset_suite(scale):
+        if spec.ndim == ndim and spec.pattern == pattern.upper():
+            return spec
+    raise PatternError(f"no spec for {ndim}D {pattern}")
+
+
+def table2_rows(scale: str | None = None) -> list[dict[str, object]]:
+    """Regenerate Table II: per shape, the measured density of each pattern."""
+    scale = scale or active_scale()
+    rows = []
+    for d in DIMENSIONALITIES:
+        row: dict[str, object] = {
+            "dimension": f"{d}D",
+            "size": " x ".join(str(m) for m in SCALES[scale][d]),
+        }
+        for pattern in PATTERN_NAMES:
+            spec = get_spec(d, pattern, scale)
+            tensor = spec.generate()
+            row[pattern] = tensor.density
+            row[f"{pattern}_nnz"] = tensor.nnz
+        rows.append(row)
+    return rows

@@ -1,0 +1,78 @@
+"""Fragment storage substrate (Algorithm 3's WRITE/READ environment)."""
+
+from .blocks import (
+    BlockedDataset,
+    BlockWriteSummary,
+    block_box,
+    block_grid_shape,
+    block_of_coords,
+    partition_coords,
+)
+from .compression import CODECS, decode_buffer, encode_buffer, validate_codec
+from .fragment import (
+    fragment_to_tensor,
+    FragmentInfo,
+    load_fragment,
+    query_fragment,
+    read_fragment_header,
+    write_fragment,
+)
+from .parallel import PackedFragment, pack_part, pack_parts_parallel
+from .iosim import (
+    LOCAL_NVME,
+    PERLMUTTER_LUSTRE,
+    PROFILES,
+    SLOW_NFS,
+    PFSProfile,
+    get_profile,
+)
+from .serialization import (
+    FragmentPayload,
+    pack_fragment,
+    unpack_fragment,
+    unpack_header,
+    verify_crc,
+)
+from .adaptive import AdaptiveStore
+from .convert import convert_store
+from .store import FragmentStore, ReadOutcome, WriteReceipt
+from .streaming import StreamingWriter
+
+__all__ = [
+    "PackedFragment",
+    "pack_part",
+    "pack_parts_parallel",
+    "CODECS",
+    "decode_buffer",
+    "encode_buffer",
+    "validate_codec",
+    "fragment_to_tensor",
+    "BlockedDataset",
+    "BlockWriteSummary",
+    "block_box",
+    "block_grid_shape",
+    "block_of_coords",
+    "partition_coords",
+    "FragmentInfo",
+    "load_fragment",
+    "query_fragment",
+    "read_fragment_header",
+    "write_fragment",
+    "LOCAL_NVME",
+    "PERLMUTTER_LUSTRE",
+    "PROFILES",
+    "SLOW_NFS",
+    "PFSProfile",
+    "get_profile",
+    "FragmentPayload",
+    "pack_fragment",
+    "unpack_fragment",
+    "unpack_header",
+    "verify_crc",
+    "AdaptiveStore",
+    "convert_store",
+    "StreamingWriter",
+    "FragmentStore",
+    "ReadOutcome",
+    "WriteReceipt",
+]

@@ -1,0 +1,82 @@
+"""Adaptive store: the advisor wired into the write path.
+
+The paper's conclusion (§VI): "we plan to explore automatic strategies for
+selecting different organization for applications based on the
+characterization of sparsity in their data."  :class:`AdaptiveStore` does
+exactly that per fragment: each write is characterized
+(:func:`repro.patterns.stats.characterize`) and packaged in the
+organization the advisor ranks best for the store's workload profile.
+
+Reads need no special handling — fragments carry their own format, and the
+store's READ already dispatches per payload — so one dataset can freely mix
+organizations (e.g. LINEAR for bulk archival fragments, CSF for hot
+clustered regions).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.advisor import BALANCED, Workload, recommend
+from ..core.dtypes import as_index_array
+from ..core.tensor import SparseTensor
+from ..formats.registry import PAPER_FORMATS, get_format
+from ..patterns.stats import characterize
+from .store import FragmentStore, WriteReceipt
+
+
+class AdaptiveStore(FragmentStore):
+    """A fragment store that picks each fragment's organization itself."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        shape: Sequence[int],
+        *,
+        workload: Workload = BALANCED,
+        candidates: Sequence[str] = PAPER_FORMATS,
+        relative_coords: bool = False,
+        fsync: bool = False,
+        codec: str = "raw",
+    ):
+        # The parent needs *a* format for bookkeeping; the per-write pick
+        # overrides it before each fragment is built.
+        super().__init__(
+            directory,
+            shape,
+            candidates[0],
+            relative_coords=relative_coords,
+            fsync=fsync,
+            codec=codec,
+        )
+        self.workload = workload
+        self.candidates = tuple(candidates)
+        #: Format chosen for each fragment, in write order.
+        self.choices: list[str] = []
+
+    def write(self, coords: np.ndarray, values: np.ndarray) -> WriteReceipt:
+        coords = as_index_array(coords)
+        values = np.asarray(values)
+        if coords.shape[0]:
+            stats = characterize(
+                SparseTensor(self.shape, coords, values)
+            )
+            pick = recommend(
+                stats, self.workload, formats=self.candidates
+            ).best
+        else:
+            pick = self.candidates[0]
+        self.format_name = pick
+        self.fmt = get_format(pick)
+        self.choices.append(pick)
+        return super().write(coords, values)
+
+    def format_histogram(self) -> dict[str, int]:
+        """How often each organization was chosen (for reporting)."""
+        out: dict[str, int] = {}
+        for name in self.choices:
+            out[name] = out.get(name, 0) + 1
+        return out

@@ -1,0 +1,187 @@
+"""Fragment files: one WRITE call == one immutable binary fragment.
+
+A :class:`Fragment` is the on-disk unit of Algorithm 3: the packaged index
+buffers of one organization plus the (possibly reorganized) value buffer.
+Fragments are immutable once written; datasets grow by appending fragments
+(exactly TileDB's fragment model, which the paper's benchmark system
+mirrors).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.boundary import Box, extract_boundary
+from ..core.errors import FragmentError
+from ..formats.base import EncodedTensor, ReadResult
+from ..formats.registry import get_format
+from .serialization import (
+    FragmentPayload,
+    pack_fragment,
+    unpack_fragment,
+    unpack_header,
+)
+
+
+@dataclass
+class FragmentInfo:
+    """Cheap header-only view of a fragment (no index buffers decoded)."""
+
+    path: Path
+    format_name: str
+    shape: tuple[int, ...]
+    nnz: int
+    bbox: Box
+    nbytes: int
+
+    @classmethod
+    def from_header(cls, path: Path, header: dict[str, Any]) -> "FragmentInfo":
+        origin = tuple(int(v) for v in header.get("bbox_origin", []))
+        size = tuple(int(v) for v in header.get("bbox_size", []))
+        if not origin and header["shape"]:
+            origin = tuple(0 for _ in header["shape"])
+            size = tuple(int(m) for m in header["shape"])
+        return cls(
+            path=path,
+            format_name=header["format"],
+            shape=tuple(int(m) for m in header["shape"]),
+            nnz=int(header["nnz"]),
+            bbox=Box(origin, size),
+            nbytes=path.stat().st_size if path.exists() else 0,
+        )
+
+
+def write_fragment(
+    path: str | os.PathLike,
+    encoded: EncodedTensor,
+    *,
+    coords_for_bbox: np.ndarray | None = None,
+    extra: dict[str, Any] | None = None,
+    fsync: bool = False,
+    codec: str = "raw",
+) -> FragmentInfo:
+    """Serialize an encoded tensor to ``path``.
+
+    Parameters
+    ----------
+    encoded:
+        Output of :meth:`SparseFormat.encode` (payload + aligned values).
+    coords_for_bbox:
+        Original coordinate buffer, used to record the fragment's tight
+        bounding box for READ-side overlap pruning.  When omitted the whole
+        tensor shape is recorded as the box.
+    extra:
+        Arbitrary JSON-able annotations (the block layer stores its grid
+        position here).
+    fsync:
+        Flush to stable storage before returning — enable when measuring
+        write time so the OS page cache does not hide the transfer
+        (DESIGN.md §4).
+    """
+    path = Path(path)
+    if coords_for_bbox is not None and coords_for_bbox.shape[0] > 0:
+        bbox = extract_boundary(coords_for_bbox)
+    else:
+        bbox = Box(tuple(0 for _ in encoded.shape), encoded.shape)
+    blob = pack_fragment(
+        encoded.fmt.name,
+        encoded.shape,
+        encoded.nnz,
+        encoded.meta,
+        encoded.payload,
+        encoded.values,
+        bbox_origin=bbox.origin,
+        bbox_size=bbox.size,
+        extra=extra,
+        codec=codec,
+    )
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return FragmentInfo(
+        path=path,
+        format_name=encoded.fmt.name,
+        shape=encoded.shape,
+        nnz=encoded.nnz,
+        bbox=bbox,
+        nbytes=len(blob),
+    )
+
+
+def read_fragment_header(path: str | os.PathLike) -> FragmentInfo:
+    """Decode only the header of a fragment file."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            # Headers are small; 64 KiB covers any realistic JSON header.
+            head = fh.read(65536)
+    except OSError as exc:
+        raise FragmentError(f"cannot read fragment {path}: {exc}") from exc
+    header, _ = unpack_header(head)
+    return FragmentInfo.from_header(path, header)
+
+
+def load_fragment(
+    path: str | os.PathLike, *, check_crc: bool = True
+) -> FragmentPayload:
+    """Load and decode a whole fragment file."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise FragmentError(f"cannot read fragment {path}: {exc}") from exc
+    return unpack_fragment(data, check_crc=check_crc)
+
+
+def fragment_to_tensor(payload: FragmentPayload) -> "SparseTensor":
+    """Reconstruct the fragment's full point set as a tensor.
+
+    Uses the organization's ``decode`` (the inverse transform), so the
+    coordinates come back aligned with the stored value buffer.  Fragments
+    written with ``relative_coords`` come back in fragment-local space; the
+    store layer re-bases them.
+    """
+    from ..core.tensor import SparseTensor
+
+    fmt = get_format(payload.format_name)
+    coords = fmt.decode(payload.buffers, payload.meta, payload.shape)
+    return SparseTensor(payload.shape, coords, np.asarray(payload.values))
+
+
+def query_fragment_box(
+    payload: FragmentPayload, box
+) -> tuple[np.ndarray, np.ndarray]:
+    """Structural range read of one fragment: ``(coords, value_positions)``.
+
+    Coordinates are in the fragment's own space (local space for relative
+    fragments — the store layer re-bases).
+    """
+    fmt = get_format(payload.format_name)
+    return fmt.box_points(payload.buffers, payload.meta, payload.shape, box)
+
+
+def query_fragment(
+    payload: FragmentPayload, query_coords: np.ndarray, *, faithful: bool = False
+) -> tuple[ReadResult, np.ndarray]:
+    """Run the fragment's organization READ against ``query_coords``.
+
+    Returns ``(ReadResult, values_of_found)`` — Algorithm 3 READ lines 7–9
+    for a single fragment.
+    """
+    fmt = get_format(payload.format_name)
+    if faithful:
+        res = fmt.read_faithful(
+            payload.buffers, payload.meta, payload.shape, query_coords
+        )
+    else:
+        res = fmt.read(payload.buffers, payload.meta, payload.shape, query_coords)
+    return res, res.gather_values(payload.values)

@@ -1,0 +1,100 @@
+"""Parallel-filesystem I/O cost model (substitution for Perlmutter's Lustre).
+
+The paper measures fragment writes/reads against the Lustre filesystem of
+the Perlmutter supercomputer.  We cannot reproduce that testbed, so next to
+the *measured* local-filesystem time the benchmark harness reports a
+*modeled* parallel-filesystem time from this module (DESIGN.md §4).
+
+The model is the standard first-order PFS cost::
+
+    time(bytes) = latency + bytes / effective_bandwidth
+    effective_bandwidth = min(stripe_count, max_parallel_osts) * ost_bandwidth
+
+The default profile is calibrated from the paper's own Table III: the 4D
+MSP dataset (0.21 % of 128^4 ~= 563k points) produces a ~22.5 MB COO
+fragment written in 0.1217 s and a ~9 MB LINEAR fragment in 0.0504 s —
+both consistent with ~185 MB/s effective single-stream bandwidth plus ~10 ms
+of fixed overhead.  Because both numbers come from the same linear model,
+the *ratios* between organizations (the quantity the paper interprets) are
+insensitive to the calibration constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PFSProfile:
+    """A parallel filesystem performance profile.
+
+    Attributes
+    ----------
+    name:
+        Display label.
+    latency_s:
+        Fixed per-operation overhead (metadata RPC, open/close).
+    ost_bandwidth_Bps:
+        Per-stripe (OST) streaming bandwidth, bytes/second.
+    stripe_count:
+        Number of OSTs a file is striped across.
+    max_parallel_osts:
+        Cap on how many stripes a single-client stream can drive.
+    """
+
+    name: str
+    latency_s: float
+    ost_bandwidth_Bps: float
+    stripe_count: int = 1
+    max_parallel_osts: int = 1
+
+    @property
+    def effective_bandwidth_Bps(self) -> float:
+        streams = max(1, min(self.stripe_count, self.max_parallel_osts))
+        return streams * self.ost_bandwidth_Bps
+
+    def write_time(self, nbytes: int) -> float:
+        """Modeled seconds to write ``nbytes`` as one fragment."""
+        return self.latency_s + nbytes / self.effective_bandwidth_Bps
+
+    def read_time(self, nbytes: int) -> float:
+        """Modeled seconds to read ``nbytes`` back (same first-order form)."""
+        return self.latency_s + nbytes / self.effective_bandwidth_Bps
+
+
+#: Calibrated from Table III (see module docstring).
+PERLMUTTER_LUSTRE = PFSProfile(
+    name="perlmutter-lustre",
+    latency_s=0.010,
+    ost_bandwidth_Bps=185e6,
+    stripe_count=1,
+    max_parallel_osts=1,
+)
+
+#: A generic spinning-disk NFS-ish profile, for sensitivity studies.
+SLOW_NFS = PFSProfile(
+    name="slow-nfs",
+    latency_s=0.050,
+    ost_bandwidth_Bps=80e6,
+)
+
+#: A fast NVMe-backed local profile.
+LOCAL_NVME = PFSProfile(
+    name="local-nvme",
+    latency_s=0.0002,
+    ost_bandwidth_Bps=2.5e9,
+)
+
+PROFILES = {
+    p.name: p for p in (PERLMUTTER_LUSTRE, SLOW_NFS, LOCAL_NVME)
+}
+
+
+def get_profile(name: str) -> PFSProfile:
+    """Look up a profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown PFS profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,435 @@
+"""Fragment store — the dataset directory of Algorithm 3.
+
+A :class:`FragmentStore` owns a directory of immutable fragment files plus a
+JSON manifest.  WRITE (:meth:`FragmentStore.write`) is Algorithm 3's WRITE:
+package the coordinate buffer with the store's organization, reorganize the
+value buffer by the returned ``map``, serialize, write one fragment.  READ
+(:meth:`FragmentStore.read_points` / :meth:`FragmentStore.read_box`) is
+Algorithm 3's READ: discover fragments whose bounding box overlaps the
+query, run the organization-specific read on each, merge the per-fragment
+result lists sorted by linear address.
+
+``relative_coords=True`` stores every fragment against its own bounding box
+(coordinates re-based to the box origin, the box size as the local shape).
+This is the paper's block-local transform that removes LINEAR's address
+overflow risk (§II-B) and is what :mod:`repro.storage.blocks` builds on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.boundary import Box, extract_boundary
+from ..core.dtypes import as_index_array
+from ..core.errors import FragmentError, ShapeError
+from ..core.linearize import linearize
+from ..core.sorting import apply_map
+from ..core.tensor import SparseTensor
+from ..formats.base import EncodedTensor
+from ..formats.registry import get_format
+from .fragment import (
+    FragmentInfo,
+    load_fragment,
+    query_fragment,
+    query_fragment_box,
+    read_fragment_header,
+    write_fragment,
+)
+
+_MANIFEST = "manifest.json"
+
+
+@dataclass
+class WriteReceipt:
+    """Result of one WRITE: the fragment plus its byte breakdown."""
+
+    info: FragmentInfo
+    index_nbytes: int
+    value_nbytes: int
+    file_nbytes: int
+    build_seconds: float
+    reorg_seconds: float
+    write_seconds: float
+
+
+@dataclass
+class ReadOutcome:
+    """Result of one READ over possibly many fragments."""
+
+    found: np.ndarray
+    values: np.ndarray
+    fragments_visited: int
+    points_matched: int
+
+
+class FragmentStore:
+    """A directory of fragments sharing one tensor shape and organization."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        shape: Sequence[int],
+        format_name: str,
+        *,
+        relative_coords: bool = False,
+        fsync: bool = False,
+        codec: str = "raw",
+    ):
+        from .compression import validate_codec
+
+        self.directory = Path(directory)
+        self.shape = tuple(int(m) for m in shape)
+        self.format_name = format_name
+        self.fmt = get_format(format_name)
+        self.relative_coords = bool(relative_coords)
+        self.fsync = bool(fsync)
+        self.codec = validate_codec(codec)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fragments: list[FragmentInfo] = []
+        self._load_manifest()
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    @property
+    def fragments(self) -> tuple[FragmentInfo, ...]:
+        return tuple(self._fragments)
+
+    @property
+    def nnz(self) -> int:
+        """Total stored points across fragments (duplicates counted)."""
+        return sum(f.nnz for f in self._fragments)
+
+    @property
+    def total_file_nbytes(self) -> int:
+        return sum(f.nbytes for f in self._fragments)
+
+    def _manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if not path.exists():
+            self.rescan()
+            return
+        try:
+            entries = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FragmentError(f"corrupt manifest {path}: {exc}") from exc
+        self._fragments = []
+        for e in entries["fragments"]:
+            self._fragments.append(
+                FragmentInfo(
+                    path=self.directory / e["file"],
+                    format_name=e["format"],
+                    shape=tuple(e["shape"]),
+                    nnz=int(e["nnz"]),
+                    bbox=Box(tuple(e["bbox_origin"]), tuple(e["bbox_size"])),
+                    nbytes=int(e["nbytes"]),
+                )
+            )
+
+    def _save_manifest(self) -> None:
+        entries = {
+            "shape": list(self.shape),
+            "format": self.format_name,
+            "relative_coords": self.relative_coords,
+            "fragments": [
+                {
+                    "file": f.path.name,
+                    "format": f.format_name,
+                    "shape": list(f.shape),
+                    "nnz": f.nnz,
+                    "bbox_origin": list(f.bbox.origin),
+                    "bbox_size": list(f.bbox.size),
+                    "nbytes": f.nbytes,
+                }
+                for f in self._fragments
+            ],
+        }
+        self._manifest_path().write_text(json.dumps(entries, indent=1))
+
+    def rescan(self) -> None:
+        """Rebuild the manifest from fragment file headers on disk."""
+        self._fragments = []
+        for path in sorted(self.directory.glob("frag-*.bin")):
+            self._fragments.append(read_fragment_header(path))
+        self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # WRITE (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        coords: np.ndarray,
+        values: np.ndarray,
+    ) -> WriteReceipt:
+        """Package and persist one fragment; returns timing + size breakdown.
+
+        The three timed phases are exactly Table III's rows: *Build* (the
+        organization's BUILD), *Reorg.* (value reorganization by ``map``),
+        and *Write* (serialization + file write).
+        """
+        coords = as_index_array(coords)
+        values = np.asarray(values)
+        if coords.ndim != 2 or coords.shape[1] != len(self.shape):
+            raise ShapeError("coords must be (n, d) matching the store shape")
+        if values.shape[0] != coords.shape[0]:
+            raise ShapeError("values must align with coords")
+
+        if self.relative_coords and coords.shape[0]:
+            bbox = extract_boundary(coords)
+            build_coords = coords - as_index_array(list(bbox.origin))[np.newaxis, :]
+            build_shape: tuple[int, ...] = bbox.size
+        else:
+            bbox = None
+            build_coords = coords
+            build_shape = self.shape
+
+        t0 = time.perf_counter()
+        result = self.fmt.build(build_coords, build_shape)
+        t1 = time.perf_counter()
+        stored_values = apply_map(values, result.perm)
+        t2 = time.perf_counter()
+        encoded = EncodedTensor(
+            fmt=self.fmt,
+            shape=build_shape,
+            nnz=coords.shape[0],
+            payload=result.payload,
+            meta=result.meta,
+            values=stored_values,
+        )
+        seq = len(self._fragments)
+        path = self.directory / f"frag-{seq:06d}.bin"
+        info = write_fragment(
+            path,
+            encoded,
+            coords_for_bbox=coords,
+            extra={"relative": self.relative_coords},
+            fsync=self.fsync,
+            codec=self.codec,
+        )
+        t3 = time.perf_counter()
+        self._fragments.append(info)
+        self._save_manifest()
+        return WriteReceipt(
+            info=info,
+            index_nbytes=result.index_nbytes(),
+            value_nbytes=int(stored_values.nbytes),
+            file_nbytes=info.nbytes,
+            build_seconds=t1 - t0,
+            reorg_seconds=t2 - t1,
+            write_seconds=t3 - t2,
+        )
+
+    def write_many(
+        self,
+        parts: list[tuple[np.ndarray, np.ndarray]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[FragmentInfo]:
+        """Package many parts in parallel, then commit them as fragments.
+
+        The CPU-bound packaging (BUILD + reorg + serialization) runs on a
+        process pool (see :mod:`repro.storage.parallel`); the file writes
+        and the manifest update happen here, in part order, so the result
+        is byte-identical to sequential :meth:`write` calls.
+        """
+        import os as _os
+
+        from .parallel import pack_parts_parallel
+
+        packed = pack_parts_parallel(
+            self.shape,
+            self.format_name,
+            parts,
+            codec=self.codec,
+            relative=self.relative_coords,
+            max_workers=max_workers,
+        )
+        infos: list[FragmentInfo] = []
+        for item in packed:
+            seq = len(self._fragments)
+            path = self.directory / f"frag-{seq:06d}.bin"
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            with open(tmp, "wb") as fh:
+                fh.write(item.blob)
+                if self.fsync:
+                    fh.flush()
+                    _os.fsync(fh.fileno())
+            _os.replace(tmp, path)
+            info = FragmentInfo(
+                path=path,
+                format_name=self.format_name,
+                shape=self.shape,
+                nnz=item.nnz,
+                bbox=Box(item.bbox_origin, item.bbox_size),
+                nbytes=len(item.blob),
+            )
+            self._fragments.append(info)
+            infos.append(info)
+        self._save_manifest()
+        return infos
+
+    def write_tensor(self, tensor: SparseTensor) -> WriteReceipt:
+        """Convenience wrapper over :meth:`write`."""
+        if tensor.shape != self.shape:
+            raise ShapeError(
+                f"tensor shape {tensor.shape} != store shape {self.shape}"
+            )
+        return self.write(tensor.coords, tensor.values)
+
+    # ------------------------------------------------------------------
+    # READ (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def _overlapping(self, query_box: Box) -> Iterable[FragmentInfo]:
+        return (f for f in self._fragments if f.bbox.intersects(query_box))
+
+    def read_points(
+        self,
+        query_coords: np.ndarray,
+        *,
+        faithful: bool = False,
+        check_crc: bool = True,
+    ) -> ReadOutcome:
+        """Algorithm 3 READ for an explicit query coordinate buffer.
+
+        Later fragments win on duplicate coordinates (overwrite semantics of
+        appended fragments).  Results come back aligned with the query
+        buffer; the benchmark layer separately accounts the final
+        sort-by-linear-address merge.
+        """
+        query = as_index_array(query_coords)
+        if query.ndim != 2 or query.shape[1] != len(self.shape):
+            raise ShapeError("query coords must be (q, d) matching the store")
+        q = query.shape[0]
+        found = np.zeros(q, dtype=bool)
+        out_values: np.ndarray | None = None
+        visited = 0
+        if q == 0:
+            return ReadOutcome(found, np.empty(0), 0, 0)
+        qbox = extract_boundary(query)
+        for frag in self._overlapping(qbox):
+            visited += 1
+            payload = load_fragment(frag.path, check_crc=check_crc)
+            mask = frag.bbox.contains_points(query)
+            if not mask.any():
+                continue
+            sub = query[mask]
+            if payload.extra.get("relative"):
+                origin = as_index_array(list(frag.bbox.origin))
+                sub = sub - origin[np.newaxis, :]
+            res, vals = query_fragment(payload, sub, faithful=faithful)
+            if out_values is None:
+                out_values = np.zeros(q, dtype=payload.values.dtype)
+            idx = np.flatnonzero(mask)[res.found]
+            found[idx] = True
+            out_values[idx] = vals
+        if out_values is None:
+            out_values = np.zeros(q, dtype=float)
+        matched = int(found.sum())
+        return ReadOutcome(
+            found=found,
+            values=out_values[found],
+            fragments_visited=visited,
+            points_matched=matched,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def decode_fragment(self, index: int) -> SparseTensor:
+        """Reconstruct one fragment's full point set (global coordinates)."""
+        from .fragment import fragment_to_tensor
+
+        frag = self._fragments[index]
+        payload = load_fragment(frag.path)
+        tensor = fragment_to_tensor(payload)
+        if payload.extra.get("relative"):
+            origin = as_index_array(list(frag.bbox.origin))
+            coords = tensor.coords + origin[np.newaxis, :]
+            tensor = SparseTensor(self.shape, coords, tensor.values)
+        else:
+            tensor = SparseTensor(self.shape, tensor.coords, tensor.values)
+        return tensor
+
+    def compact(self) -> WriteReceipt:
+        """Merge all fragments into one, newest-wins on duplicates.
+
+        The fragment-array model (append-only writes, TileDB-style) trades
+        write latency for read-side fragment fan-out; compaction restores
+        single-fragment reads.  Old fragment files are deleted and the
+        manifest rewritten atomically at the end.
+        """
+        if not self._fragments:
+            raise FragmentError("nothing to compact: store has no fragments")
+        parts = [self.decode_fragment(i) for i in range(len(self._fragments))]
+        coords = np.vstack([p.coords for p in parts])
+        values = np.concatenate([p.values for p in parts])
+        merged = SparseTensor(self.shape, coords, values).deduplicated(
+            keep="last"
+        )
+        old = list(self._fragments)
+        # Write the merged fragment under the next unused sequence number
+        # (keeping the old entries in place so the name cannot collide),
+        # then drop and delete the old fragments.
+        receipt = self.write(merged.coords, merged.values)
+        self._fragments = [receipt.info]
+        for frag in old:
+            try:
+                frag.path.unlink()
+            except OSError:
+                pass
+        self._save_manifest()
+        return receipt
+
+    def read_box(self, box: Box, *, faithful: bool = False) -> SparseTensor:
+        """Read every stored point inside ``box``, merged and sorted by
+        linear address (Algorithm 3 line 12).
+
+        Uses each organization's structural range read
+        (:meth:`~repro.formats.base.SparseFormat.box_points`), so the box
+        may cover arbitrarily many cells — work scales with stored points,
+        not box volume.  Later fragments win on duplicate coordinates.
+        ``faithful`` is accepted for signature compatibility with the
+        benchmark paths; box reads are always structural.
+        """
+        del faithful
+        all_coords: list[np.ndarray] = []
+        all_values: list[np.ndarray] = []
+        for frag in self._overlapping(box):
+            payload = load_fragment(frag.path)
+            query_box = box
+            if payload.extra.get("relative"):
+                inter = box.intersection(frag.bbox)
+                if inter.is_empty():
+                    continue
+                origin = as_index_array(list(frag.bbox.origin))
+                query_box = Box(
+                    tuple(int(o) - int(g) for o, g in
+                          zip(inter.origin, frag.bbox.origin)),
+                    inter.size,
+                )
+                coords, positions = query_fragment_box(payload, query_box)
+                coords = coords + origin[np.newaxis, :]
+            else:
+                coords, positions = query_fragment_box(payload, query_box)
+            all_coords.append(coords)
+            all_values.append(payload.values[positions])
+        if not all_coords:
+            return SparseTensor.empty(self.shape)
+        coords = np.vstack(all_coords)
+        values = np.concatenate(all_values)
+        tensor = SparseTensor(self.shape, coords, values)
+        # Later fragments override earlier ones on the same coordinate.
+        return tensor.deduplicated(keep="last").sorted_by_linear()

@@ -1,0 +1,85 @@
+"""Streaming ingestion: buffered appends flushed as fragments.
+
+Real producers (the paper's LCLS-II motivation) emit points continuously;
+writing a fragment per event would drown in per-fragment overhead, while
+buffering everything defers durability.  :class:`StreamingWriter` batches
+appends and flushes a fragment whenever the buffer reaches a point budget —
+the standard ingest pattern over an immutable-fragment store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dtypes import as_index_array
+from ..core.errors import ShapeError
+from .store import FragmentStore, WriteReceipt
+
+
+class StreamingWriter:
+    """Buffered appender over a :class:`FragmentStore`.
+
+    Usage::
+
+        with StreamingWriter(store, flush_points=100_000) as w:
+            for coords, values in event_stream:
+                w.append(coords, values)
+        # exit flushes the tail fragment
+
+    Appends within one buffer keep arrival order; overwrite semantics
+    across flushes follow the store's newest-fragment-wins rule.
+    """
+
+    def __init__(self, store: FragmentStore, *, flush_points: int = 100_000):
+        if flush_points <= 0:
+            raise ValueError("flush_points must be positive")
+        self.store = store
+        self.flush_points = int(flush_points)
+        self._coords: list[np.ndarray] = []
+        self._values: list[np.ndarray] = []
+        self._buffered = 0
+        self.points_written = 0
+        self.fragments_written = 0
+
+    @property
+    def buffered_points(self) -> int:
+        return self._buffered
+
+    def append(self, coords: np.ndarray, values: np.ndarray) -> None:
+        """Add points to the buffer, flushing when the budget is reached."""
+        coords = as_index_array(coords)
+        values = np.asarray(values)
+        if coords.ndim != 2 or coords.shape[1] != len(self.store.shape):
+            raise ShapeError("coords must be (n, d) matching the store")
+        if values.shape[0] != coords.shape[0]:
+            raise ShapeError("values must align with coords")
+        if coords.shape[0] == 0:
+            return
+        self._coords.append(coords)
+        self._values.append(values)
+        self._buffered += coords.shape[0]
+        while self._buffered >= self.flush_points:
+            self.flush()
+
+    def flush(self) -> WriteReceipt | None:
+        """Write the current buffer as one fragment (no-op when empty)."""
+        if self._buffered == 0:
+            return None
+        coords = np.vstack(self._coords)
+        values = np.concatenate(self._values)
+        self._coords.clear()
+        self._values.clear()
+        self._buffered = 0
+        receipt = self.store.write(coords, values)
+        self.points_written += int(coords.shape[0])
+        self.fragments_written += 1
+        return receipt
+
+    def __enter__(self) -> "StreamingWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Flush the tail only on a clean exit; on error the buffer is
+        # dropped rather than committing possibly-inconsistent points.
+        if exc_type is None:
+            self.flush()

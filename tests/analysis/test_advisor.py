@@ -1,0 +1,80 @@
+"""Unit tests for the format advisor (paper future-work feature)."""
+
+import pytest
+
+from repro.analysis import ANALYTICAL, ARCHIVAL, BALANCED, Workload, recommend
+from repro.patterns import GSPPattern, TSPPattern, characterize
+
+
+@pytest.fixture(scope="module")
+def gsp_tensor():
+    return GSPPattern((64, 64, 64), threshold=0.99).generate(11)
+
+
+class TestWorkload:
+    def test_defaults(self):
+        w = Workload()
+        assert w.write_weight == w.read_weight == w.size_weight == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(write_weight=-1)
+        with pytest.raises(ValueError):
+            Workload(reads_per_write=-2)
+
+    def test_presets_distinct(self):
+        assert ARCHIVAL.size_weight > ANALYTICAL.size_weight
+        assert ANALYTICAL.reads_per_write > ARCHIVAL.reads_per_write
+
+
+class TestRecommend:
+    def test_ranks_all_formats(self, gsp_tensor):
+        rec = recommend(gsp_tensor, BALANCED)
+        assert len(rec.ranked) == 5
+        assert 0 <= rec.ranked[0].combined <= rec.ranked[-1].combined <= 1.0
+
+    def test_accepts_stats(self, gsp_tensor):
+        stats = characterize(gsp_tensor)
+        rec = recommend(stats, BALANCED)
+        assert rec.best in {"LINEAR", "GCSR++", "GCSC++", "CSF"}
+
+    def test_coo_never_best_balanced(self, gsp_tensor):
+        """The paper's central finding: COO is the worst balanced choice."""
+        rec = recommend(gsp_tensor, BALANCED)
+        assert rec.order()[-1] == "COO" or rec.ranked[-1].format_name == "COO"
+
+    def test_balanced_prefers_linear_family(self, gsp_tensor):
+        """Table IV: LINEAR/GCSR++ hold the best balanced scores."""
+        rec = recommend(gsp_tensor, BALANCED)
+        assert rec.best in {"LINEAR", "GCSR++"}
+
+    def test_read_heavy_penalizes_scan_formats(self, gsp_tensor):
+        rec = recommend(gsp_tensor, ANALYTICAL)
+        order = rec.order()
+        # Scan-based reads sink to the bottom under a read-heavy workload.
+        assert order.index("CSF") < order.index("COO")
+        assert order.index("GCSR++") < order.index("COO")
+
+    def test_archival_rewards_small_indexes(self, gsp_tensor):
+        rec = recommend(gsp_tensor, ARCHIVAL)
+        assert rec.best == "LINEAR"
+
+    def test_clustered_data_improves_csf(self):
+        """TSP's prefix sharing lowers CSF's predicted space vs GSP."""
+        shape = (64, 64, 64)
+        tsp = recommend(TSPPattern(shape, band_width=1).generate(3), BALANCED)
+        gsp = recommend(GSPPattern(shape, threshold=0.99).generate(3), BALANCED)
+
+        def csf_space(rec):
+            return next(
+                p.space_cost for p in rec.ranked if p.format_name == "CSF"
+            )
+
+        # Normalize by nnz to compare across different point counts.
+        tsp_ratio = csf_space(tsp) / tsp.stats.nnz
+        gsp_ratio = csf_space(gsp) / gsp.stats.nnz
+        assert tsp_ratio < gsp_ratio
+
+    def test_custom_format_subset(self, gsp_tensor):
+        rec = recommend(gsp_tensor, BALANCED, formats=("COO", "LINEAR"))
+        assert set(rec.order()) == {"COO", "LINEAR"}

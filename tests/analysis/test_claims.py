@@ -1,0 +1,121 @@
+"""Unit tests for the paper-claims validator, on fabricated sweeps."""
+
+import pytest
+
+from repro.analysis.claims import (
+    ALL_CHECKS,
+    claims_report,
+    evaluate_claims,
+)
+from repro.bench.runner import ReadMeasurement, WriteMeasurement
+from repro.bench.sweep import SweepRecord, SweepResult
+from repro.patterns.suite import DatasetSpec
+
+
+def make_record(pattern, ndim, fmt, *, build_s, write_s, read_s,
+                index_bytes, nnz=1000):
+    """Fabricate one sweep record with controlled numbers."""
+    spec = DatasetSpec(ndim=ndim, pattern=pattern,
+                       shape=(64,) * ndim, seed=0)
+    write = WriteMeasurement(
+        format_name=fmt,
+        nnz=nnz,
+        build_seconds=build_s,
+        reorg_seconds=0.0,
+        write_seconds=write_s,
+        others_seconds=0.0,
+        total_seconds=build_s + write_s,
+        index_nbytes=index_bytes,
+        value_nbytes=nnz * 8,
+        file_nbytes=index_bytes + nnz * 8,
+        modeled_pfs_write_seconds=write_s,
+    )
+    read = ReadMeasurement(
+        format_name=fmt,
+        n_queries=100,
+        n_found=50,
+        extract_seconds=0.0,
+        query_seconds=read_s,
+        merge_seconds=0.0,
+        total_seconds=read_s,
+        fragments_visited=1,
+        bytes_read=index_bytes,
+        modeled_pfs_read_seconds=read_s,
+    )
+    return SweepRecord(spec=spec, write=write, read=read)
+
+
+def paper_shaped_sweep() -> SweepResult:
+    """A sweep whose numbers follow every claim in the paper."""
+    sweep = SweepResult()
+    for pattern in ("TSP", "GSP", "MSP"):
+        for ndim in (2, 3, 4):
+            n = 1000
+            per_fmt = {
+                # fmt: (build, write, read, index_bytes)
+                "COO": (0.0, 0.10, 1.00, n * ndim * 8),
+                "LINEAR": (0.01, 0.03, 0.80, n * 8),
+                "GCSR++": (0.05, 0.03, 0.01, n * 8 + 520),
+                "GCSC++": (0.08, 0.03, 0.01, n * 8 + 520),
+                # CSF size varies by pattern (prefix sharing).
+                "CSF": (0.07, 0.05, 0.005,
+                        {"TSP": n * 10, "GSP": n * 22, "MSP": n * 16}[pattern]),
+            }
+            for fmt, (b, w, r, size) in per_fmt.items():
+                sweep.records.append(
+                    make_record(pattern, ndim, fmt, build_s=b, write_s=w,
+                                read_s=r, index_bytes=size, nnz=n)
+                )
+    return sweep
+
+
+def broken_sweep() -> SweepResult:
+    """A sweep contradicting the paper (everything uniform)."""
+    sweep = SweepResult()
+    for pattern in ("TSP", "GSP"):
+        for ndim in (2, 3):
+            for fmt in ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF"):
+                sweep.records.append(
+                    make_record(pattern, ndim, fmt, build_s=0.05,
+                                write_s=0.05, read_s=0.05,
+                                index_bytes=8000)
+                )
+    return sweep
+
+
+class TestClaimsOnPaperShapedSweep:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return evaluate_claims(paper_shaped_sweep())
+
+    def test_all_pass(self, results):
+        failing = [r.claim_id for r in results if not r.passed]
+        assert failing == []
+
+    def test_one_result_per_check(self, results):
+        assert len(results) == len(ALL_CHECKS)
+        assert len({r.claim_id for r in results}) == len(results)
+
+    def test_evidence_present(self, results):
+        assert all(r.evidence for r in results)
+
+
+class TestClaimsOnBrokenSweep:
+    def test_structural_claims_fail(self):
+        results = {r.claim_id: r for r in evaluate_claims(broken_sweep())}
+        # Sizes are identical everywhere: the orderings cannot hold.
+        assert not results["C3"].passed
+        assert not results["C4"].passed
+        assert not results["C6"].passed
+
+
+class TestReport:
+    def test_report_renders(self):
+        text = claims_report(paper_shaped_sweep())
+        assert "scorecard" in text
+        assert "7/7" in text
+        assert "PASS" in text
+
+    def test_report_marks_failures(self):
+        text = claims_report(broken_sweep())
+        assert "FAIL" in text

@@ -1,0 +1,116 @@
+"""Unit tests for the Table I closed forms."""
+
+import pytest
+
+from repro.analysis import (
+    PREDICTED_BUILD_ORDER,
+    PREDICTED_READ_ORDER,
+    PREDICTED_SIZE_ORDER,
+    build_ops,
+    csf_space_bounds,
+    predicted_growth_exponent,
+    read_ops,
+    sort_ops,
+    space_elements,
+)
+from repro.core.errors import FormatError
+
+SHAPE = (128, 128, 128, 128)
+N = 100_000
+Q = 1000
+
+
+class TestBuildOps:
+    def test_coo_constant(self):
+        assert build_ops("COO", N, SHAPE) == 1
+        assert build_ops("COO", 10 * N, SHAPE) == 1
+
+    def test_linear_nd(self):
+        assert build_ops("LINEAR", N, SHAPE) == N * 4
+
+    def test_gcsr_nlogn_plus_2n(self):
+        assert build_ops("GCSR++", N, SHAPE) == sort_ops(N) + 2 * N
+        assert build_ops("GCSC++", N, SHAPE) == build_ops("GCSR++", N, SHAPE)
+
+    def test_csf_nlogn_plus_nd(self):
+        assert build_ops("CSF", N, SHAPE) == sort_ops(N) + N * 4
+
+    def test_ranking_matches_paper(self):
+        """§III-A: COO > LINEAR > GCSR++ >= GCSC++ > CSF (fastest first)."""
+        costs = [build_ops(f, N, SHAPE) for f in PREDICTED_BUILD_ORDER]
+        assert costs == sorted(costs)
+
+    def test_unknown(self):
+        with pytest.raises(FormatError):
+            build_ops("BTREE", N, SHAPE)
+
+
+class TestReadOps:
+    def test_coo_nq(self):
+        assert read_ops("COO", N, Q, SHAPE) == N * Q
+
+    def test_linear_nq_plus_transform(self):
+        assert read_ops("LINEAR", N, Q, SHAPE) == N * Q + Q * 4
+
+    def test_gcsr_row_scan(self):
+        # q * n / min(m) segment scan + q fold transforms + 2q indptr loads.
+        expected = -(-Q * N // 128) + Q + 2 * Q
+        assert read_ops("GCSR++", N, Q, SHAPE) == expected
+
+    def test_csf_logarithmic(self):
+        assert read_ops("CSF", N, Q, SHAPE) < read_ops("GCSR++", N, Q, SHAPE)
+
+    def test_ranking_matches_paper(self):
+        """§III-C: CSF >= GCSR++ >= GCSC++ > LINEAR >= COO (fastest first)
+        at high dimensionality.  Table I gives COO and LINEAR the same
+        O(n*q) read; LINEAR's extra q*d transform term is a 0.004 % ripple
+        the ordering treats as a tie."""
+        costs = [read_ops(f, N, Q, SHAPE) for f in PREDICTED_READ_ORDER]
+        for fast, slow in zip(costs, costs[1:]):
+            assert fast <= slow * 1.01
+
+    def test_gcsr_read_degrades_with_dimensionality(self):
+        """§III-C: GCSR++ read cost grows with d (at fixed n the folded rows
+        get longer), while CSF's shrinks relative to it."""
+        gcsr_2d = read_ops("GCSR++", N, Q, (320, 320))
+        gcsr_4d = read_ops("GCSR++", N, Q, (10, 10, 32, 32))
+        assert gcsr_4d > gcsr_2d
+
+
+class TestSpace:
+    def test_values(self):
+        assert space_elements("COO", N, SHAPE) == 4 * N
+        assert space_elements("LINEAR", N, SHAPE) == N
+        assert space_elements("GCSR++", N, SHAPE) == N + 128 + 1
+
+    def test_ranking_matches_paper(self):
+        """§III-B: LINEAR < GCSR++ <= GCSC++ <= CSF <= COO."""
+        deterministic = [f for f in PREDICTED_SIZE_ORDER if f != "CSF"]
+        costs = [space_elements(f, N, SHAPE) for f in deterministic]
+        assert costs == sorted(costs)
+
+    def test_csf_requires_bounds(self):
+        with pytest.raises(FormatError, match="data-dependent"):
+            space_elements("CSF", N, SHAPE)
+
+    def test_csf_bounds(self):
+        b = csf_space_bounds(N, 4)
+        assert b.best == N + 4
+        assert b.worst == 4 * N
+        assert b.best < b.average < b.worst
+        # The paper's average formula: 2n(1 - (1/2)^d).
+        assert b.average == pytest.approx(2 * N * (1 - 0.5**4), abs=1)
+
+
+class TestGrowthExponents:
+    def test_build(self):
+        assert predicted_growth_exponent("COO", operation="build") == 0.0
+        assert predicted_growth_exponent("CSF", operation="build") == 1.0
+
+    def test_read(self):
+        assert predicted_growth_exponent("COO", operation="read-per-query") == 1.0
+        assert predicted_growth_exponent("CSF", operation="read-per-query") == 0.0
+
+    def test_bad_operation(self):
+        with pytest.raises(ValueError):
+            predicted_growth_exponent("COO", operation="delete")

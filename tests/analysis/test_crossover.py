@@ -1,0 +1,58 @@
+"""Unit tests for the GCSR++/CSF read crossover analysis."""
+
+import pytest
+
+from repro.analysis.crossover import (
+    compare_read_costs,
+    critical_occupancy,
+    dimensionality_sweep,
+    measured_crossover,
+)
+from repro.patterns import GSPPattern
+
+
+class TestModelCrossover:
+    def test_2d_gcsr_competitive(self):
+        """At 2D with a large min dimension, rows are short: GCSR++ wins
+        or ties (the paper's 2D observation)."""
+        pt = compare_read_costs(100_000, (8192, 8192))
+        assert pt.gcsr_per_query < 4 * pt.csf_per_query
+
+    def test_4d_csf_wins(self):
+        """At 4D the folded rows hold ~n/128 points: CSF must win big."""
+        pt = compare_read_costs(100_000, (128, 128, 128, 128))
+        assert pt.csf_wins
+        assert pt.csf_per_query < pt.gcsr_per_query / 10
+
+    def test_sweep_monotone_toward_csf(self):
+        """At ~constant cell count, growing d shrinks min(m) and lengthens
+        rows: the GCSR/CSF cost ratio must grow with d."""
+        points = dimensionality_sweep(500_000, min_dim=2, max_dim=5)
+        ratios = [p.gcsr_per_query / p.csf_per_query for p in points]
+        assert ratios == sorted(ratios)
+        assert points[-1].csf_wins
+
+    def test_critical_occupancy_small(self):
+        """The crossover occupancy is tens of points, not thousands —
+        which is why CSF wins every realistic high-d case."""
+        occ = critical_occupancy(1_000_000, 4)
+        assert 10 < occ < 100
+
+    def test_critical_occupancy_validates(self):
+        with pytest.raises(ValueError):
+            critical_occupancy(0, 3)
+
+
+class TestMeasuredCrossover:
+    def test_4d_measured_matches_model(self):
+        tensor = GSPPattern((20, 20, 20, 20), threshold=0.99).generate(5)
+        pt = measured_crossover(tensor)
+        assert pt.csf_wins
+        # Occupancy n/min(m) is far above the critical threshold.
+        assert pt.row_occupancy > critical_occupancy(tensor.nnz, 4)
+
+    def test_2d_measured_short_rows(self):
+        tensor = GSPPattern((400, 400), threshold=0.99).generate(5)
+        pt = measured_crossover(tensor)
+        # Short rows: GCSR++ within a small factor of CSF (no blowout).
+        assert pt.gcsr_per_query < 5 * pt.csf_per_query

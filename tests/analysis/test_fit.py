@@ -1,0 +1,61 @@
+"""Unit tests for power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import exponent_matches, fit_power_law
+
+
+class TestFit:
+    def test_exact_power_law(self):
+        xs = np.array([10, 100, 1000, 10000], dtype=float)
+        ys = 3.0 * xs**1.5
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        xs = [10.0, 100.0, 1000.0]
+        ys = [7.0, 7.0, 7.0]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.0, abs=1e-12)
+
+    def test_nlogn_fits_slightly_above_one(self):
+        xs = np.array([2**k for k in range(8, 16)], dtype=float)
+        ys = xs * np.log2(xs)
+        fit = fit_power_law(xs, ys)
+        assert 1.0 < fit.exponent < 1.2
+
+    def test_predict(self):
+        fit = fit_power_law([1.0, 10.0], [2.0, 20.0])
+        assert fit.predict(100.0) == pytest.approx(200.0)
+
+    def test_noise_tolerance(self, rng):
+        xs = np.logspace(1, 4, 12)
+        ys = xs**2 * rng.uniform(0.9, 1.1, size=12)
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0, abs=0.1)
+        assert fit.r_squared > 0.99
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+
+class TestExponentMatches:
+    def test_within_tolerance(self):
+        fit = fit_power_law([10.0, 100.0], [10.0, 110.0])
+        assert exponent_matches(fit, 1.0)
+
+    def test_outside_tolerance(self):
+        fit = fit_power_law([10.0, 100.0], [100.0, 10000.0])
+        assert not exponent_matches(fit, 1.0)

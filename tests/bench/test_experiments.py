@@ -1,0 +1,64 @@
+"""Unit tests for the experiment registry (tiny-scale smoke runs)."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scale="tiny", query_sample=64, fsync=False)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4",
+            "fig2", "fig3", "fig4", "fig5", "claims",
+        }
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_metadata(self):
+        assert EXPERIMENTS["table3"].paper_ref == "Table III"
+
+
+class TestReports:
+    def test_table2_report(self, config):
+        out = run_experiment("table2", config)
+        assert "Table II" in out
+        for pattern in ("TSP", "GSP", "MSP"):
+            assert pattern in out
+
+    def test_table3_report(self, config):
+        out = run_experiment("table3", config)
+        assert "Build" in out and "Reorg." in out and "Sum" in out
+        assert "paper" in out  # side-by-side with the paper's numbers
+        assert "0.4484" in out  # the paper's GCSC++ build time
+
+    def test_table4_report(self, config):
+        out = run_experiment("table4", config)
+        assert "Table IV" in out
+        assert "LINEAR" in out
+
+    def test_fig_reports(self, config):
+        for fig in ("fig3", "fig4", "fig5"):
+            out = run_experiment(fig, config)
+            assert "GSP" in out and "CSF" in out
+
+    def test_fig2_report(self, config):
+        out = run_experiment("fig2", config)
+        assert "csf sharing" in out
+        assert "3D-TSP" in out
+
+    def test_sweep_cached_across_experiments(self, config):
+        run_experiment("fig3", config)
+        assert config.resolved_scale in config._sweep_cache
+
+    def test_table1_report(self):
+        cfg = ExperimentConfig(scale="tiny", formats=("COO", "LINEAR", "CSF"))
+        out = run_experiment("table1", cfg)
+        assert "build k" in out
+        assert "CSF space cases" in out

@@ -1,0 +1,67 @@
+"""Unit tests for measurement dataclasses and modeled totals."""
+
+import pytest
+
+from repro.bench.runner import ReadMeasurement, WriteMeasurement
+from repro.storage import PERLMUTTER_LUSTRE
+
+
+def make_write(**overrides):
+    kwargs = dict(
+        format_name="LINEAR",
+        nnz=1000,
+        build_seconds=0.01,
+        reorg_seconds=0.002,
+        write_seconds=0.05,
+        others_seconds=0.003,
+        total_seconds=0.065,
+        index_nbytes=8000,
+        value_nbytes=8000,
+        file_nbytes=16500,
+        modeled_pfs_write_seconds=PERLMUTTER_LUSTRE.write_time(16500),
+    )
+    kwargs.update(overrides)
+    return WriteMeasurement(**kwargs)
+
+
+class TestWriteMeasurement:
+    def test_breakdown_keys_match_table3(self):
+        m = make_write()
+        assert list(m.breakdown) == ["Build", "Reorg.", "Write", "Others",
+                                     "Sum"]
+        assert m.breakdown["Sum"] == m.total_seconds
+
+    def test_modeled_total_swaps_write_phase(self):
+        m = make_write()
+        expected = (m.build_seconds + m.reorg_seconds + m.others_seconds
+                    + m.modeled_pfs_write_seconds)
+        assert m.modeled_total_seconds == pytest.approx(expected)
+
+    def test_modeled_total_reflects_bytes(self):
+        small = make_write(file_nbytes=1000,
+                           modeled_pfs_write_seconds=
+                           PERLMUTTER_LUSTRE.write_time(1000))
+        big = make_write(file_nbytes=10_000_000,
+                         modeled_pfs_write_seconds=
+                         PERLMUTTER_LUSTRE.write_time(10_000_000))
+        assert big.modeled_total_seconds > small.modeled_total_seconds
+
+
+class TestReadMeasurement:
+    def test_modeled_total(self):
+        m = ReadMeasurement(
+            format_name="CSF",
+            n_queries=100,
+            n_found=40,
+            extract_seconds=0.01,
+            query_seconds=0.02,
+            merge_seconds=0.001,
+            total_seconds=0.031,
+            fragments_visited=2,
+            bytes_read=5000,
+            modeled_pfs_read_seconds=PERLMUTTER_LUSTRE.read_time(5000),
+        )
+        expected = (m.query_seconds + m.merge_seconds
+                    + m.modeled_pfs_read_seconds)
+        assert m.modeled_total_seconds == pytest.approx(expected)
+        assert m.op_counts == {}

@@ -1,0 +1,86 @@
+"""Unit tests for report rendering."""
+
+from repro.bench import (
+    format_bytes,
+    format_number,
+    render_comparison,
+    render_grouped_series,
+    render_table,
+)
+
+
+class TestFormatNumber:
+    def test_int_grouping(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_float_fixed(self):
+        assert format_number(0.1234567) == "0.1235"
+
+    def test_float_small_scientific(self):
+        assert "e" in format_number(1.5e-9)
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_bool_passthrough(self):
+        assert format_number(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_number("CSF") == "CSF"
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_mib(self):
+        assert format_bytes(5 * 1024 * 1024) == "5.00 MiB"
+
+    def test_gib(self):
+        assert format_bytes(3 * 1024**3) == "3.00 GiB"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(
+            ["name", "value"], [["COO", 1.5], ["LINEAR", 20]],
+            title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All rows same width.
+        assert len({len(l) for l in lines[1:]}) == 1
+
+    def test_custom_formatter(self):
+        out = render_table(["b"], [[2048]], formatters={0: format_bytes})
+        assert "2.00 KiB" in out
+
+
+class TestRenderSeries:
+    def test_bars_scale_within_group(self):
+        out = render_grouped_series(
+            "fig", {"g1": {"A": 1.0, "B": 2.0}}, unit="s", bar_width=10
+        )
+        lines = [l for l in out.splitlines() if "#" in l]
+        bar_a = lines[0].count("#")
+        bar_b = lines[1].count("#")
+        assert bar_b == 10
+        assert bar_a == 5
+
+    def test_zero_value_has_no_bar(self):
+        out = render_grouped_series("fig", {"g": {"A": 0.0, "B": 1.0}})
+        line_a = [l for l in out.splitlines() if "A" in l][0]
+        assert "#" not in line_a
+
+
+class TestComparison:
+    def test_both_blocks_present(self):
+        out = render_comparison(
+            "T", ["x"], [[1]], [[2]]
+        )
+        assert "paper:" in out and "measured:" in out

@@ -1,0 +1,99 @@
+"""Unit tests for the benchmark runner (Algorithm 3 instrumented)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    make_read_queries,
+    paper_read_region,
+    read_benchmark,
+    run_write_read,
+    write_benchmark,
+)
+from repro.storage import FragmentStore
+
+
+class TestWriteBenchmark:
+    def test_measures_phases_and_bytes(self, tensor_3d):
+        m = write_benchmark(tensor_3d, "GCSR++", fsync=False)
+        assert m.nnz == tensor_3d.nnz
+        assert m.total_seconds > 0
+        assert m.file_nbytes > m.index_nbytes
+        assert m.breakdown["Sum"] == m.total_seconds
+        assert m.modeled_pfs_write_seconds > 0
+
+    def test_coo_build_phase_is_negligible(self, tensor_3d):
+        m = write_benchmark(tensor_3d, "COO", fsync=False)
+        # COO's O(1) build is far below its serialization cost.
+        assert m.build_seconds < max(m.write_seconds, 1e-4)
+
+    def test_explicit_directory_kept(self, tmp_path, tensor_3d):
+        write_benchmark(tensor_3d, "LINEAR", tmp_path / "d", fsync=False)
+        assert (tmp_path / "d" / "frag-000000.bin").exists()
+
+    def test_temporary_directory_cleaned(self, tensor_3d, tmp_path,
+                                         monkeypatch):
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        write_benchmark(tensor_3d, "LINEAR", fsync=False)
+        assert not list(tmp_path.glob("repro-bench-*"))
+
+
+class TestQueries:
+    def test_paper_region(self):
+        box = paper_read_region((512, 512, 512))
+        assert box.origin == (256, 256, 256)
+        assert box.size == (51, 51, 51)
+
+    def test_sampled_queries_inside_region(self):
+        q = make_read_queries((512, 512, 512), sample=100)
+        box = paper_read_region((512, 512, 512))
+        assert q.shape == (100, 3)
+        assert box.contains_points(q).all()
+
+    def test_full_region_grid(self):
+        q = make_read_queries((40, 40), sample=None)
+        assert q.shape == (16, 2)  # (m/10)^2 = 4x4
+
+    def test_sampling_deterministic(self):
+        a = make_read_queries((100, 100), sample=20, rng=5)
+        b = make_read_queries((100, 100), sample=20, rng=5)
+        assert np.array_equal(a, b)
+
+
+class TestReadBenchmark:
+    @pytest.fixture
+    def store(self, tmp_path, tensor_3d):
+        s = FragmentStore(tmp_path / "ds", tensor_3d.shape, "CSF")
+        s.write_tensor(tensor_3d)
+        return s
+
+    def test_measures_and_finds(self, store, tensor_3d):
+        m = read_benchmark(store, tensor_3d.coords, faithful=True)
+        assert m.n_found == tensor_3d.nnz
+        assert m.fragments_visited == 1
+        assert m.total_seconds > 0
+        assert m.bytes_read > 0
+        assert m.op_counts["comparisons"] > 0
+
+    def test_production_path(self, store, tensor_3d):
+        m = read_benchmark(store, tensor_3d.coords, faithful=False)
+        assert m.n_found == tensor_3d.nnz
+        assert m.op_counts["comparisons"] == 0  # not charged in fast path
+
+    def test_empty_query(self, store):
+        m = read_benchmark(store, np.empty((0, 3), dtype=np.uint64))
+        assert m.n_found == 0
+        assert m.fragments_visited == 0
+
+
+class TestWriteRead:
+    def test_joint_run(self, tensor_3d):
+        wr = run_write_read(tensor_3d, "LINEAR", query_sample=64, fsync=False)
+        assert wr.write.format_name == "LINEAR"
+        # The region (m/10 per dim) of a 20x30x40 tensor has only 24 cells,
+        # so the sample clamps to the full region.
+        region_cells = paper_read_region(tensor_3d.shape).n_cells
+        assert wr.read.n_queries == min(64, region_cells)
+        assert wr.read.n_found <= wr.read.n_queries

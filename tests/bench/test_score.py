@@ -1,0 +1,71 @@
+"""Unit tests for the Table IV scoring construction."""
+
+import pytest
+
+from repro.bench import metric_scores, normalize_cells, overall_scores
+
+
+def cells(**by_format):
+    """One (pattern, ndim) cell for brevity."""
+    return {("GSP", 3, fmt): v for fmt, v in by_format.items()}
+
+
+class TestNormalize:
+    def test_divides_by_cell_max(self):
+        out = normalize_cells(cells(A=2.0, B=4.0))
+        assert out[("GSP", 3, "A")] == pytest.approx(0.5)
+        assert out[("GSP", 3, "B")] == pytest.approx(1.0)
+
+    def test_cells_normalized_independently(self):
+        data = {
+            ("GSP", 2, "A"): 1.0,
+            ("GSP", 2, "B"): 10.0,
+            ("TSP", 3, "A"): 100.0,
+            ("TSP", 3, "B"): 50.0,
+        }
+        out = normalize_cells(data)
+        assert out[("GSP", 2, "A")] == pytest.approx(0.1)
+        assert out[("TSP", 3, "A")] == pytest.approx(1.0)
+
+    def test_zero_cell(self):
+        out = normalize_cells(cells(A=0.0, B=0.0))
+        assert out[("GSP", 3, "A")] == 0.0
+
+
+class TestMetricScores:
+    def test_averages_over_cells(self):
+        data = {
+            ("GSP", 2, "A"): 1.0, ("GSP", 2, "B"): 2.0,
+            ("GSP", 3, "A"): 3.0, ("GSP", 3, "B"): 1.0,
+        }
+        scores = metric_scores(data)
+        assert scores["A"] == pytest.approx((0.5 + 1.0) / 2)
+        assert scores["B"] == pytest.approx((1.0 + 1 / 3) / 2)
+
+
+class TestOverallScores:
+    def test_equal_weights_and_ordering(self):
+        per_metric = {
+            "write_time": cells(A=1.0, B=2.0),
+            "file_size": cells(A=1.0, B=2.0),
+            "read_time": cells(A=2.0, B=1.0),
+        }
+        results = overall_scores(per_metric)
+        assert [r.format_name for r in results] == ["A", "B"]
+        a = results[0]
+        assert a.score == pytest.approx((0.5 + 0.5 + 1.0) / 3)
+        assert a.per_metric["read_time"] == pytest.approx(1.0)
+
+    def test_worst_everywhere_scores_one(self):
+        per_metric = {
+            "write_time": cells(A=1.0, B=5.0),
+            "file_size": cells(A=1.0, B=5.0),
+            "read_time": cells(A=1.0, B=5.0),
+        }
+        results = overall_scores(per_metric)
+        assert results[-1].format_name == "B"
+        assert results[-1].score == pytest.approx(1.0)
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            overall_scores({"write_time": cells(A=1.0)})

@@ -1,0 +1,57 @@
+"""Unit tests for the evaluation sweep."""
+
+import pytest
+
+from repro.bench import run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # A small but real sweep: 2 patterns x 2 dims x 3 formats at tiny scale.
+    return run_sweep(
+        scale="tiny",
+        formats=("COO", "LINEAR", "CSF"),
+        patterns=("GSP", "MSP"),
+        dims=(2, 3),
+        query_sample=64,
+        fsync=False,
+    )
+
+
+class TestSweep:
+    def test_grid_complete(self, sweep):
+        assert len(sweep.records) == 2 * 2 * 3
+
+    def test_cell_lookup(self, sweep):
+        rec = sweep.cell("GSP", 3, "CSF")
+        assert rec.format_name == "CSF"
+        assert rec.write.nnz > 0
+
+    def test_cell_missing(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.cell("TSP", 3, "CSF")
+
+    def test_metric_cells(self, sweep):
+        cells = sweep.metric_cells("file_size")
+        assert len(cells) == 12
+        assert all(v > 0 for v in cells.values())
+        with pytest.raises(KeyError):
+            sweep.metric_cells("latency")
+
+    def test_modeled_metrics_available(self, sweep):
+        assert len(sweep.metric_cells("write_time_modeled")) == 12
+        assert len(sweep.metric_cells("read_time_modeled")) == 12
+
+    def test_scores_cover_formats(self, sweep):
+        scores = sweep.scores()
+        assert {s.format_name for s in scores} == {"COO", "LINEAR", "CSF"}
+        assert all(0 <= s.score <= 1 for s in scores)
+
+    def test_coo_file_size_is_worst(self, sweep):
+        """COO's O(n*d) index dominates every cell's file size."""
+        cells = sweep.metric_cells("file_size")
+        for pattern in ("GSP", "MSP"):
+            for ndim in (2, 3):
+                coo = cells[(pattern, ndim, "COO")]
+                lin = cells[(pattern, ndim, "LINEAR")]
+                assert coo > lin

@@ -1,0 +1,58 @@
+"""Unit tests for phase timing."""
+
+import time
+
+import pytest
+
+from repro.bench import PhaseTimer, time_call
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            time.sleep(0.002)
+        with t.phase("a"):
+            time.sleep(0.002)
+        with t.phase("b"):
+            pass
+        assert t.phases["a"] >= 0.004
+        assert "b" in t.phases
+
+    def test_others_is_residual(self):
+        t = PhaseTimer()
+        with t.total():
+            with t.phase("named"):
+                time.sleep(0.002)
+            time.sleep(0.005)
+        assert t.others_seconds >= 0.004
+        assert t.total_seconds >= t.named_seconds
+
+    def test_breakdown_keys(self):
+        t = PhaseTimer()
+        with t.total():
+            with t.phase("build"):
+                pass
+        b = t.breakdown()
+        assert set(b) == {"build", "others", "sum"}
+        assert b["sum"] >= b["build"]
+
+    def test_add_external(self):
+        t = PhaseTimer()
+        t.add("write", 0.5)
+        t.add("write", 0.25)
+        assert t.phases["write"] == pytest.approx(0.75)
+
+    def test_exception_still_records(self):
+        t = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with t.phase("x"):
+                raise RuntimeError
+        assert "x" in t.phases
+
+
+class TestTimeCall:
+    def test_returns_result(self):
+        secs, result = time_call(lambda a, b: a + b, 2, b=3)
+        assert result == 5
+        assert secs >= 0

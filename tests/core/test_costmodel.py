@@ -1,0 +1,61 @@
+"""Unit tests for repro.core.costmodel."""
+
+from repro.core import NULL_COUNTER, NullCounter, OpCounter
+
+
+class TestOpCounter:
+    def test_charges_accumulate(self):
+        c = OpCounter()
+        c.charge_transforms(10)
+        c.charge_transforms(5)
+        c.charge_comparisons(7)
+        c.charge_pointer_lookups(2)
+        c.charge_memory(3)
+        assert c.transforms == 15
+        assert c.comparisons == 7
+        assert c.total == 27
+
+    def test_sort_charge_is_nlogn(self):
+        c = OpCounter()
+        c.charge_sort(8)
+        assert c.sort_ops == 24  # 8 * log2(8)
+
+    def test_sort_charge_trivial_sizes_free(self):
+        c = OpCounter()
+        c.charge_sort(0)
+        c.charge_sort(1)
+        assert c.sort_ops == 0
+
+    def test_phase_log(self):
+        c = OpCounter()
+        c.charge_comparisons(4, note="scan")
+        assert c.phase_log == [("scan", "comparisons", 4)]
+
+    def test_snapshot(self):
+        c = OpCounter()
+        c.charge_memory(9)
+        snap = c.snapshot()
+        assert snap["memory_ops"] == 9
+        assert snap["total"] == 9
+
+    def test_reset(self):
+        c = OpCounter()
+        c.charge_comparisons(4, note="x")
+        c.reset()
+        assert c.total == 0
+        assert c.phase_log == []
+
+
+class TestNullCounter:
+    def test_discards_everything(self):
+        c = NullCounter()
+        c.charge_transforms(10)
+        c.charge_comparisons(10)
+        c.charge_sort(100)
+        c.charge_pointer_lookups(10)
+        c.charge_memory(10)
+        assert c.total == 0
+
+    def test_shared_instance_is_null(self):
+        NULL_COUNTER.charge_comparisons(1)
+        assert NULL_COUNTER.total == 0

@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INDEX_DTYPE,
+    INDEX_MAX,
+    IndexOverflowError,
+    as_index_array,
+    cell_count,
+    check_linearizable,
+    column_major_strides,
+    fits_index_dtype,
+    row_major_strides,
+)
+from repro.core.dtypes import safe_mul
+
+
+class TestCellCount:
+    def test_simple(self):
+        assert cell_count((3, 4, 5)) == 60
+
+    def test_empty_shape(self):
+        assert cell_count(()) == 1
+
+    def test_zero_dimension(self):
+        assert cell_count((5, 0, 3)) == 0
+
+    def test_exact_beyond_uint64(self):
+        # Exact arithmetic even past the 64-bit boundary.
+        assert cell_count((2**40, 2**40)) == 2**80
+
+
+class TestFitsAndCheck:
+    def test_fits_small(self):
+        assert fits_index_dtype((1000, 1000, 1000))
+
+    def test_fits_exact_boundary(self):
+        # 2^64 cells: last address is 2^64 - 1 == INDEX_MAX -> fits.
+        assert fits_index_dtype((2**32, 2**32))
+
+    def test_overflow_one_past_boundary(self):
+        assert not fits_index_dtype((2**32, 2**32 + 1))
+
+    def test_check_raises_with_guidance(self):
+        with pytest.raises(IndexOverflowError, match="blocks"):
+            check_linearizable((2**40, 2**40))
+
+    def test_check_passes_paper_shapes(self):
+        for shape in [(8192, 8192), (512,) * 3, (128,) * 4]:
+            check_linearizable(shape)
+
+
+class TestAsIndexArray:
+    def test_converts_lists(self):
+        arr = as_index_array([1, 2, 3])
+        assert arr.dtype == INDEX_DTYPE
+        assert arr.tolist() == [1, 2, 3]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_index_array(np.array([-1, 2], dtype=np.int64))
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(ValueError, match="integral"):
+            as_index_array(np.array([1.5, 2.0]))
+
+    def test_accepts_integral_floats(self):
+        assert as_index_array(np.array([1.0, 2.0])).tolist() == [1, 2]
+
+    def test_is_contiguous(self):
+        base = np.arange(20, dtype=np.uint64).reshape(4, 5)
+        view = base[:, ::2]
+        out = as_index_array(view)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestStrides:
+    def test_row_major_3d(self):
+        assert row_major_strides((3, 4, 5)).tolist() == [20, 5, 1]
+
+    def test_column_major_3d(self):
+        assert column_major_strides((3, 4, 5)).tolist() == [1, 3, 12]
+
+    def test_row_major_1d(self):
+        assert row_major_strides((7,)).tolist() == [1]
+
+    def test_strides_dtype(self):
+        assert row_major_strides((2, 2)).dtype == INDEX_DTYPE
+
+    def test_overflow_guard(self):
+        with pytest.raises(IndexOverflowError):
+            row_major_strides((2**33, 2**33))
+
+
+class TestSafeMul:
+    def test_ok(self):
+        assert safe_mul(3, 4) == 12
+
+    def test_boundary(self):
+        assert safe_mul(INDEX_MAX, 1) == INDEX_MAX
+
+    def test_overflow(self):
+        with pytest.raises(IndexOverflowError):
+            safe_mul(INDEX_MAX, 2)

@@ -1,0 +1,104 @@
+"""Unit tests for scipy interoperability."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import ShapeError, SparseTensor
+from repro.core.errors import FormatError
+from repro.formats import GCSCFormat, GCSRFormat
+from repro.interop import (
+    fold_to_scipy,
+    from_scipy,
+    gcsc_payload_to_scipy,
+    gcsr_payload_to_scipy,
+    to_scipy,
+)
+
+
+class TestToFromScipy:
+    def test_round_trip_csr(self, tensor_2d):
+        mat = to_scipy(tensor_2d, format="csr")
+        assert sp.issparse(mat)
+        back = from_scipy(mat)
+        assert back.same_points(tensor_2d)
+
+    @pytest.mark.parametrize("fmt", ["csr", "csc", "coo"])
+    def test_formats(self, tensor_2d, fmt):
+        mat = to_scipy(tensor_2d, format=fmt)
+        assert mat.getformat() == fmt
+        assert mat.nnz == tensor_2d.nnz
+
+    def test_dense_agreement(self, tensor_2d):
+        mat = to_scipy(tensor_2d)
+        assert np.allclose(mat.toarray(), tensor_2d.to_dense())
+
+    def test_3d_rejected(self, tensor_3d):
+        with pytest.raises(ShapeError, match="2D"):
+            to_scipy(tensor_3d)
+
+    def test_from_scipy_random(self, rng):
+        mat = sp.random(40, 60, density=0.05, random_state=7, format="csc")
+        t = from_scipy(mat)
+        assert t.shape == (40, 60)
+        assert np.allclose(t.to_dense(), mat.toarray())
+
+
+class TestFoldToScipy:
+    def test_3d_fold_preserves_values(self, tensor_3d):
+        mat = fold_to_scipy(tensor_3d)
+        assert mat.shape[0] == min(tensor_3d.shape)
+        assert mat.nnz == tensor_3d.nnz
+        assert mat.sum() == pytest.approx(tensor_3d.values.sum())
+
+    def test_fold_cell_addressing(self):
+        """A folded cell maps back via the shared linear address."""
+        t = SparseTensor.from_points((3, 3, 3), [(0, 1, 1)], [7.0])
+        mat = fold_to_scipy(t).tocoo()
+        addr = int(mat.row[0]) * 9 + int(mat.col[0])
+        assert addr == 4  # linearize((0,1,1), (3,3,3))
+
+    def test_spmv_through_fold(self, tensor_3d):
+        """scipy kernels work on the folded tensor: row sums via SpMV."""
+        mat = fold_to_scipy(tensor_3d)
+        ones = np.ones(mat.shape[1])
+        row_sums = mat @ ones
+        # Row r of the fold collects points with coords[0] slice of the
+        # smallest dim... validated against a direct group-by.
+        from repro.core import fold_coords_2d
+
+        coords2d, _ = fold_coords_2d(tensor_3d.coords, tensor_3d.shape)
+        expected = np.zeros(mat.shape[0])
+        np.add.at(expected, coords2d[:, 0].astype(np.int64),
+                  tensor_3d.values)
+        assert np.allclose(row_sums, expected)
+
+
+class TestPayloadWrapping:
+    def test_gcsr_payload(self, tensor_3d):
+        fmt = GCSRFormat()
+        result = fmt.build(tensor_3d.coords, tensor_3d.shape)
+        values = tensor_3d.values[result.perm]
+        mat = gcsr_payload_to_scipy(result.payload, result.meta, values)
+        assert mat.nnz == tensor_3d.nnz
+        assert mat.sum() == pytest.approx(tensor_3d.values.sum())
+        # Dense agreement with the fold.
+        assert np.allclose(
+            mat.toarray(), fold_to_scipy(tensor_3d, format="csr").toarray()
+        )
+
+    def test_gcsc_payload(self, tensor_3d):
+        fmt = GCSCFormat()
+        result = fmt.build(tensor_3d.coords, tensor_3d.shape)
+        values = tensor_3d.values[result.perm]
+        mat = gcsc_payload_to_scipy(result.payload, result.meta, values)
+        assert mat.nnz == tensor_3d.nnz
+        assert np.allclose(
+            mat.toarray(), fold_to_scipy(tensor_3d, format="csc").toarray()
+        )
+
+    def test_wrong_payload_rejected(self):
+        with pytest.raises(FormatError):
+            gcsr_payload_to_scipy({}, {}, np.empty(0))
+        with pytest.raises(FormatError):
+            gcsc_payload_to_scipy({}, {}, np.empty(0))

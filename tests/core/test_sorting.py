@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.sorting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ShapeError,
+    apply_map,
+    counts_to_pointer,
+    invert_permutation,
+    is_permutation,
+    lexsort_rows,
+    segment_boundaries,
+    stable_argsort,
+)
+
+
+class TestStableArgsort:
+    def test_sorts(self):
+        keys = np.array([3, 1, 2], dtype=np.uint64)
+        assert stable_argsort(keys).tolist() == [1, 2, 0]
+
+    def test_stability(self):
+        # Equal keys keep input order — required for the GCSR++ map vector.
+        keys = np.array([1, 0, 1, 0, 1], dtype=np.uint64)
+        assert stable_argsort(keys).tolist() == [1, 3, 0, 2, 4]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            stable_argsort(np.zeros((2, 2)))
+
+
+class TestLexsortRows:
+    def test_dim0_most_significant(self):
+        coords = np.array([[1, 0], [0, 5], [0, 2], [1, 1]], dtype=np.uint64)
+        perm = lexsort_rows(coords)
+        assert coords[perm].tolist() == [[0, 2], [0, 5], [1, 0], [1, 1]]
+
+    def test_matches_linear_order(self, rng):
+        from repro.core import linearize
+
+        shape = (9, 8, 7)
+        coords = np.column_stack(
+            [rng.integers(0, m, size=300, dtype=np.uint64) for m in shape]
+        )
+        perm = lexsort_rows(coords)
+        addr = linearize(coords, shape)
+        assert np.array_equal(np.sort(addr), addr[perm])
+
+    def test_single_column(self):
+        coords = np.array([[3], [1], [2]], dtype=np.uint64)
+        assert lexsort_rows(coords).tolist() == [1, 2, 0]
+
+    def test_empty(self):
+        assert lexsort_rows(np.empty((0, 2), dtype=np.uint64)).shape == (0,)
+
+
+class TestPermutations:
+    def test_invert(self, rng):
+        perm = rng.permutation(40)
+        inv = invert_permutation(perm)
+        assert np.array_equal(perm[inv], np.arange(40))
+        assert np.array_equal(inv[perm], np.arange(40))
+
+    def test_is_permutation(self, rng):
+        assert is_permutation(rng.permutation(10))
+        assert is_permutation(np.array([], dtype=np.intp))
+        assert not is_permutation(np.array([0, 0, 2]))
+        assert not is_permutation(np.array([0, 3]))
+        assert not is_permutation(np.zeros((2, 2), dtype=np.intp))
+
+    def test_apply_map_none_is_noop(self):
+        buf = np.arange(5.0)
+        assert apply_map(buf, None) is buf
+
+    def test_apply_map_gathers(self):
+        buf = np.array([10.0, 20.0, 30.0])
+        perm = np.array([2, 0, 1])
+        assert apply_map(buf, perm).tolist() == [30.0, 10.0, 20.0]
+
+    def test_apply_map_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            apply_map(np.arange(3.0), np.array([0, 1]))
+
+
+class TestPointersAndSegments:
+    def test_counts_to_pointer(self):
+        ptr = counts_to_pointer(np.array([3, 0, 2]))
+        assert ptr.tolist() == [0, 3, 3, 5]
+
+    def test_counts_to_pointer_empty(self):
+        assert counts_to_pointer(np.array([], dtype=int)).tolist() == [0]
+
+    def test_segment_boundaries(self):
+        keys = np.array([2, 2, 5, 7, 7, 7], dtype=np.uint64)
+        uniq, offs = segment_boundaries(keys)
+        assert uniq.tolist() == [2, 5, 7]
+        assert offs.tolist() == [0, 2, 3, 6]
+
+    def test_segment_boundaries_empty(self):
+        uniq, offs = segment_boundaries(np.array([], dtype=np.uint64))
+        assert uniq.shape == (0,)
+        assert offs.tolist() == [0]

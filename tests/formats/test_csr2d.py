@@ -1,0 +1,140 @@
+"""Unit tests for the classic CSR/CSC 2D kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import OpCounter
+from repro.core.errors import FormatError
+from repro.formats import CSRMatrix, csr_pack, csr_query_scan, csr_query_vectorized
+from repro.formats.csr2d import csr_to_dense
+
+
+def make_points(rng, nrows=7, ncols=40, n=120):
+    rows = rng.integers(0, nrows, size=n, dtype=np.uint64)
+    cols = rng.integers(0, ncols, size=n, dtype=np.uint64)
+    # dedupe (r, c) pairs
+    key = rows * ncols + cols
+    _, idx = np.unique(key, return_index=True)
+    idx = np.sort(idx)
+    return rows[idx], cols[idx]
+
+
+class TestPack:
+    def test_basic_structure(self):
+        rows = np.array([2, 0, 2, 1], dtype=np.uint64)
+        cols = np.array([5, 3, 1, 4], dtype=np.uint64)
+        m, perm = csr_pack(rows, cols, 3)
+        assert m.indptr.tolist() == [0, 1, 2, 4]
+        # Stable sort by row: row2 keeps input order (5 then 1).
+        assert m.indices.tolist() == [3, 4, 5, 1]
+        assert perm.tolist() == [1, 3, 0, 2]
+        m.validate()
+
+    def test_empty_rows_have_zero_segments(self):
+        rows = np.array([4], dtype=np.uint64)
+        cols = np.array([0], dtype=np.uint64)
+        m, _ = csr_pack(rows, cols, 6)
+        assert m.indptr.tolist() == [0, 0, 0, 0, 0, 1, 1]
+
+    def test_row_out_of_range(self):
+        with pytest.raises(FormatError, match="out of range"):
+            csr_pack(np.array([9], dtype=np.uint64),
+                     np.array([0], dtype=np.uint64), 3)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(FormatError):
+            csr_pack(np.array([1], dtype=np.uint64),
+                     np.array([1, 2], dtype=np.uint64), 3)
+
+    def test_sort_charge(self):
+        counter = OpCounter()
+        rows = np.arange(16, dtype=np.uint64)
+        csr_pack(rows, rows, 16, counter=counter)
+        assert counter.sort_ops == 64  # 16 * log2(16)
+
+
+class TestValidate:
+    def test_catches_bad_indptr_start(self):
+        m = CSRMatrix(2, 4, np.array([1, 1, 1], dtype=np.uint64),
+                      np.empty(0, dtype=np.uint64))
+        with pytest.raises(FormatError, match="start at 0"):
+            m.validate()
+
+    def test_catches_length_mismatch(self):
+        m = CSRMatrix(2, 4, np.array([0, 1], dtype=np.uint64),
+                      np.array([0], dtype=np.uint64))
+        with pytest.raises(FormatError, match="indptr length"):
+            m.validate()
+
+    def test_catches_wrong_total(self):
+        m = CSRMatrix(1, 4, np.array([0, 2], dtype=np.uint64),
+                      np.array([0], dtype=np.uint64))
+        with pytest.raises(FormatError, match="nnz"):
+            m.validate()
+
+
+class TestQueries:
+    def test_scan_and_vectorized_agree(self, rng):
+        rows, cols = make_points(rng)
+        m, _ = csr_pack(rows, cols, 7)
+        # query all stored plus some misses
+        qr = np.concatenate([rows, rng.integers(0, 7, 30, dtype=np.uint64)])
+        qc = np.concatenate([cols, rng.integers(0, 40, 30, dtype=np.uint64)])
+        f1, p1 = csr_query_scan(m, qr, qc)
+        f2, p2 = csr_query_vectorized(m, qr, qc)
+        assert np.array_equal(f1, f2)
+        assert np.array_equal(p1, p2)
+
+    def test_hits_map_to_sorted_positions(self, rng):
+        rows, cols = make_points(rng)
+        m, perm = csr_pack(rows, cols, 7)
+        f, p = csr_query_vectorized(m, rows, cols)
+        assert f.all()
+        # position i in the packed arrays corresponds to original perm[i]
+        assert np.array_equal(rows[perm][p], rows)
+        assert np.array_equal(cols[perm][p], cols)
+
+    def test_row_out_of_range_query_misses(self, rng):
+        rows, cols = make_points(rng)
+        m, _ = csr_pack(rows, cols, 7)
+        f, _ = csr_query_vectorized(
+            m, np.array([100], dtype=np.uint64), np.array([0], dtype=np.uint64)
+        )
+        assert not f[0]
+
+    def test_scan_op_accounting(self):
+        rows = np.array([0, 0, 0, 1], dtype=np.uint64)
+        cols = np.array([1, 2, 3, 1], dtype=np.uint64)
+        m, _ = csr_pack(rows, cols, 2)
+        counter = OpCounter()
+        csr_query_scan(m, np.array([0, 1], dtype=np.uint64),
+                       np.array([2, 0], dtype=np.uint64), counter=counter)
+        # scans row0 (3 entries) + row1 (1 entry)
+        assert counter.comparisons == 4
+        assert counter.pointer_lookups == 4
+
+    def test_empty_query(self, rng):
+        rows, cols = make_points(rng)
+        m, _ = csr_pack(rows, cols, 7)
+        f, p = csr_query_vectorized(
+            m, np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.uint64)
+        )
+        assert f.shape == (0,)
+
+    def test_duplicate_in_segment_returns_first(self):
+        rows = np.array([0, 0], dtype=np.uint64)
+        cols = np.array([5, 5], dtype=np.uint64)
+        m, _ = csr_pack(rows, cols, 1)
+        f, p = csr_query_vectorized(m, np.array([0], dtype=np.uint64),
+                                    np.array([5], dtype=np.uint64))
+        assert f[0] and p[0] == 0
+
+
+class TestDense:
+    def test_round_trip_occupancy(self, rng):
+        rows, cols = make_points(rng, nrows=4, ncols=6, n=15)
+        m, _ = csr_pack(rows, cols, 4)
+        dense = csr_to_dense(m)
+        assert dense.sum() == m.nnz
+        for r, c in zip(rows, cols):
+            assert dense[int(r), int(c)] == 1

@@ -1,0 +1,81 @@
+"""Unit + property tests for format decode (the inverse transform)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import SparseTensor, invert_permutation
+from repro.formats import available_formats, get_format
+
+from ..property.test_roundtrip import sparse_tensors
+
+
+@pytest.mark.parametrize("fmt_name", available_formats())
+class TestDecodePerFormat:
+    def test_round_trip_fixture(self, any_tensor, fmt_name):
+        enc = get_format(fmt_name).encode(any_tensor)
+        back = enc.decode()
+        assert back.same_points(any_tensor)
+
+    def test_coords_aligned_with_values(self, tensor_3d, fmt_name):
+        """decode()[i] must be the coordinate whose value is values[i]."""
+        fmt = get_format(fmt_name)
+        result = fmt.build(tensor_3d.coords, tensor_3d.shape)
+        coords = fmt.decode(result.payload, result.meta, tensor_3d.shape)
+        if result.perm is None:
+            assert np.array_equal(coords, tensor_3d.coords)
+        else:
+            assert np.array_equal(coords, tensor_3d.coords[result.perm])
+
+    def test_empty(self, fmt_name):
+        fmt = get_format(fmt_name)
+        result = fmt.build(np.empty((0, 3), dtype=np.uint64), (4, 4, 4))
+        coords = fmt.decode(result.payload, result.meta, (4, 4, 4))
+        assert coords.shape == (0, 3)
+
+    def test_fig1(self, fig1_tensor, fmt_name):
+        enc = get_format(fmt_name).encode(fig1_tensor)
+        assert enc.decode().same_points(fig1_tensor)
+
+
+class TestDecodeProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_tensors())
+    def test_decode_inverts_build(self, tensor):
+        for name in available_formats():
+            enc = get_format(name).encode(tensor)
+            back = enc.decode()
+            assert back.same_points(tensor), name
+
+
+class TestDecodeEdgeCases:
+    def test_csf_rectangular_dims(self, rng):
+        shape = (50, 3, 17)
+        coords = np.unique(
+            np.column_stack(
+                [rng.integers(0, m, 150, dtype=np.uint64) for m in shape]
+            ),
+            axis=0,
+        )
+        t = SparseTensor(shape, coords, rng.standard_normal(coords.shape[0]))
+        enc = get_format("CSF").encode(t)
+        assert enc.decode().same_points(t)
+
+    def test_gcsc_decode_order_is_column_major(self, fig1_tensor):
+        """GCSC++ stores points column-by-column; decode preserves that."""
+        fmt = get_format("GCSC++")
+        result = fmt.build(fig1_tensor.coords, fig1_tensor.shape)
+        coords = fmt.decode(result.payload, result.meta, fig1_tensor.shape)
+        # Stored order == original[perm].
+        assert np.array_equal(coords, fig1_tensor.coords[result.perm])
+
+    def test_duplicate_points_survive_decode(self):
+        coords = np.array([[1, 1], [1, 1], [2, 2]], dtype=np.uint64)
+        vals = np.array([1.0, 2.0, 3.0])
+        for name in available_formats():
+            fmt = get_format(name)
+            result = fmt.build(coords, (4, 4))
+            out = fmt.decode(result.payload, result.meta, (4, 4))
+            assert out.shape == (3, 2), name
+            # Both duplicates present.
+            assert (out == np.array([1, 1], dtype=np.uint64)).all(1).sum() == 2

@@ -1,0 +1,46 @@
+"""Unit tests for the EncodedTensor convenience wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import Box
+from repro.formats import available_formats, get_format
+
+
+class TestEncodedTensor:
+    def test_footprints(self, tensor_3d):
+        enc = get_format("LINEAR").encode(tensor_3d)
+        assert enc.index_nbytes == tensor_3d.nnz * 8
+        assert enc.value_nbytes == tensor_3d.nnz * 8
+        assert enc.nbytes == enc.index_nbytes + enc.value_nbytes
+
+    def test_read_dense_box(self, fig1_tensor):
+        enc = get_format("GCSR++").encode(fig1_tensor)
+        window = enc.read_dense_box(Box((0, 0, 0), (3, 3, 3)))
+        assert window.shape == (3, 3, 3)
+        assert np.array_equal(window, fig1_tensor.to_dense())
+
+    def test_read_dense_box_partial_window(self, fig1_tensor):
+        enc = get_format("CSF").encode(fig1_tensor)
+        window = enc.read_dense_box(Box((0, 1, 1), (1, 2, 2)))
+        assert window.shape == (1, 2, 2)
+        # Cells (0,1,1)=2 and (0,1,2)=3 are present; the rest are zero.
+        assert window[0, 0, 0] == 2.0
+        assert window[0, 0, 1] == 3.0
+        assert window[0, 1, 0] == 0.0
+
+    @pytest.mark.parametrize("fmt_name", available_formats())
+    def test_dense_box_all_formats(self, fig1_tensor, fmt_name):
+        enc = get_format(fmt_name).encode(fig1_tensor)
+        window = enc.read_dense_box(Box((0, 0, 0), (3, 3, 3)))
+        assert np.array_equal(window, fig1_tensor.to_dense()), fmt_name
+
+    def test_values_follow_map(self, tensor_2d):
+        fmt = get_format("GCSC++")
+        enc = fmt.encode(tensor_2d)
+        result = fmt.build(tensor_2d.coords, tensor_2d.shape)
+        assert np.array_equal(enc.values, tensor_2d.values[result.perm])
+
+    def test_nnz_matches(self, tensor_2d):
+        enc = get_format("COO").encode(tensor_2d)
+        assert enc.nnz == tensor_2d.nnz

@@ -1,0 +1,47 @@
+"""Unit tests for the format registry."""
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.formats import (
+    EXTENSION_FORMATS,
+    PAPER_FORMATS,
+    SparseFormat,
+    available_formats,
+    get_format,
+    register_format,
+)
+
+
+class TestRegistry:
+    def test_paper_formats_in_presentation_order(self):
+        assert PAPER_FORMATS == ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF")
+
+    def test_all_registered_formats_instantiate(self):
+        for name in available_formats():
+            fmt = get_format(name)
+            assert isinstance(fmt, SparseFormat)
+            assert fmt.name == name
+
+    def test_case_insensitive(self):
+        assert get_format("csf").name == "CSF"
+        assert get_format("gcsr++").name == "GCSR++"
+
+    def test_unknown_raises(self):
+        with pytest.raises(FormatError, match="unknown format"):
+            get_format("BTREE")
+
+    def test_extensions_not_in_paper_set(self):
+        assert set(EXTENSION_FORMATS).isdisjoint(PAPER_FORMATS)
+        assert available_formats(include_extensions=False) == PAPER_FORMATS
+
+    def test_register_custom(self):
+        from repro.formats import COOFormat
+
+        class MyFormat(COOFormat):
+            name = "TEST-CUSTOM"
+
+        register_format("TEST-CUSTOM", MyFormat)
+        assert get_format("test-custom").name == "TEST-CUSTOM"
+        with pytest.raises(FormatError, match="already registered"):
+            register_format("TEST-CUSTOM", MyFormat)

@@ -1,0 +1,119 @@
+"""Measured operation counts vs the Table I closed forms.
+
+The op-counting layer is how this reproduction validates Table I exactly
+(wall-clock on NumPy has the wrong constants).  For each organization,
+BUILD and READ are run with an OpCounter and the tallies are compared
+against :mod:`repro.analysis.complexity`'s formulas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_ops, read_ops
+from repro.core import OpCounter
+from repro.formats import get_format
+from repro.patterns import GSPPattern
+
+SHAPE = (24, 24, 24)
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return GSPPattern(SHAPE, threshold=0.97).generate(9)
+
+
+@pytest.fixture(scope="module")
+def queries(tensor):
+    rng = np.random.default_rng(4)
+    absent = np.column_stack(
+        [rng.integers(0, m, size=100, dtype=np.uint64) for m in SHAPE]
+    )
+    return np.vstack([tensor.coords[:100], absent])
+
+
+def measured_counts(fmt_name, tensor, queries):
+    fmt = get_format(fmt_name)
+    build_counter = OpCounter()
+    result = fmt.build(tensor.coords, tensor.shape, counter=build_counter)
+    read_counter = OpCounter()
+    fmt.read_faithful(
+        result.payload, result.meta, tensor.shape, queries,
+        counter=read_counter,
+    )
+    return build_counter, read_counter
+
+
+class TestBuildCounts:
+    def test_coo(self, tensor, queries):
+        b, _ = measured_counts("COO", tensor, queries)
+        assert b.total == 0  # O(1): nothing charged per point
+
+    def test_linear(self, tensor, queries):
+        b, _ = measured_counts("LINEAR", tensor, queries)
+        assert b.total == build_ops("LINEAR", tensor.nnz, SHAPE)
+
+    @pytest.mark.parametrize("fmt", ["GCSR++", "GCSC++"])
+    def test_gcsr_family(self, tensor, queries, fmt):
+        b, _ = measured_counts(fmt, tensor, queries)
+        n = tensor.nnz
+        # Table I: n log n (sort) + 2n (one transform + one packaging
+        # operation per point).
+        assert b.sort_ops == pytest.approx(n * np.log2(n), rel=0.01)
+        assert b.transforms == n
+        assert b.memory_ops == n
+        assert b.total == pytest.approx(build_ops(fmt, n, SHAPE), rel=0.01)
+
+    def test_csf(self, tensor, queries):
+        b, _ = measured_counts("CSF", tensor, queries)
+        n = tensor.nnz
+        assert b.sort_ops == pytest.approx(n * np.log2(n), rel=0.01)
+        assert b.transforms == n * 3  # the n*d tree pass
+
+    def test_build_ordering_matches_table1(self, tensor, queries):
+        """Measured totals reproduce COO < LINEAR < GCSR++ <= GCSC++ <= CSF."""
+        totals = [
+            measured_counts(f, tensor, queries)[0].total
+            for f in ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF")
+        ]
+        assert totals == sorted(totals)
+
+
+class TestReadCounts:
+    def test_coo_exact(self, tensor, queries):
+        _, r = measured_counts("COO", tensor, queries)
+        assert r.comparisons == tensor.nnz * queries.shape[0]
+
+    def test_linear_exact(self, tensor, queries):
+        _, r = measured_counts("LINEAR", tensor, queries)
+        q = queries.shape[0]
+        assert r.comparisons == tensor.nnz * q
+        assert r.transforms == q * 3
+
+    @pytest.mark.parametrize("fmt", ["GCSR++", "GCSC++"])
+    def test_gcsr_family_close_to_model(self, tensor, queries, fmt):
+        _, r = measured_counts(fmt, tensor, queries)
+        q = queries.shape[0]
+        model = read_ops(fmt, tensor.nnz, q, SHAPE)
+        # The model uses the average row occupancy; actual segment lengths
+        # vary, so allow 50 %.
+        assert r.total == pytest.approx(model, rel=0.5)
+
+    def test_csf_logarithmic(self, tensor, queries):
+        _, r = measured_counts("CSF", tensor, queries)
+        q = queries.shape[0]
+        n = tensor.nnz
+        # Far below any scan: within q * d * log2(n).
+        assert r.comparisons <= q * 3 * np.ceil(np.log2(n + 1))
+        assert r.comparisons < n * q / 10
+
+    def test_read_ordering_matches_table1(self, tensor, queries):
+        """Measured read totals reproduce CSF < GCSR++/GCSC++ << LINEAR <=
+        COO (fastest first) for a 3D tensor."""
+        totals = {
+            f: measured_counts(f, tensor, queries)[1].total
+            for f in ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF")
+        }
+        assert totals["CSF"] < totals["GCSR++"]
+        assert totals["GCSR++"] < totals["LINEAR"] / 10
+        assert totals["GCSC++"] < totals["LINEAR"] / 10
+        assert totals["LINEAR"] <= totals["COO"] * 1.01

@@ -1,0 +1,160 @@
+"""Integration tests for the paper's headline empirical claims.
+
+These run small-but-real write/read benchmarks and check the *orderings*
+the paper reports (who wins, where the crossovers are) rather than absolute
+times — the shape-preservation contract of this reproduction (DESIGN.md §4,
+§6).  Size claims are deterministic; time claims use op counts where
+wall-clock would be flaky.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OpCounter
+from repro.formats import get_format
+from repro.patterns import GSPPattern, TSPPattern, make_pattern
+from repro.storage import PERLMUTTER_LUSTRE
+
+
+def index_nbytes(fmt_name, tensor):
+    result = get_format(fmt_name).build(tensor.coords, tensor.shape)
+    return result.index_nbytes()
+
+
+@pytest.fixture(scope="module")
+def gsp_3d():
+    return GSPPattern((48, 48, 48), threshold=0.99).generate(31)
+
+
+@pytest.fixture(scope="module")
+def gsp_4d():
+    return GSPPattern((20, 20, 20, 20), threshold=0.99).generate(32)
+
+
+@pytest.fixture(scope="module")
+def gsp_2d():
+    return GSPPattern((320, 320), threshold=0.99).generate(33)
+
+
+class TestFileSizeClaims:
+    """§III-B: LINEAR < GCSR++ <= GCSC++ <= CSF <= COO."""
+
+    def test_size_ordering_gsp(self, gsp_3d):
+        sizes = {
+            f: index_nbytes(f, gsp_3d)
+            for f in ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF")
+        }
+        assert sizes["LINEAR"] < sizes["GCSR++"]
+        assert sizes["GCSR++"] == sizes["GCSC++"]
+        assert sizes["GCSC++"] <= sizes["CSF"]
+        assert sizes["CSF"] <= sizes["COO"]
+
+    def test_coo_reduction_factor_is_d(self, gsp_4d):
+        """'the potential reduction in storage space can be as much as
+        O(d) times' — LINEAR stores d x fewer index bytes than COO."""
+        coo = index_nbytes("COO", gsp_4d)
+        lin = index_nbytes("LINEAR", gsp_4d)
+        assert coo == 4 * lin
+
+    def test_csf_varies_with_pattern(self):
+        """§III-B: CSF size varies across patterns; clustered TSP
+        compresses far better than uniform GSP."""
+        shape = (64, 64, 64)
+        tsp = TSPPattern(shape, band_width=1).generate(7)
+        gsp = GSPPattern(shape, threshold=0.995).generate(7)
+
+        def csf_per_point(t):
+            return index_nbytes("CSF", t) / t.nnz
+
+        assert csf_per_point(tsp) < 0.75 * csf_per_point(gsp)
+
+    def test_csf_within_paper_bounds(self, gsp_3d):
+        """CSF size between the §II-E best and worst cases."""
+        from repro.analysis import csf_space_bounds
+
+        elements = index_nbytes("CSF", gsp_3d) // 8
+        bounds = csf_space_bounds(gsp_3d.nnz, gsp_3d.ndim)
+        # fptr pointers add <= one entry per node + per-level terminators.
+        assert bounds.best <= elements <= 2 * bounds.worst
+
+
+class TestWriteClaims:
+    """§III-A: build cost ordering + the COO payback effect."""
+
+    def test_build_op_ordering(self, gsp_3d):
+        totals = []
+        for f in ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF"):
+            c = OpCounter()
+            get_format(f).build(gsp_3d.coords, gsp_3d.shape, counter=c)
+            totals.append(c.total)
+        assert totals == sorted(totals)
+
+    def test_coo_payback_on_modeled_pfs(self, gsp_4d):
+        """Table III's lesson: COO's free build loses to LINEAR once the
+        4x-larger fragment goes through the filesystem model."""
+        coo_bytes = index_nbytes("COO", gsp_4d) + gsp_4d.nnz * 8
+        lin_bytes = index_nbytes("LINEAR", gsp_4d) + gsp_4d.nnz * 8
+        coo_total = PERLMUTTER_LUSTRE.write_time(coo_bytes)  # build ~ 0
+        # LINEAR pays n*d transforms at ~1e9 ops/s, then writes fewer bytes.
+        lin_build = gsp_4d.nnz * 4 / 1e9
+        lin_total = lin_build + PERLMUTTER_LUSTRE.write_time(lin_bytes)
+        assert lin_total < coo_total
+
+    def test_gcsc_sort_work_exceeds_gcsr_on_row_major_input(self, gsp_3d):
+        """§III-A / Table III: with row-major-ordered input, GCSR++'s sort
+        keys are presorted while GCSC++'s are scattered.  Measured via the
+        actual permutation displacement (proxy for sort + gather work)."""
+        t = gsp_3d.sorted_by_linear()
+        gcsr = get_format("GCSR++").build(t.coords, t.shape)
+        gcsc = get_format("GCSC++").build(t.coords, t.shape)
+        disp_r = np.abs(gcsr.perm - np.arange(t.nnz)).mean()
+        disp_c = np.abs(gcsc.perm - np.arange(t.nnz)).mean()
+        assert disp_r == 0.0
+        assert disp_c > t.nnz / 10
+
+
+class TestReadClaims:
+    """§III-C: read cost orderings and the 2D/3D crossover for CSF."""
+
+    def _read_total(self, fmt_name, tensor, q=64):
+        fmt = get_format(fmt_name)
+        result = fmt.build(tensor.coords, tensor.shape)
+        rng = np.random.default_rng(0)
+        queries = tensor.coords[
+            rng.choice(tensor.nnz, size=min(q, tensor.nnz), replace=False)
+        ]
+        c = OpCounter()
+        fmt.read_faithful(result.payload, result.meta, tensor.shape, queries,
+                          counter=c)
+        return c.total
+
+    def test_compressed_formats_beat_scans_3d(self, gsp_3d):
+        coo = self._read_total("COO", gsp_3d)
+        gcsr = self._read_total("GCSR++", gsp_3d)
+        csf = self._read_total("CSF", gsp_3d)
+        assert gcsr < coo / 10
+        assert csf < coo / 10
+
+    def test_csf_beats_gcsr_at_4d_but_not_2d(self, gsp_2d, gsp_4d):
+        """§III-C: 'CSF exhibits lower performance when handling 2D tensors
+        but surpasses GCSR++/GCSC++ when dealing with 3D or 4D tensors.'
+
+        In 2D, GCSR++ is plain CSR with short rows and no fold overhead; in
+        4D the folded rows are long and CSF's descent wins."""
+        # 4D: CSF clearly cheaper.
+        assert (
+            self._read_total("CSF", gsp_4d)
+            < 0.5 * self._read_total("GCSR++", gsp_4d)
+        )
+        # 2D: GCSR++ at least competitive (CSF not more than ~2x better,
+        # typically worse; at 320x320 with ~1k points rows are short).
+        csf_2d = self._read_total("CSF", gsp_2d)
+        gcsr_2d = self._read_total("GCSR++", gsp_2d)
+        assert gcsr_2d < 3 * csf_2d
+
+    def test_gcsr_degrades_with_dimensionality(self, gsp_2d, gsp_4d):
+        """Read cost per query grows with d for GCSR++ (longer folded
+        rows), the paper's scalability caveat (§IV)."""
+        per_q_2d = self._read_total("GCSR++", gsp_2d) / 64
+        per_q_4d = self._read_total("GCSR++", gsp_4d) / 64
+        assert per_q_4d > per_q_2d

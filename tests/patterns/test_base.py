@@ -1,0 +1,76 @@
+"""Unit tests for pattern generator plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatternError
+from repro.patterns import (
+    GSPPattern,
+    bernoulli_point_count,
+    sample_distinct_addresses,
+)
+
+
+class TestSampleDistinct:
+    def test_distinct_and_in_range(self, rng):
+        addrs = sample_distinct_addresses(1000, 200, rng)
+        assert addrs.shape == (200,)
+        assert np.unique(addrs).shape == (200,)
+        assert int(addrs.max()) < 1000
+
+    def test_dense_regime_uses_choice(self, rng):
+        addrs = sample_distinct_addresses(100, 80, rng)
+        assert np.unique(addrs).shape == (80,)
+
+    def test_all_cells(self, rng):
+        addrs = sample_distinct_addresses(50, 50, rng)
+        assert sorted(addrs.tolist()) == list(range(50))
+
+    def test_zero(self, rng):
+        assert sample_distinct_addresses(10, 0, rng).shape == (0,)
+
+    def test_too_many(self, rng):
+        with pytest.raises(PatternError):
+            sample_distinct_addresses(10, 11, rng)
+
+
+class TestBernoulliCount:
+    def test_mean_tracks_p(self, rng):
+        counts = [bernoulli_point_count(100_000, 0.01, rng) for _ in range(20)]
+        assert np.mean(counts) == pytest.approx(1000, rel=0.1)
+
+    def test_zero_p(self, rng):
+        assert bernoulli_point_count(1000, 0.0, rng) == 0
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(PatternError):
+            bernoulli_point_count(10, 1.5, rng)
+
+
+class TestGenerateContract:
+    def test_deterministic_under_seed(self):
+        gen = GSPPattern((64, 64), threshold=0.95)
+        a = gen.generate(np.random.default_rng(3))
+        b = gen.generate(np.random.default_rng(3))
+        assert a.same_points(b)
+        assert np.array_equal(a.coords, b.coords)  # same shuffle too
+
+    def test_output_is_shuffled(self):
+        """Paper input contract: buffers are *unsorted*."""
+        gen = GSPPattern((128, 128), threshold=0.9)
+        t = gen.generate(np.random.default_rng(5))
+        addr = t.linear_addresses()
+        assert not np.all(addr[1:] >= addr[:-1])
+
+    def test_no_duplicates(self):
+        gen = GSPPattern((32, 32), threshold=0.5)
+        t = gen.generate(np.random.default_rng(1))
+        assert not t.has_duplicates()
+
+    def test_int_seed_accepted(self):
+        t = GSPPattern((16, 16)).generate(42)
+        assert t.shape == (16, 16)
+
+    def test_zero_shape_rejected(self):
+        with pytest.raises(PatternError):
+            GSPPattern((0, 4))

@@ -1,0 +1,67 @@
+"""Edge-case tests for the pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.patterns import GSPPattern, MSPPattern, TSPPattern
+
+
+class TestTSPEdges:
+    def test_band_wider_than_dims_is_full(self):
+        t = TSPPattern((6, 6), band_width=10).generate(1)
+        assert t.nnz == 36  # everything within the band
+
+    def test_zero_width_is_diagonal(self):
+        t = TSPPattern((9, 9), band_width=0).generate(1)
+        assert t.nnz == 9
+        assert np.all(t.coords[:, 0] == t.coords[:, 1])
+
+    def test_extremely_rectangular(self):
+        t = TSPPattern((2, 500), band_width=1).generate(2)
+        diff = t.coords[:, 1].astype(np.int64) - t.coords[:, 0].astype(np.int64)
+        assert np.all(np.abs(diff) <= 1)
+
+    def test_5d_supported(self):
+        t = TSPPattern((6, 6, 6, 6, 6), band_width=0).generate(3)
+        assert t.ndim == 5
+        c = t.coords.astype(np.int64)
+        adjacent_match = np.zeros(t.nnz, dtype=bool)
+        for k in range(4):
+            adjacent_match |= c[:, k] == c[:, k + 1]
+        assert adjacent_match.all()
+
+
+class TestMSPEdges:
+    def test_tiny_shape_region_is_one_cell_min(self):
+        gen = MSPPattern((2, 2))
+        assert all(s >= 1 for s in gen.region.size)
+
+    def test_zero_background_only_region(self):
+        gen = MSPPattern((60, 60), background_threshold=1.0,
+                         region_density=1.0)
+        t = gen.generate(4)
+        assert t.nnz == gen.region.n_cells
+        assert gen.region.contains_points(t.coords).all()
+
+    def test_full_background(self):
+        gen = MSPPattern((10, 10), background_threshold=0.0,
+                         region_density=0.0)
+        t = gen.generate(5)
+        assert t.nnz == 100
+
+
+class TestGSPEdges:
+    def test_single_cell_tensor(self):
+        t = GSPPattern((1, 1), threshold=0.0).generate(1)
+        assert t.nnz == 1
+        assert t.coords.tolist() == [[0, 0]]
+
+    def test_1d(self):
+        t = GSPPattern((1000,), threshold=0.9).generate(2)
+        assert t.ndim == 1
+        assert t.density == pytest.approx(0.1, rel=0.35)
+
+    def test_generators_independent_across_seeds(self):
+        a = GSPPattern((64, 64), threshold=0.95).generate(1)
+        b = GSPPattern((64, 64), threshold=0.95).generate(2)
+        assert not a.same_points(b)

@@ -1,0 +1,40 @@
+"""Unit tests for the GSP (uniform random) pattern."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatternError
+from repro.patterns import GSPPattern
+
+
+class TestGSP:
+    def test_density_tracks_threshold(self):
+        t = GSPPattern((256, 256), threshold=0.99).generate(1)
+        assert t.density == pytest.approx(0.01, rel=0.2)
+
+    def test_paper_default(self):
+        gen = GSPPattern((64, 64, 64))
+        assert gen.density_param == pytest.approx(0.01)
+        assert gen.expected_density() == pytest.approx(0.01)
+
+    def test_uniform_spread(self):
+        """Points should cover the space, not cluster (CSF worst-ish case)."""
+        t = GSPPattern((128, 128), threshold=0.95).generate(2)
+        # Every quadrant gets roughly a quarter of the mass.
+        half = 64
+        q = (
+            ((t.coords[:, 0] < half) & (t.coords[:, 1] < half)).sum(),
+            ((t.coords[:, 0] < half) & (t.coords[:, 1] >= half)).sum(),
+            ((t.coords[:, 0] >= half) & (t.coords[:, 1] < half)).sum(),
+            ((t.coords[:, 0] >= half) & (t.coords[:, 1] >= half)).sum(),
+        )
+        for count in q:
+            assert count == pytest.approx(t.nnz / 4, rel=0.2)
+
+    def test_threshold_one_minus_rejected(self):
+        with pytest.raises(PatternError):
+            GSPPattern((8, 8), threshold=1.0)
+
+    def test_threshold_zero_gives_full(self):
+        t = GSPPattern((8, 8), threshold=0.0).generate(3)
+        assert t.nnz == 64

@@ -1,0 +1,59 @@
+"""Unit tests for the MSP (mixed) pattern."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatternError
+from repro.patterns import MSPPattern
+
+
+class TestMSP:
+    def test_region_is_middle_third(self):
+        gen = MSPPattern((90, 90))
+        assert gen.region.origin == (30, 30)
+        assert gen.region.size == (30, 30)
+
+    def test_region_denser_than_background(self):
+        gen = MSPPattern((300, 300), background_threshold=0.999,
+                         region_density=0.05)
+        t = gen.generate(1)
+        inside = gen.region.contains_points(t.coords)
+        in_density = inside.sum() / gen.region.n_cells
+        out_density = (~inside).sum() / (gen.n_cells - gen.region.n_cells)
+        assert in_density > 10 * out_density
+
+    def test_background_density(self):
+        gen = MSPPattern((400, 400), background_threshold=0.99,
+                         region_density=0.0)
+        t = gen.generate(2)
+        assert t.density == pytest.approx(0.01, rel=0.25)
+
+    def test_no_duplicates_where_processes_overlap(self):
+        gen = MSPPattern((60, 60), background_threshold=0.9,
+                         region_density=0.5)
+        t = gen.generate(3)
+        assert not t.has_duplicates()
+
+    def test_expected_density_formula(self):
+        gen = MSPPattern((300, 300))
+        t = gen.generate(4)
+        assert t.density == pytest.approx(gen.expected_density(), rel=0.35)
+
+    def test_paper_read_region_overlaps_dense_region(self):
+        """§III: the read region (m/2, size m/10) 'includes both independent
+        points and contiguous points in MSP' — i.e. it must overlap the
+        dense region [m/3, 2m/3)."""
+        from repro.core import region_box
+
+        gen = MSPPattern((512, 512, 512))
+        read_box = region_box(gen.shape, start_frac=0.5, size_frac=0.1)
+        assert gen.region.intersects(read_box)
+        # The read region lies entirely inside the dense region here.
+        inter = gen.region.intersection(read_box)
+        assert inter.n_cells == read_box.n_cells
+
+    def test_bad_thresholds(self):
+        with pytest.raises(PatternError):
+            MSPPattern((8, 8), background_threshold=1.5)
+        with pytest.raises(PatternError):
+            MSPPattern((8, 8), region_density=-0.1)

@@ -1,0 +1,82 @@
+"""Unit tests for the Table II dataset suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatternError
+from repro.patterns import (
+    DIMENSIONALITIES,
+    PATTERN_NAMES,
+    SCALES,
+    active_scale,
+    dataset_suite,
+    get_spec,
+    make_pattern,
+    table2_rows,
+)
+
+
+class TestScales:
+    def test_paper_scale_shapes(self):
+        assert SCALES["paper"][2] == (8192, 8192)
+        assert SCALES["paper"][3] == (512, 512, 512)
+        assert SCALES["paper"][4] == (128, 128, 128, 128)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert active_scale() == "tiny"
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(PatternError):
+            active_scale()
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert active_scale() == "default"
+
+
+class TestSuite:
+    def test_grid_is_complete(self):
+        specs = dataset_suite("tiny")
+        assert len(specs) == len(DIMENSIONALITIES) * len(PATTERN_NAMES)
+        names = {s.name for s in specs}
+        assert "3D-MSP" in names and "2D-TSP" in names
+
+    def test_specs_deterministic(self):
+        a = get_spec(3, "GSP", "tiny").generate()
+        b = get_spec(3, "GSP", "tiny").generate()
+        assert a.same_points(b)
+
+    def test_distinct_seeds_across_grid(self):
+        seeds = [s.seed for s in dataset_suite("tiny")]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_get_spec_missing(self):
+        with pytest.raises(PatternError):
+            get_spec(5, "TSP", "tiny")
+
+    def test_make_pattern_aliases(self):
+        assert make_pattern("cgp", (8, 8)).name == "GSP"
+        with pytest.raises(PatternError):
+            make_pattern("XSP", (8, 8))
+
+
+class TestTable2:
+    def test_rows_structure(self):
+        rows = table2_rows("tiny")
+        assert len(rows) == 3
+        for row in rows:
+            for pattern in PATTERN_NAMES:
+                assert 0 < row[pattern] < 0.2
+                assert row[f"{pattern}_nnz"] > 0
+
+    def test_gsp_density_close_to_paper(self):
+        rows = table2_rows("tiny")
+        for row in rows:
+            # GSP is exactly the paper's generator: ~1 %.
+            assert row["GSP"] == pytest.approx(0.01, rel=0.25)
+
+    def test_tsp_densest_msp_sparsest(self):
+        for row in table2_rows("tiny"):
+            assert row["TSP"] > row["GSP"] > row["MSP"]

@@ -1,0 +1,81 @@
+"""Unit tests for the TSP (tridiagonal) pattern."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatternError
+from repro.patterns import TSPPattern, solve_band_width
+
+
+class TestBandStructure:
+    def test_2d_points_lie_in_band(self):
+        w = 3
+        t = TSPPattern((64, 64), band_width=w).generate(1)
+        diff = t.coords[:, 0].astype(np.int64) - t.coords[:, 1].astype(np.int64)
+        assert np.all(np.abs(diff) <= w)
+
+    def test_2d_band_is_complete(self):
+        w = 1
+        m = 16
+        t = TSPPattern((m, m), band_width=w).generate(2)
+        # Count of cells with |i-j| <= 1 in m x m: 3m - 2.
+        assert t.nnz == 3 * m - 2
+
+    def test_3d_union_of_adjacent_pairs(self):
+        w = 0
+        t = TSPPattern((12, 12, 12), band_width=w).generate(3)
+        c = t.coords.astype(np.int64)
+        ok01 = np.abs(c[:, 0] - c[:, 1]) <= w
+        ok12 = np.abs(c[:, 1] - c[:, 2]) <= w
+        assert np.all(ok01 | ok12)
+        # Both pair-bands must actually occur.
+        assert ok01.any() and ok12.any()
+
+    def test_no_duplicates_in_union(self):
+        t = TSPPattern((20, 20, 20), band_width=2).generate(4)
+        assert not t.has_duplicates()
+
+    def test_density_grows_with_dimensionality(self):
+        """The Table II trend: at fixed band width, higher-d tensors of
+        comparable smallest-dim size are denser."""
+        d2 = TSPPattern((64, 64), band_width=4).generate(5).density
+        d3 = TSPPattern((64, 64, 64), band_width=4).generate(5).density
+        assert d3 > d2
+
+    def test_rectangular_shape(self):
+        t = TSPPattern((8, 20), band_width=2).generate(6)
+        diff = t.coords[:, 0].astype(np.int64) - t.coords[:, 1].astype(np.int64)
+        assert np.all(np.abs(diff) <= 2)
+        assert int(t.coords[:, 0].max()) < 8
+
+
+class TestParameters:
+    def test_target_density_solves_width(self):
+        gen = TSPPattern((512, 512, 512), target_density=0.0347)
+        assert gen.band_width == 4  # the paper's band length 9
+
+    def test_solver_monotone(self):
+        w_low = solve_band_width((256, 256), 0.01)
+        w_high = solve_band_width((256, 256), 0.1)
+        assert w_high > w_low
+
+    def test_expected_density_close_to_measured(self):
+        gen = TSPPattern((128, 128, 128), band_width=3)
+        t = gen.generate(7)
+        assert t.density == pytest.approx(gen.expected_density(), rel=0.15)
+
+    def test_both_params_rejected(self):
+        with pytest.raises(PatternError):
+            TSPPattern((8, 8), band_width=1, target_density=0.1)
+
+    def test_1d_rejected(self):
+        with pytest.raises(PatternError):
+            TSPPattern((8,), band_width=1)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(PatternError):
+            TSPPattern((8, 8), band_width=-1)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(PatternError):
+            solve_band_width((8, 8), 0.0)

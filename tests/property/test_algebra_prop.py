@@ -1,0 +1,80 @@
+"""Property-based tests for the algebra kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import inner, mttkrp, ttv
+
+from .test_roundtrip import sparse_tensors
+
+
+class TestTTVProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_tensors(max_dim=4, max_side=10, max_points=40),
+           st.integers(0, 3))
+    def test_matches_dense_einsum(self, tensor, mode_draw):
+        if tensor.ndim < 2:
+            return
+        mode = mode_draw % tensor.ndim
+        rng = np.random.default_rng(1)
+        vec = rng.standard_normal(tensor.shape[mode])
+        got = ttv(tensor, vec, mode)
+        dense = tensor.to_dense()
+        want = np.tensordot(dense, vec, axes=([mode], [0]))
+        assert got.shape == want.shape
+        assert np.allclose(got.to_dense(), want, atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sparse_tensors(max_dim=3, max_side=10, max_points=30))
+    def test_linearity(self, tensor):
+        if tensor.ndim < 2:
+            return
+        rng = np.random.default_rng(2)
+        u = rng.standard_normal(tensor.shape[0])
+        v = rng.standard_normal(tensor.shape[0])
+        lhs = ttv(tensor, u + v, 0).to_dense()
+        rhs = ttv(tensor, u, 0).to_dense() + ttv(tensor, v, 0).to_dense()
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+class TestInnerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_tensors(max_dim=3, max_side=10, max_points=30))
+    def test_self_inner_nonnegative(self, tensor):
+        assert inner(tensor, tensor) >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_tensors(max_dim=3, max_side=10, max_points=30))
+    def test_symmetry_with_shuffled_copy(self, tensor):
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(tensor.nnz)
+        from repro.core import SparseTensor
+
+        shuffled = SparseTensor(
+            tensor.shape, tensor.coords[perm], tensor.values[perm]
+        )
+        # Symmetric up to float summation order.
+        a = inner(tensor, shuffled)
+        b = inner(shuffled, tensor)
+        c = inner(tensor, tensor)
+        assert np.isclose(a, b, rtol=1e-12, atol=1e-12)
+        # Shuffling point order never changes the inner product.
+        assert np.isclose(a, c, rtol=1e-12, atol=1e-12)
+
+
+class TestMTTKRPProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(sparse_tensors(max_dim=3, max_side=8, max_points=25))
+    def test_rank_one_factor_reduces_to_ttv_chain(self, tensor):
+        """With all-ones rank-1 factors, MTTKRP mode-0 equals summing the
+        tensor over every other mode."""
+        if tensor.ndim < 2:
+            return
+        factors = [np.ones((m, 1)) for m in tensor.shape]
+        got = mttkrp(tensor, factors, 0)[:, 0]
+        dense = tensor.to_dense()
+        want = dense.sum(axis=tuple(range(1, tensor.ndim)))
+        assert np.allclose(got, want, atol=1e-8)

@@ -1,0 +1,74 @@
+"""Property-based tests for block partitioning and blocked datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BlockedDataset, block_grid_shape, partition_coords
+
+from .test_roundtrip import sparse_tensors
+
+
+@st.composite
+def blocked_cases(draw):
+    tensor = draw(sparse_tensors(max_dim=3, max_side=24, max_points=50))
+    block = tuple(
+        draw(st.integers(min_value=1, max_value=max(1, m)))
+        for m in tensor.shape
+    )
+    return tensor, block
+
+
+class TestPartitionProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(blocked_cases())
+    def test_partition_is_a_partition(self, case):
+        """Every point lands in exactly one block, inside that block's box."""
+        tensor, block = case
+        seen = 0
+        all_values = []
+        for box, coords, values in partition_coords(
+            tensor.coords, tensor.values, tensor.shape, block
+        ):
+            assert box.contains_points(coords).all()
+            assert coords.shape[0] == values.shape[0] > 0
+            seen += coords.shape[0]
+            all_values.append(values)
+        assert seen == tensor.nnz
+        if all_values:
+            got = np.sort(np.concatenate(all_values))
+            assert np.allclose(got, np.sort(tensor.values))
+
+    @settings(max_examples=50, deadline=None)
+    @given(blocked_cases())
+    def test_block_boxes_fit_grid(self, case):
+        tensor, block = case
+        grid = block_grid_shape(tensor.shape, block)
+        n_blocks = 0
+        for box, _, _ in partition_coords(
+            tensor.coords, tensor.values, tensor.shape, block
+        ):
+            n_blocks += 1
+            for o, b, m in zip(box.origin, block, tensor.shape):
+                assert o % b == 0
+                assert o < m
+        assert n_blocks <= int(np.prod(grid))
+
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(blocked_cases())
+    def test_blocked_dataset_round_trip(self, tmp_path_factory, case):
+        tensor, block = case
+        if tensor.nnz == 0:
+            return
+        ds = BlockedDataset(
+            tmp_path_factory.mktemp("blk"), tensor.shape, block, "LINEAR"
+        )
+        ds.write_tensor(tensor)
+        out = ds.read_points(tensor.coords)
+        assert out.found.all()
+        assert np.allclose(out.values, tensor.values)

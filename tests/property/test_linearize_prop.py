@@ -1,0 +1,81 @@
+"""Property-based tests for linearization bijectivity and folding."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import delinearize, fold_coords_2d, linearize
+
+
+@st.composite
+def shapes_and_addresses(draw):
+    d = draw(st.integers(min_value=1, max_value=5))
+    shape = tuple(
+        draw(st.integers(min_value=1, max_value=50)) for _ in range(d)
+    )
+    total = int(np.prod(shape))
+    n = draw(st.integers(min_value=0, max_value=80))
+    addresses = draw(
+        st.lists(st.integers(min_value=0, max_value=total - 1),
+                 min_size=n, max_size=n)
+    )
+    return shape, np.array(addresses, dtype=np.uint64)
+
+
+class TestBijection:
+    @settings(max_examples=80, deadline=None)
+    @given(shapes_and_addresses())
+    def test_row_major_round_trip(self, case):
+        shape, addresses = case
+        coords = delinearize(addresses, shape)
+        assert np.array_equal(linearize(coords, shape), addresses)
+
+    @settings(max_examples=80, deadline=None)
+    @given(shapes_and_addresses())
+    def test_column_major_round_trip(self, case):
+        shape, addresses = case
+        coords = delinearize(addresses, shape, order="col")
+        assert np.array_equal(
+            linearize(coords, shape, order="col"), addresses
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(shapes_and_addresses())
+    def test_linearize_is_injective(self, case):
+        shape, addresses = case
+        unique_addresses = np.unique(addresses)
+        coords = delinearize(unique_addresses, shape)
+        back = linearize(coords, shape)
+        assert np.unique(back).shape == unique_addresses.shape
+
+    @settings(max_examples=60, deadline=None)
+    @given(shapes_and_addresses())
+    def test_row_major_order_matches_lexicographic(self, case):
+        shape, addresses = case
+        coords = delinearize(np.sort(addresses), shape)
+        # Sorted addresses <=> lexicographically sorted coordinates.
+        for i in range(1, coords.shape[0]):
+            assert tuple(coords[i - 1]) <= tuple(coords[i])
+
+
+class TestFolding:
+    @settings(max_examples=80, deadline=None)
+    @given(shapes_and_addresses())
+    def test_fold_preserves_address_rows(self, case):
+        shape, addresses = case
+        coords = delinearize(addresses, shape)
+        folded, shape2d = fold_coords_2d(coords, shape, min_dim_as="rows")
+        assert shape2d[0] == min(shape)
+        assert int(np.prod(shape2d)) == int(np.prod(shape))
+        assert np.array_equal(linearize(folded, shape2d), addresses)
+
+    @settings(max_examples=80, deadline=None)
+    @given(shapes_and_addresses())
+    def test_fold_preserves_address_cols(self, case):
+        shape, addresses = case
+        coords = delinearize(addresses, shape)
+        folded, shape2d = fold_coords_2d(coords, shape, min_dim_as="cols")
+        assert shape2d[1] == min(shape)
+        assert np.array_equal(linearize(folded, shape2d), addresses)

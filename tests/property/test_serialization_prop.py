@@ -1,0 +1,72 @@
+"""Property-based tests for the fragment codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FragmentError
+from repro.storage import pack_fragment, unpack_fragment
+
+_DTYPES = [np.uint8, np.uint16, np.uint32, np.uint64, np.int64, np.float64]
+
+
+@st.composite
+def fragments(draw):
+    n_buffers = draw(st.integers(min_value=0, max_value=4))
+    buffers = {}
+    for i in range(n_buffers):
+        dtype = draw(st.sampled_from(_DTYPES))
+        length = draw(st.integers(min_value=0, max_value=30))
+        if np.issubdtype(dtype, np.floating):
+            data = np.linspace(0, 1, length).astype(dtype)
+        else:
+            data = (np.arange(length) % 250).astype(dtype)
+        if draw(st.booleans()) and length % 2 == 0 and length > 0:
+            data = data.reshape(2, length // 2)
+        buffers[f"buf_{i}"] = data
+    n_values = draw(st.integers(min_value=0, max_value=20))
+    values = np.arange(n_values, dtype=np.float64) * 0.5
+    meta = {"k": draw(st.integers(min_value=-5, max_value=5))}
+    return buffers, values, meta
+
+
+class TestCodecProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(fragments())
+    def test_round_trip_identity(self, frag):
+        buffers, values, meta = frag
+        blob = pack_fragment("COO", (9, 9), len(values), meta, buffers, values)
+        payload = unpack_fragment(blob)
+        assert payload.meta == meta
+        assert list(payload.buffers) == list(buffers)
+        for name, arr in buffers.items():
+            out = payload.buffers[name]
+            assert out.dtype == arr.dtype, name
+            assert out.shape == arr.shape, name
+            assert np.array_equal(out, arr), name
+        assert np.array_equal(payload.values, values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(fragments(), st.data())
+    def test_any_single_bit_flip_detected(self, frag, data):
+        buffers, values, meta = frag
+        blob = bytearray(
+            pack_fragment("COO", (9, 9), len(values), meta, buffers, values)
+        )
+        pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        blob[pos] ^= 1 << bit
+        with pytest.raises(FragmentError):
+            unpack_fragment(bytes(blob))
+
+    @settings(max_examples=30, deadline=None)
+    @given(fragments(), st.data())
+    def test_any_truncation_detected(self, frag, data):
+        buffers, values, meta = frag
+        blob = pack_fragment("COO", (9, 9), len(values), meta, buffers, values)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(FragmentError):
+            unpack_fragment(blob[:cut])

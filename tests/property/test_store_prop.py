@@ -1,0 +1,102 @@
+"""Property-based tests for the fragment store: arbitrary fragmentations of
+arbitrary tensors must read back exactly, under every organization."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Box
+from repro.storage import FragmentStore
+
+from .test_roundtrip import sparse_tensors
+
+FORMATS = ("COO", "LINEAR", "GCSR++", "CSF")
+
+
+@st.composite
+def fragmented_tensors(draw):
+    tensor = draw(sparse_tensors(max_dim=3, max_side=16, max_points=40))
+    n_frags = draw(st.integers(min_value=1, max_value=4))
+    # Assign each point to a fragment.
+    assignment = draw(
+        st.lists(
+            st.integers(0, n_frags - 1),
+            min_size=tensor.nnz, max_size=tensor.nnz,
+        )
+    )
+    fmt = draw(st.sampled_from(FORMATS))
+    return tensor, np.asarray(assignment, dtype=np.int64), n_frags, fmt
+
+
+class TestStoreProperties:
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(fragmented_tensors())
+    def test_point_reads_complete(self, tmp_path_factory, case):
+        tensor, assignment, n_frags, fmt = case
+        store = FragmentStore(
+            tmp_path_factory.mktemp("prop"), tensor.shape, fmt
+        )
+        for f in range(n_frags):
+            mask = assignment == f
+            if mask.any():
+                store.write(tensor.coords[mask], tensor.values[mask])
+        if tensor.nnz == 0:
+            return
+        out = store.read_points(tensor.coords)
+        assert out.found.all()
+        assert np.allclose(out.values, tensor.values)
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(fragmented_tensors(), st.data())
+    def test_box_reads_match_ground_truth(self, tmp_path_factory,
+                                          case, data):
+        tensor, assignment, n_frags, fmt = case
+        store = FragmentStore(
+            tmp_path_factory.mktemp("prop"), tensor.shape, fmt
+        )
+        for f in range(n_frags):
+            mask = assignment == f
+            if mask.any():
+                store.write(tensor.coords[mask], tensor.values[mask])
+        origin = tuple(
+            data.draw(st.integers(0, max(0, m - 1))) for m in tensor.shape
+        )
+        size = tuple(data.draw(st.integers(0, m)) for m in tensor.shape)
+        box = Box(origin, size)
+        got = store.read_box(box)
+        want = tensor.select_box(box).sorted_by_linear()
+        assert got.same_points(want)
+
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(fragmented_tensors())
+    def test_compaction_preserves_content(self, tmp_path_factory, case):
+        tensor, assignment, n_frags, fmt = case
+        if tensor.nnz == 0:
+            return
+        store = FragmentStore(
+            tmp_path_factory.mktemp("prop"), tensor.shape, fmt
+        )
+        wrote = 0
+        for f in range(n_frags):
+            mask = assignment == f
+            if mask.any():
+                store.write(tensor.coords[mask], tensor.values[mask])
+                wrote += 1
+        if wrote == 0:
+            return
+        store.compact()
+        assert len(store.fragments) == 1
+        out = store.read_points(tensor.coords)
+        assert out.found.all()
+        assert np.allclose(out.values, tensor.values)

@@ -1,0 +1,106 @@
+"""Property-based structural invariants for CSR and CSF payloads."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import CSFFormat, GCSCFormat, GCSRFormat, csr_pack
+
+from .test_roundtrip import sparse_tensors
+
+
+class TestCSRInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_packed_matrix_validates(self, data):
+        nrows = data.draw(st.integers(min_value=1, max_value=12))
+        ncols = data.draw(st.integers(min_value=1, max_value=30))
+        n = data.draw(st.integers(min_value=0, max_value=60))
+        rows = np.array(
+            data.draw(st.lists(st.integers(0, nrows - 1), min_size=n, max_size=n)),
+            dtype=np.uint64,
+        )
+        cols = np.array(
+            data.draw(st.lists(st.integers(0, ncols - 1), min_size=n, max_size=n)),
+            dtype=np.uint64,
+        )
+        matrix, perm = csr_pack(rows, cols, nrows)
+        matrix.validate()
+        # Segment contents are exactly the input points of that row.
+        for r in range(nrows):
+            want = sorted(cols[rows == r].tolist())
+            got = sorted(matrix.segment(r).tolist())
+            assert got == want
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_perm_restores_input(self, data):
+        nrows = data.draw(st.integers(min_value=1, max_value=8))
+        n = data.draw(st.integers(min_value=0, max_value=40))
+        rows = np.array(
+            data.draw(st.lists(st.integers(0, nrows - 1), min_size=n, max_size=n)),
+            dtype=np.uint64,
+        )
+        cols = np.arange(n, dtype=np.uint64)  # tag each point uniquely
+        matrix, perm = csr_pack(rows, cols, nrows)
+        # indices[i] == cols[perm[i]] — the map aligns values with packing.
+        assert np.array_equal(matrix.indices, cols[perm])
+
+
+class TestGCSRInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_tensors(max_dim=4, max_side=16, max_points=50))
+    def test_row_ptr_counts_points(self, tensor):
+        for fmt_cls in (GCSRFormat, GCSCFormat):
+            fmt = fmt_cls()
+            result = fmt.build(tensor.coords, tensor.shape)
+            ptr = result.payload[fmt._ptr_name].astype(np.int64)
+            assert ptr[0] == 0
+            assert ptr[-1] == tensor.nnz
+            assert np.all(np.diff(ptr) >= 0)
+            assert result.payload[fmt._ind_name].shape[0] == tensor.nnz
+
+
+class TestCSFInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_tensors(max_dim=4, max_side=16, max_points=50))
+    def test_tree_validates(self, tensor):
+        fmt = CSFFormat()
+        result = fmt.build(tensor.coords, tensor.shape)
+        if tensor.nnz:
+            fmt.validate_payload(result.payload, tensor.ndim)
+
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_tensors(max_dim=4, max_side=16, max_points=50))
+    def test_level_counts_telescoping(self, tensor):
+        """nfibs is non-decreasing, bounded by n, leaves == n, and the space
+        always lies within the paper's best/worst bounds."""
+        fmt = CSFFormat()
+        result = fmt.build(tensor.coords, tensor.shape)
+        nfibs = result.payload["nfibs"].astype(np.int64)
+        n, d = tensor.nnz, tensor.ndim
+        if n == 0:
+            assert np.all(nfibs == 0)
+            return
+        assert nfibs[-1] == n
+        assert np.all(np.diff(nfibs) >= 0)
+        assert np.all(nfibs >= 1)
+        total_fids = int(nfibs.sum())
+        assert n + (d - 1) <= total_fids <= n * d
+
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_tensors(max_dim=4, max_side=16, max_points=50))
+    def test_leaf_order_matches_perm(self, tensor):
+        """Leaf fids are the (dim-permuted) last coordinate in sorted
+        order, aligned with the map vector."""
+        fmt = CSFFormat()
+        result = fmt.build(tensor.coords, tensor.shape)
+        if tensor.nnz == 0:
+            return
+        dim_perm = result.meta["dim_perm"]
+        last_dim = dim_perm[-1]
+        expected = tensor.coords[result.perm, last_dim]
+        assert np.array_equal(result.payload[f"fids_{tensor.ndim - 1}"],
+                              expected)

@@ -1,0 +1,121 @@
+"""Unit tests for block decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import Box, IndexOverflowError, ShapeError, check_linearizable
+from repro.storage import (
+    BlockedDataset,
+    block_box,
+    block_grid_shape,
+    block_of_coords,
+    partition_coords,
+)
+
+
+class TestGrid:
+    def test_grid_shape_ceil(self):
+        assert block_grid_shape((100, 64), (32, 32)) == (4, 2)
+
+    def test_grid_mismatch(self):
+        with pytest.raises(ShapeError):
+            block_grid_shape((10, 10), (4,))
+
+    def test_zero_block_rejected(self):
+        with pytest.raises(ShapeError):
+            block_grid_shape((10,), (0,))
+
+    def test_block_of_coords(self):
+        coords = np.array([[0, 0], [31, 31], [32, 0]], dtype=np.uint64)
+        assert block_of_coords(coords, (32, 32)).tolist() == [
+            [0, 0], [0, 0], [1, 0]
+        ]
+
+    def test_block_box_clipped(self):
+        box = block_box((3, 1), (32, 32), (100, 64))
+        assert box.origin == (96, 32)
+        assert box.size == (4, 32)  # clipped at the tensor edge
+
+
+class TestPartition:
+    def test_partition_covers_everything(self, rng):
+        shape = (64, 64)
+        coords = np.column_stack(
+            [rng.integers(0, 64, 100, dtype=np.uint64) for _ in range(2)]
+        )
+        values = rng.standard_normal(100)
+        seen = 0
+        for box, bc, bv in partition_coords(coords, values, shape, (16, 16)):
+            assert box.contains_points(bc).all()
+            assert bc.shape[0] == bv.shape[0]
+            seen += bc.shape[0]
+        assert seen == 100
+
+    def test_partition_empty(self):
+        parts = list(
+            partition_coords(
+                np.empty((0, 2), dtype=np.uint64), np.empty(0), (8, 8), (4, 4)
+            )
+        )
+        assert parts == []
+
+    def test_values_stay_aligned(self):
+        coords = np.array([[0, 0], [40, 40], [1, 1]], dtype=np.uint64)
+        values = np.array([1.0, 2.0, 3.0])
+        blocks = {
+            box.origin: (bc, bv)
+            for box, bc, bv in partition_coords(coords, values, (64, 64),
+                                                (32, 32))
+        }
+        bc, bv = blocks[(0, 0)]
+        assert sorted(bv.tolist()) == [1.0, 3.0]
+        bc, bv = blocks[(32, 32)]
+        assert bv.tolist() == [2.0]
+
+
+class TestBlockedDataset:
+    def test_round_trip(self, tmp_path, tensor_3d):
+        ds = BlockedDataset(tmp_path / "ds", tensor_3d.shape, (8, 8, 8),
+                            "LINEAR")
+        summary = ds.write_tensor(tensor_3d)
+        assert summary.total_points == tensor_3d.nnz
+        assert summary.n_blocks >= 1
+        out = ds.read_points(tensor_3d.coords)
+        assert out.found.all()
+        assert np.allclose(out.values, tensor_3d.values)
+
+    def test_read_box(self, tmp_path, tensor_3d):
+        ds = BlockedDataset(tmp_path / "ds", tensor_3d.shape, (8, 8, 8), "CSF")
+        ds.write_tensor(tensor_3d)
+        box = Box((4, 4, 4), (8, 8, 8))
+        got = ds.read_box(box)
+        want = tensor_3d.select_box(box).sorted_by_linear()
+        assert got.same_points(want)
+
+    def test_overflowing_global_shape_supported(self, tmp_path):
+        """The paper's §II-B scenario: the whole tensor's address space
+        exceeds uint64, but block-local addressing stores it anyway."""
+        shape = (2**22, 2**22, 2**22)  # 2^66 cells
+        with pytest.raises(IndexOverflowError):
+            check_linearizable(shape)
+        coords = np.array(
+            [[5, 7, 9], [2**21, 3, 4], [5, 7, 10]], dtype=np.uint64
+        )
+        ds = BlockedDataset(tmp_path / "big", shape, (1024, 1024, 1024),
+                            "LINEAR")
+        ds.write(coords, np.array([1.0, 2.0, 3.0]))
+        out = ds.read_points(coords)
+        assert out.found.all()
+        assert sorted(out.values.tolist()) == [1.0, 2.0, 3.0]
+
+    def test_block_shape_must_be_linearizable(self, tmp_path):
+        with pytest.raises(IndexOverflowError):
+            BlockedDataset(tmp_path / "x", (2**40, 2**40),
+                           (2**35, 2**35), "LINEAR")
+
+    def test_shape_mismatch(self, tmp_path, tensor_3d):
+        ds = BlockedDataset(tmp_path / "ds", tensor_3d.shape, (8, 8, 8), "COO")
+        from repro.core import SparseTensor
+
+        with pytest.raises(ShapeError):
+            ds.write_tensor(SparseTensor.empty((1, 1, 1)))

@@ -1,0 +1,88 @@
+"""Unit tests for fragment decode and store compaction."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseTensor
+from repro.core.errors import FragmentError
+from repro.formats import available_formats
+from repro.storage import FragmentStore
+
+
+class TestDecodeFragment:
+    @pytest.mark.parametrize("fmt_name", available_formats())
+    def test_round_trip(self, tmp_path, tensor_3d, fmt_name):
+        store = FragmentStore(tmp_path / "ds", tensor_3d.shape, fmt_name)
+        store.write_tensor(tensor_3d)
+        back = store.decode_fragment(0)
+        assert back.same_points(tensor_3d)
+
+    def test_relative_fragment_rebased(self, tmp_path):
+        shape = (1000, 1000)
+        coords = np.array([[900, 900], [905, 910]], dtype=np.uint64)
+        store = FragmentStore(tmp_path / "ds", shape, "LINEAR",
+                              relative_coords=True)
+        store.write(coords, np.array([1.0, 2.0]))
+        back = store.decode_fragment(0)
+        assert back.same_points(SparseTensor(shape, coords,
+                                             np.array([1.0, 2.0])))
+
+
+class TestCompact:
+    def test_merges_to_single_fragment(self, tmp_path, tensor_3d):
+        store = FragmentStore(tmp_path / "ds", tensor_3d.shape, "CSF")
+        half = tensor_3d.nnz // 2
+        store.write(tensor_3d.coords[:half], tensor_3d.values[:half])
+        store.write(tensor_3d.coords[half:], tensor_3d.values[half:])
+        assert len(store.fragments) == 2
+        store.compact()
+        assert len(store.fragments) == 1
+        out = store.read_points(tensor_3d.coords)
+        assert out.found.all()
+        assert np.allclose(out.values, tensor_3d.values)
+
+    def test_newest_wins_on_overlap(self, tmp_path):
+        store = FragmentStore(tmp_path / "ds", (8, 8), "LINEAR")
+        store.write(np.array([[1, 1], [2, 2]], dtype=np.uint64),
+                    np.array([1.0, 2.0]))
+        store.write(np.array([[1, 1]], dtype=np.uint64), np.array([9.0]))
+        store.compact()
+        assert store.nnz == 2  # duplicate collapsed
+        out = store.read_points(np.array([[1, 1]], dtype=np.uint64))
+        assert out.values[0] == 9.0
+
+    def test_old_files_deleted(self, tmp_path, tensor_2d):
+        store = FragmentStore(tmp_path / "ds", tensor_2d.shape, "COO")
+        store.write_tensor(tensor_2d)
+        store.write_tensor(tensor_2d)
+        store.compact()
+        frag_files = list((tmp_path / "ds").glob("frag-*.bin"))
+        assert len(frag_files) == 1
+
+    def test_survives_reload(self, tmp_path, tensor_2d):
+        store = FragmentStore(tmp_path / "ds", tensor_2d.shape, "GCSC++")
+        store.write_tensor(tensor_2d)
+        store.write_tensor(tensor_2d)
+        store.compact()
+        reloaded = FragmentStore(tmp_path / "ds", tensor_2d.shape, "GCSC++")
+        assert len(reloaded.fragments) == 1
+        out = reloaded.read_points(tensor_2d.coords)
+        assert out.found.all()
+
+    def test_empty_store_rejected(self, tmp_path):
+        store = FragmentStore(tmp_path / "ds", (4, 4), "COO")
+        with pytest.raises(FragmentError, match="nothing to compact"):
+            store.compact()
+
+    def test_compact_with_relative_coords(self, tmp_path):
+        shape = (512, 512)
+        store = FragmentStore(tmp_path / "ds", shape, "LINEAR",
+                              relative_coords=True)
+        a = np.array([[10, 10], [20, 20]], dtype=np.uint64)
+        b = np.array([[400, 400]], dtype=np.uint64)
+        store.write(a, np.array([1.0, 2.0]))
+        store.write(b, np.array([3.0]))
+        store.compact()
+        out = store.read_points(np.vstack([a, b]))
+        assert out.found.all()
+        assert sorted(out.values.tolist()) == [1.0, 2.0, 3.0]

@@ -1,0 +1,139 @@
+"""Unit tests for the fragment compression layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import FragmentError
+from repro.storage import FragmentStore, pack_fragment, unpack_fragment
+from repro.storage.compression import (
+    CODECS,
+    decode_buffer,
+    encode_buffer,
+    validate_codec,
+)
+
+
+class TestCodecPrimitives:
+    def test_validate(self):
+        for codec in CODECS:
+            assert validate_codec(codec) == codec
+        with pytest.raises(FragmentError, match="unknown codec"):
+            validate_codec("lz77")
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_round_trip_uint64(self, codec, rng):
+        arr = rng.integers(0, 1 << 40, size=500, dtype=np.uint64)
+        blob, stored = encode_buffer(arr, codec)
+        back = decode_buffer(blob, stored, arr.dtype, arr.size)
+        assert np.array_equal(back, arr)
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_round_trip_floats(self, codec, rng):
+        arr = rng.standard_normal(300)
+        blob, stored = encode_buffer(arr, codec)
+        back = decode_buffer(blob, stored, arr.dtype, arr.size)
+        assert np.array_equal(back, arr)
+
+    def test_delta_shrinks_sorted_addresses(self, rng):
+        # Sorted addresses with small gaps: delta-zlib should crush them.
+        addr = np.cumsum(
+            rng.integers(1, 5, size=4000, dtype=np.uint64)
+        ).astype(np.uint64)
+        raw, _ = encode_buffer(addr, "raw")
+        plain, _ = encode_buffer(addr, "zlib")
+        delta, stored = encode_buffer(addr, "delta-zlib")
+        assert stored == "delta+zlib"
+        assert len(delta) < len(plain) < len(raw)
+        assert len(delta) < len(raw) // 4
+
+    def test_delta_falls_back_for_2d(self, rng):
+        arr = rng.integers(0, 100, size=(10, 3), dtype=np.uint64)
+        blob, stored = encode_buffer(arr, "delta-zlib")
+        assert stored == "zlib"
+        back = decode_buffer(blob, stored, arr.dtype, arr.size)
+        assert np.array_equal(back.reshape(arr.shape), arr)
+
+    def test_delta_exact_on_wraparound(self):
+        # Unsorted input makes negative deltas -> uint wraparound must be
+        # exactly invertible.
+        arr = np.array([10, 3, 2**63, 1, 0], dtype=np.uint64)
+        blob, stored = encode_buffer(arr, "delta-zlib")
+        back = decode_buffer(blob, stored, arr.dtype, arr.size)
+        assert np.array_equal(back, arr)
+
+    def test_unknown_stored_codec(self):
+        with pytest.raises(FragmentError):
+            decode_buffer(b"", "brotli", np.dtype(np.uint8), 0)
+
+
+class TestFragmentCodecs:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_pack_unpack(self, codec, rng):
+        buffers = {
+            "addresses": np.sort(
+                rng.integers(0, 10000, size=200, dtype=np.uint64)
+            ),
+            "coords": rng.integers(0, 50, size=(100, 2), dtype=np.uint64),
+        }
+        values = rng.standard_normal(100)
+        blob = pack_fragment("LINEAR", (100, 100), 100, {}, buffers, values,
+                             codec=codec)
+        payload = unpack_fragment(blob)
+        assert np.array_equal(payload.buffers["addresses"],
+                              buffers["addresses"])
+        assert np.array_equal(payload.buffers["coords"], buffers["coords"])
+        assert np.array_equal(payload.values, values)
+
+    def test_compressed_fragment_is_smaller(self, rng):
+        addr = np.sort(rng.integers(0, 1 << 20, size=5000, dtype=np.uint64))
+        values = np.ones(5000)
+        raw = pack_fragment("LINEAR", (1 << 20,), 5000, {},
+                            {"addresses": addr}, values, codec="raw")
+        packed = pack_fragment("LINEAR", (1 << 20,), 5000, {},
+                               {"addresses": addr}, values,
+                               codec="delta-zlib")
+        assert len(packed) < len(raw) // 3
+
+    def test_crc_still_guards_compressed(self, rng):
+        blob = bytearray(
+            pack_fragment("LINEAR", (100,), 10, {},
+                          {"addresses": np.arange(10, dtype=np.uint64)},
+                          np.ones(10), codec="zlib")
+        )
+        blob[len(blob) // 2] ^= 0x10
+        with pytest.raises(FragmentError):
+            unpack_fragment(bytes(blob))
+
+    def test_invalid_codec_rejected(self):
+        with pytest.raises(FragmentError):
+            pack_fragment("COO", (4,), 0, {}, {}, np.empty(0), codec="xz")
+
+
+class TestStoreCodec:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_store_round_trip(self, tmp_path, tensor_3d, codec):
+        store = FragmentStore(
+            tmp_path / codec, tensor_3d.shape, "LINEAR", codec=codec
+        )
+        store.write_tensor(tensor_3d)
+        out = store.read_points(tensor_3d.coords)
+        assert out.found.all()
+        assert np.allclose(out.values, tensor_3d.values)
+
+    def test_store_rejects_bad_codec(self, tmp_path):
+        with pytest.raises(FragmentError):
+            FragmentStore(tmp_path / "x", (4, 4), "COO", codec="rar")
+
+    def test_compression_shrinks_clustered_fragment(self, tmp_path):
+        """A banded (TSP) tensor: sorted-address deltas compress well."""
+        from repro.patterns import TSPPattern
+
+        tensor = TSPPattern((512, 512), band_width=4).generate(3)
+        tensor = tensor.sorted_by_linear()
+        raw_store = FragmentStore(tmp_path / "raw", tensor.shape, "LINEAR")
+        zip_store = FragmentStore(
+            tmp_path / "zip", tensor.shape, "LINEAR", codec="delta-zlib"
+        )
+        r_raw = raw_store.write_tensor(tensor)
+        r_zip = zip_store.write_tensor(tensor)
+        assert r_zip.file_nbytes < r_raw.file_nbytes

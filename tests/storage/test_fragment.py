@@ -1,0 +1,85 @@
+"""Unit tests for fragment files."""
+
+import numpy as np
+import pytest
+
+from repro.core import Box, SparseTensor
+from repro.core.errors import FragmentError
+from repro.formats import get_format
+from repro.storage import (
+    load_fragment,
+    query_fragment,
+    read_fragment_header,
+    write_fragment,
+)
+
+
+@pytest.fixture
+def encoded(fig1_tensor):
+    return get_format("GCSR++").encode(fig1_tensor)
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path, encoded, fig1_tensor):
+        path = tmp_path / "frag-000000.bin"
+        info = write_fragment(path, encoded, coords_for_bbox=fig1_tensor.coords)
+        assert info.nbytes == path.stat().st_size
+        payload = load_fragment(path)
+        assert payload.format_name == "GCSR++"
+        assert payload.nnz == 5
+        res, vals = query_fragment(payload, fig1_tensor.coords)
+        assert res.found.all()
+        assert np.allclose(vals, fig1_tensor.values)
+
+    def test_bbox_recorded(self, tmp_path, encoded, fig1_tensor):
+        path = tmp_path / "f.bin"
+        info = write_fragment(path, encoded, coords_for_bbox=fig1_tensor.coords)
+        assert info.bbox == Box((0, 0, 1), (3, 3, 2))
+
+    def test_bbox_defaults_to_shape(self, tmp_path, encoded):
+        path = tmp_path / "f.bin"
+        info = write_fragment(path, encoded)
+        assert info.bbox == Box((0, 0, 0), (3, 3, 3))
+
+    def test_header_only_read(self, tmp_path, encoded, fig1_tensor):
+        path = tmp_path / "f.bin"
+        write_fragment(path, encoded, coords_for_bbox=fig1_tensor.coords)
+        info = read_fragment_header(path)
+        assert info.format_name == "GCSR++"
+        assert info.nnz == 5
+
+    def test_fsync_write(self, tmp_path, encoded):
+        path = tmp_path / "f.bin"
+        write_fragment(path, encoded, fsync=True)
+        assert path.exists()
+
+    def test_atomic_write_no_tmp_leftover(self, tmp_path, encoded):
+        path = tmp_path / "f.bin"
+        write_fragment(path, encoded)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FragmentError):
+            load_fragment(tmp_path / "nope.bin")
+        with pytest.raises(FragmentError):
+            read_fragment_header(tmp_path / "nope.bin")
+
+    def test_faithful_query_path(self, tmp_path, encoded, fig1_tensor):
+        path = tmp_path / "f.bin"
+        write_fragment(path, encoded)
+        payload = load_fragment(path)
+        res, vals = query_fragment(payload, fig1_tensor.coords, faithful=True)
+        assert res.found.all()
+        assert np.allclose(vals, fig1_tensor.values)
+
+    def test_all_formats_survive_disk(self, tmp_path, tensor_3d):
+        from repro.formats import available_formats
+
+        for name in available_formats():
+            enc = get_format(name).encode(tensor_3d)
+            path = tmp_path / f"{name.replace('+','p')}.bin"
+            write_fragment(path, enc, coords_for_bbox=tensor_3d.coords)
+            payload = load_fragment(path)
+            res, vals = query_fragment(payload, tensor_3d.coords)
+            assert res.found.all(), name
+            assert np.allclose(vals, tensor_3d.values), name

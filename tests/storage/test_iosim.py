@@ -1,0 +1,69 @@
+"""Unit tests for the PFS I/O cost model."""
+
+import pytest
+
+from repro.storage import (
+    PERLMUTTER_LUSTRE,
+    PROFILES,
+    PFSProfile,
+    get_profile,
+)
+
+
+class TestProfile:
+    def test_write_time_linear_in_bytes(self):
+        p = PFSProfile("t", latency_s=0.01, ost_bandwidth_Bps=1e8)
+        t1 = p.write_time(int(1e8))
+        t2 = p.write_time(int(2e8))
+        assert t1 == pytest.approx(1.01)
+        assert (t2 - t1) == pytest.approx(1.0)
+
+    def test_striping_multiplies_bandwidth(self):
+        p = PFSProfile("t", 0.0, 1e8, stripe_count=4, max_parallel_osts=8)
+        assert p.effective_bandwidth_Bps == 4e8
+
+    def test_parallelism_cap(self):
+        p = PFSProfile("t", 0.0, 1e8, stripe_count=16, max_parallel_osts=2)
+        assert p.effective_bandwidth_Bps == 2e8
+
+    def test_latency_floor(self):
+        assert PERLMUTTER_LUSTRE.write_time(0) == pytest.approx(
+            PERLMUTTER_LUSTRE.latency_s
+        )
+
+
+class TestCalibration:
+    def test_table3_coo_write_time_reproduced(self):
+        """The profile reproduces Table III's COO write within ~20 %:
+        4D MSP ~ 563k points, COO fragment ~ 563k * (4+1) * 8 bytes."""
+        n = 563_000
+        nbytes = n * 5 * 8
+        modeled = PERLMUTTER_LUSTRE.write_time(nbytes)
+        assert modeled == pytest.approx(0.1217, rel=0.2)
+
+    def test_table3_linear_write_time_reproduced(self):
+        n = 563_000
+        nbytes = n * 2 * 8
+        modeled = PERLMUTTER_LUSTRE.write_time(nbytes)
+        assert modeled == pytest.approx(0.0504, rel=0.25)
+
+    def test_coo_vs_linear_ratio(self):
+        """The ~2.4x write-time ratio the paper measures is byte-driven."""
+        n = 563_000
+        coo = PERLMUTTER_LUSTRE.write_time(n * 5 * 8)
+        lin = PERLMUTTER_LUSTRE.write_time(n * 2 * 8)
+        assert coo / lin == pytest.approx(0.1217 / 0.0504, rel=0.25)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_profile("perlmutter-lustre") is PERLMUTTER_LUSTRE
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("ramdisk")
+
+    def test_all_profiles_sane(self):
+        for p in PROFILES.values():
+            assert p.latency_s >= 0
+            assert p.effective_bandwidth_Bps > 0

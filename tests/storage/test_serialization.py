@@ -1,0 +1,124 @@
+"""Unit tests for the fragment binary codec, including fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import FragmentError
+from repro.storage import pack_fragment, unpack_fragment, unpack_header, verify_crc
+
+
+def sample_blob(**overrides):
+    kwargs = dict(
+        format_name="LINEAR",
+        shape=(8, 8),
+        nnz=3,
+        meta={"note": "test"},
+        buffers={"addresses": np.array([1, 9, 17], dtype=np.uint64)},
+        values=np.array([0.5, -1.0, 2.0]),
+        bbox_origin=(0, 1),
+        bbox_size=(3, 2),
+    )
+    kwargs.update(overrides)
+    return pack_fragment(**kwargs)
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        blob = sample_blob()
+        payload = unpack_fragment(blob)
+        assert payload.format_name == "LINEAR"
+        assert payload.shape == (8, 8)
+        assert payload.nnz == 3
+        assert payload.meta == {"note": "test"}
+        assert payload.buffers["addresses"].tolist() == [1, 9, 17]
+        assert payload.values.tolist() == [0.5, -1.0, 2.0]
+        assert payload.bbox_origin == (0, 1)
+        assert payload.bbox_size == (3, 2)
+
+    def test_2d_buffer(self):
+        coords = np.arange(12, dtype=np.uint64).reshape(4, 3)
+        blob = sample_blob(buffers={"coords": coords}, nnz=4,
+                           values=np.zeros(4))
+        payload = unpack_fragment(blob)
+        assert np.array_equal(payload.buffers["coords"], coords)
+
+    def test_multiple_buffers_preserve_order_and_content(self):
+        bufs = {
+            "a": np.array([1], dtype=np.uint64),
+            "b": np.array([2, 3], dtype=np.uint32),
+            "c": np.array([[4, 5]], dtype=np.uint8),
+        }
+        payload = unpack_fragment(sample_blob(buffers=bufs))
+        assert list(payload.buffers) == ["a", "b", "c"]
+        assert payload.buffers["b"].dtype == np.uint32
+        assert payload.buffers["c"].dtype == np.uint8
+
+    def test_empty_buffers_and_values(self):
+        blob = sample_blob(
+            buffers={"addresses": np.empty(0, dtype=np.uint64)},
+            values=np.empty(0),
+            nnz=0,
+        )
+        payload = unpack_fragment(blob)
+        assert payload.buffers["addresses"].shape == (0,)
+        assert payload.values.shape == (0,)
+
+    def test_extra_annotations(self):
+        blob = sample_blob(extra={"relative": True, "block": [1, 2]})
+        payload = unpack_fragment(blob)
+        assert payload.extra == {"relative": True, "block": [1, 2]}
+
+    def test_header_only(self):
+        header, offset = unpack_header(sample_blob())
+        assert header["format"] == "LINEAR"
+        assert header["nnz"] == 3
+        assert offset % 8 == 0
+
+
+class TestFaultInjection:
+    def test_bit_flip_detected(self):
+        blob = bytearray(sample_blob())
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(FragmentError, match="checksum"):
+            unpack_fragment(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = sample_blob()
+        with pytest.raises(FragmentError):
+            unpack_fragment(blob[: len(blob) // 2])
+
+    def test_bad_magic(self):
+        blob = b"XXXX" + sample_blob()[4:]
+        with pytest.raises(FragmentError, match="magic"):
+            unpack_header(blob)
+
+    def test_bad_version(self):
+        import struct
+
+        blob = bytearray(sample_blob())
+        struct.pack_into("<I", blob, 4, 99)
+        with pytest.raises(FragmentError, match="version"):
+            unpack_header(bytes(blob))
+
+    def test_tiny_blob(self):
+        with pytest.raises(FragmentError):
+            verify_crc(b"ab")
+        with pytest.raises(FragmentError):
+            unpack_header(b"abcdef")
+
+    def test_crc_skip_flag(self):
+        # check_crc=False lets a corrupted-but-parseable fragment through;
+        # corrupt a *value* byte so the structure still parses.
+        blob = bytearray(sample_blob())
+        blob[-12] ^= 0x01  # inside the value buffer, before the CRC
+        with pytest.raises(FragmentError):
+            unpack_fragment(bytes(blob))
+        payload = unpack_fragment(bytes(blob), check_crc=False)
+        assert payload.format_name == "LINEAR"
+
+    def test_corrupt_header_json(self):
+        blob = bytearray(sample_blob())
+        # Smash the first header byte (after magic+8).
+        blob[12] = 0x00
+        with pytest.raises(FragmentError):
+            unpack_header(bytes(blob))

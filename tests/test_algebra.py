@@ -1,0 +1,178 @@
+"""Unit + property tests for the sparse tensor algebra kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import inner, mttkrp, mttkrp_csf, mttkrp_encoded, ttv
+from repro.core import ShapeError, SparseTensor
+from repro.formats import CSFFormat, get_format
+
+from .property.test_roundtrip import sparse_tensors
+
+RANK = 3
+
+
+def random_factors(shape, rng, rank=RANK):
+    return [rng.standard_normal((m, rank)) for m in shape]
+
+
+def dense_mttkrp(dense, factors, mode):
+    """Brute-force reference via explicit loops (small tensors only)."""
+    shape = dense.shape
+    rank = factors[0].shape[1]
+    out = np.zeros((shape[mode], rank))
+    for idx in np.ndindex(*shape):
+        v = dense[idx]
+        if v == 0:
+            continue
+        for r in range(rank):
+            p = v
+            for k in range(len(shape)):
+                if k != mode:
+                    p *= factors[k][idx[k], r]
+            out[idx[mode], r] += p
+    return out
+
+
+class TestMTTKRP:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_reference(self, rng, mode):
+        shape = (5, 6, 7)
+        t = SparseTensor.from_dense(
+            rng.standard_normal(shape) * (rng.random(shape) < 0.2)
+        )
+        factors = random_factors(shape, rng)
+        got = mttkrp(t, factors, mode)
+        want = dense_mttkrp(t.to_dense(), factors, mode)
+        assert np.allclose(got, want)
+
+    def test_empty_tensor(self, rng):
+        t = SparseTensor.empty((4, 4))
+        factors = random_factors(t.shape, rng)
+        assert np.array_equal(mttkrp(t, factors, 0), np.zeros((4, RANK)))
+
+    def test_validation(self, rng, tensor_3d):
+        factors = random_factors(tensor_3d.shape, rng)
+        with pytest.raises(ShapeError):
+            mttkrp(tensor_3d, factors[:2], 0)
+        with pytest.raises(ShapeError):
+            mttkrp(tensor_3d, factors, 5)
+        bad = [f.copy() for f in factors]
+        bad[1] = bad[1][:, :1]
+        with pytest.raises(ShapeError, match="ranks"):
+            mttkrp(tensor_3d, bad, 0)
+
+
+class TestMTTKRPCSF:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    @pytest.mark.parametrize("dim_order", ["ascending", "natural",
+                                           "descending"])
+    def test_matches_coordinate_form(self, rng, mode, dim_order):
+        shape = (9, 4, 13)
+        coords = np.unique(
+            np.column_stack(
+                [rng.integers(0, m, 120, dtype=np.uint64) for m in shape]
+            ),
+            axis=0,
+        )
+        t = SparseTensor(shape, coords, rng.standard_normal(coords.shape[0]))
+        factors = random_factors(shape, rng)
+        fmt = CSFFormat(dim_order=dim_order)
+        enc = fmt.encode(t)
+        got = mttkrp_csf(enc.payload, enc.meta, t.shape, enc.values,
+                         factors, mode)
+        want = mttkrp(t, factors, mode)
+        assert np.allclose(got, want)
+
+    @settings(max_examples=25, deadline=None)
+    @given(sparse_tensors(max_dim=4, max_side=10, max_points=40),
+           st.integers(0, 3))
+    def test_property_agreement(self, tensor, mode_draw):
+        mode = mode_draw % tensor.ndim
+        rng = np.random.default_rng(0)
+        factors = random_factors(tensor.shape, rng)
+        enc = CSFFormat().encode(tensor)
+        got = mttkrp_csf(enc.payload, enc.meta, tensor.shape, enc.values,
+                         factors, mode)
+        want = mttkrp(tensor, factors, mode)
+        assert np.allclose(got, want)
+
+    def test_dispatch(self, rng, tensor_3d):
+        factors = random_factors(tensor_3d.shape, rng)
+        want = mttkrp(tensor_3d, factors, 1)
+        for name in ("CSF", "LINEAR", "GCSR++"):
+            enc = get_format(name).encode(tensor_3d)
+            assert np.allclose(mttkrp_encoded(enc, factors, 1), want), name
+
+
+class TestTTV:
+    def test_matches_dense(self, rng):
+        shape = (5, 6, 7)
+        t = SparseTensor.from_dense(
+            rng.standard_normal(shape) * (rng.random(shape) < 0.3)
+        )
+        v = rng.standard_normal(6)
+        got = ttv(t, v, 1)
+        want = np.einsum("ijk,j->ik", t.to_dense(), v)
+        assert np.allclose(got.to_dense(), want)
+        assert got.shape == (5, 7)
+
+    def test_collisions_summed(self):
+        t = SparseTensor.from_points(
+            (2, 3, 2), [(0, 0, 1), (0, 2, 1)], [2.0, 5.0]
+        )
+        got = ttv(t, np.array([1.0, 1.0, 1.0]), 1)
+        # Both points collapse onto (0, 1).
+        assert got.nnz == 1
+        assert got.to_dense()[0, 1] == 7.0
+
+    def test_validation(self, tensor_3d, rng):
+        with pytest.raises(ShapeError):
+            ttv(tensor_3d, np.ones(5), 0)  # wrong length
+        with pytest.raises(ShapeError):
+            ttv(tensor_3d, np.ones(tensor_3d.shape[0]), 7)
+
+    def test_empty(self):
+        t = SparseTensor.empty((3, 4))
+        out = ttv(t, np.ones(4), 1)
+        assert out.shape == (3,)
+        assert out.nnz == 0
+
+    def test_chain_to_scalar_shapes(self, rng):
+        shape = (4, 5, 6)
+        t = SparseTensor.from_dense(
+            rng.standard_normal(shape) * (rng.random(shape) < 0.3)
+        )
+        step1 = ttv(t, rng.standard_normal(6), 2)
+        step2 = ttv(step1, rng.standard_normal(5), 1)
+        assert step2.shape == (4,)
+
+
+class TestInner:
+    def test_matches_dense(self, rng):
+        shape = (8, 9)
+        a = SparseTensor.from_dense(
+            rng.standard_normal(shape) * (rng.random(shape) < 0.3)
+        )
+        b = SparseTensor.from_dense(
+            rng.standard_normal(shape) * (rng.random(shape) < 0.3)
+        )
+        assert inner(a, b) == pytest.approx(
+            float((a.to_dense() * b.to_dense()).sum())
+        )
+
+    def test_self_inner_is_norm(self, tensor_3d):
+        assert inner(tensor_3d, tensor_3d) == pytest.approx(
+            float((tensor_3d.values**2).sum())
+        )
+
+    def test_disjoint_is_zero(self):
+        a = SparseTensor.from_points((4, 4), [(0, 0)], [3.0])
+        b = SparseTensor.from_points((4, 4), [(1, 1)], [5.0])
+        assert inner(a, b) == 0.0
+
+    def test_shape_mismatch(self, tensor_2d, tensor_3d):
+        with pytest.raises(ShapeError):
+            inner(tensor_2d, tensor_3d)

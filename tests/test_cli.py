@@ -1,0 +1,73 @@
+"""End-to-end tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestFormats:
+    def test_lists_all(self, capsys):
+        assert main(["formats"]) == 0
+        out = capsys.readouterr().out
+        for name in ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF", "HICOO"):
+            assert name in out
+
+    def test_paper_only(self, capsys):
+        main(["formats", "--paper-only"])
+        out = capsys.readouterr().out
+        assert "HICOO" not in out
+
+
+class TestGenerateEncodeInfo:
+    def test_pipeline(self, tmp_path, capsys):
+        npz = tmp_path / "data.npz"
+        store = tmp_path / "store"
+        assert main(["generate", "GSP", "32", "32", "-o", str(npz),
+                     "--seed", "1"]) == 0
+        assert npz.exists()
+        assert main(["encode", str(npz), str(store), "-f", "CSF"]) == 0
+        assert (store / "frag-000000.bin").exists()
+        assert main(["info", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "frag-000000.bin" in out
+        assert "CSF" in out
+
+    def test_generated_npz_is_loadable(self, tmp_path):
+        npz = tmp_path / "d.npz"
+        main(["generate", "TSP", "64", "64", "-o", str(npz)])
+        with np.load(npz) as data:
+            assert data["coords"].shape[1] == 2
+            assert data["coords"].shape[0] == data["values"].shape[0]
+
+    def test_encode_with_codec(self, tmp_path, capsys):
+        npz = tmp_path / "d.npz"
+        main(["generate", "MSP", "64", "64", "-o", str(npz)])
+        assert main(["encode", str(npz), str(tmp_path / "s"),
+                     "--codec", "delta-zlib"]) == 0
+
+
+class TestAdvise:
+    def test_recommends(self, tmp_path, capsys):
+        npz = tmp_path / "d.npz"
+        main(["generate", "GSP", "48", "48", "48", "-o", str(npz)])
+        assert main(["advise", str(npz), "-w", "analytical"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation:" in out
+        assert "COO" in out  # full ranking shown
+
+    def test_workload_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["advise", "x.npz", "-w", "chaotic"])
+
+
+class TestExperiment:
+    def test_runs_table2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert main(["experiment", "table2", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig9"])

@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts must run cleanly end to end.
+
+Only the fast examples run here (the streaming/LCLS/decomposition ones take
+tens of seconds and are exercised by their underlying-feature tests).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "paper_figure1.py",
+    "format_advisor.py",
+    "pattern_gallery.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_shows_all_formats(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for fmt in ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF"):
+        assert fmt in out
+
+
+def test_figure1_matches_paper_values(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["paper_figure1.py"])
+    runpy.run_path(str(EXAMPLES / "paper_figure1.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "nfibs: [2, 3, 5]" in out
+    assert "25" in out and "26" in out  # the LINEAR addresses
+
+
+def test_all_examples_exist_and_are_documented():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 9
+    for script in scripts:
+        head = script.read_text().split("\n", 5)
+        assert head[0].startswith("#!"), script.name
+        assert '"""' in head[1], f"{script.name} lacks a docstring"

@@ -1,0 +1,114 @@
+"""Unit tests for external dataset I/O (Matrix Market / .tns / .npz)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ShapeError, SparseTensor
+from repro.io import (
+    load_dataset,
+    read_matrix_market,
+    read_tns,
+    write_matrix_market,
+    write_tns,
+)
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path, tensor_2d):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, tensor_2d, comment="test matrix")
+        back = read_matrix_market(path)
+        # mmwrite stores explicit shape, so shapes match exactly.
+        assert back.shape == tensor_2d.shape
+        assert back.same_points(tensor_2d)
+
+    def test_3d_rejected_on_write(self, tmp_path, tensor_3d):
+        with pytest.raises(ShapeError, match="2D"):
+            write_matrix_market(tmp_path / "x.mtx", tensor_3d)
+
+    def test_reads_scipy_written_file(self, tmp_path, rng):
+        import scipy.io
+        import scipy.sparse as sp
+
+        mat = sp.random(30, 40, density=0.1, random_state=3, format="coo")
+        scipy.io.mmwrite(str(tmp_path / "s.mtx"), mat)
+        t = read_matrix_market(tmp_path / "s.mtx")
+        assert t.shape == (30, 40)
+        assert np.allclose(t.to_dense(), mat.toarray())
+
+
+class TestTns:
+    def test_round_trip(self, tmp_path, tensor_4d):
+        path = tmp_path / "t.tns"
+        write_tns(path, tensor_4d)
+        back = read_tns(path)
+        # .tns infers shape from max coordinates: may be tighter.
+        assert back.nnz == tensor_4d.nnz
+        assert np.array_equal(
+            back.sorted_lexicographic().coords,
+            tensor_4d.sorted_lexicographic().coords,
+        )
+        assert np.allclose(
+            back.sorted_lexicographic().values,
+            tensor_4d.sorted_lexicographic().values,
+        )
+
+    def test_parses_frostt_style(self, tmp_path):
+        (tmp_path / "f.tns").write_text(
+            "# a comment\n"
+            "% another comment\n"
+            "1 1 2 3.5\n"
+            "2 3 1 -1.0\n"
+        )
+        t = read_tns(tmp_path / "f.tns")
+        assert t.shape == (2, 3, 2)
+        assert t.to_dense()[0, 0, 1] == 3.5
+        assert t.to_dense()[1, 2, 0] == -1.0
+
+    def test_zero_based_rejected(self, tmp_path):
+        (tmp_path / "f.tns").write_text("0 1 2.0\n")
+        with pytest.raises(ShapeError, match="1-based"):
+            read_tns(tmp_path / "f.tns")
+
+    def test_ragged_rejected(self, tmp_path):
+        (tmp_path / "f.tns").write_text("1 1 2.0\n1 2 3 4.0\n")
+        with pytest.raises(ShapeError, match="inconsistent"):
+            read_tns(tmp_path / "f.tns")
+
+    def test_empty_rejected(self, tmp_path):
+        (tmp_path / "f.tns").write_text("# nothing\n")
+        with pytest.raises(ShapeError, match="no data"):
+            read_tns(tmp_path / "f.tns")
+
+
+class TestLoadDataset:
+    def test_dispatch_npz(self, tmp_path, tensor_3d):
+        np.savez(tmp_path / "d.npz",
+                 shape=np.asarray(tensor_3d.shape),
+                 coords=tensor_3d.coords, values=tensor_3d.values)
+        t = load_dataset(tmp_path / "d.npz")
+        assert t.same_points(tensor_3d)
+
+    def test_dispatch_tns(self, tmp_path, tensor_3d):
+        write_tns(tmp_path / "d.tns", tensor_3d)
+        assert load_dataset(tmp_path / "d.tns").nnz == tensor_3d.nnz
+
+    def test_dispatch_mtx(self, tmp_path, tensor_2d):
+        write_matrix_market(tmp_path / "d.mtx", tensor_2d)
+        assert load_dataset(tmp_path / "d.mtx").same_points(tensor_2d)
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ShapeError, match="extension"):
+            load_dataset(tmp_path / "d.parquet")
+
+    def test_real_workflow_into_store(self, tmp_path, tensor_2d):
+        """mtx file -> load -> advisor -> store: the SuiteSparse on-ramp."""
+        from repro import FragmentStore, recommend
+
+        write_matrix_market(tmp_path / "web.mtx", tensor_2d)
+        t = load_dataset(tmp_path / "web.mtx")
+        pick = recommend(t).best
+        store = FragmentStore(tmp_path / "ds", t.shape, pick)
+        store.write_tensor(t)
+        out = store.read_points(t.coords)
+        assert out.found.all()

@@ -1,0 +1,74 @@
+"""Public API integrity: exports resolve, docstrings exist, doctest runs."""
+
+import doctest
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.formats",
+    "repro.storage",
+    "repro.patterns",
+    "repro.bench",
+    "repro.analysis",
+    "repro.algebra",
+    "repro.interop",
+    "repro.cli",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("module_name", ["repro"] + SUBPACKAGES)
+    def test_module_imports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name",
+                             ["repro", "repro.core", "repro.formats",
+                              "repro.storage", "repro.patterns",
+                              "repro.bench", "repro.analysis"])
+    def test_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_no_private_leaks_in_all(self):
+        assert all(not n.startswith("_") or n == "__version__"
+                   for n in repro.__all__)
+
+
+class TestDocstrings:
+    def test_package_doctest(self):
+        """The quickstart in the package docstring must actually run."""
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 2
+
+    @pytest.mark.parametrize("obj", [
+        repro.SparseTensor,
+        repro.FragmentStore,
+        repro.get_format,
+        repro.recommend,
+        repro.mttkrp,
+        repro.linearize,
+    ])
+    def test_public_callables_documented(self, obj):
+        assert inspect.getdoc(obj), f"{obj} lacks a docstring"
+
+    def test_format_classes_documented(self):
+        from repro.formats import available_formats, get_format
+
+        for name in available_formats():
+            fmt = get_format(name)
+            assert inspect.getdoc(type(fmt)), name
+            assert inspect.getdoc(type(fmt).build)
+            assert inspect.getdoc(type(fmt).read_faithful) or inspect.getdoc(
+                repro.formats.SparseFormat.read_faithful
+            )
