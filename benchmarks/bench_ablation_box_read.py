@@ -44,8 +44,7 @@ def test_cellwise_box_read(benchmark, encoded, edge):
 
     def run():
         grid = box.grid_coords()
-        found, vals = enc.read(grid)
-        return int(found.sum())
+        return enc.read_points(grid).points_matched
 
     hits = benchmark.pedantic(run, rounds=3, iterations=1)
     assert hits == tensor.select_box(box).nnz
@@ -63,9 +62,9 @@ def test_report_box_read(benchmark, encoded):
             t_struct = time.perf_counter() - t0
             t0 = time.perf_counter()
             grid = box.grid_coords()
-            found, _ = enc.read(grid)
+            out = enc.read_points(grid)
             t_cell = time.perf_counter() - t0
-            assert structural.nnz == int(found.sum())
+            assert structural.nnz == out.points_matched
             rows.append(
                 [edge, box.n_cells, structural.nnz,
                  round(t_struct * 1000, 2), round(t_cell * 1000, 2)]

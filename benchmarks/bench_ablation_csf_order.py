@@ -69,9 +69,9 @@ def test_all_orders_read_correctly(benchmark, tensor):
         for order in ORDERS:
             fmt = CSFFormat(dim_order=order)
             enc = fmt.encode(tensor)
-            found, vals = enc.read(tensor.coords[:200])
-            ok &= bool(found.all())
-            ok &= bool(np.allclose(vals, tensor.values[:200]))
+            out = enc.read_points(tensor.coords[:200])
+            ok &= bool(out.found.all())
+            ok &= bool(np.allclose(out.values, tensor.values[:200]))
         return ok
 
     assert benchmark.pedantic(run, rounds=1, iterations=1)

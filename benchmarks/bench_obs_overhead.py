@@ -1,0 +1,94 @@
+"""Microbench: observability overhead on the encode hot path.
+
+The `repro.obs` layer claims near-zero overhead: instrumented paths spend a
+handful of dictionary/lock operations *per call*, never per point.  This
+bench verifies the claim on `LINEAR.encode` of 1e6 points — the cheapest
+per-point hot path, i.e. the worst case for fixed per-call overhead — and
+asserts the enabled/disabled ratio stays under 5%.
+
+Runs standalone (`python benchmarks/bench_obs_overhead.py`) and as part of
+the tier-1 suite via `tests/bench/test_obs_overhead.py` (assert-only).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import SparseTensor, get_format, obs
+
+#: Allowed enabled/disabled ratio (the paper-facing claim is < 5%).
+MAX_OVERHEAD_RATIO = 1.05
+#: Absolute slack absorbing scheduler jitter on fast machines (seconds).
+ABS_SLACK_SECONDS = 0.005
+
+
+def make_tensor(n: int = 1_000_000, seed: int = 0) -> SparseTensor:
+    rng = np.random.default_rng(seed)
+    shape = (1 << 12, 1 << 12, 1 << 12)
+    coords = np.column_stack([
+        rng.integers(0, s, size=n, dtype=np.uint64) for s in shape
+    ])
+    return SparseTensor(shape, coords, rng.random(n))
+
+
+def time_encode(tensor: SparseTensor, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``LINEAR.encode``."""
+    fmt = get_format("LINEAR")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fmt.encode(tensor)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_obs_overhead(
+    n: int = 1_000_000, repeats: int = 3
+) -> dict[str, float]:
+    """Measure encode time with obs disabled vs enabled.
+
+    Returns ``{"disabled": s, "enabled": s, "ratio": enabled/disabled}``.
+    Restores the obs enabled-state it found.
+    """
+    tensor = make_tensor(n)
+    was_enabled = obs.is_enabled()
+    try:
+        obs.disable()
+        time_encode(tensor, repeats=1)  # warm caches outside the measurement
+        disabled = time_encode(tensor, repeats=repeats)
+        obs.enable()
+        enabled = time_encode(tensor, repeats=repeats)
+    finally:
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+    return {
+        "disabled": disabled,
+        "enabled": enabled,
+        "ratio": enabled / disabled if disabled else 1.0,
+    }
+
+
+def assert_overhead_ok(result: dict[str, float]) -> None:
+    limit = result["disabled"] * MAX_OVERHEAD_RATIO + ABS_SLACK_SECONDS
+    assert result["enabled"] <= limit, (
+        f"obs overhead too high: enabled={result['enabled']:.4f}s "
+        f"disabled={result['disabled']:.4f}s "
+        f"(ratio {result['ratio']:.3f}, limit {MAX_OVERHEAD_RATIO})"
+    )
+
+
+def test_obs_overhead_under_5_percent():
+    """Collected when pytest is pointed at benchmarks/ explicitly."""
+    assert_overhead_ok(bench_obs_overhead())
+
+
+if __name__ == "__main__":
+    r = bench_obs_overhead()
+    print(f"LINEAR.encode 1e6 points: disabled={r['disabled'] * 1e3:.1f} ms "
+          f"enabled={r['enabled'] * 1e3:.1f} ms ratio={r['ratio']:.4f}")
+    assert_overhead_ok(r)
+    print(f"OK (< {(MAX_OVERHEAD_RATIO - 1) * 100:.0f}% overhead)")

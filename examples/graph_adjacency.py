@@ -47,10 +47,10 @@ def main() -> None:
           f"{'hub degree':>11s}")
     for name in ("COO", "LINEAR", "GCSR++", "GCSC++", "CSF"):
         enc = get_format(name).encode(adj)
-        found, _ = enc.read(probes)
+        out = enc.read_points(probes)
         hub_row = enc.read_dense_box(neighborhood)
         print(f"{name:<8s} {enc.index_nbytes / 1024:>10.1f} "
-              f"{int(found.sum()):>11d} "
+              f"{out.points_matched:>11d} "
               f"{int(np.count_nonzero(hub_row)):>11d}")
 
     # What does the advisor say for a read-heavy recommender workload?

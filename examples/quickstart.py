@@ -32,12 +32,12 @@ def main() -> None:
           f"{'found':>6s}")
     for name in available_formats():
         encoded = get_format(name).encode(tensor)
-        found, vals = encoded.read(queries)
-        assert found[:5].all() and not found[5]
-        assert np.allclose(vals, tensor.values[:5])
+        out = encoded.read_points(queries)
+        assert out.found[:5].all() and not out.found[5]
+        assert np.allclose(out.values, tensor.values[:5])
         print(f"{name:<11s} {encoded.index_nbytes:>12,d} "
               f"{encoded.index_nbytes / tensor.nnz:>12.2f} "
-              f"{int(found.sum()):>6d}")
+              f"{out.points_matched:>6d}")
 
     # Region read: a dense window materialized from the LINEAR encoding.
     encoded = get_format("LINEAR").encode(tensor)

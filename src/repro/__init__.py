@@ -15,14 +15,20 @@ Quickstart
 >>> t = SparseTensor.from_points((3, 3, 3),
 ...     [(0, 0, 1), (0, 1, 1), (0, 1, 2), (2, 2, 1), (2, 2, 2)])
 >>> encoded = get_format("LINEAR").encode(t)
->>> found, values = encoded.read(np.array([[0, 1, 1], [1, 1, 1]], dtype=np.uint64))
->>> bool(found[0]), bool(found[1])
+>>> out = encoded.read_points(np.array([[0, 1, 1], [1, 1, 1]], dtype=np.uint64))
+>>> bool(out.found[0]), bool(out.found[1])
 (True, False)
+
+Every queryable object — in-memory encodings, fragment stores, adaptive
+stores, blocked datasets — shares this ``read_points``/``read_box`` API
+(:mod:`repro.readapi`), and the hot paths feed an always-on metrics layer
+(:mod:`repro.obs`; see ``repro stats`` and ``obs.snapshot()``).
 
 See ``examples/`` for full scenarios and ``benchmarks/`` for the paper's
 tables and figures.
 """
 
+from . import obs
 from .algebra import inner, mttkrp, mttkrp_encoded, ttv
 from .analysis import Workload, recommend
 from .bench import run_experiment, run_sweep
@@ -43,7 +49,9 @@ from .formats import (
     available_formats,
     get_format,
     register_format,
+    resolve_format,
 )
+from .readapi import Readable, ReadOutcome
 from .patterns import (
     GSPPattern,
     MSPPattern,
@@ -81,6 +89,10 @@ __all__ = [
     "available_formats",
     "get_format",
     "register_format",
+    "resolve_format",
+    "Readable",
+    "ReadOutcome",
+    "obs",
     "GSPPattern",
     "MSPPattern",
     "TSPPattern",

@@ -15,6 +15,10 @@
 ``experiment``
     Regenerate a paper table/figure (same ids as
     ``python -m repro.bench.experiments``).
+``stats``
+    Exercise the observability layer (``repro.obs``) with a write + read
+    round-trip — against an existing store or a synthetic demo — and print
+    every recorded counter, gauge, and latency histogram.
 """
 
 from __future__ import annotations
@@ -131,6 +135,61 @@ def cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from . import obs
+    from .core.boundary import Box
+    from .storage.store import FragmentStore
+
+    obs.enable()
+    obs.reset()
+    rng = np.random.default_rng(args.seed)
+
+    if args.store:
+        manifest = json.loads((Path(args.store) / "manifest.json").read_text())
+        store = FragmentStore(args.store, manifest["shape"], manifest["format"])
+        if not store.fragments:
+            print(f"store {args.store} has no fragments", file=sys.stderr)
+            return 1
+        # Sample query points from each fragment's bounding box so reads
+        # exercise the real pruning and per-format read paths.
+        per_frag = max(1, args.points // len(store.fragments))
+        queries = np.vstack([
+            np.asarray(f.bbox.origin, dtype=np.uint64)[np.newaxis, :]
+            + rng.integers(
+                0, np.maximum(1, np.asarray(f.bbox.size, dtype=np.int64)),
+                size=(per_frag, len(store.shape)),
+            ).astype(np.uint64)
+            for f in store.fragments
+        ])
+        store.read_points(queries)
+        store.read_box(store.fragments[0].bbox)
+        title = f"repro observability — store {args.store}"
+    else:
+        # Self-contained demo: two disjoint fragments, so the read shows
+        # bbox overlap pruning alongside byte and latency metrics.
+        shape = (64, 64, 64)
+        n = max(16, args.points)
+        with tempfile.TemporaryDirectory() as tmp:
+            store = FragmentStore(tmp, shape, args.format)
+            low = rng.integers(0, 32, size=(n, 3)).astype(np.uint64)
+            high = rng.integers(32, 64, size=(n, 3)).astype(np.uint64)
+            store.write(low, rng.random(n))
+            store.write(high, rng.random(n))
+            store.read_points(low[: max(1, n // 2)])
+            store.read_box(Box((0, 0, 0), (16, 16, 16)))
+        title = (f"repro observability — demo round-trip "
+                 f"({args.format}, 2 fragments, {n} points each)")
+
+    if args.json:
+        print(obs.to_json())
+    else:
+        print(obs.render_table(title=title))
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from .bench.experiments import ExperimentConfig, run_experiment
 
@@ -175,6 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-w", "--workload", default="balanced",
                    choices=["balanced", "archival", "analytical"])
     p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("stats", help="observability metrics round-trip")
+    p.add_argument("--store", default=None,
+                   help="existing store directory to exercise "
+                        "(default: synthetic demo store)")
+    p.add_argument("-f", "--format", default="LINEAR",
+                   help="organization for the demo store")
+    p.add_argument("--points", type=int, default=2000,
+                   help="points per fragment / total queries")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the metrics snapshot as JSON")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("experiment",

@@ -181,22 +181,32 @@ class SparseTensor:
         """A copy with duplicate coordinates collapsed.
 
         ``keep="last"`` mimics overwrite semantics of repeated writes;
-        ``keep="first"`` keeps the earliest occurrence.
+        ``keep="first"`` keeps the earliest occurrence.  Shapes whose cell
+        count overflows uint64 are grouped lexicographically instead of by
+        linear address (same result, no overflow).
         """
         if self.nnz == 0:
             return self
-        addr = self.linear_addresses()
-        order = stable_argsort(addr)
-        sorted_addr = addr[order]
+        from .dtypes import fits_index_dtype
+
+        if fits_index_dtype(self.shape):
+            addr = self.linear_addresses()
+            order = stable_argsort(addr)
+            sorted_addr = addr[order]
+            neq = sorted_addr[1:] != sorted_addr[:-1]
+        else:
+            order = lexsort_rows(self.coords)
+            sorted_coords = self.coords[order]
+            neq = np.any(sorted_coords[1:] != sorted_coords[:-1], axis=1)
         is_first = np.empty(self.nnz, dtype=bool)
         is_first[0] = True
-        np.not_equal(sorted_addr[1:], sorted_addr[:-1], out=is_first[1:])
+        is_first[1:] = neq
         if keep == "first":
             sel = order[is_first]
         elif keep == "last":
             is_last = np.empty(self.nnz, dtype=bool)
             is_last[-1] = True
-            np.not_equal(sorted_addr[1:], sorted_addr[:-1], out=is_last[:-1])
+            is_last[:-1] = neq
             sel = order[is_last]
         else:
             raise ValueError(f"keep must be 'first' or 'last', got {keep!r}")

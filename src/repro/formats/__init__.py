@@ -20,6 +20,7 @@ from .registry import (
     available_formats,
     get_format,
     register_format,
+    resolve_format,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "available_formats",
     "get_format",
     "register_format",
+    "resolve_format",
 ]

@@ -23,6 +23,7 @@ Two read paths exist deliberately (DESIGN.md §4):
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Mapping, Sequence
 
@@ -34,6 +35,19 @@ from ..core.errors import FormatError, ShapeError
 from ..core.linearize import linearize
 from ..core.sorting import apply_map, stable_argsort
 from ..core.tensor import SparseTensor
+from ..obs import span
+from ..readapi import ReadOutcome
+
+#: Deprecation shims warn once per process; tests reset this set to
+#: re-arm the warning deterministically.
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated_once(key: str, message: str) -> None:
+    if key in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -177,8 +191,11 @@ class SparseFormat(abc.ABC):
 
     def encode(self, tensor: SparseTensor) -> "EncodedTensor":
         """Convenience: build + reorganize values (Algorithm 3 lines 4–5)."""
-        result = self.build(tensor.coords, tensor.shape)
-        values = apply_map(tensor.values, result.perm)
+        with span("format.encode", format=self.name) as sp:
+            result = self.build(tensor.coords, tensor.shape)
+            values = apply_map(tensor.values, result.perm)
+            sp.add_nnz(tensor.nnz)
+            sp.add_bytes_out(result.index_nbytes() + int(values.nbytes))
         return EncodedTensor(
             fmt=self,
             shape=tensor.shape,
@@ -219,34 +236,74 @@ class EncodedTensor:
     meta: dict[str, Any]
     values: np.ndarray
 
+    def read_points(self, query_coords: np.ndarray) -> ReadOutcome:
+        """Point queries; the unified read-side API (see :mod:`repro.readapi`).
+
+        Returns a :class:`~repro.readapi.ReadOutcome` whose ``found`` mask
+        aligns with the query buffer and whose ``values`` hold the found
+        queries' values in query order.
+        """
+        with span("format.read", format=self.fmt.name) as sp:
+            res = self.fmt.read(self.payload, self.meta, self.shape, query_coords)
+            values = res.gather_values(self.values)
+            matched = int(res.found.sum())
+            sp.add_nnz(matched)
+        return ReadOutcome(
+            found=res.found,
+            values=values,
+            fragments_visited=1,
+            points_matched=matched,
+        )
+
     def read(self, query_coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Query points; returns ``(found_mask, values_of_found)``."""
-        res = self.fmt.read(self.payload, self.meta, self.shape, query_coords)
-        return res.found, res.gather_values(self.values)
+        """Deprecated alias of :meth:`read_points`.
+
+        Returns the legacy ``(found_mask, values_of_found)`` tuple; new code
+        should call :meth:`read_points` and use the richer
+        :class:`~repro.readapi.ReadOutcome`.
+        """
+        _warn_deprecated_once(
+            "EncodedTensor.read",
+            "EncodedTensor.read is deprecated; use read_points, which "
+            "returns a ReadOutcome",
+        )
+        out = self.read_points(query_coords)
+        return out.found, out.values
 
     def decode(self) -> SparseTensor:
         """Reconstruct the original tensor (point order may differ)."""
-        coords = self.fmt.decode(self.payload, self.meta, self.shape)
+        with span("format.decode", format=self.fmt.name) as sp:
+            coords = self.fmt.decode(self.payload, self.meta, self.shape)
+            sp.add_nnz(self.nnz)
         return SparseTensor(self.shape, coords, self.values)
 
     def read_box(self, box) -> SparseTensor:
-        """All stored points inside ``box`` as a sparse tensor.
+        """All stored points inside ``box``, sorted by linear address.
 
         Structural range read — never enumerates the box's cells (see
         :meth:`SparseFormat.box_points`), so arbitrarily large boxes are
-        fine.
+        fine.  Results come back in the same merge order as the store-level
+        ``read_box`` (lexicographic when the shape is not linearizable), so
+        the unified read API behaves identically in memory and on disk.
         """
-        coords, positions = self.fmt.box_points(
-            self.payload, self.meta, self.shape, box
-        )
-        return SparseTensor(self.shape, coords, self.values[positions])
+        from ..core.dtypes import fits_index_dtype
+
+        with span("format.read_box", format=self.fmt.name) as sp:
+            coords, positions = self.fmt.box_points(
+                self.payload, self.meta, self.shape, box
+            )
+            sp.add_nnz(int(positions.shape[0]))
+        tensor = SparseTensor(self.shape, coords, self.values[positions])
+        if fits_index_dtype(self.shape):
+            return tensor.sorted_by_linear()
+        return tensor.sorted_lexicographic()
 
     def read_dense_box(self, box) -> np.ndarray:
         """Materialize a small dense window of the tensor (missing cells 0)."""
         grid = box.grid_coords()
-        found, vals = self.read(grid)
+        out_points = self.read_points(grid)
         out = np.zeros(box.n_cells, dtype=self.values.dtype)
-        out[found] = vals
+        out[out_points.found] = out_points.values
         return out.reshape(box.size)
 
     @property

@@ -53,6 +53,23 @@ def get_format(name: str) -> SparseFormat:
         ) from None
 
 
+def resolve_format(fmt: str | SparseFormat) -> SparseFormat:
+    """Normalize a format argument to an instance.
+
+    Everywhere the public API names a format it accepts either the registry
+    name (``"CSF"``, case-insensitive) or a :class:`SparseFormat` instance;
+    this is the single conversion point (see docs/API_GUIDE.md §2).
+    """
+    if isinstance(fmt, SparseFormat):
+        return fmt
+    if not isinstance(fmt, str):
+        raise FormatError(
+            f"format must be a name or a SparseFormat instance; "
+            f"got {type(fmt).__name__}"
+        )
+    return get_format(fmt)
+
+
 def register_format(name: str, factory: Callable[[], SparseFormat]) -> None:
     """Register a custom organization (used by tests and extensions)."""
     key = name.upper()

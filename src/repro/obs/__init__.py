@@ -1,0 +1,72 @@
+"""Observability layer: always-on metrics for the production hot paths.
+
+The paper's contribution is *measurement* (Table I op counts, Fig 3/4/5
+trajectories), but benchmarks only see what the harness times.  This
+subsystem gives the production paths — format encode/read, fragment
+write/read/compact, overlap pruning, the parallel packer, the adaptive
+advisor — first-class counters, gauges, and latency histograms, feeding the
+same workload statistics that drive format selection
+(:mod:`repro.analysis.advisor`).
+
+Quick tour::
+
+    from repro import obs
+
+    with obs.span("my.operation", format="LINEAR") as sp:
+        sp.add_nnz(n)                 # annotate work done
+        sp.ops.charge_comparisons(k)  # Table-I-style op accounting
+
+    obs.snapshot()          # JSON-able dict of every metric
+    print(obs.render_table())
+    obs.to_json()           # export
+    obs.reset()             # fresh state
+    obs.disable()           # near-zero overhead; also REPRO_OBS=0
+
+The registry is thread-safe (worker threads record concurrently) and
+process-global: :func:`get_registry` returns the instance everything
+records into.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_add,
+    disable,
+    enable,
+    enabled_from_env,
+    gauge_set,
+    get_registry,
+    is_enabled,
+    observe,
+    render_table,
+    reset,
+    snapshot,
+    to_json,
+)
+from .spans import NULL_SPAN, Span, span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "counter_add",
+    "disable",
+    "enable",
+    "enabled_from_env",
+    "gauge_set",
+    "get_registry",
+    "is_enabled",
+    "observe",
+    "render_table",
+    "reset",
+    "snapshot",
+    "span",
+    "to_json",
+]

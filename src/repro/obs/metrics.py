@@ -1,0 +1,350 @@
+"""Thread-safe, zero-dependency metrics primitives.
+
+The registry holds three metric kinds, all identified by ``(name, labels)``:
+
+``Counter``
+    Monotonic tally (bytes written, fragments pruned, advisor decisions).
+``Gauge``
+    Last-set value (compression ratio, worker utilization).
+``Histogram``
+    Fixed-boundary bucketed distribution plus count/sum/min/max — used for
+    wall-clock latencies (the bucket boundaries default to powers of ten
+    between 1 µs and 10 s, Prometheus ``le`` semantics).
+
+Everything is guarded by per-metric locks (the parallel writer records from
+worker threads) and designed to be near-zero-overhead when the layer is
+disabled: every recording helper checks one module-level boolean first, so
+a disabled library does a single attribute load + branch per event.
+
+Set ``REPRO_OBS=0`` in the environment to start disabled; flip at runtime
+with :func:`enable` / :func:`disable`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import threading
+from typing import Any, Mapping
+
+#: Default histogram bucket upper bounds (seconds); +inf is implicit.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def enabled_from_env(environ: Mapping[str, str] | None = None) -> bool:
+    """Whether ``REPRO_OBS`` asks for the layer to start enabled."""
+    env = os.environ if environ is None else environ
+    return env.get("REPRO_OBS", "1").strip().lower() not in ("0", "false", "off")
+
+
+_enabled: bool = enabled_from_env()
+
+
+def enable() -> None:
+    """Turn metric recording on (the default unless ``REPRO_OBS=0``)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn metric recording off; instrumented paths become no-ops."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing tally."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self._value,
+        }
+
+
+class Gauge:
+    """Last-written value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self._value,
+        }
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds in ascending order; observations
+    above the last bound land in the implicit +inf bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name", "labels", "buckets",
+        "_lock", "_counts", "_count", "_sum", "_min", "_max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be ascending")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self._counts),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by kind + name + labels."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, str, LabelItems], Any] = {}
+
+    def _get_or_create(self, kind: str, name: str, labels: LabelItems, factory):
+        key = (kind, name, labels)
+        metric = self._metrics.get(key)
+        if metric is not None:
+            return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _label_key(labels)
+        return self._get_or_create(
+            "counter", name, key, lambda: Counter(name, key)
+        )
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _label_key(labels)
+        return self._get_or_create(
+            "gauge", name, key, lambda: Gauge(name, key)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = _label_key(labels)
+        return self._get_or_create(
+            "histogram", name, key, lambda: Histogram(name, key, buckets)
+        )
+
+    # -- reporting -----------------------------------------------------
+
+    def metrics(self) -> list[Any]:
+        """All metrics, sorted by (name, labels) for stable output."""
+        with self._lock:
+            items = list(self._metrics.items())
+        items.sort(key=lambda kv: (kv[0][1], kv[0][2], kv[0][0]))
+        return [m for _, m in items]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able view of every metric's current state."""
+        out: dict[str, list[dict[str, Any]]] = {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+        for metric in self.metrics():
+            out[metric.kind + "s"].append(metric.as_dict())
+        return out
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop every metric (fresh registry state)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def render_table(self, *, title: str = "repro observability") -> str:
+        """Human-readable dump: one line per metric."""
+        rows: list[tuple[str, str, str]] = []
+        for metric in self.metrics():
+            labels = ",".join(f"{k}={v}" for k, v in metric.labels)
+            if metric.kind == "histogram":
+                if metric.count:
+                    value = (
+                        f"n={metric.count} mean={_fmt_seconds(metric.mean)} "
+                        f"max={_fmt_seconds(metric._max)}"
+                    )
+                else:
+                    value = "n=0"
+            elif metric.kind == "gauge":
+                value = f"{metric.value:.4g}"
+            else:
+                value = f"{metric.value:,}"
+            rows.append((metric.name, labels, value))
+        if not rows:
+            return f"{title}\n(no metrics recorded)"
+        w0 = max(len(r[0]) for r in rows + [("metric", "", "")])
+        w1 = max(len(r[1]) for r in rows + [("", "labels", "")])
+        lines = [title, f"{'metric':<{w0}}  {'labels':<{w1}}  value",
+                 "-" * (w0 + w1 + 9)]
+        for name, labels, value in rows:
+            lines.append(f"{name:<{w0}}  {labels:<{w1}}  {value}")
+        return "\n".join(lines)
+
+
+def _fmt_seconds(v: float) -> str:
+    """Format a duration-like quantity with a sensible unit."""
+    if v >= 1.0:
+        return f"{v:.3g}s"
+    if v >= 1e-3:
+        return f"{v * 1e3:.3g}ms"
+    return f"{v * 1e6:.3g}us"
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry all instrumentation records into."""
+    return _REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Fast recording helpers (single branch when disabled)
+# ----------------------------------------------------------------------
+
+
+def counter_add(name: str, amount: int | float = 1, **labels: Any) -> None:
+    """Increment a counter iff the layer is enabled."""
+    if not _enabled:
+        return
+    _REGISTRY.counter(name, **labels).inc(amount)
+
+
+def gauge_set(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge iff the layer is enabled."""
+    if not _enabled:
+        return
+    _REGISTRY.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record a histogram observation iff the layer is enabled."""
+    if not _enabled:
+        return
+    _REGISTRY.histogram(name, **labels).observe(value)
+
+
+def snapshot() -> dict[str, Any]:
+    """Convenience: :meth:`MetricsRegistry.snapshot` on the global registry."""
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Convenience: drop all metrics in the global registry."""
+    _REGISTRY.reset()
+
+
+def to_json(*, indent: int | None = 2) -> str:
+    """Convenience: JSON export of the global registry."""
+    return _REGISTRY.to_json(indent=indent)
+
+
+def render_table(*, title: str = "repro observability") -> str:
+    """Convenience: human-readable dump of the global registry."""
+    return _REGISTRY.render_table(title=title)

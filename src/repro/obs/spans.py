@@ -1,0 +1,127 @@
+"""Context-manager spans: wall time + bytes + nnz + op accounting.
+
+A span brackets one logical operation on a hot path::
+
+    with span("fragment.write", format="LINEAR") as sp:
+        blob = pack(...)
+        sp.add_bytes_out(len(blob))
+        sp.add_nnz(n)
+
+On exit it records, into the global registry and under the span's labels:
+
+- ``<name>.seconds`` — latency histogram,
+- ``<name>.calls`` — invocation counter,
+- ``<name>.bytes_in`` / ``<name>.bytes_out`` / ``<name>.nnz`` — counters,
+  only when the span was fed those quantities,
+- ``<name>.ops.<class>`` — the tallies of the span's attached
+  :class:`~repro.core.costmodel.OpCounter` (see :attr:`Span.ops`), so
+  Table-I-style op accounting and wall-clock metrics share one report.
+
+When the layer is disabled (``obs.disable()`` / ``REPRO_OBS=0``),
+:func:`span` returns a shared no-op span and the whole construct costs one
+branch plus a ``with`` block.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..core.costmodel import NULL_COUNTER, OpCounter
+from . import metrics as _m
+
+
+class Span:
+    """A timed scope that reports into the metrics registry on exit."""
+
+    __slots__ = ("name", "labels", "bytes_in", "bytes_out", "nnz",
+                 "_ops", "_t0")
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.nnz = 0
+        self._ops: OpCounter | None = None
+        self._t0 = 0.0
+
+    # -- payload annotations -------------------------------------------
+
+    def add_bytes_in(self, n: int) -> None:
+        self.bytes_in += int(n)
+
+    def add_bytes_out(self, n: int) -> None:
+        self.bytes_out += int(n)
+
+    def add_nnz(self, n: int) -> None:
+        self.nnz += int(n)
+
+    @property
+    def ops(self) -> OpCounter:
+        """Span-attached :class:`OpCounter`; its tallies are exported as
+        ``<name>.ops.*`` counters when the span closes."""
+        if self._ops is None:
+            self._ops = OpCounter()
+        return self._ops
+
+    # -- context manager -----------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._t0
+        if not _m.is_enabled():  # disabled mid-span: drop silently
+            return
+        reg = _m.get_registry()
+        reg.histogram(f"{self.name}.seconds", **self.labels).observe(elapsed)
+        reg.counter(f"{self.name}.calls", **self.labels).inc()
+        if self.bytes_in:
+            reg.counter(f"{self.name}.bytes_in", **self.labels).inc(self.bytes_in)
+        if self.bytes_out:
+            reg.counter(f"{self.name}.bytes_out", **self.labels).inc(self.bytes_out)
+        if self.nnz:
+            reg.counter(f"{self.name}.nnz", **self.labels).inc(self.nnz)
+        if self._ops is not None:
+            for op_class, count in self._ops.snapshot().items():
+                if op_class != "total" and count:
+                    reg.counter(
+                        f"{self.name}.ops.{op_class}", **self.labels
+                    ).inc(count)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while the layer is disabled."""
+
+    __slots__ = ()
+
+    def add_bytes_in(self, n: int) -> None:
+        pass
+
+    def add_bytes_out(self, n: int) -> None:
+        pass
+
+    def add_nnz(self, n: int) -> None:
+        pass
+
+    @property
+    def ops(self) -> OpCounter:
+        return NULL_COUNTER
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **labels: Any) -> Span | _NullSpan:
+    """Open a recording span, or the shared no-op span when disabled."""
+    if not _m.is_enabled():
+        return NULL_SPAN
+    return Span(name, labels)

@@ -23,13 +23,20 @@ import numpy as np
 from ..analysis.advisor import BALANCED, Workload, recommend
 from ..core.dtypes import as_index_array
 from ..core.tensor import SparseTensor
-from ..formats.registry import PAPER_FORMATS, get_format
+from ..formats.base import SparseFormat
+from ..formats.registry import PAPER_FORMATS, get_format, resolve_format
+from ..obs import counter_add, gauge_set
 from ..patterns.stats import characterize
 from .store import FragmentStore, WriteReceipt
 
 
 class AdaptiveStore(FragmentStore):
-    """A fragment store that picks each fragment's organization itself."""
+    """A fragment store that picks each fragment's organization itself.
+
+    ``candidates`` accepts registry names or
+    :class:`~repro.formats.base.SparseFormat` instances; every tuning
+    parameter is keyword-only.
+    """
 
     def __init__(
         self,
@@ -37,11 +44,12 @@ class AdaptiveStore(FragmentStore):
         shape: Sequence[int],
         *,
         workload: Workload = BALANCED,
-        candidates: Sequence[str] = PAPER_FORMATS,
+        candidates: Sequence[str | SparseFormat] = PAPER_FORMATS,
         relative_coords: bool = False,
         fsync: bool = False,
         codec: str = "raw",
     ):
+        candidates = tuple(resolve_format(c).name for c in candidates)
         # The parent needs *a* format for bookkeeping; the per-write pick
         # overrides it before each fragment is built.
         super().__init__(
@@ -72,7 +80,11 @@ class AdaptiveStore(FragmentStore):
         self.format_name = pick
         self.fmt = get_format(pick)
         self.choices.append(pick)
-        return super().write(coords, values)
+        counter_add("adaptive.decisions", format=pick)
+        receipt = super().write(coords, values)
+        for name, count in self.format_histogram().items():
+            gauge_set("adaptive.fragments", count, format=name)
+        return receipt
 
     def format_histogram(self) -> dict[str, int]:
         """How often each organization was chosen (for reporting)."""

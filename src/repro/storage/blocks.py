@@ -126,7 +126,7 @@ class BlockedDataset:
         directory: str | Path,
         shape: Sequence[int],
         block_shape: Sequence[int],
-        format_name: str,
+        format_name,
     ):
         self.shape = tuple(int(m) for m in shape)
         self.block_shape = tuple(int(b) for b in block_shape)
@@ -178,16 +178,9 @@ class BlockedDataset:
     def read_box(self, box: Box) -> SparseTensor:
         """Region read merged across blocks, sorted by linear address.
 
-        Uses coordinate-buffer queries per overlapping fragment, so it works
-        even when the *global* shape is not linearizable; the final merge
-        sorts lexicographically in that case.
+        Delegates to the store's structural range read (work scales with
+        stored points, never the box's cell count), which falls back to a
+        lexicographic merge when the *global* shape is not linearizable —
+        the blocked case this class exists for.
         """
-        grid_coords = box.grid_coords()
-        outcome = self.store.read_points(grid_coords)
-        coords = grid_coords[outcome.found]
-        tensor = SparseTensor(self.shape, coords, outcome.values)
-        from ..core.dtypes import fits_index_dtype
-
-        if fits_index_dtype(self.shape):
-            return tensor.sorted_by_linear()
-        return tensor.sorted_lexicographic()
+        return self.store.read_box(box)

@@ -18,7 +18,7 @@ from .store import FragmentStore
 def convert_store(
     source: FragmentStore,
     destination_dir: str | Path,
-    format_name: str,
+    format_name,
     *,
     codec: str | None = None,
     compact: bool = False,
@@ -32,7 +32,8 @@ def convert_store(
     destination_dir:
         Directory for the converted store; must not already hold fragments.
     format_name:
-        Target organization.
+        Target organization — a registry name or a
+        :class:`~repro.formats.base.SparseFormat` instance.
     codec:
         Target compression codec; defaults to the source's.
     compact:

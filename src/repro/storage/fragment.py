@@ -17,15 +17,40 @@ from typing import Any
 import numpy as np
 
 from ..core.boundary import Box, extract_boundary
+from ..core.costmodel import NULL_COUNTER, OpCounter
 from ..core.errors import FragmentError
 from ..formats.base import EncodedTensor, ReadResult
 from ..formats.registry import get_format
+from ..obs import counter_add, gauge_set, get_registry, is_enabled, span
 from .serialization import (
     FragmentPayload,
     pack_fragment,
     unpack_fragment,
     unpack_header,
 )
+
+
+def record_fragment_written(
+    format_name: str, raw_nbytes: int, file_nbytes: int
+) -> None:
+    """Account one committed fragment: bytes written + compression ratio.
+
+    Shared by the sequential write path (:func:`write_fragment`) and the
+    parallel commit loop (:meth:`FragmentStore.write_many`), so the
+    ``fragment.*`` counters agree regardless of the ingestion path.
+    """
+    if not is_enabled():
+        return
+    counter_add("fragment.bytes_written", file_nbytes, format=format_name)
+    reg = get_registry()
+    raw_total = reg.counter("fragment.raw_nbytes")
+    file_total = reg.counter("fragment.file_nbytes")
+    raw_total.inc(raw_nbytes)
+    file_total.inc(file_nbytes)
+    if file_total.value:
+        gauge_set(
+            "fragment.compression_ratio", raw_total.value / file_total.value
+        )
 
 
 @dataclass
@@ -88,25 +113,29 @@ def write_fragment(
         bbox = extract_boundary(coords_for_bbox)
     else:
         bbox = Box(tuple(0 for _ in encoded.shape), encoded.shape)
-    blob = pack_fragment(
-        encoded.fmt.name,
-        encoded.shape,
-        encoded.nnz,
-        encoded.meta,
-        encoded.payload,
-        encoded.values,
-        bbox_origin=bbox.origin,
-        bbox_size=bbox.size,
-        extra=extra,
-        codec=codec,
-    )
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "wb") as fh:
-        fh.write(blob)
-        if fsync:
-            fh.flush()
-            os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    with span("fragment.write", format=encoded.fmt.name) as sp:
+        blob = pack_fragment(
+            encoded.fmt.name,
+            encoded.shape,
+            encoded.nnz,
+            encoded.meta,
+            encoded.payload,
+            encoded.values,
+            bbox_origin=bbox.origin,
+            bbox_size=bbox.size,
+            extra=extra,
+            codec=codec,
+        )
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        sp.add_nnz(encoded.nnz)
+        sp.add_bytes_out(len(blob))
+    record_fragment_written(encoded.fmt.name, encoded.nbytes, len(blob))
     return FragmentInfo(
         path=path,
         format_name=encoded.fmt.name,
@@ -139,6 +168,7 @@ def load_fragment(
         data = path.read_bytes()
     except OSError as exc:
         raise FragmentError(f"cannot read fragment {path}: {exc}") from exc
+    counter_add("fragment.bytes_read", len(data))
     return unpack_fragment(data, check_crc=check_crc)
 
 
@@ -170,18 +200,29 @@ def query_fragment_box(
 
 
 def query_fragment(
-    payload: FragmentPayload, query_coords: np.ndarray, *, faithful: bool = False
+    payload: FragmentPayload,
+    query_coords: np.ndarray,
+    *,
+    faithful: bool = False,
+    counter: OpCounter = NULL_COUNTER,
 ) -> tuple[ReadResult, np.ndarray]:
     """Run the fragment's organization READ against ``query_coords``.
 
     Returns ``(ReadResult, values_of_found)`` — Algorithm 3 READ lines 7–9
-    for a single fragment.
+    for a single fragment.  ``counter`` is charged by the faithful read path
+    (the store layer passes its span's op counter, so Table-I op accounting
+    and latency land in one report).
     """
     fmt = get_format(payload.format_name)
-    if faithful:
-        res = fmt.read_faithful(
-            payload.buffers, payload.meta, payload.shape, query_coords
-        )
-    else:
-        res = fmt.read(payload.buffers, payload.meta, payload.shape, query_coords)
+    with span("format.read", format=fmt.name) as sp:
+        if faithful:
+            res = fmt.read_faithful(
+                payload.buffers, payload.meta, payload.shape, query_coords,
+                counter=counter,
+            )
+        else:
+            res = fmt.read(
+                payload.buffers, payload.meta, payload.shape, query_coords
+            )
+        sp.add_nnz(int(res.found.sum()))
     return res, res.gather_values(payload.values)

@@ -5,18 +5,30 @@ Lustre; in real deployments many writers package fragments concurrently
 (one per MPI rank / acquisition stream).  This module provides that
 write-side parallelism on a single node: fragment *packaging* (BUILD +
 value reorg + serialization — the CPU-bound phases of Algorithm 3) is fanned
-out over a process pool, while the directory mutation (file writes +
+out over a worker pool, while the directory mutation (file writes +
 manifest update) stays in the caller, exactly the split an MPI code would
 use with per-rank packaging and rank-0 metadata commits.
 
-Workers receive raw coordinate/value arrays (pickled by multiprocessing)
-and return the packed fragment bytes, so no library state is shared.
+Two executors are supported:
+
+``process`` (default)
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers receive
+    raw coordinate/value arrays (pickled by multiprocessing) and return the
+    packed fragment bytes, so no library state is shared.  Metrics recorded
+    inside workers stay in the worker processes; the caller still accounts
+    batch-level utilization from the returned per-part timings.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy releases the
+    GIL for the heavy kernels, and worker threads record directly into the
+    process-global observability registry (which is thread-safe for exactly
+    this reason).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -27,7 +39,10 @@ from ..core.dtypes import as_index_array
 from ..core.errors import ShapeError
 from ..core.sorting import apply_map
 from ..formats.registry import get_format
+from ..obs import counter_add, gauge_set, span
 from .serialization import pack_fragment
+
+EXECUTORS = ("process", "thread")
 
 
 @dataclass
@@ -39,6 +54,8 @@ class PackedFragment:
     bbox_size: tuple[int, ...]
     nnz: int
     index_nbytes: int
+    value_nbytes: int = 0
+    pack_seconds: float = 0.0
 
 
 def pack_part(
@@ -50,41 +67,47 @@ def pack_part(
     values: np.ndarray,
 ) -> PackedFragment:
     """Package one part into fragment bytes (runs inside workers)."""
+    t0 = time.perf_counter()
     coords = as_index_array(coords)
     values = np.asarray(values)
     if coords.shape[0] != values.shape[0]:
         raise ShapeError("coords/values misaligned")
     fmt = get_format(format_name)
-    if coords.shape[0]:
-        bbox = extract_boundary(coords)
-    else:
-        bbox = Box(tuple(0 for _ in shape), tuple(shape))
-    if relative and coords.shape[0]:
-        build_coords = coords - as_index_array(list(bbox.origin))[np.newaxis, :]
-        build_shape: tuple[int, ...] = bbox.size
-    else:
-        build_coords = coords
-        build_shape = tuple(shape)
-    result = fmt.build(build_coords, build_shape)
-    stored_values = apply_map(values, result.perm)
-    blob = pack_fragment(
-        fmt.name,
-        build_shape,
-        coords.shape[0],
-        result.meta,
-        result.payload,
-        stored_values,
-        bbox_origin=bbox.origin,
-        bbox_size=bbox.size,
-        extra={"relative": relative},
-        codec=codec,
-    )
+    with span("parallel.pack", format=fmt.name) as sp:
+        if coords.shape[0]:
+            bbox = extract_boundary(coords)
+        else:
+            bbox = Box(tuple(0 for _ in shape), tuple(shape))
+        if relative and coords.shape[0]:
+            build_coords = coords - as_index_array(list(bbox.origin))[np.newaxis, :]
+            build_shape: tuple[int, ...] = bbox.size
+        else:
+            build_coords = coords
+            build_shape = tuple(shape)
+        result = fmt.build(build_coords, build_shape)
+        stored_values = apply_map(values, result.perm)
+        blob = pack_fragment(
+            fmt.name,
+            build_shape,
+            coords.shape[0],
+            result.meta,
+            result.payload,
+            stored_values,
+            bbox_origin=bbox.origin,
+            bbox_size=bbox.size,
+            extra={"relative": relative},
+            codec=codec,
+        )
+        sp.add_nnz(coords.shape[0])
+        sp.add_bytes_out(len(blob))
     return PackedFragment(
         blob=blob,
         bbox_origin=bbox.origin,
         bbox_size=bbox.size,
         nnz=coords.shape[0],
         index_nbytes=result.index_nbytes(),
+        value_nbytes=int(stored_values.nbytes),
+        pack_seconds=time.perf_counter() - t0,
     )
 
 
@@ -96,14 +119,20 @@ def pack_parts_parallel(
     codec: str = "raw",
     relative: bool = False,
     max_workers: int | None = None,
+    executor: str = "process",
 ) -> list[PackedFragment]:
     """Package many (coords, values) parts concurrently.
 
     Results come back in input order regardless of completion order, so
     fragment sequence numbers stay deterministic.  ``max_workers=0`` (or a
     single part) runs inline — useful under pytest and on small inputs
-    where process startup dominates.
+    where pool startup dominates.  ``executor`` picks the pool kind (see
+    the module docstring).
     """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; available: {list(EXECUTORS)}"
+        )
     shape = tuple(int(m) for m in shape)
     if max_workers == 0 or len(parts) <= 1:
         return [
@@ -111,9 +140,18 @@ def pack_parts_parallel(
             for c, v in parts
         ]
     workers = max_workers or min(len(parts), os.cpu_count() or 2)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    t0 = time.perf_counter()
+    with pool_cls(max_workers=workers) as pool:
         futures = [
             pool.submit(pack_part, shape, format_name, codec, relative, c, v)
             for c, v in parts
         ]
-        return [f.result() for f in futures]
+        packed = [f.result() for f in futures]
+    wall = time.perf_counter() - t0
+    counter_add("parallel.parts", len(packed))
+    gauge_set("parallel.workers", workers)
+    if wall > 0:
+        busy = sum(p.pack_seconds for p in packed)
+        gauge_set("parallel.utilization", busy / (wall * workers))
+    return packed

@@ -19,26 +19,28 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..core.boundary import Box, extract_boundary
-from ..core.dtypes import as_index_array
+from ..core.dtypes import as_index_array, fits_index_dtype
 from ..core.errors import FragmentError, ShapeError
-from ..core.linearize import linearize
 from ..core.sorting import apply_map
 from ..core.tensor import SparseTensor
-from ..formats.base import EncodedTensor
-from ..formats.registry import get_format
+from ..formats.base import EncodedTensor, SparseFormat
+from ..formats.registry import resolve_format
+from ..obs import counter_add, observe, span
+from ..readapi import ReadOutcome
 from .fragment import (
     FragmentInfo,
     load_fragment,
     query_fragment,
     query_fragment_box,
     read_fragment_header,
+    record_fragment_written,
     write_fragment,
 )
 
@@ -58,24 +60,19 @@ class WriteReceipt:
     write_seconds: float
 
 
-@dataclass
-class ReadOutcome:
-    """Result of one READ over possibly many fragments."""
-
-    found: np.ndarray
-    values: np.ndarray
-    fragments_visited: int
-    points_matched: int
-
-
 class FragmentStore:
-    """A directory of fragments sharing one tensor shape and organization."""
+    """A directory of fragments sharing one tensor shape and organization.
+
+    ``format_name`` accepts either a registry name (``"LINEAR"``) or a
+    :class:`~repro.formats.base.SparseFormat` instance; the tuning
+    parameters (``relative_coords``, ``fsync``, ``codec``) are keyword-only.
+    """
 
     def __init__(
         self,
         directory: str | Path,
         shape: Sequence[int],
-        format_name: str,
+        format_name: str | SparseFormat,
         *,
         relative_coords: bool = False,
         fsync: bool = False,
@@ -85,8 +82,8 @@ class FragmentStore:
 
         self.directory = Path(directory)
         self.shape = tuple(int(m) for m in shape)
-        self.format_name = format_name
-        self.fmt = get_format(format_name)
+        self.fmt = resolve_format(format_name)
+        self.format_name = self.fmt.name
         self.relative_coords = bool(relative_coords)
         self.fsync = bool(fsync)
         self.codec = validate_codec(codec)
@@ -194,30 +191,36 @@ class FragmentStore:
             build_coords = coords
             build_shape = self.shape
 
-        t0 = time.perf_counter()
-        result = self.fmt.build(build_coords, build_shape)
-        t1 = time.perf_counter()
-        stored_values = apply_map(values, result.perm)
-        t2 = time.perf_counter()
-        encoded = EncodedTensor(
-            fmt=self.fmt,
-            shape=build_shape,
-            nnz=coords.shape[0],
-            payload=result.payload,
-            meta=result.meta,
-            values=stored_values,
-        )
-        seq = len(self._fragments)
-        path = self.directory / f"frag-{seq:06d}.bin"
-        info = write_fragment(
-            path,
-            encoded,
-            coords_for_bbox=coords,
-            extra={"relative": self.relative_coords},
-            fsync=self.fsync,
-            codec=self.codec,
-        )
-        t3 = time.perf_counter()
+        with span("store.write", format=self.format_name) as sp:
+            t0 = time.perf_counter()
+            result = self.fmt.build(build_coords, build_shape)
+            t1 = time.perf_counter()
+            stored_values = apply_map(values, result.perm)
+            t2 = time.perf_counter()
+            encoded = EncodedTensor(
+                fmt=self.fmt,
+                shape=build_shape,
+                nnz=coords.shape[0],
+                payload=result.payload,
+                meta=result.meta,
+                values=stored_values,
+            )
+            seq = len(self._fragments)
+            path = self.directory / f"frag-{seq:06d}.bin"
+            info = write_fragment(
+                path,
+                encoded,
+                coords_for_bbox=coords,
+                extra={"relative": self.relative_coords},
+                fsync=self.fsync,
+                codec=self.codec,
+            )
+            t3 = time.perf_counter()
+            sp.add_nnz(coords.shape[0])
+            sp.add_bytes_out(info.nbytes)
+        observe("store.build.seconds", t1 - t0, format=self.format_name)
+        observe("store.reorg.seconds", t2 - t1, format=self.format_name)
+        observe("store.write_io.seconds", t3 - t2, format=self.format_name)
         self._fragments.append(info)
         self._save_manifest()
         return WriteReceipt(
@@ -235,13 +238,16 @@ class FragmentStore:
         parts: list[tuple[np.ndarray, np.ndarray]],
         *,
         max_workers: int | None = None,
+        executor: str = "process",
     ) -> list[FragmentInfo]:
         """Package many parts in parallel, then commit them as fragments.
 
         The CPU-bound packaging (BUILD + reorg + serialization) runs on a
-        process pool (see :mod:`repro.storage.parallel`); the file writes
+        worker pool (see :mod:`repro.storage.parallel`); the file writes
         and the manifest update happen here, in part order, so the result
         is byte-identical to sequential :meth:`write` calls.
+        ``executor="thread"`` keeps the workers in-process (metrics recorded
+        by workers land in this process's registry).
         """
         import os as _os
 
@@ -254,6 +260,7 @@ class FragmentStore:
             codec=self.codec,
             relative=self.relative_coords,
             max_workers=max_workers,
+            executor=executor,
         )
         infos: list[FragmentInfo] = []
         for item in packed:
@@ -273,6 +280,11 @@ class FragmentStore:
                 nnz=item.nnz,
                 bbox=Box(item.bbox_origin, item.bbox_size),
                 nbytes=len(item.blob),
+            )
+            record_fragment_written(
+                self.format_name,
+                item.index_nbytes + item.value_nbytes,
+                len(item.blob),
             )
             self._fragments.append(info)
             infos.append(info)
@@ -317,31 +329,45 @@ class FragmentStore:
         visited = 0
         if q == 0:
             return ReadOutcome(found, np.empty(0), 0, 0)
-        qbox = extract_boundary(query)
-        for frag in self._overlapping(qbox):
-            visited += 1
-            payload = load_fragment(frag.path, check_crc=check_crc)
-            mask = frag.bbox.contains_points(query)
-            if not mask.any():
-                continue
-            sub = query[mask]
-            if payload.extra.get("relative"):
-                origin = as_index_array(list(frag.bbox.origin))
-                sub = sub - origin[np.newaxis, :]
-            res, vals = query_fragment(payload, sub, faithful=faithful)
-            if out_values is None:
-                out_values = np.zeros(q, dtype=payload.values.dtype)
-            idx = np.flatnonzero(mask)[res.found]
-            found[idx] = True
-            out_values[idx] = vals
+        with span("store.read_points", format=self.format_name) as sp:
+            qbox = extract_boundary(query)
+            for frag in self._overlapping(qbox):
+                visited += 1
+                payload = load_fragment(frag.path, check_crc=check_crc)
+                mask = frag.bbox.contains_points(query)
+                if not mask.any():
+                    continue
+                sub = query[mask]
+                if payload.extra.get("relative"):
+                    origin = as_index_array(list(frag.bbox.origin))
+                    sub = sub - origin[np.newaxis, :]
+                res, vals = query_fragment(
+                    payload, sub, faithful=faithful, counter=sp.ops
+                )
+                if out_values is None:
+                    out_values = np.zeros(q, dtype=payload.values.dtype)
+                idx = np.flatnonzero(mask)[res.found]
+                found[idx] = True
+                out_values[idx] = vals
+            matched = int(found.sum())
+            sp.add_nnz(matched)
+        self._record_pruning(visited)
+        counter_add("store.points_queried", q)
+        counter_add("store.points_matched", matched)
         if out_values is None:
             out_values = np.zeros(q, dtype=float)
-        matched = int(found.sum())
         return ReadOutcome(
             found=found,
             values=out_values[found],
             fragments_visited=visited,
             points_matched=matched,
+        )
+
+    def _record_pruning(self, visited: int) -> None:
+        """Account bbox overlap pruning for one READ fan-out."""
+        counter_add("store.fragments_visited", visited)
+        counter_add(
+            "store.fragments_pruned", len(self._fragments) - visited
         )
 
     # ------------------------------------------------------------------
@@ -373,24 +399,28 @@ class FragmentStore:
         """
         if not self._fragments:
             raise FragmentError("nothing to compact: store has no fragments")
-        parts = [self.decode_fragment(i) for i in range(len(self._fragments))]
-        coords = np.vstack([p.coords for p in parts])
-        values = np.concatenate([p.values for p in parts])
-        merged = SparseTensor(self.shape, coords, values).deduplicated(
-            keep="last"
-        )
-        old = list(self._fragments)
-        # Write the merged fragment under the next unused sequence number
-        # (keeping the old entries in place so the name cannot collide),
-        # then drop and delete the old fragments.
-        receipt = self.write(merged.coords, merged.values)
-        self._fragments = [receipt.info]
-        for frag in old:
-            try:
-                frag.path.unlink()
-            except OSError:
-                pass
-        self._save_manifest()
+        with span("store.compact", format=self.format_name) as sp:
+            n_before = len(self._fragments)
+            parts = [self.decode_fragment(i) for i in range(n_before)]
+            coords = np.vstack([p.coords for p in parts])
+            values = np.concatenate([p.values for p in parts])
+            merged = SparseTensor(self.shape, coords, values).deduplicated(
+                keep="last"
+            )
+            old = list(self._fragments)
+            # Write the merged fragment under the next unused sequence number
+            # (keeping the old entries in place so the name cannot collide),
+            # then drop and delete the old fragments.
+            receipt = self.write(merged.coords, merged.values)
+            self._fragments = [receipt.info]
+            for frag in old:
+                try:
+                    frag.path.unlink()
+                except OSError:
+                    pass
+            self._save_manifest()
+            sp.add_nnz(merged.nnz)
+        counter_add("store.fragments_compacted", n_before)
         return receipt
 
     def read_box(self, box: Box, *, faithful: bool = False) -> SparseTensor:
@@ -401,35 +431,46 @@ class FragmentStore:
         (:meth:`~repro.formats.base.SparseFormat.box_points`), so the box
         may cover arbitrarily many cells — work scales with stored points,
         not box volume.  Later fragments win on duplicate coordinates.
+        Shapes whose global cell count overflows uint64 (blocked datasets)
+        are merged in lexicographic coordinate order instead of by linear
+        address — same point set, overflow-safe ordering.
         ``faithful`` is accepted for signature compatibility with the
         benchmark paths; box reads are always structural.
         """
         del faithful
         all_coords: list[np.ndarray] = []
         all_values: list[np.ndarray] = []
-        for frag in self._overlapping(box):
-            payload = load_fragment(frag.path)
-            query_box = box
-            if payload.extra.get("relative"):
-                inter = box.intersection(frag.bbox)
-                if inter.is_empty():
-                    continue
-                origin = as_index_array(list(frag.bbox.origin))
-                query_box = Box(
-                    tuple(int(o) - int(g) for o, g in
-                          zip(inter.origin, frag.bbox.origin)),
-                    inter.size,
-                )
-                coords, positions = query_fragment_box(payload, query_box)
-                coords = coords + origin[np.newaxis, :]
-            else:
-                coords, positions = query_fragment_box(payload, query_box)
-            all_coords.append(coords)
-            all_values.append(payload.values[positions])
+        visited = 0
+        with span("store.read_box", format=self.format_name) as sp:
+            for frag in self._overlapping(box):
+                visited += 1
+                payload = load_fragment(frag.path)
+                query_box = box
+                if payload.extra.get("relative"):
+                    inter = box.intersection(frag.bbox)
+                    if inter.is_empty():
+                        continue
+                    origin = as_index_array(list(frag.bbox.origin))
+                    query_box = Box(
+                        tuple(int(o) - int(g) for o, g in
+                              zip(inter.origin, frag.bbox.origin)),
+                        inter.size,
+                    )
+                    coords, positions = query_fragment_box(payload, query_box)
+                    coords = coords + origin[np.newaxis, :]
+                else:
+                    coords, positions = query_fragment_box(payload, query_box)
+                all_coords.append(coords)
+                all_values.append(payload.values[positions])
+            sp.add_nnz(sum(c.shape[0] for c in all_coords))
+        self._record_pruning(visited)
         if not all_coords:
             return SparseTensor.empty(self.shape)
         coords = np.vstack(all_coords)
         values = np.concatenate(all_values)
         tensor = SparseTensor(self.shape, coords, values)
         # Later fragments override earlier ones on the same coordinate.
-        return tensor.deduplicated(keep="last").sorted_by_linear()
+        tensor = tensor.deduplicated(keep="last")
+        if fits_index_dtype(self.shape):
+            return tensor.sorted_by_linear()
+        return tensor.sorted_lexicographic()

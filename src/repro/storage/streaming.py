@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core.dtypes import as_index_array
 from ..core.errors import ShapeError
+from ..obs import counter_add
 from .store import FragmentStore, WriteReceipt
 
 
@@ -58,6 +59,7 @@ class StreamingWriter:
         self._coords.append(coords)
         self._values.append(values)
         self._buffered += coords.shape[0]
+        counter_add("streaming.points_appended", coords.shape[0])
         while self._buffered >= self.flush_points:
             self.flush()
 
@@ -73,6 +75,7 @@ class StreamingWriter:
         receipt = self.store.write(coords, values)
         self.points_written += int(coords.shape[0])
         self.fragments_written += 1
+        counter_add("streaming.flushes")
         return receipt
 
     def __enter__(self) -> "StreamingWriter":

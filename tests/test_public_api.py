@@ -18,7 +18,40 @@ SUBPACKAGES = [
     "repro.algebra",
     "repro.interop",
     "repro.cli",
+    "repro.obs",
+    "repro.readapi",
 ]
+
+#: The checked-in public surface.  A PR that changes `repro.__all__` must
+#: update this list deliberately — additions and removals alike.
+EXPECTED_PUBLIC_API = sorted([
+    "inner", "mttkrp", "mttkrp_encoded", "ttv",
+    "Workload", "recommend",
+    "run_experiment", "run_sweep",
+    "Box", "IndexOverflowError", "OpCounter", "ReproError", "SparseTensor",
+    "delinearize", "linearize",
+    "EXTENSION_FORMATS", "PAPER_FORMATS",
+    "EncodedTensor", "SparseFormat",
+    "available_formats", "get_format", "register_format", "resolve_format",
+    "Readable", "ReadOutcome",
+    "obs",
+    "GSPPattern", "MSPPattern", "TSPPattern",
+    "characterize", "dataset_suite", "make_pattern",
+    "load_dataset", "read_matrix_market", "read_tns",
+    "write_matrix_market", "write_tns",
+    "fold_to_scipy", "from_scipy", "to_scipy",
+    "AdaptiveStore", "StreamingWriter", "convert_store",
+    "BlockedDataset", "FragmentStore",
+    "__version__",
+])
+
+#: Exports the observability subsystem must keep.
+EXPECTED_OBS_API = sorted([
+    "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_SPAN", "Span", "counter_add", "disable", "enable",
+    "enabled_from_env", "gauge_set", "get_registry", "is_enabled", "observe",
+    "render_table", "reset", "snapshot", "span", "to_json",
+])
 
 
 class TestExports:
@@ -42,6 +75,19 @@ class TestExports:
     def test_no_private_leaks_in_all(self):
         assert all(not n.startswith("_") or n == "__version__"
                    for n in repro.__all__)
+
+    def test_public_surface_snapshot(self):
+        """`repro.__all__` must match the checked-in surface list exactly."""
+        assert sorted(repro.__all__) == EXPECTED_PUBLIC_API
+
+    def test_obs_surface_snapshot(self):
+        assert sorted(repro.obs.__all__) == EXPECTED_OBS_API
+
+    def test_readapi_protocol_exports(self):
+        from repro.readapi import Readable, ReadOutcome
+
+        assert repro.Readable is Readable
+        assert repro.ReadOutcome is ReadOutcome
 
 
 class TestDocstrings:
