@@ -62,7 +62,16 @@ from .patterns import (
 )
 from .interop import fold_to_scipy, from_scipy, to_scipy
 from .io import load_dataset, read_matrix_market, read_tns, write_matrix_market, write_tns
-from .storage import AdaptiveStore, BlockedDataset, FragmentStore, StreamingWriter, convert_store
+from .storage import (
+    AdaptiveStore,
+    BlockedDataset,
+    FragmentStore,
+    FsckReport,
+    RetryPolicy,
+    StreamingWriter,
+    convert_store,
+    fsck,
+)
 
 __version__ = "1.0.0"
 
@@ -112,5 +121,8 @@ __all__ = [
     "convert_store",
     "BlockedDataset",
     "FragmentStore",
+    "FsckReport",
+    "RetryPolicy",
+    "fsck",
     "__version__",
 ]

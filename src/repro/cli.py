@@ -19,6 +19,11 @@
     Exercise the observability layer (``repro.obs``) with a write + read
     round-trip — against an existing store or a synthetic demo — and print
     every recorded counter, gauge, and latency histogram.
+``fsck``
+    Verify a fragment store: every fragment's header and CRC checked
+    against the manifest, drift reported (missing/extra/corrupt/stale
+    temp files); ``--repair`` rebuilds the manifest, recovers readable
+    uncommitted fragments, and quarantines unreadable ones.
 """
 
 from __future__ import annotations
@@ -190,6 +195,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    from .storage.durability import fsck
+
+    report = fsck(args.store, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=1))
+    else:
+        print(report.summary())
+    if report.clean or report.repaired:
+        return 0
+    return 1
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from .bench.experiments import ExperimentConfig, run_experiment
 
@@ -247,6 +267,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the metrics snapshot as JSON")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("fsck", help="verify/repair a fragment store")
+    p.add_argument("store", help="fragment store directory")
+    p.add_argument("--repair", action="store_true",
+                   help="rebuild the manifest; recover readable orphans, "
+                        "quarantine unreadable fragments")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("experiment",

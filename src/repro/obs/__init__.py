@@ -25,6 +25,13 @@ Quick tour::
 The registry is thread-safe (worker threads record concurrently) and
 process-global: :func:`get_registry` returns the instance everything
 records into.
+
+The durability layer (:mod:`repro.storage.durability`) reports through
+this registry too: ``store.corrupt_fragments`` (CRC failures seen by
+reads), ``store.fragments_quarantined``, ``store.io_retries`` (transient
+errors absorbed by the retry policy), ``store.tmp_cleaned`` (stale temp
+files removed at open), ``store.orphan_fragments`` (uncommitted fragments
+detected at open), ``store.rescan_skipped``, and ``store.fsck_runs``.
 """
 
 from .metrics import (

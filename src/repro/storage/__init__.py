@@ -9,6 +9,19 @@ from .blocks import (
     partition_coords,
 )
 from .compression import CODECS, decode_buffer, encode_buffer, validate_codec
+from .durability import (
+    NO_RETRY,
+    FsckIssue,
+    FsckReport,
+    RetryPolicy,
+    clean_temp_files,
+    file_crc,
+    fragment_file_crc,
+    fsck,
+    quarantine_file,
+    read_bytes,
+    write_bytes_atomic,
+)
 from .fragment import (
     fragment_to_tensor,
     FragmentInfo,
@@ -39,6 +52,17 @@ from .store import FragmentStore, ReadOutcome, WriteReceipt
 from .streaming import StreamingWriter
 
 __all__ = [
+    "NO_RETRY",
+    "FsckIssue",
+    "FsckReport",
+    "RetryPolicy",
+    "clean_temp_files",
+    "file_crc",
+    "fragment_file_crc",
+    "fsck",
+    "quarantine_file",
+    "read_bytes",
+    "write_bytes_atomic",
     "PackedFragment",
     "pack_part",
     "pack_parts_parallel",

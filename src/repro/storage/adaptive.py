@@ -27,6 +27,7 @@ from ..formats.base import SparseFormat
 from ..formats.registry import PAPER_FORMATS, get_format, resolve_format
 from ..obs import counter_add, gauge_set
 from ..patterns.stats import characterize
+from .durability import RetryPolicy
 from .store import FragmentStore, WriteReceipt
 
 
@@ -48,6 +49,8 @@ class AdaptiveStore(FragmentStore):
         relative_coords: bool = False,
         fsync: bool = False,
         codec: str = "raw",
+        on_corruption: str = "raise",
+        retry: RetryPolicy | None = None,
     ):
         candidates = tuple(resolve_format(c).name for c in candidates)
         # The parent needs *a* format for bookkeeping; the per-write pick
@@ -59,6 +62,8 @@ class AdaptiveStore(FragmentStore):
             relative_coords=relative_coords,
             fsync=fsync,
             codec=codec,
+            on_corruption=on_corruption,
+            retry=retry,
         )
         self.workload = workload
         self.candidates = tuple(candidates)

@@ -127,6 +127,9 @@ class BlockedDataset:
         shape: Sequence[int],
         block_shape: Sequence[int],
         format_name,
+        *,
+        on_corruption: str = "raise",
+        retry=None,
     ):
         self.shape = tuple(int(m) for m in shape)
         self.block_shape = tuple(int(b) for b in block_shape)
@@ -141,6 +144,8 @@ class BlockedDataset:
             self.shape,
             format_name,
             relative_coords=True,
+            on_corruption=on_corruption,
+            retry=retry,
         )
 
     def write(self, coords: np.ndarray, values: np.ndarray) -> BlockWriteSummary:

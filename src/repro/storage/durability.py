@@ -1,0 +1,503 @@
+"""Durability subsystem: atomic commits, retries, quarantine, and fsck.
+
+The fragment substrate (Algorithm 3) is an append-only store on a parallel
+filesystem, and real parallel filesystems fail in exactly three ways the
+paper's benchmark never sees: processes die mid-write (torn files), the
+kernel returns transient ``EIO``/``EAGAIN`` under load, and bits rot at
+rest.  This module implements the store's answer to each, once, at the
+substrate level — every organization inherits it:
+
+**Atomic commit protocol.**
+    All directory mutations go through :func:`write_bytes_atomic`: the blob
+    is written to ``<name>.tmp``, optionally fsync'd, then renamed over the
+    final path.  A crash at any byte offset leaves either the old file or a
+    ``*.tmp`` orphan — never a torn committed file.  The manifest carries a
+    monotonically increasing ``generation`` and a per-fragment CRC, so the
+    commit point of a fragment is its manifest entry, not its file.
+
+**Bounded retries.**
+    :class:`RetryPolicy` wraps transient ``OSError`` s (but never checksum
+    or parse failures) in bounded exponential backoff with an injectable
+    sleep, so tests and simulations can run it without wall-clock delay.
+
+**Quarantine.**
+    Fragments that fail their CRC are moved to ``<store>/.quarantine/``
+    rather than deleted — corruption is surfaced (``store.corrupt_fragments``
+    in :mod:`repro.obs`, :func:`fsck` reports), never silently dropped.
+
+**fsck.**
+    :func:`fsck` verifies every fragment's header and CRC against the
+    manifest, reports drift (missing / extra / corrupt / stale temp files),
+    and with ``repair=True`` rebuilds the manifest, recovers readable
+    orphan fragments, and quarantines unreadable ones.
+
+All filesystem primitives here route through a process-global *fault hook*
+(:func:`set_fault_hook`) so :mod:`repro.testing.faults` can deterministically
+tear writes and inject errors at every byte of the commit path.  When no
+hook is installed the check is one module attribute load per *call* —
+see ``benchmarks/bench_fault_overhead.py`` for the enforced <5% bound.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Protocol
+
+from ..core.errors import ChecksumError, FragmentError, ManifestError
+from ..obs import counter_add
+
+MANIFEST_NAME = "manifest.json"
+QUARANTINE_DIR = ".quarantine"
+TMP_SUFFIX = ".tmp"
+
+
+# ----------------------------------------------------------------------
+# Fault hook plumbing
+# ----------------------------------------------------------------------
+
+class FaultHook(Protocol):
+    """Interface :mod:`repro.testing.faults` implements.
+
+    ``before(op, path)`` may raise to simulate a failed syscall;
+    ``torn_write(path, data)`` may return a byte count ``k`` — the write
+    persists exactly ``data[:k]`` and then raises — or ``None`` to pass
+    through.  Ops are ``"write"``, ``"read"``, ``"rename"``, ``"fsync"``.
+    """
+
+    def before(self, op: str, path: Path) -> None: ...
+
+    def torn_write(self, path: Path, data: bytes) -> int | None: ...
+
+
+_fault_hook: FaultHook | None = None
+
+
+def set_fault_hook(hook: FaultHook | None) -> FaultHook | None:
+    """Install (or clear with ``None``) the fault hook; returns the old one."""
+    global _fault_hook
+    old = _fault_hook
+    _fault_hook = hook
+    return old
+
+
+def get_fault_hook() -> FaultHook | None:
+    return _fault_hook
+
+
+def _injected_os_error(op: str, path: Path) -> OSError:
+    return OSError(errno.EIO, f"injected fault on {op}", str(path))
+
+
+# ----------------------------------------------------------------------
+# Filesystem primitives (the only place the store touches the OS)
+# ----------------------------------------------------------------------
+
+def read_bytes(path: str | os.PathLike) -> bytes:
+    """Read a whole file; the raw ``OSError`` propagates (retryable)."""
+    path = Path(path)
+    hook = _fault_hook
+    if hook is not None:
+        hook.before("read", path)
+    return path.read_bytes()
+
+
+def write_bytes_atomic(
+    path: str | os.PathLike, data: bytes, *, fsync: bool = False
+) -> int:
+    """Commit ``data`` to ``path`` via the ``*.tmp`` + rename protocol.
+
+    A crash anywhere inside this function leaves ``path`` untouched (old
+    content or absent) plus at most one ``<path>.tmp`` orphan, which
+    :func:`clean_temp_files` removes on the next store open.  Returns the
+    number of bytes committed.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + TMP_SUFFIX)
+    hook = _fault_hook
+    with open(tmp, "wb") as fh:
+        if hook is not None:
+            hook.before("write", tmp)
+            torn = hook.torn_write(tmp, data)
+            if torn is not None:
+                fh.write(data[:torn])
+                fh.flush()
+                raise _injected_os_error("write", tmp)
+        fh.write(data)
+        if fsync:
+            fh.flush()
+            if hook is not None:
+                hook.before("fsync", tmp)
+            os.fsync(fh.fileno())
+    if hook is not None:
+        hook.before("rename", path)
+    os.replace(tmp, path)
+    return len(data)
+
+
+def clean_temp_files(directory: str | os.PathLike) -> list[Path]:
+    """Delete orphaned ``*.tmp`` files left by a crashed commit.
+
+    Returns the paths removed.  Temp files are by construction invisible to
+    readers (the commit point is the rename), so deleting them is always
+    safe.
+    """
+    directory = Path(directory)
+    removed: list[Path] = []
+    for tmp in sorted(directory.glob(f"*{TMP_SUFFIX}")):
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - racing cleanup is fine
+            continue
+        removed.append(tmp)
+    if removed:
+        counter_add("store.tmp_cleaned", len(removed))
+    return removed
+
+
+def file_crc(data: bytes) -> int:
+    """CRC-32 of a whole committed fragment file (recorded in the manifest)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def fragment_file_crc(blob: bytes) -> int:
+    """Whole-file CRC of a *well-formed* fragment blob in O(1).
+
+    A fragment blob ends with the CRC-32 of everything before it
+    (:func:`repro.storage.serialization.pack_fragment`).  CRC-32 streams, so
+    ``crc(body + tail) == crc32(tail, initial=crc(body))`` — and ``crc(body)``
+    is exactly what the tail stores.  The write path uses this to record the
+    manifest's whole-file CRC without re-scanning multi-megabyte blobs;
+    :func:`fsck` always recomputes the full CRC independently.
+    """
+    if len(blob) < 4:
+        return file_crc(blob)
+    (body_crc,) = struct.unpack("<I", blob[-4:])
+    return zlib.crc32(blob[-4:], body_crc) & 0xFFFFFFFF
+
+
+def quarantine_file(
+    directory: str | os.PathLike, path: str | os.PathLike, *, reason: str
+) -> Path:
+    """Move ``path`` into ``<directory>/.quarantine/``; returns the new path.
+
+    The original file name is kept (suffixed ``.N`` on collision) and a
+    sidecar ``<name>.reason`` records why it was quarantined, so operators
+    can inspect — and potentially salvage — the bytes later.
+    """
+    directory = Path(directory)
+    path = Path(path)
+    qdir = directory / QUARANTINE_DIR
+    qdir.mkdir(parents=True, exist_ok=True)
+    target = qdir / path.name
+    n = 0
+    while target.exists():
+        n += 1
+        target = qdir / f"{path.name}.{n}"
+    os.replace(path, target)
+    try:
+        target.with_name(target.name + ".reason").write_text(reason + "\n")
+    except OSError:  # pragma: no cover - the move itself already succeeded
+        pass
+    counter_add("store.fragments_quarantined")
+    return target
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff for transient I/O errors.
+
+    ``attempts`` counts *total* tries (1 = no retry).  Delays follow
+    ``base_delay * multiplier**i`` capped at ``max_delay``; ``sleep`` is
+    injectable so tests assert the schedule without waiting on the clock.
+    Corruption errors (:class:`~repro.core.errors.ChecksumError`, any
+    non-I/O :class:`~repro.core.errors.FragmentError`) are never retried —
+    a bad checksum does not heal on the second read.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def delays(self) -> list[float]:
+        """The backoff schedule between tries (``attempts - 1`` entries)."""
+        return [
+            min(self.max_delay, self.base_delay * self.multiplier**i)
+            for i in range(self.attempts - 1)
+        ]
+
+    @staticmethod
+    def is_transient(exc: BaseException) -> bool:
+        """Whether ``exc`` is worth retrying (raw I/O, not corruption)."""
+        from ..core.errors import FragmentIOError
+
+        if isinstance(exc, (ChecksumError, ManifestError)):
+            return False
+        if isinstance(exc, FragmentIOError):
+            return True
+        if isinstance(exc, FragmentError):
+            return False  # parse/structure failure: deterministic
+        return isinstance(exc, OSError)
+
+    def run(self, fn: Callable[[], Any], *, op: str = "io") -> Any:
+        """Call ``fn`` with retries; re-raises the last error when exhausted."""
+        last: BaseException | None = None
+        for i, delay in enumerate([*self.delays(), None]):
+            try:
+                return fn()
+            except Exception as exc:
+                if not self.is_transient(exc) or delay is None:
+                    raise
+                last = exc
+                counter_add("store.io_retries", op=op)
+                self.sleep(delay)
+        raise last  # pragma: no cover - unreachable
+
+
+#: Retry disabled: a single attempt, for callers that want fail-fast.
+NO_RETRY = RetryPolicy(attempts=1)
+
+
+# ----------------------------------------------------------------------
+# fsck
+# ----------------------------------------------------------------------
+
+@dataclass
+class FsckIssue:
+    """One problem found by :func:`fsck`."""
+
+    kind: str  # "missing" | "corrupt" | "extra" | "tmp" | "manifest"
+    name: str
+    detail: str
+    repaired: str = ""  # action taken under --repair ("", "quarantined", ...)
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one :func:`fsck` pass over a store directory."""
+
+    directory: Path
+    generation: int
+    checked: int
+    ok: list[str] = field(default_factory=list)
+    issues: list[FsckIssue] = field(default_factory=list)
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def issues_of(self, kind: str) -> list[FsckIssue]:
+        return [i for i in self.issues if i.kind == kind]
+
+    def summary(self) -> str:
+        status = "clean" if self.clean else f"{len(self.issues)} issue(s)"
+        lines = [
+            f"fsck {self.directory}: {status} "
+            f"(generation {self.generation}, {self.checked} fragment(s) "
+            f"checked, {len(self.ok)} ok)"
+        ]
+        for issue in self.issues:
+            action = f" [{issue.repaired}]" if issue.repaired else ""
+            lines.append(
+                f"  {issue.kind:<8s} {issue.name}: {issue.detail}{action}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "directory": str(self.directory),
+            "generation": self.generation,
+            "checked": self.checked,
+            "clean": self.clean,
+            "repaired": self.repaired,
+            "ok": list(self.ok),
+            "issues": [
+                {
+                    "kind": i.kind,
+                    "name": i.name,
+                    "detail": i.detail,
+                    "repaired": i.repaired,
+                }
+                for i in self.issues
+            ],
+        }
+
+
+def _verify_fragment_file(
+    path: Path, expected_crc: int | None, expected_nbytes: int | None
+) -> tuple[dict[str, Any] | None, str | None]:
+    """Full integrity check of one fragment file.
+
+    Returns ``(header, None)`` when the file is sound, else
+    ``(None, reason)``.
+    """
+    from .serialization import unpack_header, verify_crc
+
+    try:
+        data = read_bytes(path)
+    except OSError as exc:
+        return None, f"unreadable: {exc}"
+    if expected_nbytes is not None and len(data) != expected_nbytes:
+        return None, (
+            f"size mismatch: file has {len(data)} bytes, "
+            f"manifest records {expected_nbytes}"
+        )
+    if expected_crc is not None:
+        actual = file_crc(data)
+        if actual != expected_crc:
+            return None, (
+                f"file CRC mismatch: computed {actual:#010x}, "
+                f"manifest records {expected_crc:#010x}"
+            )
+    try:
+        verify_crc(data)
+        header, _ = unpack_header(data)
+    except FragmentError as exc:
+        return None, str(exc)
+    return header, None
+
+
+def fsck(
+    directory: str | os.PathLike, *, repair: bool = False
+) -> FsckReport:
+    """Verify a fragment store directory against its manifest.
+
+    Checks, for every manifest entry: the file exists, its size and
+    whole-file CRC match the manifest, its trailing CRC-32 verifies, and
+    its header parses.  Also reports fragment files *not* in the manifest
+    (``extra`` — e.g. a fragment committed right before a crash that
+    prevented the manifest update) and stale ``*.tmp`` files.
+
+    With ``repair=True``: temp files are deleted, unreadable fragments are
+    moved to ``.quarantine/`` (never silently dropped), readable extras are
+    recovered into the manifest (appended in name order), and the manifest
+    is rewritten atomically with a bumped generation.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ManifestError(f"not a store directory: {directory}")
+    manifest_path = directory / MANIFEST_NAME
+
+    generation = 0
+    entries: list[dict[str, Any]] = []
+    manifest_meta: dict[str, Any] = {}
+    report = FsckReport(directory=directory, generation=0, checked=0)
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            entries = list(manifest.get("fragments", []))
+            generation = int(manifest.get("generation", 0))
+            manifest_meta = {
+                k: manifest[k]
+                for k in ("shape", "format", "relative_coords")
+                if k in manifest
+            }
+        except (OSError, json.JSONDecodeError, ValueError, TypeError) as exc:
+            report.issues.append(
+                FsckIssue("manifest", MANIFEST_NAME, f"unreadable: {exc}")
+            )
+    else:
+        report.issues.append(
+            FsckIssue("manifest", MANIFEST_NAME, "missing")
+        )
+    report.generation = generation
+
+    surviving: list[dict[str, Any]] = []
+    listed_names = set()
+    for entry in entries:
+        name = str(entry.get("file", "?"))
+        listed_names.add(name)
+        path = directory / name
+        report.checked += 1
+        if not path.exists():
+            report.issues.append(
+                FsckIssue("missing", name, "listed in manifest, no file")
+            )
+            continue
+        header, reason = _verify_fragment_file(
+            path, entry.get("crc"), entry.get("nbytes")
+        )
+        if reason is None:
+            report.ok.append(name)
+            surviving.append(dict(entry))
+        else:
+            issue = FsckIssue("corrupt", name, reason)
+            if repair:
+                quarantine_file(directory, path, reason=f"fsck: {reason}")
+                issue.repaired = "quarantined"
+            report.issues.append(issue)
+
+    # Fragment files on disk the manifest does not know about.
+    recovered: list[dict[str, Any]] = []
+    for path in sorted(directory.glob("frag-*.bin")):
+        if path.name in listed_names:
+            continue
+        header, reason = _verify_fragment_file(path, None, None)
+        if reason is None:
+            issue = FsckIssue(
+                "extra", path.name, "valid fragment missing from manifest"
+            )
+            if repair:
+                data_len = path.stat().st_size
+                recovered.append(
+                    {
+                        "file": path.name,
+                        "format": header["format"],
+                        "shape": list(header["shape"]),
+                        "nnz": int(header["nnz"]),
+                        "bbox_origin": list(header.get("bbox_origin", [])),
+                        "bbox_size": list(header.get("bbox_size", [])),
+                        "nbytes": int(data_len),
+                        "crc": file_crc(read_bytes(path)),
+                    }
+                )
+                issue.repaired = "recovered"
+        else:
+            issue = FsckIssue(
+                "extra", path.name, f"unlisted and unreadable: {reason}"
+            )
+            if repair:
+                quarantine_file(directory, path, reason=f"fsck: {reason}")
+                issue.repaired = "quarantined"
+        report.issues.append(issue)
+
+    for tmp in sorted(directory.glob(f"*{TMP_SUFFIX}")):
+        issue = FsckIssue("tmp", tmp.name, "stale temporary file")
+        if repair:
+            try:
+                tmp.unlink()
+                issue.repaired = "deleted"
+            except OSError as exc:  # pragma: no cover
+                issue.detail += f" (unlink failed: {exc})"
+        report.issues.append(issue)
+
+    if repair:
+        rebuilt = dict(manifest_meta)
+        rebuilt["generation"] = generation + 1
+        rebuilt["fragments"] = surviving + recovered
+        write_bytes_atomic(
+            manifest_path,
+            json.dumps(rebuilt, indent=1).encode("utf-8"),
+            fsync=True,
+        )
+        report.generation = rebuilt["generation"]
+        report.repaired = True
+    counter_add("store.fsck_runs")
+    return report

@@ -18,10 +18,11 @@ import numpy as np
 
 from ..core.boundary import Box, extract_boundary
 from ..core.costmodel import NULL_COUNTER, OpCounter
-from ..core.errors import FragmentError
+from ..core.errors import FragmentIOError
 from ..formats.base import EncodedTensor, ReadResult
 from ..formats.registry import get_format
 from ..obs import counter_add, gauge_set, get_registry, is_enabled, span
+from .durability import fragment_file_crc, read_bytes, write_bytes_atomic
 from .serialization import (
     FragmentPayload,
     pack_fragment,
@@ -55,7 +56,13 @@ def record_fragment_written(
 
 @dataclass
 class FragmentInfo:
-    """Cheap header-only view of a fragment (no index buffers decoded)."""
+    """Cheap header-only view of a fragment (no index buffers decoded).
+
+    ``crc`` is the CRC-32 of the whole committed file, recorded in the
+    store manifest at commit time so ``repro fsck`` can verify fragments
+    without decoding them.  ``None`` for fragments whose manifest predates
+    the durability layer.
+    """
 
     path: Path
     format_name: str
@@ -63,6 +70,7 @@ class FragmentInfo:
     nnz: int
     bbox: Box
     nbytes: int
+    crc: int | None = None
 
     @classmethod
     def from_header(cls, path: Path, header: dict[str, Any]) -> "FragmentInfo":
@@ -126,13 +134,7 @@ def write_fragment(
             extra=extra,
             codec=codec,
         )
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
-            if fsync:
-                fh.flush()
-                os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        write_bytes_atomic(path, blob, fsync=fsync)
         sp.add_nnz(encoded.nnz)
         sp.add_bytes_out(len(blob))
     record_fragment_written(encoded.fmt.name, encoded.nbytes, len(blob))
@@ -143,6 +145,7 @@ def write_fragment(
         nnz=encoded.nnz,
         bbox=bbox,
         nbytes=len(blob),
+        crc=fragment_file_crc(blob),
     )
 
 
@@ -154,7 +157,7 @@ def read_fragment_header(path: str | os.PathLike) -> FragmentInfo:
             # Headers are small; 64 KiB covers any realistic JSON header.
             head = fh.read(65536)
     except OSError as exc:
-        raise FragmentError(f"cannot read fragment {path}: {exc}") from exc
+        raise FragmentIOError(f"cannot read fragment {path}: {exc}") from exc
     header, _ = unpack_header(head)
     return FragmentInfo.from_header(path, header)
 
@@ -162,12 +165,18 @@ def read_fragment_header(path: str | os.PathLike) -> FragmentInfo:
 def load_fragment(
     path: str | os.PathLike, *, check_crc: bool = True
 ) -> FragmentPayload:
-    """Load and decode a whole fragment file."""
+    """Load and decode a whole fragment file.
+
+    Raw I/O failures raise :class:`~repro.core.errors.FragmentIOError`
+    (retryable, see :class:`~repro.storage.durability.RetryPolicy`);
+    corruption raises :class:`~repro.core.errors.ChecksumError` or another
+    non-retryable :class:`~repro.core.errors.FragmentError`.
+    """
     path = Path(path)
     try:
-        data = path.read_bytes()
+        data = read_bytes(path)
     except OSError as exc:
-        raise FragmentError(f"cannot read fragment {path}: {exc}") from exc
+        raise FragmentIOError(f"cannot read fragment {path}: {exc}") from exc
     counter_add("fragment.bytes_read", len(data))
     return unpack_fragment(data, check_crc=check_crc)
 

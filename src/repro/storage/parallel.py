@@ -36,7 +36,7 @@ import numpy as np
 
 from ..core.boundary import Box, extract_boundary
 from ..core.dtypes import as_index_array
-from ..core.errors import ShapeError
+from ..core.errors import ShapeError, WorkerError
 from ..core.sorting import apply_map
 from ..formats.registry import get_format
 from ..obs import counter_add, gauge_set, span
@@ -128,6 +128,13 @@ def pack_parts_parallel(
     single part) runs inline — useful under pytest and on small inputs
     where pool startup dominates.  ``executor`` picks the pool kind (see
     the module docstring).
+
+    A part that fails to package — in a worker process, a worker thread,
+    or inline — raises :class:`~repro.core.errors.WorkerError` carrying
+    ``part_index``, so a partial-batch failure names the offending input
+    instead of surfacing a bare (possibly pickled) traceback.  Remaining
+    futures are cancelled; nothing is written by this function, so the
+    caller's store is untouched.
     """
     if executor not in EXECUTORS:
         raise ValueError(
@@ -135,10 +142,17 @@ def pack_parts_parallel(
         )
     shape = tuple(int(m) for m in shape)
     if max_workers == 0 or len(parts) <= 1:
-        return [
-            pack_part(shape, format_name, codec, relative, c, v)
-            for c, v in parts
-        ]
+        packed = []
+        for i, (c, v) in enumerate(parts):
+            try:
+                packed.append(
+                    pack_part(shape, format_name, codec, relative, c, v)
+                )
+            except Exception as exc:
+                raise WorkerError(
+                    f"packing part {i} failed: {exc}", part_index=i
+                ) from exc
+        return packed
     workers = max_workers or min(len(parts), os.cpu_count() or 2)
     pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
     t0 = time.perf_counter()
@@ -147,7 +161,17 @@ def pack_parts_parallel(
             pool.submit(pack_part, shape, format_name, codec, relative, c, v)
             for c, v in parts
         ]
-        packed = [f.result() for f in futures]
+        packed = []
+        for i, f in enumerate(futures):
+            try:
+                packed.append(f.result())
+            except Exception as exc:
+                for pending in futures[i + 1:]:
+                    pending.cancel()
+                raise WorkerError(
+                    f"packing part {i} failed in {executor} worker: {exc}",
+                    part_index=i,
+                ) from exc
     wall = time.perf_counter() - t0
     counter_add("parallel.parts", len(packed))
     gauge_set("parallel.workers", workers)

@@ -21,8 +21,9 @@ payload can be reconstructed without importing the format first.  Buffers
 are 8-byte aligned so they can be wrapped zero-copy with ``frombuffer``.
 
 A trailing CRC-32 guards against truncation and bit rot; failure raises
-:class:`~repro.core.errors.FragmentError` (exercised by the fault-injection
-tests).
+:class:`~repro.core.errors.ChecksumError` (a
+:class:`~repro.core.errors.FragmentError` subclass, exercised by the
+fault-injection tests).
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..core.errors import FragmentError
+from ..core.errors import ChecksumError, FragmentError
 
 MAGIC = b"RPRS"
 VERSION = 1
@@ -164,14 +165,19 @@ def unpack_header(data: bytes) -> tuple[dict[str, Any], int]:
 
 
 def verify_crc(data: bytes) -> None:
-    """Check the trailing CRC-32; raises on mismatch or truncation."""
+    """Check the trailing CRC-32; raises on mismatch or truncation.
+
+    Raises :class:`~repro.core.errors.ChecksumError` (a
+    :class:`~repro.core.errors.FragmentError` subclass, so existing broad
+    handlers still catch it).
+    """
     if len(data) < 4:
-        raise FragmentError("fragment too small to contain a checksum")
+        raise ChecksumError("fragment too small to contain a checksum")
     body, tail = data[:-4], data[-4:]
     (stored_crc,) = struct.unpack("<I", tail)
     actual = zlib.crc32(body) & 0xFFFFFFFF
     if stored_crc != actual:
-        raise FragmentError(
+        raise ChecksumError(
             f"fragment checksum mismatch: stored {stored_crc:#010x}, "
             f"computed {actual:#010x}"
         )

@@ -13,12 +13,21 @@ result lists sorted by linear address.
 (coordinates re-based to the box origin, the box size as the local shape).
 This is the paper's block-local transform that removes LINEAR's address
 overflow risk (§II-B) and is what :mod:`repro.storage.blocks` builds on.
+
+Durability (see :mod:`repro.storage.durability` and ``docs/DURABILITY.md``):
+fragments and the manifest commit via the atomic ``*.tmp`` + rename
+protocol, the manifest carries a monotonic ``generation`` and per-fragment
+CRCs, stale temp files are cleaned on open, and the read side degrades
+gracefully under the ``on_corruption`` policy (``"raise"`` / ``"skip"`` /
+``"quarantine"``) with bounded retries for transient I/O errors.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -27,13 +36,26 @@ import numpy as np
 
 from ..core.boundary import Box, extract_boundary
 from ..core.dtypes import as_index_array, fits_index_dtype
-from ..core.errors import FragmentError, ShapeError
+from ..core.errors import FragmentError, ManifestError, ShapeError
 from ..core.sorting import apply_map
 from ..core.tensor import SparseTensor
 from ..formats.base import EncodedTensor, SparseFormat
 from ..formats.registry import resolve_format
 from ..obs import counter_add, observe, span
 from ..readapi import ReadOutcome
+from .durability import (
+    MANIFEST_NAME as _MANIFEST,
+)
+from .durability import (
+    FsckReport,
+    RetryPolicy,
+    clean_temp_files,
+    file_crc,
+    fragment_file_crc,
+    fsck as _fsck,
+    quarantine_file,
+    write_bytes_atomic,
+)
 from .fragment import (
     FragmentInfo,
     load_fragment,
@@ -44,7 +66,10 @@ from .fragment import (
     write_fragment,
 )
 
-_MANIFEST = "manifest.json"
+#: Read-side corruption policies (``FragmentStore(on_corruption=...)``).
+CORRUPTION_POLICIES = ("raise", "skip", "quarantine")
+
+_FRAG_RE = re.compile(r"frag-(\d+)\.bin$")
 
 
 @dataclass
@@ -65,7 +90,18 @@ class FragmentStore:
 
     ``format_name`` accepts either a registry name (``"LINEAR"``) or a
     :class:`~repro.formats.base.SparseFormat` instance; the tuning
-    parameters (``relative_coords``, ``fsync``, ``codec``) are keyword-only.
+    parameters (``relative_coords``, ``fsync``, ``codec``,
+    ``on_corruption``, ``retry``) are keyword-only.
+
+    ``on_corruption`` controls what the read side does with a fragment that
+    fails its checksum (or is unreadable after retries): ``"raise"`` (the
+    default) propagates the error, ``"skip"`` serves the query from the
+    surviving fragments, ``"quarantine"`` additionally moves the bad file
+    to ``<store>/.quarantine/`` and drops it from the manifest.  Skipped
+    and quarantined fragments are counted in :attr:`corrupt_fragments` and
+    the ``store.corrupt_fragments`` counter of :mod:`repro.obs` — degraded
+    reads are observable, never silent.  ``retry`` wraps transient
+    ``OSError`` s in bounded backoff (default: no retries).
     """
 
     def __init__(
@@ -77,9 +113,16 @@ class FragmentStore:
         relative_coords: bool = False,
         fsync: bool = False,
         codec: str = "raw",
+        on_corruption: str = "raise",
+        retry: RetryPolicy | None = None,
     ):
         from .compression import validate_codec
 
+        if on_corruption not in CORRUPTION_POLICIES:
+            raise ValueError(
+                f"on_corruption must be one of {CORRUPTION_POLICIES}, "
+                f"got {on_corruption!r}"
+            )
         self.directory = Path(directory)
         self.shape = tuple(int(m) for m in shape)
         self.fmt = resolve_format(format_name)
@@ -87,9 +130,16 @@ class FragmentStore:
         self.relative_coords = bool(relative_coords)
         self.fsync = bool(fsync)
         self.codec = validate_codec(codec)
+        self.on_corruption = on_corruption
+        self.retry = retry
+        #: Corrupt fragments encountered (skipped or quarantined) so far.
+        self.corrupt_fragments = 0
+        self._generation = 0
         self.directory.mkdir(parents=True, exist_ok=True)
+        clean_temp_files(self.directory)
         self._fragments: list[FragmentInfo] = []
         self._load_manifest()
+        self._next_seq = self._scan_next_seq()
 
     # ------------------------------------------------------------------
     # Manifest
@@ -111,6 +161,11 @@ class FragmentStore:
     def _manifest_path(self) -> Path:
         return self.directory / _MANIFEST
 
+    @property
+    def generation(self) -> int:
+        """Manifest generation: bumped by every committed manifest write."""
+        return self._generation
+
     def _load_manifest(self) -> None:
         path = self._manifest_path()
         if not path.exists():
@@ -119,7 +174,8 @@ class FragmentStore:
         try:
             entries = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            raise FragmentError(f"corrupt manifest {path}: {exc}") from exc
+            raise ManifestError(f"corrupt manifest {path}: {exc}") from exc
+        self._generation = int(entries.get("generation", 0))
         self._fragments = []
         for e in entries["fragments"]:
             self._fragments.append(
@@ -130,11 +186,15 @@ class FragmentStore:
                     nnz=int(e["nnz"]),
                     bbox=Box(tuple(e["bbox_origin"]), tuple(e["bbox_size"])),
                     nbytes=int(e["nbytes"]),
+                    crc=e.get("crc"),
                 )
             )
+        self._warn_on_orphans()
 
     def _save_manifest(self) -> None:
+        self._generation += 1
         entries = {
+            "generation": self._generation,
             "shape": list(self.shape),
             "format": self.format_name,
             "relative_coords": self.relative_coords,
@@ -147,17 +207,87 @@ class FragmentStore:
                     "bbox_origin": list(f.bbox.origin),
                     "bbox_size": list(f.bbox.size),
                     "nbytes": f.nbytes,
+                    "crc": f.crc,
                 }
                 for f in self._fragments
             ],
         }
-        self._manifest_path().write_text(json.dumps(entries, indent=1))
+        # The manifest is the commit point of every fragment; it always
+        # commits atomically, and fsync follows the store's setting.
+        write_bytes_atomic(
+            self._manifest_path(),
+            json.dumps(entries, indent=1).encode("utf-8"),
+            fsync=self.fsync,
+        )
+
+    def _scan_next_seq(self) -> int:
+        """First unused fragment sequence number (manifest ∪ disk).
+
+        Scanning the directory too means an uncommitted fragment left by a
+        crash (file renamed, manifest not yet updated) is never overwritten
+        — ``repro fsck --repair`` can still recover it.
+        """
+        used = -1
+        names = {f.path.name for f in self._fragments}
+        names.update(p.name for p in self.directory.glob("frag-*.bin"))
+        for name in names:
+            m = _FRAG_RE.match(name)
+            if m:
+                used = max(used, int(m.group(1)))
+        return used + 1
+
+    def _next_fragment_path(self) -> Path:
+        path = self.directory / f"frag-{self._next_seq:06d}.bin"
+        self._next_seq += 1
+        return path
+
+    def _warn_on_orphans(self) -> None:
+        """Surface fragment files the manifest does not list (uncommitted)."""
+        listed = {f.path.name for f in self._fragments}
+        orphans = [
+            p.name
+            for p in sorted(self.directory.glob("frag-*.bin"))
+            if p.name not in listed
+        ]
+        if orphans:
+            counter_add("store.orphan_fragments", len(orphans))
+            warnings.warn(
+                f"store {self.directory} has {len(orphans)} fragment file(s) "
+                f"not in the manifest (crash before commit?): {orphans}; "
+                "run `repro fsck --repair` to recover or quarantine them",
+                stacklevel=2,
+            )
 
     def rescan(self) -> None:
-        """Rebuild the manifest from fragment file headers on disk."""
+        """Rebuild the manifest from fragment file headers on disk.
+
+        Recovery path for a lost or damaged manifest.  Stale ``*.tmp``
+        files are ignored (and cleaned), and unreadable or truncated
+        fragments are *skipped with a warning* instead of aborting the
+        rebuild — one torn trailing fragment must not take down the whole
+        store.  Skipped files are counted in ``store.rescan_skipped``; run
+        ``repro fsck --repair`` to quarantine them properly.
+        """
+        clean_temp_files(self.directory)
         self._fragments = []
+        skipped = 0
         for path in sorted(self.directory.glob("frag-*.bin")):
-            self._fragments.append(read_fragment_header(path))
+            try:
+                info = read_fragment_header(path)
+            except FragmentError as exc:
+                skipped += 1
+                warnings.warn(
+                    f"rescan: skipping unreadable fragment {path.name}: {exc}",
+                    stacklevel=2,
+                )
+                continue
+            try:
+                info.crc = file_crc(path.read_bytes())
+            except OSError:
+                info.crc = None
+            self._fragments.append(info)
+        if skipped:
+            counter_add("store.rescan_skipped", skipped)
         self._save_manifest()
 
     # ------------------------------------------------------------------
@@ -205,8 +335,7 @@ class FragmentStore:
                 meta=result.meta,
                 values=stored_values,
             )
-            seq = len(self._fragments)
-            path = self.directory / f"frag-{seq:06d}.bin"
+            path = self._next_fragment_path()
             info = write_fragment(
                 path,
                 encoded,
@@ -248,9 +377,12 @@ class FragmentStore:
         is byte-identical to sequential :meth:`write` calls.
         ``executor="thread"`` keeps the workers in-process (metrics recorded
         by workers land in this process's registry).
-        """
-        import os as _os
 
+        A worker failure raises :class:`~repro.core.errors.WorkerError`
+        with the failing part's index attached; parts packed before the
+        failure are discarded (nothing is committed — the manifest only
+        updates after every file write succeeds).
+        """
         from .parallel import pack_parts_parallel
 
         packed = pack_parts_parallel(
@@ -264,15 +396,8 @@ class FragmentStore:
         )
         infos: list[FragmentInfo] = []
         for item in packed:
-            seq = len(self._fragments)
-            path = self.directory / f"frag-{seq:06d}.bin"
-            tmp = path.with_suffix(path.suffix + ".tmp")
-            with open(tmp, "wb") as fh:
-                fh.write(item.blob)
-                if self.fsync:
-                    fh.flush()
-                    _os.fsync(fh.fileno())
-            _os.replace(tmp, path)
+            path = self._next_fragment_path()
+            write_bytes_atomic(path, item.blob, fsync=self.fsync)
             info = FragmentInfo(
                 path=path,
                 format_name=self.format_name,
@@ -280,6 +405,7 @@ class FragmentStore:
                 nnz=item.nnz,
                 bbox=Box(item.bbox_origin, item.bbox_size),
                 nbytes=len(item.blob),
+                crc=fragment_file_crc(item.blob),
             )
             record_fragment_written(
                 self.format_name,
@@ -303,8 +429,55 @@ class FragmentStore:
     # READ (Algorithm 3)
     # ------------------------------------------------------------------
 
-    def _overlapping(self, query_box: Box) -> Iterable[FragmentInfo]:
-        return (f for f in self._fragments if f.bbox.intersects(query_box))
+    def _overlapping(self, query_box: Box) -> list[FragmentInfo]:
+        # Materialized (not a generator): corruption handling may remove
+        # entries from ``self._fragments`` while the caller iterates.
+        return [f for f in self._fragments if f.bbox.intersects(query_box)]
+
+    def _quarantine_fragment(self, frag: FragmentInfo, reason: str) -> None:
+        """Move a corrupt fragment to ``.quarantine/`` and de-list it."""
+        try:
+            quarantine_file(self.directory, frag.path, reason=reason)
+        except OSError:
+            # The file may already be gone (e.g. manifest references a
+            # missing fragment); de-listing it is still the right repair.
+            pass
+        self._fragments = [f for f in self._fragments if f is not frag]
+        self._save_manifest()
+
+    def _load_fragment_guarded(
+        self, frag: FragmentInfo, *, check_crc: bool = True
+    ):
+        """Load one fragment under the store's retry + corruption policy.
+
+        Returns the payload, or ``None`` when the fragment was skipped or
+        quarantined (policy ``"skip"`` / ``"quarantine"``).  Transient
+        ``OSError`` s retry per :attr:`retry`; checksum and parse failures
+        never retry.
+        """
+
+        def attempt():
+            return load_fragment(frag.path, check_crc=check_crc)
+
+        try:
+            if self.retry is not None:
+                return self.retry.run(attempt, op="fragment.load")
+            return attempt()
+        except FragmentError as exc:
+            self.corrupt_fragments += 1
+            counter_add("store.corrupt_fragments", format=self.format_name)
+            if self.on_corruption == "raise":
+                raise
+            if self.on_corruption == "quarantine":
+                self._quarantine_fragment(frag, reason=str(exc))
+                action = "quarantined"
+            else:
+                action = "skipped"
+            warnings.warn(
+                f"corrupt fragment {frag.path.name} {action}: {exc}",
+                stacklevel=3,
+            )
+            return None
 
     def read_points(
         self,
@@ -333,7 +506,9 @@ class FragmentStore:
             qbox = extract_boundary(query)
             for frag in self._overlapping(qbox):
                 visited += 1
-                payload = load_fragment(frag.path, check_crc=check_crc)
+                payload = self._load_fragment_guarded(frag, check_crc=check_crc)
+                if payload is None:
+                    continue
                 mask = frag.bbox.contains_points(query)
                 if not mask.any():
                     continue
@@ -376,18 +551,19 @@ class FragmentStore:
 
     def decode_fragment(self, index: int) -> SparseTensor:
         """Reconstruct one fragment's full point set (global coordinates)."""
-        from .fragment import fragment_to_tensor
-
         frag = self._fragments[index]
         payload = load_fragment(frag.path)
+        return self._payload_to_tensor(frag, payload)
+
+    def _payload_to_tensor(self, frag: FragmentInfo, payload) -> SparseTensor:
+        from .fragment import fragment_to_tensor
+
         tensor = fragment_to_tensor(payload)
         if payload.extra.get("relative"):
             origin = as_index_array(list(frag.bbox.origin))
             coords = tensor.coords + origin[np.newaxis, :]
-            tensor = SparseTensor(self.shape, coords, tensor.values)
-        else:
-            tensor = SparseTensor(self.shape, tensor.coords, tensor.values)
-        return tensor
+            return SparseTensor(self.shape, coords, tensor.values)
+        return SparseTensor(self.shape, tensor.coords, tensor.values)
 
     def compact(self) -> WriteReceipt:
         """Merge all fragments into one, newest-wins on duplicates.
@@ -396,24 +572,40 @@ class FragmentStore:
         write latency for read-side fragment fan-out; compaction restores
         single-fragment reads.  Old fragment files are deleted and the
         manifest rewritten atomically at the end.
+
+        Corrupt fragments follow the store's ``on_corruption`` policy:
+        ``"raise"`` aborts the compaction untouched, ``"skip"`` /
+        ``"quarantine"`` compact the surviving fragments (fragment order —
+        and thus newest-wins semantics — is preserved among survivors).
         """
         if not self._fragments:
             raise FragmentError("nothing to compact: store has no fragments")
         with span("store.compact", format=self.format_name) as sp:
             n_before = len(self._fragments)
-            parts = [self.decode_fragment(i) for i in range(n_before)]
+            old = list(self._fragments)
+            parts: list[SparseTensor] = []
+            merged_from: list[FragmentInfo] = []
+            for frag in old:
+                payload = self._load_fragment_guarded(frag)
+                if payload is None:
+                    continue
+                parts.append(self._payload_to_tensor(frag, payload))
+                merged_from.append(frag)
+            if not parts:
+                raise FragmentError(
+                    "nothing to compact: no readable fragments survive"
+                )
             coords = np.vstack([p.coords for p in parts])
             values = np.concatenate([p.values for p in parts])
             merged = SparseTensor(self.shape, coords, values).deduplicated(
                 keep="last"
             )
-            old = list(self._fragments)
             # Write the merged fragment under the next unused sequence number
-            # (keeping the old entries in place so the name cannot collide),
-            # then drop and delete the old fragments.
+            # (so the name cannot collide), then drop and delete the old
+            # fragments.  Quarantined fragments are already off the list.
             receipt = self.write(merged.coords, merged.values)
             self._fragments = [receipt.info]
-            for frag in old:
+            for frag in merged_from:
                 try:
                     frag.path.unlink()
                 except OSError:
@@ -422,6 +614,18 @@ class FragmentStore:
             sp.add_nnz(merged.nnz)
         counter_add("store.fragments_compacted", n_before)
         return receipt
+
+    def fsck(self, *, repair: bool = False) -> FsckReport:
+        """Verify (and with ``repair=True`` restore) store integrity.
+
+        Delegates to :func:`repro.storage.durability.fsck`; after a repair
+        the in-memory fragment list is reloaded from the rebuilt manifest.
+        """
+        report = _fsck(self.directory, repair=repair)
+        if repair:
+            self._load_manifest()
+            self._next_seq = self._scan_next_seq()
+        return report
 
     def read_box(self, box: Box, *, faithful: bool = False) -> SparseTensor:
         """Read every stored point inside ``box``, merged and sorted by
@@ -444,7 +648,9 @@ class FragmentStore:
         with span("store.read_box", format=self.format_name) as sp:
             for frag in self._overlapping(box):
                 visited += 1
-                payload = load_fragment(frag.path)
+                payload = self._load_fragment_guarded(frag)
+                if payload is None:
+                    continue
                 query_box = box
                 if payload.extra.get("relative"):
                     inter = box.intersection(frag.bbox)

@@ -1,0 +1,26 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+for the storage durability layer (torn writes, injected ``EIO``, seeded
+intermittent failures).  It lives in the package — not the test tree — so
+downstream users can run the same crash-consistency drills against their
+own deployments.
+"""
+
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    OpRecorder,
+    SeededFaults,
+    inject,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "OpRecorder",
+    "SeededFaults",
+    "inject",
+]

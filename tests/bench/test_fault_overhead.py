@@ -1,0 +1,34 @@
+"""Tier-1 smoke hook for the durability-overhead microbench (assert-only).
+
+Imports ``benchmarks/bench_fault_overhead.py`` by path (the benchmarks
+directory is not a package) and runs its assertion at full size, so a
+change that makes the atomic-commit/CRC/fault-hook machinery per-point
+instead of per-call fails the regular suite, not just the benchmark run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_BENCH = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "bench_fault_overhead.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_fault_overhead", _BENCH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_fault_overhead_smoke():
+    bench = _load_bench()
+    bench.assert_overhead_ok(
+        bench.bench_fault_overhead(n_writes=8, points=50_000, repeats=3)
+    )

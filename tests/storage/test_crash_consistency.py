@@ -1,0 +1,234 @@
+"""Crash-consistency: kill the commit path at every I/O op and recover.
+
+The suite first runs a deterministic three-write workload under
+:class:`~repro.testing.faults.OpRecorder` to enumerate every durability-layer
+op (the injection points).  It then replays the workload once per point —
+plus torn-write variants at several byte offsets — with a plan that kills
+exactly that op, and asserts the invariant from docs/DURABILITY.md:
+
+* reopening the store always succeeds and yields a *consistent prefix* of
+  the committed writes (every listed fragment fully readable, in order);
+* ``fsck --repair`` restores a clean manifest, recovering readable orphan
+  fragments and quarantining unreadable ones — never silently dropping a
+  fragment file.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.storage import FragmentStore, fsck
+from repro.testing.faults import (
+    FaultEvent,
+    OpRecorder,
+    inject,
+    plan_for_crash_point,
+)
+
+SHAPE = (32, 32)
+N_WRITES = 3
+
+
+def part(j):
+    """Write ``j``'s payload: 10 points on row ``j``, disjoint per write."""
+    coords = np.column_stack(
+        [np.full(10, j, dtype=np.uint64), np.arange(10, dtype=np.uint64)]
+    )
+    values = float(j * 100) + np.arange(10, dtype=float)
+    return coords, values
+
+
+def run_workload(directory):
+    """The deterministic workload: open an empty store, commit 3 fragments."""
+    store = FragmentStore(directory, SHAPE, "LINEAR")
+    for j in range(N_WRITES):
+        coords, values = part(j)
+        store.write(coords, values)
+
+
+def reopen(directory):
+    with warnings.catch_warnings():
+        # A crash between fragment rename and manifest commit leaves an
+        # orphan fragment file; the open warns about it by design.
+        warnings.simplefilter("ignore", UserWarning)
+        return FragmentStore(directory, SHAPE, "LINEAR")
+
+
+def record_injection_points(tmp_path):
+    recorder = OpRecorder()
+    with inject(recorder):
+        run_workload(tmp_path / "record")
+    return recorder.events
+
+
+def assert_consistent_prefix(store):
+    """Every committed fragment is intact and they form a write prefix."""
+    k = len(store.fragments)
+    assert k <= N_WRITES
+    for j, frag in enumerate(store.fragments):
+        assert frag.path.name == f"frag-{j:06d}.bin"
+        coords, values = part(j)
+        out = store.read_points(coords)
+        assert out.found.all(), f"fragment {j} lost committed points"
+        assert np.allclose(out.values, values)
+    # Writes after the prefix are absent entirely.
+    for j in range(k, N_WRITES):
+        coords, _ = part(j)
+        assert not store.read_points(coords).found.any()
+    return k
+
+
+def assert_nothing_silently_dropped(directory, before_repair):
+    """Every fragment file present before repair is accounted for."""
+    manifest_listed = {f.path.name for f in reopen(directory).fragments}
+    quarantined = {
+        p.name for p in (directory / ".quarantine").glob("frag-*.bin*")
+        if not p.name.endswith(".reason")
+    }
+    for name in before_repair:
+        assert name in manifest_listed or any(
+            q == name or q.startswith(name + ".") for q in quarantined
+        ), f"{name} vanished without manifest entry or quarantine"
+
+
+def crash_and_recover(tmp_path, events, index, torn_bytes=None):
+    directory = tmp_path / f"crash-{index}-{torn_bytes}"
+    plan = plan_for_crash_point(events, index, torn_bytes=torn_bytes)
+    with inject(plan), pytest.raises(OSError):
+        run_workload(directory)
+    assert plan.fired, "the planned fault never triggered"
+
+    store = reopen(directory)
+    k = assert_consistent_prefix(store)
+
+    frag_files = sorted(
+        p.name for p in directory.glob("frag-*.bin")
+    )
+    report = fsck(directory, repair=True)
+    assert report.repaired
+    assert fsck(directory).clean
+    assert_nothing_silently_dropped(directory, frag_files)
+
+    # The repaired store is fully usable: at least the prefix survives
+    # (an orphan of write k may have been recovered on top of it).
+    repaired = reopen(directory)
+    assert len(repaired.fragments) >= k
+    for j in range(k):
+        coords, values = part(j)
+        out = repaired.read_points(coords)
+        assert out.found.all()
+        assert np.allclose(out.values, values)
+    return k
+
+
+class TestInjectionPointEnumeration:
+    def test_recorded_op_sequence_shape(self, tmp_path):
+        events = record_injection_points(tmp_path)
+        # Open of an empty store commits one manifest (write + rename);
+        # each write commits a fragment then the manifest (4 ops).
+        assert len(events) == 2 + 4 * N_WRITES
+        assert [e.op for e in events[:2]] == ["write", "rename"]
+        for j in range(N_WRITES):
+            chunk = events[2 + 4 * j : 6 + 4 * j]
+            assert [e.op for e in chunk] == [
+                "write", "rename", "write", "rename"
+            ]
+            assert chunk[0].path.name == f"frag-{j:06d}.bin.tmp"
+            assert chunk[1].path.name == f"frag-{j:06d}.bin"
+            assert chunk[2].path.name == "manifest.json.tmp"
+            assert chunk[3].path.name == "manifest.json"
+
+    def test_fsync_ops_recorded_when_enabled(self, tmp_path):
+        recorder = OpRecorder()
+        with inject(recorder):
+            store = FragmentStore(tmp_path / "ds", SHAPE, "LINEAR",
+                                  fsync=True)
+            store.write(*part(0))
+        assert any(e.op == "fsync" for e in recorder.events)
+
+
+class TestCrashAtEveryPoint:
+    def test_every_injection_point_recovers(self, tmp_path):
+        events = record_injection_points(tmp_path)
+        prefix_sizes = []
+        for index in range(len(events)):
+            prefix_sizes.append(crash_and_recover(tmp_path, events, index))
+        # Sanity on coverage: early crashes commit nothing, the last
+        # possible crash (final manifest rename) has all but one write.
+        assert prefix_sizes[0] == 0
+        assert max(prefix_sizes) == N_WRITES - 1
+        assert sorted(set(prefix_sizes)) == list(range(N_WRITES))
+
+    def test_torn_writes_at_byte_offsets(self, tmp_path):
+        events = record_injection_points(tmp_path)
+        write_indices = [
+            i for i, e in enumerate(events) if e.op == "write"
+        ]
+        for index in write_indices:
+            for torn in (0, 1, 100):
+                crash_and_recover(tmp_path, events, index, torn_bytes=torn)
+
+    def test_crash_then_continue_appending(self, tmp_path):
+        """After recovery the store keeps working — fresh writes land."""
+        events = record_injection_points(tmp_path)
+        # Kill the manifest commit of the last write: fragment orphaned.
+        directory = tmp_path / "resume"
+        plan = plan_for_crash_point(events, len(events) - 1)
+        with inject(plan), pytest.raises(OSError):
+            run_workload(directory)
+        store = reopen(directory)
+        k = len(store.fragments)
+        coords = np.column_stack(
+            [np.full(5, 31, dtype=np.uint64),
+             np.arange(5, dtype=np.uint64)]
+        )
+        store.write(coords, np.ones(5))
+        # The new fragment must not reuse the orphan's sequence number.
+        names = [f.path.name for f in store.fragments]
+        assert len(names) == len(set(names)) == k + 1
+        orphan = f"frag-{N_WRITES - 1:06d}.bin"
+        assert orphan not in names  # still on disk, still recoverable
+        assert (directory / orphan).exists()
+        report = fsck(directory, repair=True)
+        assert [i for i in report.issues if i.repaired == "recovered"]
+        recovered = reopen(directory)
+        out = recovered.read_points(part(N_WRITES - 1)[0])
+        assert out.found.all()
+
+
+class TestSeededSoak:
+    def test_retry_policy_survives_seeded_read_faults(self, tmp_path):
+        from repro.storage import RetryPolicy
+        from repro.testing.faults import SeededFaults
+
+        store = FragmentStore(
+            tmp_path / "ds", SHAPE, "LINEAR",
+            retry=RetryPolicy(attempts=12, sleep=lambda s: None),
+        )
+        for j in range(N_WRITES):
+            store.write(*part(j))
+        faults = SeededFaults(seed=1234, p=0.4, ops=("read",))
+        with inject(faults):
+            for j in range(N_WRITES):
+                coords, values = part(j)
+                out = store.read_points(coords)
+                assert out.found.all()
+                assert np.allclose(out.values, values)
+        assert faults.fired  # the soak actually exercised retries
+
+    def test_seeded_faults_deterministic(self, tmp_path):
+        from repro.testing.faults import SeededFaults
+
+        runs = []
+        for _ in range(2):
+            faults = SeededFaults(seed=99, p=0.5, ops=("write", "rename"))
+            with inject(faults), warnings.catch_warnings():
+                warnings.simplefilter("ignore", UserWarning)
+                try:
+                    run_workload(tmp_path / f"det-{len(runs)}-{_}")
+                except OSError:
+                    pass
+            runs.append([(e.op, e.path.name) for e in faults.fired])
+        assert runs[0] == runs[1]
+        assert runs[0]  # the seed actually fired something

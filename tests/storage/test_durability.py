@@ -1,0 +1,405 @@
+"""Durability layer: atomic commits, retry policy, quarantine, fsck."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Box,
+    ChecksumError,
+    FragmentError,
+    FragmentIOError,
+    ManifestError,
+)
+from repro.storage import FragmentStore, fsck
+from repro.storage.durability import (
+    NO_RETRY,
+    RetryPolicy,
+    clean_temp_files,
+    file_crc,
+    fragment_file_crc,
+    quarantine_file,
+    write_bytes_atomic,
+)
+from repro.testing.faults import FaultPlan, FaultRule, SeededFaults, inject
+
+
+def make_store(path, *, n=30, seed=7, **kwargs):
+    rng = np.random.default_rng(seed)
+    store = FragmentStore(path, (32, 32), "LINEAR", **kwargs)
+    # Distinct coordinates so value comparisons are unambiguous.
+    lin = rng.choice(32 * 32, size=n, replace=False)
+    coords = np.column_stack([lin // 32, lin % 32]).astype(np.uint64)
+    values = rng.random(n)
+    store.write(coords, values)
+    return store, coords, values
+
+
+def corrupt_file(path, offset=-12):
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+class TestAtomicCommit:
+    def test_write_bytes_atomic_commits(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        assert write_bytes_atomic(target, b"hello", fsync=True) == 5
+        assert target.read_bytes() == b"hello"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_rename_leaves_old_content(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        target.write_bytes(b"old")
+        plan = FaultPlan([FaultRule(op="rename", pattern="blob.bin")])
+        with inject(plan), pytest.raises(OSError):
+            write_bytes_atomic(target, b"new")
+        assert target.read_bytes() == b"old"
+
+    def test_torn_write_never_reaches_target(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        plan = FaultPlan(
+            [FaultRule(op="write", pattern="blob.bin.tmp", torn_bytes=2)]
+        )
+        with inject(plan), pytest.raises(OSError):
+            write_bytes_atomic(target, b"abcdef")
+        assert not target.exists()
+        # The torn temp file holds exactly the prefix.
+        assert (tmp_path / "blob.bin.tmp").read_bytes() == b"ab"
+
+    def test_clean_temp_files(self, tmp_path):
+        (tmp_path / "a.tmp").write_bytes(b"x")
+        (tmp_path / "b.bin").write_bytes(b"y")
+        removed = clean_temp_files(tmp_path)
+        assert [p.name for p in removed] == ["a.tmp"]
+        assert (tmp_path / "b.bin").exists()
+
+    def test_store_open_cleans_temp_files(self, tmp_path):
+        store, *_ = make_store(tmp_path / "ds")
+        stale = tmp_path / "ds" / "frag-000099.bin.tmp"
+        stale.write_bytes(b"torn")
+        FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+        assert not stale.exists()
+
+    def test_manifest_generation_monotonic(self, tmp_path):
+        store, coords, values = make_store(tmp_path / "ds")
+        g1 = store.generation
+        store.write(coords, values)
+        assert store.generation > g1
+        manifest = json.loads((tmp_path / "ds" / "manifest.json").read_text())
+        assert manifest["generation"] == store.generation
+
+    def test_manifest_records_fragment_crc(self, tmp_path):
+        store, *_ = make_store(tmp_path / "ds")
+        manifest = json.loads((tmp_path / "ds" / "manifest.json").read_text())
+        entry = manifest["fragments"][0]
+        data = (tmp_path / "ds" / entry["file"]).read_bytes()
+        assert entry["crc"] == file_crc(data)
+
+    def test_fragment_file_crc_matches_full_crc(self):
+        from repro.storage import pack_fragment
+
+        blob = pack_fragment(
+            "LINEAR", (8, 8), 2, {},
+            {"addresses": np.array([1, 2], dtype=np.uint64)},
+            np.array([0.5, 1.5]),
+        )
+        assert fragment_file_crc(blob) == file_crc(blob)
+
+    def test_corrupt_manifest_raises_manifest_error(self, tmp_path):
+        make_store(tmp_path / "ds")
+        (tmp_path / "ds" / "manifest.json").write_text("{not json")
+        with pytest.raises(ManifestError):
+            FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+        # Backward compatible: still a FragmentError.
+        with pytest.raises(FragmentError):
+            FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+
+
+class TestRetryPolicy:
+    def test_schedule_bounded_and_capped(self):
+        policy = RetryPolicy(
+            attempts=4, base_delay=0.1, multiplier=10.0, max_delay=1.0,
+        )
+        assert policy.delays() == [0.1, 1.0, 1.0]
+        assert NO_RETRY.delays() == []
+
+    def test_transient_error_retried_then_succeeds(self):
+        sleeps = []
+        policy = RetryPolicy(attempts=3, base_delay=0.5, sleep=sleeps.append)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(5, "transient")
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert sleeps == [0.5, 1.0]
+
+    def test_exhausted_retries_reraise(self):
+        policy = RetryPolicy(attempts=2, sleep=lambda s: None)
+
+        def always_fails():
+            raise FragmentIOError("disk is sad")
+
+        with pytest.raises(FragmentIOError):
+            policy.run(always_fails)
+
+    def test_checksum_error_never_retried(self):
+        policy = RetryPolicy(attempts=5, sleep=lambda s: None)
+        calls = {"n": 0}
+
+        def corrupt():
+            calls["n"] += 1
+            raise ChecksumError("bad crc")
+
+        with pytest.raises(ChecksumError):
+            policy.run(corrupt)
+        assert calls["n"] == 1
+
+    def test_invalid_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+    def test_store_retry_absorbs_intermittent_reads(self, tmp_path):
+        store, coords, values = make_store(
+            tmp_path / "ds",
+            retry=RetryPolicy(attempts=10, sleep=lambda s: None),
+        )
+        faults = SeededFaults(seed=3, p=0.5, ops=("read",), pattern="frag-*")
+        with inject(faults):
+            for _ in range(4):
+                out = store.read_points(coords)
+                assert out.found.all()
+                assert np.allclose(out.values, values)
+        assert faults.fired  # the flaky reads actually happened
+
+
+class TestCorruptionPolicies:
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FragmentStore(tmp_path / "ds", (8, 8), "LINEAR",
+                          on_corruption="ignore")
+
+    def test_raise_policy_propagates_checksum_error(self, tmp_path):
+        store, coords, _ = make_store(tmp_path / "ds")
+        corrupt_file(store.fragments[0].path)
+        with pytest.raises(ChecksumError):
+            store.read_points(coords)
+
+    def test_skip_policy_serves_surviving_fragments(self, tmp_path):
+        store, coords, values = make_store(
+            tmp_path / "ds", on_corruption="skip"
+        )
+        # Second fragment with disjoint data remains readable.
+        coords2 = coords.copy()
+        values2 = values + 10.0
+        store.write(coords2, values2)
+        corrupt_file(store.fragments[0].path)
+        with pytest.warns(UserWarning, match="skipped"):
+            out = store.read_points(coords)
+        assert out.found.all()  # later fragment covers the same points
+        assert np.allclose(out.values, values2)
+        assert store.corrupt_fragments == 1
+        assert len(store.fragments) == 2  # skip never de-lists
+
+    def test_quarantine_policy_moves_file_and_delists(self, tmp_path):
+        store, coords, values = make_store(
+            tmp_path / "ds", on_corruption="quarantine"
+        )
+        store.write(coords, values + 1.0)
+        bad = store.fragments[0].path
+        corrupt_file(bad)
+        with pytest.warns(UserWarning, match="quarantined"):
+            out = store.read_points(coords)
+        assert out.found.all()
+        assert not bad.exists()
+        qdir = tmp_path / "ds" / ".quarantine"
+        assert (qdir / bad.name).exists()
+        assert (qdir / (bad.name + ".reason")).exists()
+        assert len(store.fragments) == 1
+        # The manifest no longer lists the quarantined fragment.
+        reloaded = FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+        assert len(reloaded.fragments) == 1
+        assert fsck(tmp_path / "ds").clean
+
+    def test_read_box_honors_policy(self, tmp_path):
+        store, coords, values = make_store(
+            tmp_path / "ds", on_corruption="skip"
+        )
+        store.write(coords, values + 1.0)
+        corrupt_file(store.fragments[0].path)
+        with pytest.warns(UserWarning):
+            got = store.read_box(Box((0, 0), (32, 32)))
+        assert got.nnz > 0
+
+    def test_compact_quarantines_and_merges_survivors(self, tmp_path):
+        store, coords, values = make_store(
+            tmp_path / "ds", on_corruption="quarantine"
+        )
+        far = coords.copy()
+        far[:, 0] = (far[:, 0] + 16) % 32
+        store.write(far, values + 1.0)
+        corrupt_file(store.fragments[0].path)
+        with pytest.warns(UserWarning):
+            store.compact()
+        assert len(store.fragments) == 1
+        assert store.corrupt_fragments == 1
+        out = store.read_points(far)
+        assert out.found.all()
+        assert fsck(tmp_path / "ds").clean
+
+    def test_compact_raise_policy_aborts_untouched(self, tmp_path):
+        store, coords, values = make_store(tmp_path / "ds")
+        store.write(coords, values + 1.0)
+        corrupt_file(store.fragments[0].path)
+        with pytest.raises(ChecksumError):
+            store.compact()
+        assert len(store.fragments) == 2  # nothing deleted
+
+    def test_corrupt_counter_lands_in_obs(self, tmp_path):
+        from repro import obs
+
+        obs.enable()
+        obs.reset()
+        store, coords, _ = make_store(tmp_path / "ds", on_corruption="skip")
+        corrupt_file(store.fragments[0].path)
+        with pytest.warns(UserWarning):
+            store.read_points(coords)
+        snap = obs.snapshot()
+        hits = [
+            m for m in snap["counters"]
+            if m["name"] == "store.corrupt_fragments"
+        ]
+        assert hits and hits[0]["value"] >= 1
+
+
+class TestFsck:
+    def test_clean_store(self, tmp_path):
+        make_store(tmp_path / "ds")
+        report = fsck(tmp_path / "ds")
+        assert report.clean
+        assert report.checked == 1
+        assert report.ok == ["frag-000000.bin"]
+
+    def test_detects_corruption(self, tmp_path):
+        store, *_ = make_store(tmp_path / "ds")
+        corrupt_file(store.fragments[0].path)
+        report = fsck(tmp_path / "ds")
+        assert not report.clean
+        assert report.issues_of("corrupt")
+
+    def test_detects_missing_and_extra(self, tmp_path):
+        store, coords, values = make_store(tmp_path / "ds")
+        store.write(coords, values)
+        # Delete one committed fragment; orphan another by renaming.
+        store.fragments[0].path.unlink()
+        report = fsck(tmp_path / "ds")
+        assert len(report.issues_of("missing")) == 1
+
+    def test_repair_quarantines_never_deletes(self, tmp_path):
+        store, coords, values = make_store(tmp_path / "ds")
+        store.write(coords, values)
+        bad = store.fragments[0].path
+        corrupt_file(bad)
+        report = fsck(tmp_path / "ds", repair=True)
+        assert report.repaired
+        assert not bad.exists()
+        assert (tmp_path / "ds" / ".quarantine" / bad.name).exists()
+        # Post-repair the store is clean and serves the surviving fragment.
+        assert fsck(tmp_path / "ds").clean
+        reloaded = FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+        assert len(reloaded.fragments) == 1
+
+    def test_repair_recovers_uncommitted_fragment(self, tmp_path):
+        store, coords, values = make_store(tmp_path / "ds")
+        # Simulate a crash after the fragment rename but before the
+        # manifest commit: put a valid fragment file outside the manifest.
+        manifest_path = tmp_path / "ds" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        store.write(coords, values + 5.0)
+        manifest_path.write_text(json.dumps(manifest))  # roll manifest back
+        with pytest.warns(UserWarning, match="not in the manifest"):
+            reopened = FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+        assert len(reopened.fragments) == 1  # consistent committed prefix
+        report = fsck(tmp_path / "ds", repair=True)
+        assert [i for i in report.issues if i.repaired == "recovered"]
+        recovered = FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+        assert len(recovered.fragments) == 2
+        out = recovered.read_points(coords)
+        assert np.allclose(out.values, values + 5.0)
+
+    def test_repair_removes_stale_tmp(self, tmp_path):
+        make_store(tmp_path / "ds")
+        stale = tmp_path / "ds" / "frag-000001.bin.tmp"
+        stale.write_bytes(b"torn")
+        report = fsck(tmp_path / "ds", repair=True)
+        assert not stale.exists()
+        assert [i for i in report.issues if i.kind == "tmp"]
+
+    def test_store_fsck_method_reloads_after_repair(self, tmp_path):
+        store, coords, values = make_store(tmp_path / "ds")
+        store.write(coords, values)
+        corrupt_file(store.fragments[0].path)
+        report = store.fsck(repair=True)
+        assert report.repaired
+        assert len(store.fragments) == 1
+        # Appending after the repair picks a fresh sequence number.
+        store.write(coords, values)
+        assert len(store.fragments) == 2
+
+    def test_fsck_missing_directory(self, tmp_path):
+        with pytest.raises(ManifestError):
+            fsck(tmp_path / "nope")
+
+    def test_fsck_json_roundtrip(self, tmp_path):
+        make_store(tmp_path / "ds")
+        report = fsck(tmp_path / "ds")
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["clean"] is True
+        assert payload["checked"] == 1
+
+
+class TestRescanRobustness:
+    def test_rescan_skips_truncated_fragment(self, tmp_path):
+        store, coords, values = make_store(tmp_path / "ds")
+        store.write(coords, values)
+        # Truncate the second fragment inside its header.
+        frag = store.fragments[1].path
+        frag.write_bytes(frag.read_bytes()[:6])
+        (tmp_path / "ds" / "manifest.json").unlink()
+        with pytest.warns(UserWarning, match="skipping unreadable"):
+            reopened = FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+        assert len(reopened.fragments) == 1
+        out = reopened.read_points(coords)
+        assert out.found.all()
+
+    def test_rescan_ignores_tmp_files(self, tmp_path):
+        store, *_ = make_store(tmp_path / "ds")
+        (tmp_path / "ds" / "frag-000001.bin.tmp").write_bytes(b"torn")
+        store.rescan()
+        assert len(store.fragments) == 1
+        assert not (tmp_path / "ds" / "frag-000001.bin.tmp").exists()
+
+    def test_rescan_records_crc(self, tmp_path):
+        store, *_ = make_store(tmp_path / "ds")
+        (tmp_path / "ds" / "manifest.json").unlink()
+        reopened = FragmentStore(tmp_path / "ds", (32, 32), "LINEAR")
+        frag = reopened.fragments[0]
+        assert frag.crc == file_crc(frag.path.read_bytes())
+
+
+class TestQuarantineHelper:
+    def test_collision_suffix(self, tmp_path):
+        a = tmp_path / "f.bin"
+        a.write_bytes(b"one")
+        quarantine_file(tmp_path, a, reason="r1")
+        b = tmp_path / "f.bin"
+        b.write_bytes(b"two")
+        target = quarantine_file(tmp_path, b, reason="r2")
+        assert target.name == "f.bin.1"
+        assert (tmp_path / ".quarantine" / "f.bin").read_bytes() == b"one"
+        assert target.read_bytes() == b"two"

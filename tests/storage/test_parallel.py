@@ -102,3 +102,45 @@ class TestWriteMany:
         store.write_many(split_parts(tensor_2d, 2), max_workers=0)
         reloaded = FragmentStore(tmp_path / "ds", tensor_2d.shape, "COO")
         assert len(reloaded.fragments) == 2
+
+
+class TestWorkerErrorPropagation:
+    """A failing part surfaces as WorkerError naming the part index, for
+    every executor, and a partial batch commits nothing."""
+
+    def bad_parts(self, tensor):
+        parts = split_parts(tensor, 3)
+        c, v = parts[1]
+        parts[1] = (c, v[:-1])  # misaligned: fails inside pack_part
+        return parts
+
+    @pytest.mark.parametrize("executor,max_workers", [
+        ("process", 2),
+        ("thread", 2),
+        ("process", 0),  # inline path
+    ])
+    def test_worker_error_carries_part_index(self, tensor_3d, executor,
+                                             max_workers):
+        from repro.core import WorkerError
+
+        with pytest.raises(WorkerError) as ei:
+            pack_parts_parallel(
+                tensor_3d.shape, "LINEAR", self.bad_parts(tensor_3d),
+                max_workers=max_workers, executor=executor,
+            )
+        assert ei.value.part_index == 1
+        assert "part 1" in str(ei.value)
+
+    def test_write_many_commits_nothing_on_failure(self, tmp_path,
+                                                   tensor_3d):
+        from repro.core import WorkerError
+
+        store = FragmentStore(tmp_path / "ds", tensor_3d.shape, "LINEAR")
+        with pytest.raises(WorkerError):
+            store.write_many(self.bad_parts(tensor_3d), max_workers=2,
+                             executor="thread")
+        assert len(store.fragments) == 0
+        assert not list((tmp_path / "ds").glob("frag-*.bin"))
+        # The store still works after the failed batch.
+        store.write_many(split_parts(tensor_3d, 3), max_workers=0)
+        assert len(store.fragments) == 3

@@ -122,3 +122,66 @@ class TestFaultInjection:
         blob[12] = 0x00
         with pytest.raises(FragmentError):
             unpack_header(bytes(blob))
+
+
+class TestErrorTaxonomy:
+    """Corruption raises typed subclasses of FragmentError (satellite of
+    the durability PR): ChecksumError for CRC failures, plain
+    FragmentError for structural damage — old `except FragmentError`
+    handlers keep working."""
+
+    def test_checksum_error_is_fragment_error(self):
+        from repro.core.errors import ChecksumError, FragmentError, ReproError
+
+        assert issubclass(ChecksumError, FragmentError)
+        assert issubclass(FragmentError, ReproError)
+        assert issubclass(FragmentError, IOError)
+
+    def test_payload_bit_flip_raises_checksum_error(self):
+        from repro.core.errors import ChecksumError
+
+        blob = bytearray(sample_blob())
+        blob[-12] ^= 0x01  # value buffer
+        with pytest.raises(ChecksumError, match="checksum mismatch"):
+            verify_crc(bytes(blob))
+        with pytest.raises(ChecksumError):
+            unpack_fragment(bytes(blob))
+
+    def test_header_bit_flip_raises_checksum_error_first(self):
+        from repro.core.errors import ChecksumError
+
+        blob = bytearray(sample_blob())
+        blob[16] ^= 0xFF  # inside the JSON header
+        # With CRC checking on, corruption is caught before parsing.
+        with pytest.raises(ChecksumError):
+            unpack_fragment(bytes(blob))
+        # Without it, the damage surfaces as a structural parse error.
+        with pytest.raises(FragmentError):
+            unpack_fragment(bytes(blob), check_crc=False)
+
+    def test_truncation_raises_checksum_error(self):
+        from repro.core.errors import ChecksumError
+
+        blob = sample_blob()
+        with pytest.raises(ChecksumError):
+            unpack_fragment(blob[:-1])
+        # Truncated below the 4-byte CRC tail.
+        with pytest.raises(ChecksumError, match="too small"):
+            unpack_fragment(blob[:2])
+
+    def test_truncation_without_crc_check_is_structural(self):
+        blob = sample_blob()
+        with pytest.raises(FragmentError, match="truncated"):
+            unpack_fragment(blob[: len(blob) // 2], check_crc=False)
+
+    def test_tail_corruption_only_detected_by_crc(self):
+        # Flip a bit in the stored CRC itself: the body is intact, so only
+        # the checksum pass can notice.
+        from repro.core.errors import ChecksumError
+
+        blob = bytearray(sample_blob())
+        blob[-1] ^= 0x01
+        with pytest.raises(ChecksumError):
+            unpack_fragment(bytes(blob))
+        payload = unpack_fragment(bytes(blob), check_crc=False)
+        assert payload.values.tolist() == [0.5, -1.0, 2.0]

@@ -150,3 +150,43 @@ class TestRelativeCoords:
         assert r_rel.index_nbytes < r_abs.index_nbytes
         out = rel_store.read_points(coords)
         assert out.found.all()
+
+
+class TestRescanRobustness:
+    """rescan() must survive torn/partial files (durability satellite)."""
+
+    def seeded_store(self, tmp_path, tensor_3d):
+        store = FragmentStore(tmp_path / "ds", tensor_3d.shape, "LINEAR")
+        half = tensor_3d.nnz // 2
+        store.write(tensor_3d.coords[:half], tensor_3d.values[:half])
+        store.write(tensor_3d.coords[half:], tensor_3d.values[half:])
+        return store
+
+    def test_rescan_skips_tmp_files(self, tmp_path, tensor_3d):
+        store = self.seeded_store(tmp_path, tensor_3d)
+        (tmp_path / "ds" / "frag-000007.bin.tmp").write_bytes(b"\0" * 64)
+        store.rescan()
+        assert len(store.fragments) == 2
+        assert not (tmp_path / "ds" / "frag-000007.bin.tmp").exists()
+
+    def test_rescan_warns_and_skips_truncated_fragment(self, tmp_path,
+                                                       tensor_3d):
+        import warnings as _warnings
+
+        store = self.seeded_store(tmp_path, tensor_3d)
+        torn = store.fragments[1].path
+        torn.write_bytes(torn.read_bytes()[:5])  # inside the magic/header
+        with pytest.warns(UserWarning, match="skipping unreadable"):
+            store.rescan()
+        assert len(store.fragments) == 1
+        half = tensor_3d.nnz // 2
+        out = store.read_points(tensor_3d.coords[:half])
+        assert out.found.all()
+        # The rebuilt manifest loads cleanly (torn file is still reported
+        # as an orphan until fsck --repair deals with it).
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", UserWarning)
+            reloaded = FragmentStore(
+                tmp_path / "ds", tensor_3d.shape, "LINEAR"
+            )
+        assert len(reloaded.fragments) == 1

@@ -71,3 +71,51 @@ class TestExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig9"])
+
+
+class TestFsck:
+    def encoded_store(self, tmp_path):
+        npz = tmp_path / "d.npz"
+        store = tmp_path / "store"
+        main(["generate", "GSP", "32", "32", "-o", str(npz), "--seed", "2"])
+        main(["encode", str(npz), str(store)])
+        return store
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        store = self.encoded_store(tmp_path)
+        capsys.readouterr()  # drain generate/encode output
+        assert main(["fsck", str(store)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_nonzero(self, tmp_path, capsys):
+        store = self.encoded_store(tmp_path)
+        frag = store / "frag-000000.bin"
+        blob = bytearray(frag.read_bytes())
+        blob[-10] ^= 0xFF
+        frag.write_bytes(bytes(blob))
+        assert main(["fsck", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out
+        assert "frag-000000.bin" in out
+
+    def test_repair_quarantines_and_exits_zero(self, tmp_path, capsys):
+        store = self.encoded_store(tmp_path)
+        frag = store / "frag-000000.bin"
+        blob = bytearray(frag.read_bytes())
+        blob[-10] ^= 0xFF
+        frag.write_bytes(bytes(blob))
+        assert main(["fsck", str(store), "--repair"]) == 0
+        assert "quarantined" in capsys.readouterr().out
+        assert (store / ".quarantine" / "frag-000000.bin").exists()
+        # A second pass is clean.
+        assert main(["fsck", str(store)]) == 0
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        import json
+
+        store = self.encoded_store(tmp_path)
+        capsys.readouterr()  # drain generate/encode output
+        assert main(["fsck", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["checked"] >= 1

@@ -20,6 +20,8 @@ SUBPACKAGES = [
     "repro.cli",
     "repro.obs",
     "repro.readapi",
+    "repro.testing",
+    "repro.storage.durability",
 ]
 
 #: The checked-in public surface.  A PR that changes `repro.__all__` must
@@ -42,6 +44,7 @@ EXPECTED_PUBLIC_API = sorted([
     "fold_to_scipy", "from_scipy", "to_scipy",
     "AdaptiveStore", "StreamingWriter", "convert_store",
     "BlockedDataset", "FragmentStore",
+    "FsckReport", "RetryPolicy", "fsck",
     "__version__",
 ])
 
