@@ -65,6 +65,7 @@ from .io import load_dataset, read_matrix_market, read_tns, write_matrix_market,
 from .storage import (
     AdaptiveStore,
     BlockedDataset,
+    FragmentCache,
     FragmentStore,
     FsckReport,
     RetryPolicy,
@@ -120,6 +121,7 @@ __all__ = [
     "StreamingWriter",
     "convert_store",
     "BlockedDataset",
+    "FragmentCache",
     "FragmentStore",
     "FsckReport",
     "RetryPolicy",

@@ -18,7 +18,9 @@
 ``stats``
     Exercise the observability layer (``repro.obs``) with a write + read
     round-trip — against an existing store or a synthetic demo — and print
-    every recorded counter, gauge, and latency histogram.
+    every recorded counter, gauge, and latency histogram, plus a
+    decoded-fragment cache section (``--cache-bytes`` sets the budget,
+    ``--parallel thread`` fans the reads out over the read pool).
 ``fsck``
     Verify a fragment store: every fragment's header and CRC checked
     against the manifest, drift reported (missing/extra/corrupt/stale
@@ -140,6 +142,33 @@ def cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_cache_section(cache) -> str:
+    """The ``repro stats`` cache section (decoded-fragment LRU totals)."""
+    from .bench.report import format_bytes
+
+    stats = cache.stats()
+    lookups = stats["hits"] + stats["misses"]
+    hit_rate = stats["hits"] / lookups if lookups else 0.0
+    lines = ["fragment cache (decoded-payload LRU)"]
+    if not stats["enabled"]:
+        lines.append("  disabled (cache_bytes=0; pass --cache-bytes to enable)")
+        return "\n".join(lines)
+    lines.append(
+        f"  budget    {format_bytes(stats['max_bytes'])}  "
+        f"resident {format_bytes(stats['bytes'])} "
+        f"in {stats['entries']} entries"
+    )
+    lines.append(
+        f"  lookups   {lookups}  hits {stats['hits']}  "
+        f"misses {stats['misses']}  hit-rate {hit_rate:.1%}"
+    )
+    lines.append(
+        f"  evictions {stats['evictions']}  "
+        f"invalidations {stats['invalidations']}"
+    )
+    return "\n".join(lines)
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
     import tempfile
@@ -151,10 +180,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
     obs.enable()
     obs.reset()
     rng = np.random.default_rng(args.seed)
+    cache = None
 
     if args.store:
         manifest = json.loads((Path(args.store) / "manifest.json").read_text())
-        store = FragmentStore(args.store, manifest["shape"], manifest["format"])
+        store = FragmentStore(
+            args.store, manifest["shape"], manifest["format"],
+            cache_bytes=args.cache_bytes,
+        )
         if not store.fragments:
             print(f"store {args.store} has no fragments", file=sys.stderr)
             return 1
@@ -169,8 +202,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
             ).astype(np.uint64)
             for f in store.fragments
         ])
-        store.read_points(queries)
-        store.read_box(store.fragments[0].bbox)
+        # Two rounds: the second demonstrates warm-cache hits (and the
+        # parallel pipeline when --parallel thread is given).
+        for _ in range(2):
+            store.read_points(queries, parallel=args.parallel)
+            store.read_box(store.fragments[0].bbox, parallel=args.parallel)
+        cache = store.cache
         title = f"repro observability — store {args.store}"
     else:
         # Self-contained demo: two disjoint fragments, so the read shows
@@ -178,20 +215,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
         shape = (64, 64, 64)
         n = max(16, args.points)
         with tempfile.TemporaryDirectory() as tmp:
-            store = FragmentStore(tmp, shape, args.format)
+            store = FragmentStore(
+                tmp, shape, args.format, cache_bytes=args.cache_bytes
+            )
             low = rng.integers(0, 32, size=(n, 3)).astype(np.uint64)
             high = rng.integers(32, 64, size=(n, 3)).astype(np.uint64)
             store.write(low, rng.random(n))
             store.write(high, rng.random(n))
-            store.read_points(low[: max(1, n // 2)])
-            store.read_box(Box((0, 0, 0), (16, 16, 16)))
+            for _ in range(2):
+                store.read_points(
+                    low[: max(1, n // 2)], parallel=args.parallel
+                )
+                store.read_box(
+                    Box((0, 0, 0), (16, 16, 16)), parallel=args.parallel
+                )
+            cache = store.cache
         title = (f"repro observability — demo round-trip "
                  f"({args.format}, 2 fragments, {n} points each)")
 
     if args.json:
-        print(obs.to_json())
+        payload = json.loads(obs.to_json())
+        payload["cache"] = cache.stats()
+        print(json.dumps(payload, indent=1))
     else:
         print(obs.render_table(title=title))
+        print()
+        print(_render_cache_section(cache))
     return 0
 
 
@@ -264,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=2000,
                    help="points per fragment / total queries")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-bytes", type=int, default=0,
+                   help="decoded-fragment cache budget in bytes "
+                        "(0 = cache off; reads run twice so a warm "
+                        "second round shows up as hits)")
+    p.add_argument("--parallel", default="none", choices=["none", "thread"],
+                   help="read-side fan-out mode for the exercised reads")
     p.add_argument("--json", action="store_true",
                    help="emit the metrics snapshot as JSON")
     p.set_defaults(func=cmd_stats)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import abc
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Mapping, Sequence
+from typing import Any, ClassVar, Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -131,8 +131,21 @@ class SparseFormat(abc.ABC):
         meta: Mapping[str, Any],
         shape: Sequence[int],
         query_coords: np.ndarray,
+        *,
+        memo: MutableMapping[str, Any] | None = None,
     ) -> ReadResult:
-        """Vectorized production read."""
+        """Vectorized production read.
+
+        ``memo`` is an optional process-local scratch dict owned by the
+        caller — the decoded-fragment cache passes the payload's
+        ``runtime`` dict, :class:`EncodedTensor` its own — where the
+        format may stash derived search structures (sorted orders,
+        linearized address views) and reuse them on later reads of the
+        same payload.  The memo's lifetime is tied to the payload's:
+        buffers are immutable once decoded, so a memo entry never goes
+        stale while its payload is alive.  Formats are free to ignore it;
+        results must be bit-identical with and without one.
+        """
 
     @abc.abstractmethod
     def read_faithful(
@@ -235,6 +248,11 @@ class EncodedTensor:
     payload: dict[str, np.ndarray]
     meta: dict[str, Any]
     values: np.ndarray
+    #: Process-local read memos (see :meth:`SparseFormat.read`); never
+    #: serialized, never compared.
+    runtime: dict[str, Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def read_points(self, query_coords: np.ndarray) -> ReadOutcome:
         """Point queries; the unified read-side API (see :mod:`repro.readapi`).
@@ -244,7 +262,10 @@ class EncodedTensor:
         queries' values in query order.
         """
         with span("format.read", format=self.fmt.name) as sp:
-            res = self.fmt.read(self.payload, self.meta, self.shape, query_coords)
+            res = self.fmt.read(
+                self.payload, self.meta, self.shape, query_coords,
+                memo=self.runtime,
+            )
             values = res.gather_values(self.values)
             matched = int(res.found.sum())
             sp.add_nnz(matched)
@@ -326,7 +347,11 @@ class EncodedTensor:
 
 
 def match_addresses(
-    stored: np.ndarray, query: np.ndarray
+    stored: np.ndarray,
+    query: np.ndarray,
+    *,
+    memo: MutableMapping[str, Any] | None = None,
+    memo_key: str = "match.order",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Vectorized membership of ``query`` addresses among ``stored`` ones.
 
@@ -334,6 +359,10 @@ def match_addresses(
     indexes the *original* (unsorted) stored array, one entry per found
     query in query order.  Cost O((n + q) log n) — the production-path
     replacement for the paper's O(n*q) scans.
+
+    With a ``memo`` dict (see :meth:`SparseFormat.read`) the O(n log n)
+    argsort of ``stored`` is computed once per payload and reused, so
+    repeated reads against a cached fragment drop to O(q log n).
 
     When ``stored`` contains duplicates, the match reports the first
     occurrence in sorted-address order (formats themselves assume
@@ -346,8 +375,14 @@ def match_addresses(
             np.zeros(query.shape[0], dtype=bool),
             np.empty(0, dtype=np.intp),
         )
-    order = stable_argsort(stored)
-    sorted_stored = stored[order]
+    entry = None if memo is None else memo.get(memo_key)
+    if entry is None or entry[0].shape[0] != stored.shape[0]:
+        order = stable_argsort(stored)
+        sorted_stored = stored[order]
+        if memo is not None:
+            memo[memo_key] = (order, sorted_stored)
+    else:
+        order, sorted_stored = entry
     pos = np.searchsorted(sorted_stored, query)
     pos_clip = np.minimum(pos, sorted_stored.shape[0] - 1)
     found = sorted_stored[pos_clip] == query

@@ -10,7 +10,7 @@ build-time advantage once the fragment has to be written to the filesystem
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -52,15 +52,21 @@ class COOFormat(SparseFormat):
         meta: Mapping[str, Any],
         shape: Sequence[int],
         query_coords: np.ndarray,
+        *,
+        memo: MutableMapping[str, Any] | None = None,
     ) -> ReadResult:
         require_buffers(payload, ["coords"], self.name)
         query = self.validate_query(query_coords, shape)
         stored = payload["coords"]
         if stored.shape[0] == 0 or query.shape[0] == 0:
             return empty_read(query.shape[0])
-        stored_addr = linearize(stored, shape, validate=False)
+        stored_addr = None if memo is None else memo.get("coo.addresses")
+        if stored_addr is None or stored_addr.shape[0] != stored.shape[0]:
+            stored_addr = linearize(stored, shape, validate=False)
+            if memo is not None:
+                memo["coo.addresses"] = stored_addr
         query_addr = linearize(query, shape, validate=False)
-        found, positions = match_addresses(stored_addr, query_addr)
+        found, positions = match_addresses(stored_addr, query_addr, memo=memo)
         return ReadResult(found=found, value_positions=positions)
 
     def decode(

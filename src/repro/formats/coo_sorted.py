@@ -15,7 +15,7 @@ store; we also provide that merge path for sorted queries).
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -78,6 +78,8 @@ class SortedCOOFormat(SparseFormat):
         meta: Mapping[str, Any],
         shape: Sequence[int],
         query_coords: np.ndarray,
+        *,
+        memo: MutableMapping[str, Any] | None = None,
     ) -> ReadResult:
         require_buffers(payload, ["coords"], self.name)
         query = self.validate_query(query_coords, shape)

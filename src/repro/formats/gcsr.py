@@ -15,7 +15,7 @@ self-consistent encoding of the Fig 1 example tensor
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -153,6 +153,8 @@ class GCSRFormat(SparseFormat):
         meta: Mapping[str, Any],
         shape: Sequence[int],
         query_coords: np.ndarray,
+        *,
+        memo: MutableMapping[str, Any] | None = None,
     ) -> ReadResult:
         query = self.validate_query(query_coords, shape)
         matrix = self._matrix_from_payload(payload, meta)

@@ -25,7 +25,7 @@ overflow risk.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -137,6 +137,8 @@ class HiCOOFormat(SparseFormat):
         meta: Mapping[str, Any],
         shape: Sequence[int],
         query_coords: np.ndarray,
+        *,
+        memo: MutableMapping[str, Any] | None = None,
     ) -> ReadResult:
         require_buffers(payload, ["block_ptr", "block_addrs", "elems"], self.name)
         query = self.validate_query(query_coords, shape)

@@ -14,7 +14,7 @@ mitigation.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -56,6 +56,8 @@ class LinearFormat(SparseFormat):
         meta: Mapping[str, Any],
         shape: Sequence[int],
         query_coords: np.ndarray,
+        *,
+        memo: MutableMapping[str, Any] | None = None,
     ) -> ReadResult:
         require_buffers(payload, ["addresses"], self.name)
         query = self.validate_query(query_coords, shape)
@@ -63,7 +65,7 @@ class LinearFormat(SparseFormat):
         if stored.shape[0] == 0 or query.shape[0] == 0:
             return empty_read(query.shape[0])
         query_addr = linearize(query, shape, validate=False)
-        found, positions = match_addresses(stored, query_addr)
+        found, positions = match_addresses(stored, query_addr, memo=memo)
         return ReadResult(found=found, value_positions=positions)
 
     def decode(

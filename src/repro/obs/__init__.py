@@ -32,6 +32,13 @@ reads), ``store.fragments_quarantined``, ``store.io_retries`` (transient
 errors absorbed by the retry policy), ``store.tmp_cleaned`` (stale temp
 files removed at open), ``store.orphan_fragments`` (uncommitted fragments
 detected at open), ``store.rescan_skipped``, and ``store.fsck_runs``.
+
+The read pipeline (:mod:`repro.storage.readpath`) records the
+decoded-fragment cache: ``store.cache.hits`` / ``store.cache.misses`` /
+``store.cache.evictions`` / ``store.cache.invalidations`` counters plus
+the ``store.cache.bytes`` gauge (resident decoded bytes, bounded by the
+store's ``cache_bytes``).  ``repro stats --store DIR --cache-bytes N``
+prints a dedicated cache section from the same totals.
 """
 
 from .metrics import (

@@ -16,6 +16,15 @@ same two methods:
 Code written against :class:`Readable` works unchanged whether the data
 lives in memory, in one fragment directory, or sharded over blocks.
 ``EncodedTensor.read`` survives as a deprecated alias of ``read_points``.
+
+The storage-backed implementations (:class:`~repro.storage.store.
+FragmentStore`, :class:`~repro.storage.adaptive.AdaptiveStore`,
+:class:`~repro.storage.blocks.BlockedDataset`) additionally share one
+keyword-only *tuning surface* on both methods — ``faithful``,
+``check_crc``, ``parallel`` (``"none"`` | ``"thread"``), and
+``max_workers`` — so per-call read tuning is portable across every store
+kind (see ``docs/READ_PATH.md``).  In-memory encodings ignore storage
+tuning by construction: there is nothing to cache or fan out.
 """
 
 from __future__ import annotations
@@ -28,6 +37,11 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core.boundary import Box
     from .core.tensor import SparseTensor
+
+#: The keyword-only per-call tuning parameters every storage-backed
+#: ``Readable`` accepts on ``read_points`` and ``read_box`` (snapshot
+#: tested in ``tests/test_public_api.py``).
+STORE_READ_TUNING = ("faithful", "check_crc", "parallel", "max_workers")
 
 
 @dataclass

@@ -31,6 +31,13 @@ from .fragment import (
     write_fragment,
 )
 from .parallel import PackedFragment, pack_part, pack_parts_parallel
+from .readpath import (
+    MAX_READ_WORKERS,
+    PARALLEL_MODES,
+    FragmentCache,
+    get_read_executor,
+    shutdown_read_executor,
+)
 from .iosim import (
     LOCAL_NVME,
     PERLMUTTER_LUSTRE,
@@ -66,6 +73,11 @@ __all__ = [
     "PackedFragment",
     "pack_part",
     "pack_parts_parallel",
+    "MAX_READ_WORKERS",
+    "PARALLEL_MODES",
+    "FragmentCache",
+    "get_read_executor",
+    "shutdown_read_executor",
     "CODECS",
     "decode_buffer",
     "encode_buffer",

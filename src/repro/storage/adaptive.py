@@ -51,6 +51,7 @@ class AdaptiveStore(FragmentStore):
         codec: str = "raw",
         on_corruption: str = "raise",
         retry: RetryPolicy | None = None,
+        cache_bytes: int = 0,
     ):
         candidates = tuple(resolve_format(c).name for c in candidates)
         # The parent needs *a* format for bookkeeping; the per-write pick
@@ -64,6 +65,7 @@ class AdaptiveStore(FragmentStore):
             codec=codec,
             on_corruption=on_corruption,
             retry=retry,
+            cache_bytes=cache_bytes,
         )
         self.workload = workload
         self.candidates = tuple(candidates)
@@ -82,11 +84,15 @@ class AdaptiveStore(FragmentStore):
             ).best
         else:
             pick = self.candidates[0]
-        self.format_name = pick
-        self.fmt = get_format(pick)
-        self.choices.append(pick)
-        counter_add("adaptive.decisions", format=pick)
-        receipt = super().write(coords, values)
+        # The pick mutates the store's current format; hold the writer
+        # lock (reentrant) so concurrent adaptive writes cannot interleave
+        # between the format switch and the fragment build.
+        with self._rw.write_locked():
+            self.format_name = pick
+            self.fmt = get_format(pick)
+            self.choices.append(pick)
+            counter_add("adaptive.decisions", format=pick)
+            receipt = super().write(coords, values)
         for name, count in self.format_histogram().items():
             gauge_set("adaptive.fragments", count, format=name)
         return receipt

@@ -130,6 +130,7 @@ class BlockedDataset:
         *,
         on_corruption: str = "raise",
         retry=None,
+        cache_bytes: int = 0,
     ):
         self.shape = tuple(int(m) for m in shape)
         self.block_shape = tuple(int(b) for b in block_shape)
@@ -146,6 +147,7 @@ class BlockedDataset:
             relative_coords=True,
             on_corruption=on_corruption,
             retry=retry,
+            cache_bytes=cache_bytes,
         )
 
     def write(self, coords: np.ndarray, values: np.ndarray) -> BlockWriteSummary:
@@ -176,16 +178,58 @@ class BlockedDataset:
             )
         return self.write(tensor.coords, tensor.values)
 
-    def read_points(self, query_coords: np.ndarray) -> ReadOutcome:
-        """Point queries routed through per-block fragments."""
-        return self.store.read_points(query_coords)
+    def read_points(
+        self,
+        query_coords: np.ndarray,
+        *,
+        faithful: bool = False,
+        check_crc: bool = True,
+        parallel: str = "none",
+        max_workers: int | None = None,
+    ) -> ReadOutcome:
+        """Point queries routed through per-block fragments.
 
-    def read_box(self, box: Box) -> SparseTensor:
+        Accepts the full unified :class:`~repro.readapi.Readable` tuning
+        surface (``faithful``, ``check_crc``, ``parallel``,
+        ``max_workers``) and forwards it to the underlying store, so
+        per-call tuning behaves identically whether the dataset is blocked
+        or not.
+        """
+        return self.store.read_points(
+            query_coords,
+            faithful=faithful,
+            check_crc=check_crc,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+
+    def read_box(
+        self,
+        box: Box,
+        *,
+        faithful: bool = False,
+        check_crc: bool = True,
+        parallel: str = "none",
+        max_workers: int | None = None,
+    ) -> SparseTensor:
         """Region read merged across blocks, sorted by linear address.
 
         Delegates to the store's structural range read (work scales with
         stored points, never the box's cell count), which falls back to a
         lexicographic merge when the *global* shape is not linearizable —
-        the blocked case this class exists for.
+        the blocked case this class exists for.  Per-call tuning
+        (``parallel`` / ``max_workers`` / ``check_crc``) forwards to the
+        store, exactly as in :meth:`read_points`.
         """
-        return self.store.read_box(box)
+        return self.store.read_box(
+            box,
+            faithful=faithful,
+            check_crc=check_crc,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+
+    @property
+    def cache(self):
+        """The underlying store's decoded-fragment cache (may be disabled)."""
+        return self.store.cache

@@ -231,7 +231,8 @@ def query_fragment(
             )
         else:
             res = fmt.read(
-                payload.buffers, payload.meta, payload.shape, query_coords
+                payload.buffers, payload.meta, payload.shape, query_coords,
+                memo=payload.runtime,
             )
         sp.add_nnz(int(res.found.sum()))
     return res, res.gather_values(payload.values)

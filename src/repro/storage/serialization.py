@@ -60,6 +60,13 @@ class FragmentPayload:
     bbox_origin: tuple[int, ...] = ()
     bbox_size: tuple[int, ...] = ()
     extra: dict[str, Any] = field(default_factory=dict)
+    #: Process-local read memos (derived search structures the format READ
+    #: stashes between queries — see :meth:`SparseFormat.read`).  Never
+    #: serialized; dies with the payload, so the decoded-fragment cache
+    #: amortizes it exactly as long as the decode itself.
+    runtime: dict[str, Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
 
 def pack_fragment(

@@ -20,21 +20,32 @@ protocol, the manifest carries a monotonic ``generation`` and per-fragment
 CRCs, stale temp files are cleaned on open, and the read side degrades
 gracefully under the ``on_corruption`` policy (``"raise"`` / ``"skip"`` /
 ``"quarantine"``) with bounded retries for transient I/O errors.
+
+Read pipeline (see :mod:`repro.storage.readpath` and ``docs/READ_PATH.md``):
+``read_points`` / ``read_box`` accept ``parallel="thread"`` to fan the
+per-fragment load + decode + query out over a shared bounded thread pool
+(merge order and corruption semantics identical to the sequential path),
+and ``cache_bytes`` enables a bytes-bounded LRU of decoded fragments that
+is invalidated on every manifest generation change.  One store is safe
+under mixed concurrent read/write/compact traffic: mutations take the
+store's writer lock, reads share the reader side.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import threading
 import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.boundary import Box, extract_boundary
+from ..core.costmodel import OpCounter
 from ..core.dtypes import as_index_array, fits_index_dtype
 from ..core.errors import FragmentError, ManifestError, ShapeError
 from ..core.sorting import apply_map
@@ -64,6 +75,12 @@ from .fragment import (
     read_fragment_header,
     record_fragment_written,
     write_fragment,
+)
+from .readpath import (
+    FragmentCache,
+    RWLock,
+    map_fragments_ordered,
+    validate_parallel,
 )
 
 #: Read-side corruption policies (``FragmentStore(on_corruption=...)``).
@@ -102,6 +119,13 @@ class FragmentStore:
     the ``store.corrupt_fragments`` counter of :mod:`repro.obs` — degraded
     reads are observable, never silent.  ``retry`` wraps transient
     ``OSError`` s in bounded backoff (default: no retries).
+
+    ``cache_bytes`` (default 0 = off) bounds the decoded-fragment LRU
+    (:attr:`cache`, see :class:`~repro.storage.readpath.FragmentCache`)
+    that serves repeated reads without touching disk; it is invalidated on
+    every committed mutation.  ``read_points`` / ``read_box`` additionally
+    accept ``parallel="thread"`` + ``max_workers`` to fan the per-fragment
+    work out over the shared read pool.
     """
 
     def __init__(
@@ -115,6 +139,7 @@ class FragmentStore:
         codec: str = "raw",
         on_corruption: str = "raise",
         retry: RetryPolicy | None = None,
+        cache_bytes: int = 0,
     ):
         from .compression import validate_codec
 
@@ -132,6 +157,14 @@ class FragmentStore:
         self.codec = validate_codec(codec)
         self.on_corruption = on_corruption
         self.retry = retry
+        #: Decoded-fragment LRU (disabled when ``cache_bytes == 0``).
+        self.cache = FragmentCache(cache_bytes)
+        # Reader-writer lock (reads share, mutations exclude) plus a small
+        # reentrant lock guarding the fragment list + manifest commit —
+        # the latter so a quarantine during a degraded read (reader side
+        # held) can still commit the de-listing safely.
+        self._rw = RWLock()
+        self._state_lock = threading.RLock()
         #: Corrupt fragments encountered (skipped or quarantined) so far.
         self.corrupt_fragments = 0
         self._generation = 0
@@ -147,16 +180,17 @@ class FragmentStore:
 
     @property
     def fragments(self) -> tuple[FragmentInfo, ...]:
-        return tuple(self._fragments)
+        with self._state_lock:
+            return tuple(self._fragments)
 
     @property
     def nnz(self) -> int:
         """Total stored points across fragments (duplicates counted)."""
-        return sum(f.nnz for f in self._fragments)
+        return sum(f.nnz for f in self.fragments)
 
     @property
     def total_file_nbytes(self) -> int:
-        return sum(f.nbytes for f in self._fragments)
+        return sum(f.nbytes for f in self.fragments)
 
     def _manifest_path(self) -> Path:
         return self.directory / _MANIFEST
@@ -192,33 +226,38 @@ class FragmentStore:
         self._warn_on_orphans()
 
     def _save_manifest(self) -> None:
-        self._generation += 1
-        entries = {
-            "generation": self._generation,
-            "shape": list(self.shape),
-            "format": self.format_name,
-            "relative_coords": self.relative_coords,
-            "fragments": [
-                {
-                    "file": f.path.name,
-                    "format": f.format_name,
-                    "shape": list(f.shape),
-                    "nnz": f.nnz,
-                    "bbox_origin": list(f.bbox.origin),
-                    "bbox_size": list(f.bbox.size),
-                    "nbytes": f.nbytes,
-                    "crc": f.crc,
-                }
-                for f in self._fragments
-            ],
-        }
-        # The manifest is the commit point of every fragment; it always
-        # commits atomically, and fsync follows the store's setting.
-        write_bytes_atomic(
-            self._manifest_path(),
-            json.dumps(entries, indent=1).encode("utf-8"),
-            fsync=self.fsync,
-        )
+        with self._state_lock:
+            self._generation += 1
+            entries = {
+                "generation": self._generation,
+                "shape": list(self.shape),
+                "format": self.format_name,
+                "relative_coords": self.relative_coords,
+                "fragments": [
+                    {
+                        "file": f.path.name,
+                        "format": f.format_name,
+                        "shape": list(f.shape),
+                        "nnz": f.nnz,
+                        "bbox_origin": list(f.bbox.origin),
+                        "bbox_size": list(f.bbox.size),
+                        "nbytes": f.nbytes,
+                        "crc": f.crc,
+                    }
+                    for f in self._fragments
+                ],
+            }
+            # The manifest is the commit point of every fragment; it always
+            # commits atomically, and fsync follows the store's setting.
+            write_bytes_atomic(
+                self._manifest_path(),
+                json.dumps(entries, indent=1).encode("utf-8"),
+                fsync=self.fsync,
+            )
+        # Every committed mutation (write / compact / rescan / quarantine)
+        # bumps the generation, so invalidating here guarantees the cache
+        # can never serve a pre-mutation decode.
+        self.cache.invalidate()
 
     def _scan_next_seq(self) -> int:
         """First unused fragment sequence number (manifest ∪ disk).
@@ -268,27 +307,31 @@ class FragmentStore:
         store.  Skipped files are counted in ``store.rescan_skipped``; run
         ``repro fsck --repair`` to quarantine them properly.
         """
-        clean_temp_files(self.directory)
-        self._fragments = []
-        skipped = 0
-        for path in sorted(self.directory.glob("frag-*.bin")):
-            try:
-                info = read_fragment_header(path)
-            except FragmentError as exc:
-                skipped += 1
-                warnings.warn(
-                    f"rescan: skipping unreadable fragment {path.name}: {exc}",
-                    stacklevel=2,
-                )
-                continue
-            try:
-                info.crc = file_crc(path.read_bytes())
-            except OSError:
-                info.crc = None
-            self._fragments.append(info)
-        if skipped:
-            counter_add("store.rescan_skipped", skipped)
-        self._save_manifest()
+        with self._rw.write_locked():
+            clean_temp_files(self.directory)
+            fragments: list[FragmentInfo] = []
+            skipped = 0
+            for path in sorted(self.directory.glob("frag-*.bin")):
+                try:
+                    info = read_fragment_header(path)
+                except FragmentError as exc:
+                    skipped += 1
+                    warnings.warn(
+                        f"rescan: skipping unreadable fragment "
+                        f"{path.name}: {exc}",
+                        stacklevel=2,
+                    )
+                    continue
+                try:
+                    info.crc = file_crc(path.read_bytes())
+                except OSError:
+                    info.crc = None
+                fragments.append(info)
+            if skipped:
+                counter_add("store.rescan_skipped", skipped)
+            with self._state_lock:
+                self._fragments = fragments
+            self._save_manifest()
 
     # ------------------------------------------------------------------
     # WRITE (Algorithm 3)
@@ -305,6 +348,14 @@ class FragmentStore:
         organization's BUILD), *Reorg.* (value reorganization by ``map``),
         and *Write* (serialization + file write).
         """
+        with self._rw.write_locked():
+            return self._write_locked(coords, values)
+
+    def _write_locked(
+        self,
+        coords: np.ndarray,
+        values: np.ndarray,
+    ) -> WriteReceipt:
         coords = as_index_array(coords)
         values = np.asarray(values)
         if coords.ndim != 2 or coords.shape[1] != len(self.shape):
@@ -350,7 +401,8 @@ class FragmentStore:
         observe("store.build.seconds", t1 - t0, format=self.format_name)
         observe("store.reorg.seconds", t2 - t1, format=self.format_name)
         observe("store.write_io.seconds", t3 - t2, format=self.format_name)
-        self._fragments.append(info)
+        with self._state_lock:
+            self._fragments.append(info)
         self._save_manifest()
         return WriteReceipt(
             info=info,
@@ -395,26 +447,28 @@ class FragmentStore:
             executor=executor,
         )
         infos: list[FragmentInfo] = []
-        for item in packed:
-            path = self._next_fragment_path()
-            write_bytes_atomic(path, item.blob, fsync=self.fsync)
-            info = FragmentInfo(
-                path=path,
-                format_name=self.format_name,
-                shape=self.shape,
-                nnz=item.nnz,
-                bbox=Box(item.bbox_origin, item.bbox_size),
-                nbytes=len(item.blob),
-                crc=fragment_file_crc(item.blob),
-            )
-            record_fragment_written(
-                self.format_name,
-                item.index_nbytes + item.value_nbytes,
-                len(item.blob),
-            )
-            self._fragments.append(info)
-            infos.append(info)
-        self._save_manifest()
+        with self._rw.write_locked():
+            for item in packed:
+                path = self._next_fragment_path()
+                write_bytes_atomic(path, item.blob, fsync=self.fsync)
+                info = FragmentInfo(
+                    path=path,
+                    format_name=self.format_name,
+                    shape=self.shape,
+                    nnz=item.nnz,
+                    bbox=Box(item.bbox_origin, item.bbox_size),
+                    nbytes=len(item.blob),
+                    crc=fragment_file_crc(item.blob),
+                )
+                record_fragment_written(
+                    self.format_name,
+                    item.index_nbytes + item.value_nbytes,
+                    len(item.blob),
+                )
+                with self._state_lock:
+                    self._fragments.append(info)
+                infos.append(info)
+            self._save_manifest()
         return infos
 
     def write_tensor(self, tensor: SparseTensor) -> WriteReceipt:
@@ -432,7 +486,9 @@ class FragmentStore:
     def _overlapping(self, query_box: Box) -> list[FragmentInfo]:
         # Materialized (not a generator): corruption handling may remove
         # entries from ``self._fragments`` while the caller iterates.
-        return [f for f in self._fragments if f.bbox.intersects(query_box)]
+        with self._state_lock:
+            fragments = list(self._fragments)
+        return [f for f in fragments if f.bbox.intersects(query_box)]
 
     def _quarantine_fragment(self, frag: FragmentInfo, reason: str) -> None:
         """Move a corrupt fragment to ``.quarantine/`` and de-list it."""
@@ -442,8 +498,51 @@ class FragmentStore:
             # The file may already be gone (e.g. manifest references a
             # missing fragment); de-listing it is still the right repair.
             pass
-        self._fragments = [f for f in self._fragments if f is not frag]
-        self._save_manifest()
+        with self._state_lock:
+            self._fragments = [f for f in self._fragments if f is not frag]
+            self._save_manifest()
+
+    def _load_payload(self, frag: FragmentInfo, *, check_crc: bool = True):
+        """Load one fragment through the cache + retry policy (raising).
+
+        The decoded-fragment cache is consulted first; on a miss the file
+        is read (transient ``OSError`` s retried per :attr:`retry`) and the
+        decoded payload inserted.  Corruption (checksum/parse failures)
+        raises :class:`~repro.core.errors.FragmentError` — the *caller*
+        applies the ``on_corruption`` policy, so the sequential loop and
+        the parallel coordinator share one policy implementation.
+        """
+        payload = self.cache.get(frag.path.name)
+        if payload is not None:
+            return payload
+
+        def attempt():
+            return load_fragment(frag.path, check_crc=check_crc)
+
+        if self.retry is not None:
+            payload = self.retry.run(attempt, op="fragment.load")
+        else:
+            payload = attempt()
+        self.cache.put(frag.path.name, payload)
+        return payload
+
+    def _note_corruption(
+        self, frag: FragmentInfo, exc: FragmentError, *, will_raise: bool = False
+    ) -> None:
+        """Account one corrupt fragment and apply skip/quarantine handling."""
+        self.corrupt_fragments += 1
+        counter_add("store.corrupt_fragments", format=self.format_name)
+        if will_raise:
+            return
+        if self.on_corruption == "quarantine":
+            self._quarantine_fragment(frag, reason=str(exc))
+            action = "quarantined"
+        else:
+            action = "skipped"
+        warnings.warn(
+            f"corrupt fragment {frag.path.name} {action}: {exc}",
+            stacklevel=4,
+        )
 
     def _load_fragment_guarded(
         self, frag: FragmentInfo, *, check_crc: bool = True
@@ -455,29 +554,60 @@ class FragmentStore:
         ``OSError`` s retry per :attr:`retry`; checksum and parse failures
         never retry.
         """
-
-        def attempt():
-            return load_fragment(frag.path, check_crc=check_crc)
-
         try:
-            if self.retry is not None:
-                return self.retry.run(attempt, op="fragment.load")
-            return attempt()
+            return self._load_payload(frag, check_crc=check_crc)
         except FragmentError as exc:
-            self.corrupt_fragments += 1
-            counter_add("store.corrupt_fragments", format=self.format_name)
             if self.on_corruption == "raise":
+                self._note_corruption(frag, exc, will_raise=True)
                 raise
-            if self.on_corruption == "quarantine":
-                self._quarantine_fragment(frag, reason=str(exc))
-                action = "quarantined"
-            else:
-                action = "skipped"
-            warnings.warn(
-                f"corrupt fragment {frag.path.name} {action}: {exc}",
-                stacklevel=3,
-            )
+            self._note_corruption(frag, exc)
             return None
+
+    def _run_fragment_tasks(
+        self,
+        frags: list[FragmentInfo],
+        task: Callable[[FragmentInfo], object],
+        *,
+        parallel: str,
+        max_workers: int | None,
+    ) -> list[tuple[FragmentInfo, object]]:
+        """Run one read task per fragment; corruption policy applied in order.
+
+        Sequentially (``parallel="none"``) each task runs — and its
+        corruption is handled — as soon as it is reached, exactly the
+        pre-pipeline loop.  With ``parallel="thread"`` all tasks fan out
+        over the shared read pool and the results are *merged in fragment
+        order*, with the policy applied in that same order, so the outcome
+        (raise / skip / quarantine, counters, warnings) is identical to
+        the sequential path.  Skipped fragments yield ``None`` results.
+        """
+        out: list[tuple[FragmentInfo, object]] = []
+        if parallel != "thread" or len(frags) <= 1:
+            # Inline: a corrupt fragment is handled (or raises) the moment
+            # it is reached, before any later fragment is touched.
+            for frag in frags:
+                try:
+                    out.append((frag, task(frag)))
+                except FragmentError as exc:
+                    if self.on_corruption == "raise":
+                        self._note_corruption(frag, exc, will_raise=True)
+                        raise
+                    self._note_corruption(frag, exc)
+                    out.append((frag, None))
+            return out
+        results = map_fragments_ordered(frags, task, max_workers=max_workers)
+        for frag, (result, exc) in zip(frags, results):
+            if exc is None:
+                out.append((frag, result))
+                continue
+            if not isinstance(exc, FragmentError):
+                raise exc
+            if self.on_corruption == "raise":
+                self._note_corruption(frag, exc, will_raise=True)
+                raise exc
+            self._note_corruption(frag, exc)
+            out.append((frag, None))
+        return out
 
     def read_points(
         self,
@@ -485,6 +615,8 @@ class FragmentStore:
         *,
         faithful: bool = False,
         check_crc: bool = True,
+        parallel: str = "none",
+        max_workers: int | None = None,
     ) -> ReadOutcome:
         """Algorithm 3 READ for an explicit query coordinate buffer.
 
@@ -492,40 +624,63 @@ class FragmentStore:
         appended fragments).  Results come back aligned with the query
         buffer; the benchmark layer separately accounts the final
         sort-by-linear-address merge.
+
+        ``parallel="thread"`` fans the per-fragment load + decode + query
+        out over the shared read pool (``max_workers`` bounds this call's
+        fan-out); the merge stays in fragment order, so results — including
+        newest-wins duplicate handling and the ``on_corruption`` behavior —
+        are identical to the sequential path.
         """
+        validate_parallel(parallel)
         query = as_index_array(query_coords)
         if query.ndim != 2 or query.shape[1] != len(self.shape):
             raise ShapeError("query coords must be (q, d) matching the store")
         q = query.shape[0]
         found = np.zeros(q, dtype=bool)
         out_values: np.ndarray | None = None
-        visited = 0
         if q == 0:
             return ReadOutcome(found, np.empty(0), 0, 0)
-        with span("store.read_points", format=self.format_name) as sp:
-            qbox = extract_boundary(query)
-            for frag in self._overlapping(qbox):
-                visited += 1
-                payload = self._load_fragment_guarded(frag, check_crc=check_crc)
-                if payload is None:
-                    continue
-                mask = frag.bbox.contains_points(query)
-                if not mask.any():
-                    continue
-                sub = query[mask]
-                if payload.extra.get("relative"):
-                    origin = as_index_array(list(frag.bbox.origin))
-                    sub = sub - origin[np.newaxis, :]
-                res, vals = query_fragment(
-                    payload, sub, faithful=faithful, counter=sp.ops
+        use_threads = parallel == "thread"
+
+        def point_task(frag: FragmentInfo):
+            payload = self._load_payload(frag, check_crc=check_crc)
+            mask = frag.bbox.contains_points(query)
+            if not mask.any():
+                return None
+            sub = query[mask]
+            if payload.extra.get("relative"):
+                origin = as_index_array(list(frag.bbox.origin))
+                sub = sub - origin[np.newaxis, :]
+            # Worker threads charge a private counter, folded into the
+            # span's counter at merge time (OpCounter is lock-free).
+            ops = OpCounter() if use_threads else sp.ops
+            res, vals = query_fragment(
+                payload, sub, faithful=faithful, counter=ops
+            )
+            return mask, res, vals, ops
+
+        with self._rw.read_locked():
+            with span("store.read_points", format=self.format_name) as sp:
+                qbox = extract_boundary(query)
+                frags = self._overlapping(qbox)
+                visited = len(frags)
+                per_fragment = self._run_fragment_tasks(
+                    frags, point_task,
+                    parallel=parallel, max_workers=max_workers,
                 )
-                if out_values is None:
-                    out_values = np.zeros(q, dtype=payload.values.dtype)
-                idx = np.flatnonzero(mask)[res.found]
-                found[idx] = True
-                out_values[idx] = vals
-            matched = int(found.sum())
-            sp.add_nnz(matched)
+                for _frag, result in per_fragment:
+                    if result is None:
+                        continue
+                    mask, res, vals, ops = result
+                    if use_threads:
+                        sp.ops.absorb(ops)
+                    if out_values is None:
+                        out_values = np.zeros(q, dtype=vals.dtype)
+                    idx = np.flatnonzero(mask)[res.found]
+                    found[idx] = True
+                    out_values[idx] = vals
+                matched = int(found.sum())
+                sp.add_nnz(matched)
         self._record_pruning(visited)
         counter_add("store.points_queried", q)
         counter_add("store.points_matched", matched)
@@ -551,7 +706,7 @@ class FragmentStore:
 
     def decode_fragment(self, index: int) -> SparseTensor:
         """Reconstruct one fragment's full point set (global coordinates)."""
-        frag = self._fragments[index]
+        frag = self.fragments[index]
         payload = load_fragment(frag.path)
         return self._payload_to_tensor(frag, payload)
 
@@ -578,6 +733,10 @@ class FragmentStore:
         ``"quarantine"`` compact the surviving fragments (fragment order —
         and thus newest-wins semantics — is preserved among survivors).
         """
+        with self._rw.write_locked():
+            return self._compact_locked()
+
+    def _compact_locked(self) -> WriteReceipt:
         if not self._fragments:
             raise FragmentError("nothing to compact: store has no fragments")
         with span("store.compact", format=self.format_name) as sp:
@@ -604,7 +763,8 @@ class FragmentStore:
             # (so the name cannot collide), then drop and delete the old
             # fragments.  Quarantined fragments are already off the list.
             receipt = self.write(merged.coords, merged.values)
-            self._fragments = [receipt.info]
+            with self._state_lock:
+                self._fragments = [receipt.info]
             for frag in merged_from:
                 try:
                     frag.path.unlink()
@@ -621,13 +781,23 @@ class FragmentStore:
         Delegates to :func:`repro.storage.durability.fsck`; after a repair
         the in-memory fragment list is reloaded from the rebuilt manifest.
         """
-        report = _fsck(self.directory, repair=repair)
-        if repair:
-            self._load_manifest()
-            self._next_seq = self._scan_next_seq()
+        with self._rw.write_locked():
+            report = _fsck(self.directory, repair=repair)
+            if repair:
+                self._load_manifest()
+                self._next_seq = self._scan_next_seq()
+                self.cache.invalidate()
         return report
 
-    def read_box(self, box: Box, *, faithful: bool = False) -> SparseTensor:
+    def read_box(
+        self,
+        box: Box,
+        *,
+        faithful: bool = False,
+        check_crc: bool = True,
+        parallel: str = "none",
+        max_workers: int | None = None,
+    ) -> SparseTensor:
         """Read every stored point inside ``box``, merged and sorted by
         linear address (Algorithm 3 line 12).
 
@@ -640,35 +810,48 @@ class FragmentStore:
         address — same point set, overflow-safe ordering.
         ``faithful`` is accepted for signature compatibility with the
         benchmark paths; box reads are always structural.
+
+        ``parallel="thread"`` fans the per-fragment load + range read out
+        over the shared read pool; the merge order (and thus newest-wins
+        deduplication) is unchanged.
         """
         del faithful
+        validate_parallel(parallel)
+
+        def box_task(frag: FragmentInfo):
+            payload = self._load_payload(frag, check_crc=check_crc)
+            query_box = box
+            if payload.extra.get("relative"):
+                inter = box.intersection(frag.bbox)
+                if inter.is_empty():
+                    return None
+                origin = as_index_array(list(frag.bbox.origin))
+                query_box = Box(
+                    tuple(int(o) - int(g) for o, g in
+                          zip(inter.origin, frag.bbox.origin)),
+                    inter.size,
+                )
+                coords, positions = query_fragment_box(payload, query_box)
+                coords = coords + origin[np.newaxis, :]
+            else:
+                coords, positions = query_fragment_box(payload, query_box)
+            return coords, payload.values[positions]
+
         all_coords: list[np.ndarray] = []
         all_values: list[np.ndarray] = []
-        visited = 0
-        with span("store.read_box", format=self.format_name) as sp:
-            for frag in self._overlapping(box):
-                visited += 1
-                payload = self._load_fragment_guarded(frag)
-                if payload is None:
-                    continue
-                query_box = box
-                if payload.extra.get("relative"):
-                    inter = box.intersection(frag.bbox)
-                    if inter.is_empty():
+        with self._rw.read_locked():
+            with span("store.read_box", format=self.format_name) as sp:
+                frags = self._overlapping(box)
+                visited = len(frags)
+                for _frag, result in self._run_fragment_tasks(
+                    frags, box_task, parallel=parallel, max_workers=max_workers
+                ):
+                    if result is None:
                         continue
-                    origin = as_index_array(list(frag.bbox.origin))
-                    query_box = Box(
-                        tuple(int(o) - int(g) for o, g in
-                              zip(inter.origin, frag.bbox.origin)),
-                        inter.size,
-                    )
-                    coords, positions = query_fragment_box(payload, query_box)
-                    coords = coords + origin[np.newaxis, :]
-                else:
-                    coords, positions = query_fragment_box(payload, query_box)
-                all_coords.append(coords)
-                all_values.append(payload.values[positions])
-            sp.add_nnz(sum(c.shape[0] for c in all_coords))
+                    coords, values = result
+                    all_coords.append(coords)
+                    all_values.append(values)
+                sp.add_nnz(sum(c.shape[0] for c in all_coords))
         self._record_pruning(visited)
         if not all_coords:
             return SparseTensor.empty(self.shape)

@@ -1,0 +1,155 @@
+"""Seeded random-tensor generators for differential and stress testing.
+
+The property suites (``tests/property/test_differential.py``) drive their
+case generation through :mod:`hypothesis`, but the concurrency stress
+tests, the store-level differential fuzz loop, and the read benchmarks all
+need plain *seeded* generation — reproducible from one integer, usable
+outside a hypothesis context, and cheap enough to call thousands of times.
+This module is that generator, shipped in the package (like
+:mod:`repro.testing.faults`) so downstream users can fuzz their own
+deployments against the same oracle.
+
+Everything takes an explicit :class:`numpy.random.Generator`; the caller
+owns the seed, so a failing case is reproducible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.boundary import Box
+from ..core.tensor import SparseTensor
+
+#: Value dtypes the differential suites sweep over.
+VALUE_DTYPES = ("float64", "float32", "int64")
+
+
+def random_shape(
+    rng: np.random.Generator,
+    *,
+    min_dims: int = 1,
+    max_dims: int = 5,
+    max_side: int = 8,
+) -> tuple[int, ...]:
+    """A random tensor shape with 1..5 dimensions (paper's d range)."""
+    d = int(rng.integers(min_dims, max_dims + 1))
+    return tuple(int(rng.integers(1, max_side + 1)) for _ in range(d))
+
+
+def random_sparse_tensor(
+    rng: np.random.Generator,
+    shape: Sequence[int] | None = None,
+    *,
+    max_points: int = 64,
+    dtype: str | None = None,
+    allow_duplicates: bool = True,
+    max_side: int = 8,
+) -> SparseTensor:
+    """A random sparse tensor, possibly empty, possibly with duplicates.
+
+    Duplicate coordinates are generated on purpose (unless
+    ``allow_duplicates=False``): deduplication with newest-wins semantics
+    is part of the read pipeline under test.  ``dtype`` picks the value
+    dtype (default: seeded choice from :data:`VALUE_DTYPES`).
+    """
+    if shape is None:
+        shape = random_shape(rng, max_side=max_side)
+    shape = tuple(int(m) for m in shape)
+    n = int(rng.integers(0, max_points + 1))
+    coords = np.column_stack([
+        rng.integers(0, m, size=n, dtype=np.uint64) for m in shape
+    ]) if n else np.empty((0, len(shape)), dtype=np.uint64)
+    if n and not allow_duplicates:
+        # Keep first occurrence of each coordinate (order preserved).
+        _, first = np.unique(coords, axis=0, return_index=True)
+        coords = coords[np.sort(first)]
+        n = coords.shape[0]
+    if dtype is None:
+        dtype = VALUE_DTYPES[int(rng.integers(0, len(VALUE_DTYPES)))]
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        values = rng.integers(-1000, 1000, size=n).astype(dtype)
+    else:
+        values = (rng.standard_normal(n) * 100).astype(dtype)
+    return SparseTensor(shape, coords, values)
+
+
+def random_queries(
+    rng: np.random.Generator,
+    tensor: SparseTensor,
+    *,
+    n_absent: int = 16,
+    shuffle: bool = True,
+) -> np.ndarray:
+    """A ``(q, d)`` query buffer mixing stored points with random cells.
+
+    Every stored coordinate appears at least once; the absent extras may
+    accidentally hit stored cells — the oracle decides, not the generator.
+    """
+    absent = np.column_stack([
+        rng.integers(0, m, size=n_absent, dtype=np.uint64)
+        for m in tensor.shape
+    ]) if n_absent else np.empty((0, tensor.ndim), dtype=np.uint64)
+    queries = np.vstack([tensor.coords, absent])
+    if shuffle and queries.shape[0] > 1:
+        queries = queries[rng.permutation(queries.shape[0])]
+    return queries
+
+
+def random_box(rng: np.random.Generator, shape: Sequence[int]) -> Box:
+    """A random axis-aligned query box inside ``shape`` (never empty)."""
+    origin = tuple(int(rng.integers(0, m)) for m in shape)
+    size = tuple(
+        int(rng.integers(1, m - o + 1)) for o, m in zip(origin, shape)
+    )
+    return Box(origin, size)
+
+
+def oracle_read_points(
+    tensor: SparseTensor, queries: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Brute-force COO oracle for ``read_points``.
+
+    A plain dictionary lookup per query — no linearization, no sorting, no
+    format machinery — so a mismatch against it indicts the format, not
+    the oracle.  ``tensor`` must already carry the expected duplicate
+    semantics (dedupe with ``keep="last"`` before calling).  Returns
+    ``(found_mask, values_of_found_in_query_order)``.
+    """
+    table = {
+        tuple(int(x) for x in c): v
+        for c, v in zip(tensor.coords, tensor.values)
+    }
+    found = np.zeros(queries.shape[0], dtype=bool)
+    values = []
+    for i, q in enumerate(queries):
+        key = tuple(int(x) for x in q)
+        if key in table:
+            found[i] = True
+            values.append(table[key])
+    return found, np.asarray(values, dtype=tensor.values.dtype)
+
+
+def oracle_read_box(tensor: SparseTensor, box: Box) -> SparseTensor:
+    """Brute-force oracle for ``read_box``: filter + address sort."""
+    from ..core.dtypes import fits_index_dtype
+
+    mask = box.contains_points(tensor.coords)
+    inside = SparseTensor(
+        tensor.shape, tensor.coords[mask], tensor.values[mask]
+    )
+    if fits_index_dtype(tensor.shape):
+        return inside.sorted_by_linear()
+    return inside.sorted_lexicographic()
+
+
+__all__ = [
+    "VALUE_DTYPES",
+    "oracle_read_box",
+    "oracle_read_points",
+    "random_box",
+    "random_queries",
+    "random_shape",
+    "random_sparse_tensor",
+]

@@ -1,0 +1,238 @@
+"""Property-based differential harness: every format vs a brute-force oracle.
+
+The round-trip suite (``test_roundtrip.py``) checks each format against
+*itself* — store then retrieve.  This suite checks each format against an
+independent implementation: a plain Python dictionary (for point reads)
+and a mask-filter-sort (for box reads), both deliberately free of
+linearization, format machinery, and sorting tricks.  A disagreement
+indicts the format, not the oracle.
+
+Coverage axes, per the paper's input contract (§II-A):
+
+* shapes from 1-D through 5-D with small sides,
+* duplicate coordinates in the raw buffer (resolved newest-wins before
+  encoding, matching the store's overlay semantics),
+* empty tensors,
+* float64 / float32 / int64 value dtypes,
+* all five paper formats (COO, LINEAR, GCSR++, GCSC++, CSF) plus the
+  HiCOO extension,
+* ``read_points`` over mixed present/absent queries, and ``read_box``
+  over random axis-aligned windows.
+
+Every case is seeded and reproducible: hypothesis runs derandomized, and
+the store-level fuzz class derives everything from an explicit seed.
+With 6 formats x ~90 examples (x2 read kinds) plus the store-level
+sweeps, one run covers well over 500 differential cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Box, SparseTensor
+from repro.formats import PAPER_FORMATS, get_format
+from repro.storage import FragmentStore
+from repro.testing import (
+    VALUE_DTYPES,
+    oracle_read_box,
+    oracle_read_points,
+    random_box,
+    random_queries,
+    random_sparse_tensor,
+)
+
+#: Everything the differential harness sweeps: the paper's five formats
+#: plus the HiCOO extension (ISSUE scope).
+DIFF_FORMATS = tuple(PAPER_FORMATS) + ("HICOO",)
+
+
+@st.composite
+def raw_cases(draw):
+    """A (tensor, queries, box) differential case.
+
+    The raw coordinate list may contain duplicates; the tensor under test
+    is the newest-wins deduplication of it, mirroring what a store's
+    overlay merge would produce.
+    """
+    d = draw(st.integers(min_value=1, max_value=5))
+    shape = tuple(
+        draw(st.integers(min_value=1, max_value=6)) for _ in range(d)
+    )
+    n = draw(st.integers(min_value=0, max_value=40))
+    coord = st.tuples(*(st.integers(0, m - 1) for m in shape))
+    coords = draw(st.lists(coord, min_size=n, max_size=n))
+    dtype = draw(st.sampled_from(VALUE_DTYPES))
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        elem = st.integers(min_value=-10**6, max_value=10**6)
+    else:
+        elem = st.floats(min_value=-1e6, max_value=1e6,
+                         allow_nan=False, allow_infinity=False)
+    values = draw(st.lists(elem, min_size=n, max_size=n))
+    raw = SparseTensor(
+        shape,
+        np.asarray(coords, dtype=np.uint64).reshape(n, d),
+        np.asarray(values, dtype=dtype),
+    )
+    tensor = raw.deduplicated(keep="last")
+
+    n_extra = draw(st.integers(min_value=0, max_value=8))
+    extra = draw(st.lists(coord, min_size=n_extra, max_size=n_extra))
+    queries = np.vstack([
+        tensor.coords,
+        np.asarray(extra, dtype=np.uint64).reshape(n_extra, d),
+    ])
+
+    origin = tuple(draw(st.integers(0, m - 1)) for m in shape)
+    size = tuple(
+        draw(st.integers(1, m - o)) for o, m in zip(origin, shape)
+    )
+    return tensor, queries, Box(origin, size)
+
+
+def assert_points_match(outcome, tensor, queries, label):
+    want_found, want_values = oracle_read_points(tensor, queries)
+    np.testing.assert_array_equal(
+        outcome.found, want_found,
+        err_msg=f"{label}: found mask diverges from oracle",
+    )
+    assert outcome.values.shape[0] == want_values.shape[0], label
+    np.testing.assert_array_equal(
+        outcome.values, want_values.astype(outcome.values.dtype),
+        err_msg=f"{label}: values diverge from oracle",
+    )
+    assert outcome.points_matched == int(want_found.sum()), label
+
+
+def assert_box_match(got, tensor, box, label):
+    want = oracle_read_box(tensor, box)
+    assert got.shape == want.shape, label
+    np.testing.assert_array_equal(
+        got.coords, want.coords,
+        err_msg=f"{label}: box coords diverge from oracle",
+    )
+    np.testing.assert_array_equal(
+        got.values, want.values.astype(got.values.dtype),
+        err_msg=f"{label}: box values diverge from oracle",
+    )
+
+
+class TestFormatDifferential:
+    """Each encoded format must agree with the brute-force oracle."""
+
+    @pytest.mark.parametrize("fmt_name", DIFF_FORMATS)
+    @settings(max_examples=90, deadline=None, derandomize=True)
+    @given(case=raw_cases())
+    def test_read_points_matches_oracle(self, fmt_name, case):
+        tensor, queries, _ = case
+        enc = get_format(fmt_name).encode(tensor)
+        assert_points_match(
+            enc.read_points(queries), tensor, queries, fmt_name
+        )
+
+    @pytest.mark.parametrize("fmt_name", DIFF_FORMATS)
+    @settings(max_examples=90, deadline=None, derandomize=True)
+    @given(case=raw_cases())
+    def test_read_box_matches_oracle(self, fmt_name, case):
+        tensor, _, box = case
+        enc = get_format(fmt_name).encode(tensor)
+        assert_box_match(enc.read_box(box), tensor, box, fmt_name)
+
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    @given(case=raw_cases())
+    def test_formats_agree_with_each_other(self, case):
+        """All formats return bit-identical outcomes for the same case."""
+        tensor, queries, box = case
+        outcomes = []
+        for name in DIFF_FORMATS:
+            enc = get_format(name).encode(tensor)
+            out = enc.read_points(queries)
+            got_box = enc.read_box(box)
+            outcomes.append((name, out, got_box))
+        ref_name, ref_out, ref_box = outcomes[0]
+        for name, out, got_box in outcomes[1:]:
+            np.testing.assert_array_equal(
+                out.found, ref_out.found,
+                err_msg=f"{name} vs {ref_name}: found mask",
+            )
+            np.testing.assert_array_equal(
+                out.values, ref_out.values,
+                err_msg=f"{name} vs {ref_name}: values",
+            )
+            np.testing.assert_array_equal(
+                got_box.coords, ref_box.coords,
+                err_msg=f"{name} vs {ref_name}: box coords",
+            )
+
+
+class TestStoreDifferential:
+    """Multi-fragment stores vs the oracle, sequential and parallel alike.
+
+    The oracle for a store is the newest-wins overlay of every tensor
+    written, in write order — exactly the duplicate semantics the raw-case
+    strategy models for single encodings.
+    """
+
+    SEEDS = range(20)
+
+    @staticmethod
+    def build_store(tmp_path, seed, fmt_name, **store_kw):
+        rng = np.random.default_rng(seed)
+        tensor = random_sparse_tensor(rng, max_points=48, max_side=6)
+        store = FragmentStore(
+            tmp_path / f"ds{seed}", tensor.shape, fmt_name, **store_kw
+        )
+        written = []
+        for _ in range(int(rng.integers(1, 5))):
+            chunk = random_sparse_tensor(
+                rng, tensor.shape, max_points=32, dtype=str(tensor.values.dtype)
+            )
+            if chunk.nnz:
+                chunk = chunk.deduplicated(keep="last")
+                store.write(chunk.coords, chunk.values)
+                written.append(chunk)
+        if not written:
+            base = SparseTensor.from_points(
+                tensor.shape, [(0,) * len(tensor.shape)], [1.0]
+            )
+            store.write(base.coords, base.values)
+            written.append(base)
+        overlay = SparseTensor(
+            tensor.shape,
+            np.vstack([t.coords for t in written]),
+            np.concatenate([t.values for t in written]),
+        ).deduplicated(keep="last")
+        return store, overlay, rng
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("parallel", ["none", "thread"])
+    def test_store_matches_oracle(self, tmp_path, seed, parallel):
+        fmt_name = PAPER_FORMATS[seed % len(PAPER_FORMATS)]
+        store, overlay, rng = self.build_store(
+            tmp_path, seed, fmt_name, cache_bytes=1 << 20
+        )
+        queries = random_queries(rng, overlay)
+        out = store.read_points(queries, parallel=parallel)
+        assert_points_match(
+            out, overlay, queries, f"{fmt_name}/seed={seed}/{parallel}"
+        )
+        box = random_box(rng, overlay.shape)
+        assert_box_match(
+            store.read_box(box, parallel=parallel),
+            overlay, box, f"{fmt_name}/seed={seed}/{parallel}",
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_warm_cache_reads_identical(self, tmp_path, seed):
+        """Cold-cache and warm-cache reads return bit-identical results."""
+        store, overlay, rng = self.build_store(
+            tmp_path, seed, "LINEAR", cache_bytes=1 << 20
+        )
+        queries = random_queries(rng, overlay)
+        cold = store.read_points(queries)
+        warm = store.read_points(queries, parallel="thread")
+        np.testing.assert_array_equal(cold.found, warm.found)
+        np.testing.assert_array_equal(cold.values, warm.values)
+        assert store.cache.hits > 0 or store.cache.misses == 0

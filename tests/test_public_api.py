@@ -43,7 +43,7 @@ EXPECTED_PUBLIC_API = sorted([
     "write_matrix_market", "write_tns",
     "fold_to_scipy", "from_scipy", "to_scipy",
     "AdaptiveStore", "StreamingWriter", "convert_store",
-    "BlockedDataset", "FragmentStore",
+    "BlockedDataset", "FragmentCache", "FragmentStore",
     "FsckReport", "RetryPolicy", "fsck",
     "__version__",
 ])
@@ -91,6 +91,45 @@ class TestExports:
 
         assert repro.Readable is Readable
         assert repro.ReadOutcome is ReadOutcome
+
+
+class TestStoreReadTuningSurface:
+    """Every storage-backed Readable shares one keyword-only tuning surface.
+
+    ``repro.readapi.STORE_READ_TUNING`` is the checked-in snapshot; a PR
+    that renames or drops one of these parameters on any store's
+    ``read_points``/``read_box`` must update the snapshot deliberately
+    (and with it ``docs/READ_PATH.md``).
+    """
+
+    def test_snapshot_value(self):
+        from repro.readapi import STORE_READ_TUNING
+
+        assert STORE_READ_TUNING == (
+            "faithful", "check_crc", "parallel", "max_workers",
+        )
+
+    @pytest.mark.parametrize("cls_name", [
+        "FragmentStore", "AdaptiveStore", "BlockedDataset",
+    ])
+    @pytest.mark.parametrize("method", ["read_points", "read_box"])
+    def test_stores_accept_tuning_keywords(self, cls_name, method):
+        from repro.readapi import STORE_READ_TUNING
+
+        sig = inspect.signature(getattr(getattr(repro, cls_name), method))
+        for name in STORE_READ_TUNING:
+            param = sig.parameters.get(name)
+            assert param is not None, f"{cls_name}.{method} lacks {name}"
+            assert param.kind is inspect.Parameter.KEYWORD_ONLY, (
+                f"{cls_name}.{method}({name}) must be keyword-only"
+            )
+
+    def test_stores_are_readable(self):
+        for cls_name in ("FragmentStore", "AdaptiveStore", "BlockedDataset"):
+            cls = getattr(repro, cls_name)
+            assert issubclass(cls, repro.Readable) or all(
+                hasattr(cls, m) for m in ("read_points", "read_box")
+            )
 
 
 class TestDocstrings:

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Coverage gate: enforce the floor in pyproject.toml when tooling exists.
+
+Runs the tier-1 suite under ``pytest --cov`` and fails if line coverage
+drops below ``tool.coverage.report.fail_under``.  The gate degrades
+gracefully: environments without ``pytest-cov`` (it is an optional extra,
+``pip install -e .[coverage]``) get a clear SKIPPED message and exit code
+0, so the base test image never needs the extra.
+
+Usage::
+
+    python tools/check_coverage.py [extra pytest args...]
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+def main(argv: list[str]) -> int:
+    if not (have("pytest_cov") and have("coverage")):
+        print(
+            "coverage gate SKIPPED: pytest-cov/coverage not installed "
+            "(pip install -e .[coverage] to enable)"
+        )
+        return 0
+    # fail_under comes from [tool.coverage.report] in pyproject.toml;
+    # --cov-fail-under is therefore not repeated here.
+    cmd = [
+        sys.executable, "-m", "pytest",
+        "--cov=repro", "--cov-report=term", *argv,
+    ]
+    print("coverage gate:", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
