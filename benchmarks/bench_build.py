@@ -1,0 +1,198 @@
+"""Microbench: build-once-encode-many + merge-based compaction speedups.
+
+Two PR-facing claims of the unified build pipeline, each asserted here
+and (at a laxer floor) in the tier-1 smoke ``tests/bench/test_build.py``:
+
+* **encode_all** — encoding one unsorted buffer into the five
+  address-sharing formats through :func:`repro.build.encode_all` is at
+  least ``MIN_ENCODE_SPEEDUP``x faster than five independent
+  ``fmt.encode(t)`` calls, because the canonical intermediate pays
+  linearize + the stable address sort + the sorted-coordinate gather
+  once instead of per format.  Payloads are bit-identical either way
+  (``tests/build/test_pipeline.py``, ``tests/property/test_differential.py``).
+
+* **merge compaction** — ``FragmentStore.compact(strategy="merge")`` on
+  a multi-fragment COO-SORTED store beats ``strategy="decode"`` (the
+  seed behavior: decode every fragment to coordinates, concatenate,
+  re-deduplicate, re-encode) by at least ``MIN_COMPACT_SPEEDUP``x.  The
+  merge path k-way-merges the fragments' already-sorted address runs
+  and never materializes a full tensor; both strategies produce
+  byte-identical fragment files (``tests/storage/test_compact.py``).
+
+Runs standalone (``python benchmarks/bench_build.py``) and in the tier-1
+suite via the smoke test.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.build import encode_all
+from repro.formats import get_format
+from repro.patterns import make_pattern
+from repro.storage import FragmentStore
+
+#: Standalone-run floor for encode_all vs independent encodes (~1.7x here).
+MIN_ENCODE_SPEEDUP = 1.5
+#: Tier-1 smoke floor (same measurement, laxer to absorb CI jitter).
+MIN_ENCODE_SPEEDUP_SMOKE = 1.2
+
+#: Standalone-run floor for merge vs decode-rebuild compaction (~1.4x here).
+MIN_COMPACT_SPEEDUP = 1.15
+#: Tier-1 smoke floor: merge compaction must at least not be slower.
+MIN_COMPACT_SPEEDUP_SMOKE = 1.0
+
+#: The five formats whose BUILDs share the canonical address sort.
+FORMATS = ("LINEAR", "COO-SORTED", "GCSR++", "GCSC++", "CSF")
+
+SHAPE = (512, 512, 512)
+
+
+def make_tensor(nnz: int = 1_000_000, seed: int = 7):
+    """A GSP tensor at the paper's 512^3 extent with ~``nnz`` points."""
+    threshold = 1 - nnz / np.prod([float(m) for m in SHAPE])
+    return make_pattern("GSP", SHAPE, threshold=threshold).generate(seed)
+
+
+def bench_encode_all(
+    nnz: int = 1_000_000, repeats: int = 5
+) -> dict[str, float]:
+    """Independent per-format encodes vs one shared-prerequisite pass.
+
+    Returns ``{"independent": s, "shared": s, "speedup": ind/shared,
+    "nnz": n}``.  Both variants encode the identical tensor into the
+    identical format set; obs is disabled during timing and restored
+    afterwards; the reported times are best-of-``repeats``.
+    """
+    was_enabled = obs.is_enabled()
+    try:
+        obs.disable()
+        t = make_tensor(nnz)
+        formats = [get_format(f) for f in FORMATS]
+
+        def run_independent() -> float:
+            t0 = time.perf_counter()
+            for fmt in formats:
+                fmt.encode(t)
+            return time.perf_counter() - t0
+
+        def run_shared() -> float:
+            t0 = time.perf_counter()
+            encode_all(t, formats=FORMATS)
+            return time.perf_counter() - t0
+
+        independent = min(run_independent() for _ in range(repeats))
+        shared = min(run_shared() for _ in range(repeats))
+        return {
+            "independent": independent,
+            "shared": shared,
+            "speedup": independent / shared if shared else float("inf"),
+            "nnz": float(t.nnz),
+        }
+    finally:
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+
+
+def bench_merge_compaction(
+    nnz: int = 1_000_000,
+    n_fragments: int = 8,
+    repeats: int = 3,
+    fmt: str = "COO-SORTED",
+) -> dict[str, float]:
+    """Merge compaction vs decode-rebuild on a multi-fragment store.
+
+    Writes one tensor as ``n_fragments`` chunks, then compacts fresh
+    copies of the store under each strategy (best-of-``repeats``).
+    Returns ``{"merge": s, "decode": s, "speedup": decode/merge,
+    "fragments": k}``.
+    """
+    tmp = Path(tempfile.mkdtemp(prefix="bench-build-"))
+    was_enabled = obs.is_enabled()
+    try:
+        obs.disable()
+        t = make_tensor(nnz)
+        base = tmp / "base"
+        store = FragmentStore(base, SHAPE, fmt)
+        chunk = t.nnz // n_fragments
+        for i in range(n_fragments):
+            lo, hi = i * chunk, (i + 1) * chunk
+            store.write(t.coords[lo:hi], t.values[lo:hi])
+
+        def run(strategy: str, trial: int) -> float:
+            d = tmp / f"{strategy}-{trial}"
+            shutil.copytree(base, d)
+            s = FragmentStore(d, SHAPE, fmt)
+            t0 = time.perf_counter()
+            s.compact(strategy=strategy)
+            elapsed = time.perf_counter() - t0
+            shutil.rmtree(d, ignore_errors=True)
+            return elapsed
+
+        merge = min(run("merge", i) for i in range(repeats))
+        decode = min(run("decode", i) for i in range(repeats))
+        return {
+            "merge": merge,
+            "decode": decode,
+            "speedup": decode / merge if merge else float("inf"),
+            "fragments": float(n_fragments),
+        }
+    finally:
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def assert_encode_speedup_ok(
+    result: dict[str, float], min_speedup: float = MIN_ENCODE_SPEEDUP
+) -> None:
+    assert result["speedup"] >= min_speedup, (
+        f"encode_all not fast enough: independent={result['independent']:.3f}s "
+        f"shared={result['shared']:.3f}s speedup={result['speedup']:.2f}x "
+        f"(floor {min_speedup}x over {FORMATS})"
+    )
+
+
+def assert_compact_speedup_ok(
+    result: dict[str, float], min_speedup: float = MIN_COMPACT_SPEEDUP
+) -> None:
+    assert result["speedup"] >= min_speedup, (
+        f"merge compaction not fast enough: merge={result['merge']:.3f}s "
+        f"decode={result['decode']:.3f}s speedup={result['speedup']:.2f}x "
+        f"(floor {min_speedup}x, {int(result['fragments'])} fragments)"
+    )
+
+
+def test_encode_all_speedup():
+    """Collected when pytest is pointed at benchmarks/ explicitly."""
+    assert_encode_speedup_ok(bench_encode_all())
+
+
+def test_merge_compaction_speedup():
+    """Collected when pytest is pointed at benchmarks/ explicitly."""
+    assert_compact_speedup_ok(bench_merge_compaction())
+
+
+if __name__ == "__main__":
+    e = bench_encode_all()
+    print(f"encode_all over {len(FORMATS)} formats, {int(e['nnz'])} nnz: "
+          f"independent={e['independent']:.3f}s shared={e['shared']:.3f}s "
+          f"speedup={e['speedup']:.2f}x")
+    assert_encode_speedup_ok(e)
+    print(f"OK (>= {MIN_ENCODE_SPEEDUP}x build-once-encode-many speedup)")
+    c = bench_merge_compaction()
+    print(f"compact {int(c['fragments'])}-fragment COO-SORTED store: "
+          f"merge={c['merge']:.3f}s decode={c['decode']:.3f}s "
+          f"speedup={c['speedup']:.2f}x")
+    assert_compact_speedup_ok(c)
+    print(f"OK (>= {MIN_COMPACT_SPEEDUP}x merge-compaction speedup)")

@@ -32,6 +32,12 @@ from . import obs
 from .algebra import inner, mttkrp, mttkrp_encoded, ttv
 from .analysis import Workload, recommend
 from .bench import run_experiment, run_sweep
+from .build import (
+    DUPLICATE_POLICY,
+    CanonicalCoords,
+    encode_all,
+    merge_sorted_runs,
+)
 from .core import (
     Box,
     IndexOverflowError,
@@ -85,6 +91,10 @@ __all__ = [
     "recommend",
     "run_experiment",
     "run_sweep",
+    "CanonicalCoords",
+    "DUPLICATE_POLICY",
+    "encode_all",
+    "merge_sorted_runs",
     "Box",
     "IndexOverflowError",
     "OpCounter",

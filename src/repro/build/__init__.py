@@ -1,0 +1,30 @@
+"""repro.build — the staged write-side pipeline (canonical intermediate).
+
+Public surface:
+
+:class:`CanonicalCoords`
+    One input buffer's canonical form — linear addresses, stable sort
+    permutation, duplicate-run boundaries, per-dimension extents — each
+    lazy and cached, shared by every format BUILD.
+:func:`encode_all`
+    Build-once-encode-many: encode one tensor into N formats paying for
+    linearize + sort once.
+:data:`DUPLICATE_POLICY`
+    The codebase-wide duplicate-coordinate rule (last write wins).
+:func:`merge_sorted_runs`
+    Newest-wins k-way merge of sorted fragment runs (the engine behind
+    merge-based compaction and payload-to-payload conversion).
+"""
+
+from .canonical import DUPLICATE_POLICY, CanonicalCoords
+from .merge import MergedPoints, SortedRun, merge_sorted_runs
+from .pipeline import encode_all
+
+__all__ = [
+    "CanonicalCoords",
+    "DUPLICATE_POLICY",
+    "MergedPoints",
+    "SortedRun",
+    "encode_all",
+    "merge_sorted_runs",
+]

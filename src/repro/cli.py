@@ -20,7 +20,9 @@
     round-trip — against an existing store or a synthetic demo — and print
     every recorded counter, gauge, and latency histogram, plus a
     decoded-fragment cache section (``--cache-bytes`` sets the budget,
-    ``--parallel thread`` fans the reads out over the read pool).
+    ``--parallel thread`` fans the reads out over the read pool, and
+    ``--build`` adds a unified-build-pipeline section showing the
+    canonical-intermediate counters).
 ``fsck``
     Verify a fragment store: every fragment's header and CRC checked
     against the manifest, drift reported (missing/extra/corrupt/stale
@@ -169,6 +171,37 @@ def _render_cache_section(cache) -> str:
     return "\n".join(lines)
 
 
+def _render_build_section() -> str:
+    """The ``repro stats --build`` section: canonical-pipeline counters."""
+    from . import obs
+
+    counters = {
+        c["name"]: c["value"]
+        for c in obs.snapshot()["counters"]
+        if c["name"].startswith("build.")
+    }
+    lines = ["build pipeline (canonical coordinate intermediate)"]
+    if not counters:
+        lines.append("  no build.* activity recorded")
+        return "\n".join(lines)
+    lines.append(
+        f"  linearize passes {counters.get('build.canonical.linearize', 0)}  "
+        f"address sorts {counters.get('build.canonical.sorts', 0)}  "
+        f"reuses {counters.get('build.canonical.reuse', 0)}"
+    )
+    lines.append(
+        f"  delinearize passes "
+        f"{counters.get('build.canonical.delinearize', 0)}  "
+        f"dedup-run scans {counters.get('build.canonical.dedup_runs', 0)}"
+    )
+    lines.append(
+        f"  encode_all calls {counters.get('build.encode_all.calls', 0)}  "
+        f"merged runs {counters.get('build.merge.runs', 0)}  "
+        f"merged points {counters.get('build.merge.points', 0)}"
+    )
+    return "\n".join(lines)
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
     import tempfile
@@ -233,6 +266,27 @@ def cmd_stats(args: argparse.Namespace) -> int:
         title = (f"repro observability — demo round-trip "
                  f"({args.format}, 2 fragments, {n} points each)")
 
+    if args.build:
+        # Exercise the shared-intermediate write pipeline so the
+        # build.canonical.* counters show up: one encode_all over the
+        # paper formats plus one merge-based compaction.
+        from .build import encode_all
+        from .core.tensor import SparseTensor
+
+        bshape = (32, 32, 32)
+        nb = max(16, args.points)
+        bcoords = rng.integers(0, 32, size=(nb, 3)).astype(np.uint64)
+        tensor = SparseTensor(
+            bshape, bcoords, rng.random(nb)
+        ).deduplicated(keep="last")
+        encode_all(tensor)
+        with tempfile.TemporaryDirectory() as tmp:
+            bstore = FragmentStore(tmp, bshape, "LINEAR")
+            half = max(1, tensor.nnz // 2)
+            bstore.write(tensor.coords[:half], tensor.values[:half])
+            bstore.write(tensor.coords[half:], tensor.values[half:])
+            bstore.compact(strategy="merge")
+
     if args.json:
         payload = json.loads(obs.to_json())
         payload["cache"] = cache.stats()
@@ -241,6 +295,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(obs.render_table(title=title))
         print()
         print(_render_cache_section(cache))
+        if args.build:
+            print()
+            print(_render_build_section())
     return 0
 
 
@@ -319,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "second round shows up as hits)")
     p.add_argument("--parallel", default="none", choices=["none", "thread"],
                    help="read-side fan-out mode for the exercised reads")
+    p.add_argument("--build", action="store_true",
+                   help="also exercise the unified build pipeline "
+                        "(encode_all + merge compaction) and print the "
+                        "build.canonical.* counter section")
     p.add_argument("--json", action="store_true",
                    help="emit the metrics snapshot as JSON")
     p.set_defaults(func=cmd_stats)

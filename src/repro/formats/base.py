@@ -25,18 +25,28 @@ from __future__ import annotations
 import abc
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Mapping, MutableMapping, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ClassVar,
+    Mapping,
+    MutableMapping,
+    Sequence,
+)
 
 import numpy as np
 
 from ..core.costmodel import NULL_COUNTER, OpCounter
-from ..core.dtypes import INDEX_DTYPE, as_index_array
+from ..core.dtypes import as_index_array
 from ..core.errors import FormatError, ShapeError
 from ..core.linearize import linearize
 from ..core.sorting import apply_map, stable_argsort
 from ..core.tensor import SparseTensor
 from ..obs import span
 from ..readapi import ReadOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..build.canonical import CanonicalCoords
 
 #: Deprecation shims warn once per process; tests reset this set to
 #: re-arm the warning deterministically.
@@ -122,6 +132,56 @@ class SparseFormat(abc.ABC):
     ) -> BuildResult:
         """Package an unsorted coordinate buffer into this organization."""
 
+    def build_canonical(
+        self,
+        canon: "CanonicalCoords",
+        *,
+        counter: OpCounter = NULL_COUNTER,
+    ) -> BuildResult:
+        """BUILD over the shared canonical intermediate.
+
+        Formats whose BUILD needs the linear addresses or the stable
+        address sort override this to read them from the (lazily cached)
+        :class:`~repro.build.canonical.CanonicalCoords` instead of
+        recomputing — that is what makes ``encode_all`` pay for
+        linearize + sort once across formats.  The produced payload MUST
+        be bit-identical to :meth:`build` on ``canon.coords``, and the
+        ``counter`` charges must be identical too: Table-III accounting
+        describes the algorithm, not the cache it happened to hit.
+
+        The default recomputes via :meth:`build` (correct for formats
+        with no shared prerequisites, e.g. COO's verbatim adopt).
+        """
+        return self.build(canon.coords, canon.shape, counter=counter)
+
+    def extract_addresses(
+        self,
+        payload: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        shape: Sequence[int],
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """The payload's points as a *sorted* linear-address run.
+
+        Returns ``(sorted_addresses, order)`` where ``order`` gathers the
+        stored value buffer into address order (``values[order]`` aligns
+        with ``sorted_addresses``); ``order is None`` means the payload
+        is already address-sorted (identity).  Equal addresses keep
+        stored order, so downstream newest-wins merges see duplicates in
+        write order.  This is the payload-to-canonical direction of the
+        build pipeline: merge-based compaction and payload-to-payload
+        conversion consume it without materializing a
+        :class:`SparseTensor`.
+
+        The default decodes coordinates and sorts; formats that store
+        addresses (LINEAR) or an address-sorted layout (COO-SORTED,
+        identity-permutation CSF) override it to skip the decode and/or
+        the sort.
+        """
+        coords = self.decode(payload, meta, shape)
+        addresses = linearize(coords, shape, validate=False)
+        order = stable_argsort(addresses)
+        return addresses[order], order
+
     # -- read ----------------------------------------------------------
 
     @abc.abstractmethod
@@ -204,18 +264,53 @@ class SparseFormat(abc.ABC):
 
     def encode(self, tensor: SparseTensor) -> "EncodedTensor":
         """Convenience: build + reorganize values (Algorithm 3 lines 4–5)."""
+        from ..build.canonical import CanonicalCoords
+
+        canon = CanonicalCoords.from_coords(tensor.coords, tensor.shape)
+        return self.encode_canonical(canon, tensor.values)
+
+    def encode_canonical(
+        self,
+        canon: "CanonicalCoords",
+        values: np.ndarray,
+        *,
+        counter: OpCounter = NULL_COUNTER,
+        gather_cache: dict | None = None,
+    ) -> "EncodedTensor":
+        """Encode from a shared canonical intermediate (build pipeline).
+
+        Same output as :meth:`encode`; prerequisites already cached on
+        ``canon`` (addresses, sort order) are reused instead of
+        recomputed.  ``counter`` receives the format's own BUILD charges.
+
+        ``gather_cache`` (used by ``encode_all``) memoizes the value
+        gather across formats that share the same permutation object —
+        LINEAR, COO-SORTED, and identity-permutation CSF all reorder by
+        the one cached address sort, so the gather happens once.  Entries
+        keep the permutation array alive, so identity keys cannot be
+        recycled.
+        """
+        values = np.asarray(values)
         with span("format.encode", format=self.name) as sp:
-            result = self.build(tensor.coords, tensor.shape)
-            values = apply_map(tensor.values, result.perm)
-            sp.add_nnz(tensor.nnz)
-            sp.add_bytes_out(result.index_nbytes() + int(values.nbytes))
+            result = self.build_canonical(canon, counter=counter)
+            if gather_cache is not None and result.perm is not None:
+                hit = gather_cache.get(id(result.perm))
+                if hit is None:
+                    out_values = apply_map(values, result.perm)
+                    gather_cache[id(result.perm)] = (result.perm, out_values)
+                else:
+                    out_values = hit[1]
+            else:
+                out_values = apply_map(values, result.perm)
+            sp.add_nnz(canon.n)
+            sp.add_bytes_out(result.index_nbytes() + int(out_values.nbytes))
         return EncodedTensor(
             fmt=self,
-            shape=tensor.shape,
-            nnz=tensor.nnz,
+            shape=canon.shape,
+            nnz=canon.n,
             payload=result.payload,
             meta=result.meta,
-            values=values,
+            values=out_values,
         )
 
     def validate_query(
@@ -298,6 +393,41 @@ class EncodedTensor:
             sp.add_nnz(self.nnz)
         return SparseTensor(self.shape, coords, self.values)
 
+    def convert(self, fmt) -> "EncodedTensor":
+        """Re-encode this payload in another organization.
+
+        Goes payload -> canonical -> payload: the source format emits its
+        points as a sorted linear-address run
+        (:meth:`SparseFormat.extract_addresses`), the target builds from
+        that :class:`~repro.build.canonical.CanonicalCoords` — no
+        :class:`SparseTensor` is materialized, the sort is never repaid
+        (the run is already ordered), and address-only targets (LINEAR)
+        never even delinearize.  Points come back in canonical (linear
+        -address) order; duplicates are preserved, resolving to the same
+        newest-wins winner on read.  Shapes beyond the uint64 address
+        space fall back to a decode-based conversion.
+        """
+        from ..build.canonical import CanonicalCoords
+        from ..core.dtypes import fits_index_dtype
+        from .registry import resolve_format
+
+        fmt = resolve_format(fmt)
+        with span("format.convert", format=fmt.name) as sp:
+            if fits_index_dtype(self.shape):
+                addresses, order = self.fmt.extract_addresses(
+                    self.payload, self.meta, self.shape
+                )
+                canon = CanonicalCoords.from_addresses(
+                    addresses, self.shape, is_sorted=True
+                )
+                values = self.values if order is None else self.values[order]
+            else:
+                coords = self.fmt.decode(self.payload, self.meta, self.shape)
+                canon = CanonicalCoords.from_coords(coords, self.shape)
+                values = self.values
+            sp.add_nnz(self.nnz)
+        return fmt.encode_canonical(canon, values)
+
     def read_box(self, box) -> SparseTensor:
         """All stored points inside ``box``, sorted by linear address.
 
@@ -364,9 +494,13 @@ def match_addresses(
     argsort of ``stored`` is computed once per payload and reused, so
     repeated reads against a cached fragment drop to O(q log n).
 
-    When ``stored`` contains duplicates, the match reports the first
-    occurrence in sorted-address order (formats themselves assume
-    deduplicated inputs; see :meth:`SparseTensor.deduplicated`).
+    When ``stored`` contains duplicates, the match reports the *last*
+    occurrence in input order — the stable sort keeps equal addresses in
+    input order, and the rightmost entry of the run is the newest write.
+    This is the codebase-wide duplicate rule
+    (:data:`repro.build.canonical.DUPLICATE_POLICY`), matching
+    :meth:`SparseTensor.deduplicated(keep="last")` and the fragment
+    store's overwrite semantics.
     """
     stored = as_index_array(stored)
     query = as_index_array(query)
@@ -383,11 +517,11 @@ def match_addresses(
             memo[memo_key] = (order, sorted_stored)
     else:
         order, sorted_stored = entry
-    pos = np.searchsorted(sorted_stored, query)
-    pos_clip = np.minimum(pos, sorted_stored.shape[0] - 1)
-    found = sorted_stored[pos_clip] == query
-    found &= pos < sorted_stored.shape[0]
-    return found, order[pos_clip[found]]
+    pos = np.searchsorted(sorted_stored, query, side="right")
+    found = pos > 0
+    pos_idx = np.maximum(pos - 1, 0)
+    found &= sorted_stored[pos_idx] == query
+    return found, order[pos_idx[found]]
 
 
 def scan_addresses_faithful(
@@ -401,7 +535,8 @@ def scan_addresses_faithful(
 
     Each query walks the entire stored buffer (vectorized within the pass,
     one Python-level iteration per query), exactly the COO/LINEAR read cost
-    of Table I.
+    of Table I.  Duplicate addresses resolve to the last stored occurrence
+    (newest write — the :data:`~repro.build.canonical.DUPLICATE_POLICY`).
     """
     stored = as_index_array(stored)
     query = as_index_array(query)
@@ -414,7 +549,7 @@ def scan_addresses_faithful(
         hits = np.flatnonzero(stored == query[i])
         if hits.size:
             found[i] = True
-            positions[i] = hits[0]
+            positions[i] = hits[-1]
     return found, positions[found]
 
 
@@ -450,7 +585,7 @@ def scan_coords_faithful(
             cand = cand[stored_coords[cand, dim] == query_coords[i, dim]]
         if cand.size:
             found[i] = True
-            positions[i] = cand[0]
+            positions[i] = cand[-1]
     return found, positions[found]
 
 

@@ -58,6 +58,28 @@ class SortedCOOFormat(SparseFormat):
             meta={"sorted_by": "linear"},
         )
 
+    def build_canonical(self, canon, *, counter=NULL_COUNTER) -> BuildResult:
+        # Charges identical to build; the address sort is read from the
+        # shared canonical intermediate instead of recomputed.
+        counter.charge_transforms(canon.n * max(1, canon.d),
+                                  note="COO-SORTED.build transform")
+        counter.charge_sort(canon.n, note="COO-SORTED.build sort")
+        # sort_perm derives from canon.addresses, so non-linearizable
+        # shapes raise IndexOverflowError exactly as build does.  The
+        # payload is the shared sorted-coordinate artifact — one gather
+        # per input buffer however many formats consume it.
+        perm = canon.sort_perm
+        return BuildResult(
+            payload={"coords": canon.sorted_coords},
+            perm=perm,
+            meta={"sorted_by": "linear"},
+        )
+
+    def extract_addresses(self, payload, meta, shape):
+        # Stored order is address order already: a free sorted run.
+        require_buffers(payload, ["coords"], self.name)
+        return linearize(payload["coords"], shape, validate=False), None
+
     def decode(
         self,
         payload: Mapping[str, np.ndarray],
@@ -88,11 +110,15 @@ class SortedCOOFormat(SparseFormat):
             return empty_read(query.shape[0])
         stored_addr = self._query_addresses(payload, shape)
         query_addr = linearize(query, shape, validate=False)
-        pos = np.searchsorted(stored_addr, query_addr)
-        pos_clip = np.minimum(pos, stored_addr.shape[0] - 1)
-        found = (pos < stored_addr.shape[0]) & (stored_addr[pos_clip] == query_addr)
+        # side="right" - 1: the last entry of an equal-address run is the
+        # newest write (stable build sort keeps input order), per the
+        # central duplicate policy.
+        pos = np.searchsorted(stored_addr, query_addr, side="right")
+        found = pos > 0
+        pos_idx = np.maximum(pos - 1, 0)
+        found &= stored_addr[pos_idx] == query_addr
         return ReadResult(
-            found=found, value_positions=pos_clip[found].astype(np.intp)
+            found=found, value_positions=pos_idx[found].astype(np.intp)
         )
 
     def read_faithful(

@@ -113,13 +113,54 @@ class CSFFormat(SparseFormat):
         pcoords = coords[:, dim_perm]
         counter.charge_sort(n, note="CSF.build lexsort")
         perm = lexsort_rows(pcoords)
-        sc = pcoords[perm]
         # Tree construction: one pass per dimension (the n*d term of the
         # build complexity).
         counter.charge_transforms(n * d, note="CSF.build tree")
+        payload = self._assemble_tree(pcoords[perm])
+        return BuildResult(payload=payload, perm=perm, meta=meta)
 
-        # Cumulative prefix-change detection: diff_acc[k] is True when point
-        # k differs from point k-1 in any of dimensions 0..i.
+    def build_canonical(self, canon, *, counter=NULL_COUNTER) -> BuildResult:
+        """BUILD over the canonical intermediate.
+
+        The lexicographic point order in the (size-sorted) dimension
+        permutation comes from
+        :meth:`CanonicalCoords.ordering_for_dims` — for the identity
+        permutation that is exactly the cached address sort, so the
+        expensive lexsort disappears while the tree assembly and the
+        payload stay bit-identical.  Charges match :meth:`build`.
+        """
+        d = canon.d
+        dim_perm, sorted_shape = sort_dimensions(
+            canon.shape, order=self.dim_order
+        )
+        if canon.n == 0:
+            return self.build(canon.coords, canon.shape, counter=counter)
+        meta: dict[str, Any] = {
+            "dim_perm": [int(p) for p in dim_perm],
+            "sorted_shape": [int(m) for m in sorted_shape],
+        }
+        counter.charge_sort(canon.n, note="CSF.build lexsort")
+        perm = canon.ordering_for_dims(dim_perm, sorted_shape)
+        counter.charge_transforms(canon.n * d, note="CSF.build tree")
+        if list(dim_perm) == list(range(d)) and canon.linearizable:
+            # Identity permutation: the lexicographic tree input is the
+            # shared sorted-coordinate artifact (one gather per buffer).
+            sc = canon.sorted_coords
+        else:
+            sc = canon.coords[:, dim_perm][perm]
+        payload = self._assemble_tree(sc)
+        return BuildResult(payload=payload, perm=perm, meta=meta)
+
+    @staticmethod
+    def _assemble_tree(sc: np.ndarray) -> dict[str, np.ndarray]:
+        """Package lexicographically sorted (permuted) coordinates.
+
+        ``sc`` must be ``(n, d)`` sorted lexicographically with dimension
+        0 most significant.  Uses cumulative prefix-change detection:
+        ``diff_acc[k]`` is True when point k differs from point k-1 in
+        any of dimensions 0..i.
+        """
+        n, d = sc.shape
         payload: dict[str, np.ndarray] = {}
         nfibs = np.zeros(d, dtype=POINTER_DTYPE)
         level_starts: list[np.ndarray] = []
@@ -150,7 +191,24 @@ class CSFFormat(SparseFormat):
             fptr[:-1] = np.searchsorted(level_starts[i + 1], level_starts[i])
             fptr[-1] = nfibs[i + 1]
             payload[f"fptr_{i}"] = fptr
-        return BuildResult(payload=payload, perm=perm, meta=meta)
+        return payload
+
+    def extract_addresses(self, payload, meta, shape):
+        """Sorted address run; free of sorting for the identity permutation.
+
+        With the identity ``dim_perm`` the stored (decode) order is the
+        natural lexicographic order, which *is* ascending linear-address
+        order — the run only needs one linearize pass.  Other
+        permutations fall back to the generic decode-and-sort.
+        """
+        d = len(shape)
+        dim_perm = [int(p) for p in meta.get("dim_perm", range(d))]
+        if dim_perm != list(range(d)):
+            return super().extract_addresses(payload, meta, shape)
+        from ..core.linearize import linearize
+
+        coords = self.decode(payload, meta, shape)
+        return linearize(coords, shape, validate=False), None
 
     # ------------------------------------------------------------------
     # Payload access
@@ -399,9 +457,17 @@ class CSFFormat(SparseFormat):
                 )
                 composite = parents * k + level_fids
                 qkey = node[active].astype(np.uint64) * k + qp[active, i]
-            pos = np.searchsorted(composite, qkey)
-            pos_clip = np.minimum(pos, composite.shape[0] - 1)
-            hit = (pos < composite.shape[0]) & (composite[pos_clip] == qkey)
+            if i == d - 1:
+                # Leaf level keeps one node per stored point, so duplicate
+                # coordinate tuples appear as equal composite keys; the
+                # last one is the newest write (DUPLICATE_POLICY).
+                pos = np.searchsorted(composite, qkey, side="right") - 1
+                pos_clip = np.maximum(pos, 0)
+                hit = (pos >= 0) & (composite[pos_clip] == qkey)
+            else:
+                pos = np.searchsorted(composite, qkey)
+                pos_clip = np.minimum(pos, composite.shape[0] - 1)
+                hit = (pos < composite.shape[0]) & (composite[pos_clip] == qkey)
             found[active[~hit]] = False
             active = active[hit]
             node = np.zeros(q, dtype=np.int64) if i == 0 else node
@@ -435,10 +501,17 @@ class CSFFormat(SparseFormat):
             for i in range(d):
                 seg = fids[i][lo:hi]
                 comparisons += max(1, int(np.ceil(np.log2(seg.shape[0] + 1))))
-                pos = int(np.searchsorted(seg, qp[j, i]))
-                if pos >= seg.shape[0] or seg[pos] != qp[j, i]:
-                    ok = False
-                    break
+                if i == d - 1:
+                    # Leaf duplicates: take the last (newest) occurrence.
+                    pos = int(np.searchsorted(seg, qp[j, i], side="right")) - 1
+                    if pos < 0 or seg[pos] != qp[j, i]:
+                        ok = False
+                        break
+                else:
+                    pos = int(np.searchsorted(seg, qp[j, i]))
+                    if pos >= seg.shape[0] or seg[pos] != qp[j, i]:
+                        ok = False
+                        break
                 fi = lo + pos
                 if i < d - 1:
                     pointer_loads += 2

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.costmodel import NULL_COUNTER, OpCounter
-from ..core.dtypes import INDEX_DTYPE, POINTER_DTYPE, as_index_array
+from ..core.dtypes import INDEX_DTYPE, as_index_array
 from ..core.errors import FormatError
 from ..core.sorting import counts_to_pointer, stable_argsort
 
@@ -88,7 +88,16 @@ def csr_pack(
         raise FormatError("coordinate vectors must be aligned")
     n = compressed_coord.shape[0]
     counter.charge_sort(n, note="csr_pack sort")
-    perm = stable_argsort(compressed_coord)
+    sort_key = compressed_coord
+    if n_compressed <= np.iinfo(np.uint16).max:
+        # The compressed coordinate is bounded by the folded min-dimension
+        # size, which is almost always tiny; NumPy's stable argsort runs
+        # radix (linear) on <=16-bit keys but comparison-based timsort on
+        # wider ones.  Out-of-range inputs still raise below (the range
+        # check reads the original array), and a stable sort over the
+        # same key order returns the identical permutation.
+        sort_key = compressed_coord.astype(np.uint16, copy=False)
+    perm = stable_argsort(sort_key)
     sorted_comp = compressed_coord[perm]
     sorted_other = other_coord[perm]
     counter.charge_memory(n, note="csr_pack package")
@@ -148,7 +157,9 @@ def csr_query_scan(
         hits = np.flatnonzero(indices[lo:hi] == q_other[i])
         if hits.size:
             found[i] = True
-            positions[i] = lo + int(hits[0])
+            # Segments keep input order, so the last hit is the newest
+            # write (DUPLICATE_POLICY).
+            positions[i] = lo + int(hits[-1])
     counter.charge_comparisons(total_scanned, note="csr_query segment scan")
     return found, positions[found]
 
@@ -163,7 +174,7 @@ def csr_query_vectorized(
 
     Builds a flattened candidate index via ``repeat``/``cumsum`` so that all
     segments are compared in a single NumPy pass, then reduces per query
-    with ``minimum.reduceat``.
+    with ``maximum.reduceat`` (last match = newest write).
     """
     q_compressed = as_index_array(q_compressed)
     q_other = as_index_array(q_other)
@@ -185,14 +196,16 @@ def csr_query_vectorized(
     flat = np.repeat(lo - starts, lens) + np.arange(total, dtype=np.int64)
     owner_target = np.repeat(q_other, lens)
     match = matrix.indices[flat] == owner_target
-    # First matching flat offset per query segment (total+1 sentinel = miss).
-    match_pos = np.where(match, flat, np.int64(matrix.nnz))
+    # Last matching flat offset per query segment (-1 sentinel = miss):
+    # segments keep input order, so the greatest offset is the newest
+    # write (DUPLICATE_POLICY).
+    match_pos = np.where(match, flat, np.int64(-1))
     nonempty = lens > 0
-    seg_first = np.minimum.reduceat(match_pos, starts[nonempty])
-    hit = seg_first < matrix.nnz
+    seg_last = np.maximum.reduceat(match_pos, starts[nonempty])
+    hit = seg_last >= 0
     idx_nonempty = np.flatnonzero(nonempty)
     found[idx_nonempty[hit]] = True
-    return found, seg_first[hit].astype(np.intp)
+    return found, seg_last[hit].astype(np.intp)
 
 
 def csr_to_dense(matrix: CSRMatrix) -> np.ndarray:

@@ -23,6 +23,7 @@ from ..core.costmodel import NULL_COUNTER, OpCounter
 from ..core.dtypes import as_index_array
 from ..core.errors import FormatError
 from ..core.linearize import fold_coords_2d, fold_shape_2d
+from ..core.sorting import stable_argsort
 from .base import BuildResult, ReadResult, SparseFormat, empty_read, require_buffers
 from .csr2d import CSRMatrix, csr_pack, csr_query_scan, csr_query_vectorized
 
@@ -110,6 +111,15 @@ class GCSRFormat(SparseFormat):
         comp, other, shape2d = self._fold(
             coords, shape, counter, note=f"{self.name}.build fold"
         )
+        return self._pack(comp, other, shape2d, counter)
+
+    def _pack(
+        self,
+        comp: np.ndarray,
+        other: np.ndarray,
+        shape2d: tuple[int, int],
+        counter: OpCounter,
+    ) -> BuildResult:
         matrix, perm = csr_pack(
             comp, other, self._n_compressed(shape2d), counter=counter
         )
@@ -121,6 +131,53 @@ class GCSRFormat(SparseFormat):
             perm=perm,
             meta={"shape2d": list(shape2d)},
         )
+
+    def build_canonical(self, canon, *, counter=NULL_COUNTER) -> BuildResult:
+        """Fold through the cached linear addresses (Algorithm 1 lines 8–9).
+
+        The fold preserves the global row-major address —
+        ``linearize(coords2d, shape2d) == linearize(coords, shape)`` —
+        so one divmod of the canonical addresses by the folded column
+        count reproduces the fold bit-identically without re-linearizing
+        (and without materializing the intermediate ``(n, 2)`` buffer a
+        full delinearize would).  The per-row stable sort stays the
+        format's own: its tie order (input order within a row) differs
+        from the full address order, so it cannot be taken from the
+        canonical sort.
+        """
+        shape2d = fold_shape_2d(canon.shape, min_dim_as=self._min_dim_as)
+        if canon.n == 0:
+            return self.build(canon.coords, canon.shape, counter=counter)
+        counter.charge_transforms(canon.n, note=f"{self.name}.build fold")
+        rows, cols = np.divmod(canon.addresses, np.uint64(shape2d[1]))
+        if self._min_dim_as == "rows":
+            comp, other = rows, cols
+        else:
+            comp, other = cols, rows
+        return self._pack(comp, other, shape2d, counter)
+
+    def extract_addresses(self, payload, meta, shape):
+        """Global addresses straight from the CSR structure (no unfold).
+
+        Since the fold preserves the global row-major address, it is
+        recovered as ``row * n_cols + col`` over the folded 2D shape —
+        no per-dimension delinearize/linearize round trip.  For GCSR++
+        the structure is row-sorted, so the remaining argsort runs on
+        nearly-sorted keys (timsort-fast).
+        """
+        matrix = self._matrix_from_payload(payload, meta)
+        shape2d = tuple(int(v) for v in meta["shape2d"])
+        counts = np.diff(matrix.indptr.astype(np.int64))
+        compressed = np.repeat(
+            np.arange(matrix.n_compressed, dtype=np.uint64), counts
+        )
+        n_cols = np.uint64(shape2d[1])
+        if self._min_dim_as == "rows":
+            addresses = compressed * n_cols + matrix.indices
+        else:
+            addresses = matrix.indices * n_cols + compressed
+        order = stable_argsort(addresses)
+        return addresses[order], order
 
     def decode(
         self,

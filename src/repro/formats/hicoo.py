@@ -33,7 +33,7 @@ from ..core.costmodel import NULL_COUNTER, OpCounter
 from ..core.dtypes import INDEX_DTYPE, as_index_array
 from ..core.errors import FormatError
 from ..core.linearize import linearize
-from ..core.sorting import counts_to_pointer, segment_boundaries, stable_argsort
+from ..core.sorting import segment_boundaries, stable_argsort
 from .base import BuildResult, ReadResult, SparseFormat, empty_read, require_buffers
 
 
@@ -163,7 +163,9 @@ class HiCOOFormat(SparseFormat):
             hits = np.flatnonzero(np.all(seg == qelem_cast[j], axis=1))
             if hits.size:
                 found[j] = True
-                positions[j] = lo + int(hits[0])
+                # Segments keep input order within a block, so the last
+                # hit is the newest write (DUPLICATE_POLICY).
+                positions[j] = lo + int(hits[-1])
         return ReadResult(found=found, value_positions=positions[found])
 
     def read_faithful(

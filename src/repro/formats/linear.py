@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.costmodel import NULL_COUNTER, OpCounter
 from ..core.linearize import linearize
+from ..core.sorting import stable_argsort
 from .base import (
     BuildResult,
     ReadResult,
@@ -49,6 +50,24 @@ class LinearFormat(SparseFormat):
             coords, shape, counter, note="LINEAR.build transform"
         )
         return BuildResult(payload={"addresses": addresses}, perm=None, meta={})
+
+    def build_canonical(self, canon, *, counter=NULL_COUNTER) -> BuildResult:
+        # Same charges as build (Table I counts the transform regardless
+        # of whether the pipeline cached it); the addresses come from the
+        # shared canonical intermediate.
+        counter.charge_transforms(
+            canon.n * max(1, canon.d), note="LINEAR.build transform"
+        )
+        return BuildResult(
+            payload={"addresses": canon.addresses}, perm=None, meta={}
+        )
+
+    def extract_addresses(self, payload, meta, shape):
+        # The payload *is* the address vector: no decode, no linearize.
+        require_buffers(payload, ["addresses"], self.name)
+        stored = payload["addresses"]
+        order = stable_argsort(stored)
+        return stored[order], order
 
     def read(
         self,

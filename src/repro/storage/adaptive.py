@@ -48,7 +48,7 @@ class AdaptiveStore(FragmentStore):
         candidates: Sequence[str | SparseFormat] = PAPER_FORMATS,
         relative_coords: bool = False,
         fsync: bool = False,
-        codec: str = "raw",
+        codec: str | None = None,
         on_corruption: str = "raise",
         retry: RetryPolicy | None = None,
         cache_bytes: int = 0,
@@ -72,30 +72,53 @@ class AdaptiveStore(FragmentStore):
         #: Format chosen for each fragment, in write order.
         self.choices: list[str] = []
 
-    def write(self, coords: np.ndarray, values: np.ndarray) -> WriteReceipt:
-        coords = as_index_array(coords)
-        values = np.asarray(values)
+    def _pick_format(self, coords: np.ndarray, values: np.ndarray) -> str:
+        """Advisor pick for one fragment's point set."""
         if coords.shape[0]:
-            stats = characterize(
-                SparseTensor(self.shape, coords, values)
-            )
-            pick = recommend(
+            stats = characterize(SparseTensor(self.shape, coords, values))
+            return recommend(
                 stats, self.workload, formats=self.candidates
             ).best
-        else:
-            pick = self.candidates[0]
-        # The pick mutates the store's current format; hold the writer
-        # lock (reentrant) so concurrent adaptive writes cannot interleave
-        # between the format switch and the fragment build.
+        return self.candidates[0]
+
+    def _write_picked(self, pick: str, commit) -> WriteReceipt:
+        """Switch the store's format to ``pick`` and run ``commit``.
+
+        The pick mutates the store's current format; hold the writer lock
+        (reentrant) so concurrent adaptive writes cannot interleave
+        between the format switch and the fragment build.
+        """
         with self._rw.write_locked():
             self.format_name = pick
             self.fmt = get_format(pick)
             self.choices.append(pick)
             counter_add("adaptive.decisions", format=pick)
-            receipt = super().write(coords, values)
+            receipt = commit()
         for name, count in self.format_histogram().items():
             gauge_set("adaptive.fragments", count, format=name)
         return receipt
+
+    def write(self, coords: np.ndarray, values: np.ndarray) -> WriteReceipt:
+        coords = as_index_array(coords)
+        values = np.asarray(values)
+        pick = self._pick_format(coords, values)
+        return self._write_picked(pick, lambda: super(AdaptiveStore, self).write(coords, values))
+
+    def write_canonical(self, canon, values, *, bbox=None) -> WriteReceipt:
+        """Canonical-path write with the same per-fragment advisor pick.
+
+        Merge-based compaction and store conversion land here, so a
+        compacted or converted adaptive store re-characterizes the merged
+        point set rather than inheriting the last fragment's pick.
+        """
+        values = np.asarray(values)
+        pick = self._pick_format(canon.coords, values)
+        return self._write_picked(
+            pick,
+            lambda: super(AdaptiveStore, self).write_canonical(
+                canon, values, bbox=bbox
+            ),
+        )
 
     def format_histogram(self) -> dict[str, int]:
         """How often each organization was chosen (for reporting)."""

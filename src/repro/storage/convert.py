@@ -1,10 +1,17 @@
 """Store conversion: re-encode a dataset in a different organization.
 
-The decode paths (inverse transforms) make conversion lossless and purely
-mechanical: each fragment is decoded to its coordinate form and rebuilt in
-the target organization, preserving fragment boundaries (and therefore
-overwrite ordering).  Together with the advisor this closes the loop the
-paper's conclusion sketches — characterize, pick, and *migrate*.
+Conversion is lossless and purely mechanical, and since the unified build
+pipeline it never materializes a :class:`~repro.core.tensor.SparseTensor`:
+each fragment goes payload → canonical intermediate
+(:meth:`~repro.storage.store.FragmentStore.fragment_canonical`, built on
+the organization's ``extract_addresses``) → target payload
+(:meth:`~repro.storage.store.FragmentStore.write_canonical`), preserving
+fragment boundaries and therefore overwrite ordering.  Converted fragments
+are stored in canonical (ascending linear-address) order with the newest
+write last within duplicate runs — the point→value mapping, including
+newest-wins duplicate resolution, is unchanged.  Together with the advisor
+this closes the loop the paper's conclusion sketches — characterize, pick,
+and *migrate*.
 """
 
 from __future__ import annotations
@@ -53,8 +60,8 @@ def convert_store(
             f"destination {destination_dir} already contains fragments"
         )
     for i in range(len(source.fragments)):
-        tensor = source.decode_fragment(i)
-        dest.write(tensor.coords, tensor.values)
+        canon, values = source.fragment_canonical(i)
+        dest.write_canonical(canon, values)
     if compact and dest.fragments:
         dest.compact()
     return dest

@@ -94,6 +94,7 @@ def write_fragment(
     encoded: EncodedTensor,
     *,
     coords_for_bbox: np.ndarray | None = None,
+    bbox: Box | None = None,
     extra: dict[str, Any] | None = None,
     fsync: bool = False,
     codec: str = "raw",
@@ -108,6 +109,11 @@ def write_fragment(
         Original coordinate buffer, used to record the fragment's tight
         bounding box for READ-side overlap pruning.  When omitted the whole
         tensor shape is recorded as the box.
+    bbox:
+        Precomputed tight bounding box; takes precedence over
+        ``coords_for_bbox``.  The merge-based compaction path passes the
+        union of the source fragments' boxes here so the box stays tight
+        without materializing any coordinate buffer.
     extra:
         Arbitrary JSON-able annotations (the block layer stores its grid
         position here).
@@ -117,10 +123,11 @@ def write_fragment(
         (DESIGN.md §4).
     """
     path = Path(path)
-    if coords_for_bbox is not None and coords_for_bbox.shape[0] > 0:
-        bbox = extract_boundary(coords_for_bbox)
-    else:
-        bbox = Box(tuple(0 for _ in encoded.shape), encoded.shape)
+    if bbox is None:
+        if coords_for_bbox is not None and coords_for_bbox.shape[0] > 0:
+            bbox = extract_boundary(coords_for_bbox)
+        else:
+            bbox = Box(tuple(0 for _ in encoded.shape), encoded.shape)
     with span("fragment.write", format=encoded.fmt.name) as sp:
         blob = pack_fragment(
             encoded.fmt.name,
@@ -191,6 +198,9 @@ def fragment_to_tensor(payload: FragmentPayload) -> "SparseTensor":
     """
     from ..core.tensor import SparseTensor
 
+    # Full-tensor decodes are the expense merge-based compaction avoids;
+    # counting them here lets tests assert the merge path stays decode-free.
+    counter_add("store.full_tensor_decodes", format=payload.format_name)
     fmt = get_format(payload.format_name)
     coords = fmt.decode(payload.buffers, payload.meta, payload.shape)
     return SparseTensor(payload.shape, coords, np.asarray(payload.values))

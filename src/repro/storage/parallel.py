@@ -34,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..build.canonical import CanonicalCoords
 from ..core.boundary import Box, extract_boundary
 from ..core.dtypes import as_index_array
 from ..core.errors import ShapeError, WorkerError
@@ -84,7 +85,10 @@ def pack_part(
         else:
             build_coords = coords
             build_shape = tuple(shape)
-        result = fmt.build(build_coords, build_shape)
+        # Same canonical pipeline as the sequential write path, so worker
+        # builds are bit-identical to FragmentStore.write.
+        canon = CanonicalCoords.from_coords(build_coords, build_shape)
+        result = fmt.build_canonical(canon)
         stored_values = apply_map(values, result.perm)
         blob = pack_fragment(
             fmt.name,

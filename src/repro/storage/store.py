@@ -44,14 +44,17 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..build.canonical import CanonicalCoords
+from ..build.merge import SortedRun, merge_sorted_runs
 from ..core.boundary import Box, extract_boundary
 from ..core.costmodel import OpCounter
 from ..core.dtypes import as_index_array, fits_index_dtype
 from ..core.errors import FragmentError, ManifestError, ShapeError
+from ..core.linearize import delinearize, linearize
 from ..core.sorting import apply_map
 from ..core.tensor import SparseTensor
 from ..formats.base import EncodedTensor, SparseFormat
-from ..formats.registry import resolve_format
+from ..formats.registry import get_format, resolve_format
 from ..obs import counter_add, observe, span
 from ..readapi import ReadOutcome
 from .durability import (
@@ -136,7 +139,7 @@ class FragmentStore:
         *,
         relative_coords: bool = False,
         fsync: bool = False,
-        codec: str = "raw",
+        codec: str | None = None,
         on_corruption: str = "raise",
         retry: RetryPolicy | None = None,
         cache_bytes: int = 0,
@@ -154,6 +157,11 @@ class FragmentStore:
         self.format_name = self.fmt.name
         self.relative_coords = bool(relative_coords)
         self.fsync = bool(fsync)
+        # ``codec=None`` adopts the codec recorded in an existing manifest
+        # (so reopening a store — and then compacting it — keeps writing
+        # with the codec it was created with); fresh stores default to raw.
+        if codec is None:
+            codec = self._peek_manifest_codec(self.directory) or "raw"
         self.codec = validate_codec(codec)
         self.on_corruption = on_corruption
         self.retry = retry
@@ -195,6 +203,14 @@ class FragmentStore:
     def _manifest_path(self) -> Path:
         return self.directory / _MANIFEST
 
+    @staticmethod
+    def _peek_manifest_codec(directory: Path) -> str | None:
+        """Codec recorded in the directory's manifest, if one exists."""
+        try:
+            return json.loads((directory / _MANIFEST).read_text()).get("codec")
+        except (OSError, json.JSONDecodeError):
+            return None
+
     @property
     def generation(self) -> int:
         """Manifest generation: bumped by every committed manifest write."""
@@ -233,6 +249,7 @@ class FragmentStore:
                 "shape": list(self.shape),
                 "format": self.format_name,
                 "relative_coords": self.relative_coords,
+                "codec": self.codec,
                 "fragments": [
                     {
                         "file": f.path.name,
@@ -362,26 +379,68 @@ class FragmentStore:
             raise ShapeError("coords must be (n, d) matching the store shape")
         if values.shape[0] != coords.shape[0]:
             raise ShapeError("values must align with coords")
+        canon = CanonicalCoords.from_coords(coords, self.shape)
+        return self._write_canonical_locked(canon, values)
 
-        if self.relative_coords and coords.shape[0]:
-            bbox = extract_boundary(coords)
-            build_coords = coords - as_index_array(list(bbox.origin))[np.newaxis, :]
+    def write_canonical(
+        self,
+        canon: CanonicalCoords,
+        values: np.ndarray,
+        *,
+        bbox: Box | None = None,
+    ) -> WriteReceipt:
+        """Commit one fragment from a canonical intermediate.
+
+        ``canon`` must live in the store's global coordinate space (shape
+        equal to the store shape); relative-coordinate stores re-base it
+        against its bounding box before packaging, reusing the canonical
+        sort where the organization allows.  ``bbox`` optionally supplies
+        the (tight) bounding box so callers that already know it — the
+        merge compaction path passes the union of the source fragments'
+        boxes — skip re-deriving it from materialized coordinates.
+
+        This is the single commit point of the write side:
+        :meth:`write`, :meth:`compact` and
+        :func:`~repro.storage.convert.convert_store` all funnel through
+        it.  :class:`~repro.storage.adaptive.AdaptiveStore` overrides it
+        to pick the fragment's organization first.
+        """
+        with self._rw.write_locked():
+            return self._write_canonical_locked(canon, values, bbox=bbox)
+
+    def _write_canonical_locked(
+        self,
+        canon: CanonicalCoords,
+        values: np.ndarray,
+        *,
+        bbox: Box | None = None,
+    ) -> WriteReceipt:
+        values = np.asarray(values)
+        if canon.shape != self.shape:
+            raise ShapeError(
+                f"canonical shape {canon.shape} != store shape {self.shape}"
+            )
+        if values.shape[0] != canon.n:
+            raise ShapeError("values must align with coords")
+        if bbox is None and canon.n:
+            bbox = canon.bounding_box
+        if self.relative_coords and canon.n:
+            build_canon = canon.rebased(bbox.origin, bbox.size)
             build_shape: tuple[int, ...] = bbox.size
         else:
-            bbox = None
-            build_coords = coords
+            build_canon = canon
             build_shape = self.shape
 
         with span("store.write", format=self.format_name) as sp:
             t0 = time.perf_counter()
-            result = self.fmt.build(build_coords, build_shape)
+            result = self.fmt.build_canonical(build_canon)
             t1 = time.perf_counter()
             stored_values = apply_map(values, result.perm)
             t2 = time.perf_counter()
             encoded = EncodedTensor(
                 fmt=self.fmt,
                 shape=build_shape,
-                nnz=coords.shape[0],
+                nnz=canon.n,
                 payload=result.payload,
                 meta=result.meta,
                 values=stored_values,
@@ -390,13 +449,13 @@ class FragmentStore:
             info = write_fragment(
                 path,
                 encoded,
-                coords_for_bbox=coords,
+                bbox=bbox,
                 extra={"relative": self.relative_coords},
                 fsync=self.fsync,
                 codec=self.codec,
             )
             t3 = time.perf_counter()
-            sp.add_nnz(coords.shape[0])
+            sp.add_nnz(canon.n)
             sp.add_bytes_out(info.nbytes)
         observe("store.build.seconds", t1 - t0, format=self.format_name)
         observe("store.reorg.seconds", t2 - t1, format=self.format_name)
@@ -710,6 +769,33 @@ class FragmentStore:
         payload = load_fragment(frag.path)
         return self._payload_to_tensor(frag, payload)
 
+    def fragment_canonical(
+        self, index: int
+    ) -> tuple[CanonicalCoords, np.ndarray]:
+        """One fragment's point set as ``(canonical, values)``.
+
+        Goes payload → canonical directly (the organization's
+        :meth:`~repro.formats.base.SparseFormat.extract_addresses`, no
+        full-tensor decode) for linearizable shapes; the canonical is in
+        the store's global space with values in canonical (ascending
+        linear-address) order, newest write last within duplicate runs.
+        This is the source side of
+        :func:`~repro.storage.convert.convert_store`.
+        """
+        if not fits_index_dtype(self.shape):
+            tensor = self.decode_fragment(index)
+            return (
+                CanonicalCoords.from_coords(tensor.coords, self.shape),
+                tensor.values,
+            )
+        frag = self.fragments[index]
+        payload = load_fragment(frag.path)
+        run = self._fragment_sorted_run(frag, payload)
+        canon = CanonicalCoords.from_addresses(
+            run.addresses, self.shape, is_sorted=True
+        )
+        return canon, run.values
+
     def _payload_to_tensor(self, frag: FragmentInfo, payload) -> SparseTensor:
         from .fragment import fragment_to_tensor
 
@@ -720,7 +806,7 @@ class FragmentStore:
             return SparseTensor(self.shape, coords, tensor.values)
         return SparseTensor(self.shape, tensor.coords, tensor.values)
 
-    def compact(self) -> WriteReceipt:
+    def compact(self, *, strategy: str = "merge") -> WriteReceipt:
         """Merge all fragments into one, newest-wins on duplicates.
 
         The fragment-array model (append-only writes, TileDB-style) trades
@@ -728,17 +814,121 @@ class FragmentStore:
         single-fragment reads.  Old fragment files are deleted and the
         manifest rewritten atomically at the end.
 
+        ``strategy="merge"`` (the default) extracts each fragment's points
+        as a sorted linear-address run (no full-tensor decode — mixed
+        per-fragment formats each use their own
+        :meth:`~repro.formats.base.SparseFormat.extract_addresses`) and
+        k-way merges the runs into one canonical intermediate; the rewrite
+        then reuses the merge's ordering instead of re-sorting.  The
+        result is bit-identical to ``strategy="decode"`` — the legacy
+        decode-all-and-rebuild path, kept for differential testing and as
+        the automatic fallback when the store shape is not linearizable.
+
         Corrupt fragments follow the store's ``on_corruption`` policy:
         ``"raise"`` aborts the compaction untouched, ``"skip"`` /
         ``"quarantine"`` compact the surviving fragments (fragment order —
         and thus newest-wins semantics — is preserved among survivors).
         """
+        if strategy not in ("merge", "decode"):
+            raise ValueError(
+                f"strategy must be 'merge' or 'decode', got {strategy!r}"
+            )
         with self._rw.write_locked():
-            return self._compact_locked()
+            return self._compact_locked(strategy)
 
-    def _compact_locked(self) -> WriteReceipt:
+    def _compact_locked(self, strategy: str = "merge") -> WriteReceipt:
         if not self._fragments:
             raise FragmentError("nothing to compact: store has no fragments")
+        if strategy == "merge" and not fits_index_dtype(self.shape):
+            strategy = "decode"  # no global linear addresses to merge on
+        if strategy == "merge":
+            return self._compact_merge_locked()
+        return self._compact_decode_locked()
+
+    def _fragment_sorted_run(
+        self, frag: FragmentInfo, payload
+    ) -> SortedRun:
+        """One fragment's points as a sorted global-address run.
+
+        Uses the organization's :meth:`extract_addresses` — no
+        full-tensor decode.  ``positions`` are the fragment's stored
+        positions, so the merge can reconstruct the exact
+        concatenated-fragment order the decode path would have produced
+        (newest-wins ties included).  Relative fragments translate their
+        local addresses into global space; the translation is monotone,
+        so the run stays sorted.
+        """
+        fmt = get_format(payload.format_name)
+        addresses, order = fmt.extract_addresses(
+            payload.buffers, payload.meta, payload.shape
+        )
+        values = np.asarray(payload.values)
+        if order is None:
+            positions = np.arange(addresses.shape[0], dtype=np.intp)
+        else:
+            positions = np.asarray(order, dtype=np.intp)
+            values = values[positions]
+        if payload.extra.get("relative"):
+            local = delinearize(addresses, payload.shape, validate=False)
+            origin = as_index_array(list(frag.bbox.origin))
+            addresses = linearize(
+                local + origin[np.newaxis, :], self.shape, validate=False
+            )
+        return SortedRun(
+            addresses=addresses, values=values, positions=positions
+        )
+
+    @staticmethod
+    def _union_bbox(frags: list[FragmentInfo]) -> Box | None:
+        """Union of non-empty fragments' boxes — tight for a dedup merge.
+
+        Per-fragment boxes are tight at write time and deduplication only
+        removes repeated coordinates, so the union equals the tight box
+        of the merged point set.
+        """
+        boxes = [f.bbox for f in frags if f.nnz]
+        if not boxes:
+            return None
+        d = boxes[0].ndim
+        origin = tuple(min(b.origin[i] for b in boxes) for i in range(d))
+        end = tuple(max(b.end[i] for b in boxes) for i in range(d))
+        return Box(origin, tuple(e - o for o, e in zip(origin, end)))
+
+    def _compact_merge_locked(self) -> WriteReceipt:
+        with span("store.compact", format=self.format_name) as sp:
+            n_before = len(self._fragments)
+            old = list(self._fragments)
+            runs: list[SortedRun] = []
+            merged_from: list[FragmentInfo] = []
+            for frag in old:
+                payload = self._load_fragment_guarded(frag)
+                if payload is None:
+                    continue
+                runs.append(self._fragment_sorted_run(frag, payload))
+                merged_from.append(frag)
+            if not runs:
+                raise FragmentError(
+                    "nothing to compact: no readable fragments survive"
+                )
+            merged = merge_sorted_runs(runs, self.shape)
+            receipt = self.write_canonical(
+                merged.canonical,
+                merged.values,
+                bbox=self._union_bbox(merged_from),
+            )
+            with self._state_lock:
+                self._fragments = [receipt.info]
+            for frag in merged_from:
+                try:
+                    frag.path.unlink()
+                except OSError:
+                    pass
+            self._save_manifest()
+            sp.add_nnz(merged.canonical.n)
+        counter_add("store.fragments_compacted", n_before)
+        return receipt
+
+    def _compact_decode_locked(self) -> WriteReceipt:
         with span("store.compact", format=self.format_name) as sp:
             n_before = len(self._fragments)
             old = list(self._fragments)

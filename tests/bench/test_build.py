@@ -1,0 +1,40 @@
+"""Tier-1 smoke hook for the build-pipeline microbench (assert-only).
+
+Imports ``benchmarks/bench_build.py`` by path (the benchmarks directory
+is not a package) and asserts both pipeline claims at laxer floors than
+the standalone run, so a regression that makes ``encode_all`` re-derive
+prerequisites per format — or makes merge compaction fall back to a full
+decode-rebuild — fails the regular suite, not just the benchmark run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_BENCH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_build.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_build", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_encode_all_speedup_smoke():
+    bench = _load_bench()
+    result = bench.bench_encode_all(nnz=500_000, repeats=3)
+    bench.assert_encode_speedup_ok(result, bench.MIN_ENCODE_SPEEDUP_SMOKE)
+
+
+def test_merge_compaction_speedup_smoke():
+    bench = _load_bench()
+    result = bench.bench_merge_compaction(
+        nnz=500_000, n_fragments=6, repeats=2
+    )
+    bench.assert_compact_speedup_ok(
+        result, bench.MIN_COMPACT_SPEEDUP_SMOKE
+    )

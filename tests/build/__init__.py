@@ -1,0 +1,1 @@
+"""Tests for the unified build pipeline (repro.build)."""

@@ -1,0 +1,198 @@
+"""CanonicalCoords: lazy caching, obs accounting, and duplicate policy."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.build import DUPLICATE_POLICY, CanonicalCoords
+from repro.core import SparseTensor, linearize
+from repro.core.errors import ShapeError
+from repro.core.sorting import lexsort_rows
+
+
+def counter_total(snapshot, name: str) -> int:
+    """Sum an obs counter across all label sets (0 when absent)."""
+    return sum(
+        c["value"] for c in snapshot["counters"] if c["name"] == name
+    )
+
+
+@pytest.fixture
+def metered():
+    """Enable + reset obs for a test, restoring the prior state after."""
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    obs.reset()
+    yield lambda name: counter_total(obs.snapshot(), name)
+    obs.reset()
+    if not was_enabled:
+        obs.disable()
+
+
+def dup_coords():
+    """A buffer with duplicate coordinates (policy: last one wins)."""
+    return np.array(
+        [[2, 1], [0, 3], [2, 1], [1, 0], [0, 3], [2, 1]], dtype=np.uint64
+    )
+
+
+class TestLaziness:
+    def test_construction_computes_nothing(self, metered):
+        CanonicalCoords.from_coords(dup_coords(), (4, 4))
+        assert metered("build.canonical.linearize") == 0
+        assert metered("build.canonical.sorts") == 0
+
+    def test_each_artifact_computed_once(self, metered):
+        canon = CanonicalCoords.from_coords(dup_coords(), (4, 4))
+        for _ in range(3):
+            canon.addresses
+            canon.sort_perm
+            canon.dedup_runs
+        assert metered("build.canonical.linearize") == 1
+        assert metered("build.canonical.sorts") == 1
+        assert metered("build.canonical.dedup_runs") == 1
+        assert metered("build.canonical.reuse") > 0
+
+    def test_from_addresses_delinearizes_once(self, metered):
+        addr = np.array([3, 0, 9, 3], dtype=np.uint64)
+        canon = CanonicalCoords.from_addresses(addr, (4, 4))
+        canon.coords
+        canon.coords
+        assert metered("build.canonical.delinearize") == 1
+        # Addresses were given, never recomputed.
+        assert metered("build.canonical.linearize") == 0
+
+    def test_is_sorted_addresses_never_pay_a_sort(self, metered):
+        addr = np.array([0, 3, 3, 9], dtype=np.uint64)
+        canon = CanonicalCoords.from_addresses(addr, (4, 4), is_sorted=True)
+        np.testing.assert_array_equal(
+            canon.sort_perm, np.arange(4, dtype=np.intp)
+        )
+        np.testing.assert_array_equal(canon.sorted_addresses, addr)
+        assert metered("build.canonical.sorts") == 0
+
+
+class TestArtifacts:
+    def test_addresses_match_linearize(self):
+        coords = dup_coords()
+        canon = CanonicalCoords.from_coords(coords, (4, 4))
+        np.testing.assert_array_equal(
+            canon.addresses, linearize(coords, (4, 4))
+        )
+
+    def test_sort_perm_is_stable(self):
+        canon = CanonicalCoords.from_coords(dup_coords(), (4, 4))
+        perm = canon.sort_perm
+        sorted_addr = canon.addresses[perm]
+        assert (np.diff(sorted_addr.astype(np.int64)) >= 0).all()
+        # Equal addresses keep input order: the three (2,1) duplicates at
+        # input rows 0, 2, 5 must appear in that order after the sort.
+        addr_21 = int(linearize(np.array([[2, 1]], dtype=np.uint64), (4, 4))[0])
+        run = perm[sorted_addr == addr_21]
+        np.testing.assert_array_equal(run, [0, 2, 5])
+
+    def test_dedup_runs_cover_all_points(self):
+        canon = CanonicalCoords.from_coords(dup_coords(), (4, 4))
+        uniq, offsets = canon.dedup_runs
+        assert uniq.shape[0] == canon.n_unique == 3
+        assert offsets[0] == 0 and offsets[-1] == canon.n
+        assert canon.has_duplicates()
+
+    def test_bounding_box_is_tight(self):
+        canon = CanonicalCoords.from_coords(dup_coords(), (10, 10))
+        box = canon.bounding_box
+        assert box.origin == (0, 0)
+        assert box.size == (3, 4)
+
+    def test_empty_buffer(self):
+        canon = CanonicalCoords.from_coords(
+            np.empty((0, 3), dtype=np.uint64), (4, 4, 4)
+        )
+        assert canon.n == 0
+        assert canon.n_unique == 0
+        assert not canon.has_duplicates()
+        assert canon.dedup_selection().shape == (0,)
+
+
+class TestDuplicatePolicy:
+    def test_policy_is_last(self):
+        assert DUPLICATE_POLICY == "last"
+
+    @pytest.mark.parametrize("keep", ["first", "last"])
+    def test_dedup_selection_matches_sparse_tensor(self, rng, keep):
+        coords = np.column_stack(
+            [rng.integers(0, 5, size=200, dtype=np.uint64) for _ in range(3)]
+        )
+        values = rng.standard_normal(200)
+        t = SparseTensor((5, 5, 5), coords, values)
+        sel = CanonicalCoords.from_coords(coords, t.shape).dedup_selection(
+            keep=keep
+        )
+        want = t.deduplicated(keep=keep)
+        np.testing.assert_array_equal(coords[sel], want.coords)
+        np.testing.assert_array_equal(values[sel], want.values)
+
+    def test_dedup_selection_rejects_unknown_keep(self):
+        canon = CanonicalCoords.from_coords(dup_coords(), (4, 4))
+        with pytest.raises(ValueError, match="keep"):
+            canon.dedup_selection(keep="middle")
+
+
+class TestOrderingForDims:
+    def test_identity_permutation_reuses_cached_sort(self, metered):
+        canon = CanonicalCoords.from_coords(dup_coords(), (4, 4))
+        base = canon.sort_perm
+        again = canon.ordering_for_dims([0, 1], (4, 4))
+        assert again is base
+        assert metered("build.canonical.sorts") == 1
+
+    def test_permuted_order_matches_lexsort(self, rng, metered):
+        coords = np.column_stack(
+            [rng.integers(0, 6, size=80, dtype=np.uint64) for _ in range(3)]
+        )
+        canon = CanonicalCoords.from_coords(coords, (6, 6, 6))
+        perm = canon.ordering_for_dims([2, 0, 1], (6, 6, 6))
+        np.testing.assert_array_equal(perm, lexsort_rows(coords[:, [2, 0, 1]]))
+        assert metered("build.canonical.sorts") == 1
+
+
+class TestRebased:
+    def test_rebase_preserves_sort_permutation(self, metered):
+        coords = np.array(
+            [[12, 21], [10, 23], [12, 21], [11, 20]], dtype=np.uint64
+        )
+        canon = CanonicalCoords.from_coords(coords, (32, 32))
+        base = canon.sort_perm
+        local = canon.rebased((10, 20), (3, 4))
+        np.testing.assert_array_equal(
+            local.coords, coords - np.array([10, 20], dtype=np.uint64)
+        )
+        # Translation is monotone in address order: the cached permutation
+        # carries over, no second sort is charged.
+        np.testing.assert_array_equal(local.sort_perm, base)
+        assert metered("build.canonical.sorts") == 1
+
+
+class TestValidation:
+    def test_needs_coords_or_addresses(self):
+        with pytest.raises(ShapeError):
+            CanonicalCoords((4, 4))
+
+    def test_rejects_mismatched_dims(self):
+        with pytest.raises(ShapeError):
+            CanonicalCoords.from_coords(dup_coords(), (4, 4, 4))
+
+    def test_rejects_non_2d_coords(self):
+        with pytest.raises(ShapeError):
+            CanonicalCoords.from_coords(
+                np.zeros(5, dtype=np.uint64), (4,)
+            )
+
+    def test_rejects_sorted_flag_with_explicit_perm(self):
+        with pytest.raises(ShapeError):
+            CanonicalCoords.from_addresses(
+                np.array([1, 2], dtype=np.uint64),
+                (4, 4),
+                is_sorted=True,
+                sort_perm=np.array([0, 1], dtype=np.intp),
+            )

@@ -1,0 +1,139 @@
+"""merge_sorted_runs: the k-way newest-wins merge behind compaction."""
+
+import numpy as np
+
+from repro import merge_sorted_runs
+from repro.build.merge import SortedRun
+from repro.core import SparseTensor, linearize
+
+from .test_canonical import metered  # noqa: F401
+
+
+def run_from_tensor(t: SparseTensor) -> SortedRun:
+    """A fragment-style sorted run from a (possibly duplicated) tensor."""
+    addr = linearize(t.coords, t.shape)
+    order = np.argsort(addr, kind="stable").astype(np.intp)
+    return SortedRun(
+        addresses=addr[order], values=t.values[order], positions=order
+    )
+
+
+class TestMergeSemantics:
+    def test_empty_run_list(self):
+        merged = merge_sorted_runs([], (4, 4))
+        assert merged.canonical.n == 0
+        assert merged.values.shape == (0,)
+
+    def test_single_run_passes_through(self):
+        t = SparseTensor(
+            (4, 4),
+            np.array([[3, 1], [0, 2], [1, 1]], dtype=np.uint64),
+            np.array([1.0, 2.0, 3.0]),
+        )
+        merged = merge_sorted_runs([run_from_tensor(t)], t.shape)
+        np.testing.assert_array_equal(merged.canonical.coords, t.coords)
+        np.testing.assert_array_equal(merged.values, t.values)
+
+    def test_newest_run_wins_on_overlap(self):
+        old = SparseTensor(
+            (4, 4),
+            np.array([[1, 1], [2, 2]], dtype=np.uint64),
+            np.array([1.0, 2.0]),
+        )
+        new = SparseTensor(
+            (4, 4), np.array([[1, 1]], dtype=np.uint64), np.array([9.0])
+        )
+        merged = merge_sorted_runs(
+            [run_from_tensor(old), run_from_tensor(new)], (4, 4)
+        )
+        assert merged.canonical.n == 2
+        got = dict(
+            zip(map(tuple, merged.canonical.coords.tolist()),
+                merged.values.tolist())
+        )
+        assert got == {(1, 1): 9.0, (2, 2): 2.0}
+
+    def test_duplicates_within_one_run_keep_last_stored(self):
+        addr = np.array([5, 5, 9], dtype=np.uint64)
+        run = SortedRun(
+            addresses=addr,
+            values=np.array([1.0, 7.0, 3.0]),
+            positions=np.array([0, 1, 2], dtype=np.intp),
+        )
+        merged = merge_sorted_runs([run], (4, 4))
+        got = dict(
+            zip(merged.canonical.addresses.tolist(), merged.values.tolist())
+        )
+        assert got == {5: 7.0, 9: 3.0}
+
+    def test_matches_decode_and_rebuild_order(self, rng):
+        """The merge must reproduce the legacy decode-rebuild compaction
+        exactly: concatenate fragments oldest-first, dedup keep-last."""
+        shape = (9, 11)
+        chunks = []
+        for _ in range(4):
+            coords = np.column_stack(
+                [rng.integers(0, m, size=60, dtype=np.uint64) for m in shape]
+            )
+            chunks.append(
+                SparseTensor(shape, coords, rng.standard_normal(60))
+                .deduplicated()
+            )
+        merged = merge_sorted_runs(
+            [run_from_tensor(t) for t in chunks], shape
+        )
+        legacy = SparseTensor(
+            shape,
+            np.vstack([t.coords for t in chunks]),
+            np.concatenate([t.values for t in chunks]),
+        ).deduplicated(keep="last")
+        np.testing.assert_array_equal(merged.canonical.coords, legacy.coords)
+        np.testing.assert_array_equal(merged.values, legacy.values)
+
+
+class TestMergeAccounting:
+    def test_merge_counters_and_no_extra_sort_downstream(self, rng, metered):  # noqa: F811
+        shape = (8, 8)
+        runs = []
+        for _ in range(3):
+            coords = np.column_stack(
+                [rng.integers(0, 8, size=20, dtype=np.uint64)
+                 for _ in range(2)]
+            )
+            runs.append(run_from_tensor(
+                SparseTensor(shape, coords, rng.standard_normal(20))
+                .deduplicated()
+            ))
+        merged = merge_sorted_runs(runs, shape)
+        assert metered("build.merge.runs") == 3
+        assert metered("build.merge.points") == sum(
+            r.addresses.shape[0] for r in runs
+        )
+        # The merged canonical already knows its sort permutation, so
+        # downstream builds (LINEAR here) never re-sort.
+        np.testing.assert_array_equal(
+            merged.canonical.addresses[merged.canonical.sort_perm],
+            merged.canonical.sorted_addresses,
+        )
+        from repro.formats import get_format
+
+        get_format("LINEAR").build_canonical(merged.canonical)
+        assert metered("build.canonical.sorts") == 0
+
+    def test_merged_canonical_sort_perm_is_consistent(self, rng):
+        shape = (6, 6, 6)
+        runs = []
+        for _ in range(2):
+            coords = np.column_stack(
+                [rng.integers(0, 6, size=30, dtype=np.uint64)
+                 for _ in range(3)]
+            )
+            runs.append(run_from_tensor(
+                SparseTensor(shape, coords, rng.standard_normal(30))
+                .deduplicated()
+            ))
+        canon = merge_sorted_runs(runs, shape).canonical
+        recomputed = np.argsort(canon.addresses, kind="stable")
+        np.testing.assert_array_equal(
+            canon.addresses[canon.sort_perm], canon.addresses[recomputed]
+        )

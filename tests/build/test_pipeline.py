@@ -1,0 +1,151 @@
+"""encode_all: build-once-encode-many, bit-identity, and accounting."""
+
+import numpy as np
+import pytest
+
+from repro import encode_all
+from repro.build import CanonicalCoords
+from repro.core import OpCounter, SparseTensor
+from repro.formats import available_formats, get_format
+
+from .test_canonical import metered  # noqa: F401
+
+#: Shape with ascending dimension sizes, so CSF's size-sorted dimension
+#: permutation is the identity and its lexicographic order coincides with
+#: the canonical address order (the maximal-sharing configuration).
+ASCENDING_SHAPE = (5, 7, 9, 11)
+
+#: Formats whose BUILD consumes the shared linearize/sort prerequisites.
+SHARING_FORMATS = ("LINEAR", "COO-SORTED", "GCSR++", "GCSC++", "CSF")
+
+
+def dup_tensor(rng, shape=ASCENDING_SHAPE, n=400) -> SparseTensor:
+    """Random tensor that deliberately KEEPS duplicate coordinates."""
+    coords = np.column_stack(
+        [rng.integers(0, m, size=n, dtype=np.uint64) for m in shape]
+    )
+    coords[n // 2:n // 2 + 20] = coords[:20]  # guaranteed duplicates
+    return SparseTensor(shape, coords, rng.standard_normal(n))
+
+
+def assert_encodings_identical(got, want, label=""):
+    """Bit-identical payload arrays, dtypes, meta, and value buffers."""
+    assert got.payload.keys() == want.payload.keys(), label
+    for key in want.payload:
+        assert got.payload[key].dtype == want.payload[key].dtype, (
+            f"{label}: payload[{key}] dtype"
+        )
+        np.testing.assert_array_equal(
+            got.payload[key], want.payload[key],
+            err_msg=f"{label}: payload[{key}]",
+        )
+    assert got.meta == want.meta, f"{label}: meta"
+    assert got.values.dtype == want.values.dtype, f"{label}: values dtype"
+    np.testing.assert_array_equal(
+        got.values, want.values, err_msg=f"{label}: values"
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("fmt_name", available_formats())
+    def test_build_canonical_matches_build(self, rng, fmt_name):
+        t = dup_tensor(rng)
+        fmt = get_format(fmt_name)
+        legacy = fmt.build(t.coords, t.shape)
+        canonical = fmt.build_canonical(
+            CanonicalCoords.from_coords(t.coords, t.shape)
+        )
+        assert canonical.payload.keys() == legacy.payload.keys()
+        for key in legacy.payload:
+            assert canonical.payload[key].dtype == legacy.payload[key].dtype
+            np.testing.assert_array_equal(
+                canonical.payload[key], legacy.payload[key],
+                err_msg=f"{fmt_name}: payload[{key}]",
+            )
+        assert canonical.meta == legacy.meta
+        if legacy.perm is None:
+            assert canonical.perm is None
+        else:
+            np.testing.assert_array_equal(canonical.perm, legacy.perm)
+
+    @pytest.mark.parametrize("fmt_name", available_formats())
+    def test_encode_all_matches_independent_encode(self, rng, fmt_name):
+        t = dup_tensor(rng)
+        shared = encode_all(t, formats=[fmt_name])[fmt_name]
+        assert_encodings_identical(
+            shared, get_format(fmt_name).encode(t), fmt_name
+        )
+
+    def test_encode_all_every_format_in_one_pass(self, rng):
+        t = dup_tensor(rng)
+        out = encode_all(t, formats=available_formats())
+        assert list(out) == list(available_formats())
+        for name, enc in out.items():
+            assert_encodings_identical(
+                enc, get_format(name).encode(t), name
+            )
+
+    def test_empty_tensor(self):
+        t = SparseTensor(
+            (3, 4), np.empty((0, 2), dtype=np.uint64), np.empty(0)
+        )
+        out = encode_all(t, formats=available_formats())
+        for enc in out.values():
+            assert enc.nnz == 0
+
+
+class TestSharedPrerequisites:
+    def test_linearize_and_sort_paid_exactly_once(self, rng, metered):  # noqa: F811
+        """Acceptance criterion: encode_all over the sharing formats
+        computes the linearize pass and the stable address sort exactly
+        once, however many formats consume them."""
+        t = dup_tensor(rng)
+        encode_all(t, formats=SHARING_FORMATS)
+        assert metered("build.canonical.linearize") == 1
+        assert metered("build.canonical.sorts") == 1
+        # Every format past the first reads prerequisites from the cache.
+        assert metered("build.canonical.reuse") >= len(SHARING_FORMATS) - 1
+
+    def test_nonidentity_csf_charges_its_own_sort(self, rng, metered):  # noqa: F811
+        """With a descending shape CSF's dimension permutation is not the
+        identity, so it pays one extra sort — and only one."""
+        t = dup_tensor(rng, shape=(11, 9, 7, 5))
+        encode_all(t, formats=SHARING_FORMATS)
+        assert metered("build.canonical.linearize") == 1
+        assert metered("build.canonical.sorts") == 2
+
+
+class TestOpCounterAttribution:
+    @pytest.mark.parametrize("fmt_name", available_formats())
+    def test_charges_match_standalone_build(self, rng, fmt_name):
+        """Table-III accounting describes the algorithm, not the cache:
+        encode_all must charge each format's OpCounter exactly what a
+        standalone build would."""
+        t = dup_tensor(rng)
+        standalone = OpCounter()
+        get_format(fmt_name).build(t.coords, t.shape, counter=standalone)
+        shared = OpCounter()
+        encode_all(t, formats=[fmt_name], counters={fmt_name: shared})
+        assert shared.snapshot() == standalone.snapshot(), fmt_name
+
+
+class TestConvert:
+    @pytest.mark.parametrize("src_name", available_formats())
+    @pytest.mark.parametrize("dst_name", available_formats())
+    def test_convert_preserves_points(self, rng, src_name, dst_name):
+        t = dup_tensor(rng, shape=(6, 7, 8), n=150).deduplicated()
+        converted = get_format(src_name).encode(t).convert(dst_name)
+        assert converted.fmt.name == dst_name
+        out = converted.read_points(t.coords)
+        assert out.found.all(), f"{src_name}->{dst_name}"
+        np.testing.assert_allclose(out.values, t.values)
+
+    def test_convert_resolves_duplicates_newest_wins(self):
+        coords = np.array([[0, 1], [2, 2], [0, 1]], dtype=np.uint64)
+        t = SparseTensor((3, 3), coords, np.array([1.0, 2.0, 9.0]))
+        enc = get_format("COO").encode(t)  # verbatim: keeps the duplicate
+        for dst in available_formats():
+            out = enc.convert(dst).read_points(
+                np.array([[0, 1]], dtype=np.uint64)
+            )
+            assert out.found[0] and out.values[0] == 9.0, dst

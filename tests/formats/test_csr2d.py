@@ -121,13 +121,15 @@ class TestQueries:
         )
         assert f.shape == (0,)
 
-    def test_duplicate_in_segment_returns_first(self):
+    def test_duplicate_in_segment_returns_last(self):
+        # Central duplicate policy: the last stored occurrence (newest
+        # write) wins -- see repro.build.canonical.DUPLICATE_POLICY.
         rows = np.array([0, 0], dtype=np.uint64)
         cols = np.array([5, 5], dtype=np.uint64)
         m, _ = csr_pack(rows, cols, 1)
         f, p = csr_query_vectorized(m, np.array([0], dtype=np.uint64),
                                     np.array([5], dtype=np.uint64))
-        assert f[0] and p[0] == 0
+        assert f[0] and p[0] == 1
 
 
 class TestDense:

@@ -1,0 +1,83 @@
+"""Duplicate-coordinate policy: every format's reads agree on last-wins.
+
+The central policy lives in :mod:`repro.build.canonical`
+(``DUPLICATE_POLICY = "last"``): when a payload carries the same
+coordinate more than once, every read path — vectorized ``read`` and the
+paper-faithful per-point ``read_faithful`` — returns the value stored
+*last* (the newest write).  Before the unified build pipeline, formats
+disagreed (binary-search formats returned an arbitrary run member, scan
+formats the first); this suite pins the healed behavior for all seven.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseTensor
+from repro.formats import available_formats, get_format
+
+
+def dup_case(rng, shape=(6, 7, 8)):
+    """A tensor with several duplicate runs; returns (tensor, winners).
+
+    ``winners`` maps each distinct coordinate to the value of its last
+    occurrence in input order.
+    """
+    n = 120
+    coords = np.column_stack(
+        [rng.integers(0, m, size=n, dtype=np.uint64) for m in shape]
+    )
+    # Repeat a slice of earlier coordinates with fresh values, appended
+    # later in the buffer, so each repeated coordinate has a newer write.
+    coords[60:90] = coords[:30]
+    values = rng.standard_normal(n)
+    winners = {}
+    for c, v in zip(map(tuple, coords.tolist()), values.tolist()):
+        winners[c] = v  # later rows overwrite: dict keeps the last
+    return SparseTensor(shape, coords, values), winners
+
+
+@pytest.mark.parametrize("fmt_name", available_formats())
+class TestLastWins:
+    def test_vectorized_read(self, rng, fmt_name):
+        tensor, winners = dup_case(rng)
+        enc = get_format(fmt_name).encode(tensor)
+        queries = np.array(sorted(winners), dtype=np.uint64)
+        out = enc.read_points(queries)
+        assert out.found.all()
+        want = np.array([winners[tuple(q)] for q in queries.tolist()])
+        np.testing.assert_array_equal(out.values, want)
+
+    def test_faithful_read(self, rng, fmt_name):
+        tensor, winners = dup_case(rng)
+        fmt = get_format(fmt_name)
+        enc = fmt.encode(tensor)
+        queries = np.array(sorted(winners), dtype=np.uint64)
+        res = fmt.read_faithful(enc.payload, enc.meta, enc.shape, queries)
+        assert res.found.all()
+        got = res.gather_values(enc.values)
+        want = np.array([winners[tuple(q)] for q in queries.tolist()])
+        np.testing.assert_array_equal(got, want)
+
+    def test_read_and_faithful_agree_positionally(self, rng, fmt_name):
+        tensor, winners = dup_case(rng)
+        fmt = get_format(fmt_name)
+        enc = fmt.encode(tensor)
+        queries = np.array(sorted(winners), dtype=np.uint64)
+        fast = fmt.read(enc.payload, enc.meta, enc.shape, queries)
+        faithful = fmt.read_faithful(enc.payload, enc.meta, enc.shape, queries)
+        np.testing.assert_array_equal(fast.found, faithful.found)
+        np.testing.assert_array_equal(
+            fast.value_positions, faithful.value_positions
+        )
+
+    def test_adjacent_duplicate_pair(self, fmt_name):
+        """Minimal case: the same coordinate twice, back to back."""
+        t = SparseTensor(
+            (4, 4),
+            np.array([[2, 3], [2, 3]], dtype=np.uint64),
+            np.array([1.0, 9.0]),
+        )
+        enc = get_format(fmt_name).encode(t)
+        out = enc.read_points(np.array([[2, 3]], dtype=np.uint64))
+        assert out.found[0]
+        assert out.values[0] == 9.0

@@ -67,11 +67,13 @@ class TestRead:
         assert counter.comparisons == tensor_3d.nnz * q
         assert counter.transforms == q * 3  # query linearization
 
-    def test_duplicate_stored_addresses_first_match(self, fmt):
-        # LINEAR without dedup stores both; read returns the first position.
+    def test_duplicate_stored_addresses_last_match(self, fmt):
+        # LINEAR without dedup stores both; read returns the newest
+        # (last) position per the central duplicate policy
+        # (repro.build.canonical.DUPLICATE_POLICY).
         coords = np.array([[1, 1], [1, 1]], dtype=np.uint64)
         result = fmt.build(coords, (4, 4))
         res = fmt.read(result.payload, result.meta, (4, 4),
                        np.array([[1, 1]], dtype=np.uint64))
         assert res.found[0]
-        assert res.value_positions[0] == 0
+        assert res.value_positions[0] == 1

@@ -11,6 +11,7 @@ import repro
 SUBPACKAGES = [
     "repro.core",
     "repro.formats",
+    "repro.build",
     "repro.storage",
     "repro.patterns",
     "repro.bench",
@@ -30,6 +31,7 @@ EXPECTED_PUBLIC_API = sorted([
     "inner", "mttkrp", "mttkrp_encoded", "ttv",
     "Workload", "recommend",
     "run_experiment", "run_sweep",
+    "CanonicalCoords", "DUPLICATE_POLICY", "encode_all", "merge_sorted_runs",
     "Box", "IndexOverflowError", "OpCounter", "ReproError", "SparseTensor",
     "delinearize", "linearize",
     "EXTENSION_FORMATS", "PAPER_FORMATS",
@@ -65,8 +67,9 @@ class TestExports:
 
     @pytest.mark.parametrize("module_name",
                              ["repro", "repro.core", "repro.formats",
-                              "repro.storage", "repro.patterns",
-                              "repro.bench", "repro.analysis"])
+                              "repro.build", "repro.storage",
+                              "repro.patterns", "repro.bench",
+                              "repro.analysis"])
     def test_all_entries_resolve(self, module_name):
         module = importlib.import_module(module_name)
         for name in getattr(module, "__all__", []):

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Lint gate: run ruff with the repo config when the tooling exists.
+
+Runs ``ruff check`` (and ``ruff format --check`` with ``--format``) over
+the source, tests, benchmarks, and tools trees.  The gate degrades
+gracefully: environments without ruff (it is an optional extra,
+``pip install -e .[lint]``) get a clear SKIPPED message and exit code 0,
+so the base test image never needs the extra.
+
+Usage::
+
+    python tools/lint.py [--format] [extra ruff args...]
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+TARGETS = ["src", "tests", "benchmarks", "tools"]
+
+
+def have(module: str) -> bool:
+    return importlib.util.find_spec(module) is not None
+
+
+def main(argv: list[str]) -> int:
+    if not have("ruff"):
+        print(
+            "lint gate SKIPPED: ruff not installed "
+            "(pip install -e .[lint] to enable)"
+        )
+        return 0
+    check_format = "--format" in argv
+    extra = [a for a in argv if a != "--format"]
+    cmd = [sys.executable, "-m", "ruff", "check", *TARGETS, *extra]
+    print("lint gate:", " ".join(cmd))
+    rc = subprocess.call(cmd, cwd=REPO)
+    if check_format:
+        fmt = [
+            sys.executable, "-m", "ruff", "format", "--check", *TARGETS,
+        ]
+        print("lint gate:", " ".join(fmt))
+        rc = subprocess.call(fmt, cwd=REPO) or rc
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
