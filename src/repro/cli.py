@@ -171,6 +171,39 @@ def _render_cache_section(cache) -> str:
     return "\n".join(lines)
 
 
+def _render_plan_section(explain_summary: str | None = None) -> str:
+    """The ``repro stats --plan`` section: read-side planner counters."""
+    from . import obs
+    from .bench.report import format_bytes
+
+    counters = {
+        c["name"]: c["value"] for c in obs.snapshot()["counters"]
+    }
+    lines = ["query planner (spatial index + zone maps)"]
+    lines.append(
+        f"  visited   {counters.get('store.fragments_visited', 0)}  "
+        f"pruned-bbox {counters.get('store.fragments_pruned', 0)}  "
+        f"pruned-index "
+        f"{counters.get('store.plan.fragments_pruned_index', 0)}  "
+        f"pruned-zonemap "
+        f"{counters.get('store.plan.fragments_pruned_zonemap', 0)}"
+    )
+    lines.append(
+        f"  index rebuilds "
+        f"{counters.get('store.plan.index_rebuilds', 0)}  "
+        f"zone backfills {counters.get('store.plan.zone_backfilled', 0)}"
+    )
+    lines.append(
+        f"  crc memo hits {counters.get('store.plan.crc_memo_hits', 0)}  "
+        f"lazy bytes avoided "
+        f"{format_bytes(counters.get('store.plan.lazy_bytes_avoided', 0))}"
+    )
+    if explain_summary:
+        lines.append("  example plan (first fragment's bbox):")
+        lines.extend("    " + ln for ln in explain_summary.splitlines())
+    return "\n".join(lines)
+
+
 def _render_build_section() -> str:
     """The ``repro stats --build`` section: canonical-pipeline counters."""
     from . import obs
@@ -214,6 +247,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     obs.reset()
     rng = np.random.default_rng(args.seed)
     cache = None
+    plan_summary = None
 
     if args.store:
         manifest = json.loads((Path(args.store) / "manifest.json").read_text())
@@ -241,6 +275,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
             store.read_points(queries, parallel=args.parallel)
             store.read_box(store.fragments[0].bbox, parallel=args.parallel)
         cache = store.cache
+        if args.plan:
+            plan_summary = store.explain(store.fragments[0].bbox).summary()
         title = f"repro observability — store {args.store}"
     else:
         # Self-contained demo: two disjoint fragments, so the read shows
@@ -263,6 +299,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
                     Box((0, 0, 0), (16, 16, 16)), parallel=args.parallel
                 )
             cache = store.cache
+            if args.plan:
+                plan_summary = store.explain(
+                    Box((0, 0, 0), (16, 16, 16))
+                ).summary()
         title = (f"repro observability — demo round-trip "
                  f"({args.format}, 2 fragments, {n} points each)")
 
@@ -295,6 +335,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(obs.render_table(title=title))
         print()
         print(_render_cache_section(cache))
+        if args.plan:
+            print()
+            print(_render_plan_section(plan_summary))
         if args.build:
             print()
             print(_render_build_section())
@@ -376,6 +419,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "second round shows up as hits)")
     p.add_argument("--parallel", default="none", choices=["none", "thread"],
                    help="read-side fan-out mode for the exercised reads")
+    p.add_argument("--plan", action="store_true",
+                   help="also print the read-side query-planner section "
+                        "(store.plan.* counters + an example explain())")
     p.add_argument("--build", action="store_true",
                    help="also exercise the unified build pipeline "
                         "(encode_all + merge compaction) and print the "

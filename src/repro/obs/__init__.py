@@ -39,6 +39,20 @@ decoded-fragment cache: ``store.cache.hits`` / ``store.cache.misses`` /
 the ``store.cache.bytes`` gauge (resident decoded bytes, bounded by the
 store's ``cache_bytes``).  ``repro stats --store DIR --cache-bytes N``
 prints a dedicated cache section from the same totals.
+
+The read-side query planner (:mod:`repro.storage.planner`) records under
+``store.plan.*``: ``store.plan.fragments_pruned_index`` (fragments the
+spatial interval index excluded before bbox tests ran),
+``store.plan.fragments_pruned_zonemap`` (fragments whose zone map proved
+no query address can be present), ``store.plan.index_rebuilds`` (interval
+index rebuilt after a manifest generation bump),
+``store.plan.zone_backfilled`` (pre-v2 manifest entries given zone maps
+lazily), ``store.plan.crc_memo_hits`` (whole-file CRC skipped under
+``crc_mode="once"``), and ``store.plan.lazy_bytes_avoided`` (bytes mapped
+instead of read eagerly under ``lazy_load=True``).  The bbox-level
+``store.fragments_pruned`` counter keeps its pre-planner meaning — only
+bounding-box rejections — so existing dashboards stay comparable.
+``repro stats --store DIR --plan`` prints a planner section from these.
 """
 
 from .metrics import (

@@ -52,6 +52,9 @@ class AdaptiveStore(FragmentStore):
         on_corruption: str = "raise",
         retry: RetryPolicy | None = None,
         cache_bytes: int = 0,
+        planner: bool = True,
+        crc_mode: str = "eager",
+        lazy_load: bool = False,
     ):
         candidates = tuple(resolve_format(c).name for c in candidates)
         # The parent needs *a* format for bookkeeping; the per-write pick
@@ -66,6 +69,9 @@ class AdaptiveStore(FragmentStore):
             on_corruption=on_corruption,
             retry=retry,
             cache_bytes=cache_bytes,
+            planner=planner,
+            crc_mode=crc_mode,
+            lazy_load=lazy_load,
         )
         self.workload = workload
         self.candidates = tuple(candidates)

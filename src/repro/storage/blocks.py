@@ -131,6 +131,9 @@ class BlockedDataset:
         on_corruption: str = "raise",
         retry=None,
         cache_bytes: int = 0,
+        planner: bool = True,
+        crc_mode: str = "eager",
+        lazy_load: bool = False,
     ):
         self.shape = tuple(int(m) for m in shape)
         self.block_shape = tuple(int(b) for b in block_shape)
@@ -148,6 +151,9 @@ class BlockedDataset:
             on_corruption=on_corruption,
             retry=retry,
             cache_bytes=cache_bytes,
+            planner=planner,
+            crc_mode=crc_mode,
+            lazy_load=lazy_load,
         )
 
     def write(self, coords: np.ndarray, values: np.ndarray) -> BlockWriteSummary:
@@ -228,6 +234,11 @@ class BlockedDataset:
             parallel=parallel,
             max_workers=max_workers,
         )
+
+    def explain(self, query):
+        """The underlying store's :class:`~repro.storage.planner.QueryPlan`
+        for ``query`` — see :meth:`FragmentStore.explain`."""
+        return self.store.explain(query)
 
     @property
     def cache(self):

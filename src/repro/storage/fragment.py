@@ -12,7 +12,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -22,7 +22,15 @@ from ..core.errors import FragmentIOError
 from ..formats.base import EncodedTensor, ReadResult
 from ..formats.registry import get_format
 from ..obs import counter_add, gauge_set, get_registry, is_enabled, span
-from .durability import fragment_file_crc, read_bytes, write_bytes_atomic
+from .durability import (
+    fragment_file_crc,
+    read_bytes,
+    read_view,
+    write_bytes_atomic,
+)
+
+if TYPE_CHECKING:  # annotation only — planner imports nothing from here
+    from .planner import ZoneMap
 from .serialization import (
     FragmentPayload,
     pack_fragment,
@@ -62,6 +70,12 @@ class FragmentInfo:
     store manifest at commit time so ``repro fsck`` can verify fragments
     without decoding them.  ``None`` for fragments whose manifest predates
     the durability layer.
+
+    ``zone`` is the fragment's global linear-address zone map
+    (:class:`~repro.storage.planner.ZoneMap`), recorded at write/compact
+    time and lazily backfilled for pre-zone-map manifests.  ``None``
+    means "no range metadata" — such a fragment is never pruned by the
+    planner's zone stage.
     """
 
     path: Path
@@ -71,6 +85,7 @@ class FragmentInfo:
     bbox: Box
     nbytes: int
     crc: int | None = None
+    zone: "ZoneMap | None" = None
 
     @classmethod
     def from_header(cls, path: Path, header: dict[str, Any]) -> "FragmentInfo":
@@ -170,7 +185,7 @@ def read_fragment_header(path: str | os.PathLike) -> FragmentInfo:
 
 
 def load_fragment(
-    path: str | os.PathLike, *, check_crc: bool = True
+    path: str | os.PathLike, *, check_crc: bool = True, lazy: bool = False
 ) -> FragmentPayload:
     """Load and decode a whole fragment file.
 
@@ -178,13 +193,21 @@ def load_fragment(
     (retryable, see :class:`~repro.storage.durability.RetryPolicy`);
     corruption raises :class:`~repro.core.errors.ChecksumError` or another
     non-retryable :class:`~repro.core.errors.FragmentError`.
+
+    ``lazy=True`` maps the file instead of copying it into a ``bytes``
+    object (:func:`~repro.storage.durability.read_view`); raw-codec
+    payload buffers then alias the mapping — zero-copy loading.  CRC and
+    corruption semantics are unchanged: ``check_crc=True`` still hashes
+    the whole (mapped) file before any buffer is handed out.
     """
     path = Path(path)
     try:
-        data = read_bytes(path)
+        data = read_view(path) if lazy else read_bytes(path)
     except OSError as exc:
         raise FragmentIOError(f"cannot read fragment {path}: {exc}") from exc
     counter_add("fragment.bytes_read", len(data))
+    if lazy:
+        counter_add("store.plan.lazy_bytes_avoided", len(data))
     return unpack_fragment(data, check_crc=check_crc)
 
 

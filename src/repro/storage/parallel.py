@@ -36,11 +36,13 @@ import numpy as np
 
 from ..build.canonical import CanonicalCoords
 from ..core.boundary import Box, extract_boundary
-from ..core.dtypes import as_index_array
+from ..core.dtypes import as_index_array, fits_index_dtype
 from ..core.errors import ShapeError, WorkerError
+from ..core.linearize import linearize
 from ..core.sorting import apply_map
 from ..formats.registry import get_format
 from ..obs import counter_add, gauge_set, span
+from .planner import ZoneMap
 from .serialization import pack_fragment
 
 EXECUTORS = ("process", "thread")
@@ -48,7 +50,13 @@ EXECUTORS = ("process", "thread")
 
 @dataclass
 class PackedFragment:
-    """One fragment packaged by a worker, ready to be written."""
+    """One fragment packaged by a worker, ready to be written.
+
+    ``zone`` is the fragment's global-address zone map as plain JSON
+    (:meth:`~repro.storage.planner.ZoneMap.to_json` — kept pickle-cheap
+    across the process-pool boundary), or ``None`` for empty parts and
+    non-linearizable shapes.
+    """
 
     blob: bytes
     bbox_origin: tuple[int, ...]
@@ -57,6 +65,7 @@ class PackedFragment:
     index_nbytes: int
     value_nbytes: int = 0
     pack_seconds: float = 0.0
+    zone: dict | None = None
 
 
 def pack_part(
@@ -90,6 +99,21 @@ def pack_part(
         canon = CanonicalCoords.from_coords(build_coords, build_shape)
         result = fmt.build_canonical(canon)
         stored_values = apply_map(values, result.perm)
+        # Zone stats over *global* addresses, computed where the CPU time
+        # already is.  Non-relative parts reuse the canonical sort the
+        # BUILD just cached; relative parts pay one extra linearize of the
+        # pre-rebase coordinates (the local canon's addresses are local).
+        zone = None
+        if coords.shape[0] and fits_index_dtype(shape):
+            if relative:
+                zm = ZoneMap.from_addresses(
+                    linearize(coords, shape, validate=False)
+                )
+            else:
+                zm = ZoneMap.from_addresses(
+                    canon.sorted_addresses, assume_sorted=True
+                )
+            zone = zm.to_json() if zm else None
         blob = pack_fragment(
             fmt.name,
             build_shape,
@@ -112,6 +136,7 @@ def pack_part(
         index_nbytes=result.index_nbytes(),
         value_nbytes=int(stored_values.nbytes),
         pack_seconds=time.perf_counter() - t0,
+        zone=zone,
     )
 
 

@@ -1,0 +1,395 @@
+"""Read-side query planner: zone maps + spatial fragment index.
+
+Algorithm 3's READ must "discover fragments overlapping the query box".
+The seed implementation is a linear ``bbox.intersects`` scan over every
+manifest entry followed by an unconditional load + decode of every
+overlapping fragment.  This module supplies the two metadata structures
+the store composes into a :class:`QueryPlan` before any fragment file is
+touched:
+
+:class:`ZoneMap`
+    Per-fragment range metadata over the *global* row-major linear address
+    space (ALTO's observation: the linearized address is a total order, so
+    cheap range metadata over it prunes work before any decode).  A zone
+    map records ``addr_min`` / ``addr_max`` plus a coarse fixed-width
+    address histogram (:data:`ZONE_HIST_BUCKETS` buckets).  Point queries
+    linearize once and drop every fragment whose zone map provably
+    excludes all query addresses; box queries drop fragments whose address
+    range misses the box's ``[lin(origin), lin(end - 1)]`` envelope
+    (row-major addresses are monotone in every coordinate, so the envelope
+    bounds every cell of *any* box — soundness does not require the box to
+    be axis-contained).
+
+:class:`FragmentIndex`
+    Per-dimension sorted interval arrays over the manifest bounding boxes
+    (classic searchsorted stabbing).  ``candidates(box)`` returns exactly
+    the fragments ``Box.intersects`` would keep — bit-identical pruning —
+    in O(d·(log F + F/8)) vectorized work instead of an O(F) Python loop.
+    The index is rebuilt lazily on every manifest generation bump
+    (:class:`QueryPlanner` caches one index per generation).
+
+Both structures are *sound* (they never prune a fragment that could hold
+a result) but deliberately lossy in the other direction: a fragment that
+survives the plan may still contain none of the queried points.  The
+format READ kernels remain the ground truth.
+
+Planner decisions are observable (see :mod:`repro.obs`):
+
+``store.plan.fragments_pruned_index``
+    fragments dropped by the bbox interval index,
+``store.plan.fragments_pruned_zonemap``
+    fragments dropped by zone-map address pruning,
+``store.plan.index_rebuilds``
+    fragment-index rebuilds (one per generation actually queried),
+``store.plan.zone_backfilled``
+    zone maps lazily computed for pre-zone-map manifests,
+``store.plan.lazy_bytes_avoided``
+    bytes served through zero-copy mapped views instead of read copies,
+``store.plan.crc_memo_hits``
+    whole-file CRC checks skipped by ``crc_mode="once"`` memoization.
+
+``FragmentStore.explain(query)`` returns the :class:`QueryPlan` a read
+would use without executing it; ``repro stats --plan`` renders the
+counters above.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.boundary import Box
+from ..core.dtypes import INDEX_DTYPE
+from ..obs import counter_add
+
+#: Number of fixed-width buckets in a zone map's coarse address histogram.
+#: 16 buckets cost ~130 bytes of JSON per fragment and already separate
+#: disjoint row bands well; the histogram only ever needs to answer
+#: "is this bucket provably empty?".
+ZONE_HIST_BUCKETS = 16
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Linear-address range metadata for one fragment.
+
+    ``addr_min`` / ``addr_max`` are the smallest and largest *global*
+    row-major addresses stored in the fragment (inclusive).  ``hist``
+    counts points per fixed-width address bucket over that span; bucket
+    ``i`` covers ``[addr_min + i*width, addr_min + (i+1)*width)`` with
+    ``width = ceil(span / ZONE_HIST_BUCKETS)``.  Counts are informational
+    (``explain`` output); pruning only consults zero vs non-zero.
+    """
+
+    addr_min: int
+    addr_max: int
+    hist: tuple[int, ...]
+
+    @property
+    def bucket_width(self) -> int:
+        """Width of one histogram bucket in address units (Python int —
+        the span of a near-full uint64 shape overflows ``np.uint64``
+        arithmetic, arbitrary precision does not)."""
+        span = self.addr_max - self.addr_min + 1
+        return -(-span // max(1, len(self.hist)))
+
+    @classmethod
+    def from_addresses(
+        cls, addresses: np.ndarray, *, assume_sorted: bool = False
+    ) -> "ZoneMap | None":
+        """Build a zone map from a fragment's global address vector.
+
+        ``assume_sorted=True`` (the write path — ``CanonicalCoords``
+        hands over the canonical sort) takes min/max from the ends
+        instead of scanning.  Returns ``None`` for an empty vector: an
+        empty fragment has no address range to prune on.
+        """
+        a = np.asarray(addresses)
+        if a.size == 0:
+            return None
+        if assume_sorted:
+            amin, amax = int(a[0]), int(a[-1])
+        else:
+            amin, amax = int(a.min()), int(a.max())
+        span = amax - amin + 1
+        width = -(-span // ZONE_HIST_BUCKETS)
+        n_buckets = -(-span // width)
+        buckets = (
+            (a.astype(INDEX_DTYPE) - INDEX_DTYPE.type(amin))
+            // INDEX_DTYPE.type(width)
+        ).astype(np.intp)
+        hist = np.bincount(buckets, minlength=n_buckets)
+        return cls(amin, amax, tuple(int(c) for c in hist))
+
+    # -- manifest (de)serialization ------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "addr_min": self.addr_min,
+            "addr_max": self.addr_max,
+            "hist": list(self.hist),
+        }
+
+    @classmethod
+    def from_json(cls, obj: Any) -> "ZoneMap | None":
+        """Parse a manifest ``"zone"`` entry; tolerant of ``None`` and of
+        malformed entries (a damaged zone map degrades to "no pruning",
+        never to a failed open)."""
+        if not isinstance(obj, dict):
+            return None
+        try:
+            return cls(
+                addr_min=int(obj["addr_min"]),
+                addr_max=int(obj["addr_max"]),
+                hist=tuple(int(c) for c in obj.get("hist", ())),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- pruning predicates --------------------------------------------
+
+    def overlaps_range(self, lo: int, hi: int) -> bool:
+        """Whether any stored address *may* fall in ``[lo, hi]``.
+
+        Consults the range first, then the histogram buckets the range
+        touches — a box whose address envelope straddles an empty middle
+        bucket is still pruned.
+        """
+        lo, hi = int(lo), int(hi)
+        if hi < self.addr_min or lo > self.addr_max:
+            return False
+        if not self.hist:
+            return True
+        width = self.bucket_width
+        b_lo = max(0, (max(lo, self.addr_min) - self.addr_min) // width)
+        b_hi = min(
+            len(self.hist) - 1,
+            (min(hi, self.addr_max) - self.addr_min) // width,
+        )
+        return any(self.hist[b_lo:b_hi + 1])
+
+    def may_contain_any(self, sorted_addresses: np.ndarray) -> bool:
+        """Whether any of the (ascending) query addresses *may* be stored.
+
+        Clips the query vector to ``[addr_min, addr_max]`` with two
+        binary searches, then tests the surviving addresses against the
+        histogram's non-empty buckets.
+        """
+        if sorted_addresses.size == 0:
+            return False
+        lo = int(np.searchsorted(sorted_addresses, self.addr_min, side="left"))
+        hi = int(np.searchsorted(sorted_addresses, self.addr_max, side="right"))
+        if lo >= hi:
+            return False
+        if not self.hist:
+            return True
+        window = sorted_addresses[lo:hi].astype(INDEX_DTYPE, copy=False)
+        buckets = (
+            (window - INDEX_DTYPE.type(self.addr_min))
+            // INDEX_DTYPE.type(self.bucket_width)
+        ).astype(np.intp)
+        occupancy = np.asarray(self.hist, dtype=np.int64) > 0
+        return bool(occupancy[np.minimum(buckets, len(self.hist) - 1)].any())
+
+
+class FragmentIndex:
+    """Searchsorted interval stabbing over the manifest bounding boxes.
+
+    For each dimension the fragment origins and (exclusive) ends are kept
+    in two sorted arrays with their argsort permutations.  A query box
+    *excludes* fragment ``f`` in dimension ``j`` iff
+    ``f.origin[j] >= q.end[j]`` or ``f.end[j] <= q.origin[j]`` — each a
+    contiguous suffix/prefix of the sorted arrays, located by one binary
+    search and cleared from a boolean survivor mask.  What remains is
+    exactly the ``Box.intersects`` survivor set (empty fragment boxes are
+    masked out up front, matching ``intersects`` returning ``False`` for
+    them), so swapping the linear scan for the index can never change
+    query results.
+    """
+
+    def __init__(self, fragments: Sequence[Any]):
+        self.fragments = tuple(fragments)
+        n = len(self.fragments)
+        self.ndim = self.fragments[0].bbox.ndim if n else 0
+        #: Fragments lacking a zone map despite holding points — the
+        #: store's lazy-backfill trigger for pre-zone-map manifests.
+        self.stale_zone_count = sum(
+            1
+            for f in self.fragments
+            if f.nnz and getattr(f, "zone", None) is None
+        )
+        self._alive = np.ones(n, dtype=bool)
+        self._starts: list[np.ndarray] = []
+        self._ends: list[np.ndarray] = []
+        self._start_order: list[np.ndarray] = []
+        self._end_order: list[np.ndarray] = []
+        for f_i, f in enumerate(self.fragments):
+            if f.bbox.is_empty():
+                self._alive[f_i] = False
+        for j in range(self.ndim):
+            starts = np.fromiter(
+                (f.bbox.origin[j] for f in self.fragments),
+                dtype=np.int64,
+                count=n,
+            )
+            ends = np.fromiter(
+                (f.bbox.end[j] for f in self.fragments),
+                dtype=np.int64,
+                count=n,
+            )
+            s_order = np.argsort(starts, kind="stable")
+            e_order = np.argsort(ends, kind="stable")
+            self._starts.append(starts[s_order])
+            self._ends.append(ends[e_order])
+            self._start_order.append(s_order)
+            self._end_order.append(e_order)
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    def candidates(self, query_box: Box) -> np.ndarray:
+        """Indices (ascending) of fragments whose bbox intersects the box."""
+        if not self.fragments or query_box.is_empty():
+            return np.empty(0, dtype=np.intp)
+        alive = self._alive.copy()
+        for j in range(self.ndim):
+            q_origin = int(query_box.origin[j])
+            q_end = q_origin + int(query_box.size[j])
+            # Fragments starting at/after the query's end cannot overlap.
+            k = int(np.searchsorted(self._starts[j], q_end, side="left"))
+            alive[self._start_order[j][k:]] = False
+            # Fragments ending at/before the query's origin cannot overlap.
+            k = int(np.searchsorted(self._ends[j], q_origin, side="right"))
+            alive[self._end_order[j][:k]] = False
+        return np.flatnonzero(alive)
+
+
+@dataclass
+class QueryPlan:
+    """One READ's fragment visit decision, stage by stage.
+
+    ``fragments`` is the visit list in manifest (append) order — the
+    merge relies on that order for newest-wins duplicate semantics.
+    ``pruned_bbox`` counts fragments dropped because their bounding box
+    misses the query box (the seed's only pruning — the pre-existing
+    ``store.fragments_pruned`` counter keeps exactly this meaning);
+    ``pruned_zonemap`` counts fragments additionally dropped by
+    zone-map address pruning, which only exists with the planner on.
+    """
+
+    kind: str  # "points" | "box"
+    total_fragments: int
+    fragments: list[Any] = field(default_factory=list)
+    pruned_bbox: int = 0
+    pruned_zonemap: int = 0
+    used_index: bool = False
+    used_zonemaps: bool = False
+
+    def summary(self) -> str:
+        """Human-readable plan rendering (``FragmentStore.explain``)."""
+        after_bbox = self.total_fragments - self.pruned_bbox
+        stage1 = "bbox-index" if self.used_index else "bbox-scan"
+        lines = [
+            f"plan: {self.kind} query over "
+            f"{self.total_fragments} fragment(s)",
+            f"  {stage1:>10s}: {self.total_fragments} -> {after_bbox} "
+            f"({self.pruned_bbox} pruned)",
+        ]
+        if self.used_zonemaps:
+            lines.append(
+                f"  {'zone-map':>10s}: {after_bbox} -> "
+                f"{len(self.fragments)} ({self.pruned_zonemap} pruned)"
+            )
+        names = ", ".join(f.path.name for f in self.fragments[:8])
+        if len(self.fragments) > 8:
+            names += f", ... (+{len(self.fragments) - 8} more)"
+        lines.append(f"  visit: {names or '(none)'}")
+        return "\n".join(lines)
+
+
+class QueryPlanner:
+    """Per-store planner state: one cached :class:`FragmentIndex`.
+
+    The index is derived purely from the manifest fragment list, which
+    only changes under a generation bump, so caching per generation makes
+    rebuilds O(mutations) rather than O(reads).  Thread-safe: concurrent
+    readers share one build under an internal lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._index: FragmentIndex | None = None
+        self._generation: int | None = None
+
+    def index_for(
+        self, fragments: Sequence[Any], generation: int
+    ) -> FragmentIndex:
+        """The interval index for ``fragments`` at ``generation``."""
+        with self._lock:
+            if self._index is None or self._generation != generation:
+                self._index = FragmentIndex(fragments)
+                self._generation = generation
+                counter_add("store.plan.index_rebuilds")
+            return self._index
+
+    def plan(
+        self,
+        fragments: Sequence[Any],
+        generation: int,
+        query_box: Box,
+        *,
+        kind: str,
+        enabled: bool = True,
+        sorted_addresses: np.ndarray | None = None,
+        address_range: tuple[int, int] | None = None,
+    ) -> QueryPlan:
+        """Build the visit plan for one READ.
+
+        With ``enabled=False`` this is exactly the seed's linear
+        ``bbox.intersects`` scan (the plan-off reference the differential
+        harness compares against).  Otherwise the interval index supplies
+        the bbox survivors and, when the caller provides query addresses
+        (points) or an address envelope (boxes), zone maps prune further.
+        Fragments without a zone map are never pruned by the zone stage.
+        """
+        total = len(fragments)
+        if not enabled:
+            keep = [f for f in fragments if f.bbox.intersects(query_box)]
+            return QueryPlan(
+                kind=kind,
+                total_fragments=total,
+                fragments=keep,
+                pruned_bbox=total - len(keep),
+            )
+        index = self.index_for(fragments, generation)
+        cand = index.candidates(query_box)
+        keep = []
+        pruned_zone = 0
+        used_zone = False
+        for i in cand:
+            frag = index.fragments[i]
+            zone = getattr(frag, "zone", None)
+            if zone is not None and (
+                sorted_addresses is not None or address_range is not None
+            ):
+                used_zone = True
+                if sorted_addresses is not None:
+                    if not zone.may_contain_any(sorted_addresses):
+                        pruned_zone += 1
+                        continue
+                elif not zone.overlaps_range(*address_range):
+                    pruned_zone += 1
+                    continue
+            keep.append(frag)
+        return QueryPlan(
+            kind=kind,
+            total_fragments=total,
+            fragments=keep,
+            pruned_bbox=total - len(cand),
+            pruned_zonemap=pruned_zone,
+            used_index=True,
+            used_zonemaps=used_zone,
+        )

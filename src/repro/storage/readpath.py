@@ -32,6 +32,13 @@ the two pieces the store layer composes into that pipeline:
     share the lock, mutations exclude reads, and a compaction can never
     delete fragment files out from under an in-flight read.
 
+Fragment *selection* happens before any of this: the store builds one
+:class:`~repro.storage.planner.QueryPlan` per query (spatial index +
+zone-map pruning, see :mod:`repro.storage.planner` and
+``docs/QUERY_PLANNER.md``), and the same plan's fragment list feeds both
+the sequential loop and the parallel fan-out — so the two execution modes
+always visit identical fragment sets and merge identical results.
+
 See ``docs/READ_PATH.md`` for the full pipeline description and guidance
 on when ``parallel="thread"`` helps (fragment count × per-fragment decode
 cost).

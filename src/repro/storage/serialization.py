@@ -20,6 +20,14 @@ format metadata, and a manifest of every buffer (name, dtype, shape) so the
 payload can be reconstructed without importing the format first.  Buffers
 are 8-byte aligned so they can be wrapped zero-copy with ``frombuffer``.
 
+The read side accepts any C-contiguous buffer-protocol object — ``bytes``,
+``memoryview``, or an ``np.memmap`` of the whole file.  Sections are
+sliced through one ``memoryview``, so handing in a mapped file decodes
+``codec="raw"`` buffers *zero-copy*: the payload arrays alias the mapping
+and no whole-file byte copy is ever materialized (``bytes`` slicing would
+copy each section).  This is the substrate of the store's lazy read path
+(``FragmentStore(lazy_load=True)``, see ``docs/QUERY_PLANNER.md``).
+
 A trailing CRC-32 guards against truncation and bit rot; failure raises
 :class:`~repro.core.errors.ChecksumError` (a
 :class:`~repro.core.errors.FragmentError` subclass, exercised by the
@@ -45,6 +53,13 @@ _ALIGN = 8
 
 def _pad(n: int) -> int:
     return (-n) % _ALIGN
+
+
+def _as_view(data) -> memoryview:
+    """One flat byte view over ``data`` (no copy for any accepted input)."""
+    if isinstance(data, memoryview):
+        return data.cast("B") if data.format != "B" else data
+    return memoryview(data).cast("B")
 
 
 @dataclass
@@ -144,26 +159,28 @@ def pack_fragment(
     return body + struct.pack("<I", crc)
 
 
-def unpack_header(data: bytes) -> tuple[dict[str, Any], int]:
+def unpack_header(data) -> tuple[dict[str, Any], int]:
     """Decode just the JSON header; returns (header, offset_past_header).
 
     Used by the store to test fragment/box overlap without decoding the
-    index buffers.
+    index buffers.  ``data`` may be any C-contiguous buffer (``bytes``,
+    ``memoryview``, mapped file).
     """
-    if len(data) < len(MAGIC) + 8:
+    view = _as_view(data)
+    if len(view) < len(MAGIC) + 8:
         raise FragmentError("fragment truncated before header")
-    if data[: len(MAGIC)] != MAGIC:
+    if bytes(view[: len(MAGIC)]) != MAGIC:
         raise FragmentError(
-            f"bad magic {data[:len(MAGIC)]!r}; not a repro fragment"
+            f"bad magic {bytes(view[:len(MAGIC)])!r}; not a repro fragment"
         )
-    version, hlen = struct.unpack_from("<II", data, len(MAGIC))
+    version, hlen = struct.unpack_from("<II", view, len(MAGIC))
     if version != VERSION:
         raise FragmentError(f"unsupported fragment version {version}")
     start = len(MAGIC) + 8
-    if len(data) < start + hlen:
+    if len(view) < start + hlen:
         raise FragmentError("fragment truncated inside header")
     try:
-        header = json.loads(data[start : start + hlen].decode("utf-8"))
+        header = json.loads(bytes(view[start : start + hlen]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise FragmentError(f"corrupt fragment header: {exc}") from exc
     offset = start + hlen
@@ -171,16 +188,18 @@ def unpack_header(data: bytes) -> tuple[dict[str, Any], int]:
     return header, offset
 
 
-def verify_crc(data: bytes) -> None:
+def verify_crc(data) -> None:
     """Check the trailing CRC-32; raises on mismatch or truncation.
 
     Raises :class:`~repro.core.errors.ChecksumError` (a
     :class:`~repro.core.errors.FragmentError` subclass, so existing broad
-    handlers still catch it).
+    handlers still catch it).  Accepts any C-contiguous buffer;
+    ``zlib.crc32`` consumes the view without copying.
     """
-    if len(data) < 4:
+    view = _as_view(data)
+    if len(view) < 4:
         raise ChecksumError("fragment too small to contain a checksum")
-    body, tail = data[:-4], data[-4:]
+    body, tail = view[:-4], view[-4:]
     (stored_crc,) = struct.unpack("<I", tail)
     actual = zlib.crc32(body) & 0xFFFFFFFF
     if stored_crc != actual:
@@ -190,13 +209,22 @@ def verify_crc(data: bytes) -> None:
         )
 
 
-def unpack_fragment(data: bytes, *, check_crc: bool = True) -> FragmentPayload:
-    """Deserialize a fragment produced by :func:`pack_fragment`."""
+def unpack_fragment(data, *, check_crc: bool = True) -> FragmentPayload:
+    """Deserialize a fragment produced by :func:`pack_fragment`.
+
+    ``data`` may be ``bytes`` or any C-contiguous buffer-protocol object
+    (``memoryview``, whole-file ``np.memmap``).  Buffer sections are
+    sliced as sub-views, so raw-codec arrays alias ``data`` instead of
+    copying — pass a mapped file and the decode is zero-copy end to end.
+    The returned arrays are read-only either way (``frombuffer``
+    semantics); formats treat payload buffers as immutable.
+    """
     if check_crc:
         verify_crc(data)
     from .compression import decode_buffer
 
-    header, offset = unpack_header(data)
+    view = _as_view(data)
+    header, offset = unpack_header(view)
     buffers: dict[str, np.ndarray] = {}
     for entry in header["buffers"]:
         dtype = np.dtype(entry["dtype"])
@@ -204,13 +232,13 @@ def unpack_fragment(data: bytes, *, check_crc: bool = True) -> FragmentPayload:
         count = int(np.prod(shape)) if shape else 1
         codec = entry.get("codec", "raw")
         nbytes = int(entry.get("nbytes", count * dtype.itemsize))
-        if offset + nbytes > len(data):
+        if offset + nbytes > len(view):
             raise FragmentError(
                 f"fragment truncated inside buffer {entry['name']!r}"
             )
         try:
             arr = decode_buffer(
-                data[offset : offset + nbytes], codec, dtype, count
+                view[offset : offset + nbytes], codec, dtype, count
             )
         except zlib.error as exc:
             raise FragmentError(
@@ -222,11 +250,11 @@ def unpack_fragment(data: bytes, *, check_crc: bool = True) -> FragmentPayload:
     vcount = int(header["value_count"])
     vcodec = header.get("value_codec", "raw")
     vbytes = int(header.get("value_nbytes", vcount * vdtype.itemsize))
-    if offset + vbytes > len(data):
+    if offset + vbytes > len(view):
         raise FragmentError("fragment truncated inside value buffer")
     try:
         values = decode_buffer(
-            data[offset : offset + vbytes], vcodec, vdtype, vcount
+            view[offset : offset + vbytes], vcodec, vdtype, vcount
         )
     except zlib.error as exc:
         raise FragmentError(f"value buffer fails to decompress: {exc}") from exc

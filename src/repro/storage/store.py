@@ -29,6 +29,18 @@ and ``cache_bytes`` enables a bytes-bounded LRU of decoded fragments that
 is invalidated on every manifest generation change.  One store is safe
 under mixed concurrent read/write/compact traffic: mutations take the
 store's writer lock, reads share the reader side.
+
+Query planning (see :mod:`repro.storage.planner` and
+``docs/QUERY_PLANNER.md``): every read first builds a :class:`QueryPlan`
+— interval-index bbox pruning plus zone-map linear-address pruning over
+the manifest metadata — and only the plan's survivors are loaded.  The
+plan is computed once per query and shared by the sequential and parallel
+fan-outs.  ``planner=False`` restores the seed's linear ``bbox`` scan
+(results are byte-identical either way), ``lazy_load=True`` maps fragment
+files zero-copy instead of copying them, and ``crc_mode="once"`` memoizes
+the whole-file CRC per (fragment, generation) so repeated reads skip the
+re-hash.  ``FragmentStore.explain(query)`` returns the plan a read would
+use without executing it.
 """
 
 from __future__ import annotations
@@ -79,6 +91,7 @@ from .fragment import (
     record_fragment_written,
     write_fragment,
 )
+from .planner import QueryPlan, QueryPlanner, ZoneMap
 from .readpath import (
     FragmentCache,
     RWLock,
@@ -88,6 +101,18 @@ from .readpath import (
 
 #: Read-side corruption policies (``FragmentStore(on_corruption=...)``).
 CORRUPTION_POLICIES = ("raise", "skip", "quarantine")
+
+#: Whole-file CRC verification policies (``FragmentStore(crc_mode=...)``).
+#: ``"eager"`` re-hashes on every cache-miss load; ``"once"`` memoizes a
+#: successful verification per (fragment, generation) and skips the
+#: re-hash on later loads of the same committed bytes.
+CRC_MODES = ("eager", "once")
+
+#: Manifest schema version written by this code.  Version 2 adds the
+#: per-fragment ``"zone"`` entry (and the ``"version"`` key itself);
+#: version-1 manifests (no ``"version"`` key) load unchanged — missing
+#: zone maps are backfilled lazily on the first planned read.
+MANIFEST_VERSION = 2
 
 _FRAG_RE = re.compile(r"frag-(\d+)\.bin$")
 
@@ -129,6 +154,14 @@ class FragmentStore:
     every committed mutation.  ``read_points`` / ``read_box`` additionally
     accept ``parallel="thread"`` + ``max_workers`` to fan the per-fragment
     work out over the shared read pool.
+
+    ``planner`` (default on) routes every read through the query planner
+    (interval-index + zone-map pruning, see
+    :mod:`repro.storage.planner`); ``planner=False`` restores the seed's
+    linear bbox scan.  ``crc_mode`` picks the whole-file CRC policy
+    (:data:`CRC_MODES`), ``lazy_load=True`` maps fragment files zero-copy
+    instead of copying them into memory.  All three only change *how*
+    fragments are selected and loaded — query results are identical.
     """
 
     def __init__(
@@ -143,6 +176,9 @@ class FragmentStore:
         on_corruption: str = "raise",
         retry: RetryPolicy | None = None,
         cache_bytes: int = 0,
+        planner: bool = True,
+        crc_mode: str = "eager",
+        lazy_load: bool = False,
     ):
         from .compression import validate_codec
 
@@ -150,6 +186,10 @@ class FragmentStore:
             raise ValueError(
                 f"on_corruption must be one of {CORRUPTION_POLICIES}, "
                 f"got {on_corruption!r}"
+            )
+        if crc_mode not in CRC_MODES:
+            raise ValueError(
+                f"crc_mode must be one of {CRC_MODES}, got {crc_mode!r}"
             )
         self.directory = Path(directory)
         self.shape = tuple(int(m) for m in shape)
@@ -165,6 +205,18 @@ class FragmentStore:
         self.codec = validate_codec(codec)
         self.on_corruption = on_corruption
         self.retry = retry
+        self.use_planner = bool(planner)
+        self.crc_mode = crc_mode
+        self.lazy_load = bool(lazy_load)
+        self._linearizable = fits_index_dtype(self.shape)
+        #: Per-store planner state (cached interval index per generation).
+        self._planner = QueryPlanner()
+        # Fragments whose whole-file CRC verified at the current
+        # generation (crc_mode="once"); cleared on every manifest commit.
+        self._crc_verified: set[str] = set()
+        # One lazy zone-map backfill attempt per manifest load — corrupt
+        # fragments must not be re-probed on every read.
+        self._zone_backfill_done = False
         #: Decoded-fragment LRU (disabled when ``cache_bytes == 0``).
         self.cache = FragmentCache(cache_bytes)
         # Reader-writer lock (reads share, mutations exclude) plus a small
@@ -237,14 +289,19 @@ class FragmentStore:
                     bbox=Box(tuple(e["bbox_origin"]), tuple(e["bbox_size"])),
                     nbytes=int(e["nbytes"]),
                     crc=e.get("crc"),
+                    # Absent in version-1 manifests (and for fsck-recovered
+                    # entries): loads as None, backfilled lazily.
+                    zone=ZoneMap.from_json(e.get("zone")),
                 )
             )
+        self._zone_backfill_done = False
         self._warn_on_orphans()
 
     def _save_manifest(self) -> None:
         with self._state_lock:
             self._generation += 1
             entries = {
+                "version": MANIFEST_VERSION,
                 "generation": self._generation,
                 "shape": list(self.shape),
                 "format": self.format_name,
@@ -260,6 +317,7 @@ class FragmentStore:
                         "bbox_size": list(f.bbox.size),
                         "nbytes": f.nbytes,
                         "crc": f.crc,
+                        "zone": f.zone.to_json() if f.zone else None,
                     }
                     for f in self._fragments
                 ],
@@ -273,8 +331,11 @@ class FragmentStore:
             )
         # Every committed mutation (write / compact / rescan / quarantine)
         # bumps the generation, so invalidating here guarantees the cache
-        # can never serve a pre-mutation decode.
+        # can never serve a pre-mutation decode.  The CRC memo has the
+        # same lifetime: a hit must attest to the *current* committed
+        # bytes, never pre-mutation ones.
         self.cache.invalidate()
+        self._crc_verified.clear()
 
     def _scan_next_seq(self) -> int:
         """First unused fragment sequence number (manifest ∪ disk).
@@ -348,6 +409,9 @@ class FragmentStore:
                 counter_add("store.rescan_skipped", skipped)
             with self._state_lock:
                 self._fragments = fragments
+                # Headers carry no zone maps; let the first planned read
+                # backfill them.
+                self._zone_backfill_done = False
             self._save_manifest()
 
     # ------------------------------------------------------------------
@@ -455,6 +519,13 @@ class FragmentStore:
                 codec=self.codec,
             )
             t3 = time.perf_counter()
+            # Zone map from the *global* canonical sort (relative stores
+            # build from the rebased copy, so the global addresses are
+            # derived here; translation is monotone, the order is shared).
+            if self._linearizable:
+                info.zone = ZoneMap.from_addresses(
+                    canon.sorted_addresses, assume_sorted=True
+                )
             sp.add_nnz(canon.n)
             sp.add_bytes_out(info.nbytes)
         observe("store.build.seconds", t1 - t0, format=self.format_name)
@@ -518,6 +589,9 @@ class FragmentStore:
                     bbox=Box(item.bbox_origin, item.bbox_size),
                     nbytes=len(item.blob),
                     crc=fragment_file_crc(item.blob),
+                    # Workers compute zone stats next to their canonical
+                    # sort and ship them as JSON (process-pool friendly).
+                    zone=ZoneMap.from_json(item.zone),
                 )
                 record_fragment_written(
                     self.format_name,
@@ -543,11 +617,159 @@ class FragmentStore:
     # ------------------------------------------------------------------
 
     def _overlapping(self, query_box: Box) -> list[FragmentInfo]:
+        """Seed-style linear bbox scan (kept as the plan-off reference)."""
         # Materialized (not a generator): corruption handling may remove
         # entries from ``self._fragments`` while the caller iterates.
         with self._state_lock:
             fragments = list(self._fragments)
         return [f for f in fragments if f.bbox.intersects(query_box)]
+
+    # -- query planning -------------------------------------------------
+
+    def _plan_read(
+        self,
+        query_box: Box,
+        kind: str,
+        *,
+        sorted_addresses: np.ndarray | None = None,
+        address_range: tuple[int, int] | None = None,
+    ) -> QueryPlan:
+        """Plan one READ: snapshot the fragment list, prune, never load.
+
+        The returned plan's fragment list is materialized (corruption
+        handling may shrink ``self._fragments`` while the caller
+        iterates) and shared verbatim by the sequential and parallel
+        fan-outs, so both visit exactly the same fragments in the same
+        order.
+        """
+        if self.use_planner and not self._zone_backfill_done:
+            self.backfill_zone_maps()
+        with self._state_lock:
+            fragments = list(self._fragments)
+            generation = self._generation
+        return self._planner.plan(
+            fragments,
+            generation,
+            query_box,
+            kind=kind,
+            enabled=self.use_planner,
+            sorted_addresses=sorted_addresses,
+            address_range=address_range,
+        )
+
+    def _query_addresses(self, query: np.ndarray) -> np.ndarray | None:
+        """Ascending global addresses of a point query (zone-map key).
+
+        ``None`` when the shape overflows the uint64 address space — the
+        zone stage simply does not run there (exactly the shapes that
+        never had zone maps written).
+        """
+        if not (self.use_planner and self._linearizable):
+            return None
+        return np.sort(linearize(query, self.shape, validate=False))
+
+    def _box_address_range(self, box: Box) -> tuple[int, int] | None:
+        """Inclusive global-address envelope of ``box`` (zone-map key).
+
+        Row-major addresses are monotone in every coordinate, so every
+        cell of the box (clipped to the store shape — only stored points
+        matter) has an address in ``[lin(origin), lin(end - 1)]``.  The
+        envelope is valid for *any* box, not only axis-contained ones;
+        it is merely loose when the box spans few cells of many rows.
+        """
+        if not (self.use_planner and self._linearizable):
+            return None
+        clipped = box.intersection(Box(tuple(0 for _ in self.shape), self.shape))
+        if clipped.is_empty():
+            return None
+        corners = as_index_array(
+            [list(clipped.origin), [e - 1 for e in clipped.end]]
+        )
+        lo, hi = linearize(corners, self.shape, validate=False)
+        return int(lo), int(hi)
+
+    def backfill_zone_maps(self) -> int:
+        """Compute + persist zone maps missing from an old manifest.
+
+        Version-1 manifests (and fsck-recovered entries) carry no zone
+        maps; the first planned read lands here and derives each missing
+        map from the fragment's sorted global address run, then commits
+        the upgraded manifest.  Runs at most once per manifest load —
+        fragments that fail to load keep ``zone=None`` (they are never
+        zone-pruned) rather than being re-probed on every read.  Returns
+        the number of zone maps added.
+        """
+        done = 0
+        with self._state_lock:
+            self._zone_backfill_done = True
+            if not self._linearizable:
+                return 0
+            stale = [f for f in self._fragments if f.zone is None and f.nnz]
+            for frag in stale:
+                try:
+                    payload = load_fragment(frag.path)
+                    run = self._fragment_sorted_run(frag, payload)
+                except (FragmentError, OSError):
+                    continue
+                frag.zone = ZoneMap.from_addresses(
+                    run.addresses, assume_sorted=True
+                )
+                done += 1
+            if done:
+                counter_add("store.plan.zone_backfilled", done)
+                try:
+                    # Commit the schema upgrade (safe under a held reader:
+                    # same precedent as the quarantine path).  A failed
+                    # commit keeps the in-memory maps — reads still
+                    # benefit; the next open retries the persist.
+                    self._save_manifest()
+                except OSError:
+                    warnings.warn(
+                        f"store {self.directory}: zone-map backfill could "
+                        "not be persisted; maps remain in-memory only",
+                        stacklevel=3,
+                    )
+        return done
+
+    def explain(self, query) -> QueryPlan:
+        """The :class:`QueryPlan` a read of ``query`` would use — without
+        executing it.
+
+        ``query`` is either a coordinate buffer (``read_points``) or a
+        :class:`Box` (``read_box``).  ``plan.summary()`` renders the
+        stage-by-stage pruning; the debugging hook behind
+        ``repro stats --plan``.
+        """
+        if isinstance(query, Box):
+            return self._plan_read(
+                query, "box", address_range=self._box_address_range(query)
+            )
+        query = as_index_array(query)
+        if query.ndim != 2 or query.shape[1] != len(self.shape):
+            raise ShapeError("query coords must be (q, d) matching the store")
+        if query.shape[0] == 0:
+            return QueryPlan(kind="points", total_fragments=len(self.fragments))
+        return self._plan_read(
+            extract_boundary(query),
+            "points",
+            sorted_addresses=self._query_addresses(query),
+        )
+
+    # -- coordinate rebasing (relative fragments) -----------------------
+
+    def _frag_origin(self, frag: FragmentInfo) -> np.ndarray:
+        return as_index_array(list(frag.bbox.origin))
+
+    def _to_local(self, frag: FragmentInfo, coords: np.ndarray) -> np.ndarray:
+        """Global → fragment-local coordinates (relative fragments store
+        against their own bounding box)."""
+        return coords - self._frag_origin(frag)[np.newaxis, :]
+
+    def _to_global(self, frag: FragmentInfo, coords: np.ndarray) -> np.ndarray:
+        """Fragment-local → global coordinates — inverse of
+        :meth:`_to_local`; the one rebase used by every read path and the
+        planner's zone-map backfill."""
+        return coords + self._frag_origin(frag)[np.newaxis, :]
 
     def _quarantine_fragment(self, frag: FragmentInfo, reason: str) -> None:
         """Move a corrupt fragment to ``.quarantine/`` and de-list it."""
@@ -570,18 +792,36 @@ class FragmentStore:
         raises :class:`~repro.core.errors.FragmentError` — the *caller*
         applies the ``on_corruption`` policy, so the sequential loop and
         the parallel coordinator share one policy implementation.
+
+        ``crc_mode="once"`` skips the whole-file re-hash when this
+        fragment already verified at the current generation (the memo is
+        cleared on every manifest commit alongside the cache, so a hit
+        can never attest stale bytes); ``lazy_load`` maps the file
+        zero-copy instead of reading a byte copy.
         """
         payload = self.cache.get(frag.path.name)
         if payload is not None:
             return payload
+        effective_crc = check_crc
+        if (
+            check_crc
+            and self.crc_mode == "once"
+            and frag.path.name in self._crc_verified
+        ):
+            effective_crc = False
+            counter_add("store.plan.crc_memo_hits")
 
         def attempt():
-            return load_fragment(frag.path, check_crc=check_crc)
+            return load_fragment(
+                frag.path, check_crc=effective_crc, lazy=self.lazy_load
+            )
 
         if self.retry is not None:
             payload = self.retry.run(attempt, op="fragment.load")
         else:
             payload = attempt()
+        if check_crc and self.crc_mode == "once":
+            self._crc_verified.add(frag.path.name)
         self.cache.put(frag.path.name, payload)
         return payload
 
@@ -708,8 +948,7 @@ class FragmentStore:
                 return None
             sub = query[mask]
             if payload.extra.get("relative"):
-                origin = as_index_array(list(frag.bbox.origin))
-                sub = sub - origin[np.newaxis, :]
+                sub = self._to_local(frag, sub)
             # Worker threads charge a private counter, folded into the
             # span's counter at merge time (OpCounter is lock-free).
             ops = OpCounter() if use_threads else sp.ops
@@ -720,8 +959,12 @@ class FragmentStore:
 
         with self._rw.read_locked():
             with span("store.read_points", format=self.format_name) as sp:
-                qbox = extract_boundary(query)
-                frags = self._overlapping(qbox)
+                plan = self._plan_read(
+                    extract_boundary(query),
+                    "points",
+                    sorted_addresses=self._query_addresses(query),
+                )
+                frags = plan.fragments
                 visited = len(frags)
                 per_fragment = self._run_fragment_tasks(
                     frags, point_task,
@@ -740,7 +983,7 @@ class FragmentStore:
                     out_values[idx] = vals
                 matched = int(found.sum())
                 sp.add_nnz(matched)
-        self._record_pruning(visited)
+        self._record_pruning(plan)
         counter_add("store.points_queried", q)
         counter_add("store.points_matched", matched)
         if out_values is None:
@@ -752,12 +995,24 @@ class FragmentStore:
             points_matched=matched,
         )
 
-    def _record_pruning(self, visited: int) -> None:
-        """Account bbox overlap pruning for one READ fan-out."""
-        counter_add("store.fragments_visited", visited)
-        counter_add(
-            "store.fragments_pruned", len(self._fragments) - visited
-        )
+    def _record_pruning(self, plan: QueryPlan) -> None:
+        """Account one READ fan-out's pruning, stage by stage.
+
+        ``store.fragments_pruned`` keeps its pre-planner meaning — bbox
+        overlap prunes only — so dashboards built on it read unchanged;
+        planner-specific prunes land exclusively in the ``store.plan.*``
+        counters.
+        """
+        counter_add("store.fragments_visited", len(plan.fragments))
+        counter_add("store.fragments_pruned", plan.pruned_bbox)
+        if plan.used_index and plan.pruned_bbox:
+            counter_add(
+                "store.plan.fragments_pruned_index", plan.pruned_bbox
+            )
+        if plan.pruned_zonemap:
+            counter_add(
+                "store.plan.fragments_pruned_zonemap", plan.pruned_zonemap
+            )
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -801,8 +1056,7 @@ class FragmentStore:
 
         tensor = fragment_to_tensor(payload)
         if payload.extra.get("relative"):
-            origin = as_index_array(list(frag.bbox.origin))
-            coords = tensor.coords + origin[np.newaxis, :]
+            coords = self._to_global(frag, tensor.coords)
             return SparseTensor(self.shape, coords, tensor.values)
         return SparseTensor(self.shape, tensor.coords, tensor.values)
 
@@ -870,9 +1124,8 @@ class FragmentStore:
             values = values[positions]
         if payload.extra.get("relative"):
             local = delinearize(addresses, payload.shape, validate=False)
-            origin = as_index_array(list(frag.bbox.origin))
             addresses = linearize(
-                local + origin[np.newaxis, :], self.shape, validate=False
+                self._to_global(frag, local), self.shape, validate=False
             )
         return SortedRun(
             addresses=addresses, values=values, positions=positions
@@ -977,6 +1230,7 @@ class FragmentStore:
                 self._load_manifest()
                 self._next_seq = self._scan_next_seq()
                 self.cache.invalidate()
+                self._crc_verified.clear()
         return report
 
     def read_box(
@@ -1015,14 +1269,13 @@ class FragmentStore:
                 inter = box.intersection(frag.bbox)
                 if inter.is_empty():
                     return None
-                origin = as_index_array(list(frag.bbox.origin))
                 query_box = Box(
                     tuple(int(o) - int(g) for o, g in
                           zip(inter.origin, frag.bbox.origin)),
                     inter.size,
                 )
                 coords, positions = query_fragment_box(payload, query_box)
-                coords = coords + origin[np.newaxis, :]
+                coords = self._to_global(frag, coords)
             else:
                 coords, positions = query_fragment_box(payload, query_box)
             return coords, payload.values[positions]
@@ -1031,10 +1284,12 @@ class FragmentStore:
         all_values: list[np.ndarray] = []
         with self._rw.read_locked():
             with span("store.read_box", format=self.format_name) as sp:
-                frags = self._overlapping(box)
-                visited = len(frags)
+                plan = self._plan_read(
+                    box, "box", address_range=self._box_address_range(box)
+                )
                 for _frag, result in self._run_fragment_tasks(
-                    frags, box_task, parallel=parallel, max_workers=max_workers
+                    plan.fragments, box_task,
+                    parallel=parallel, max_workers=max_workers,
                 ):
                     if result is None:
                         continue
@@ -1042,7 +1297,7 @@ class FragmentStore:
                     all_coords.append(coords)
                     all_values.append(values)
                 sp.add_nnz(sum(c.shape[0] for c in all_coords))
-        self._record_pruning(visited)
+        self._record_pruning(plan)
         if not all_coords:
             return SparseTensor.empty(self.shape)
         coords = np.vstack(all_coords)

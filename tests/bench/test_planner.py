@@ -1,0 +1,34 @@
+"""Tier-1 smoke hook for the query-planner microbench (assert-only).
+
+Imports ``benchmarks/bench_planner.py`` by path (the benchmarks directory
+is not a package) and asserts the plan-on vs plan-off scattered-point
+speedup at a laxer floor than the standalone run, so a regression that
+makes the planner stop pruning (or visit every fragment again) fails the
+regular suite, not just the benchmark run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_BENCH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_planner.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_planner", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_planner_speedup_smoke():
+    bench = _load_bench()
+    result = bench.bench_planner(n_fragments=256, points=128, repeats=3)
+    bench.assert_speedup_ok(result, bench.MIN_SPEEDUP_SMOKE)
+    # The speedup must come from pruning, not noise: the scattered batch
+    # touches QUERY_BANDS bands, so plan-on visits far fewer fragments.
+    assert result["visited_off"] == 256
+    assert result["visited_on"] <= 4 * bench.QUERY_BANDS

@@ -338,3 +338,118 @@ class TestStoreDifferential:
         np.testing.assert_array_equal(cold.found, warm.found)
         np.testing.assert_array_equal(cold.values, warm.values)
         assert store.cache.hits > 0 or store.cache.misses == 0
+
+
+class TestPlannerDifferential:
+    """The query planner must be unobservable in results.
+
+    Every store above already runs plan-on (the default); this class
+    pins the other direction: plan-on vs plan-off (the seed's linear
+    bbox scan), stale pre-zone-map manifests, degenerate fragments, and
+    the crc/lazy load variants all return byte-identical outcomes.
+    ``ReadOutcome.fragments_visited`` is deliberately *not* compared —
+    visiting fewer fragments is the planner's entire point.
+    """
+
+    SEEDS = range(12)
+
+    @staticmethod
+    def _assert_same_reads(store_a, store_b, overlay, rng, label):
+        queries = random_queries(rng, overlay)
+        box = random_box(rng, overlay.shape)
+        for parallel in ("none", "thread"):
+            a = store_a.read_points(queries, parallel=parallel)
+            b = store_b.read_points(queries, parallel=parallel)
+            np.testing.assert_array_equal(
+                a.found, b.found, err_msg=f"{label}/{parallel}: found"
+            )
+            np.testing.assert_array_equal(
+                a.values, b.values, err_msg=f"{label}/{parallel}: values"
+            )
+            assert a.points_matched == b.points_matched, label
+            ta = store_a.read_box(box, parallel=parallel)
+            tb = store_b.read_box(box, parallel=parallel)
+            np.testing.assert_array_equal(
+                ta.coords, tb.coords, err_msg=f"{label}/{parallel}: box"
+            )
+            np.testing.assert_array_equal(
+                ta.values, tb.values, err_msg=f"{label}/{parallel}: box"
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_plan_on_off_byte_identical(self, tmp_path, seed):
+        fmt_name = DIFF_FORMATS[seed % len(DIFF_FORMATS)]
+        store_on, overlay, rng = TestStoreDifferential.build_store(
+            tmp_path, seed, fmt_name
+        )
+        store_off = FragmentStore(
+            store_on.directory, overlay.shape, fmt_name, planner=False
+        )
+        self._assert_same_reads(
+            store_on, store_off, overlay, rng,
+            f"{fmt_name}/seed={seed}/plan-on-vs-off",
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stale_manifest_backfills_and_agrees(self, tmp_path, seed):
+        """A pre-zone-map (v1) manifest reads identically after the lazy
+        schema upgrade the first planned read performs."""
+        import json
+
+        fmt_name = DIFF_FORMATS[seed % len(DIFF_FORMATS)]
+        store, overlay, rng = TestStoreDifferential.build_store(
+            tmp_path, seed, fmt_name
+        )
+        path = store.directory / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest.pop("version", None)
+        for entry in manifest["fragments"]:
+            entry.pop("zone", None)
+        path.write_text(json.dumps(manifest))
+        stale = FragmentStore(store.directory, overlay.shape, fmt_name)
+        off = FragmentStore(
+            store.directory, overlay.shape, fmt_name, planner=False
+        )
+        self._assert_same_reads(
+            stale, off, overlay, rng, f"{fmt_name}/seed={seed}/stale"
+        )
+        assert all(f.zone is not None for f in stale.fragments if f.nnz)
+
+    @pytest.mark.parametrize("fmt_name", DIFF_FORMATS)
+    def test_degenerate_fragments(self, tmp_path, fmt_name):
+        """Empty and single-point fragments survive planning."""
+        shape = (6, 6, 6)
+        store = FragmentStore(tmp_path / "ds", shape, fmt_name)
+        store.write(np.empty((0, 3), dtype=np.uint64), np.empty(0))
+        store.write(np.array([[5, 5, 5]], dtype=np.uint64), np.ones(1))
+        store.write(np.array([[0, 0, 0]], dtype=np.uint64), -np.ones(1))
+        off = FragmentStore(tmp_path / "ds", shape, fmt_name, planner=False)
+        queries = np.array(
+            [[5, 5, 5], [0, 0, 0], [3, 3, 3]], dtype=np.uint64
+        )
+        a = store.read_points(queries)
+        b = off.read_points(queries)
+        np.testing.assert_array_equal(a.found, [True, True, False])
+        np.testing.assert_array_equal(a.found, b.found)
+        np.testing.assert_array_equal(a.values, b.values)
+        box = Box((0, 0, 0), shape)
+        np.testing.assert_array_equal(
+            store.read_box(box).values, off.read_box(box).values
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_crc_once_and_lazy_agree_with_eager(self, tmp_path, seed):
+        fmt_name = DIFF_FORMATS[seed % len(DIFF_FORMATS)]
+        eager, overlay, rng = TestStoreDifferential.build_store(
+            tmp_path, seed, fmt_name
+        )
+        tuned = FragmentStore(
+            eager.directory, overlay.shape, fmt_name,
+            crc_mode="once", lazy_load=True,
+        )
+        # Read twice so the second round exercises the CRC memo.
+        for _ in range(2):
+            self._assert_same_reads(
+                eager, tuned, overlay, rng,
+                f"{fmt_name}/seed={seed}/crc-once-lazy",
+            )

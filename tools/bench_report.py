@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Benchmark trajectory recorder: run the tier-1 bench smokes, log numbers.
+
+Runs the repository's assertable microbenchmarks in-process (the same
+code paths the tier-1 smokes exercise, at their standalone sizes) and
+appends one JSON record per benchmark to
+``benchmarks/reports/BENCH_<name>.json`` — a growing array of
+``{date, commit, metrics...}`` entries, so performance over the commit
+history is a dataset rather than folklore.
+
+Currently recorded:
+
+* ``read_planner`` (``benchmarks/bench_planner.py``) — plan-on/off x
+  crc_mode point/box times and the headline speedups;
+* ``parallel_read`` (``benchmarks/bench_parallel_read.py``) — cold vs
+  warm-cache read times.
+
+The speedup floors are asserted exactly as in the standalone runs, so a
+CI invocation fails loudly on a real regression — wire it as a
+non-blocking job (``continue-on-error``) to keep timing jitter from
+gating merges while still recording every data point.
+
+Usage::
+
+    python tools/bench_report.py [--out-dir benchmarks/reports] [--smoke]
+
+``--smoke`` runs the laxer tier-1 floors/sizes (for constrained CI
+runners); the default is the standalone configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_bench(name: str):
+    path = REPO / "benchmarks" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO, text=True,
+        ).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def append_record(out_dir: Path, name: str, metrics: dict) -> Path:
+    """Append one trajectory record to ``BENCH_<name>.json``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    records = []
+    if path.exists():
+        try:
+            records = json.loads(path.read_text())
+        except ValueError:
+            # Never let a damaged report file block recording; start over
+            # but keep the damaged content aside for inspection.
+            path.rename(path.with_suffix(".json.corrupt"))
+    records.append({
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": git_commit(),
+        **{k: round(v, 6) if isinstance(v, float) else v
+           for k, v in metrics.items()},
+    })
+    path.write_text(json.dumps(records, indent=1) + "\n")
+    return path
+
+
+def run_read_planner(smoke: bool) -> dict:
+    bench = load_bench("bench_planner")
+    if smoke:
+        result = bench.bench_planner(n_fragments=256, points=128, repeats=3)
+        floor = bench.MIN_SPEEDUP_SMOKE
+    else:
+        result = bench.bench_planner()
+        floor = bench.MIN_SPEEDUP
+    bench.assert_speedup_ok(result, floor)
+    return {**result, "floor": floor}
+
+
+def run_parallel_read(smoke: bool) -> dict:
+    bench = load_bench("bench_parallel_read")
+    if smoke:
+        result = bench.bench_parallel_read(
+            n_fragments=16, points=8_000, repeats=3
+        )
+        floor = bench.MIN_SPEEDUP_SMOKE
+    else:
+        result = bench.bench_parallel_read()
+        floor = bench.MIN_SPEEDUP
+    bench.assert_speedup_ok(result, floor)
+    return {**result, "floor": floor}
+
+
+BENCHES = {
+    "read_planner": run_read_planner,
+    "parallel_read": run_parallel_read,
+}
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir", type=Path, default=REPO / "benchmarks" / "reports"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tier-1 smoke sizes/floors (for constrained CI runners)",
+    )
+    parser.add_argument(
+        "--only", choices=sorted(BENCHES), default=None,
+        help="run a single benchmark instead of all of them",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for name, runner in BENCHES.items():
+        if args.only and name != args.only:
+            continue
+        try:
+            metrics = runner(args.smoke)
+        except AssertionError as exc:
+            print(f"{name}: REGRESSION — {exc}", file=sys.stderr)
+            failed = True
+            continue
+        path = append_record(args.out_dir, name, metrics)
+        headline = metrics.get("point_speedup", metrics.get("speedup"))
+        print(f"{name}: {headline:.2f}x (floor {metrics['floor']}x) "
+              f"-> {path.relative_to(REPO)}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
