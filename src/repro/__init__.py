@@ -74,7 +74,10 @@ from .storage import (
     FragmentCache,
     FragmentStore,
     FsckReport,
+    ReadOptions,
     RetryPolicy,
+    ShardedStore,
+    StoreOptions,
     StreamingWriter,
     convert_store,
     fsck,
@@ -134,7 +137,10 @@ __all__ = [
     "FragmentCache",
     "FragmentStore",
     "FsckReport",
+    "ReadOptions",
     "RetryPolicy",
+    "ShardedStore",
+    "StoreOptions",
     "fsck",
     "__version__",
 ]

@@ -31,6 +31,7 @@ from ..core.sorting import stable_argsort
 from ..core.tensor import SparseTensor
 from ..storage.fragment import load_fragment, query_fragment
 from ..storage.iosim import PERLMUTTER_LUSTRE, PFSProfile
+from ..storage.options import StoreOptions
 from ..storage.store import FragmentStore
 from .timers import PhaseTimer
 
@@ -120,7 +121,10 @@ def write_benchmark(
     try:
         timer = PhaseTimer()
         with timer.total():
-            store = FragmentStore(directory, tensor.shape, format_name, fsync=fsync)
+            store = FragmentStore(
+                directory, tensor.shape, format_name,
+                options=StoreOptions(fsync=fsync),
+            )
             receipt = store.write_tensor(tensor)
         timer.add("build", receipt.build_seconds)
         timer.add("reorg", receipt.reorg_seconds)
@@ -279,7 +283,8 @@ def run_write_read(
         timer = PhaseTimer()
         with timer.total():
             store = FragmentStore(
-                directory, tensor.shape, format_name, fsync=fsync
+                directory, tensor.shape, format_name,
+                options=StoreOptions(fsync=fsync),
             )
             receipt = store.write_tensor(tensor)
         write = WriteMeasurement(

@@ -20,14 +20,16 @@
     round-trip — against an existing store or a synthetic demo — and print
     every recorded counter, gauge, and latency histogram, plus a
     decoded-fragment cache section (``--cache-bytes`` sets the budget,
-    ``--parallel thread`` fans the reads out over the read pool, and
+    ``--parallel thread`` fans the reads out over the read pool,
     ``--build`` adds a unified-build-pipeline section showing the
-    canonical-intermediate counters).
+    canonical-intermediate counters, and ``--shards`` adds the
+    per-shard band table for a ``ShardedStore``).
 ``fsck``
-    Verify a fragment store: every fragment's header and CRC checked
-    against the manifest, drift reported (missing/extra/corrupt/stale
-    temp files); ``--repair`` rebuilds the manifest, recovers readable
-    uncommitted fragments, and quarantines unreadable ones.
+    Verify a store: every fragment's header and CRC checked against the
+    manifest, drift reported (missing/extra/corrupt/stale temp files);
+    sharded directories are auto-detected and get the parent+children
+    walk; ``--repair`` rebuilds manifests, recovers readable uncommitted
+    fragments, and quarantines unreadable ones.
 """
 
 from __future__ import annotations
@@ -87,12 +89,25 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_encode(args: argparse.Namespace) -> int:
+    from .storage.options import StoreOptions
+    from .storage.sharded import ShardedStore
     from .storage.store import FragmentStore
 
     tensor = _load_dataset(args.dataset)
-    store = FragmentStore(
-        args.store, tensor.shape, args.format, codec=args.codec
-    )
+    options = StoreOptions(codec=args.codec)
+    if args.shards:
+        store = ShardedStore(
+            args.store, tensor.shape, args.format,
+            n_shards=args.shards, options=options,
+        )
+        receipts = store.write_tensor(tensor)
+        print(f"wrote {len(receipts)} band fragments across "
+              f"{len(store.shards)} shards: "
+              f"file={sum(r.file_nbytes for r in receipts):,} B "
+              f"(build {sum(r.build_seconds for r in receipts) * 1000:.1f} ms)")
+        return 0
+    store = FragmentStore(args.store, tensor.shape, args.format,
+                          options=options)
     receipt = store.write_tensor(tensor)
     print(f"wrote fragment {receipt.info.path.name}: "
           f"index={receipt.index_nbytes:,} B values={receipt.value_nbytes:,} B "
@@ -235,26 +250,69 @@ def _render_build_section() -> str:
     return "\n".join(lines)
 
 
+def _render_shards_section(store) -> str:
+    """The ``repro stats --shards`` section: per-band summary rows."""
+    from .bench.report import format_bytes, render_table
+
+    rows = [
+        [r["shard"], f"[{r['addr_lo']}, {r['addr_hi']})", r["nnz"],
+         r["fragments"], format_bytes(r["nbytes"]), r["generation"]]
+        for r in store.stats()
+    ]
+    return render_table(
+        ["shard", "address band", "nnz", "fragments", "bytes", "gen"],
+        rows,
+        title=(f"shards (parent generation {store.generation}, "
+               f"{store.nnz:,} points)"),
+        formatters={2: str, 3: str, 4: str, 5: str},
+    )
+
+
+def _open_stats_store(args, options):
+    """Open ``args.store`` as the right store kind for ``repro stats``.
+
+    Returns ``(store, cache)`` — ``cache`` is ``None`` for sharded
+    stores, whose decoded-fragment caches live per child.
+    """
+    import json
+
+    from .storage.sharded import ShardedStore, is_sharded_dir
+    from .storage.store import FragmentStore
+
+    if is_sharded_dir(args.store):
+        doc = json.loads((Path(args.store) / "shards.json").read_text())
+        store = ShardedStore(
+            args.store, doc["shape"], doc["format"], options=options
+        )
+        return store, None
+    manifest = json.loads((Path(args.store) / "manifest.json").read_text())
+    store = FragmentStore(
+        args.store, manifest["shape"], manifest["format"], options=options
+    )
+    return store, store.cache
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
     import tempfile
 
     from . import obs
     from .core.boundary import Box
+    from .storage.options import ReadOptions, StoreOptions
+    from .storage.sharded import ShardedStore
     from .storage.store import FragmentStore
 
     obs.enable()
     obs.reset()
     rng = np.random.default_rng(args.seed)
+    store_options = StoreOptions(cache_bytes=args.cache_bytes)
+    read_options = ReadOptions(parallel=args.parallel)
     cache = None
     plan_summary = None
+    shard_table = None
 
     if args.store:
-        manifest = json.loads((Path(args.store) / "manifest.json").read_text())
-        store = FragmentStore(
-            args.store, manifest["shape"], manifest["format"],
-            cache_bytes=args.cache_bytes,
-        )
+        store, cache = _open_stats_store(args, store_options)
         if not store.fragments:
             print(f"store {args.store} has no fragments", file=sys.stderr)
             return 1
@@ -272,39 +330,56 @@ def cmd_stats(args: argparse.Namespace) -> int:
         # Two rounds: the second demonstrates warm-cache hits (and the
         # parallel pipeline when --parallel thread is given).
         for _ in range(2):
-            store.read_points(queries, parallel=args.parallel)
-            store.read_box(store.fragments[0].bbox, parallel=args.parallel)
-        cache = store.cache
+            store.read_points(queries, options=read_options)
+            store.read_box(store.fragments[0].bbox, options=read_options)
         if args.plan:
             plan_summary = store.explain(store.fragments[0].bbox).summary()
+        if args.shards:
+            if not isinstance(store, ShardedStore):
+                print(f"store {args.store} is not sharded "
+                      "(--shards needs a ShardedStore directory)",
+                      file=sys.stderr)
+                return 1
+            shard_table = _render_shards_section(store)
         title = f"repro observability — store {args.store}"
     else:
         # Self-contained demo: two disjoint fragments, so the read shows
-        # bbox overlap pruning alongside byte and latency metrics.
+        # bbox overlap pruning alongside byte and latency metrics.  With
+        # --shards the demo store is a 4-band ShardedStore instead, so
+        # the per-shard table and store.shard.* counters have data.
         shape = (64, 64, 64)
         n = max(16, args.points)
         with tempfile.TemporaryDirectory() as tmp:
-            store = FragmentStore(
-                tmp, shape, args.format, cache_bytes=args.cache_bytes
-            )
+            if args.shards:
+                store = ShardedStore(
+                    tmp, shape, args.format, n_shards=4,
+                    options=store_options,
+                )
+            else:
+                store = FragmentStore(
+                    tmp, shape, args.format, options=store_options
+                )
             low = rng.integers(0, 32, size=(n, 3)).astype(np.uint64)
             high = rng.integers(32, 64, size=(n, 3)).astype(np.uint64)
             store.write(low, rng.random(n))
             store.write(high, rng.random(n))
             for _ in range(2):
                 store.read_points(
-                    low[: max(1, n // 2)], parallel=args.parallel
+                    low[: max(1, n // 2)], options=read_options
                 )
                 store.read_box(
-                    Box((0, 0, 0), (16, 16, 16)), parallel=args.parallel
+                    Box((0, 0, 0), (16, 16, 16)), options=read_options
                 )
-            cache = store.cache
+            cache = None if args.shards else store.cache
             if args.plan:
                 plan_summary = store.explain(
                     Box((0, 0, 0), (16, 16, 16))
                 ).summary()
+            if args.shards:
+                shard_table = _render_shards_section(store)
+        kind = "4-shard" if args.shards else "2-fragment"
         title = (f"repro observability — demo round-trip "
-                 f"({args.format}, 2 fragments, {n} points each)")
+                 f"({args.format}, {kind}, {n} points per write)")
 
     if args.build:
         # Exercise the shared-intermediate write pipeline so the
@@ -329,12 +404,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     if args.json:
         payload = json.loads(obs.to_json())
-        payload["cache"] = cache.stats()
+        if cache is not None:
+            payload["cache"] = cache.stats()
         print(json.dumps(payload, indent=1))
     else:
         print(obs.render_table(title=title))
-        print()
-        print(_render_cache_section(cache))
+        if cache is not None:
+            print()
+            print(_render_cache_section(cache))
+        if shard_table is not None:
+            print()
+            print(shard_table)
         if args.plan:
             print()
             print(_render_plan_section(plan_summary))
@@ -348,8 +428,14 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     import json
 
     from .storage.durability import fsck
+    from .storage.sharded import fsck_sharded, is_sharded_dir
 
-    report = fsck(args.store, repair=args.repair)
+    # A sharded directory (parent manifest or any range.json breadcrumb)
+    # gets the parent+children walk; anything else the flat-store check.
+    if is_sharded_dir(args.store):
+        report = fsck_sharded(args.store, repair=args.repair)
+    else:
+        report = fsck(args.store, repair=args.repair)
     if args.json:
         print(json.dumps(report.as_dict(), indent=1))
     else:
@@ -392,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-f", "--format", default="LINEAR")
     p.add_argument("--codec", default="raw",
                    choices=["raw", "zlib", "delta-zlib"])
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="write into a range-partitioned ShardedStore "
+                        "with N bands instead of a flat FragmentStore")
     p.set_defaults(func=cmd_encode)
 
     p = sub.add_parser("info", help="inspect a fragment store")
@@ -426,15 +515,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also exercise the unified build pipeline "
                         "(encode_all + merge compaction) and print the "
                         "build.canonical.* counter section")
+    p.add_argument("--shards", action="store_true",
+                   help="also print the per-shard band table; with "
+                        "--store the directory must be a ShardedStore, "
+                        "without it the demo store is built 4-way sharded")
     p.add_argument("--json", action="store_true",
                    help="emit the metrics snapshot as JSON")
     p.set_defaults(func=cmd_stats)
 
-    p = sub.add_parser("fsck", help="verify/repair a fragment store")
-    p.add_argument("store", help="fragment store directory")
+    p = sub.add_parser("fsck",
+                       help="verify/repair a store (sharded auto-detected)")
+    p.add_argument("store", help="store directory (flat or sharded)")
     p.add_argument("--repair", action="store_true",
-                   help="rebuild the manifest; recover readable orphans, "
-                        "quarantine unreadable fragments")
+                   help="rebuild manifests; recover readable orphans, "
+                        "quarantine unreadable fragments (sharded: also "
+                        "rebuild the parent from range.json sidecars)")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON")
     p.set_defaults(func=cmd_fsck)

@@ -19,12 +19,16 @@ lives in memory, in one fragment directory, or sharded over blocks.
 
 The storage-backed implementations (:class:`~repro.storage.store.
 FragmentStore`, :class:`~repro.storage.adaptive.AdaptiveStore`,
-:class:`~repro.storage.blocks.BlockedDataset`) additionally share one
-keyword-only *tuning surface* on both methods — ``faithful``,
-``check_crc``, ``parallel`` (``"none"`` | ``"thread"``), and
-``max_workers`` — so per-call read tuning is portable across every store
-kind (see ``docs/READ_PATH.md``).  In-memory encodings ignore storage
-tuning by construction: there is nothing to cache or fan out.
+:class:`~repro.storage.blocks.BlockedDataset`,
+:class:`~repro.storage.sharded.ShardedStore`) additionally share one
+keyword-only *tuning surface* on both methods — a single
+``options=``\\ :class:`~repro.storage.options.ReadOptions` value, plus
+the pre-consolidation keywords ``faithful``, ``check_crc``, ``parallel``
+(``"none"`` | ``"thread"``), and ``max_workers`` as warn-once
+deprecation shims — so per-call read tuning is portable across every
+store kind (see ``docs/READ_PATH.md`` and ``docs/API_GUIDE.md``).
+In-memory encodings ignore storage tuning by construction: there is
+nothing to cache or fan out.
 """
 
 from __future__ import annotations
@@ -40,8 +44,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: The keyword-only per-call tuning parameters every storage-backed
 #: ``Readable`` accepts on ``read_points`` and ``read_box`` (snapshot
-#: tested in ``tests/test_public_api.py``).
-STORE_READ_TUNING = ("faithful", "check_crc", "parallel", "max_workers")
+#: tested in ``tests/test_public_api.py``).  ``options`` is the
+#: consolidated :class:`~repro.storage.options.ReadOptions` spelling; the
+#: rest are its warn-once deprecated keyword shims.
+STORE_READ_TUNING = (
+    "options", "faithful", "check_crc", "parallel", "max_workers"
+)
 
 
 @dataclass

@@ -63,6 +63,17 @@ from .serialization import (
 )
 from .adaptive import AdaptiveStore
 from .convert import convert_store
+from .options import (
+    CORRUPTION_POLICIES,
+    ReadOptions,
+    StoreOptions,
+)
+from .sharded import (
+    ShardedStore,
+    ShardEntry,
+    fsck_sharded,
+    is_sharded_dir,
+)
 from .store import (
     CRC_MODES,
     MANIFEST_VERSION,
@@ -122,6 +133,13 @@ __all__ = [
     "verify_crc",
     "AdaptiveStore",
     "convert_store",
+    "CORRUPTION_POLICIES",
+    "ReadOptions",
+    "StoreOptions",
+    "ShardedStore",
+    "ShardEntry",
+    "fsck_sharded",
+    "is_sharded_dir",
     "StreamingWriter",
     "FragmentStore",
     "ReadOutcome",

@@ -28,6 +28,7 @@ from ..formats.registry import PAPER_FORMATS, get_format, resolve_format
 from ..obs import counter_add, gauge_set
 from ..patterns.stats import characterize
 from .durability import RetryPolicy
+from .options import UNSET, StoreOptions, resolve_store_options
 from .store import FragmentStore, WriteReceipt
 
 
@@ -35,8 +36,9 @@ class AdaptiveStore(FragmentStore):
     """A fragment store that picks each fragment's organization itself.
 
     ``candidates`` accepts registry names or
-    :class:`~repro.formats.base.SparseFormat` instances; every tuning
-    parameter is keyword-only.
+    :class:`~repro.formats.base.SparseFormat` instances; tuning arrives
+    as one :class:`~repro.storage.options.StoreOptions` value (the bare
+    keywords are warn-once deprecation shims).
     """
 
     def __init__(
@@ -46,23 +48,20 @@ class AdaptiveStore(FragmentStore):
         *,
         workload: Workload = BALANCED,
         candidates: Sequence[str | SparseFormat] = PAPER_FORMATS,
-        relative_coords: bool = False,
-        fsync: bool = False,
-        codec: str | None = None,
-        on_corruption: str = "raise",
-        retry: RetryPolicy | None = None,
-        cache_bytes: int = 0,
-        planner: bool = True,
-        crc_mode: str = "eager",
-        lazy_load: bool = False,
+        options: StoreOptions | None = None,
+        relative_coords: bool = UNSET,
+        fsync: bool = UNSET,
+        codec: str | None = UNSET,
+        on_corruption: str = UNSET,
+        retry: RetryPolicy | None = UNSET,
+        cache_bytes: int = UNSET,
+        planner: bool = UNSET,
+        crc_mode: str = UNSET,
+        lazy_load: bool = UNSET,
     ):
         candidates = tuple(resolve_format(c).name for c in candidates)
-        # The parent needs *a* format for bookkeeping; the per-write pick
-        # overrides it before each fragment is built.
-        super().__init__(
-            directory,
-            shape,
-            candidates[0],
+        opts = resolve_store_options(
+            options,
             relative_coords=relative_coords,
             fsync=fsync,
             codec=codec,
@@ -73,6 +72,9 @@ class AdaptiveStore(FragmentStore):
             crc_mode=crc_mode,
             lazy_load=lazy_load,
         )
+        # The parent needs *a* format for bookkeeping; the per-write pick
+        # overrides it before each fragment is built.
+        super().__init__(directory, shape, candidates[0], options=opts)
         self.workload = workload
         self.candidates = tuple(candidates)
         #: Format chosen for each fragment, in write order.

@@ -24,6 +24,13 @@ from ..core.dtypes import INDEX_DTYPE, as_index_array, cell_count
 from ..core.errors import ShapeError
 from ..core.sorting import stable_argsort
 from ..core.tensor import SparseTensor
+from .options import (
+    UNSET,
+    ReadOptions,
+    StoreOptions,
+    resolve_read_options,
+    resolve_store_options,
+)
 from .store import FragmentStore, ReadOutcome
 
 
@@ -128,12 +135,13 @@ class BlockedDataset:
         block_shape: Sequence[int],
         format_name,
         *,
-        on_corruption: str = "raise",
-        retry=None,
-        cache_bytes: int = 0,
-        planner: bool = True,
-        crc_mode: str = "eager",
-        lazy_load: bool = False,
+        options: StoreOptions | None = None,
+        on_corruption: str = UNSET,
+        retry=UNSET,
+        cache_bytes: int = UNSET,
+        planner: bool = UNSET,
+        crc_mode: str = UNSET,
+        lazy_load: bool = UNSET,
     ):
         self.shape = tuple(int(m) for m in shape)
         self.block_shape = tuple(int(b) for b in block_shape)
@@ -143,17 +151,22 @@ class BlockedDataset:
         from ..core.dtypes import check_linearizable
 
         check_linearizable(self.block_shape)
-        self.store = FragmentStore(
-            directory,
-            self.shape,
-            format_name,
-            relative_coords=True,
+        opts = resolve_store_options(
+            options,
             on_corruption=on_corruption,
             retry=retry,
             cache_bytes=cache_bytes,
             planner=planner,
             crc_mode=crc_mode,
             lazy_load=lazy_load,
+        )
+        # Block-local coordinates are the whole point of this class — force
+        # the flag regardless of what the caller's options say.
+        self.store = FragmentStore(
+            directory,
+            self.shape,
+            format_name,
+            options=opts.replace(relative_coords=True),
         )
 
     def write(self, coords: np.ndarray, values: np.ndarray) -> BlockWriteSummary:
@@ -188,52 +201,55 @@ class BlockedDataset:
         self,
         query_coords: np.ndarray,
         *,
-        faithful: bool = False,
-        check_crc: bool = True,
-        parallel: str = "none",
-        max_workers: int | None = None,
+        options: ReadOptions | None = None,
+        faithful: bool = UNSET,
+        check_crc: bool = UNSET,
+        parallel: str = UNSET,
+        max_workers: int | None = UNSET,
     ) -> ReadOutcome:
         """Point queries routed through per-block fragments.
 
         Accepts the full unified :class:`~repro.readapi.Readable` tuning
-        surface (``faithful``, ``check_crc``, ``parallel``,
-        ``max_workers``) and forwards it to the underlying store, so
-        per-call tuning behaves identically whether the dataset is blocked
-        or not.
+        surface as one :class:`~repro.storage.options.ReadOptions` value
+        (the bare keywords are warn-once deprecation shims) and forwards
+        it to the underlying store, so per-call tuning behaves identically
+        whether the dataset is blocked or not.
         """
-        return self.store.read_points(
-            query_coords,
+        ropts = resolve_read_options(
+            options,
             faithful=faithful,
             check_crc=check_crc,
             parallel=parallel,
             max_workers=max_workers,
         )
+        return self.store.read_points(query_coords, options=ropts)
 
     def read_box(
         self,
         box: Box,
         *,
-        faithful: bool = False,
-        check_crc: bool = True,
-        parallel: str = "none",
-        max_workers: int | None = None,
+        options: ReadOptions | None = None,
+        faithful: bool = UNSET,
+        check_crc: bool = UNSET,
+        parallel: str = UNSET,
+        max_workers: int | None = UNSET,
     ) -> SparseTensor:
         """Region read merged across blocks, sorted by linear address.
 
         Delegates to the store's structural range read (work scales with
         stored points, never the box's cell count), which falls back to a
         lexicographic merge when the *global* shape is not linearizable —
-        the blocked case this class exists for.  Per-call tuning
-        (``parallel`` / ``max_workers`` / ``check_crc``) forwards to the
-        store, exactly as in :meth:`read_points`.
+        the blocked case this class exists for.  Per-call tuning forwards
+        to the store, exactly as in :meth:`read_points`.
         """
-        return self.store.read_box(
-            box,
+        ropts = resolve_read_options(
+            options,
             faithful=faithful,
             check_crc=check_crc,
             parallel=parallel,
             max_workers=max_workers,
         )
+        return self.store.read_box(box, options=ropts)
 
     def explain(self, query):
         """The underlying store's :class:`~repro.storage.planner.QueryPlan`

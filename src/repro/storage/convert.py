@@ -51,9 +51,9 @@ def convert_store(
         destination_dir,
         source.shape,
         format_name,
-        relative_coords=source.relative_coords,
-        fsync=source.fsync,
-        codec=codec if codec is not None else source.codec,
+        options=source.options.replace(
+            codec=codec if codec is not None else source.codec,
+        ),
     )
     if dest.fragments:
         raise FragmentError(

@@ -1,0 +1,212 @@
+"""Consolidated store and read options.
+
+The storage layer grew one keyword knob per PR — ``relative_coords``,
+``fsync``, ``codec``, ``on_corruption``, ``retry``, ``cache_bytes``,
+``planner``, ``crc_mode``, ``lazy_load`` on constructors and ``faithful``,
+``check_crc``, ``parallel``, ``max_workers`` on every read — and by PR 5
+each store class repeated the full list.  This module consolidates the
+sprawl into two frozen dataclasses:
+
+:class:`StoreOptions`
+    Construction-time tuning shared by :class:`~repro.storage.store.
+    FragmentStore`, :class:`~repro.storage.adaptive.AdaptiveStore`,
+    :class:`~repro.storage.blocks.BlockedDataset` and
+    :class:`~repro.storage.sharded.ShardedStore`, passed as one
+    ``options=`` keyword.
+:class:`ReadOptions`
+    Per-call tuning shared by every ``read_points`` / ``read_box``,
+    likewise passed as ``options=``.
+
+Both are immutable (safe to share across stores and threads) and
+validate their fields eagerly, so a typo'd policy fails at construction
+rather than on the first degraded read.  Use :func:`dataclasses.replace`
+(re-exported here as each class's :meth:`replace`) to derive variants::
+
+    opts = StoreOptions(cache_bytes=64 << 20, crc_mode="once")
+    store = FragmentStore(path, shape, "LINEAR", options=opts)
+    lazy = opts.replace(lazy_load=True)
+
+The pre-existing keywords survive as **warn-once deprecation shims**:
+passing ``FragmentStore(..., cache_bytes=1024)`` still works, emits one
+:class:`DeprecationWarning` per keyword per process, and overrides the
+corresponding ``options`` field.  See ``docs/API_GUIDE.md`` for the
+migration table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .durability import RetryPolicy
+
+#: Read-side corruption policies (``StoreOptions.on_corruption``).
+CORRUPTION_POLICIES = ("raise", "skip", "quarantine")
+
+#: Whole-file CRC verification policies (``StoreOptions.crc_mode``).
+#: ``"eager"`` re-hashes on every cache-miss load; ``"once"`` memoizes a
+#: successful verification per (fragment, generation) and skips the
+#: re-hash on later loads of the same committed bytes.
+CRC_MODES = ("eager", "once")
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from an explicit value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNSET = _Unset()
+
+#: Deprecated keywords already warned about this process (warn once each).
+_WARNED: set[str] = set()
+
+
+def _warn_legacy(keyword: str, options_cls: str) -> None:
+    if keyword in _WARNED:
+        return
+    _WARNED.add(keyword)
+    warnings.warn(
+        f"the {keyword!r} keyword is deprecated; pass "
+        f"options={options_cls}({keyword}=...) instead "
+        "(see docs/API_GUIDE.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+@dataclass(frozen=True)
+class StoreOptions:
+    """Construction-time tuning for every store kind, in one value.
+
+    Attributes
+    ----------
+    relative_coords:
+        Store each fragment against its own bounding box (the paper's
+        block-local transform; what :class:`~repro.storage.blocks.
+        BlockedDataset` builds on).
+    fsync:
+        fsync fragment and manifest commits (durability over latency).
+    codec:
+        Fragment payload codec (``"raw"`` / ``"zlib"`` / ``"delta-zlib"``);
+        ``None`` adopts the codec recorded in an existing manifest and
+        defaults to ``"raw"`` for fresh stores.
+    on_corruption:
+        Read-side policy for fragments failing their checksum:
+        ``"raise"`` / ``"skip"`` / ``"quarantine"``.
+    retry:
+        :class:`~repro.storage.durability.RetryPolicy` for transient
+        I/O errors (``None`` = fail fast).
+    cache_bytes:
+        Decoded-fragment LRU budget in bytes (0 = cache off).
+    planner:
+        Route reads through the query planner (interval index + zone
+        maps); ``False`` restores the seed's linear bbox scan.
+    crc_mode:
+        Whole-file CRC policy, one of :data:`CRC_MODES`.
+    lazy_load:
+        Map fragment files zero-copy instead of reading byte copies.
+    """
+
+    relative_coords: bool = False
+    fsync: bool = False
+    codec: str | None = None
+    on_corruption: str = "raise"
+    retry: "RetryPolicy | None" = None
+    cache_bytes: int = 0
+    planner: bool = True
+    crc_mode: str = "eager"
+    lazy_load: bool = False
+
+    def __post_init__(self) -> None:
+        if self.on_corruption not in CORRUPTION_POLICIES:
+            raise ValueError(
+                f"on_corruption must be one of {CORRUPTION_POLICIES}, "
+                f"got {self.on_corruption!r}"
+            )
+        if self.crc_mode not in CRC_MODES:
+            raise ValueError(
+                f"crc_mode must be one of {CRC_MODES}, got {self.crc_mode!r}"
+            )
+        if int(self.cache_bytes) < 0:
+            raise ValueError("cache_bytes must be >= 0")
+
+    def replace(self, **changes: Any) -> "StoreOptions":
+        """A copy with ``changes`` applied (:func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ReadOptions:
+    """Per-call tuning for ``read_points`` / ``read_box``, in one value.
+
+    Attributes
+    ----------
+    faithful:
+        Use the paper's faithful (reference) read kernels where the
+        organization distinguishes them; box reads are always structural.
+    check_crc:
+        Verify fragment checksums on load.
+    parallel:
+        Per-fragment fan-out mode: ``"none"`` (inline) or ``"thread"``
+        (the shared bounded read pool).
+    max_workers:
+        Bound on this call's fan-out (``None`` = the pool's default).
+    """
+
+    faithful: bool = False
+    check_crc: bool = True
+    parallel: str = "none"
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        from .readpath import validate_parallel
+
+        validate_parallel(self.parallel)
+
+    def replace(self, **changes: Any) -> "ReadOptions":
+        """A copy with ``changes`` applied (:func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)
+
+
+def resolve_store_options(
+    options: StoreOptions | None, **legacy: Any
+) -> StoreOptions:
+    """Merge legacy keyword values into ``options`` (shim entry point).
+
+    ``legacy`` maps field names to either :data:`UNSET` (keyword not
+    passed — the ``options`` value wins) or an explicit value (deprecated
+    spelling — warn once per keyword per process, then override).
+    Internal callers forward pre-built options and leave every legacy
+    keyword unset, so they never pay a warning.
+    """
+    base = options if options is not None else StoreOptions()
+    overrides = {}
+    for key, value in legacy.items():
+        if isinstance(value, _Unset):
+            continue
+        _warn_legacy(key, "StoreOptions")
+        overrides[key] = value
+    return base.replace(**overrides) if overrides else base
+
+
+def resolve_read_options(
+    options: ReadOptions | None, **legacy: Any
+) -> ReadOptions:
+    """Merge legacy read keywords into ``options`` — see
+    :func:`resolve_store_options`."""
+    base = options if options is not None else ReadOptions()
+    overrides = {}
+    for key, value in legacy.items():
+        if isinstance(value, _Unset):
+            continue
+        _warn_legacy(key, "ReadOptions")
+        overrides[key] = value
+    return base.replace(**overrides) if overrides else base

@@ -1,0 +1,1336 @@
+"""Range-partitioned sharding over the global linear address space.
+
+PRs 1-5 scaled the fragment store vertically — parallel reads, a
+canonical build pipeline, zone-map planning — but every byte still
+funnels through one manifest in one directory.  :class:`ShardedStore`
+is the horizontal step (ROADMAP item 2): the global row-major address
+space ``[0, cell_count(shape))`` is split into contiguous *bands*, and
+each band is an independent, fully durable
+:class:`~repro.storage.store.FragmentStore` directory with its own
+manifest generation.  A crash-safe **parent manifest**
+(``shards.json``, atomic tmp+rename, monotonic parent generation)
+records the band boundaries and child directories — it is the single
+commit point of every re-banding operation.
+
+Why bands over the *linear address*?  ALTO's observation (PAPERS.md):
+the linearized address is a total order over the tensor, so
+
+* a part's canonical sort (:class:`~repro.build.canonical.
+  CanonicalCoords`) splits it across bands with two ``searchsorted``
+  calls — routing is O(log S) per cut, not O(n·S);
+* bands are disjoint, so a coordinate lives in exactly one shard —
+  reads never merge duplicates across shards, and concatenating
+  per-shard results in band order is already globally address-sorted;
+* the existing :class:`~repro.storage.planner.QueryPlanner` prunes
+  whole shards for free: each shard is summarized by a
+  :class:`ShardEntry` (bbox + zone map + nnz, the same duck type a
+  fragment presents) kept in the *parent* manifest, so zone maps can
+  prune a shard before its child manifest is even opened.
+
+Maintenance scales out the same way: :meth:`ShardedStore.compact` runs
+per-shard compactions on a worker pool (each child takes only its own
+RWLock), and :meth:`split` / :meth:`merge` re-band a shard whose nnz
+crosses the configured thresholds.  Re-banding writes the *new* shard
+directories first (they are invisible orphans until committed), then
+swaps the band table in one parent-manifest rename, then best-effort
+deletes the old directories — a kill at any point leaves either the old
+committed layout (plus orphan dirs for :func:`fsck_sharded` to sweep)
+or the new one.
+
+Crash story (``docs/SHARDED_STORE.md`` has the full matrix):
+
+* torn parent-manifest write → old ``shards.json`` survives (atomic
+  protocol); the stale ``shards.json.tmp`` is cleaned on open/fsck;
+* killed split/merge → orphan shard directories, quarantined by
+  ``fsck --repair``; data is intact in the still-referenced old shard;
+* killed routed ``write_many`` → parts commit atomically per
+  (part, shard): a killed part may be present in some of the shards it
+  straddles and absent in others, but each child is internally
+  consistent and every *earlier* part is fully present;
+* lost/corrupt parent manifest → ``fsck --repair`` rebuilds it from the
+  per-shard ``range.json`` sidecars (written once at shard creation),
+  preferring the oldest epoch among overlapping candidates so a
+  half-finished re-banding can never shadow the committed data.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..build.canonical import CanonicalCoords
+from ..core.boundary import Box, extract_boundary
+from ..core.dtypes import as_index_array, cell_count, fits_index_dtype
+from ..core.errors import FragmentError, ManifestError, ShapeError
+from ..core.linearize import linearize
+from ..core.tensor import SparseTensor
+from ..formats.base import SparseFormat
+from ..formats.registry import resolve_format
+from ..obs import counter_add, span
+from ..readapi import ReadOutcome
+from .durability import (
+    TMP_SUFFIX,
+    FsckIssue,
+    FsckReport,
+    RetryPolicy,
+    clean_temp_files,
+    fsck as _fsck_store,
+    write_bytes_atomic,
+)
+from .options import (
+    UNSET,
+    ReadOptions,
+    StoreOptions,
+    resolve_read_options,
+    resolve_store_options,
+)
+from .planner import QueryPlan, QueryPlanner, ZoneMap
+from .readpath import RWLock
+from .store import FragmentStore, WriteReceipt
+
+#: Parent manifest file name.  Deliberately distinct from the child
+#: stores' ``manifest.json`` so a sharded directory is self-identifying
+#: (``repro fsck`` auto-detects the layout from this file).
+SHARD_MANIFEST_NAME = "shards.json"
+
+#: Per-shard sidecar recording the shard's band, written once (atomic)
+#: when the directory is created — the recovery breadcrumb that lets
+#: ``fsck --repair`` rebuild a lost parent manifest from its children.
+SHARD_RANGE_NAME = "range.json"
+
+SHARD_MANIFEST_VERSION = 1
+
+_SHARD_DIR_PREFIX = "shard-"
+
+
+@dataclass
+class ShardEntry:
+    """Parent-manifest summary of one shard (the planner's duck type).
+
+    Presents exactly the attributes :class:`~repro.storage.planner.
+    FragmentIndex` and the zone stage consult on a fragment — ``bbox``,
+    ``nnz``, ``zone``, ``path`` — so one shard can be pruned by the
+    *unmodified* :class:`~repro.storage.planner.QueryPlanner` before its
+    child manifest is opened.  ``addr_lo`` / ``addr_hi`` are the band
+    (inclusive / exclusive); ``epoch`` is the parent generation that
+    created the shard (the recovery tie-breaker).
+    """
+
+    name: str
+    path: Path  # shard directory
+    addr_lo: int
+    addr_hi: int
+    epoch: int
+    nnz: int = 0
+    bbox: Box | None = None
+    zone: ZoneMap | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "dir": self.name,
+            "addr_lo": int(self.addr_lo),
+            "addr_hi": int(self.addr_hi),
+            "epoch": int(self.epoch),
+            "nnz": int(self.nnz),
+            "bbox_origin": list(self.bbox.origin) if self.bbox else None,
+            "bbox_size": list(self.bbox.size) if self.bbox else None,
+            "zone": self.zone.to_json() if self.zone else None,
+        }
+
+    @classmethod
+    def from_json(cls, parent: Path, obj: dict) -> "ShardEntry":
+        bbox = None
+        if obj.get("bbox_origin") is not None:
+            bbox = Box(tuple(obj["bbox_origin"]), tuple(obj["bbox_size"]))
+        return cls(
+            name=str(obj["dir"]),
+            path=parent / str(obj["dir"]),
+            addr_lo=int(obj["addr_lo"]),
+            addr_hi=int(obj["addr_hi"]),
+            epoch=int(obj.get("epoch", 0)),
+            nnz=int(obj.get("nnz", 0)),
+            bbox=bbox,
+            zone=ZoneMap.from_json(obj.get("zone")),
+        )
+
+
+def _empty_box(ndim: int) -> Box:
+    """An empty placeholder bbox (masked out by the fragment index)."""
+    return Box(tuple(0 for _ in range(ndim)), tuple(0 for _ in range(ndim)))
+
+
+def _union_box(a: Box | None, b: Box | None) -> Box | None:
+    if a is None or a.is_empty():
+        return b
+    if b is None or b.is_empty():
+        return a
+    origin = tuple(min(x, y) for x, y in zip(a.origin, b.origin))
+    end = tuple(max(x, y) for x, y in zip(a.end, b.end))
+    return Box(origin, tuple(e - o for o, e in zip(origin, end)))
+
+
+def _union_zone(a: ZoneMap | None, b: ZoneMap | None) -> ZoneMap | None:
+    """Range-only union of two zone maps.
+
+    Parent-level zones summarize whole shards; histograms built with
+    different bucket widths do not merge losslessly, so the union keeps
+    only the (always sound) ``[addr_min, addr_max]`` range — an empty
+    histogram makes both pruning predicates range-only.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return ZoneMap(
+        min(a.addr_min, b.addr_min), max(a.addr_max, b.addr_max), ()
+    )
+
+
+class ShardedStore:
+    """Range-partitioned shards behind one store-shaped facade.
+
+    ``n_shards`` cuts the address space into equal bands on first
+    creation; reopening an existing sharded directory adopts the
+    committed band table (``n_shards`` is ignored).  All construction
+    tuning arrives as one :class:`~repro.storage.options.StoreOptions`
+    (the bare keywords are warn-once deprecation shims) and is applied
+    to every child store; reads take the matching
+    :class:`~repro.storage.options.ReadOptions`.
+
+    ``split_nnz`` / ``merge_nnz`` arm automatic re-banding: after each
+    routed write, any shard whose nnz exceeds ``split_nnz`` is split at
+    its median stored address, and any adjacent pair whose combined nnz
+    falls below ``merge_nnz`` is merged.  Both default to off; explicit
+    :meth:`split` / :meth:`merge` always work.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        shape: Sequence[int],
+        format_name: str | SparseFormat,
+        *,
+        n_shards: int = 4,
+        split_nnz: int | None = None,
+        merge_nnz: int | None = None,
+        options: StoreOptions | None = None,
+        relative_coords: bool = UNSET,
+        fsync: bool = UNSET,
+        codec: str | None = UNSET,
+        on_corruption: str = UNSET,
+        retry: RetryPolicy | None = UNSET,
+        cache_bytes: int = UNSET,
+        planner: bool = UNSET,
+        crc_mode: str = UNSET,
+        lazy_load: bool = UNSET,
+    ):
+        opts = resolve_store_options(
+            options,
+            relative_coords=relative_coords,
+            fsync=fsync,
+            codec=codec,
+            on_corruption=on_corruption,
+            retry=retry,
+            cache_bytes=cache_bytes,
+            planner=planner,
+            crc_mode=crc_mode,
+            lazy_load=lazy_load,
+        )
+        self.directory = Path(directory)
+        self.shape = tuple(int(m) for m in shape)
+        if not fits_index_dtype(self.shape):
+            raise ShapeError(
+                "ShardedStore bands the uint64 linear address space; "
+                f"shape {self.shape} overflows it — use BlockedDataset"
+            )
+        if opts.relative_coords:
+            raise ShapeError(
+                "ShardedStore shards the *global* address space; "
+                "relative_coords is a per-child concern it does not support"
+            )
+        self.fmt = resolve_format(format_name)
+        self.format_name = self.fmt.name
+        self.options = opts
+        self.use_planner = bool(opts.planner)
+        if int(n_shards) < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.split_nnz = None if split_nnz is None else int(split_nnz)
+        self.merge_nnz = None if merge_nnz is None else int(merge_nnz)
+        if self.split_nnz is not None and self.split_nnz < 2:
+            raise ValueError("split_nnz must be >= 2")
+        self._cells = cell_count(self.shape)
+        self._rw = RWLock()
+        self._state_lock = threading.RLock()
+        self._planner = QueryPlanner()
+        self._generation = 0
+        self._entries: list[ShardEntry] = []
+        self._children: dict[str, FragmentStore] = {}
+        self.directory.mkdir(parents=True, exist_ok=True)
+        clean_temp_files(self.directory)
+        if self._manifest_path().exists():
+            self._load_parent_manifest()
+        elif is_sharded_dir(self.directory):
+            # Shard directories without a parent manifest: never band
+            # over existing data — the sidecars can resurrect the table.
+            raise ManifestError(
+                f"missing parent manifest {self._manifest_path()} but "
+                "shard directories exist; run `repro fsck --repair` to "
+                "rebuild it from the range.json sidecars"
+            )
+        else:
+            self._create_bands(int(n_shards))
+
+    # ------------------------------------------------------------------
+    # Parent manifest
+    # ------------------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.directory / SHARD_MANIFEST_NAME
+
+    @property
+    def generation(self) -> int:
+        """Parent-manifest generation (bumped by every committed
+        re-banding or per-shard stat refresh)."""
+        return self._generation
+
+    @property
+    def shards(self) -> tuple[ShardEntry, ...]:
+        """The committed band table, ascending by ``addr_lo``."""
+        with self._state_lock:
+            return tuple(self._entries)
+
+    @property
+    def nnz(self) -> int:
+        """Total stored points across shards (duplicates counted)."""
+        return sum(e.nnz for e in self.shards)
+
+    @property
+    def fragments(self):
+        """All committed fragments, shard-major in band order."""
+        out = []
+        for i in range(len(self.shards)):
+            out.extend(self._child(i).fragments)
+        return tuple(out)
+
+    def _load_parent_manifest(self) -> None:
+        path = self._manifest_path()
+        try:
+            doc = json.loads(path.read_text())
+            bands = doc["bands"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ManifestError(
+                f"corrupt parent manifest {path}: {exc}; "
+                "run `repro fsck --repair` to rebuild it from the shards"
+            ) from exc
+        if tuple(doc.get("shape", self.shape)) != self.shape:
+            raise ShapeError(
+                f"parent manifest shape {doc.get('shape')} != {self.shape}"
+            )
+        self._generation = int(doc.get("generation", 0))
+        entries = [ShardEntry.from_json(self.directory, b) for b in bands]
+        entries.sort(key=lambda e: e.addr_lo)
+        self._validate_bands(entries)
+        self._entries = entries
+
+    def _validate_bands(self, entries: list[ShardEntry]) -> None:
+        if not entries:
+            raise ManifestError("parent manifest lists no shards")
+        if entries[0].addr_lo != 0 or entries[-1].addr_hi != self._cells:
+            raise ManifestError(
+                "shard bands do not cover the address space: "
+                f"[{entries[0].addr_lo}, {entries[-1].addr_hi}) != "
+                f"[0, {self._cells})"
+            )
+        for a, b in zip(entries, entries[1:]):
+            if a.addr_hi != b.addr_lo:
+                raise ManifestError(
+                    f"shard bands not contiguous at {a.name}/{b.name}: "
+                    f"{a.addr_hi} != {b.addr_lo}"
+                )
+
+    def _save_parent_manifest(self) -> None:
+        """Commit the band table — the single commit point of re-banding."""
+        with self._state_lock:
+            self._generation += 1
+            doc = {
+                "version": SHARD_MANIFEST_VERSION,
+                "generation": self._generation,
+                "shape": list(self.shape),
+                "format": self.format_name,
+                "codec": self.options.codec,
+                "bands": [e.to_json() for e in self._entries],
+            }
+            write_bytes_atomic(
+                self._manifest_path(),
+                json.dumps(doc, indent=1).encode("utf-8"),
+                fsync=self.options.fsync,
+            )
+
+    def _next_shard_name(self) -> str:
+        used = set()
+        for p in self.directory.glob(f"{_SHARD_DIR_PREFIX}*"):
+            try:
+                used.add(int(p.name[len(_SHARD_DIR_PREFIX):]))
+            except ValueError:
+                continue
+        for e in self._entries:
+            try:
+                used.add(int(e.name[len(_SHARD_DIR_PREFIX):]))
+            except ValueError:
+                continue
+        n = max(used) + 1 if used else 0
+        return f"{_SHARD_DIR_PREFIX}{n:04d}"
+
+    def _make_shard_dir(self, lo: int, hi: int, epoch: int) -> ShardEntry:
+        """Create one shard directory + its ``range.json`` breadcrumb.
+
+        The directory is an invisible orphan until a parent-manifest
+        commit references it; the sidecar is what ``fsck --repair``
+        rebuilds a lost parent from.
+        """
+        name = self._next_shard_name()
+        path = self.directory / name
+        path.mkdir(parents=True, exist_ok=True)
+        write_bytes_atomic(
+            path / SHARD_RANGE_NAME,
+            json.dumps({
+                "addr_lo": int(lo),
+                "addr_hi": int(hi),
+                "epoch": int(epoch),
+                "shape": list(self.shape),
+            }).encode("utf-8"),
+            fsync=self.options.fsync,
+        )
+        return ShardEntry(
+            name=name, path=path, addr_lo=int(lo), addr_hi=int(hi),
+            epoch=int(epoch),
+        )
+
+    def _create_bands(self, n_shards: int) -> None:
+        n_shards = int(min(n_shards, self._cells))
+        cuts = [
+            (self._cells * i) // n_shards for i in range(n_shards + 1)
+        ]
+        # Degenerate tiny shapes can produce empty bands; drop them.
+        pairs = [
+            (lo, hi) for lo, hi in zip(cuts, cuts[1:]) if hi > lo
+        ]
+        epoch = self._generation + 1
+        self._entries = [self._make_shard_dir(lo, hi, epoch)
+                         for lo, hi in pairs]
+        self._save_parent_manifest()
+
+    def _child(self, i: int) -> FragmentStore:
+        """The i-th band's child store, opened lazily and cached."""
+        entry = self._entries[i]
+        store = self._children.get(entry.name)
+        if store is None:
+            store = FragmentStore(
+                entry.path, self.shape, self.format_name,
+                options=self.options,
+            )
+            self._children[entry.name] = store
+        return store
+
+    def _cuts(self) -> np.ndarray:
+        """Band lower bounds (ascending) for ``searchsorted`` routing."""
+        return np.asarray([e.addr_lo for e in self._entries], dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # WRITE: route parts to shards via the canonical sort
+    # ------------------------------------------------------------------
+
+    def _route_canonical(
+        self, canon: CanonicalCoords, values: np.ndarray
+    ) -> list[tuple[int, CanonicalCoords, np.ndarray]]:
+        """Split one part across bands; returns ``(shard_i, canon, values)``.
+
+        One ``searchsorted`` of the band cuts into the part's sorted
+        address run yields the per-band segments; the stable canonical
+        sort keeps duplicate coordinates in input (newest-last) order
+        within each segment, so routed writes preserve the single-store
+        overwrite semantics exactly.
+        """
+        values = np.asarray(values)
+        if canon.n == 0:
+            return []
+        addrs = canon.sorted_addresses
+        vals = values[canon.sort_perm]
+        bounds = np.asarray(
+            [e.addr_lo for e in self._entries[1:]], dtype=np.uint64
+        )
+        seg = np.searchsorted(addrs, bounds, side="left")
+        starts = np.concatenate(([0], seg))
+        ends = np.concatenate((seg, [addrs.shape[0]]))
+        out = []
+        for i, (s, e) in enumerate(zip(starts, ends)):
+            if e <= s:
+                continue
+            sub = CanonicalCoords.from_addresses(
+                addrs[s:e], self.shape, is_sorted=True
+            )
+            out.append((i, sub, vals[s:e]))
+        return out
+
+    def write(self, coords: np.ndarray, values: np.ndarray) -> list[WriteReceipt]:
+        """Route one part across shards; one fragment per touched band.
+
+        The parent's per-shard stats (nnz / bbox / zone) commit *before*
+        the child writes: a crash between the two leaves the parent
+        over-covering (sound — zone maps that cover more than is stored
+        merely prune less), never under-covering a committed fragment.
+        Each child commit is then atomic on its own manifest.  Returns
+        the per-shard receipts in band order.
+        """
+        coords = as_index_array(coords)
+        values = np.asarray(values)
+        if coords.ndim != 2 or coords.shape[1] != len(self.shape):
+            raise ShapeError("coords must be (n, d) matching the store shape")
+        if values.shape[0] != coords.shape[0]:
+            raise ShapeError("values must align with coords")
+        canon = CanonicalCoords.from_coords(coords, self.shape)
+        receipts: list[WriteReceipt] = []
+        with self._rw.write_locked():
+            with span("store.shard.write", format=self.format_name) as sp:
+                routed = self._route_canonical(canon, values)
+                for i, sub, _vals in routed:
+                    entry = self._entries[i]
+                    entry.nnz += sub.n
+                    entry.bbox = _union_box(entry.bbox, sub.bounding_box)
+                    entry.zone = _union_zone(
+                        entry.zone,
+                        ZoneMap.from_addresses(
+                            sub.sorted_addresses, assume_sorted=True
+                        ),
+                    )
+                if routed:
+                    self._save_parent_manifest()
+                for i, sub, vals in routed:
+                    receipts.append(self._child(i).write_canonical(sub, vals))
+                    counter_add("store.shard.routed_parts")
+                sp.add_nnz(canon.n)
+            self._rebalance_locked()
+        return receipts
+
+    def write_many(
+        self, parts: list[tuple[np.ndarray, np.ndarray]]
+    ) -> list[list[WriteReceipt]]:
+        """Route many parts, part by part (the crash-ordering contract).
+
+        Parts commit in order; a crash leaves a *prefix* of fully routed
+        parts plus at most one part that is present in some of the
+        shards it straddles — each child internally consistent (its
+        manifest is its commit point), the parent stat refresh pending.
+        """
+        out = []
+        for coords, values in parts:
+            out.append(self.write(coords, values))
+        return out
+
+    def write_tensor(self, tensor: SparseTensor) -> list[WriteReceipt]:
+        if tensor.shape != self.shape:
+            raise ShapeError(
+                f"tensor shape {tensor.shape} != store shape {self.shape}"
+            )
+        return self.write(tensor.coords, tensor.values)
+
+    # ------------------------------------------------------------------
+    # READ: parent-level pruning, per-shard fan-out
+    # ------------------------------------------------------------------
+
+    def _plan_shards(
+        self,
+        query_box: Box,
+        kind: str,
+        *,
+        sorted_addresses: np.ndarray | None = None,
+        address_range: tuple[int, int] | None = None,
+    ) -> QueryPlan:
+        """Prune whole shards with the unmodified fragment planner.
+
+        :class:`ShardEntry` duck-types a fragment (bbox/nnz/zone/path),
+        so the same interval index + zone-map stages that prune
+        fragments inside one store here prune entire shard directories —
+        before any child manifest is opened.
+        """
+        with self._state_lock:
+            entries = [
+                e if e.bbox is not None else
+                ShardEntry(
+                    name=e.name, path=e.path, addr_lo=e.addr_lo,
+                    addr_hi=e.addr_hi, epoch=e.epoch, nnz=0,
+                    bbox=_empty_box(len(self.shape)),
+                )
+                for e in self._entries
+            ]
+            generation = self._generation
+        plan = self._planner.plan(
+            entries,
+            generation,
+            query_box,
+            kind=kind,
+            enabled=self.use_planner,
+            sorted_addresses=sorted_addresses,
+            address_range=address_range,
+        )
+        counter_add("store.shard.visited", len(plan.fragments))
+        counter_add(
+            "store.shard.pruned",
+            plan.total_fragments - len(plan.fragments),
+        )
+        return plan
+
+    def explain(self, query) -> QueryPlan:
+        """The *shard-level* plan a read of ``query`` would use."""
+        if isinstance(query, Box):
+            return self._plan_shards(
+                query, "box", address_range=self._box_address_range(query)
+            )
+        query = as_index_array(query)
+        return self._plan_shards(
+            extract_boundary(query),
+            "points",
+            sorted_addresses=np.sort(
+                linearize(query, self.shape, validate=False)
+            ),
+        )
+
+    def _box_address_range(self, box: Box) -> tuple[int, int] | None:
+        if not self.use_planner:
+            return None
+        clipped = box.intersection(
+            Box(tuple(0 for _ in self.shape), self.shape)
+        )
+        if clipped.is_empty():
+            return None
+        corners = as_index_array(
+            [list(clipped.origin), [e - 1 for e in clipped.end]]
+        )
+        lo, hi = linearize(corners, self.shape, validate=False)
+        return int(lo), int(hi)
+
+    def read_points(
+        self,
+        query_coords: np.ndarray,
+        *,
+        options: ReadOptions | None = None,
+        faithful: bool = UNSET,
+        check_crc: bool = UNSET,
+        parallel: str = UNSET,
+        max_workers: int | None = UNSET,
+    ) -> ReadOutcome:
+        """Point reads, routed: each query point belongs to exactly one
+        band, so per-shard sub-queries merge back disjointly.
+
+        Results are bit-identical to an equivalent single
+        :class:`FragmentStore` holding the same writes: routing never
+        reorders fragments within a shard, and bands are disjoint so no
+        cross-shard duplicate can exist.
+        """
+        ropts = resolve_read_options(
+            options,
+            faithful=faithful,
+            check_crc=check_crc,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        query = as_index_array(query_coords)
+        if query.ndim != 2 or query.shape[1] != len(self.shape):
+            raise ShapeError("query coords must be (q, d) matching the store")
+        q = query.shape[0]
+        found = np.zeros(q, dtype=bool)
+        out_values: np.ndarray | None = None
+        if q == 0:
+            return ReadOutcome(found, np.empty(0), 0, 0)
+        with self._rw.read_locked():
+            with span("store.shard.read_points",
+                      format=self.format_name) as sp:
+                addrs = linearize(query, self.shape, validate=False)
+                plan = self._plan_shards(
+                    extract_boundary(query),
+                    "points",
+                    sorted_addresses=np.sort(addrs),
+                )
+                surviving = {e.name for e in plan.fragments}
+                band_of = (
+                    np.searchsorted(self._cuts(), addrs, side="right") - 1
+                )
+                visited = 0
+                for i, entry in enumerate(self._entries):
+                    if entry.name not in surviving:
+                        continue
+                    sel = np.flatnonzero(band_of == i)
+                    if sel.size == 0:
+                        continue
+                    outcome = self._child(i).read_points(
+                        query[sel], options=ropts
+                    )
+                    visited += outcome.fragments_visited
+                    idx = sel[outcome.found]
+                    found[idx] = True
+                    if outcome.values.size:
+                        if out_values is None:
+                            out_values = np.zeros(
+                                q, dtype=outcome.values.dtype
+                            )
+                        out_values[idx] = outcome.values
+                matched = int(found.sum())
+                sp.add_nnz(matched)
+        if out_values is None:
+            out_values = np.zeros(q, dtype=float)
+        return ReadOutcome(
+            found=found,
+            values=out_values[found],
+            fragments_visited=visited,
+            points_matched=matched,
+        )
+
+    def read_box(
+        self,
+        box: Box,
+        *,
+        options: ReadOptions | None = None,
+        faithful: bool = UNSET,
+        check_crc: bool = UNSET,
+        parallel: str = UNSET,
+        max_workers: int | None = UNSET,
+    ) -> SparseTensor:
+        """Box reads fanned across surviving shards, merged in band order.
+
+        Bands partition the address space, so the per-shard results
+        (each already deduplicated and address-sorted by the child) are
+        disjoint and concatenate into a globally address-sorted tensor —
+        no cross-shard dedup pass exists, by construction.
+        """
+        ropts = resolve_read_options(
+            options,
+            faithful=faithful,
+            check_crc=check_crc,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        parts: list[SparseTensor] = []
+        with self._rw.read_locked():
+            with span("store.shard.read_box", format=self.format_name):
+                plan = self._plan_shards(
+                    box, "box", address_range=self._box_address_range(box)
+                )
+                surviving = {e.name for e in plan.fragments}
+                for i, entry in enumerate(self._entries):
+                    if entry.name not in surviving:
+                        continue
+                    part = self._child(i).read_box(box, options=ropts)
+                    if part.nnz:
+                        parts.append(part)
+        if not parts:
+            return SparseTensor.empty(self.shape)
+        coords = np.vstack([p.coords for p in parts])
+        values = np.concatenate([p.values for p in parts])
+        return SparseTensor(self.shape, coords, values)
+
+    # ------------------------------------------------------------------
+    # Maintenance: parallel compaction, split, merge
+    # ------------------------------------------------------------------
+
+    def compact(
+        self, *, strategy: str = "merge", max_workers: int | None = None
+    ) -> list[WriteReceipt]:
+        """Compact every shard, per-shard and in parallel.
+
+        Each child compaction runs under its *own* RWLock on a worker
+        thread (``max_workers`` defaults to the shard count) — shards
+        share no state, so per-shard compaction is embarrassingly
+        parallel.  Children holding ≤1 fragment no-op without a
+        generation bump (so their caches and planner state survive).
+        The parent commit at the end refreshes per-shard stats once.
+        """
+        with self._rw.write_locked():
+            with span("store.shard.compact", format=self.format_name):
+                idxs = [
+                    i for i in range(len(self._entries))
+                    if len(self._child(i).fragments) >= 2
+                ]
+                workers = max_workers or max(1, len(idxs))
+                receipts: list[WriteReceipt] = []
+                if idxs:
+                    with ThreadPoolExecutor(max_workers=workers) as pool:
+                        futures = [
+                            pool.submit(
+                                self._child(i).compact, strategy=strategy
+                            )
+                            for i in idxs
+                        ]
+                        done = [f.result() for f in futures]
+                    for i, receipt in zip(idxs, done):
+                        self._refresh_entry(i)
+                        receipts.append(receipt)
+                        counter_add("store.shard.compactions")
+                    self._save_parent_manifest()
+        return receipts
+
+    def _refresh_entry(self, i: int) -> None:
+        """Recompute one shard's parent-level stats from its fragments."""
+        entry = self._entries[i]
+        store = self._child(i)
+        entry.nnz = store.nnz
+        bbox: Box | None = None
+        zone: ZoneMap | None = None
+        for f in store.fragments:
+            bbox = _union_box(bbox, f.bbox)
+            zone = _union_zone(zone, f.zone)
+        entry.bbox = bbox
+        entry.zone = zone
+
+    def _shard_merged_run(self, i: int):
+        """One shard's full content as ``(canonical, values)``.
+
+        K-way merges the per-fragment canonical runs exactly like
+        merge-based compaction, so newest-wins duplicate order is
+        preserved; ``None`` for an empty shard.
+        """
+        from ..build.merge import SortedRun, merge_sorted_runs
+
+        store = self._child(i)
+        runs = []
+        for j in range(len(store.fragments)):
+            canon, values = store.fragment_canonical(j)
+            runs.append(SortedRun(
+                addresses=canon.sorted_addresses,
+                values=values,
+                positions=np.arange(canon.n, dtype=np.intp),
+            ))
+        if not runs:
+            return None
+        merged = merge_sorted_runs(runs, self.shape)
+        # MergedPoints.values aligns with the canonical's *input* order;
+        # the split slices sorted address ranges, so gather first.
+        return merged.canonical, merged.values[merged.canonical.sort_perm]
+
+    def split(self, index: int, *, at: int | None = None) -> None:
+        """Split shard ``index`` into two bands at address ``at``.
+
+        ``at`` defaults to the median *stored* address (so both halves
+        hold data); it must fall strictly inside the shard's band.  New
+        shard directories are written first (orphans until committed),
+        the band-table swap is one atomic parent-manifest write, and the
+        old directory is deleted best-effort afterwards — a kill at any
+        point leaves a consistent committed layout.
+        """
+        with self._rw.write_locked():
+            self._split_locked(index, at=at)
+
+    def _split_locked(self, index: int, *, at: int | None = None) -> None:
+        entry = self._entries[index]
+        merged = self._shard_merged_run(index)
+        if at is None:
+            if merged is None or merged[0].n < 2:
+                raise FragmentError(
+                    f"shard {entry.name} holds fewer than 2 points; "
+                    "nothing to split"
+                )
+            addrs = merged[0].sorted_addresses
+            at = int(addrs[addrs.shape[0] // 2])
+            if at == int(addrs[0]):
+                at += 1  # all-lower-half duplicates: cut just above
+        at = int(at)
+        if not (entry.addr_lo < at < entry.addr_hi):
+            raise ValueError(
+                f"split point {at} outside shard band "
+                f"[{entry.addr_lo}, {entry.addr_hi})"
+            )
+        epoch = self._generation + 1
+        lo_entry = self._make_shard_dir(entry.addr_lo, at, epoch)
+        hi_entry = self._make_shard_dir(at, entry.addr_hi, epoch)
+        if merged is not None:
+            canon, values = merged
+            addrs = canon.sorted_addresses
+            cut = int(np.searchsorted(addrs, np.uint64(at), side="left"))
+            for dest, s, e in (
+                (lo_entry, 0, cut), (hi_entry, cut, addrs.shape[0])
+            ):
+                if e <= s:
+                    continue
+                sub = CanonicalCoords.from_addresses(
+                    addrs[s:e], self.shape, is_sorted=True
+                )
+                store = FragmentStore(
+                    dest.path, self.shape, self.format_name,
+                    options=self.options,
+                )
+                receipt = store.write_canonical(sub, values[s:e])
+                dest.nnz = receipt.info.nnz
+                dest.bbox = receipt.info.bbox
+                dest.zone = receipt.info.zone
+        old = self._entries[index]
+        with self._state_lock:
+            self._entries[index:index + 1] = [lo_entry, hi_entry]
+            self._children.pop(old.name, None)
+        # COMMIT POINT: one atomic rename swaps the band table.
+        self._save_parent_manifest()
+        counter_add("store.shard.splits")
+        self._remove_shard_dir(old.path)
+
+    def merge(self, index: int) -> None:
+        """Merge shard ``index`` with its right-hand neighbour.
+
+        Same protocol as :meth:`split`: the merged directory is written
+        first, the parent manifest commits the new band table
+        atomically, the old directories are removed best-effort.
+        """
+        with self._rw.write_locked():
+            self._merge_locked(index)
+
+    def _merge_locked(self, index: int) -> None:
+        if index < 0 or index + 1 >= len(self._entries):
+            raise ValueError(
+                f"merge needs shards {index} and {index + 1}; "
+                f"store has {len(self._entries)}"
+            )
+        a, b = self._entries[index], self._entries[index + 1]
+        epoch = self._generation + 1
+        dest = self._make_shard_dir(a.addr_lo, b.addr_hi, epoch)
+        store = FragmentStore(
+            dest.path, self.shape, self.format_name, options=self.options
+        )
+        for i in (index, index + 1):
+            src = self._child(i)
+            for j in range(len(src.fragments)):
+                canon, values = src.fragment_canonical(j)
+                receipt = store.write_canonical(canon, values)
+                dest.nnz += receipt.info.nnz
+                dest.bbox = _union_box(dest.bbox, receipt.info.bbox)
+                dest.zone = _union_zone(dest.zone, receipt.info.zone)
+        with self._state_lock:
+            self._entries[index:index + 2] = [dest]
+            self._children.pop(a.name, None)
+            self._children.pop(b.name, None)
+        # COMMIT POINT: one atomic rename swaps the band table.
+        self._save_parent_manifest()
+        counter_add("store.shard.merges")
+        self._remove_shard_dir(a.path)
+        self._remove_shard_dir(b.path)
+
+    def _rebalance_locked(self) -> None:
+        """Apply the configured nnz thresholds (one pass, writer held)."""
+        if self.split_nnz is not None:
+            i = 0
+            while i < len(self._entries):
+                e = self._entries[i]
+                if e.nnz > self.split_nnz and e.addr_hi - e.addr_lo > 1:
+                    try:
+                        self._split_locked(i)
+                    except (FragmentError, ValueError):
+                        i += 1
+                    continue
+                i += 1
+        if self.merge_nnz is not None:
+            i = 0
+            while i + 1 < len(self._entries):
+                a, b = self._entries[i], self._entries[i + 1]
+                if a.nnz + b.nnz < self.merge_nnz:
+                    self._merge_locked(i)
+                    continue
+                i += 1
+
+    @staticmethod
+    def _remove_shard_dir(path: Path) -> None:
+        """Best-effort removal of a decommissioned shard directory.
+
+        Failure is harmless: the directory is no longer referenced by
+        the committed parent manifest, and ``fsck --repair`` quarantines
+        unreferenced shard directories.
+        """
+        import shutil
+
+        try:
+            shutil.rmtree(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # fsck
+    # ------------------------------------------------------------------
+
+    def fsck(self, *, repair: bool = False) -> FsckReport:
+        """Verify (and with ``repair=True`` restore) the whole tree.
+
+        Delegates to :func:`fsck_sharded`; after a repair the parent
+        manifest and child handles are reloaded.
+        """
+        with self._rw.write_locked():
+            report = fsck_sharded(self.directory, repair=repair)
+            if repair:
+                with self._state_lock:
+                    self._children.clear()
+                self._load_parent_manifest()
+        return report
+
+    def stats(self) -> list[dict]:
+        """Per-shard summary rows (the ``repro stats --shards`` table)."""
+        rows = []
+        for i, e in enumerate(self.shards):
+            store = self._child(i)
+            rows.append({
+                "shard": e.name,
+                "addr_lo": e.addr_lo,
+                "addr_hi": e.addr_hi,
+                "nnz": e.nnz,
+                "fragments": len(store.fragments),
+                "nbytes": store.total_file_nbytes,
+                "generation": store.generation,
+            })
+        return rows
+
+
+def is_sharded_dir(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a sharded store (parent manifest or,
+    failing that, any shard directory with a ``range.json`` breadcrumb —
+    so auto-detection survives a lost parent manifest)."""
+    directory = Path(directory)
+    if (directory / SHARD_MANIFEST_NAME).exists():
+        return True
+    return any(
+        (p / SHARD_RANGE_NAME).exists()
+        for p in directory.glob(f"{_SHARD_DIR_PREFIX}*")
+        if p.is_dir()
+    )
+
+
+def _read_range_sidecar(path: Path) -> dict | None:
+    try:
+        doc = json.loads((path / SHARD_RANGE_NAME).read_text())
+        return {
+            "addr_lo": int(doc["addr_lo"]),
+            "addr_hi": int(doc["addr_hi"]),
+            "epoch": int(doc.get("epoch", 0)),
+            "shape": doc.get("shape"),
+        }
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None
+
+
+def _next_free_shard_name(directory: Path, taken: set) -> str:
+    used = set()
+    for p in directory.glob(f"{_SHARD_DIR_PREFIX}*"):
+        try:
+            used.add(int(p.name[len(_SHARD_DIR_PREFIX):]))
+        except ValueError:
+            continue
+    for name in taken:
+        try:
+            used.add(int(name[len(_SHARD_DIR_PREFIX):]))
+        except ValueError:
+            continue
+    n = max(used) + 1 if used else 0
+    name = f"{_SHARD_DIR_PREFIX}{n:04d}"
+    taken.add(name)
+    return name
+
+
+def _rebuild_parent(
+    directory: Path, report: FsckReport, *, repair: bool,
+    cells: int | None = None,
+) -> list[dict]:
+    """Reconstruct a band table from the shards' ``range.json`` sidecars.
+
+    Greedy sweep over candidates sorted by ``(addr_lo, epoch)``: at each
+    cursor position the candidate starting exactly there with the
+    *lowest epoch* wins — the oldest consistent configuration, which is
+    the last one a parent manifest actually committed (a half-finished
+    split/merge writes its new dirs with a *newer* epoch and dies before
+    the commit, so its orphans lose the tie and are quarantined).
+
+    Coverage gaps — a creation or re-banding run killed before any data
+    landed in the missing band — are filled with synthetic *empty* bands
+    (their directories are materialized by the missing-dir repair pass),
+    so the rebuilt table always covers ``[0, cells)`` and the store
+    reopens; ``cells`` bounds the trailing fill when the shape is known.
+    """
+    candidates = []
+    for p in sorted(directory.glob(f"{_SHARD_DIR_PREFIX}*")):
+        if not p.is_dir():
+            continue
+        rng = _read_range_sidecar(p)
+        if rng is None:
+            report.issues.append(FsckIssue(
+                "extra", p.name, "shard directory without range sidecar"
+            ))
+            continue
+        candidates.append(
+            (rng["addr_lo"], rng["epoch"], rng["addr_hi"], p.name)
+        )
+    candidates.sort()
+    taken = {name for _, _, _, name in candidates}
+    chosen: list[tuple[int, int, int, str]] = []
+    cursor = 0
+
+    def fill_gap(lo: int, hi: int) -> None:
+        issue = FsckIssue(
+            "manifest", SHARD_MANIFEST_NAME,
+            f"coverage gap: [{lo}, {hi}) has no shard",
+        )
+        if repair:
+            name = _next_free_shard_name(directory, taken)
+            chosen.append((lo, 0, hi, name))
+            issue.repaired = "filled with empty shard"
+        report.issues.append(issue)
+
+    for lo, epoch, hi, name in candidates:
+        if lo == cursor:
+            chosen.append((lo, epoch, hi, name))
+            cursor = hi
+        elif lo < cursor:
+            issue = FsckIssue(
+                "extra", name,
+                f"orphan shard band [{lo}, {hi}) overlaps committed "
+                "coverage",
+            )
+            if repair:
+                from .durability import QUARANTINE_DIR
+
+                p = directory / name
+                qdir = directory / QUARANTINE_DIR
+                qdir.mkdir(parents=True, exist_ok=True)
+                target = qdir / name
+                n = 0
+                while target.exists():
+                    n += 1
+                    target = qdir / f"{name}.{n}"
+                p.rename(target)
+                issue.repaired = "quarantined"
+            report.issues.append(issue)
+        else:
+            fill_gap(cursor, lo)
+            chosen.append((lo, epoch, hi, name))
+            cursor = hi
+    if cells is not None and cursor < cells:
+        fill_gap(cursor, cells)
+        cursor = cells
+    chosen.sort()
+    bands = []
+    for lo, epoch, hi, name in chosen:
+        bands.append({
+            "dir": name, "addr_lo": lo, "addr_hi": hi, "epoch": epoch,
+            "nnz": 0, "bbox_origin": None, "bbox_size": None, "zone": None,
+        })
+    return bands
+
+
+def _band_stats_from_child(child_dir: Path) -> dict | None:
+    """Recompute one band's parent-level stats from the child manifest.
+
+    The repair path runs this so a repaired parent never carries stale
+    (potentially under-covering) stats; ``None`` when the child manifest
+    is unreadable.
+    """
+    try:
+        doc = json.loads((child_dir / "manifest.json").read_text())
+        frags = doc["fragments"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError):
+        return None
+    nnz = 0
+    bbox: Box | None = None
+    zone: ZoneMap | None = None
+    for f in frags:
+        nnz += int(f.get("nnz", 0))
+        if f.get("bbox_origin"):
+            bbox = _union_box(
+                bbox, Box(tuple(f["bbox_origin"]), tuple(f["bbox_size"]))
+            )
+        zone = _union_zone(zone, ZoneMap.from_json(f.get("zone")))
+    return {
+        "nnz": nnz,
+        "bbox_origin": list(bbox.origin) if bbox else None,
+        "bbox_size": list(bbox.size) if bbox else None,
+        "zone": zone.to_json() if zone else None,
+    }
+
+
+def fsck_sharded(
+    directory: str | Path, *, repair: bool = False
+) -> FsckReport:
+    """Verify a sharded store: parent manifest + every child store.
+
+    Walks the parent's band table, runs the fragment-level
+    :func:`~repro.storage.durability.fsck` inside every referenced shard
+    (child issues are reported with a ``<shard>/`` prefix), flags
+    unreferenced shard directories and stale parent temp files, and —
+    with ``repair=True`` — quarantines orphan shard directories, repairs
+    every child, refreshes the parent's per-shard stats from the child
+    manifests, recreates referenced-but-missing shard directories as
+    empty shards, and rebuilds a lost or corrupt parent manifest from
+    the shards' ``range.json`` sidecars.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ManifestError(f"not a store directory: {directory}")
+    manifest_path = directory / SHARD_MANIFEST_NAME
+    report = FsckReport(directory=directory, generation=0, checked=0)
+
+    doc: dict | None = None
+    if manifest_path.exists():
+        try:
+            doc = json.loads(manifest_path.read_text())
+            report.generation = int(doc.get("generation", 0))
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            doc = None
+            report.issues.append(FsckIssue(
+                "manifest", SHARD_MANIFEST_NAME, f"unreadable: {exc}"
+            ))
+    else:
+        report.issues.append(FsckIssue(
+            "manifest", SHARD_MANIFEST_NAME, "missing"
+        ))
+
+    bands = list(doc.get("bands", [])) if doc else []
+    if doc is None:
+        # Lost/corrupt parent: recover the store-level metadata first —
+        # from any child manifest (all children share shape/format/codec
+        # with the parent), falling back to a sidecar's shape (a killed
+        # *creation* leaves sidecars but no child manifests yet).
+        meta = {}
+        for p in sorted(directory.glob(f"{_SHARD_DIR_PREFIX}*")):
+            if not p.is_dir():
+                continue
+            try:
+                child_doc = json.loads((p / "manifest.json").read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            meta = {
+                "shape": child_doc.get("shape"),
+                "format": child_doc.get("format"),
+                "codec": child_doc.get("codec"),
+            }
+            break
+        if not meta.get("shape"):
+            for p in sorted(directory.glob(f"{_SHARD_DIR_PREFIX}*")):
+                rng = _read_range_sidecar(p) if p.is_dir() else None
+                if rng and rng.get("shape"):
+                    meta["shape"] = rng["shape"]
+                    break
+        cells = (
+            cell_count(tuple(meta["shape"])) if meta.get("shape") else None
+        )
+        # Then reconstruct the band table from the sidecars.
+        bands = _rebuild_parent(directory, report, repair=repair,
+                                cells=cells)
+    else:
+        meta = {
+            k: doc[k]
+            for k in ("version", "shape", "format", "codec")
+            if k in doc
+        }
+
+    referenced = set()
+    surviving_bands = []
+    for band in bands:
+        name = str(band.get("dir", "?"))
+        referenced.add(name)
+        child_dir = directory / name
+        if not child_dir.is_dir():
+            issue = FsckIssue(
+                "missing", name,
+                "shard listed in parent manifest, no directory",
+            )
+            if repair:
+                # Recreate the band as an empty shard: the data is gone,
+                # but the band table must keep covering the address
+                # space for the store to stay openable.
+                child_dir.mkdir(parents=True, exist_ok=True)
+                write_bytes_atomic(
+                    child_dir / SHARD_RANGE_NAME,
+                    json.dumps({
+                        "addr_lo": int(band.get("addr_lo", 0)),
+                        "addr_hi": int(band.get("addr_hi", 0)),
+                        "epoch": int(band.get("epoch", 0)),
+                        "shape": meta.get("shape"),
+                    }).encode("utf-8"),
+                )
+                band = dict(
+                    band, nnz=0, bbox_origin=None, bbox_size=None, zone=None
+                )
+                # Materialize an empty child manifest so the recreated
+                # shard verifies clean (the data itself is gone).
+                try:
+                    FragmentStore(
+                        child_dir, tuple(meta["shape"]), meta["format"],
+                        options=StoreOptions(codec=meta.get("codec")),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    # Store metadata unrecoverable: let the fragment-level
+                    # fsck commit a bare (meta-less) empty manifest.
+                    _fsck_store(child_dir, repair=True)
+                issue.repaired = "recreated empty"
+                surviving_bands.append(band)
+            report.issues.append(issue)
+            continue
+        child = _fsck_store(child_dir, repair=repair)
+        report.checked += child.checked
+        report.ok.extend(f"{name}/{ok}" for ok in child.ok)
+        for issue in child.issues:
+            report.issues.append(FsckIssue(
+                issue.kind, f"{name}/{issue.name}", issue.detail,
+                issue.repaired,
+            ))
+        if repair:
+            stats = _band_stats_from_child(child_dir)
+            if stats is not None:
+                band = dict(band, **stats)
+        surviving_bands.append(band)
+
+    # Shard directories the parent manifest does not reference (killed
+    # split/merge leaves these behind when the old layout stayed
+    # committed) — quarantined under repair, never silently deleted.
+    if doc is not None:
+        for p in sorted(directory.glob(f"{_SHARD_DIR_PREFIX}*")):
+            if not p.is_dir() or p.name in referenced:
+                continue
+            issue = FsckIssue(
+                "extra", p.name,
+                "shard directory not referenced by the parent manifest",
+            )
+            if repair:
+                from .durability import QUARANTINE_DIR
+
+                qdir = directory / QUARANTINE_DIR
+                qdir.mkdir(parents=True, exist_ok=True)
+                target = qdir / p.name
+                n = 0
+                while target.exists():
+                    n += 1
+                    target = qdir / f"{p.name}.{n}"
+                p.rename(target)
+                issue.repaired = "quarantined"
+            report.issues.append(issue)
+
+    for tmp in sorted(directory.glob(f"*{TMP_SUFFIX}")):
+        issue = FsckIssue("tmp", tmp.name, "stale temporary file")
+        if repair:
+            try:
+                tmp.unlink()
+                issue.repaired = "deleted"
+            except OSError as exc:  # pragma: no cover
+                issue.detail += f" (unlink failed: {exc})"
+        report.issues.append(issue)
+
+    if repair:
+        rebuilt = dict(meta)
+        rebuilt.setdefault("version", SHARD_MANIFEST_VERSION)
+        rebuilt["generation"] = report.generation + 1
+        rebuilt["bands"] = surviving_bands
+        write_bytes_atomic(
+            manifest_path,
+            json.dumps(rebuilt, indent=1).encode("utf-8"),
+            fsync=True,
+        )
+        report.generation = rebuilt["generation"]
+        report.repaired = True
+    counter_add("store.shard.fsck_runs")
+    return report

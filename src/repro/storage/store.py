@@ -91,22 +91,21 @@ from .fragment import (
     record_fragment_written,
     write_fragment,
 )
+from .options import (
+    CORRUPTION_POLICIES,
+    CRC_MODES,
+    UNSET,
+    ReadOptions,
+    StoreOptions,
+    resolve_read_options,
+    resolve_store_options,
+)
 from .planner import QueryPlan, QueryPlanner, ZoneMap
 from .readpath import (
     FragmentCache,
     RWLock,
     map_fragments_ordered,
-    validate_parallel,
 )
-
-#: Read-side corruption policies (``FragmentStore(on_corruption=...)``).
-CORRUPTION_POLICIES = ("raise", "skip", "quarantine")
-
-#: Whole-file CRC verification policies (``FragmentStore(crc_mode=...)``).
-#: ``"eager"`` re-hashes on every cache-miss load; ``"once"`` memoizes a
-#: successful verification per (fragment, generation) and skips the
-#: re-hash on later loads of the same committed bytes.
-CRC_MODES = ("eager", "once")
 
 #: Manifest schema version written by this code.  Version 2 adds the
 #: per-fragment ``"zone"`` entry (and the ``"version"`` key itself);
@@ -134,9 +133,13 @@ class FragmentStore:
     """A directory of fragments sharing one tensor shape and organization.
 
     ``format_name`` accepts either a registry name (``"LINEAR"``) or a
-    :class:`~repro.formats.base.SparseFormat` instance; the tuning
-    parameters (``relative_coords``, ``fsync``, ``codec``,
-    ``on_corruption``, ``retry``) are keyword-only.
+    :class:`~repro.formats.base.SparseFormat` instance.  All tuning is
+    consolidated in one :class:`~repro.storage.options.StoreOptions`
+    value passed as ``options=``; the pre-existing keywords
+    (``relative_coords``, ``fsync``, ``codec``, ``on_corruption``,
+    ``retry``, ``cache_bytes``, ``planner``, ``crc_mode``,
+    ``lazy_load``) survive as warn-once deprecation shims that override
+    the corresponding options field.
 
     ``on_corruption`` controls what the read side does with a fragment that
     fails its checksum (or is unreadable after retries): ``"raise"`` (the
@@ -170,44 +173,51 @@ class FragmentStore:
         shape: Sequence[int],
         format_name: str | SparseFormat,
         *,
-        relative_coords: bool = False,
-        fsync: bool = False,
-        codec: str | None = None,
-        on_corruption: str = "raise",
-        retry: RetryPolicy | None = None,
-        cache_bytes: int = 0,
-        planner: bool = True,
-        crc_mode: str = "eager",
-        lazy_load: bool = False,
+        options: StoreOptions | None = None,
+        relative_coords: bool = UNSET,
+        fsync: bool = UNSET,
+        codec: str | None = UNSET,
+        on_corruption: str = UNSET,
+        retry: RetryPolicy | None = UNSET,
+        cache_bytes: int = UNSET,
+        planner: bool = UNSET,
+        crc_mode: str = UNSET,
+        lazy_load: bool = UNSET,
     ):
         from .compression import validate_codec
 
-        if on_corruption not in CORRUPTION_POLICIES:
-            raise ValueError(
-                f"on_corruption must be one of {CORRUPTION_POLICIES}, "
-                f"got {on_corruption!r}"
-            )
-        if crc_mode not in CRC_MODES:
-            raise ValueError(
-                f"crc_mode must be one of {CRC_MODES}, got {crc_mode!r}"
-            )
+        opts = resolve_store_options(
+            options,
+            relative_coords=relative_coords,
+            fsync=fsync,
+            codec=codec,
+            on_corruption=on_corruption,
+            retry=retry,
+            cache_bytes=cache_bytes,
+            planner=planner,
+            crc_mode=crc_mode,
+            lazy_load=lazy_load,
+        )
         self.directory = Path(directory)
         self.shape = tuple(int(m) for m in shape)
         self.fmt = resolve_format(format_name)
         self.format_name = self.fmt.name
-        self.relative_coords = bool(relative_coords)
-        self.fsync = bool(fsync)
+        self.relative_coords = bool(opts.relative_coords)
+        self.fsync = bool(opts.fsync)
         # ``codec=None`` adopts the codec recorded in an existing manifest
         # (so reopening a store — and then compacting it — keeps writing
         # with the codec it was created with); fresh stores default to raw.
-        if codec is None:
-            codec = self._peek_manifest_codec(self.directory) or "raw"
-        self.codec = validate_codec(codec)
-        self.on_corruption = on_corruption
-        self.retry = retry
-        self.use_planner = bool(planner)
-        self.crc_mode = crc_mode
-        self.lazy_load = bool(lazy_load)
+        resolved_codec = opts.codec
+        if resolved_codec is None:
+            resolved_codec = self._peek_manifest_codec(self.directory) or "raw"
+        self.codec = validate_codec(resolved_codec)
+        #: The effective (fully resolved) construction options.
+        self.options = opts.replace(codec=self.codec)
+        self.on_corruption = opts.on_corruption
+        self.retry = opts.retry
+        self.use_planner = bool(opts.planner)
+        self.crc_mode = opts.crc_mode
+        self.lazy_load = bool(opts.lazy_load)
         self._linearizable = fits_index_dtype(self.shape)
         #: Per-store planner state (cached interval index per generation).
         self._planner = QueryPlanner()
@@ -218,7 +228,7 @@ class FragmentStore:
         # fragments must not be re-probed on every read.
         self._zone_backfill_done = False
         #: Decoded-fragment LRU (disabled when ``cache_bytes == 0``).
-        self.cache = FragmentCache(cache_bytes)
+        self.cache = FragmentCache(opts.cache_bytes)
         # Reader-writer lock (reads share, mutations exclude) plus a small
         # reentrant lock guarding the fragment list + manifest commit —
         # the latter so a quarantine during a degraded read (reader side
@@ -912,10 +922,11 @@ class FragmentStore:
         self,
         query_coords: np.ndarray,
         *,
-        faithful: bool = False,
-        check_crc: bool = True,
-        parallel: str = "none",
-        max_workers: int | None = None,
+        options: ReadOptions | None = None,
+        faithful: bool = UNSET,
+        check_crc: bool = UNSET,
+        parallel: str = UNSET,
+        max_workers: int | None = UNSET,
     ) -> ReadOutcome:
         """Algorithm 3 READ for an explicit query coordinate buffer.
 
@@ -924,13 +935,25 @@ class FragmentStore:
         buffer; the benchmark layer separately accounts the final
         sort-by-linear-address merge.
 
+        Tuning arrives as one :class:`~repro.storage.options.ReadOptions`
+        value (the bare keywords are warn-once deprecation shims).
         ``parallel="thread"`` fans the per-fragment load + decode + query
         out over the shared read pool (``max_workers`` bounds this call's
         fan-out); the merge stays in fragment order, so results — including
         newest-wins duplicate handling and the ``on_corruption`` behavior —
         are identical to the sequential path.
         """
-        validate_parallel(parallel)
+        ropts = resolve_read_options(
+            options,
+            faithful=faithful,
+            check_crc=check_crc,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        faithful = ropts.faithful
+        check_crc = ropts.check_crc
+        parallel = ropts.parallel
+        max_workers = ropts.max_workers
         query = as_index_array(query_coords)
         if query.ndim != 2 or query.shape[1] != len(self.shape):
             raise ShapeError("query coords must be (q, d) matching the store")
@@ -1093,6 +1116,21 @@ class FragmentStore:
     def _compact_locked(self, strategy: str = "merge") -> WriteReceipt:
         if not self._fragments:
             raise FragmentError("nothing to compact: store has no fragments")
+        if len(self._fragments) == 1:
+            # Already fully compacted.  Bumping the manifest generation
+            # here would needlessly invalidate the fragment cache, the CRC
+            # memo, and the planner's interval-index cache.
+            frag = self._fragments[0]
+            counter_add("store.compact_noop", 1)
+            return WriteReceipt(
+                info=frag,
+                index_nbytes=0,
+                value_nbytes=0,
+                file_nbytes=frag.nbytes,
+                build_seconds=0.0,
+                reorg_seconds=0.0,
+                write_seconds=0.0,
+            )
         if strategy == "merge" and not fits_index_dtype(self.shape):
             strategy = "decode"  # no global linear addresses to merge on
         if strategy == "merge":
@@ -1237,10 +1275,11 @@ class FragmentStore:
         self,
         box: Box,
         *,
-        faithful: bool = False,
-        check_crc: bool = True,
-        parallel: str = "none",
-        max_workers: int | None = None,
+        options: ReadOptions | None = None,
+        faithful: bool = UNSET,
+        check_crc: bool = UNSET,
+        parallel: str = UNSET,
+        max_workers: int | None = UNSET,
     ) -> SparseTensor:
         """Read every stored point inside ``box``, merged and sorted by
         linear address (Algorithm 3 line 12).
@@ -1259,8 +1298,16 @@ class FragmentStore:
         over the shared read pool; the merge order (and thus newest-wins
         deduplication) is unchanged.
         """
-        del faithful
-        validate_parallel(parallel)
+        ropts = resolve_read_options(
+            options,
+            faithful=faithful,
+            check_crc=check_crc,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        check_crc = ropts.check_crc
+        parallel = ropts.parallel
+        max_workers = ropts.max_workers
 
         def box_task(frag: FragmentInfo):
             payload = self._load_payload(frag, check_crc=check_crc)

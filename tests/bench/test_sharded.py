@@ -1,0 +1,45 @@
+"""Tier-1 smoke hook for the sharded-store microbench (assert-only).
+
+Imports ``benchmarks/bench_sharded.py`` by path and asserts the
+hot-region read speedup at a laxer floor than the standalone run, so a
+regression that breaks shard-level pruning (or the routed write layout
+that enables it) fails the regular suite, not just the benchmark run.
+The parallel-compaction floor arms itself only on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_BENCH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_sharded.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_sharded", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_sharded_read_speedup_smoke():
+    bench = _load_bench()
+    result = bench.bench_sharded_reads(
+        n_parts=6, points=8_000, n_queries=1_000, repeats=3,
+        shard_counts=(16,),
+    )
+    bench.assert_read_speedup_ok(result, bench.MIN_READ_SPEEDUP_SMOKE)
+    # Box reads must at least not regress behind the single store.
+    assert result["box_speedup"] >= 1.0
+
+
+def test_parallel_compaction_smoke():
+    bench = _load_bench()
+    result = bench.bench_parallel_compaction(
+        n_shards=4, n_parts=6, points=8_000
+    )
+    # Correctness always; the speedup floor only with real cores.
+    bench.assert_compact_speedup_ok(result, bench.MIN_COMPACT_SPEEDUP)
+    assert result["compact_serial"] > 0 and result["compact_parallel"] > 0

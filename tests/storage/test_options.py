@@ -1,0 +1,191 @@
+"""StoreOptions / ReadOptions: validation, resolution, deprecation shims."""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveStore,
+    BlockedDataset,
+    FragmentStore,
+    ReadOptions,
+    ShardedStore,
+    StoreOptions,
+)
+from repro.storage.options import (
+    UNSET,
+    resolve_read_options,
+    resolve_store_options,
+)
+
+SHAPE = (16, 16, 16)
+
+
+def make_coords(rng, n=64):
+    return rng.integers(0, 16, size=(n, 3)).astype(np.uint64)
+
+
+class TestStoreOptions:
+    def test_defaults(self):
+        opts = StoreOptions()
+        assert opts.relative_coords is False
+        assert opts.fsync is False
+        assert opts.codec is None
+        assert opts.on_corruption == "raise"
+        assert opts.retry is None
+        assert opts.cache_bytes == 0
+        assert opts.planner is True
+        assert opts.crc_mode == "eager"
+        assert opts.lazy_load is False
+
+    def test_frozen(self):
+        opts = StoreOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.fsync = True
+
+    def test_replace(self):
+        opts = StoreOptions().replace(fsync=True, cache_bytes=4096)
+        assert opts.fsync is True
+        assert opts.cache_bytes == 4096
+        assert opts.codec is None  # untouched fields keep defaults
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoreOptions(on_corruption="explode")
+        with pytest.raises(ValueError):
+            StoreOptions(crc_mode="never")
+        with pytest.raises(ValueError):
+            StoreOptions(cache_bytes=-1)
+
+    def test_bad_codec_rejected_by_store(self, tmp_path):
+        with pytest.raises(Exception):
+            FragmentStore(tmp_path / "s", SHAPE, "COO",
+                          options=StoreOptions(codec="no-such-codec"))
+
+
+class TestReadOptions:
+    def test_defaults(self):
+        ropts = ReadOptions()
+        assert ropts.faithful is False
+        assert ropts.check_crc is True
+        assert ropts.parallel == "none"
+        assert ropts.max_workers is None
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ReadOptions().faithful = True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadOptions(parallel="fibers")
+
+
+class TestResolution:
+    def test_none_yields_defaults(self):
+        assert resolve_store_options(None) == StoreOptions()
+        assert resolve_read_options(None) == ReadOptions()
+
+    def test_options_passthrough(self):
+        opts = StoreOptions(fsync=True)
+        assert resolve_store_options(opts) is opts
+
+    def test_legacy_keyword_overrides(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            opts = resolve_store_options(None, cache_bytes=512)
+            assert opts.cache_bytes == 512
+            # Explicit legacy keyword wins over the options object too.
+            opts = resolve_store_options(StoreOptions(fsync=False), fsync=True)
+            assert opts.fsync is True
+            ropts = resolve_read_options(ReadOptions(), faithful=True)
+            assert ropts.faithful is True
+
+    def test_unset_sentinel_ignored(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            # UNSET values must not trigger deprecation warnings.
+            opts = resolve_store_options(None, fsync=UNSET, codec=UNSET)
+        assert opts == StoreOptions()
+
+    def test_legacy_keyword_warns(self):
+        from repro.storage import options as options_mod
+
+        options_mod._WARNED.discard("planner")
+        with pytest.warns(DeprecationWarning, match="planner"):
+            resolve_store_options(None, planner=False)
+
+    def test_warn_once_per_keyword(self):
+        from repro.storage import options as options_mod
+
+        options_mod._WARNED.discard("retry")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_store_options(None, retry=None)
+            resolve_store_options(None, retry=None)
+        deps = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deps) == 1
+
+
+class TestStoresAcceptOptions:
+    def test_fragment_store(self, tmp_path):
+        rng = np.random.default_rng(0)
+        store = FragmentStore(
+            tmp_path / "s", SHAPE, "LINEAR",
+            options=StoreOptions(cache_bytes=1 << 20, crc_mode="once"),
+        )
+        assert store.options.cache_bytes == 1 << 20
+        assert store.crc_mode == "once"
+        coords = make_coords(rng)
+        store.write(coords, np.ones(len(coords)))
+        out = store.read_points(coords[:8], options=ReadOptions(faithful=True))
+        assert out.found.all()
+
+    def test_store_options_codec_adoption(self, tmp_path):
+        store = FragmentStore(tmp_path / "s", SHAPE, "COO",
+                              options=StoreOptions(codec="zlib"))
+        assert store.codec == "zlib"
+        assert store.options.codec == "zlib"
+        # codec=None on reopen adopts the manifest codec.
+        reopened = FragmentStore(tmp_path / "s", SHAPE, "COO")
+        assert reopened.codec == "zlib"
+
+    def test_adaptive_store(self, tmp_path):
+        store = AdaptiveStore(tmp_path / "a", SHAPE,
+                              options=StoreOptions(fsync=False))
+        assert store.options.fsync is False
+
+    def test_blocked_dataset(self, tmp_path):
+        ds = BlockedDataset(tmp_path / "b", SHAPE, (8, 8, 8), "COO",
+                            options=StoreOptions(cache_bytes=1024))
+        assert ds.store.cache.max_bytes == 1024
+        # BlockedDataset always stores relative coords regardless of options.
+        assert ds.store.relative_coords is True
+
+    def test_sharded_store(self, tmp_path):
+        store = ShardedStore(tmp_path / "sh", SHAPE, "LINEAR", n_shards=2,
+                             options=StoreOptions(crc_mode="once"))
+        assert store.options.crc_mode == "once"
+
+    def test_sharded_rejects_relative_coords(self, tmp_path):
+        with pytest.raises(Exception):
+            ShardedStore(tmp_path / "sh", SHAPE, "LINEAR",
+                         options=StoreOptions(relative_coords=True))
+
+    def test_legacy_constructor_keyword_still_works(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            store = FragmentStore(tmp_path / "s", SHAPE, "COO",
+                                  cache_bytes=2048)
+        assert store.cache.max_bytes == 2048
+
+    def test_legacy_read_keyword_still_works(self, tmp_path):
+        rng = np.random.default_rng(1)
+        store = FragmentStore(tmp_path / "s", SHAPE, "LINEAR")
+        coords = make_coords(rng)
+        store.write(coords, np.ones(len(coords)))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            out = store.read_points(coords[:4], faithful=True)
+        assert out.found.all()

@@ -47,6 +47,7 @@ EXPECTED_PUBLIC_API = sorted([
     "AdaptiveStore", "StreamingWriter", "convert_store",
     "BlockedDataset", "FragmentCache", "FragmentStore",
     "FsckReport", "RetryPolicy", "fsck",
+    "ReadOptions", "ShardedStore", "StoreOptions",
     "__version__",
 ])
 
@@ -109,11 +110,11 @@ class TestStoreReadTuningSurface:
         from repro.readapi import STORE_READ_TUNING
 
         assert STORE_READ_TUNING == (
-            "faithful", "check_crc", "parallel", "max_workers",
+            "options", "faithful", "check_crc", "parallel", "max_workers",
         )
 
     @pytest.mark.parametrize("cls_name", [
-        "FragmentStore", "AdaptiveStore", "BlockedDataset",
+        "FragmentStore", "AdaptiveStore", "BlockedDataset", "ShardedStore",
     ])
     @pytest.mark.parametrize("method", ["read_points", "read_box"])
     def test_stores_accept_tuning_keywords(self, cls_name, method):
@@ -128,11 +129,21 @@ class TestStoreReadTuningSurface:
             )
 
     def test_stores_are_readable(self):
-        for cls_name in ("FragmentStore", "AdaptiveStore", "BlockedDataset"):
+        for cls_name in ("FragmentStore", "AdaptiveStore", "BlockedDataset",
+                         "ShardedStore"):
             cls = getattr(repro, cls_name)
             assert issubclass(cls, repro.Readable) or all(
                 hasattr(cls, m) for m in ("read_points", "read_box")
             )
+
+    def test_stores_accept_options_objects(self):
+        """Constructors take ``options=StoreOptions`` (the consolidated API)."""
+        for cls_name in ("FragmentStore", "AdaptiveStore", "BlockedDataset",
+                         "ShardedStore"):
+            sig = inspect.signature(getattr(repro, cls_name).__init__)
+            param = sig.parameters.get("options")
+            assert param is not None, f"{cls_name} lacks options="
+            assert param.kind is inspect.Parameter.KEYWORD_ONLY
 
 
 class TestDocstrings:

@@ -109,9 +109,30 @@ def run_parallel_read(smoke: bool) -> dict:
     return {**result, "floor": floor}
 
 
+def run_sharded_store(smoke: bool) -> dict:
+    bench = load_bench("bench_sharded")
+    if smoke:
+        reads = bench.bench_sharded_reads(
+            n_parts=6, points=8_000, n_queries=1_000, repeats=3,
+            shard_counts=(16,),
+        )
+        floor = bench.MIN_READ_SPEEDUP_SMOKE
+        compact = bench.bench_parallel_compaction(
+            n_shards=4, n_parts=6, points=8_000
+        )
+    else:
+        reads = bench.bench_sharded_reads()
+        floor = bench.MIN_READ_SPEEDUP
+        compact = bench.bench_parallel_compaction()
+    bench.assert_read_speedup_ok(reads, floor)
+    bench.assert_compact_speedup_ok(compact, bench.MIN_COMPACT_SPEEDUP)
+    return {**reads, **compact, "floor": floor}
+
+
 BENCHES = {
     "read_planner": run_read_planner,
     "parallel_read": run_parallel_read,
+    "sharded_store": run_sharded_store,
 }
 
 
