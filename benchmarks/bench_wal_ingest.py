@@ -1,0 +1,146 @@
+"""Microbench: WAL append ingest vs synchronous per-chunk writes.
+
+Small-chunk ingest is the worst case for the synchronous write path:
+every ``store.write`` encodes a fragment, creates a file, and rewrites
+the (growing) manifest — a chunk of 100 points pays the same fixed
+commit cost as a chunk of a million.  The WAL append path
+(``store.append``) fsyncs one CRC-framed record into the active log
+segment instead, deferring encode + manifest work to a single
+``pack_wal`` over the whole batch.
+
+This bench ingests the same chunk stream twice — once via ``write``,
+once via ``append`` + one final ``pack_wal`` — then verifies both
+stores answer a query sample identically.  The PR-facing claim,
+asserted standalone and in the tier-1 smoke (``tests/bench/
+test_wal.py``): at 1M points in 10k chunks the append path is at least
+``MIN_INGEST_SPEEDUP``x faster than synchronous writes, *including*
+the final pack.  The mechanism is amortized commit cost, not
+parallelism, so it holds on any core count.
+
+Runs standalone (``python benchmarks/bench_wal_ingest.py``) and in the
+tier-1 suite at smoke sizes/floors.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.storage import FragmentStore, StoreOptions
+
+#: The PR-facing claim: append + one pack vs per-chunk writes.
+MIN_INGEST_SPEEDUP = 3.0
+#: Tier-1 smoke floor (far fewer chunks, shared-CI jitter).
+MIN_INGEST_SPEEDUP_SMOKE = 1.5
+
+SHAPE = (1 << 16, 1 << 16)
+
+
+def make_chunks(n_points: int, n_chunks: int, seed: int = 0):
+    """``n_chunks`` equal slices of a scattered ``n_points`` ingest."""
+    rng = np.random.default_rng(seed)
+    coords = np.column_stack([
+        rng.integers(0, SHAPE[0], size=n_points, dtype=np.uint64),
+        rng.integers(0, SHAPE[1], size=n_points, dtype=np.uint64),
+    ])
+    values = rng.random(n_points)
+    bounds = np.linspace(0, n_points, n_chunks + 1, dtype=int)
+    return [
+        (coords[s:e], values[s:e])
+        for s, e in zip(bounds[:-1], bounds[1:])
+        if e > s
+    ]
+
+
+def bench_wal_ingest(
+    n_points: int = 1_000_000,
+    n_chunks: int = 10_000,
+    n_queries: int = 2_000,
+    wal_fsync: bool = False,
+) -> dict[str, float]:
+    """Ingest the same chunk stream via ``write`` and via ``append``.
+
+    Timed once each — ingest is a bulk operation, not a hot loop, and
+    the write side's cost grows with its own fragment count, so
+    repeating it would only flatter the append path.  Returns the two
+    ingest times, the pack time, and the headline ``ingest_speedup``
+    (write time over append + pack time).
+    """
+    tmp = Path(tempfile.mkdtemp(prefix="bench-wal-ingest-"))
+    was_enabled = obs.is_enabled()
+    try:
+        obs.disable()
+        chunks = make_chunks(n_points, n_chunks)
+
+        synced = FragmentStore(tmp / "sync", SHAPE, "LINEAR")
+        t0 = time.perf_counter()
+        for c, v in chunks:
+            synced.write(c, v)
+        write_time = time.perf_counter() - t0
+
+        walled = FragmentStore(
+            tmp / "wal", SHAPE, "LINEAR",
+            options=StoreOptions(wal_fsync=wal_fsync),
+        )
+        t0 = time.perf_counter()
+        for c, v in chunks:
+            walled.append(c, v)
+        append_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        walled.pack_wal()
+        pack_time = time.perf_counter() - t0
+
+        # Both ingests must answer identically (sampled).
+        rng = np.random.default_rng(1)
+        sample = np.vstack([c for c, _ in chunks])
+        sample = sample[rng.choice(sample.shape[0], n_queries)]
+        a = walled.read_points(sample)
+        b = synced.read_points(sample)
+        assert a.found.all() and b.found.all()
+        assert np.array_equal(a.values, b.values)
+
+        durable_time = append_time + pack_time
+        return {
+            "write_time": write_time,
+            "append_time": append_time,
+            "pack_time": pack_time,
+            "ingest_speedup": write_time / durable_time,
+            "append_only_speedup": write_time / append_time,
+            "n_points": n_points,
+            "n_chunks": len(chunks),
+            "wal_fsync": wal_fsync,
+        }
+    finally:
+        if was_enabled:
+            obs.enable()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def assert_speedup_ok(metrics: dict, floor: float) -> None:
+    speedup = metrics["ingest_speedup"]
+    assert speedup >= floor, (
+        f"WAL ingest (append + pack) only {speedup:.2f}x faster than "
+        f"per-chunk writes over {metrics['n_chunks']} chunks "
+        f"(floor {floor}x)"
+    )
+
+
+def main() -> None:
+    result = bench_wal_ingest()
+    print(f"ingest of {result['n_points']:,} points in "
+          f"{result['n_chunks']:,} chunks:")
+    print(f"  write per chunk:  {result['write_time']:8.2f} s")
+    print(f"  append + pack:    {result['append_time']:8.2f} s"
+          f" + {result['pack_time']:.2f} s"
+          f"  ({result['ingest_speedup']:.1f}x)")
+    assert_speedup_ok(result, MIN_INGEST_SPEEDUP)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

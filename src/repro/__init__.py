@@ -78,6 +78,7 @@ from .storage import (
     RetryPolicy,
     ShardedStore,
     StoreOptions,
+    StoreSnapshot,
     StreamingWriter,
     convert_store,
     fsck,
@@ -141,6 +142,7 @@ __all__ = [
     "RetryPolicy",
     "ShardedStore",
     "StoreOptions",
+    "StoreSnapshot",
     "fsck",
     "__version__",
 ]

@@ -22,14 +22,18 @@
     decoded-fragment cache section (``--cache-bytes`` sets the budget,
     ``--parallel thread`` fans the reads out over the read pool,
     ``--build`` adds a unified-build-pipeline section showing the
-    canonical-intermediate counters, and ``--shards`` adds the
-    per-shard band table for a ``ShardedStore``).
+    canonical-intermediate counters, ``--shards`` adds the
+    per-shard band table for a ``ShardedStore``, and ``--wal``
+    exercises the durable append path and prints the write-ahead-log
+    section — ``store.wal.*`` counters plus the live log footprint).
 ``fsck``
     Verify a store: every fragment's header and CRC checked against the
-    manifest, drift reported (missing/extra/corrupt/stale temp files);
+    manifest, drift reported (missing/extra/corrupt/stale temp files),
+    write-ahead-log segments scanned (count and valid bytes reported);
     sharded directories are auto-detected and get the parent+children
     walk; ``--repair`` rebuilds manifests, recovers readable uncommitted
-    fragments, and quarantines unreadable ones.
+    fragments, quarantines unreadable ones, and truncates torn WAL
+    tails back to the last intact record.
 """
 
 from __future__ import annotations
@@ -250,6 +254,40 @@ def _render_build_section() -> str:
     return "\n".join(lines)
 
 
+def _render_wal_section(store) -> str:
+    """The ``repro stats --wal`` section: durable append-path counters."""
+    from . import obs
+    from .bench.report import format_bytes
+
+    counters = {
+        c["name"]: c["value"] for c in obs.snapshot()["counters"]
+    }
+    ws = store.wal_stats()
+    lines = ["write-ahead log (durable append path)"]
+    lines.append(
+        f"  live      {ws['segments']} segment(s)  "
+        f"{format_bytes(ws['bytes'])}  "
+        f"{ws['points']} unpacked point(s)"
+    )
+    lines.append(
+        f"  appends   {counters.get('store.wal.appends', 0)}  "
+        f"records replayed "
+        f"{counters.get('store.wal.records_replayed', 0)}  "
+        f"torn tails {counters.get('store.wal.torn_tails', 0)}"
+    )
+    lines.append(
+        f"  segments  sealed "
+        f"{counters.get('store.wal.segments_sealed', 0)}  "
+        f"retired {counters.get('store.wal.segments_retired', 0)}"
+    )
+    lines.append(
+        f"  pack runs {counters.get('store.wal.pack_runs', 0)}  "
+        f"snapshots {counters.get('store.wal.snapshots', 0)}  "
+        f"gc deleted {counters.get('store.wal.gc_deleted', 0)}"
+    )
+    return "\n".join(lines)
+
+
 def _render_shards_section(store) -> str:
     """The ``repro stats --shards`` section: per-band summary rows."""
     from .bench.report import format_bytes, render_table
@@ -310,6 +348,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     cache = None
     plan_summary = None
     shard_table = None
+    wal_section = None
 
     if args.store:
         store, cache = _open_stats_store(args, store_options)
@@ -341,6 +380,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 1
             shard_table = _render_shards_section(store)
+        if args.wal:
+            # Read-only against an existing store: report the live log
+            # footprint and whatever replay recorded on open.
+            wal_section = _render_wal_section(store)
         title = f"repro observability — store {args.store}"
     else:
         # Self-contained demo: two disjoint fragments, so the read shows
@@ -370,6 +413,18 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 store.read_box(
                     Box((0, 0, 0), (16, 16, 16)), options=read_options
                 )
+            if args.wal:
+                # Exercise the whole durable lifecycle so every
+                # store.wal.* counter has data: append -> read (tail
+                # merge) -> snapshot -> pack -> gc.
+                extra = rng.integers(0, 64, size=(n, 3)).astype(np.uint64)
+                store.append(extra, rng.random(n))
+                store.read_points(extra[: max(1, n // 2)],
+                                  options=read_options)
+                with store.snapshot():
+                    store.pack_wal()
+                store.gc()
+                wal_section = _render_wal_section(store)
             cache = None if args.shards else store.cache
             if args.plan:
                 plan_summary = store.explain(
@@ -415,6 +470,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
         if shard_table is not None:
             print()
             print(shard_table)
+        if wal_section is not None:
+            print()
+            print(wal_section)
         if args.plan:
             print()
             print(_render_plan_section(plan_summary))
@@ -519,6 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the per-shard band table; with "
                         "--store the directory must be a ShardedStore, "
                         "without it the demo store is built 4-way sharded")
+    p.add_argument("--wal", action="store_true",
+                   help="also print the write-ahead-log section "
+                        "(store.wal.* counters + live log footprint); "
+                        "the demo store exercises the full durable "
+                        "lifecycle: append, tail read, snapshot, pack, gc")
     p.add_argument("--json", action="store_true",
                    help="emit the metrics snapshot as JSON")
     p.set_defaults(func=cmd_stats)

@@ -53,6 +53,17 @@ instead of read eagerly under ``lazy_load=True``).  The bbox-level
 ``store.fragments_pruned`` counter keeps its pre-planner meaning — only
 bounding-box rejections — so existing dashboards stay comparable.
 ``repro stats --store DIR --plan`` prints a planner section from these.
+
+The write-ahead log (:mod:`repro.storage.wal`) records under
+``store.wal.*``: ``store.wal.appends`` (durable records written),
+``store.wal.records_replayed`` (records recovered at open),
+``store.wal.segments_sealed`` / ``store.wal.segments_retired``
+(segment lifecycle), ``store.wal.torn_tails`` (torn final records
+truncated during replay), ``store.wal.pack_runs``,
+``store.wal.snapshots``, ``store.wal.gc_deleted`` (retired fragment
+files removed by :meth:`~repro.storage.store.FragmentStore.gc`), and
+the ``store.wal.bytes`` gauge (live log footprint).  ``repro stats
+--wal`` prints a WAL section from these plus ``store.wal_stats()``.
 """
 
 from .metrics import (

@@ -16,6 +16,10 @@ same two methods:
 Code written against :class:`Readable` works unchanged whether the data
 lives in memory, in one fragment directory, or sharded over blocks.
 ``EncodedTensor.read`` survives as a deprecated alias of ``read_points``.
+Generation-pinned store views (:class:`~repro.storage.store.
+StoreSnapshot`, :class:`~repro.storage.sharded.ShardedSnapshot` — see
+``docs/WAL_SNAPSHOTS.md``) answer the same two methods, so query code
+is equally agnostic to whether it reads the live store or a snapshot.
 
 The storage-backed implementations (:class:`~repro.storage.store.
 FragmentStore`, :class:`~repro.storage.adaptive.AdaptiveStore`,

@@ -68,7 +68,8 @@ class FaultHook(Protocol):
     ``before(op, path)`` may raise to simulate a failed syscall;
     ``torn_write(path, data)`` may return a byte count ``k`` — the write
     persists exactly ``data[:k]`` and then raises — or ``None`` to pass
-    through.  Ops are ``"write"``, ``"read"``, ``"rename"``, ``"fsync"``.
+    through.  Ops are ``"write"``, ``"read"``, ``"rename"``, ``"fsync"``,
+    ``"unlink"``, ``"truncate"``.
     """
 
     def before(self, op: str, path: Path) -> None: ...
@@ -163,6 +164,80 @@ def write_bytes_atomic(
         hook.before("rename", path)
     os.replace(tmp, path)
     return len(data)
+
+
+def append_bytes(
+    path: str | os.PathLike, data: bytes, *, fsync: bool = False
+) -> int:
+    """Append ``data`` to ``path`` (created if absent); returns bytes written.
+
+    The WAL's primitive: unlike :func:`write_bytes_atomic` there is no
+    rename commit point — a crash mid-append leaves a *torn tail*, which
+    the WAL's record framing (length prefix + body CRC) detects and
+    truncates on replay.  Same fault-hook contract as the atomic writer:
+    the injection ops are ``"write"`` (torn writes persist an exact byte
+    prefix) and ``"fsync"``.
+    """
+    path = Path(path)
+    hook = _fault_hook
+    with open(path, "ab") as fh:
+        if hook is not None:
+            hook.before("write", path)
+            torn = hook.torn_write(path, data)
+            if torn is not None:
+                fh.write(data[:torn])
+                fh.flush()
+                raise _injected_os_error("write", path)
+        fh.write(data)
+        if fsync:
+            fh.flush()
+            if hook is not None:
+                hook.before("fsync", path)
+            os.fsync(fh.fileno())
+    return len(data)
+
+
+def rename_file(src: str | os.PathLike, dst: str | os.PathLike) -> None:
+    """Atomically rename ``src`` over ``dst`` (fault op: ``"rename"``).
+
+    The WAL's segment-seal commit point: sealing renames
+    ``seg-N.wal.open`` to ``seg-N.wal`` so replay can distinguish the one
+    actively-appended segment from the sealed, immutable ones.
+    """
+    src = Path(src)
+    dst = Path(dst)
+    hook = _fault_hook
+    if hook is not None:
+        hook.before("rename", dst)
+    os.replace(src, dst)
+
+
+def remove_file(path: str | os.PathLike) -> None:
+    """Unlink ``path`` (fault op: ``"unlink"``).
+
+    Used for every durable *delete* transition — retiring a packed WAL
+    segment, GC'ing a superseded fragment — always *after* the manifest
+    commit that stops referencing the file, so a crash between the two
+    leaves only recoverable duplicates.
+    """
+    path = Path(path)
+    hook = _fault_hook
+    if hook is not None:
+        hook.before("unlink", path)
+    path.unlink()
+
+
+def truncate_file(path: str | os.PathLike, size: int) -> None:
+    """Truncate ``path`` to ``size`` bytes (fault op: ``"truncate"``).
+
+    WAL repair uses this to amputate a torn final record, restoring the
+    segment to its longest intact prefix.
+    """
+    path = Path(path)
+    hook = _fault_hook
+    if hook is not None:
+        hook.before("truncate", path)
+    os.truncate(path, size)
 
 
 def clean_temp_files(directory: str | os.PathLike) -> list[Path]:
@@ -306,7 +381,8 @@ NO_RETRY = RetryPolicy(attempts=1)
 class FsckIssue:
     """One problem found by :func:`fsck`."""
 
-    kind: str  # "missing" | "corrupt" | "extra" | "tmp" | "manifest"
+    # "missing" | "corrupt" | "extra" | "tmp" | "manifest" | "retired" | "wal"
+    kind: str
     name: str
     detail: str
     repaired: str = ""  # action taken under --repair ("", "quarantined", ...)
@@ -322,6 +398,8 @@ class FsckReport:
     ok: list[str] = field(default_factory=list)
     issues: list[FsckIssue] = field(default_factory=list)
     repaired: bool = False
+    wal_segments: int = 0
+    wal_bytes: int = 0
 
     @property
     def clean(self) -> bool:
@@ -337,6 +415,11 @@ class FsckReport:
             f"(generation {self.generation}, {self.checked} fragment(s) "
             f"checked, {len(self.ok)} ok)"
         ]
+        if self.wal_segments:
+            lines.append(
+                f"  wal: {self.wal_segments} segment(s), "
+                f"{self.wal_bytes} valid byte(s)"
+            )
         for issue in self.issues:
             action = f" [{issue.repaired}]" if issue.repaired else ""
             lines.append(
@@ -351,6 +434,8 @@ class FsckReport:
             "checked": self.checked,
             "clean": self.clean,
             "repaired": self.repaired,
+            "wal_segments": self.wal_segments,
+            "wal_bytes": self.wal_bytes,
             "ok": list(self.ok),
             "issues": [
                 {
@@ -413,6 +498,14 @@ def fsck(
     moved to ``.quarantine/`` (never silently dropped), readable extras are
     recovered into the manifest (appended in name order), and the manifest
     is rewritten atomically with a bumped generation.
+
+    When the store has a write-ahead log (a ``wal/`` subdirectory), every
+    segment is scanned too: torn tails are reported (and truncated back to
+    the last intact record under ``repair=True``); segments corrupt before
+    their final record are quarantined under ``repair=True``.  Retired
+    fragments (superseded but kept for snapshots) are verified like live
+    ones; missing or corrupt retired entries are dropped from the retained
+    list on repair.
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -421,17 +514,20 @@ def fsck(
 
     generation = 0
     entries: list[dict[str, Any]] = []
+    retired_entries: list[dict[str, Any]] = []
     manifest_meta: dict[str, Any] = {}
     report = FsckReport(directory=directory, generation=0, checked=0)
     if manifest_path.exists():
         try:
             manifest = json.loads(manifest_path.read_text())
             entries = list(manifest.get("fragments", []))
+            retired_entries = list(manifest.get("retired", []))
             generation = int(manifest.get("generation", 0))
             manifest_meta = {
                 k: manifest[k]
                 for k in (
                     "version", "shape", "format", "relative_coords", "codec",
+                    "gc_horizon",
                 )
                 if k in manifest
             }
@@ -465,6 +561,36 @@ def fsck(
             surviving.append(dict(entry))
         else:
             issue = FsckIssue("corrupt", name, reason)
+            if repair:
+                quarantine_file(directory, path, reason=f"fsck: {reason}")
+                issue.repaired = "quarantined"
+            report.issues.append(issue)
+
+    # Retired fragments are still readable through pinned snapshots, so
+    # they get the same integrity check; a broken one only costs the
+    # retained history, never live data.
+    surviving_retired: list[dict[str, Any]] = []
+    for entry in retired_entries:
+        name = str(entry.get("file", "?"))
+        listed_names.add(name)
+        path = directory / name
+        report.checked += 1
+        if not path.exists():
+            issue = FsckIssue(
+                "retired", name, "retired in manifest, no file"
+            )
+            if repair:
+                issue.repaired = "dropped"
+            report.issues.append(issue)
+            continue
+        header, reason = _verify_fragment_file(
+            path, entry.get("crc"), entry.get("nbytes")
+        )
+        if reason is None:
+            report.ok.append(name)
+            surviving_retired.append(dict(entry))
+        else:
+            issue = FsckIssue("retired", name, reason)
             if repair:
                 quarantine_file(directory, path, reason=f"fsck: {reason}")
                 issue.repaired = "quarantined"
@@ -514,10 +640,45 @@ def fsck(
                 issue.detail += f" (unlink failed: {exc})"
         report.issues.append(issue)
 
+    # WAL segments: verify framing and CRCs without replaying anything.
+    # Imported locally — wal.py builds on this module's primitives.
+    from .wal import list_segments, scan_segment, wal_path
+
+    wal_dir = wal_path(directory)
+    if wal_dir.is_dir():
+        shape_meta = manifest_meta.get("shape")
+        expected_shape = (
+            tuple(int(m) for m in shape_meta) if shape_meta else None
+        )
+        for seg_path in list_segments(wal_dir):
+            scan = scan_segment(seg_path, expected_shape=expected_shape)
+            report.wal_segments += 1
+            report.wal_bytes += scan.valid_bytes
+            if scan.status == "ok":
+                report.ok.append(seg_path.name)
+                continue
+            issue = FsckIssue("wal", seg_path.name, scan.detail)
+            if repair:
+                if scan.status == "torn":
+                    if scan.valid_bytes:
+                        truncate_file(seg_path, scan.valid_bytes)
+                        issue.repaired = "truncated"
+                    else:
+                        remove_file(seg_path)
+                        issue.repaired = "deleted"
+                else:
+                    quarantine_file(
+                        directory, seg_path, reason=f"fsck: {scan.detail}"
+                    )
+                    issue.repaired = "quarantined"
+            report.issues.append(issue)
+
     if repair:
         rebuilt = dict(manifest_meta)
         rebuilt["generation"] = generation + 1
         rebuilt["fragments"] = surviving + recovered
+        if surviving_retired:
+            rebuilt["retired"] = surviving_retired
         write_bytes_atomic(
             manifest_path,
             json.dumps(rebuilt, indent=1).encode("utf-8"),

@@ -76,6 +76,15 @@ class FragmentInfo:
     time and lazily backfilled for pre-zone-map manifests.  ``None``
     means "no range metadata" — such a fragment is never pruned by the
     planner's zone stage.
+
+    ``born`` / ``retired`` bound the fragment's *generation lifetime*:
+    it is visible to manifest generation ``g`` iff ``born <= g`` and
+    (``retired is None`` or ``g < retired``).  ``born`` is stamped at
+    the first manifest commit that lists the fragment (``None`` until
+    then, and loaded as 0 from pre-snapshot manifests); ``retired`` is
+    set when compaction or WAL packing supersedes it.  Retired
+    fragments live in the manifest's ``"retired"`` list until
+    retention/GC deletes them (see ``docs/WAL_SNAPSHOTS.md``).
     """
 
     path: Path
@@ -86,6 +95,8 @@ class FragmentInfo:
     nbytes: int
     crc: int | None = None
     zone: "ZoneMap | None" = None
+    born: int | None = None
+    retired: int | None = None
 
     @classmethod
     def from_header(cls, path: Path, header: dict[str, Any]) -> "FragmentInfo":

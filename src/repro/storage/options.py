@@ -113,6 +113,22 @@ class StoreOptions:
         Whole-file CRC policy, one of :data:`CRC_MODES`.
     lazy_load:
         Map fragment files zero-copy instead of reading byte copies.
+    wal_segment_bytes:
+        WAL segment size: the active segment is sealed (and becomes
+        packable) once its file crosses this many bytes.
+    wal_fsync:
+        fsync every WAL append (``True``: an acknowledged ``append``
+        survives any crash).  ``None`` follows ``fsync``.
+    wal_pack_interval:
+        Seconds between background packer sweeps draining sealed WAL
+        segments into fragments; ``None`` disables the thread (call
+        ``store.pack_wal()`` explicitly).
+    retain_generations:
+        How many superseded manifest generations of fragments compaction
+        and packing keep on disk for ``store.snapshot(generation)``
+        time-travel; ``0`` deletes superseded fragments immediately
+        (unless a live snapshot pins them).  ``store.gc()`` trims the
+        retained set back to this depth.
     """
 
     relative_coords: bool = False
@@ -124,6 +140,10 @@ class StoreOptions:
     planner: bool = True
     crc_mode: str = "eager"
     lazy_load: bool = False
+    wal_segment_bytes: int = 4 << 20
+    wal_fsync: bool | None = None
+    wal_pack_interval: float | None = None
+    retain_generations: int = 0
 
     def __post_init__(self) -> None:
         if self.on_corruption not in CORRUPTION_POLICIES:
@@ -137,6 +157,12 @@ class StoreOptions:
             )
         if int(self.cache_bytes) < 0:
             raise ValueError("cache_bytes must be >= 0")
+        if int(self.wal_segment_bytes) < 1:
+            raise ValueError("wal_segment_bytes must be >= 1")
+        if self.wal_pack_interval is not None and self.wal_pack_interval <= 0:
+            raise ValueError("wal_pack_interval must be None or > 0")
+        if int(self.retain_generations) < 0:
+            raise ValueError("retain_generations must be >= 0")
 
     def replace(self, **changes: Any) -> "StoreOptions":
         """A copy with ``changes`` applied (:func:`dataclasses.replace`)."""

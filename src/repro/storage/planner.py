@@ -33,6 +33,12 @@ a result) but deliberately lossy in the other direction: a fragment that
 survives the plan may still contain none of the queried points.  The
 format READ kernels remain the ground truth.
 
+The WAL tail overlay reuses :class:`ZoneMap` outside the plan proper:
+:func:`repro.storage.wal.build_tail_run` attaches one to the merged
+unpacked-append run, and the store consults it (``may_contain_any`` /
+``overlaps_range``) before the tail joins a read — so unpacked appends
+get the same address-range pruning as committed fragments.
+
 Planner decisions are observable (see :mod:`repro.obs`):
 
 ``store.plan.fragments_pruned_index``

@@ -542,6 +542,84 @@ class ShardedStore:
         return self.write(tensor.coords, tensor.values)
 
     # ------------------------------------------------------------------
+    # WAL: routed durable appends
+    # ------------------------------------------------------------------
+
+    def append(self, coords: np.ndarray, values: np.ndarray) -> int:
+        """Durably append points, routed to each band's write-ahead log.
+
+        Same crash-ordering contract as :meth:`write`: the parent's
+        per-shard stats commit *before* the child appends, so a crash in
+        the window leaves the parent over-covering (sound for pruning),
+        never hiding an appended point.  Each child append is then an
+        independent WAL commit — an acknowledged ``append`` with
+        ``wal_fsync`` survives any crash.  Returns the number of points
+        appended.
+        """
+        coords = as_index_array(coords)
+        values = np.asarray(values)
+        if coords.ndim != 2 or coords.shape[1] != len(self.shape):
+            raise ShapeError("coords must be (n, d) matching the store shape")
+        if values.shape[0] != coords.shape[0]:
+            raise ShapeError("values must align with coords")
+        canon = CanonicalCoords.from_coords(coords, self.shape)
+        with self._rw.write_locked():
+            with span("store.shard.append", format=self.format_name) as sp:
+                routed = self._route_canonical(canon, values)
+                for i, sub, _vals in routed:
+                    entry = self._entries[i]
+                    entry.nnz += sub.n
+                    entry.bbox = _union_box(entry.bbox, sub.bounding_box)
+                    entry.zone = _union_zone(
+                        entry.zone,
+                        ZoneMap.from_addresses(
+                            sub.sorted_addresses, assume_sorted=True
+                        ),
+                    )
+                if routed:
+                    self._save_parent_manifest()
+                for i, sub, vals in routed:
+                    self._child(i)._append_addresses(
+                        sub.sorted_addresses, vals
+                    )
+                    counter_add("store.shard.routed_parts")
+                sp.add_nnz(canon.n)
+        return int(canon.n)
+
+    def pack_wal(self) -> list[WriteReceipt]:
+        """Drain every shard's WAL into fragments (band order).
+
+        Each child pack is atomic on that child's manifest; the parent
+        stat refresh at the end commits once.  Returns the per-shard
+        receipts for shards that held unpacked points.
+        """
+        receipts: list[WriteReceipt] = []
+        with self._rw.write_locked():
+            packed = []
+            for i in range(len(self._entries)):
+                receipt = self._child(i).pack_wal()
+                if receipt is not None:
+                    packed.append(i)
+                    receipts.append(receipt)
+            if packed:
+                for i in packed:
+                    self._refresh_entry(i)
+                self._save_parent_manifest()
+        return receipts
+
+    def wal_stats(self) -> dict[str, int]:
+        """Aggregate WAL footprint across shards."""
+        totals = {
+            "segments": 0, "bytes": 0, "points": 0,
+            "torn_tails_repaired": 0,
+        }
+        with self._rw.read_locked():
+            for i in range(len(self._entries)):
+                for key, val in self._child(i).wal_stats().items():
+                    totals[key] = totals.get(key, 0) + val
+        return totals
+
+    # ------------------------------------------------------------------
     # READ: parent-level pruning, per-shard fan-out
     # ------------------------------------------------------------------
 
@@ -988,6 +1066,156 @@ class ShardedStore:
             })
         return rows
 
+    # ------------------------------------------------------------------
+    # Snapshots, GC, lifecycle
+    # ------------------------------------------------------------------
+
+    def snapshot(self, generation: int | None = None) -> "ShardedSnapshot":
+        """A read-only view of the current state across every shard.
+
+        Child snapshots are taken in band order under the parent read
+        lock, so the view is consistent against concurrent re-banding.
+        Child manifest generations advance independently of the parent
+        generation, so time-travel by *parent* generation is undefined —
+        only current-state snapshots (``generation=None``) exist here;
+        take per-shard snapshots directly for child-level time travel.
+        """
+        if generation is not None:
+            raise ValueError(
+                "ShardedStore snapshots are current-state only; child "
+                "generations advance independently of the parent "
+                "(snapshot individual shards for generation time-travel)"
+            )
+        children: list = []
+        try:
+            with self._rw.read_locked():
+                entries = tuple(self._entries)
+                for i in range(len(entries)):
+                    children.append(self._child(i).snapshot())
+        except BaseException:
+            for snap in children:
+                snap.close()
+            raise
+        counter_add("store.shard.snapshots")
+        return ShardedSnapshot(self.shape, entries, children)
+
+    def gc(self, *, keep_generations: int | None = None) -> int:
+        """Run retention GC in every shard; returns total files deleted."""
+        deleted = 0
+        with self._rw.write_locked():
+            for i in range(len(self._entries)):
+                deleted += self._child(i).gc(
+                    keep_generations=keep_generations
+                )
+        return deleted
+
+    def close(self) -> None:
+        """Close every opened child (stops background packers).  Idempotent."""
+        with self._state_lock:
+            children = list(self._children.values())
+        for child in children:
+            child.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ShardedSnapshot:
+    """A pinned, read-only view across one :class:`ShardedStore`.
+
+    Composes one :class:`~repro.storage.store.StoreSnapshot` per band,
+    captured together under the parent read lock.  Bands are disjoint,
+    so routed point reads and concatenated (band-order) box reads are
+    bit-identical to the single-store snapshot semantics.  Closing
+    releases every child pin; snapshots are context managers and also
+    release on garbage collection.
+    """
+
+    def __init__(self, shape, entries, children) -> None:
+        self.shape = tuple(shape)
+        self._entries = tuple(entries)
+        self._children = tuple(children)
+
+    @property
+    def nnz(self) -> int:
+        return sum(c.nnz for c in self._children)
+
+    @property
+    def fragments(self):
+        out = []
+        for child in self._children:
+            out.extend(child.fragments)
+        return tuple(out)
+
+    @property
+    def closed(self) -> bool:
+        return any(c.closed for c in self._children)
+
+    def close(self) -> None:
+        for child in self._children:
+            child.close()
+
+    def __enter__(self) -> "ShardedSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def read_points(
+        self, query_coords: np.ndarray, **kwargs
+    ) -> ReadOutcome:
+        """Routed point reads against the pinned per-band views."""
+        query = as_index_array(query_coords)
+        if query.ndim != 2 or query.shape[1] != len(self.shape):
+            raise ShapeError("query coords must be (q, d) matching the store")
+        q = query.shape[0]
+        found = np.zeros(q, dtype=bool)
+        out_values: np.ndarray | None = None
+        if q == 0:
+            return ReadOutcome(found, np.empty(0), 0, 0)
+        addrs = linearize(query, self.shape, validate=False)
+        cuts = np.asarray(
+            [e.addr_lo for e in self._entries], dtype=np.uint64
+        )
+        band_of = np.searchsorted(cuts, addrs, side="right") - 1
+        visited = 0
+        for i, child in enumerate(self._children):
+            sel = np.flatnonzero(band_of == i)
+            if sel.size == 0:
+                continue
+            outcome = child.read_points(query[sel], **kwargs)
+            visited += outcome.fragments_visited
+            idx = sel[outcome.found]
+            found[idx] = True
+            if outcome.values.size:
+                if out_values is None:
+                    out_values = np.zeros(q, dtype=outcome.values.dtype)
+                out_values[idx] = outcome.values
+        if out_values is None:
+            out_values = np.zeros(q, dtype=float)
+        return ReadOutcome(
+            found=found,
+            values=out_values[found],
+            fragments_visited=visited,
+            points_matched=int(found.sum()),
+        )
+
+    def read_box(self, box: Box, **kwargs) -> SparseTensor:
+        """Box reads fanned across the pinned views, merged in band order."""
+        parts = []
+        for child in self._children:
+            part = child.read_box(box, **kwargs)
+            if part.nnz:
+                parts.append(part)
+        if not parts:
+            return SparseTensor.empty(self.shape)
+        coords = np.vstack([p.coords for p in parts])
+        values = np.concatenate([p.values for p in parts])
+        return SparseTensor(self.shape, coords, values)
+
 
 def is_sharded_dir(directory: str | Path) -> bool:
     """Whether ``directory`` holds a sharded store (parent manifest or,
@@ -1273,6 +1501,8 @@ def fsck_sharded(
             continue
         child = _fsck_store(child_dir, repair=repair)
         report.checked += child.checked
+        report.wal_segments += child.wal_segments
+        report.wal_bytes += child.wal_bytes
         report.ok.extend(f"{name}/{ok}" for ok in child.ok)
         for issue in child.issues:
             report.issues.append(FsckIssue(

@@ -41,6 +41,19 @@ files zero-copy instead of copying them, and ``crc_mode="once"`` memoizes
 the whole-file CRC per (fragment, generation) so repeated reads skip the
 re-hash.  ``FragmentStore.explain(query)`` returns the plan a read would
 use without executing it.
+
+Streaming ingest (see :mod:`repro.storage.wal` and
+``docs/WAL_SNAPSHOTS.md``): :meth:`FragmentStore.append` skips the full
+canonical build and fsyncs framed chunks into a per-store write-ahead
+log; reads overlay the unpacked WAL *tail* over the packed fragments
+(newest-wins, bit-identical to a synchronous ``write``), and
+:meth:`FragmentStore.pack_wal` — or the background packer enabled by
+``StoreOptions.wal_pack_interval`` — drains the log into real fragments.
+:meth:`FragmentStore.snapshot` pins a read-only view to a manifest
+generation while writers race; superseded fragments are retained for
+``StoreOptions.retain_generations`` generations (``"retired"`` manifest
+list) and trimmed by :meth:`FragmentStore.gc`, which never deletes a
+fragment a live snapshot pins.
 """
 
 from __future__ import annotations
@@ -50,6 +63,7 @@ import re
 import threading
 import time
 import warnings
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -80,6 +94,7 @@ from .durability import (
     fragment_file_crc,
     fsck as _fsck,
     quarantine_file,
+    remove_file,
     write_bytes_atomic,
 )
 from .fragment import (
@@ -106,6 +121,7 @@ from .readpath import (
     RWLock,
     map_fragments_ordered,
 )
+from .wal import TailRun, WriteAheadLog, build_tail_run, merge_chunks, wal_path
 
 #: Manifest schema version written by this code.  Version 2 adds the
 #: per-fragment ``"zone"`` entry (and the ``"version"`` key itself);
@@ -238,11 +254,32 @@ class FragmentStore:
         #: Corrupt fragments encountered (skipped or quarantined) so far.
         self.corrupt_fragments = 0
         self._generation = 0
+        # WAL / snapshot / retention state.  The WAL itself is lazy: it
+        # opens on the first append(), or here when a wal/ directory
+        # already exists (crash recovery replays it before any read).
+        self._wal: WriteAheadLog | None = None
+        self._tail_cache: tuple[int, TailRun | None] | None = None
+        self._retired: list[FragmentInfo] = []
+        self._gc_horizon = 0
+        self._pins: dict[int, frozenset[str]] = {}
+        self._pin_counter = 0
         self.directory.mkdir(parents=True, exist_ok=True)
         clean_temp_files(self.directory)
         self._fragments: list[FragmentInfo] = []
         self._load_manifest()
         self._next_seq = self._scan_next_seq()
+        if self._linearizable and wal_path(self.directory).is_dir():
+            with self._rw.write_locked():
+                self._ensure_wal_locked()
+        self._packer_stop = threading.Event()
+        self._packer_thread: threading.Thread | None = None
+        if opts.wal_pack_interval:
+            self._packer_thread = threading.Thread(
+                target=self._packer_loop,
+                name=f"wal-packer:{self.directory.name}",
+                daemon=True,
+            )
+            self._packer_thread.start()
 
     # ------------------------------------------------------------------
     # Manifest
@@ -288,28 +325,65 @@ class FragmentStore:
         except (OSError, json.JSONDecodeError) as exc:
             raise ManifestError(f"corrupt manifest {path}: {exc}") from exc
         self._generation = int(entries.get("generation", 0))
-        self._fragments = []
-        for e in entries["fragments"]:
-            self._fragments.append(
-                FragmentInfo(
-                    path=self.directory / e["file"],
-                    format_name=e["format"],
-                    shape=tuple(e["shape"]),
-                    nnz=int(e["nnz"]),
-                    bbox=Box(tuple(e["bbox_origin"]), tuple(e["bbox_size"])),
-                    nbytes=int(e["nbytes"]),
-                    crc=e.get("crc"),
-                    # Absent in version-1 manifests (and for fsck-recovered
-                    # entries): loads as None, backfilled lazily.
-                    zone=ZoneMap.from_json(e.get("zone")),
-                )
-            )
+        self._fragments = [
+            self._parse_fragment_entry(e) for e in entries["fragments"]
+        ]
+        # Superseded-but-retained fragments (snapshot time travel) plus
+        # the oldest generation still reconstructable.  Both keys are
+        # optional: pre-snapshot manifests simply have no history.
+        self._retired = [
+            self._parse_fragment_entry(e)
+            for e in entries.get("retired", [])
+        ]
+        self._gc_horizon = int(entries.get("gc_horizon", 0))
         self._zone_backfill_done = False
         self._warn_on_orphans()
+
+    def _parse_fragment_entry(self, e: dict) -> FragmentInfo:
+        return FragmentInfo(
+            path=self.directory / e["file"],
+            format_name=e["format"],
+            shape=tuple(e["shape"]),
+            nnz=int(e["nnz"]),
+            bbox=Box(tuple(e["bbox_origin"]), tuple(e["bbox_size"])),
+            nbytes=int(e["nbytes"]),
+            crc=e.get("crc"),
+            # Absent in version-1 manifests (and for fsck-recovered
+            # entries): loads as None, backfilled lazily.
+            zone=ZoneMap.from_json(e.get("zone")),
+            # Pre-snapshot manifests carry no lifetime bounds: such a
+            # fragment has existed "since forever" and is never retired.
+            born=int(e.get("born", 0)),
+            retired=int(e["retired"]) if e.get("retired") is not None else None,
+        )
+
+    @staticmethod
+    def _fragment_entry(f: FragmentInfo) -> dict:
+        entry = {
+            "file": f.path.name,
+            "format": f.format_name,
+            "shape": list(f.shape),
+            "nnz": f.nnz,
+            "bbox_origin": list(f.bbox.origin),
+            "bbox_size": list(f.bbox.size),
+            "nbytes": f.nbytes,
+            "crc": f.crc,
+            "zone": f.zone.to_json() if f.zone else None,
+            "born": f.born,
+        }
+        if f.retired is not None:
+            entry["retired"] = f.retired
+        return entry
 
     def _save_manifest(self) -> None:
         with self._state_lock:
             self._generation += 1
+            # Stamp the birth generation of fragments committed by this
+            # very write: a fragment is visible at generation g iff
+            # born <= g < retired.
+            for f in self._fragments:
+                if f.born is None:
+                    f.born = self._generation
             entries = {
                 "version": MANIFEST_VERSION,
                 "generation": self._generation,
@@ -318,20 +392,15 @@ class FragmentStore:
                 "relative_coords": self.relative_coords,
                 "codec": self.codec,
                 "fragments": [
-                    {
-                        "file": f.path.name,
-                        "format": f.format_name,
-                        "shape": list(f.shape),
-                        "nnz": f.nnz,
-                        "bbox_origin": list(f.bbox.origin),
-                        "bbox_size": list(f.bbox.size),
-                        "nbytes": f.nbytes,
-                        "crc": f.crc,
-                        "zone": f.zone.to_json() if f.zone else None,
-                    }
-                    for f in self._fragments
+                    self._fragment_entry(f) for f in self._fragments
                 ],
             }
+            if self._retired:
+                entries["retired"] = [
+                    self._fragment_entry(f) for f in self._retired
+                ]
+            if self._gc_horizon:
+                entries["gc_horizon"] = self._gc_horizon
             # The manifest is the commit point of every fragment; it always
             # commits atomically, and fsync follows the store's setting.
             write_bytes_atomic(
@@ -356,6 +425,7 @@ class FragmentStore:
         """
         used = -1
         names = {f.path.name for f in self._fragments}
+        names.update(f.path.name for f in self._retired)
         names.update(p.name for p in self.directory.glob("frag-*.bin"))
         for name in names:
             m = _FRAG_RE.match(name)
@@ -371,6 +441,7 @@ class FragmentStore:
     def _warn_on_orphans(self) -> None:
         """Surface fragment files the manifest does not list (uncommitted)."""
         listed = {f.path.name for f in self._fragments}
+        listed.update(f.path.name for f in self._retired)
         orphans = [
             p.name
             for p in sorted(self.directory.glob("frag-*.bin"))
@@ -623,6 +694,315 @@ class FragmentStore:
         return self.write(tensor.coords, tensor.values)
 
     # ------------------------------------------------------------------
+    # WAL append path (streaming ingest)
+    # ------------------------------------------------------------------
+
+    def _ensure_wal_locked(self) -> None:
+        """Open (and replay) the write-ahead log; write lock must be held."""
+        if self._wal is not None:
+            return
+        if not self._linearizable:
+            raise ShapeError(
+                f"shape {self.shape} overflows the linear address space; "
+                "the WAL append path requires linearizable shapes"
+            )
+        wal_fsync = self.options.wal_fsync
+        self._wal = WriteAheadLog(
+            wal_path(self.directory),
+            self.shape,
+            segment_bytes=self.options.wal_segment_bytes,
+            fsync=self.fsync if wal_fsync is None else wal_fsync,
+        )
+        self._tail_cache = None
+
+    def append(self, coords: np.ndarray, values: np.ndarray) -> int:
+        """Durably append points without building a fragment.
+
+        The streaming-ingest fast path: the chunk is framed, CRC'd and
+        appended to the store's write-ahead log (one sequential file
+        write — no canonical sort, no format packaging, no manifest
+        commit).  With ``StoreOptions.wal_fsync`` (or ``fsync``) set, an
+        ``append`` that returns survives any crash: recovery-on-open
+        replays the log ahead of manifest state.  Reads merge the
+        unpacked tail with the packed fragments (newest-wins), so a
+        query after ``append`` is bit-identical to one after ``write``
+        of the same points.  Returns the number of points appended.
+
+        Call :meth:`pack_wal` (or enable the background packer via
+        ``StoreOptions.wal_pack_interval``) to drain the log into real
+        fragments.
+        """
+        coords = as_index_array(coords)
+        values = np.asarray(values)
+        if coords.ndim != 2 or coords.shape[1] != len(self.shape):
+            raise ShapeError("coords must be (n, d) matching the store shape")
+        if values.shape[0] != coords.shape[0]:
+            raise ShapeError("values must align with coords")
+        if not self._linearizable:
+            raise ShapeError(
+                f"shape {self.shape} overflows the linear address space; "
+                "append() requires linearizable shapes (use write())"
+            )
+        addresses = linearize(coords, self.shape)
+        return self._append_addresses(addresses, values)
+
+    def _append_addresses(
+        self, addresses: np.ndarray, values: np.ndarray
+    ) -> int:
+        """Append pre-linearized points (the sharded router's entry)."""
+        with self._rw.write_locked():
+            with span("store.wal.append", format=self.format_name) as sp:
+                self._ensure_wal_locked()
+                self._wal.append(addresses, values)
+                sp.add_nnz(int(addresses.shape[0]))
+        return int(addresses.shape[0])
+
+    def _wal_tail(self) -> TailRun | None:
+        """The WAL's live points as one sorted newest-wins run.
+
+        Cached against the WAL's version counter (every append, pack and
+        replay bumps it), so repeated reads between mutations pay the
+        merge once.
+        """
+        wal = self._wal
+        if wal is None:
+            return None
+        with self._state_lock:
+            wal = self._wal
+            if wal is None:
+                return None
+            cached = self._tail_cache
+            if cached is not None and cached[0] == wal.version:
+                return cached[1]
+            tail = build_tail_run(list(wal.iter_chunks()), self.shape)
+            self._tail_cache = (wal.version, tail)
+            return tail
+
+    def pack_wal(self) -> WriteReceipt | None:
+        """Drain the WAL into one committed fragment; retire its segments.
+
+        Seals the active segment, merges every logged chunk through the
+        canonical intermediate (newest-wins — the packed fragment reads
+        bit-identically to the tail it replaces) and commits it via
+        :meth:`write_canonical` (so :class:`~repro.storage.adaptive.
+        AdaptiveStore` still picks the fragment's format).  Commit order
+        is manifest-then-delete: the fragment's manifest entry lands
+        before any segment file is unlinked, so a crash in the window
+        leaves duplicate points that the read merge already absorbs.
+        Returns ``None`` when the WAL holds no points.
+        """
+        with self._rw.write_locked():
+            return self._pack_wal_locked()
+
+    def _pack_wal_locked(self) -> WriteReceipt | None:
+        wal = self._wal
+        if wal is None or wal.total_points == 0:
+            return None
+        with span("store.wal.pack", format=self.format_name) as sp:
+            wal.seal_active()
+            merged = merge_chunks(list(wal.iter_chunks()), self.shape)
+            receipt = self.write_canonical(merged.canonical, merged.values)
+            # The fragment is committed; from here on every crash leaves
+            # only over-coverage (points both packed and still in the
+            # log), which newest-wins reads absorb and the next pack
+            # retires.
+            wal.drop_segments(wal.segment_paths())
+            with self._state_lock:
+                self._tail_cache = None
+            sp.add_nnz(merged.canonical.n)
+        counter_add("store.wal.pack_runs")
+        return receipt
+
+    def _packer_loop(self) -> None:  # pragma: no cover - timing-dependent
+        """Background packer: periodic pack_wal until close()."""
+        interval = self.options.wal_pack_interval
+        while not self._packer_stop.wait(interval):
+            try:
+                self.pack_wal()
+            except Exception:
+                # A failed sweep (transient I/O, racing close) must not
+                # kill the thread; the next interval retries, and
+                # explicit pack_wal() calls surface errors to callers.
+                continue
+
+    def wal_stats(self) -> dict[str, int]:
+        """Live WAL footprint: segments, bytes, unpacked points."""
+        with self._state_lock:
+            wal = self._wal
+            if wal is None:
+                return {
+                    "segments": 0, "bytes": 0, "points": 0,
+                    "torn_tails_repaired": 0,
+                }
+            return wal.stats()
+
+    def close(self) -> None:
+        """Stop the background packer (if any).  Idempotent.
+
+        Appended-but-unpacked points stay durable in the WAL; the next
+        open replays them.  Stores are also context managers::
+
+            with FragmentStore(path, shape, "LINEAR", options=opts) as s:
+                s.append(coords, values)
+        """
+        thread = self._packer_thread
+        if thread is not None:
+            self._packer_stop.set()
+            thread.join(timeout=30.0)
+            self._packer_thread = None
+
+    def __enter__(self) -> "FragmentStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Snapshots + retention GC
+    # ------------------------------------------------------------------
+
+    def snapshot(self, generation: int | None = None) -> "StoreSnapshot":
+        """A read-only view pinned to one manifest generation.
+
+        With ``generation=None`` the view captures the store's *current*
+        state — committed fragments plus the unpacked WAL tail — and
+        stays stable while concurrent appends, packs and compactions
+        advance the store.  An explicit past ``generation`` reconstructs
+        that manifest generation from the retained fragment history
+        (``StoreOptions.retain_generations`` / :meth:`gc` control how
+        far back that reaches; beyond the GC horizon raises
+        ``ValueError``).  Past generations predate the current WAL tail,
+        so only current-state snapshots carry one.
+
+        The snapshot *pins* its fragments: :meth:`gc` will not delete
+        them while it is live.  Release the pin with
+        :meth:`StoreSnapshot.close` (snapshots are context managers and
+        also release on garbage collection).
+        """
+        with self._rw.read_locked():
+            with self._state_lock:
+                current = self._generation
+                tail = None
+                if generation is None or int(generation) == current:
+                    generation = current
+                    tail = self._wal_tail()
+                generation = int(generation)
+                if generation > current:
+                    raise ValueError(
+                        f"generation {generation} is in the future "
+                        f"(current is {current})"
+                    )
+                if generation < self._gc_horizon:
+                    raise ValueError(
+                        f"generation {generation} predates the GC horizon "
+                        f"{self._gc_horizon}; retained history starts there "
+                        "(raise StoreOptions.retain_generations to keep "
+                        "more)"
+                    )
+                pool = list(self._fragments) + list(self._retired)
+                frags = [
+                    f for f in pool
+                    if (f.born or 0) <= generation
+                    and (f.retired is None or generation < f.retired)
+                ]
+                # Fragment file names are monotone in commit order, so
+                # name order restores the newest-wins fragment order the
+                # manifest had at that generation.
+                frags.sort(key=lambda f: f.path.name)
+                token = self._pin_counter
+                self._pin_counter += 1
+                self._pins[token] = frozenset(f.path.name for f in frags)
+        counter_add("store.wal.snapshots")
+        return StoreSnapshot(self, generation, frags, tail, token)
+
+    def _release_pin(self, token: int) -> None:
+        with self._state_lock:
+            self._pins.pop(token, None)
+
+    def _pinned_names(self) -> set[str]:
+        """File names any live snapshot references; state lock held."""
+        if not self._pins:
+            return set()
+        return set().union(*self._pins.values())
+
+    def _retire_locked(
+        self, frags: list[FragmentInfo]
+    ) -> list[FragmentInfo]:
+        """Mark superseded fragments; returns the ones to delete.
+
+        Must run under the state lock, *before* the manifest commit that
+        de-lists ``frags``: their ``retired`` generation is the one that
+        commit will write.  Fragments covered by the retention window or
+        pinned by a live snapshot move to the manifest's ``"retired"``
+        list (deleted later by :meth:`gc`); the rest are returned for
+        the caller to unlink *after* the commit (manifest-then-delete).
+        """
+        retire_gen = self._generation + 1
+        pinned = self._pinned_names()
+        doomed: list[FragmentInfo] = []
+        for f in frags:
+            f.retired = retire_gen
+            if f.born is None:
+                f.born = 0  # never committed with a birth stamp
+            if self.options.retain_generations > 0 or f.path.name in pinned:
+                self._retired.append(f)
+            else:
+                doomed.append(f)
+        if doomed:
+            # Generations before retire_gen reference deleted files and
+            # can no longer be reconstructed.
+            self._gc_horizon = max(self._gc_horizon, retire_gen)
+        return doomed
+
+    def gc(self, *, keep_generations: int | None = None) -> int:
+        """Delete retired fragments older than the retention window.
+
+        ``keep_generations`` (default: ``StoreOptions.
+        retain_generations``) is how many past generations must remain
+        reconstructable: a retired fragment is deleted once its
+        ``retired`` generation is at least that far behind the current
+        one — unless a live snapshot pins it, which always wins.  Commit
+        order is manifest-then-delete (the trimmed ``"retired"`` list
+        and advanced GC horizon land first), so a crash mid-GC leaves
+        only unreferenced files for ``fsck`` to report.  Returns the
+        number of fragment files deleted.
+        """
+        if keep_generations is None:
+            keep_generations = self.options.retain_generations
+        keep_generations = int(keep_generations)
+        if keep_generations < 0:
+            raise ValueError("keep_generations must be >= 0")
+        with self._rw.write_locked():
+            with self._state_lock:
+                cutoff = self._generation - keep_generations
+                pinned = self._pinned_names()
+                doomed = [
+                    f for f in self._retired
+                    if f.retired is not None
+                    and f.retired <= cutoff
+                    and f.path.name not in pinned
+                ]
+                if not doomed:
+                    return 0
+                doomed_names = {f.path.name for f in doomed}
+                self._retired = [
+                    f for f in self._retired
+                    if f.path.name not in doomed_names
+                ]
+                self._gc_horizon = max(
+                    self._gc_horizon,
+                    max(f.retired for f in doomed),
+                )
+                self._save_manifest()
+            for f in doomed:
+                try:
+                    remove_file(f.path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+        counter_add("store.wal.gc_deleted", len(doomed))
+        return len(doomed)
+
+    # ------------------------------------------------------------------
     # READ (Algorithm 3)
     # ------------------------------------------------------------------
 
@@ -679,15 +1059,23 @@ class FragmentStore:
         return np.sort(linearize(query, self.shape, validate=False))
 
     def _box_address_range(self, box: Box) -> tuple[int, int] | None:
-        """Inclusive global-address envelope of ``box`` (zone-map key).
+        """Inclusive global-address envelope of ``box`` (zone-map key)."""
+        if not (self.use_planner and self._linearizable):
+            return None
+        return self._box_envelope(box)
+
+    def _box_envelope(self, box: Box) -> tuple[int, int] | None:
+        """Inclusive global-address envelope of ``box``.
 
         Row-major addresses are monotone in every coordinate, so every
         cell of the box (clipped to the store shape — only stored points
         matter) has an address in ``[lin(origin), lin(end - 1)]``.  The
         envelope is valid for *any* box, not only axis-contained ones;
         it is merely loose when the box spans few cells of many rows.
+        Ungated by ``use_planner`` — the WAL tail's zone check uses it
+        with the planner off too.
         """
-        if not (self.use_planner and self._linearizable):
+        if not self._linearizable:
             return None
         clipped = box.intersection(Box(tuple(0 for _ in self.shape), self.shape))
         if clipped.is_empty():
@@ -982,10 +1370,18 @@ class FragmentStore:
 
         with self._rw.read_locked():
             with span("store.read_points", format=self.format_name) as sp:
+                tail = self._wal_tail()
+                qaddrs: np.ndarray | None = None
+                qsorted: np.ndarray | None = None
+                if self._linearizable and (
+                    self.use_planner or (tail is not None and tail.n)
+                ):
+                    qaddrs = linearize(query, self.shape, validate=False)
+                    qsorted = np.sort(qaddrs)
                 plan = self._plan_read(
                     extract_boundary(query),
                     "points",
-                    sorted_addresses=self._query_addresses(query),
+                    sorted_addresses=qsorted if self.use_planner else None,
                 )
                 frags = plan.fragments
                 visited = len(frags)
@@ -1004,6 +1400,26 @@ class FragmentStore:
                     idx = np.flatnonzero(mask)[res.found]
                     found[idx] = True
                     out_values[idx] = vals
+                # WAL tail overlay: the unpacked tail is newer than every
+                # committed fragment, so its hits overwrite — exactly as
+                # if the tail were one final appended fragment.
+                if (
+                    tail is not None and tail.n and qaddrs is not None
+                    and (tail.zone is None
+                         or tail.zone.may_contain_any(qsorted))
+                ):
+                    pos = np.searchsorted(tail.addresses, qaddrs)
+                    in_range = pos < tail.addresses.shape[0]
+                    hit = np.zeros(q, dtype=bool)
+                    hit[in_range] = (
+                        tail.addresses[pos[in_range]] == qaddrs[in_range]
+                    )
+                    if hit.any():
+                        vals = tail.values[pos[hit]]
+                        if out_values is None:
+                            out_values = np.zeros(q, dtype=vals.dtype)
+                        found[hit] = True
+                        out_values[hit] = vals
                 matched = int(found.sum())
                 sp.add_nnz(matched)
         self._record_pruning(plan)
@@ -1209,12 +1625,15 @@ class FragmentStore:
             )
             with self._state_lock:
                 self._fragments = [receipt.info]
-            for frag in merged_from:
+                doomed = self._retire_locked(merged_from)
+            self._save_manifest()
+            # Manifest-then-delete: the de-listing is committed, so a
+            # crash here only leaves unreferenced (fsck-visible) files.
+            for frag in doomed:
                 try:
-                    frag.path.unlink()
+                    remove_file(frag.path)
                 except OSError:
                     pass
-            self._save_manifest()
             sp.add_nnz(merged.canonical.n)
         counter_add("store.fragments_compacted", n_before)
         return receipt
@@ -1246,12 +1665,13 @@ class FragmentStore:
             receipt = self.write(merged.coords, merged.values)
             with self._state_lock:
                 self._fragments = [receipt.info]
-            for frag in merged_from:
+                doomed = self._retire_locked(merged_from)
+            self._save_manifest()
+            for frag in doomed:
                 try:
-                    frag.path.unlink()
+                    remove_file(frag.path)
                 except OSError:
                     pass
-            self._save_manifest()
             sp.add_nnz(merged.nnz)
         counter_add("store.fragments_compacted", n_before)
         return receipt
@@ -1269,6 +1689,13 @@ class FragmentStore:
                 self._next_seq = self._scan_next_seq()
                 self.cache.invalidate()
                 self._crc_verified.clear()
+                # fsck may have truncated or quarantined WAL segments;
+                # drop the in-memory mirror and re-replay from disk.
+                with self._state_lock:
+                    self._wal = None
+                    self._tail_cache = None
+                if self._linearizable and wal_path(self.directory).is_dir():
+                    self._ensure_wal_locked()
         return report
 
     def read_box(
@@ -1343,6 +1770,20 @@ class FragmentStore:
                     coords, values = result
                     all_coords.append(coords)
                     all_values.append(values)
+                # WAL tail overlay, appended last: the final keep-last
+                # dedup below then gives the tail's points the same
+                # newest-wins priority an appended fragment would have.
+                tail = self._wal_tail()
+                if tail is not None and tail.n:
+                    envelope = self._box_envelope(box)
+                    if (
+                        tail.zone is None or envelope is None
+                        or tail.zone.overlaps_range(*envelope)
+                    ):
+                        mask = box.contains_points(tail.coords)
+                        if mask.any():
+                            all_coords.append(tail.coords[mask])
+                            all_values.append(tail.values[mask])
                 sp.add_nnz(sum(c.shape[0] for c in all_coords))
         self._record_pruning(plan)
         if not all_coords:
@@ -1353,5 +1794,214 @@ class FragmentStore:
         # Later fragments override earlier ones on the same coordinate.
         tensor = tensor.deduplicated(keep="last")
         if fits_index_dtype(self.shape):
+            return tensor.sorted_by_linear()
+        return tensor.sorted_lexicographic()
+
+
+class StoreSnapshot:
+    """A read-only, generation-pinned view of a :class:`FragmentStore`.
+
+    Created by :meth:`FragmentStore.snapshot`.  The fragment list (and,
+    for current-state snapshots, the WAL tail) is fixed at creation:
+    concurrent appends, packs, compactions and GC runs on the parent
+    store never change what this view reads.  The snapshot *pins* its
+    fragment files — :meth:`FragmentStore.gc` refuses to delete them
+    while the pin is live.  Release the pin deterministically with
+    :meth:`close` (or the context-manager form); garbage collection
+    releases it as a backstop.
+
+    Reads share the parent's decoded-fragment cache and retry policy but
+    always *raise* on corruption — a snapshot never quarantines or
+    de-lists anything (it owns no manifest).
+    """
+
+    def __init__(
+        self,
+        store: FragmentStore,
+        generation: int,
+        fragments: list[FragmentInfo],
+        tail: TailRun | None,
+        token: int,
+    ):
+        self._store = store
+        #: The manifest generation this view is pinned to.
+        self.generation = generation
+        self._fragments = list(fragments)
+        self._tail = tail
+        self._finalizer = weakref.finalize(
+            self, store._release_pin, token
+        )
+
+    @property
+    def fragments(self) -> tuple[FragmentInfo, ...]:
+        return tuple(self._fragments)
+
+    @property
+    def nnz(self) -> int:
+        """Stored points visible to this view (duplicates counted)."""
+        total = sum(f.nnz for f in self._fragments)
+        if self._tail is not None:
+            total += self._tail.n
+        return total
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Release the GC pin.  Idempotent; reads after close raise."""
+        self._finalizer()
+
+    def __enter__(self) -> "StoreSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ValueError(
+                "snapshot is closed (its fragments may already be GC'd)"
+            )
+
+    def read_points(
+        self,
+        query_coords: np.ndarray,
+        *,
+        options: ReadOptions | None = None,
+        faithful: bool = UNSET,
+        check_crc: bool = UNSET,
+        parallel: str = UNSET,
+        max_workers: int | None = UNSET,
+    ) -> ReadOutcome:
+        """Point queries against the pinned view — same semantics as
+        :meth:`FragmentStore.read_points`, minus planner pruning (the
+        pinned list is typically short-lived and already exact)."""
+        self._check_open()
+        ropts = resolve_read_options(
+            options,
+            faithful=faithful,
+            check_crc=check_crc,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        store = self._store
+        query = as_index_array(query_coords)
+        if query.ndim != 2 or query.shape[1] != len(store.shape):
+            raise ShapeError("query coords must be (q, d) matching the store")
+        q = query.shape[0]
+        found = np.zeros(q, dtype=bool)
+        out_values: np.ndarray | None = None
+        if q == 0:
+            return ReadOutcome(found, np.empty(0), 0, 0)
+        visited = 0
+        with store._rw.read_locked():
+            for frag in self._fragments:
+                mask = frag.bbox.contains_points(query)
+                if not mask.any():
+                    continue
+                payload = store._load_payload(
+                    frag, check_crc=ropts.check_crc
+                )
+                visited += 1
+                sub = query[mask]
+                if payload.extra.get("relative"):
+                    sub = store._to_local(frag, sub)
+                res, vals = query_fragment(
+                    payload, sub, faithful=ropts.faithful
+                )
+                if out_values is None:
+                    out_values = np.zeros(q, dtype=vals.dtype)
+                idx = np.flatnonzero(mask)[res.found]
+                found[idx] = True
+                out_values[idx] = vals
+            tail = self._tail
+            if tail is not None and tail.n and store._linearizable:
+                qaddrs = linearize(query, store.shape, validate=False)
+                pos = np.searchsorted(tail.addresses, qaddrs)
+                in_range = pos < tail.addresses.shape[0]
+                hit = np.zeros(q, dtype=bool)
+                hit[in_range] = (
+                    tail.addresses[pos[in_range]] == qaddrs[in_range]
+                )
+                if hit.any():
+                    vals = tail.values[pos[hit]]
+                    if out_values is None:
+                        out_values = np.zeros(q, dtype=vals.dtype)
+                    found[hit] = True
+                    out_values[hit] = vals
+        matched = int(found.sum())
+        if out_values is None:
+            out_values = np.zeros(q, dtype=float)
+        return ReadOutcome(
+            found=found,
+            values=out_values[found],
+            fragments_visited=visited,
+            points_matched=matched,
+        )
+
+    def read_box(
+        self,
+        box: Box,
+        *,
+        options: ReadOptions | None = None,
+        faithful: bool = UNSET,
+        check_crc: bool = UNSET,
+        parallel: str = UNSET,
+        max_workers: int | None = UNSET,
+    ) -> SparseTensor:
+        """Structural range read against the pinned view — same
+        semantics as :meth:`FragmentStore.read_box`."""
+        self._check_open()
+        ropts = resolve_read_options(
+            options,
+            faithful=faithful,
+            check_crc=check_crc,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        store = self._store
+        all_coords: list[np.ndarray] = []
+        all_values: list[np.ndarray] = []
+        with store._rw.read_locked():
+            for frag in self._fragments:
+                if not frag.bbox.intersects(box):
+                    continue
+                payload = store._load_payload(
+                    frag, check_crc=ropts.check_crc
+                )
+                query_box = box
+                if payload.extra.get("relative"):
+                    inter = box.intersection(frag.bbox)
+                    if inter.is_empty():
+                        continue
+                    query_box = Box(
+                        tuple(int(o) - int(g) for o, g in
+                              zip(inter.origin, frag.bbox.origin)),
+                        inter.size,
+                    )
+                    coords, positions = query_fragment_box(
+                        payload, query_box
+                    )
+                    coords = store._to_global(frag, coords)
+                else:
+                    coords, positions = query_fragment_box(
+                        payload, query_box
+                    )
+                all_coords.append(coords)
+                all_values.append(payload.values[positions])
+            tail = self._tail
+            if tail is not None and tail.n:
+                mask = box.contains_points(tail.coords)
+                if mask.any():
+                    all_coords.append(tail.coords[mask])
+                    all_values.append(tail.values[mask])
+        if not all_coords:
+            return SparseTensor.empty(store.shape)
+        coords = np.vstack(all_coords)
+        values = np.concatenate(all_values)
+        tensor = SparseTensor(store.shape, coords, values)
+        tensor = tensor.deduplicated(keep="last")
+        if fits_index_dtype(store.shape):
             return tensor.sorted_by_linear()
         return tensor.sorted_lexicographic()

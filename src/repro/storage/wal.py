@@ -1,0 +1,576 @@
+"""Crash-safe write-ahead log for append-optimized ingest.
+
+High-rate writers cannot pay a full canonical build (linearize + sort +
+dedup + format packaging + manifest commit) per ``write``.  The WAL gives
+:class:`~repro.storage.store.FragmentStore` an append path with the same
+durability story the fragment substrate already has, at a fraction of the
+cost per chunk:
+
+**Segments.**
+    Appends go to ``<store>/wal/seg-NNNNNN.wal.open`` — the single
+    *active* segment.  When it crosses ``StoreOptions.wal_segment_bytes``
+    it is *sealed* by an atomic rename to ``seg-NNNNNN.wal`` (the rename
+    is the commit point, exactly like fragment commits) and a fresh
+    active segment starts.  Sealed segments are immutable; the background
+    packer drains them through ``CanonicalCoords``/``merge_sorted_runs``
+    into real fragments and retires them (manifest-then-delete).
+
+**Records.**
+    One append = one framed record::
+
+        u32 body_len | body | u32 crc32(body)
+
+    where ``body`` is ``u32 meta_len | meta JSON (space-padded to an
+    8-byte boundary) | addresses (uint64) | values``.  The padding keeps
+    the address buffer 8-byte aligned for zero-copy ``np.frombuffer``.
+    There is no rename for appends — durability comes from the optional
+    per-record fsync plus the framing: a crash mid-append leaves a *torn
+    tail* that replay detects and truncates.
+
+**Torn-tail taxonomy (the PR 2 discrimination, applied to appends).**
+    Replay and fsck classify a damaged segment by *where* the damage is:
+
+    * file shorter than the segment header → torn header write; nothing
+      was ever durable, the file is removed;
+    * an incomplete/over-running length prefix, or a CRC/decode failure
+      on the **final** record → torn tail; the segment is truncated back
+      to its longest intact prefix (``store.wal.torn_tails``);
+    * a CRC/decode failure on a **middle** record, a bad magic/header
+      CRC, or a header shape mismatch → not explicable by a crashed
+      append; the whole segment is quarantined to ``.quarantine/`` with
+      a reason sidecar, never silently dropped.
+
+Replay keeps every decoded chunk in memory (the unpacked *tail*);
+:func:`build_tail_run` collapses the chunks through the same newest-wins
+merge the compactor uses, so reads that overlay the tail are bit-identical
+to a synchronous ``write`` of the same points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..build.canonical import CanonicalCoords
+from ..build.merge import MergedPoints, SortedRun, merge_sorted_runs
+from ..core.linearize import delinearize
+from ..obs import counter_add, gauge_set
+from .durability import (
+    append_bytes,
+    quarantine_file,
+    read_bytes,
+    remove_file,
+    rename_file,
+    truncate_file,
+)
+from .planner import ZoneMap
+
+#: Subdirectory of a store holding WAL segments.
+WAL_DIR = "wal"
+#: Segment file magic (header prefix).
+WAL_MAGIC = b"RWAL"
+#: Segment format version.
+WAL_VERSION = 1
+#: Suffix of sealed (immutable) segments.
+SEG_SUFFIX = ".wal"
+#: Suffix of the single active (appendable) segment.
+OPEN_SUFFIX = ".wal.open"
+
+_SEG_RE = re.compile(r"seg-(\d+)\.wal(\.open)?$")
+_U32 = struct.Struct("<I")
+
+
+def wal_path(store_dir: str | os.PathLike) -> Path:
+    """The WAL directory of a store (``<store>/wal``); may not exist."""
+    return Path(store_dir) / WAL_DIR
+
+
+def segment_seq(path: Path) -> int:
+    """The monotonic sequence number in a segment file name."""
+    m = _SEG_RE.search(path.name)
+    if m is None:
+        raise ValueError(f"not a WAL segment name: {path.name}")
+    return int(m.group(1))
+
+
+def list_segments(wal_directory: str | os.PathLike) -> list[Path]:
+    """All WAL segments in a directory, oldest first, active segment last.
+
+    Sealed segments sort by sequence number; an active ``.wal.open``
+    segment (there is at most one in a healthy store, but a crashed seal
+    can race a new segment into existence — sequence order still holds)
+    sorts after a sealed segment of the same sequence.
+    """
+    wal_directory = Path(wal_directory)
+    if not wal_directory.is_dir():
+        return []
+    segs = [
+        p for p in wal_directory.iterdir()
+        if _SEG_RE.search(p.name) is not None
+    ]
+    return sorted(segs, key=lambda p: (segment_seq(p), p.name.endswith(OPEN_SUFFIX)))
+
+
+# ----------------------------------------------------------------------
+# Record / header framing
+# ----------------------------------------------------------------------
+
+def encode_header(shape: Sequence[int], epoch: int) -> bytes:
+    """Serialize a segment header: magic, version, length, JSON, CRC."""
+    meta = json.dumps(
+        {"shape": [int(s) for s in shape], "epoch": int(epoch)},
+        sort_keys=True,
+    ).encode("utf-8")
+    return b"".join([
+        WAL_MAGIC,
+        _U32.pack(WAL_VERSION),
+        _U32.pack(len(meta)),
+        meta,
+        _U32.pack(zlib.crc32(meta) & 0xFFFFFFFF),
+    ])
+
+
+def decode_header(data: bytes) -> tuple[dict[str, Any] | None, int, str]:
+    """Parse a segment header from the start of ``data``.
+
+    Returns ``(header, extent, reason)``: a parsed header dict and the
+    byte offset of the first record, or ``header=None`` with ``reason``
+    explaining the failure.  ``extent=0`` with ``header=None`` and
+    ``reason=""`` means the file is too short to hold a header — a torn
+    header write, not corruption.
+    """
+    if len(data) < 12:
+        return None, 0, ""
+    magic = data[:4]
+    (version,) = _U32.unpack_from(data, 4)
+    (hlen,) = _U32.unpack_from(data, 8)
+    extent = 12 + hlen + 4
+    if magic != WAL_MAGIC:
+        return None, 0, f"bad magic {magic!r}"
+    if version != WAL_VERSION:
+        return None, 0, f"unsupported WAL version {version}"
+    if len(data) < extent:
+        return None, 0, ""  # header never finished committing
+    meta = data[12:12 + hlen]
+    (crc,) = _U32.unpack_from(data, 12 + hlen)
+    if zlib.crc32(meta) & 0xFFFFFFFF != crc:
+        return None, 0, "header CRC mismatch"
+    try:
+        header = json.loads(meta.decode("utf-8"))
+        header["shape"] = tuple(int(s) for s in header["shape"])
+        header["epoch"] = int(header.get("epoch", 0))
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        return None, 0, f"header unparseable: {exc}"
+    return header, extent, ""
+
+
+def encode_record(addresses: np.ndarray, values: np.ndarray) -> bytes:
+    """Frame one appended chunk as a length-prefixed, CRC-protected record."""
+    addresses = np.ascontiguousarray(addresses, dtype=np.uint64)
+    values = np.ascontiguousarray(values)
+    if values.dtype.byteorder not in ("=", "|", "<"):
+        values = values.astype(values.dtype.newbyteorder("<"))
+    meta = json.dumps(
+        {"n": int(addresses.shape[0]), "value_dtype": values.dtype.str},
+        sort_keys=True,
+    ).encode("ascii")
+    # Pad the meta JSON with spaces so the address buffer starts on an
+    # 8-byte boundary within the body (frombuffer alignment).
+    pad = (-(4 + len(meta))) % 8
+    meta = meta + b" " * pad
+    body = b"".join([
+        _U32.pack(len(meta)),
+        meta,
+        addresses.tobytes(),
+        values.tobytes(),
+    ])
+    return b"".join([
+        _U32.pack(len(body)),
+        body,
+        _U32.pack(zlib.crc32(body) & 0xFFFFFFFF),
+    ])
+
+
+def decode_record_body(body: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_record`'s body; raises ``ValueError``."""
+    if len(body) < 4:
+        raise ValueError("record body shorter than its meta length prefix")
+    (mlen,) = _U32.unpack_from(body, 0)
+    if 4 + mlen > len(body):
+        raise ValueError("record meta overruns the body")
+    meta = json.loads(body[4:4 + mlen].decode("ascii"))
+    n = int(meta["n"])
+    vdtype = np.dtype(meta["value_dtype"])
+    astart = 4 + mlen
+    vstart = astart + 8 * n
+    if vstart + vdtype.itemsize * n != len(body):
+        raise ValueError("record payload size mismatch")
+    addresses = np.frombuffer(body, dtype=np.uint64, count=n, offset=astart)
+    values = np.frombuffer(body, dtype=vdtype, count=n, offset=vstart)
+    return addresses, values
+
+
+# ----------------------------------------------------------------------
+# Segment scan (shared by replay and fsck)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SegmentScan:
+    """Outcome of scanning one segment file.
+
+    ``status`` is ``"ok"`` (every byte accounted for), ``"torn"`` (the
+    longest intact prefix is ``valid_bytes``; repair truncates — or
+    removes the file when nothing was durable), or ``"corrupt"``
+    (mid-file damage or a bad header; repair quarantines).  ``chunks``
+    holds the intact records' decoded ``(addresses, values)`` pairs in
+    append order regardless of status.
+    """
+
+    path: Path
+    header: dict[str, Any] | None
+    chunks: list[tuple[np.ndarray, np.ndarray]]
+    valid_bytes: int
+    status: str
+    detail: str = ""
+
+    @property
+    def points(self) -> int:
+        return sum(int(a.shape[0]) for a, _ in self.chunks)
+
+
+def scan_segment(
+    path: str | os.PathLike,
+    *,
+    expected_shape: tuple[int, ...] | None = None,
+) -> SegmentScan:
+    """Scan one segment, classifying damage per the torn-tail taxonomy."""
+    path = Path(path)
+    data = read_bytes(path)
+    header, offset, reason = decode_header(data)
+    if header is None:
+        if reason:
+            return SegmentScan(path, None, [], 0, "corrupt", reason)
+        return SegmentScan(
+            path, None, [], 0, "torn", "torn segment header"
+        )
+    if expected_shape is not None and header["shape"] != tuple(expected_shape):
+        return SegmentScan(
+            path, header, [], 0, "corrupt",
+            f"segment shape {header['shape']} != store shape "
+            f"{tuple(expected_shape)}",
+        )
+    chunks: list[tuple[np.ndarray, np.ndarray]] = []
+    size = len(data)
+    while offset < size:
+        if offset + 4 > size:
+            return SegmentScan(
+                path, header, chunks, offset, "torn",
+                "torn length prefix at end of segment",
+            )
+        (blen,) = _U32.unpack_from(data, offset)
+        extent = 8 + blen
+        if offset + extent > size:
+            return SegmentScan(
+                path, header, chunks, offset, "torn",
+                f"record at {offset} overruns EOF",
+            )
+        body = data[offset + 4:offset + 4 + blen]
+        (crc,) = _U32.unpack_from(data, offset + 4 + blen)
+        reason = ""
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            reason = f"record CRC mismatch at {offset}"
+        else:
+            try:
+                chunk = decode_record_body(body)
+            except (ValueError, KeyError, TypeError) as exc:
+                reason = f"record at {offset} undecodable: {exc}"
+            else:
+                chunks.append(chunk)
+        if reason:
+            if offset + extent == size:
+                # Damaged *final* record: a torn append, not corruption.
+                return SegmentScan(path, header, chunks, offset, "torn", reason)
+            return SegmentScan(
+                path, header, chunks, offset, "corrupt",
+                reason + " (mid-segment)",
+            )
+        offset += extent
+    return SegmentScan(path, header, chunks, size, "ok")
+
+
+# ----------------------------------------------------------------------
+# The log
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Segment:
+    """In-memory mirror of one on-disk segment."""
+
+    path: Path
+    seq: int
+    nbytes: int
+    chunks: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def sealed(self) -> bool:
+        return not self.path.name.endswith(OPEN_SUFFIX)
+
+
+class WriteAheadLog:
+    """Per-store WAL: segment lifecycle + in-memory tail mirror.
+
+    Not thread-safe on its own; the owning store serializes mutations
+    under its write lock.  ``version`` increments on every mutation so
+    callers can cache derived state (the merged tail run) against it.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        shape: Sequence[int],
+        *,
+        segment_bytes: int = 4 << 20,
+        fsync: bool = False,
+        epoch: int = 0,
+    ):
+        self.directory = Path(directory)
+        self.shape = tuple(int(s) for s in shape)
+        self.segment_bytes = int(segment_bytes)
+        self.fsync = bool(fsync)
+        self.epoch = int(epoch)
+        self.version = 0
+        self.torn_tails = 0
+        self._segments: list[_Segment] = []
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._replay()
+
+    # -- replay ---------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Load every intact record, repairing torn tails in place."""
+        for path in list_segments(self.directory):
+            scan = scan_segment(path, expected_shape=self.shape)
+            if scan.status == "corrupt":
+                quarantine_file(
+                    self.directory, path, reason=f"wal replay: {scan.detail}"
+                )
+                continue
+            if scan.status == "torn":
+                self.torn_tails += 1
+                counter_add("store.wal.torn_tails")
+                if scan.valid_bytes == 0:
+                    # Not even the header committed; nothing durable here.
+                    remove_file(path)
+                    continue
+                truncate_file(path, scan.valid_bytes)
+            seg = _Segment(
+                path=path,
+                seq=segment_seq(path),
+                nbytes=scan.valid_bytes,
+                chunks=scan.chunks,
+            )
+            self._segments.append(seg)
+            counter_add("store.wal.records_replayed", len(scan.chunks))
+        # A crashed seal can strand a full .open segment behind a newer
+        # one; seal every non-final open segment so the packer sees them.
+        for seg in self._segments[:-1]:
+            if not seg.sealed:
+                self._seal(seg)
+        self.version += 1
+        self._publish_bytes()
+
+    # -- append path ----------------------------------------------------
+
+    def append(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Durably append one chunk to the active segment."""
+        record = encode_record(addresses, values)
+        seg = self._active_segment()
+        append_bytes(seg.path, record, fsync=self.fsync)
+        seg.nbytes += len(record)
+        seg.chunks.append((
+            np.ascontiguousarray(addresses, dtype=np.uint64),
+            np.ascontiguousarray(values),
+        ))
+        counter_add("store.wal.appends")
+        if seg.nbytes >= self.segment_bytes:
+            self._seal(seg)
+        self.version += 1
+        self._publish_bytes()
+
+    def _active_segment(self) -> _Segment:
+        if self._segments and not self._segments[-1].sealed:
+            return self._segments[-1]
+        seq = self._segments[-1].seq + 1 if self._segments else 0
+        path = self.directory / f"seg-{seq:06d}{OPEN_SUFFIX}"
+        header = encode_header(self.shape, self.epoch)
+        append_bytes(path, header, fsync=self.fsync)
+        seg = _Segment(path=path, seq=seq, nbytes=len(header))
+        self._segments.append(seg)
+        return seg
+
+    def _seal(self, seg: _Segment) -> None:
+        sealed = seg.path.with_name(f"seg-{seg.seq:06d}{SEG_SUFFIX}")
+        rename_file(seg.path, sealed)
+        seg.path = sealed
+        counter_add("store.wal.segments_sealed")
+
+    def seal_active(self) -> None:
+        """Seal the active segment (if any, and if it holds records)."""
+        if self._segments and not self._segments[-1].sealed:
+            if self._segments[-1].chunks:
+                self._seal(self._segments[-1])
+                self.version += 1
+
+    # -- drain ----------------------------------------------------------
+
+    def segment_paths(self) -> list[Path]:
+        return [s.path for s in self._segments]
+
+    def drop_segments(self, paths: Sequence[Path]) -> None:
+        """Retire packed segments: unlink files, forget their chunks.
+
+        Callers must have committed the packed fragment to the manifest
+        *first* — a crash between that commit and these unlinks leaves
+        duplicate points that the newest-wins read merge absorbs.
+        """
+        doomed = {Path(p).name for p in paths}
+        for seg in self._segments:
+            if seg.path.name in doomed:
+                try:
+                    remove_file(seg.path)
+                finally:
+                    counter_add("store.wal.segments_retired")
+        self._segments = [
+            s for s in self._segments if s.path.name not in doomed
+        ]
+        self.version += 1
+        self._publish_bytes()
+
+    # -- introspection --------------------------------------------------
+
+    def iter_chunks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Every live chunk, oldest append first (newest-wins merge order)."""
+        for seg in self._segments:
+            yield from seg.chunks
+
+    @property
+    def total_points(self) -> int:
+        return sum(
+            int(a.shape[0]) for a, _ in self.iter_chunks()
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.nbytes for s in self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def _publish_bytes(self) -> None:
+        gauge_set("store.wal.bytes", float(self.total_bytes))
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "segments": self.segment_count,
+            "bytes": self.total_bytes,
+            "points": self.total_points,
+            "torn_tails_repaired": self.torn_tails,
+        }
+
+
+# ----------------------------------------------------------------------
+# Tail merge (read overlay)
+# ----------------------------------------------------------------------
+
+@dataclass
+class TailRun:
+    """The WAL tail collapsed to one newest-wins sorted run.
+
+    ``addresses`` are ascending and unique; ``values`` is aligned.  The
+    zone map gives the planner the same pruning handle a fragment has.
+    """
+
+    shape: tuple[int, ...]
+    addresses: np.ndarray
+    values: np.ndarray
+    zone: ZoneMap | None
+    _coords: np.ndarray | None = None
+
+    @property
+    def n(self) -> int:
+        return int(self.addresses.shape[0])
+
+    @property
+    def coords(self) -> np.ndarray:
+        """Tail coordinates ``(n, d)``, derived lazily from addresses."""
+        if self._coords is None:
+            self._coords = delinearize(
+                self.addresses, self.shape, validate=False
+            )
+        return self._coords
+
+
+def merge_chunks(
+    chunks: Sequence[tuple[np.ndarray, np.ndarray]],
+    shape: Sequence[int],
+) -> MergedPoints | None:
+    """Merge raw appended chunks into one newest-wins canonical point set.
+
+    Reuses the compactor's merge (:func:`~repro.build.merge.
+    merge_sorted_runs`): chunks are oldest-first runs, so duplicate
+    addresses resolve to the newest append's latest occurrence — the
+    exact semantics a synchronous ``write`` of the same points has.
+    The packer hands the result straight to ``write_canonical``; the
+    read overlay collapses it further via :func:`build_tail_run`.
+    Returns ``None`` when no chunk holds a point.
+    """
+    shape = tuple(int(s) for s in shape)
+    runs = []
+    for addresses, values in chunks:
+        if addresses.shape[0] == 0:
+            continue
+        canon = CanonicalCoords.from_addresses(addresses, shape)
+        perm = canon.sort_perm
+        runs.append(SortedRun(
+            addresses=canon.sorted_addresses,
+            values=np.asarray(values)[perm],
+            positions=perm,
+        ))
+    if not runs:
+        return None
+    return merge_sorted_runs(runs, shape)
+
+
+def build_tail_run(
+    chunks: Sequence[tuple[np.ndarray, np.ndarray]],
+    shape: Sequence[int],
+) -> TailRun | None:
+    """Collapse raw appended chunks into one sorted newest-wins run.
+
+    The read-overlay form of :func:`merge_chunks`: addresses come back
+    ascending and unique with aligned values, plus a zone map so box and
+    point reads can prune the tail exactly like a fragment.  Returns
+    ``None`` for an empty tail.
+    """
+    shape = tuple(int(s) for s in shape)
+    merged = merge_chunks(chunks, shape)
+    if merged is None:
+        return None
+    sorted_addresses = merged.canonical.sorted_addresses
+    sorted_values = merged.values[merged.canonical.sort_perm]
+    zone = ZoneMap.from_addresses(sorted_addresses, assume_sorted=True)
+    return TailRun(
+        shape=shape,
+        addresses=sorted_addresses,
+        values=sorted_values,
+        zone=zone,
+    )

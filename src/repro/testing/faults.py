@@ -42,7 +42,7 @@ from typing import Iterator
 from ..storage import durability
 
 #: Ops the durability layer announces, in the vocabulary rules match on.
-OPS = ("write", "read", "rename", "fsync")
+OPS = ("write", "read", "rename", "fsync", "unlink", "truncate")
 
 
 @dataclass
@@ -66,7 +66,7 @@ class FaultRule:
     ----------
     op:
         Which primitive to fail (``"write"``, ``"read"``, ``"rename"``,
-        ``"fsync"``) or ``"*"`` for any.
+        ``"fsync"``, ``"unlink"``, ``"truncate"``) or ``"*"`` for any.
     pattern:
         ``fnmatch`` pattern against the file *name* (not the full path).
     torn_bytes:

@@ -1,0 +1,37 @@
+"""Tier-1 smoke hook for the WAL ingest microbench (assert-only).
+
+Imports ``benchmarks/bench_wal_ingest.py`` by path and asserts the
+append-vs-write ingest speedup at a laxer floor than the standalone
+run, so a regression that loses the WAL's amortized commit cost (or
+breaks append/pack read equivalence — the bench verifies both stores
+answer identically) fails the regular suite, not just the benchmark
+run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_BENCH = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks" / "bench_wal_ingest.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_wal_ingest", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_wal_ingest_speedup_smoke():
+    bench = _load_bench()
+    result = bench.bench_wal_ingest(
+        n_points=40_000, n_chunks=400, n_queries=500
+    )
+    bench.assert_speedup_ok(result, bench.MIN_INGEST_SPEEDUP_SMOKE)
+    # The append leg alone (durability acknowledged, pack deferred)
+    # must beat synchronous writes outright.
+    assert result["append_only_speedup"] >= 1.0

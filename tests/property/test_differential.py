@@ -35,7 +35,7 @@ from hypothesis import strategies as st
 from repro.build import encode_all
 from repro.core import Box, SparseTensor
 from repro.formats import PAPER_FORMATS, get_format
-from repro.storage import FragmentStore
+from repro.storage import FragmentStore, StoreOptions
 from repro.testing import (
     VALUE_DTYPES,
     oracle_read_box,
@@ -338,6 +338,97 @@ class TestStoreDifferential:
         np.testing.assert_array_equal(cold.found, warm.found)
         np.testing.assert_array_equal(cold.values, warm.values)
         assert store.cache.hits > 0 or store.cache.misses == 0
+
+
+class TestWalDifferential:
+    """WAL-routed ingest must be unobservable in reads.
+
+    The same chunk sequence goes into one store via synchronous
+    ``write`` (a fragment per chunk) and into another via durable
+    ``append`` — left entirely unpacked, packed halfway, or fully
+    packed, depending on the seed.  Whatever mix of fragments and WAL
+    tail serves the read, results must be bit-identical to the
+    synchronous store and to the newest-wins oracle, before and after
+    a reopen (which exercises segment replay).  Seeds cycle all
+    ``DIFF_FORMATS`` and both planner settings.
+    """
+
+    SEEDS = range(14)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_append_reads_identical_to_write(self, tmp_path, seed):
+        fmt_name = DIFF_FORMATS[seed % len(DIFF_FORMATS)]
+        plan = bool(seed % 2)
+        pack_state = seed % 3  # 0: unpacked, 1: half-packed, 2: packed
+        label = f"{fmt_name}/seed={seed}/plan={plan}/pack={pack_state}"
+
+        rng = np.random.default_rng(7000 + seed)
+        tensor = random_sparse_tensor(rng, max_points=48, max_side=6)
+        chunks = []
+        for _ in range(int(rng.integers(2, 6))):
+            chunk = random_sparse_tensor(
+                rng, tensor.shape, max_points=32,
+                dtype=str(tensor.values.dtype),
+            )
+            if chunk.nnz:
+                chunks.append(chunk.deduplicated(keep="last"))
+        if not chunks:
+            chunks.append(SparseTensor.from_points(
+                tensor.shape, [(0,) * len(tensor.shape)], [1.0]
+            ))
+
+        synced = FragmentStore(
+            tmp_path / "sync", tensor.shape, fmt_name, planner=plan
+        )
+        walled = FragmentStore(
+            tmp_path / "wal", tensor.shape, fmt_name, planner=plan,
+            options=StoreOptions(wal_segment_bytes=256),
+        )
+        for i, chunk in enumerate(chunks):
+            synced.write(chunk.coords, chunk.values)
+            walled.append(chunk.coords, chunk.values)
+            if pack_state == 1 and i == len(chunks) // 2:
+                walled.pack_wal()
+        if pack_state == 2:
+            walled.pack_wal()
+            assert walled.wal_stats()["points"] == 0
+
+        overlay = SparseTensor(
+            tensor.shape,
+            np.vstack([t.coords for t in chunks]),
+            np.concatenate([t.values for t in chunks]),
+        ).deduplicated(keep="last")
+        queries = random_queries(rng, overlay)
+        box = random_box(rng, overlay.shape)
+
+        # Reopen replays whatever segments are still unpacked.
+        reopened = FragmentStore(
+            tmp_path / "wal", tensor.shape, fmt_name, planner=plan,
+            options=StoreOptions(wal_segment_bytes=256),
+        )
+        want_points = synced.read_points(queries)
+        want_box = synced.read_box(box)
+        assert_points_match(want_points, overlay, queries, label)
+        assert_box_match(want_box, overlay, box, label)
+        for store, tag in ((walled, "live"), (reopened, "reopened")):
+            got = store.read_points(queries)
+            np.testing.assert_array_equal(
+                got.found, want_points.found,
+                err_msg=f"{label}/{tag}: found",
+            )
+            np.testing.assert_array_equal(
+                got.values, want_points.values,
+                err_msg=f"{label}/{tag}: values",
+            )
+            got_box = store.read_box(box)
+            np.testing.assert_array_equal(
+                got_box.coords, want_box.coords,
+                err_msg=f"{label}/{tag}: box coords",
+            )
+            np.testing.assert_array_equal(
+                got_box.values, want_box.values,
+                err_msg=f"{label}/{tag}: box values",
+            )
 
 
 class TestPlannerDifferential:

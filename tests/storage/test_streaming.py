@@ -21,45 +21,92 @@ def chunk(rng, n):
 
 
 class TestStreamingWriter:
-    def test_flushes_at_budget(self, store, rng):
-        w = StreamingWriter(store, flush_points=100)
+    def test_appends_are_durable_immediately(self, store, rng):
+        coords, values = chunk(rng, 42)
+        w = StreamingWriter(store, pack_points=1000)
+        w.append(coords, values)
+        # No fragment yet, but the points are already readable (WAL tail)
+        # and survive a reopen without any flush.
+        assert w.fragments_written == 0
+        assert store.read_points(coords).found.all()
+        reopened = FragmentStore(store.directory, (64, 64), "LINEAR")
+        assert reopened.read_points(coords).found.all()
+
+    def test_packs_at_budget(self, store, rng):
+        w = StreamingWriter(store, pack_points=100)
         for _ in range(5):
             w.append(*chunk(rng, 30))
-        # 150 points crossed the budget once -> one fragment so far.
+        # 150 points crossed the budget once -> one packed fragment.
         assert w.fragments_written == 1
         assert w.buffered_points == 150 - w.points_written
 
-    def test_context_manager_flushes_tail(self, store, rng):
+    def test_context_manager_packs_tail(self, store, rng):
         coords, values = chunk(rng, 42)
-        with StreamingWriter(store, flush_points=1000) as w:
+        with StreamingWriter(store, pack_points=1000) as w:
             w.append(coords, values)
             assert w.fragments_written == 0
         assert w.fragments_written == 1
+        assert store.wal_stats()["points"] == 0
         out = store.read_points(coords)
         assert out.found.all()
 
     def test_everything_readable_after_close(self, store, rng):
         all_coords = []
-        all_values = []
-        with StreamingWriter(store, flush_points=64) as w:
+        with StreamingWriter(store, pack_points=64) as w:
             for _ in range(10):
                 c, v = chunk(rng, 25)
                 all_coords.append(c)
-                all_values.append(v)
                 w.append(c, v)
         assert w.points_written == 250
-        coords = np.vstack(all_coords)
-        out = store.read_points(coords)
+        assert w.buffered_points == 0
+        out = store.read_points(np.vstack(all_coords))
         assert out.found.all()
 
-    def test_error_drops_buffer(self, store, rng):
+    def test_error_never_commits_a_fragment(self, store, rng):
         coords, values = chunk(rng, 10)
         with pytest.raises(RuntimeError):
-            with StreamingWriter(store, flush_points=1000) as w:
-                w.append(coords, values)
-                raise RuntimeError("producer died")
+            with pytest.warns(RuntimeWarning, match="unpacked"):
+                with StreamingWriter(store, pack_points=1000) as w:
+                    w.append(coords, values)
+                    raise RuntimeError("producer died")
         assert w.fragments_written == 0
         assert len(store.fragments) == 0
+        # Durable mode: the appended points survive in the WAL anyway.
+        assert store.read_points(coords).found.all()
+
+    def test_non_durable_error_drops_buffer(self, store, rng):
+        coords, values = chunk(rng, 10)
+        with pytest.raises(RuntimeError):
+            with pytest.warns(RuntimeWarning, match="discarding"):
+                with StreamingWriter(
+                    store, pack_points=1000, durable=False
+                ) as w:
+                    w.append(coords, values)
+                    raise RuntimeError("producer died")
+        assert w.fragments_written == 0
+        assert len(store.fragments) == 0
+        assert not store.read_points(coords).found.any()
+
+    def test_non_durable_buffers_in_memory(self, store, rng):
+        coords, values = chunk(rng, 42)
+        with StreamingWriter(store, pack_points=1000, durable=False) as w:
+            w.append(coords, values)
+            assert w.buffered_points == 42
+            assert store.wal_stats()["points"] == 0
+        assert w.fragments_written == 1
+        assert store.read_points(coords).found.all()
+
+    def test_flush_points_shim(self, store, rng):
+        import repro.storage.streaming as streaming
+
+        streaming._WARNED_FLUSH_POINTS = False
+        with pytest.warns(DeprecationWarning, match="flush_points"):
+            w = StreamingWriter(store, flush_points=77)
+        assert w.pack_points == 77
+        # Warn-once: the second use is silent.
+        with warnings_catcher() as caught:
+            StreamingWriter(store, flush_points=77)
+        assert not caught
 
     def test_empty_append_is_noop(self, store):
         w = StreamingWriter(store)
@@ -68,7 +115,7 @@ class TestStreamingWriter:
         assert w.flush() is None
 
     def test_oversized_single_append(self, store, rng):
-        w = StreamingWriter(store, flush_points=50)
+        w = StreamingWriter(store, pack_points=50)
         w.append(*chunk(rng, 500))
         assert w.fragments_written >= 1
         assert w.buffered_points == 0
@@ -80,4 +127,25 @@ class TestStreamingWriter:
         with pytest.raises(ShapeError):
             w.append(np.zeros((2, 2), dtype=np.uint64), np.zeros(3))
         with pytest.raises(ValueError):
+            StreamingWriter(store, pack_points=0)
+        with pytest.raises(ValueError):
+            import repro.storage.streaming as streaming
+
+            streaming._WARNED_FLUSH_POINTS = True  # silence the shim
             StreamingWriter(store, flush_points=0)
+
+
+def warnings_catcher():
+    import warnings
+
+    class _Catcher:
+        def __enter__(self):
+            self._cm = warnings.catch_warnings(record=True)
+            caught = self._cm.__enter__()
+            warnings.simplefilter("always")
+            return caught
+
+        def __exit__(self, *exc):
+            return self._cm.__exit__(*exc)
+
+    return _Catcher()

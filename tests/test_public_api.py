@@ -47,7 +47,7 @@ EXPECTED_PUBLIC_API = sorted([
     "AdaptiveStore", "StreamingWriter", "convert_store",
     "BlockedDataset", "FragmentCache", "FragmentStore",
     "FsckReport", "RetryPolicy", "fsck",
-    "ReadOptions", "ShardedStore", "StoreOptions",
+    "ReadOptions", "ShardedStore", "StoreOptions", "StoreSnapshot",
     "__version__",
 ])
 

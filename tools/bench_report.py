@@ -13,7 +13,11 @@ Currently recorded:
 * ``read_planner`` (``benchmarks/bench_planner.py``) — plan-on/off x
   crc_mode point/box times and the headline speedups;
 * ``parallel_read`` (``benchmarks/bench_parallel_read.py``) — cold vs
-  warm-cache read times.
+  warm-cache read times;
+* ``sharded_store`` (``benchmarks/bench_sharded.py``) — hot-region
+  reads and parallel compaction across shard counts;
+* ``wal_ingest`` (``benchmarks/bench_wal_ingest.py``) — small-chunk
+  ingest via WAL append + pack vs synchronous per-chunk writes.
 
 The speedup floors are asserted exactly as in the standalone runs, so a
 CI invocation fails loudly on a real regression — wire it as a
@@ -129,10 +133,25 @@ def run_sharded_store(smoke: bool) -> dict:
     return {**reads, **compact, "floor": floor}
 
 
+def run_wal_ingest(smoke: bool) -> dict:
+    bench = load_bench("bench_wal_ingest")
+    if smoke:
+        result = bench.bench_wal_ingest(
+            n_points=40_000, n_chunks=400, n_queries=500
+        )
+        floor = bench.MIN_INGEST_SPEEDUP_SMOKE
+    else:
+        result = bench.bench_wal_ingest()
+        floor = bench.MIN_INGEST_SPEEDUP
+    bench.assert_speedup_ok(result, floor)
+    return {**result, "floor": floor}
+
+
 BENCHES = {
     "read_planner": run_read_planner,
     "parallel_read": run_parallel_read,
     "sharded_store": run_sharded_store,
+    "wal_ingest": run_wal_ingest,
 }
 
 
@@ -162,7 +181,11 @@ def main(argv: list[str]) -> int:
             failed = True
             continue
         path = append_record(args.out_dir, name, metrics)
-        headline = metrics.get("point_speedup", metrics.get("speedup"))
+        headline = next(
+            metrics[k] for k in
+            ("point_speedup", "ingest_speedup", "speedup")
+            if k in metrics
+        )
         print(f"{name}: {headline:.2f}x (floor {metrics['floor']}x) "
               f"-> {path.relative_to(REPO)}")
     return 1 if failed else 0
