@@ -1,0 +1,165 @@
+"""Microbench: cascaded codec bytes-on-disk vs read time, per pattern.
+
+The cascade's claim is about the address buffers: canonically sorted
+linear addresses delta down to a few bits per point, so a
+``codec="cascade"`` store should put dramatically fewer bytes on disk
+than ``raw`` while reads stay bit-identical and close in time.  The
+interesting axis is the input distribution, so this bench sweeps the
+paper's three patterns:
+
+* **TSP** — banded/clustered occupancy: tiny deltas, the cascade's
+  best case (the asserted floor lives here);
+* **GSP** — uniform random occupancy: larger, noisier deltas;
+* **MSP** — mixed background + dense region.
+
+Each tensor is ingested **canonically sorted** (``sorted_by_linear``)
+— the paper's LINEAR format preserves arrival order, and on unsorted
+arrival the advisor correctly refuses to delta-pack (that fallback is
+pinned by unit tests, not benched).  For every pattern x codec cell we
+record bytes on disk and a timed point-read pass, giving the
+size-vs-read-time Pareto; the PR-facing claim, asserted standalone and
+in the tier-1 smoke (``tests/bench/test_compression_cascade.py``): on
+sorted TSP addresses the cascade puts at least ``MIN_SIZE_REDUCTION``x
+fewer address-buffer bytes on disk than raw (the per-buffer sizes come
+straight from the fragment header; the whole-fragment ratio is also
+reported but is values-dominated — incompressible random floats cap it
+at 2x by construction).  The mechanism is bit-width, not timing, so
+the floor is jitter-free and identical in the smoke.
+
+Runs standalone (``python benchmarks/bench_compression_cascade.py``)
+and in the tier-1 suite at smoke sizes.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.patterns import GSPPattern, MSPPattern, TSPPattern
+from repro.storage import FragmentStore, StoreOptions, unpack_header
+
+#: The PR-facing claim: encoded bytes on sorted TSP addresses.
+MIN_SIZE_REDUCTION = 2.0
+#: Same floor in the smoke — bit-width is deterministic, unlike timing.
+MIN_SIZE_REDUCTION_SMOKE = 2.0
+
+CODECS = ("raw", "zlib", "cascade")
+
+
+def make_patterns(side: int, seed: int = 0):
+    """(name, canonically sorted tensor) for the paper's three patterns."""
+    shape = (side, side)
+    gens = [
+        TSPPattern(shape, band_width=4),
+        GSPPattern(shape, threshold=0.99),
+        MSPPattern(shape),
+    ]
+    return [(g.name, g.generate(seed).sorted_by_linear()) for g in gens]
+
+
+def _address_buffer_nbytes(store) -> int:
+    """Encoded bytes of the ``addresses`` buffer, from the header."""
+    with open(store.fragments[0].path, "rb") as fh:
+        header, _ = unpack_header(fh.read(65536))
+    entry = next(b for b in header["buffers"] if b["name"] == "addresses")
+    return int(entry["nbytes"])
+
+
+def bench_compression(
+    side: int = 1024,
+    n_queries: int = 20_000,
+) -> dict:
+    """Sweep pattern x codec; returns per-cell bytes + read times.
+
+    Headline ``size_reduction`` is the TSP address buffer's raw bytes
+    over its cascade-encoded bytes; ``total_reduction`` is the whole-
+    fragment ratio.  ``read_penalty`` (cascade point-read time over
+    raw's) completes the Pareto — informational, no floor, since
+    decode cost is dwarfed by fewer bytes off disk on any real PFS.
+    """
+    tmp = Path(tempfile.mkdtemp(prefix="bench-compression-"))
+    was_enabled = obs.is_enabled()
+    try:
+        obs.disable()
+        cells = {}
+        for name, tensor in make_patterns(side):
+            rng = np.random.default_rng(1)
+            sample = tensor.coords[
+                rng.choice(tensor.nnz, size=min(n_queries, tensor.nnz),
+                           replace=False)
+            ]
+            baseline = None
+            for codec in CODECS:
+                store = FragmentStore(
+                    tmp / f"{name}-{codec}", tensor.shape, "LINEAR",
+                    options=StoreOptions(codec=codec),
+                )
+                store.write_tensor(tensor)
+                stats = store.compression_stats()
+                t0 = time.perf_counter()
+                out = store.read_points(sample)
+                read_time = time.perf_counter() - t0
+                assert out.found.all()
+                if baseline is None:
+                    baseline = out.values
+                else:  # reads must be bit-identical across codecs
+                    assert np.array_equal(out.values, baseline)
+                cells[f"{name}/{codec}"] = {
+                    "encoded_nbytes": stats["encoded_nbytes"],
+                    "raw_nbytes": stats["raw_nbytes"],
+                    "file_nbytes": stats["file_nbytes"],
+                    "addr_nbytes": _address_buffer_nbytes(store),
+                    "read_time": read_time,
+                    "by_codec": stats["by_codec"],
+                }
+        tsp_raw = cells["TSP/raw"]
+        tsp_cascade = cells["TSP/cascade"]
+        return {
+            "size_reduction": (
+                tsp_raw["addr_nbytes"] / tsp_cascade["addr_nbytes"]
+            ),
+            "total_reduction": (
+                tsp_raw["encoded_nbytes"] / tsp_cascade["encoded_nbytes"]
+            ),
+            "read_penalty": (
+                tsp_cascade["read_time"] / max(tsp_raw["read_time"], 1e-9)
+            ),
+            "side": side,
+            "cells": cells,
+        }
+    finally:
+        if was_enabled:
+            obs.enable()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def assert_reduction_ok(metrics: dict, floor: float) -> None:
+    reduction = metrics["size_reduction"]
+    assert reduction >= floor, (
+        f"cascade address buffer only {reduction:.2f}x smaller than raw "
+        f"on sorted TSP at side={metrics['side']} (floor {floor}x)"
+    )
+
+
+def main() -> None:
+    result = bench_compression()
+    print(f"pattern x codec at side={result['side']} "
+          "(canonically sorted ingest):")
+    for key, cell in result["cells"].items():
+        print(f"  {key:14s} {cell['encoded_nbytes']:>12,} B encoded"
+              f"  (addresses {cell['addr_nbytes']:>10,} B)"
+              f"  read {cell['read_time'] * 1e3:7.1f} ms")
+    print(f"TSP address reduction: {result['size_reduction']:.1f}x, "
+          f"whole fragment {result['total_reduction']:.2f}x "
+          f"(read penalty {result['read_penalty']:.2f}x)")
+    assert_reduction_ok(result, MIN_SIZE_REDUCTION)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

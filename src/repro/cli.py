@@ -288,6 +288,49 @@ def _render_wal_section(store) -> str:
     return "\n".join(lines)
 
 
+def _render_compression_section(store) -> str:
+    """The ``repro stats --compression`` section: bytes-on-disk per codec."""
+    from . import obs
+    from .bench.report import format_bytes
+
+    cs = store.compression_stats()
+    counters = {
+        (c["name"], c["labels"].get("codec")): c["value"]
+        for c in obs.snapshot()["counters"]
+        if c["name"].startswith("store.compression.")
+    }
+    lines = [f"compression (codec option: {cs['codec']})"]
+    lines.append(
+        f"  fragments {cs['fragments']}  files "
+        f"{format_bytes(cs['file_nbytes'])}  payload "
+        f"{format_bytes(cs['encoded_nbytes'])} on disk for "
+        f"{format_bytes(cs['raw_nbytes'])} raw  "
+        f"(ratio {cs['ratio']:.2f}x)"
+    )
+    if cs["by_codec"]:
+        per_codec = "  ".join(
+            f"{tag}={format_bytes(nbytes)}"
+            for tag, nbytes in cs["by_codec"].items()
+        )
+        lines.append(f"  by codec  {per_codec}")
+    picks = {
+        labels: val for (name, labels), val in counters.items()
+        if name == "store.compression.advisor_picks"
+    }
+    if picks:
+        pick_str = "  ".join(
+            f"{tag}={int(val)}" for tag, val in sorted(picks.items())
+        )
+        lines.append(f"  advisor picks (this process)  {pick_str}")
+    decoded = sum(
+        val for (name, _), val in counters.items()
+        if name == "store.compression.decoded_bytes"
+    )
+    if decoded:
+        lines.append(f"  compressed bytes decoded  {format_bytes(decoded)}")
+    return "\n".join(lines)
+
+
 def _render_shards_section(store) -> str:
     """The ``repro stats --shards`` section: per-band summary rows."""
     from .bench.report import format_bytes, render_table
@@ -344,11 +387,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
     obs.reset()
     rng = np.random.default_rng(args.seed)
     store_options = StoreOptions(cache_bytes=args.cache_bytes)
+    if args.compression and not args.store:
+        # The demo store writes through the adaptive cascade so the
+        # compression section has per-codec data to show.
+        store_options = store_options.replace(codec="cascade")
     read_options = ReadOptions(parallel=args.parallel)
     cache = None
     plan_summary = None
     shard_table = None
     wal_section = None
+    compression_section = None
+    compression_stats = None
 
     if args.store:
         store, cache = _open_stats_store(args, store_options)
@@ -384,6 +433,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
             # Read-only against an existing store: report the live log
             # footprint and whatever replay recorded on open.
             wal_section = _render_wal_section(store)
+        if args.compression:
+            compression_section = _render_compression_section(store)
+            compression_stats = store.compression_stats()
         title = f"repro observability — store {args.store}"
     else:
         # Self-contained demo: two disjoint fragments, so the read shows
@@ -432,6 +484,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 ).summary()
             if args.shards:
                 shard_table = _render_shards_section(store)
+            if args.compression:
+                compression_section = _render_compression_section(store)
+                compression_stats = store.compression_stats()
         kind = "4-shard" if args.shards else "2-fragment"
         title = (f"repro observability — demo round-trip "
                  f"({args.format}, {kind}, {n} points per write)")
@@ -461,6 +516,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
         payload = json.loads(obs.to_json())
         if cache is not None:
             payload["cache"] = cache.stats()
+        if compression_stats is not None:
+            payload["compression"] = compression_stats
         print(json.dumps(payload, indent=1))
     else:
         print(obs.render_table(title=title))
@@ -473,6 +530,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
         if wal_section is not None:
             print()
             print(wal_section)
+        if compression_section is not None:
+            print()
+            print(compression_section)
         if args.plan:
             print()
             print(_render_plan_section(plan_summary))
@@ -535,7 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("store", help="fragment store directory")
     p.add_argument("-f", "--format", default="LINEAR")
     p.add_argument("--codec", default="raw",
-                   choices=["raw", "zlib", "delta-zlib"])
+                   choices=["raw", "zlib", "delta-zlib", "cascade"])
     p.add_argument("--shards", type=int, default=0, metavar="N",
                    help="write into a range-partitioned ShardedStore "
                         "with N bands instead of a flat FragmentStore")
@@ -577,6 +637,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the per-shard band table; with "
                         "--store the directory must be a ShardedStore, "
                         "without it the demo store is built 4-way sharded")
+    p.add_argument("--compression", action="store_true",
+                   help="report bytes-on-disk per codec chain (and, for "
+                        "the demo store, write through the cascade)")
     p.add_argument("--wal", action="store_true",
                    help="also print the write-ahead-log section "
                         "(store.wal.* counters + live log footprint); "

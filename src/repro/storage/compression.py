@@ -3,7 +3,9 @@
 The paper scopes compression out of the comparison but notes the common
 practice (§II): "choose a basic sparse organization first and then apply
 compression algorithms to further reduce data size" — as TileDB and HDF5
-do.  This module supplies that orthogonal layer:
+do.  This module supplies that orthogonal layer.
+
+Store-facing codec *options* (what ``StoreOptions.codec`` accepts):
 
 ``raw``
     no transformation (the default everywhere, and what the paper's size
@@ -14,29 +16,88 @@ do.  This module supplies that orthogonal layer:
     for 1D unsigned-integer buffers, a delta transform before DEFLATE —
     sorted address vectors (LINEAR after sorting, pointer arrays, CSF
     level offsets) become small residuals that deflate extremely well.
-    Non-eligible buffers silently fall back to plain ``zlib``.
+    Non-eligible buffers fall back to plain ``zlib`` (the fallback is
+    recorded in the stored tag, never silent);
+``cascade``
+    the adaptive cascade: a :func:`advise_buffer` codec advisor samples
+    each buffer's distribution (residual bit-width histogram, run
+    fraction, byte-entropy estimate) and picks the cheapest of
+    delta→bit-pack (``dbp``), delta→run-length→bit-pack (``drle``),
+    plain ``zlib``, or ``raw``, with an optional trailing DEFLATE stage
+    when the packed payload still deflates.  The advisor is a pure
+    function of the buffer content, so encoding is deterministic.
 
-Codecs operate buffer-by-buffer so a fragment's header stays readable
-without decompressing anything.
+What lands *on disk* is a self-describing **stage chain tag** stored
+next to each buffer: ``+``-joined stage names applied left to right on
+encode and inverted right to left on decode.  Decode is driven entirely
+by the tag — never by store options — so fragments written under any
+codec stay readable by any store.  Stages:
+
+``delta``
+    element-wise wraparound difference in the buffer's own dtype, first
+    element kept in-band (the legacy ``delta+zlib`` spelling);
+``dbp``
+    Parquet-style delta + bit-pack: the first value is stored out of
+    band (u64), the remaining wraparound residuals are packed at their
+    minimal bit width (little-endian bitstream);
+``drle``
+    delta + run-length + bit-pack: residual runs (constant-stride
+    regions — dense MSP rows, regular pointer arrays) collapse to
+    (value, length) pairs, each side bit-packed at its own width;
+``zlib``
+    DEFLATE over whatever the preceding stage produced.
+
+Example tags: ``raw``, ``zlib``, ``delta+zlib`` (legacy), ``dbp``,
+``dbp+zlib``, ``drle``, ``drle+zlib``.  Codecs operate
+buffer-by-buffer so a fragment's header stays readable without
+decompressing anything, and raw-tagged buffers still decode zero-copy
+from a mapped file (compressed tags decode from the buffer's slice of
+the mapping — the lazy path degrades gracefully instead of failing).
+
+``store.compression.*`` counters account every encode/decode by stored
+tag, so ``repro stats --compression`` can report bytes-on-disk per
+codec without walking fragment headers.
 """
 
 from __future__ import annotations
 
+import math
 import zlib
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.errors import FragmentError
+from ..obs import counter_add, is_enabled
 
 RAW = "raw"
 ZLIB = "zlib"
 DELTA_ZLIB = "delta-zlib"
+CASCADE = "cascade"
 
-CODECS = (RAW, ZLIB, DELTA_ZLIB)
+#: Store-facing codec options (``StoreOptions.codec`` / ``repro encode
+#: --codec``).  Stored per-buffer tags are stage chains — see
+#: :data:`STAGES` and the module docstring.
+CODECS = (RAW, ZLIB, DELTA_ZLIB, CASCADE)
+
+#: Stage names legal inside a stored chain tag.
+STAGES = ("delta", "dbp", "drle", "zlib")
 
 #: Stored next to each buffer so decode knows what actually happened
 #: (delta-zlib records "zlib" when it fell back).
 _DELTA_MARK = "delta+"
+
+#: Bytes below which trailing DEFLATE is never attempted (header +
+#: dictionary overhead always loses on tiny payloads).
+_ZLIB_MIN_BYTES = 128
+#: Trailing DEFLATE must save at least this fraction to be kept.
+_ZLIB_KEEP_RATIO = 0.9
+#: Byte-entropy (bits/byte) above which the payload is treated as
+#: incompressible and trial DEFLATE is skipped.
+_ZLIB_ENTROPY_CUTOFF = 7.5
+#: Advisor sampling cap — stats are estimated over at most this many
+#: elements/bytes (deterministic stride sampling).
+_SAMPLE_CAP = 4096
 
 
 def validate_codec(codec: str) -> str:
@@ -51,38 +112,423 @@ def _delta_eligible(arr: np.ndarray) -> bool:
     return arr.ndim == 1 and arr.dtype.kind == "u" and arr.size > 1
 
 
+def _wraparound_deltas(arr: np.ndarray) -> np.ndarray:
+    """In-dtype differences; ``deltas[0]`` is the absolute first value.
+
+    Wrap-around subtraction is exact for unsigned ints; cumsum in the
+    same dtype undoes it exactly on decode.
+    """
+    deltas = np.empty_like(arr)
+    deltas[0] = arr[0]
+    np.subtract(arr[1:], arr[:-1], out=deltas[1:])
+    return deltas
+
+
+# ----------------------------------------------------------------------
+# bit-packing primitives (little-endian bitstream)
+# ----------------------------------------------------------------------
+
+def _bit_width(vals: np.ndarray) -> int:
+    """Minimal bits per element: ``bit_length(max(vals))`` (0 if empty)."""
+    if vals.size == 0:
+        return 0
+    return int(vals.max()).bit_length()
+
+
+def _pack_ints(vals: np.ndarray, width: int) -> bytes:
+    """Pack unsigned ``vals`` at ``width`` bits each, LSB-first."""
+    if width == 0 or vals.size == 0:
+        return b""
+    le = np.ascontiguousarray(vals, dtype=vals.dtype.newbyteorder("<"))
+    bits = np.unpackbits(
+        le.view(np.uint8).reshape(vals.size, le.dtype.itemsize),
+        axis=1, bitorder="little",
+    )
+    return np.packbits(bits[:, :width], bitorder="little").tobytes()
+
+
+def _packed_nbytes(count: int, width: int) -> int:
+    return (count * width + 7) // 8
+
+
+def _unpack_ints(data, count: int, width: int, dtype) -> np.ndarray:
+    """Invert :func:`_pack_ints` back to ``count`` values of ``dtype``."""
+    dtype = np.dtype(dtype)
+    if count == 0:
+        return np.zeros(0, dtype=dtype)
+    if width == 0:
+        return np.zeros(count, dtype=dtype)
+    need = _packed_nbytes(count, width)
+    if len(data) < need:
+        raise FragmentError(
+            f"bit-packed section truncated: {len(data)} bytes for "
+            f"{count}x{width}-bit values ({need} needed)"
+        )
+    bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8, count=need),
+        bitorder="little", count=count * width,
+    ).reshape(count, width)
+    full = np.zeros((count, dtype.itemsize * 8), dtype=np.uint8)
+    full[:, :width] = bits
+    out = np.packbits(full, axis=1, bitorder="little")
+    return out.view(dtype.newbyteorder("<")).ravel().astype(dtype, copy=False)
+
+
+# ----------------------------------------------------------------------
+# fused stages: dbp (delta + bit-pack), drle (delta + RLE + bit-pack)
+# ----------------------------------------------------------------------
+
+def _dbp_encode(arr: np.ndarray) -> bytes:
+    """``[u8 width][u64 first][packed residuals]`` over ``arr``."""
+    residuals = _wraparound_deltas(arr)[1:]
+    width = _bit_width(residuals)
+    head = bytes([width]) + int(arr[0]).to_bytes(8, "little")
+    return head + _pack_ints(residuals, width)
+
+
+def _dbp_decode(data, dtype: np.dtype, count: int) -> np.ndarray:
+    dtype = np.dtype(dtype)
+    if count == 0:
+        return np.zeros(0, dtype=dtype)
+    data = bytes(data) if not isinstance(data, (bytes, bytearray)) else data
+    if len(data) < 9:
+        raise FragmentError("dbp buffer truncated before header")
+    width = data[0]
+    first = int.from_bytes(data[1:9], "little")
+    residuals = _unpack_ints(data[9:], count - 1, width, dtype)
+    out = np.empty(count, dtype=dtype)
+    out[0] = dtype.type(first)
+    np.cumsum(
+        np.concatenate(([out[0]], residuals)), dtype=dtype, out=out
+    )
+    return out
+
+
+def _residual_runs(residuals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run-length encode ``residuals`` → ``(run_values, run_lengths)``."""
+    if residuals.size == 0:
+        return residuals[:0], np.zeros(0, dtype=np.uint64)
+    boundaries = np.flatnonzero(residuals[1:] != residuals[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [residuals.size]))
+    return residuals[starts], (ends - starts).astype(np.uint64)
+
+
+def _drle_encode(arr: np.ndarray) -> bytes:
+    """``[u64 first][u64 n_runs][u8 vw][u8 lw][packed vals][packed lens]``."""
+    residuals = _wraparound_deltas(arr)[1:]
+    run_values, run_lengths = _residual_runs(residuals)
+    val_width = _bit_width(run_values)
+    len_width = _bit_width(run_lengths)
+    head = (
+        int(arr[0]).to_bytes(8, "little")
+        + int(run_values.size).to_bytes(8, "little")
+        + bytes([val_width, len_width])
+    )
+    return (
+        head
+        + _pack_ints(run_values, val_width)
+        + _pack_ints(run_lengths, len_width)
+    )
+
+
+def _drle_decode(data, dtype: np.dtype, count: int) -> np.ndarray:
+    dtype = np.dtype(dtype)
+    if count == 0:
+        return np.zeros(0, dtype=dtype)
+    data = bytes(data) if not isinstance(data, (bytes, bytearray)) else data
+    if len(data) < 18:
+        raise FragmentError("drle buffer truncated before header")
+    first = int.from_bytes(data[0:8], "little")
+    n_runs = int.from_bytes(data[8:16], "little")
+    val_width, len_width = data[16], data[17]
+    off = 18
+    vbytes = _packed_nbytes(n_runs, val_width)
+    run_values = _unpack_ints(data[off:off + vbytes], n_runs, val_width, dtype)
+    off += vbytes
+    lbytes = _packed_nbytes(n_runs, len_width)
+    run_lengths = _unpack_ints(
+        data[off:off + lbytes], n_runs, len_width, np.uint64
+    )
+    residuals = np.repeat(run_values, run_lengths.astype(np.intp))
+    if residuals.size != count - 1:
+        raise FragmentError(
+            f"drle run lengths sum to {residuals.size + 1} elements, "
+            f"header promises {count}"
+        )
+    out = np.empty(count, dtype=dtype)
+    out[0] = dtype.type(first)
+    np.cumsum(
+        np.concatenate(([out[0]], residuals)), dtype=dtype, out=out
+    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# codec advisor
+# ----------------------------------------------------------------------
+
+def _sample(arr: np.ndarray) -> np.ndarray:
+    """Deterministic stride sample of at most ``_SAMPLE_CAP`` elements."""
+    if arr.size <= _SAMPLE_CAP:
+        return arr
+    stride = arr.size // _SAMPLE_CAP
+    return arr[::stride][:_SAMPLE_CAP]
+
+
+def byte_entropy(data) -> float:
+    """Shannon entropy (bits/byte) over a deterministic byte sample."""
+    buf = np.frombuffer(data, dtype=np.uint8)
+    buf = _sample(buf)
+    if buf.size == 0:
+        return 0.0
+    counts = np.bincount(buf, minlength=256)
+    probs = counts[counts > 0] / buf.size
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def _width_histogram(residuals: np.ndarray) -> dict[int, int]:
+    """Sampled histogram of residual bit widths (``{width: count}``).
+
+    Widths are estimated in float64 — an off-by-one near 2**53 cannot
+    matter: the histogram is advisory, while the width actually used by
+    the encoder comes from the exact integer ``bit_length`` of the max.
+    """
+    s = _sample(residuals)
+    if s.size == 0:
+        return {}
+    widths = np.zeros(s.size, dtype=np.int64)
+    nz = s != 0
+    if nz.any():
+        widths[nz] = np.floor(
+            np.log2(s[nz].astype(np.float64) + 0.5)
+        ).astype(np.int64) + 1
+    counts = np.bincount(widths)
+    return {int(w): int(c) for w, c in enumerate(counts) if c}
+
+
+@dataclass(frozen=True)
+class CodecAdvice:
+    """What the advisor decided for one buffer, and why.
+
+    ``chain`` is the stored tag the cascade will write.  The stats are
+    sampled (deterministically) — ``candidate_sizes`` are exact byte
+    counts for each structural candidate, which is what the decision
+    actually keys on.
+    """
+
+    chain: str
+    n: int
+    dtype: str
+    run_fraction: float
+    entropy_bits: float
+    width_hist: dict[int, int] = field(default_factory=dict)
+    candidate_sizes: dict[str, int] = field(default_factory=dict)
+
+
+def _maybe_deflate(payload: bytes, chain: str) -> tuple[bytes, str]:
+    """Append a trailing DEFLATE stage when it actually pays for itself."""
+    if len(payload) < _ZLIB_MIN_BYTES:
+        return payload, chain
+    if byte_entropy(payload) >= _ZLIB_ENTROPY_CUTOFF:
+        return payload, chain
+    z = zlib.compress(payload, 6)
+    if len(z) < _ZLIB_KEEP_RATIO * len(payload):
+        return z, chain + "+zlib" if chain != RAW else ZLIB
+    return payload, chain
+
+
+def advise_buffer(arr: np.ndarray) -> CodecAdvice:
+    """Pick the cheapest cascade for ``arr`` — pure and deterministic.
+
+    Eligible buffers (1-D unsigned, more than one element) are costed
+    exactly for ``raw`` / ``dbp`` / ``drle`` from the residual
+    distribution; non-eligible buffers only ever choose between ``raw``
+    and plain ``zlib``.  The trailing DEFLATE decision (made later, in
+    :func:`encode_cascade`) is gated on the byte-entropy estimate
+    recorded here.
+    """
+    arr = np.ascontiguousarray(arr)
+    raw_nbytes = arr.nbytes
+    if not _delta_eligible(arr):
+        entropy = byte_entropy(arr.tobytes()) if arr.size else 8.0
+        return CodecAdvice(
+            chain=RAW,
+            n=arr.size,
+            dtype=np.dtype(arr.dtype).str,
+            run_fraction=0.0,
+            entropy_bits=entropy,
+            candidate_sizes={RAW: raw_nbytes},
+        )
+    residuals = _wraparound_deltas(arr)[1:]
+    width = _bit_width(residuals)
+    run_values, run_lengths = _residual_runs(residuals)
+    n_runs = run_values.size
+    run_fraction = 1.0 - n_runs / residuals.size
+    len_width = _bit_width(run_lengths)
+    sizes = {
+        RAW: raw_nbytes,
+        "dbp": 9 + _packed_nbytes(residuals.size, width),
+        "drle": 18
+        + _packed_nbytes(n_runs, _bit_width(run_values))
+        + _packed_nbytes(n_runs, len_width),
+    }
+    chain = min(sizes, key=lambda k: (sizes[k], k))
+    return CodecAdvice(
+        chain=chain,
+        n=arr.size,
+        dtype=np.dtype(arr.dtype).str,
+        run_fraction=run_fraction,
+        entropy_bits=byte_entropy(residuals.tobytes()),
+        width_hist=_width_histogram(residuals),
+        candidate_sizes=sizes,
+    )
+
+
+def encode_cascade(arr: np.ndarray) -> tuple[bytes, str, CodecAdvice]:
+    """Advisor-driven encode: ``(payload, stored_chain, advice)``.
+
+    Never worse than ``raw``: whatever the advisor picks, the encoded
+    payload is compared against the raw bytes and ``raw`` wins ties.
+    """
+    arr = np.ascontiguousarray(arr)
+    advice = advise_buffer(arr)
+    if advice.chain == "dbp":
+        payload, chain = _dbp_encode(arr), "dbp"
+    elif advice.chain == "drle":
+        payload, chain = _drle_encode(arr), "drle"
+    else:
+        payload, chain = arr.tobytes(), RAW
+    if advice.entropy_bits < _ZLIB_ENTROPY_CUTOFF:
+        payload, chain = _maybe_deflate(payload, chain)
+    if len(payload) >= arr.nbytes and chain != RAW:
+        payload, chain = arr.tobytes(), RAW
+    if is_enabled():
+        counter_add("store.compression.advisor_picks", 1, codec=chain)
+    return payload, chain, advice
+
+
+# ----------------------------------------------------------------------
+# buffer encode/decode (the fragment serializer's entry points)
+# ----------------------------------------------------------------------
+
 def encode_buffer(arr: np.ndarray, codec: str) -> tuple[bytes, str]:
     """Compress one buffer; returns ``(payload_bytes, stored_codec)``.
 
     ``stored_codec`` is what must be recorded in the fragment header for
-    :func:`decode_buffer` — it differs from the requested codec when
-    delta-zlib falls back, and embeds the delta marker when it applies.
+    :func:`decode_buffer` — always the chain that was *actually*
+    applied, never the requested option (delta-zlib records plain
+    ``zlib`` when it falls back; the cascade records whatever the
+    advisor picked, down to ``raw``).
     """
     validate_codec(codec)
     arr = np.ascontiguousarray(arr)
     if codec == RAW:
         return arr.tobytes(), RAW
-    if codec == DELTA_ZLIB and _delta_eligible(arr):
-        # Wrap-around subtraction is exact for unsigned ints; cumsum in
-        # uint64 undoes it exactly on decode.
-        deltas = np.empty_like(arr)
-        deltas[0] = arr[0]
-        np.subtract(arr[1:], arr[:-1], out=deltas[1:])
-        return zlib.compress(deltas.tobytes(), 6), _DELTA_MARK + ZLIB
-    return zlib.compress(arr.tobytes(), 6), ZLIB
+    if codec == CASCADE:
+        payload, chain, _ = encode_cascade(arr)
+        stored = payload, chain
+    elif codec == DELTA_ZLIB and _delta_eligible(arr):
+        deltas = _wraparound_deltas(arr)
+        stored = zlib.compress(deltas.tobytes(), 6), _DELTA_MARK + ZLIB
+    else:
+        stored = zlib.compress(arr.tobytes(), 6), ZLIB
+    if is_enabled():
+        counter_add(
+            "store.compression.encoded_bytes", len(stored[0]),
+            codec=stored[1],
+        )
+        counter_add("store.compression.raw_bytes", arr.nbytes,
+                    codec=stored[1])
+    return stored
 
 
 def decode_buffer(
-    data: bytes, stored_codec: str, dtype: np.dtype, count: int
+    data, stored_codec: str, dtype: np.dtype, count: int
 ) -> np.ndarray:
-    """Invert :func:`encode_buffer` back to a flat array of ``count``."""
+    """Invert :func:`encode_buffer` back to a flat array of ``count``.
+
+    Decode is driven entirely by ``stored_codec`` — a ``+``-joined stage
+    chain inverted right to left.  ``data`` may be any buffer-protocol
+    object; ``raw`` buffers alias it zero-copy (``frombuffer``).
+    """
+    dtype = np.dtype(dtype)
     if stored_codec == RAW:
-        return np.frombuffer(data, dtype=dtype, count=count)
-    if stored_codec == ZLIB:
-        return np.frombuffer(zlib.decompress(data), dtype=dtype, count=count)
-    if stored_codec == _DELTA_MARK + ZLIB:
-        deltas = np.frombuffer(
-            zlib.decompress(data), dtype=dtype, count=count
+        try:
+            return np.frombuffer(data, dtype=dtype, count=count)
+        except ValueError as exc:
+            raise FragmentError(f"raw buffer truncated: {exc}") from exc
+    if is_enabled():
+        counter_add(
+            "store.compression.decoded_bytes", len(data), codec=stored_codec
         )
-        return np.cumsum(deltas, dtype=dtype)
-    raise FragmentError(f"unknown stored codec {stored_codec!r}")
+    cur = data
+    for stage in reversed(stored_codec.split("+")):
+        if stage == "zlib":
+            if isinstance(cur, np.ndarray):
+                raise FragmentError(
+                    f"malformed codec chain {stored_codec!r}: zlib after "
+                    "an array-producing stage"
+                )
+            try:
+                cur = zlib.decompress(cur)
+            except zlib.error as exc:
+                raise FragmentError(
+                    f"codec chain {stored_codec!r}: corrupt DEFLATE "
+                    f"payload: {exc}"
+                ) from exc
+        elif stage == "dbp":
+            cur = _dbp_decode(cur, dtype, count)
+        elif stage == "drle":
+            cur = _drle_decode(cur, dtype, count)
+        elif stage == "delta":
+            if not isinstance(cur, np.ndarray):
+                try:
+                    cur = np.frombuffer(cur, dtype=dtype, count=count)
+                except ValueError as exc:
+                    raise FragmentError(
+                        f"codec chain {stored_codec!r}: delta payload "
+                        f"truncated: {exc}"
+                    ) from exc
+            cur = np.cumsum(cur, dtype=dtype)
+        else:
+            raise FragmentError(f"unknown stored codec {stored_codec!r}")
+    if not isinstance(cur, np.ndarray):
+        try:
+            cur = np.frombuffer(cur, dtype=dtype, count=count)
+        except ValueError as exc:
+            raise FragmentError(
+                f"codec chain {stored_codec!r} payload truncated: {exc}"
+            ) from exc
+    if cur.size != count:
+        raise FragmentError(
+            f"codec chain {stored_codec!r} produced {cur.size} elements, "
+            f"header promises {count}"
+        )
+    return cur
+
+
+def codec_sizes(header: dict) -> tuple[dict[str, int], int]:
+    """Per-chain bytes-on-disk and total raw bytes from a fragment header.
+
+    Aggregates every index buffer entry plus the value buffer; the
+    source of the manifest's per-fragment ``codecs`` map and of
+    ``fsck``'s codec report.
+    """
+    on_disk: dict[str, int] = {}
+    raw_total = 0
+    for entry in header.get("buffers", []):
+        dtype = np.dtype(entry["dtype"])
+        count = int(math.prod(entry["shape"])) if entry["shape"] else 1
+        tag = entry.get("codec", RAW)
+        nbytes = int(entry.get("nbytes", count * dtype.itemsize))
+        on_disk[tag] = on_disk.get(tag, 0) + nbytes
+        raw_total += count * dtype.itemsize
+    if "value_dtype" in header:
+        vdtype = np.dtype(header["value_dtype"])
+        vcount = int(header.get("value_count", 0))
+        vtag = header.get("value_codec", RAW)
+        vbytes = int(header.get("value_nbytes", vcount * vdtype.itemsize))
+        on_disk[vtag] = on_disk.get(vtag, 0) + vbytes
+        raw_total += vcount * vdtype.itemsize
+    return on_disk, raw_total

@@ -400,6 +400,11 @@ class FsckReport:
     repaired: bool = False
     wal_segments: int = 0
     wal_bytes: int = 0
+    #: Bytes-on-disk per stored codec chain across verified-ok fragments
+    #: (live + retired), from each fragment's own header — so the codec
+    #: inventory in ``repro fsck --json`` reflects what is actually
+    #: decodable, not what the manifest claims.
+    codecs: dict[str, int] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -420,6 +425,11 @@ class FsckReport:
                 f"  wal: {self.wal_segments} segment(s), "
                 f"{self.wal_bytes} valid byte(s)"
             )
+        if self.codecs:
+            per_codec = ", ".join(
+                f"{tag}={nbytes}B" for tag, nbytes in sorted(self.codecs.items())
+            )
+            lines.append(f"  codecs: {per_codec}")
         for issue in self.issues:
             action = f" [{issue.repaired}]" if issue.repaired else ""
             lines.append(
@@ -436,6 +446,7 @@ class FsckReport:
             "repaired": self.repaired,
             "wal_segments": self.wal_segments,
             "wal_bytes": self.wal_bytes,
+            "codecs": dict(sorted(self.codecs.items())),
             "ok": list(self.ok),
             "issues": [
                 {
@@ -455,9 +466,15 @@ def _verify_fragment_file(
     """Full integrity check of one fragment file.
 
     Returns ``(header, None)`` when the file is sound, else
-    ``(None, reason)``.
+    ``(None, reason)``.  The whole-file CRC covers the *compressed*
+    bytes, so bit rot inside a compressed buffer is caught without
+    decoding; compressed buffers are additionally decoded here so that a
+    torn or mis-framed compressed section committed with a valid CRC
+    (e.g. a fault-injected torn write that happened to survive framing)
+    is still reported — and quarantined under ``--repair`` — instead of
+    failing at read time.
     """
-    from .serialization import unpack_header, verify_crc
+    from .serialization import unpack_fragment, unpack_header, verify_crc
 
     try:
         data = read_bytes(path)
@@ -480,7 +497,26 @@ def _verify_fragment_file(
         header, _ = unpack_header(data)
     except FragmentError as exc:
         return None, str(exc)
+    # Raw buffers are fully covered by the CRC + size checks above;
+    # compressed chains get one decode pass to prove they invert.
+    tags = {e.get("codec", "raw") for e in header.get("buffers", [])}
+    tags.add(header.get("value_codec", "raw"))
+    if tags - {"raw"}:
+        try:
+            unpack_fragment(data, check_crc=False)
+        except FragmentError as exc:
+            chains = ",".join(sorted(tags - {"raw"}))
+            return None, f"compressed buffer ({chains}) undecodable: {exc}"
     return header, None
+
+
+def _tally_codecs(report: FsckReport, header: dict[str, Any]) -> None:
+    """Fold one verified fragment's per-codec footprint into the report."""
+    from .compression import codec_sizes
+
+    on_disk, _ = codec_sizes(header)
+    for tag, nbytes in on_disk.items():
+        report.codecs[tag] = report.codecs.get(tag, 0) + nbytes
 
 
 def fsck(
@@ -559,6 +595,7 @@ def fsck(
         if reason is None:
             report.ok.append(name)
             surviving.append(dict(entry))
+            _tally_codecs(report, header)
         else:
             issue = FsckIssue("corrupt", name, reason)
             if repair:
@@ -589,6 +626,7 @@ def fsck(
         if reason is None:
             report.ok.append(name)
             surviving_retired.append(dict(entry))
+            _tally_codecs(report, header)
         else:
             issue = FsckIssue("retired", name, reason)
             if repair:
@@ -607,7 +645,10 @@ def fsck(
                 "extra", path.name, "valid fragment missing from manifest"
             )
             if repair:
+                from .compression import codec_sizes
+
                 data_len = path.stat().st_size
+                frag_codecs, frag_raw = codec_sizes(header)
                 recovered.append(
                     {
                         "file": path.name,
@@ -618,6 +659,8 @@ def fsck(
                         "bbox_size": list(header.get("bbox_size", [])),
                         "nbytes": int(data_len),
                         "crc": file_crc(read_bytes(path)),
+                        "codecs": frag_codecs,
+                        "raw_nbytes": frag_raw,
                     }
                 )
                 issue.repaired = "recovered"

@@ -31,6 +31,7 @@ from .durability import (
 
 if TYPE_CHECKING:  # annotation only — planner imports nothing from here
     from .planner import ZoneMap
+from .compression import codec_sizes
 from .serialization import (
     FragmentPayload,
     pack_fragment,
@@ -77,6 +78,14 @@ class FragmentInfo:
     means "no range metadata" — such a fragment is never pruned by the
     planner's zone stage.
 
+    ``codecs`` maps each stored codec chain tag to that chain's bytes on
+    disk within the fragment (index buffers plus the value buffer), and
+    ``raw_nbytes`` is what the same payload would occupy uncompressed —
+    recorded at commit time so ``repro stats --compression`` and
+    ``store.explain()`` report per-codec footprints without reading any
+    fragment file.  ``None`` for manifests predating the cascade layer;
+    backfilled lazily from fragment headers on demand.
+
     ``born`` / ``retired`` bound the fragment's *generation lifetime*:
     it is visible to manifest generation ``g`` iff ``born <= g`` and
     (``retired is None`` or ``g < retired``).  ``born`` is stamped at
@@ -97,6 +106,8 @@ class FragmentInfo:
     zone: "ZoneMap | None" = None
     born: int | None = None
     retired: int | None = None
+    codecs: dict[str, int] | None = None
+    raw_nbytes: int | None = None
 
     @classmethod
     def from_header(cls, path: Path, header: dict[str, Any]) -> "FragmentInfo":
@@ -105,6 +116,7 @@ class FragmentInfo:
         if not origin and header["shape"]:
             origin = tuple(0 for _ in header["shape"])
             size = tuple(int(m) for m in header["shape"])
+        codecs, raw_nbytes = codec_sizes(header)
         return cls(
             path=path,
             format_name=header["format"],
@@ -112,6 +124,8 @@ class FragmentInfo:
             nnz=int(header["nnz"]),
             bbox=Box(origin, size),
             nbytes=path.stat().st_size if path.exists() else 0,
+            codecs=codecs,
+            raw_nbytes=raw_nbytes,
         )
 
 
@@ -171,6 +185,7 @@ def write_fragment(
         sp.add_nnz(encoded.nnz)
         sp.add_bytes_out(len(blob))
     record_fragment_written(encoded.fmt.name, encoded.nbytes, len(blob))
+    codecs, raw_nbytes = codec_sizes(unpack_header(blob)[0])
     return FragmentInfo(
         path=path,
         format_name=encoded.fmt.name,
@@ -179,6 +194,8 @@ def write_fragment(
         bbox=bbox,
         nbytes=len(blob),
         crc=fragment_file_crc(blob),
+        codecs=codecs,
+        raw_nbytes=raw_nbytes,
     )
 
 

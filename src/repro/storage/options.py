@@ -95,9 +95,14 @@ class StoreOptions:
     fsync:
         fsync fragment and manifest commits (durability over latency).
     codec:
-        Fragment payload codec (``"raw"`` / ``"zlib"`` / ``"delta-zlib"``);
-        ``None`` adopts the codec recorded in an existing manifest and
-        defaults to ``"raw"`` for fresh stores.
+        Fragment payload codec (``"raw"`` / ``"zlib"`` / ``"delta-zlib"``
+        / ``"cascade"``).  ``"cascade"`` routes every buffer through the
+        codec advisor (delta → bit-pack / run-length → optional zlib,
+        cheapest chain per buffer — see ``docs/COMPRESSION.md``); the
+        chain actually applied is recorded per buffer on disk, so reads
+        never consult this option.  ``None`` adopts the codec recorded
+        in an existing manifest and defaults to ``"raw"`` for fresh
+        stores.
     on_corruption:
         Read-side policy for fragments failing their checksum:
         ``"raise"`` / ``"skip"`` / ``"quarantine"``.

@@ -284,6 +284,11 @@ class QueryPlan:
     ``store.fragments_pruned`` counter keeps exactly this meaning);
     ``pruned_zonemap`` counts fragments additionally dropped by
     zone-map address pruning, which only exists with the planner on.
+    ``codec_bytes`` maps stored codec chain tags to the bytes-on-disk
+    the visit list will touch per chain (filled by
+    ``FragmentStore.explain`` from the manifest's per-fragment codec
+    records) — pruned fragments contribute nothing, which is exactly
+    the "pruned fragments never decompress" guarantee made visible.
     """
 
     kind: str  # "points" | "box"
@@ -293,6 +298,7 @@ class QueryPlan:
     pruned_zonemap: int = 0
     used_index: bool = False
     used_zonemaps: bool = False
+    codec_bytes: dict[str, int] | None = None
 
     def summary(self) -> str:
         """Human-readable plan rendering (``FragmentStore.explain``)."""
@@ -313,6 +319,12 @@ class QueryPlan:
         if len(self.fragments) > 8:
             names += f", ... (+{len(self.fragments) - 8} more)"
         lines.append(f"  visit: {names or '(none)'}")
+        if self.codec_bytes:
+            per_codec = ", ".join(
+                f"{tag}={nbytes}B"
+                for tag, nbytes in sorted(self.codec_bytes.items())
+            )
+            lines.append(f"  codecs: {per_codec}")
         return "\n".join(lines)
 
 

@@ -100,11 +100,13 @@ def pack_fragment(
     """Serialize one fragment to bytes.
 
     ``codec`` selects the orthogonal compression layer applied to every
-    index buffer and the value buffer (``raw`` / ``zlib`` / ``delta-zlib``;
-    see :mod:`repro.storage.compression`).  The paper's size comparisons
+    index buffer and the value buffer (``raw`` / ``zlib`` / ``delta-zlib``
+    / ``cascade``; see :mod:`repro.storage.compression`).  The stored
+    per-buffer tag always records the chain *actually* applied, so decode
+    never consults store options.  The paper's size comparisons
     correspond to ``raw``.
     """
-    from .compression import ZLIB, encode_buffer, validate_codec
+    from .compression import CASCADE, ZLIB, encode_buffer, validate_codec
 
     validate_codec(codec)
     values = np.ascontiguousarray(values)
@@ -124,10 +126,16 @@ def pack_fragment(
                 blob,
             )
         )
-    # Values never use the delta transform (floats); zlib when compressing.
-    vblob, value_codec = encode_buffer(
-        values, "raw" if codec == "raw" else ZLIB
-    )
+    # Values never use the delta transform (floats): the cascade routes
+    # them through its zlib-if-smaller-else-raw path; the legacy zlib
+    # codecs keep their unconditional DEFLATE.
+    if codec == "raw":
+        value_request = "raw"
+    elif codec == CASCADE:
+        value_request = CASCADE
+    else:
+        value_request = ZLIB
+    vblob, value_codec = encode_buffer(values, value_request)
     header = {
         "format": format_name,
         "shape": [int(m) for m in shape],

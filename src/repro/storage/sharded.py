@@ -619,6 +619,30 @@ class ShardedStore:
                     totals[key] = totals.get(key, 0) + val
         return totals
 
+    def compression_stats(self) -> dict:
+        """Aggregate per-codec bytes-on-disk across shards (same shape as
+        :meth:`FragmentStore.compression_stats`)."""
+        by_codec: dict[str, int] = {}
+        fragments = file_nbytes = raw_nbytes = encoded_nbytes = 0
+        with self._rw.read_locked():
+            for i in range(len(self._entries)):
+                child = self._child(i).compression_stats()
+                fragments += child["fragments"]
+                file_nbytes += child["file_nbytes"]
+                raw_nbytes += child["raw_nbytes"]
+                encoded_nbytes += child["encoded_nbytes"]
+                for tag, nbytes in child["by_codec"].items():
+                    by_codec[tag] = by_codec.get(tag, 0) + nbytes
+        return {
+            "codec": self.options.codec or "raw",
+            "fragments": fragments,
+            "file_nbytes": file_nbytes,
+            "raw_nbytes": raw_nbytes,
+            "encoded_nbytes": encoded_nbytes,
+            "ratio": (raw_nbytes / encoded_nbytes) if encoded_nbytes else 1.0,
+            "by_codec": {tag: by_codec[tag] for tag in sorted(by_codec)},
+        }
+
     # ------------------------------------------------------------------
     # READ: parent-level pruning, per-shard fan-out
     # ------------------------------------------------------------------

@@ -97,6 +97,7 @@ from .durability import (
     remove_file,
     write_bytes_atomic,
 )
+from .compression import codec_sizes
 from .fragment import (
     FragmentInfo,
     load_fragment,
@@ -116,6 +117,7 @@ from .options import (
     resolve_store_options,
 )
 from .planner import QueryPlan, QueryPlanner, ZoneMap
+from .serialization import unpack_header
 from .readpath import (
     FragmentCache,
     RWLock,
@@ -355,6 +357,10 @@ class FragmentStore:
             # fragment has existed "since forever" and is never retired.
             born=int(e.get("born", 0)),
             retired=int(e["retired"]) if e.get("retired") is not None else None,
+            # Absent in pre-cascade manifests; backfilled on demand from
+            # the fragment header (compression_stats).
+            codecs=e.get("codecs"),
+            raw_nbytes=e.get("raw_nbytes"),
         )
 
     @staticmethod
@@ -373,6 +379,9 @@ class FragmentStore:
         }
         if f.retired is not None:
             entry["retired"] = f.retired
+        if f.codecs is not None:
+            entry["codecs"] = f.codecs
+            entry["raw_nbytes"] = f.raw_nbytes
         return entry
 
     def _save_manifest(self) -> None:
@@ -662,6 +671,10 @@ class FragmentStore:
             for item in packed:
                 path = self._next_fragment_path()
                 write_bytes_atomic(path, item.blob, fsync=self.fsync)
+                # Per-codec footprints come from the blob's own header
+                # (one small JSON parse), so parallel commits record the
+                # same manifest codec stats as sequential writes.
+                frag_codecs, frag_raw = codec_sizes(unpack_header(item.blob)[0])
                 info = FragmentInfo(
                     path=path,
                     format_name=self.format_name,
@@ -673,6 +686,8 @@ class FragmentStore:
                     # Workers compute zone stats next to their canonical
                     # sort and ship them as JSON (process-pool friendly).
                     zone=ZoneMap.from_json(item.zone),
+                    codecs=frag_codecs,
+                    raw_nbytes=frag_raw,
                 )
                 record_fragment_written(
                     self.format_name,
@@ -1139,19 +1154,83 @@ class FragmentStore:
         ``repro stats --plan``.
         """
         if isinstance(query, Box):
-            return self._plan_read(
+            plan = self._plan_read(
                 query, "box", address_range=self._box_address_range(query)
             )
+            plan.codec_bytes = self._aggregate_codecs(plan.fragments)
+            return plan
         query = as_index_array(query)
         if query.ndim != 2 or query.shape[1] != len(self.shape):
             raise ShapeError("query coords must be (q, d) matching the store")
         if query.shape[0] == 0:
             return QueryPlan(kind="points", total_fragments=len(self.fragments))
-        return self._plan_read(
+        plan = self._plan_read(
             extract_boundary(query),
             "points",
             sorted_addresses=self._query_addresses(query),
         )
+        plan.codec_bytes = self._aggregate_codecs(plan.fragments)
+        return plan
+
+    # -- compression accounting -----------------------------------------
+
+    def _frag_codecs(self, frag: FragmentInfo) -> dict[str, int] | None:
+        """The fragment's per-codec bytes-on-disk map, backfilled from the
+        fragment header for pre-cascade manifest entries (one small read;
+        cached on the info so each fragment pays it at most once)."""
+        if frag.codecs is None:
+            try:
+                info = read_fragment_header(frag.path)
+            except (FragmentError, OSError):
+                return None
+            frag.codecs = info.codecs
+            frag.raw_nbytes = info.raw_nbytes
+        return frag.codecs
+
+    def _aggregate_codecs(self, fragments) -> dict[str, int] | None:
+        totals: dict[str, int] = {}
+        for frag in fragments:
+            codecs = self._frag_codecs(frag)
+            if codecs:
+                for tag, nbytes in codecs.items():
+                    totals[tag] = totals.get(tag, 0) + int(nbytes)
+        return totals or None
+
+    def compression_stats(self) -> dict:
+        """Bytes-on-disk per stored codec chain across live fragments.
+
+        Returns ``{"codec": <store option>, "fragments": n,
+        "file_nbytes": total, "raw_nbytes": total-uncompressed,
+        "ratio": raw/encoded, "by_codec": {tag: {"nbytes", "raw_nbytes",
+        "buffers"?}}}`` — the data behind ``repro stats --compression``.
+        Per-codec raw bytes are only split out when every live fragment
+        records codec info (old manifests are backfilled lazily from
+        fragment headers, so this is the common case).
+        """
+        with self._state_lock:
+            fragments = list(self._fragments)
+        by_codec: dict[str, int] = {}
+        raw_total = 0
+        encoded_total = 0
+        for frag in fragments:
+            codecs = self._frag_codecs(frag)
+            if not codecs:
+                continue
+            for tag, nbytes in codecs.items():
+                by_codec[tag] = by_codec.get(tag, 0) + int(nbytes)
+                encoded_total += int(nbytes)
+            raw_total += int(frag.raw_nbytes or 0)
+        return {
+            "codec": self.codec,
+            "fragments": len(fragments),
+            "file_nbytes": self.total_file_nbytes,
+            "raw_nbytes": raw_total,
+            "encoded_nbytes": encoded_total,
+            "ratio": (raw_total / encoded_total) if encoded_total else 1.0,
+            "by_codec": {
+                tag: by_codec[tag] for tag in sorted(by_codec)
+            },
+        }
 
     # -- coordinate rebasing (relative fragments) -----------------------
 

@@ -431,6 +431,115 @@ class TestWalDifferential:
             )
 
 
+class TestCodecDifferential:
+    """The codec axis must be unobservable in reads.
+
+    Every format x {cascade, zlib} x WAL packed/unpacked x planner
+    on/off reads bit-identically to an uncompressed (raw) baseline
+    store fed the same chunk sequence.  Decode is driven by the tags
+    each fragment carries, so mixing codecs across fragments of one
+    store is also covered (the WAL tail is raw until packed).
+    """
+
+    @pytest.mark.parametrize("fmt_name", DIFF_FORMATS)
+    @pytest.mark.parametrize("codec", ["cascade", "zlib"])
+    @pytest.mark.parametrize("packed", [False, True])
+    def test_codec_reads_identical_to_raw(
+        self, tmp_path, fmt_name, codec, packed
+    ):
+        seed = 9000 + sum(map(ord, fmt_name + codec)) + int(packed)
+        label = f"{fmt_name}/{codec}/packed={packed}"
+        rng = np.random.default_rng(seed)
+        tensor = random_sparse_tensor(rng, max_points=48, max_side=6)
+        chunks = []
+        for _ in range(int(rng.integers(2, 5))):
+            chunk = random_sparse_tensor(
+                rng, tensor.shape, max_points=32,
+                dtype=str(tensor.values.dtype),
+            )
+            if chunk.nnz:
+                chunks.append(chunk.deduplicated(keep="last"))
+        if not chunks:
+            chunks.append(SparseTensor.from_points(
+                tensor.shape, [(0,) * len(tensor.shape)], [1.0]
+            ))
+
+        baseline = FragmentStore(
+            tmp_path / "raw", tensor.shape, fmt_name,
+            options=StoreOptions(codec="raw"),
+        )
+        coded = FragmentStore(
+            tmp_path / "coded", tensor.shape, fmt_name,
+            options=StoreOptions(codec=codec, wal_segment_bytes=256),
+        )
+        for chunk in chunks:
+            baseline.write(chunk.coords, chunk.values)
+            coded.append(chunk.coords, chunk.values)
+        if packed:
+            coded.pack_wal()
+
+        overlay = SparseTensor(
+            tensor.shape,
+            np.vstack([t.coords for t in chunks]),
+            np.concatenate([t.values for t in chunks]),
+        ).deduplicated(keep="last")
+        queries = random_queries(rng, overlay)
+        box = random_box(rng, overlay.shape)
+
+        want = baseline.read_points(queries)
+        want_box = baseline.read_box(box)
+        assert_points_match(want, overlay, queries, label)
+        for plan in (True, False):
+            reread = FragmentStore(
+                tmp_path / "coded", tensor.shape, fmt_name,
+                options=StoreOptions(
+                    codec=codec, wal_segment_bytes=256, planner=plan
+                ),
+            )
+            got = reread.read_points(queries)
+            np.testing.assert_array_equal(
+                got.found, want.found, err_msg=f"{label}/plan={plan}: found"
+            )
+            np.testing.assert_array_equal(
+                got.values, want.values,
+                err_msg=f"{label}/plan={plan}: values",
+            )
+            got_box = reread.read_box(box)
+            np.testing.assert_array_equal(
+                got_box.coords, want_box.coords,
+                err_msg=f"{label}/plan={plan}: box coords",
+            )
+            np.testing.assert_array_equal(
+                got_box.values, want_box.values,
+                err_msg=f"{label}/plan={plan}: box values",
+            )
+        stats = coded.compression_stats()
+        assert stats["codec"] == codec
+        assert stats["raw_nbytes"] >= stats["encoded_nbytes"]
+        if packed:  # unpacked stores hold everything in the WAL tail
+            assert stats["fragments"] > 0
+            assert stats["encoded_nbytes"] > 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_compact_preserves_codec_and_reads(self, tmp_path, seed):
+        """Compaction re-encodes under the store codec; reads stay
+        oracle-identical and old mixed-codec fragments disappear."""
+        fmt_name = DIFF_FORMATS[seed % len(DIFF_FORMATS)]
+        codec = ("cascade", "zlib")[seed % 2]
+        store, overlay, rng = TestStoreDifferential.build_store(
+            tmp_path, 400 + seed, fmt_name,
+            options=StoreOptions(codec=codec),
+        )
+        store.compact()
+        queries = random_queries(rng, overlay)
+        assert_points_match(
+            store.read_points(queries), overlay, queries,
+            f"{fmt_name}/{codec}/compacted",
+        )
+        assert len(store.fragments) == 1
+        assert store.fragments[0].codecs is not None
+
+
 class TestPlannerDifferential:
     """The query planner must be unobservable in results.
 

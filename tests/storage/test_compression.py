@@ -1,16 +1,39 @@
-"""Unit tests for the fragment compression layer."""
+"""Unit tests for the fragment compression layer.
+
+The cascade suite (``TestCascade*``) is property-style: seeded sweeps
+over dtypes and distributions, asserting bit-identical decode and
+advisor determinism rather than specific payload bytes.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.errors import FragmentError
-from repro.storage import FragmentStore, pack_fragment, unpack_fragment
+from repro.storage import (
+    FragmentStore,
+    StoreOptions,
+    pack_fragment,
+    unpack_fragment,
+)
 from repro.storage.compression import (
+    CASCADE,
     CODECS,
+    advise_buffer,
+    codec_sizes,
     decode_buffer,
     encode_buffer,
+    encode_cascade,
     validate_codec,
 )
+
+UINT_DTYPES = (np.uint8, np.uint16, np.uint32, np.uint64)
+
+
+def roundtrip(arr, codec):
+    """Encode + tag-driven decode; returns (decoded, stored_tag, nbytes)."""
+    blob, stored = encode_buffer(arr, codec)
+    back = decode_buffer(blob, stored, arr.dtype, arr.size)
+    return back.reshape(arr.shape), stored, len(blob)
 
 
 class TestCodecPrimitives:
@@ -137,3 +160,223 @@ class TestStoreCodec:
         r_raw = raw_store.write_tensor(tensor)
         r_zip = zip_store.write_tensor(tensor)
         assert r_zip.file_nbytes < r_raw.file_nbytes
+
+
+# ---------------------------------------------------------------------------
+# Cascaded codec property/fuzz suite
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_arrays(seed, dtype):
+    """Deterministic battery of arrays covering codec edge cases."""
+    rng = np.random.default_rng(seed)
+    info = np.iinfo(dtype)
+    hi = int(info.max)
+    out = [
+        np.empty(0, dtype=dtype),                      # empty
+        np.array([0], dtype=dtype),                    # single element
+        np.array([hi], dtype=dtype),                   # single max
+        np.zeros(257, dtype=dtype),                    # constant zero run
+        np.full(513, hi, dtype=dtype),                 # constant max run
+        np.arange(1000, dtype=np.uint64).astype(dtype),  # unit stride
+        (np.arange(500, dtype=np.uint64) * 7).astype(dtype),
+        rng.integers(0, hi, size=777, endpoint=True, dtype=dtype),  # noise
+        np.sort(rng.integers(0, hi, size=777, endpoint=True, dtype=dtype)),
+        # adversarial near-overflow deltas: max positive and max negative
+        # wraparound residuals back to back
+        np.array([0, hi, 0, hi, 1, hi - 1], dtype=dtype),
+        # descending (all-negative deltas -> full-width residuals)
+        np.arange(300, 0, -1, dtype=np.uint64).astype(dtype),
+        # sorted with one huge jump (max-bit-width residual amid small ones)
+        np.concatenate([
+            np.arange(100, dtype=np.uint64),
+            np.arange(100, dtype=np.uint64) + hi - 200,
+        ]).astype(dtype),
+    ]
+    return out
+
+
+class TestCascadeFuzz:
+    @pytest.mark.parametrize("dtype", UINT_DTYPES)
+    @pytest.mark.parametrize("seed", [0, 1, 12345])
+    def test_bit_identical_roundtrip_all_codecs(self, dtype, seed):
+        for arr in _fuzz_arrays(seed, dtype):
+            for codec in CODECS:
+                back, stored, _ = roundtrip(arr, codec)
+                assert back.dtype == arr.dtype, (codec, stored)
+                assert np.array_equal(back, arr), (codec, stored, arr[:8])
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_cascade_never_worse_than_raw(self, seed):
+        for dtype in UINT_DTYPES:
+            for arr in _fuzz_arrays(seed, dtype):
+                blob, chain, _advice = encode_cascade(arr)
+                # The hard guarantee: cascade output never exceeds raw bytes.
+                assert len(blob) <= arr.nbytes, (dtype, chain, arr[:8])
+
+    def test_cascade_shrinks_sorted_addresses(self, rng):
+        addr = np.cumsum(
+            rng.integers(1, 5, size=100_000, dtype=np.uint64)
+        ).astype(np.uint64)
+        blob, chain, _ = encode_cascade(addr)
+        assert chain.startswith(("dbp", "drle"))
+        assert len(blob) * 2 < addr.nbytes
+
+    def test_cascade_constant_stride_uses_rle(self):
+        addr = np.arange(0, 500_000, 10, dtype=np.uint64)
+        blob, chain, _ = encode_cascade(addr)
+        assert chain.startswith("drle")
+        assert len(blob) < 128  # one run collapses to a handful of bytes
+
+    def test_cascade_random_full_width_stays_raw(self, rng):
+        arr = rng.integers(0, 2**64 - 1, size=4096, endpoint=True,
+                           dtype=np.uint64)
+        blob, chain, _ = encode_cascade(arr)
+        assert chain == "raw"
+        assert len(blob) == arr.nbytes
+
+    def test_floats_and_2d_fall_back(self, rng):
+        for arr in (rng.standard_normal(64),
+                    rng.integers(0, 9, size=(8, 3), dtype=np.uint64)):
+            blob, stored = encode_buffer(arr, CASCADE)
+            assert stored in ("raw", "zlib")
+            back = decode_buffer(blob, stored, arr.dtype, arr.size)
+            assert np.array_equal(back.reshape(arr.shape), arr)
+
+
+class TestCodecAdvisor:
+    def test_advice_is_deterministic(self, rng):
+        arr = np.sort(rng.integers(0, 1 << 30, size=5000, dtype=np.uint64))
+        a = advise_buffer(arr)
+        b = advise_buffer(arr.copy())
+        assert a == b
+        blob1, chain1, _ = encode_cascade(arr)
+        blob2, chain2, _ = encode_cascade(arr.copy())
+        assert chain1 == chain2
+        assert blob1 == blob2
+
+    def test_candidate_sizes_are_exact(self, rng):
+        arr = np.sort(rng.integers(0, 1 << 20, size=3000, dtype=np.uint64))
+        advice = advise_buffer(arr)
+        assert advice.candidate_sizes["raw"] == arr.nbytes
+        blob, chain, _ = encode_cascade(arr)
+        pre_zlib = chain.split("+zlib")[0]
+        if pre_zlib in advice.candidate_sizes and "+zlib" not in chain:
+            assert len(blob) == advice.candidate_sizes[pre_zlib]
+
+    def test_advice_fields(self):
+        arr = np.arange(0, 1000, 2, dtype=np.uint64)
+        advice = advise_buffer(arr)
+        assert advice.n == arr.size
+        assert np.dtype(advice.dtype) == np.dtype(np.uint64)
+        assert 0.9 < advice.run_fraction <= 1.0  # constant stride = one run
+        assert advice.entropy_bits >= 0.0
+        assert sum(advice.width_hist.values()) > 0
+
+    def test_run_fraction_low_for_noise(self, rng):
+        arr = rng.integers(0, 2**32, size=4096, dtype=np.uint64)
+        advice = advise_buffer(arr)
+        assert advice.run_fraction < 0.2
+
+
+class TestChainTags:
+    """Stored tags are self-describing: decode never consults store options."""
+
+    @pytest.mark.parametrize("dtype", UINT_DTYPES)
+    def test_known_chains_decode(self, dtype, rng):
+        hi = int(np.iinfo(dtype).max)
+        samples = [
+            np.sort(rng.integers(0, hi, size=600, endpoint=True,
+                                 dtype=dtype)),
+            np.arange(0, 1200, 3, dtype=np.uint64).astype(dtype),
+            rng.integers(0, hi, size=600, endpoint=True, dtype=dtype),
+        ]
+        seen = set()
+        for arr in samples:
+            blob, chain, _ = encode_cascade(arr)
+            seen.add(chain)
+            back = decode_buffer(blob, chain, arr.dtype, arr.size)
+            assert np.array_equal(back, arr)
+        assert seen  # at least one chain exercised per dtype
+
+    def test_malformed_chain_rejected(self):
+        arr = np.arange(16, dtype=np.uint64)
+        blob, chain, _ = encode_cascade(arr)
+        with pytest.raises(FragmentError):
+            decode_buffer(blob, chain + "+bogus", arr.dtype, arr.size)
+
+    def test_truncated_payload_rejected(self, rng):
+        addr = np.sort(rng.integers(0, 1 << 30, size=2000, dtype=np.uint64))
+        blob, chain, _ = encode_cascade(addr)
+        assert chain != "raw"
+        with pytest.raises(FragmentError):
+            decode_buffer(blob[: len(blob) // 2], chain, addr.dtype,
+                          addr.size)
+
+    def test_wrong_count_rejected(self, rng):
+        addr = np.sort(rng.integers(0, 1 << 30, size=2000, dtype=np.uint64))
+        blob, chain, _ = encode_cascade(addr)
+        with pytest.raises(FragmentError):
+            decode_buffer(blob, chain, addr.dtype, addr.size + 1)
+
+
+class TestTagDrivenReads:
+    """Satellite: stored tag wins over store options (regression for the
+    silent delta-zlib fallback)."""
+
+    def test_fallback_tag_records_truth(self, rng):
+        # 2-D buffer under delta-zlib silently fell back to zlib; the tag
+        # must say so.
+        arr = rng.integers(0, 99, size=(64, 3), dtype=np.uint64)
+        _, stored = encode_buffer(arr, "delta-zlib")
+        assert stored == "zlib"
+
+    def test_fragment_read_ignores_store_codec(self, tmp_path, rng):
+        """Write fragments as cascade, reopen with codec='raw': old
+        fragments must still decode via their own tags."""
+        addr = np.cumsum(
+            rng.integers(1, 8, size=4096, dtype=np.uint64)
+        ).astype(np.uint64)
+        shape = (1 << 20,)
+        store = FragmentStore(
+            tmp_path / "s", shape, "LINEAR",
+            options=StoreOptions(codec=CASCADE),
+        )
+        coords = addr.reshape(-1, 1)
+        vals = rng.standard_normal(addr.size)
+        from repro.core.tensor import SparseTensor
+
+        tensor = SparseTensor(coords=coords, values=vals, shape=shape)
+        store.write_tensor(tensor)
+        stats = store.compression_stats()
+        assert any(tag.startswith(("dbp", "drle"))
+                   for tag in stats["by_codec"])
+
+        reopened = FragmentStore(
+            tmp_path / "s", shape, "LINEAR",
+            options=StoreOptions(codec="raw"),
+        )
+        out = reopened.read_points(coords)
+        assert out.found.all()
+        assert np.array_equal(out.values, vals)
+        # New fragments under the reopened store are raw-tagged while the
+        # old cascade fragments stay readable side by side.
+        tensor2 = SparseTensor(
+            coords=coords + 1, values=vals * 2, shape=shape
+        )
+        reopened.write_tensor(tensor2)
+        out2 = reopened.read_points(coords + 1)
+        assert np.array_equal(out2.values, vals * 2)
+
+    def test_codec_sizes_matches_blob(self, rng):
+        addr = np.sort(rng.integers(0, 1 << 20, size=2048, dtype=np.uint64))
+        blob = pack_fragment(
+            "LINEAR", (1 << 20,), addr.size, {}, {"addresses": addr},
+            np.ones(addr.size), codec=CASCADE,
+        )
+        from repro.storage import unpack_header
+
+        header, _ = unpack_header(blob)
+        by_codec, raw_total = codec_sizes(header)
+        assert raw_total == addr.nbytes + addr.size * 8
+        assert sum(by_codec.values()) <= raw_total

@@ -17,7 +17,10 @@ Currently recorded:
 * ``sharded_store`` (``benchmarks/bench_sharded.py``) — hot-region
   reads and parallel compaction across shard counts;
 * ``wal_ingest`` (``benchmarks/bench_wal_ingest.py``) — small-chunk
-  ingest via WAL append + pack vs synchronous per-chunk writes.
+  ingest via WAL append + pack vs synchronous per-chunk writes;
+* ``compression`` (``benchmarks/bench_compression_cascade.py``) —
+  cascaded codec bytes-on-disk vs read time across TSP/GSP/MSP
+  patterns; headline is the sorted-TSP address-buffer reduction.
 
 The speedup floors are asserted exactly as in the standalone runs, so a
 CI invocation fails loudly on a real regression — wire it as a
@@ -147,11 +150,24 @@ def run_wal_ingest(smoke: bool) -> dict:
     return {**result, "floor": floor}
 
 
+def run_compression(smoke: bool) -> dict:
+    bench = load_bench("bench_compression_cascade")
+    if smoke:
+        result = bench.bench_compression(side=256, n_queries=2_000)
+        floor = bench.MIN_SIZE_REDUCTION_SMOKE
+    else:
+        result = bench.bench_compression()
+        floor = bench.MIN_SIZE_REDUCTION
+    bench.assert_reduction_ok(result, floor)
+    return {**result, "floor": floor}
+
+
 BENCHES = {
     "read_planner": run_read_planner,
     "parallel_read": run_parallel_read,
     "sharded_store": run_sharded_store,
     "wal_ingest": run_wal_ingest,
+    "compression": run_compression,
 }
 
 
@@ -183,11 +199,16 @@ def main(argv: list[str]) -> int:
         path = append_record(args.out_dir, name, metrics)
         headline = next(
             metrics[k] for k in
-            ("point_speedup", "ingest_speedup", "speedup")
+            ("point_speedup", "ingest_speedup", "speedup",
+             "size_reduction")
             if k in metrics
         )
+        try:
+            shown = path.relative_to(REPO)
+        except ValueError:  # --out-dir outside the repo
+            shown = path
         print(f"{name}: {headline:.2f}x (floor {metrics['floor']}x) "
-              f"-> {path.relative_to(REPO)}")
+              f"-> {shown}")
     return 1 if failed else 0
 
 
