@@ -1,0 +1,257 @@
+"""Microbench: direct payload→payload conversion kernels vs canonical.
+
+The format-migration registry (:mod:`repro.storage.migrate`) converts
+hot ``(src, dst)`` pairs by transcribing the payload buffers directly —
+a linearize, a pointer expansion, or a divmod + bincount — instead of
+the canonical path's payload → ``CanonicalCoords`` → rebuild.  Both
+paths produce byte-identical payloads (asserted here, buffer by
+buffer); the direct path just skips the intermediate's allocation,
+validation, and re-derivation work.
+
+Two scenarios:
+
+``bench_direct_kernels``
+    Every registered kernel pair at ``n_points`` nnz, best-of-``reps``
+    for both legs.  The PR-facing claim, asserted standalone and in the
+    tier-1 smoke (``tests/bench/test_migration.py``): each of the
+    ``HEADLINE_PAIRS`` converts at least ``MIN_SPEEDUP``x faster than
+    the canonical path at 1M nnz.  The headline ``speedup`` is the
+    *minimum* over those pairs — the weakest hot kernel carries the
+    claim.
+
+``bench_adaptive_shift``
+    The closed loop: an :class:`~repro.storage.AdaptiveStore` writes
+    fragments under an archival workload (the advisor picks LINEAR),
+    then serves a burst of selective point reads; the workload ledger
+    records the shift and the ``migrate="compact"`` sweep re-formats
+    the fragments during ``compact()``.  Asserts a migration actually
+    happened and that reads are bit-identical across it.
+
+Runs standalone (``python benchmarks/bench_migration.py``) and in the
+tier-1 suite at smoke sizes/floors.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.advisor import ARCHIVAL
+from repro.build.canonical import CanonicalCoords
+from repro.core.tensor import SparseTensor
+from repro.formats.registry import get_format, resolve_format
+from repro.storage import (
+    AdaptiveStore,
+    MigrationPolicy,
+    StoreOptions,
+    direct_convert,
+    registered_pairs,
+)
+
+#: The PR-facing claim: each of these pairs converts at least
+#: MIN_SPEEDUP x faster than the canonical path at 1M nnz.
+HEADLINE_PAIRS = (
+    ("LINEAR", "GCSR++"),
+    ("GCSR++", "LINEAR"),
+    ("COO-SORTED", "CSF"),
+    ("CSF", "COO-SORTED"),
+)
+MIN_SPEEDUP = 2.0
+#: Tier-1 smoke floor (much smaller payloads, shared-CI jitter).
+MIN_SPEEDUP_SMOKE = 1.25
+
+#: Ascending extents keep CSF's dimension permutation the identity, so
+#: the CSF kernels fire rather than falling back.
+SHAPE = (512, 512, 512)
+
+
+def make_tensor(shape, n_points: int, seed: int = 0) -> SparseTensor:
+    """``n_points`` unique random points in canonical order."""
+    rng = np.random.default_rng(seed)
+    total = int(np.prod(shape))
+    addr = np.sort(
+        rng.choice(total, size=n_points, replace=False)
+    ).astype(np.uint64)
+    coords = np.stack(np.unravel_index(addr, shape), axis=1).astype(np.uint64)
+    return SparseTensor(shape, coords, rng.standard_normal(n_points))
+
+
+def canonical_convert(enc, fmt):
+    """The pre-registry conversion: payload → canonical run → payload."""
+    fmt = resolve_format(fmt)
+    addresses, order = enc.fmt.extract_addresses(
+        enc.payload, enc.meta, enc.shape
+    )
+    canon = CanonicalCoords.from_addresses(
+        addresses, enc.shape, is_sorted=True
+    )
+    values = enc.values if order is None else enc.values[order]
+    return fmt.encode_canonical(canon, values)
+
+
+def _assert_identical(got, want, pair) -> None:
+    assert set(got.payload) == set(want.payload), pair
+    for key in want.payload:
+        g, w = np.asarray(got.payload[key]), np.asarray(want.payload[key])
+        assert g.dtype == w.dtype and np.array_equal(g, w), (pair, key)
+    assert np.array_equal(got.values, want.values), pair
+
+
+def bench_direct_kernels(
+    n_points: int = 1_000_000,
+    shape=SHAPE,
+    reps: int = 5,
+) -> dict:
+    """Time every registered kernel pair against the canonical path.
+
+    Best-of-``reps`` per leg (conversion is compute, not I/O — the
+    minimum is the least-noisy estimator on shared CI).  Byte-identity
+    is asserted on every pair before its timing counts.
+    """
+    was_enabled = obs.is_enabled()
+    obs.disable()
+    try:
+        tensor = make_tensor(shape, n_points)
+        encoded = {
+            name: get_format(name).encode(tensor)
+            for name in {src for src, _ in registered_pairs()}
+        }
+        pairs = {}
+        for src, dst in registered_pairs():
+            enc = encoded[src]
+            direct = direct_convert(enc, dst)
+            assert direct is not None, f"kernel refused {(src, dst)}"
+            _assert_identical(direct, canonical_convert(enc, dst), (src, dst))
+            t_canon = min(
+                _timed(canonical_convert, enc, dst) for _ in range(reps)
+            )
+            t_direct = min(
+                _timed(direct_convert, enc, dst) for _ in range(reps)
+            )
+            pairs[f"{src}->{dst}"] = {
+                "canonical_seconds": t_canon,
+                "direct_seconds": t_direct,
+                "speedup": t_canon / t_direct,
+            }
+        headline = min(
+            pairs[f"{src}->{dst}"]["speedup"] for src, dst in HEADLINE_PAIRS
+        )
+        return {
+            "n_points": n_points,
+            "pairs": pairs,
+            "headline_pairs": [f"{s}->{d}" for s, d in HEADLINE_PAIRS],
+            "speedup": headline,
+        }
+    finally:
+        if was_enabled:
+            obs.enable()
+
+
+def _timed(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def bench_adaptive_shift(
+    n_points: int = 200_000,
+    shape=(128, 128, 128),
+    n_read_bursts: int = 8,
+) -> dict:
+    """Workload shift → ledger → migration during ``compact()``.
+
+    Returns the fragment formats before/after and the sweep time; the
+    assertion half (``assert_adaptive_ok``) requires that at least one
+    fragment actually migrated and reads stayed bit-identical.
+    """
+    tmp = Path(tempfile.mkdtemp(prefix="bench-migration-"))
+    was_enabled = obs.is_enabled()
+    obs.disable()
+    try:
+        tensor = make_tensor(shape, n_points, seed=3)
+        store = AdaptiveStore(
+            tmp, shape,
+            workload=ARCHIVAL,
+            policy=MigrationPolicy(min_reads=2, hysteresis=0.0),
+            options=StoreOptions(migrate="compact"),
+        )
+        half = tensor.nnz // 2
+        store.write(tensor.coords[:half], tensor.values[:half])
+        store.write(tensor.coords[half:], tensor.values[half:])
+        formats_before = dict(store.format_histogram())
+
+        rng = np.random.default_rng(5)
+        sample = tensor.coords[
+            rng.choice(tensor.nnz, size=min(2000, tensor.nnz), replace=False)
+        ]
+        before = store.read_points(sample)
+        for _ in range(n_read_bursts):
+            idx = rng.choice(tensor.nnz, size=200, replace=False)
+            store.read_points(tensor.coords[idx])
+
+        t0 = time.perf_counter()
+        store.compact()  # migrate="compact" runs the sweep afterwards
+        sweep_seconds = time.perf_counter() - t0
+        formats_after = dict(store.format_histogram())
+        after = store.read_points(sample)
+        reads_identical = bool(
+            before.found.all() and after.found.all()
+            and np.array_equal(before.values, after.values)
+        )
+        return {
+            "n_points": n_points,
+            "formats_before": formats_before,
+            "formats_after": formats_after,
+            "migrated": formats_before != formats_after,
+            "reads_identical": reads_identical,
+            "sweep_seconds": sweep_seconds,
+        }
+    finally:
+        if was_enabled:
+            obs.enable()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def assert_speedup_ok(metrics: dict, floor: float) -> None:
+    for name in metrics["headline_pairs"]:
+        speedup = metrics["pairs"][name]["speedup"]
+        assert speedup >= floor, (
+            f"direct kernel {name} only {speedup:.2f}x faster than the "
+            f"canonical path at {metrics['n_points']:,} nnz (floor {floor}x)"
+        )
+
+
+def assert_adaptive_ok(metrics: dict) -> None:
+    assert metrics["migrated"], (
+        f"no migration after the workload shift: formats stayed "
+        f"{metrics['formats_before']}"
+    )
+    assert metrics["reads_identical"], "migration changed read results"
+
+
+def main() -> None:
+    result = bench_direct_kernels()
+    print(f"direct conversion kernels at {result['n_points']:,} nnz:")
+    for name, row in sorted(result["pairs"].items()):
+        star = " *" if name in result["headline_pairs"] else ""
+        print(f"  {name:<24s} canonical {row['canonical_seconds']*1e3:7.1f} ms"
+              f"  direct {row['direct_seconds']*1e3:7.1f} ms"
+              f"  {row['speedup']:5.2f}x{star}")
+    print(f"  headline (min over *): {result['speedup']:.2f}x")
+    assert_speedup_ok(result, MIN_SPEEDUP)
+
+    shift = bench_adaptive_shift()
+    print(f"adaptive workload shift at {shift['n_points']:,} nnz: "
+          f"{shift['formats_before']} -> {shift['formats_after']} "
+          f"(sweep {shift['sweep_seconds']*1e3:.0f} ms)")
+    assert_adaptive_ok(shift)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

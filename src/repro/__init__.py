@@ -74,6 +74,8 @@ from .storage import (
     FragmentCache,
     FragmentStore,
     FsckReport,
+    MigrationDecision,
+    MigrationPolicy,
     ReadOptions,
     RetryPolicy,
     ShardedStore,
@@ -81,7 +83,10 @@ from .storage import (
     StoreSnapshot,
     StreamingWriter,
     convert_store,
+    direct_convert,
     fsck,
+    register_kernel,
+    registered_pairs,
 )
 
 __version__ = "1.0.0"
@@ -138,11 +143,16 @@ __all__ = [
     "FragmentCache",
     "FragmentStore",
     "FsckReport",
+    "MigrationDecision",
+    "MigrationPolicy",
     "ReadOptions",
     "RetryPolicy",
     "ShardedStore",
     "StoreOptions",
     "StoreSnapshot",
+    "direct_convert",
     "fsck",
+    "register_kernel",
+    "registered_pairs",
     "__version__",
 ]

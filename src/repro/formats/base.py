@@ -396,10 +396,15 @@ class EncodedTensor:
     def convert(self, fmt) -> "EncodedTensor":
         """Re-encode this payload in another organization.
 
-        Goes payload -> canonical -> payload: the source format emits its
-        points as a sorted linear-address run
-        (:meth:`SparseFormat.extract_addresses`), the target builds from
-        that :class:`~repro.build.canonical.CanonicalCoords` — no
+        Dispatches through the direct-conversion kernel registry first
+        (:mod:`repro.storage.migrate`): hot pairs transcribe
+        payload→payload with vectorized ops and zero re-sorting,
+        producing byte-identical output to the canonical path below.
+
+        The canonical fallback goes payload -> canonical -> payload:
+        the source format emits its points as a sorted linear-address
+        run (:meth:`SparseFormat.extract_addresses`), the target builds
+        from that :class:`~repro.build.canonical.CanonicalCoords` — no
         :class:`SparseTensor` is materialized, the sort is never repaid
         (the run is already ordered), and address-only targets (LINEAR)
         never even delinearize.  Points come back in canonical (linear
@@ -409,9 +414,13 @@ class EncodedTensor:
         """
         from ..build.canonical import CanonicalCoords
         from ..core.dtypes import fits_index_dtype
+        from ..storage.migrate import direct_convert
         from .registry import resolve_format
 
         fmt = resolve_format(fmt)
+        direct = direct_convert(self, fmt)
+        if direct is not None:
+            return direct
         with span("format.convert", format=fmt.name) as sp:
             if fits_index_dtype(self.shape):
                 addresses, order = self.fmt.extract_addresses(

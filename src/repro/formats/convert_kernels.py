@@ -1,0 +1,367 @@
+"""Direct payload→payload conversion kernels (format migration fast paths).
+
+Chou et al. (*Automatic Generation of Efficient Sparse Tensor Format
+Conversion Routines*) observe that the hot format pairs admit direct
+conversion that never re-sorts: every payload this codebase builds
+canonically already stores its points in ascending row-major
+linear-address order, so converting between two such layouts is a pure
+structural transcription — linearize, delinearize, divmod, or a pointer
+expansion — with **zero comparison sorts** and no
+:class:`~repro.build.canonical.CanonicalCoords` intermediate.
+
+Each kernel here is one directed ``(src_format, dst_format)`` pair.  The
+contract (enforced by ``TestMigrationDifferential``):
+
+* Input: the source fragment's payload buffers, its meta dict, and the
+  (local) tensor shape.
+* Output: ``(payload, meta, value_order)`` — **byte-identical** to what
+  the canonical path (``extract_addresses`` → ``CanonicalCoords`` →
+  ``build_canonical``) produces for the same fragment, including buffer
+  dtypes and meta contents.  ``value_order is None`` means the stored
+  value buffer carries over unchanged (no gather, no copy).
+* A kernel that cannot guarantee byte-identity for a particular payload
+  (points not in ascending address order, a non-identity CSF dimension
+  permutation, an empty payload, a non-linearizable shape) returns
+  ``None`` and the caller falls back to the canonical path — direct
+  kernels are an optimization, never a semantic fork.
+
+The registry that dispatches these lives in
+:mod:`repro.storage.migrate`; see ``docs/FORMAT_MIGRATION.md`` for the
+full pair table and the measured speedups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.dtypes import INDEX_DTYPE, as_index_array, fits_index_dtype
+from ..core.linearize import delinearize, fold_shape_2d, linearize
+from ..core.sorting import counts_to_pointer, stable_argsort
+from .csf import CSFFormat, sort_dimensions
+
+#: A direct kernel: ``(payload, meta, shape) -> (payload, meta,
+#: value_order) | None``.  ``None`` = precondition failed, use the
+#: canonical fallback.
+Kernel = Callable[
+    [Mapping[str, np.ndarray], Mapping[str, Any], Sequence[int]],
+    "tuple[dict[str, np.ndarray], dict[str, Any], np.ndarray | None] | None",
+]
+
+
+def _is_ascending(addresses: np.ndarray) -> bool:
+    """True when the address vector is already in canonical order."""
+    if addresses.shape[0] < 2:
+        return True
+    return bool(np.all(addresses[1:] >= addresses[:-1]))
+
+
+# ----------------------------------------------------------------------
+# Source-side address extraction (sortedness is checked, never created)
+# ----------------------------------------------------------------------
+
+
+def _coo_sorted_addresses(payload, shape) -> np.ndarray | None:
+    """COO-SORTED stores address-ordered coordinates: one linearize."""
+    coords = payload.get("coords")
+    if coords is None or coords.shape[0] == 0:
+        return None
+    return linearize(as_index_array(coords), shape, validate=False)
+
+
+def _linear_addresses(payload, shape) -> np.ndarray | None:
+    """LINEAR's buffer *is* the address vector — but only canonically
+    built payloads are ascending; unsorted ones fall back."""
+    addresses = payload.get("addresses")
+    if addresses is None or addresses.shape[0] == 0:
+        return None
+    addresses = as_index_array(addresses)
+    if not _is_ascending(addresses):
+        return None
+    return addresses
+
+
+def _csr_like_addresses(payload, meta, *, ptr_name, ind_name, min_dim_as):
+    """Global addresses recovered from a GCSR++/GCSC++ structure.
+
+    The fold preserves the global row-major address, so it comes back as
+    ``row * n_cols + col`` over the folded 2D shape — one pointer
+    expansion plus one fused multiply-add, no per-dimension unfold.
+    Returns the vector in *stored* order (row-grouped for GCSR++,
+    column-grouped for GCSC++).
+    """
+    indptr = payload.get(ptr_name)
+    indices = payload.get(ind_name)
+    shape2d = tuple(int(v) for v in meta.get("shape2d", ()))
+    if indptr is None or indices is None or len(shape2d) != 2:
+        return None
+    if indices.shape[0] == 0:
+        return None
+    counts = np.diff(indptr.astype(np.int64))
+    n_compressed = indptr.shape[0] - 1
+    compressed = np.repeat(np.arange(n_compressed, dtype=np.uint64), counts)
+    n_cols = np.uint64(shape2d[1])
+    if min_dim_as == "rows":
+        return compressed * n_cols + as_index_array(indices)
+    return as_index_array(indices) * n_cols + compressed
+
+
+def _csf_sorted_coords(payload, meta, shape) -> np.ndarray | None:
+    """Identity-permutation CSF decodes straight to address-ordered coords."""
+    d = len(shape)
+    dim_perm = [int(p) for p in meta.get("dim_perm", range(d))]
+    if dim_perm != list(range(d)):
+        return None
+    nfibs = payload.get("nfibs")
+    if nfibs is None or nfibs.shape[0] == 0 or int(nfibs[-1]) == 0:
+        return None
+    return CSFFormat().decode(payload, meta, shape)
+
+
+# ----------------------------------------------------------------------
+# Target-side assembly from an ascending address run
+# ----------------------------------------------------------------------
+
+
+def _emit_linear(addresses):
+    return {"addresses": addresses}, {}, None
+
+
+def _emit_coo_sorted(addresses, shape):
+    coords = delinearize(addresses, shape, validate=False)
+    return {"coords": coords}, {"sorted_by": "linear"}, None
+
+
+def _emit_csr_like(addresses, shape, *, min_dim_as, ptr_name, ind_name):
+    """CSR/CSC packaging of an ascending address run.
+
+    GCSR++ (``min_dim_as="rows"``): ascending addresses fold to
+    non-decreasing rows, so ``csr_pack``'s stable sort is the identity —
+    the pointer array is one bincount and the values carry over with no
+    gather (``value_order=None``).
+
+    GCSC++ (``min_dim_as="cols"``): the column key is scattered, so the
+    stable sort is repaid — using the **same uint16 radix cast**
+    ``csr_pack`` applies, which guarantees the identical permutation
+    (stable sorts of the same key order coincide) and therefore
+    byte-identical buffers.
+    """
+    shape2d = fold_shape_2d(shape, min_dim_as=min_dim_as)
+    n_cols = np.uint64(shape2d[1])
+    rows, cols = np.divmod(addresses, n_cols)
+    if min_dim_as == "rows":
+        comp, other = rows, cols
+        n_compressed = shape2d[0]
+        value_order = None
+    else:
+        comp, other = cols, rows
+        n_compressed = shape2d[1]
+        sort_key = comp
+        if n_compressed <= np.iinfo(np.uint16).max:
+            sort_key = comp.astype(np.uint16, copy=False)
+        value_order = stable_argsort(sort_key)
+        comp = comp[value_order]
+        other = other[value_order]
+    counts = np.bincount(comp.astype(np.int64), minlength=int(n_compressed))
+    if counts.shape[0] > n_compressed:
+        return None  # address out of range; let the canonical path raise
+    payload = {
+        ptr_name: counts_to_pointer(counts),
+        ind_name: other.astype(INDEX_DTYPE, copy=False),
+    }
+    return payload, {"shape2d": list(shape2d)}, value_order
+
+
+def _emit_csf(sorted_coords, shape):
+    """Identity-permutation CSF tree from address-ordered coordinates.
+
+    Ascending linear-address order *is* lexicographic order for the
+    identity dimension permutation, so the coordinates feed
+    :meth:`CSFFormat._assemble_tree` directly — no lexsort, no gather.
+    """
+    dim_perm, sorted_shape = sort_dimensions(shape)
+    if list(dim_perm) != list(range(len(shape))):
+        return None
+    payload = CSFFormat._assemble_tree(as_index_array(sorted_coords))
+    meta = {
+        "dim_perm": [int(p) for p in dim_perm],
+        "sorted_shape": [int(m) for m in sorted_shape],
+    }
+    return payload, meta, None
+
+
+# ----------------------------------------------------------------------
+# The directed kernels
+# ----------------------------------------------------------------------
+
+
+def _kernel(extract_addresses, emit):
+    """Compose an address extractor with a target emitter."""
+
+    def run(payload, meta, shape):
+        if not fits_index_dtype(shape):
+            return None
+        addresses = extract_addresses(payload, meta, shape)
+        if addresses is None:
+            return None
+        return emit(addresses, shape)
+
+    return run
+
+
+def _src_coo(payload, meta, shape):
+    return _coo_sorted_addresses(payload, shape)
+
+
+def _src_linear(payload, meta, shape):
+    return _linear_addresses(payload, shape)
+
+
+def _src_gcsr(payload, meta, shape):
+    addresses = _csr_like_addresses(
+        payload, meta,
+        ptr_name="row_ptr", ind_name="col_ind", min_dim_as="rows",
+    )
+    # Row-grouped order is globally ascending only when each row's
+    # columns are ascending — true for canonically built payloads.
+    if addresses is None or not _is_ascending(addresses):
+        return None
+    return addresses
+
+
+def _emit_gcsr(addresses, shape):
+    return _emit_csr_like(
+        addresses, shape,
+        min_dim_as="rows", ptr_name="row_ptr", ind_name="col_ind",
+    )
+
+
+def _emit_gcsc(addresses, shape):
+    return _emit_csr_like(
+        addresses, shape,
+        min_dim_as="cols", ptr_name="col_ptr", ind_name="row_ind",
+    )
+
+
+def _gcsc_to_run(payload, meta, shape):
+    """GCSC++ source: column-grouped addresses need one stable argsort.
+
+    This is the one source whose stored order is not the canonical
+    order; the argsort runs over per-column ascending runs (gallop
+    -friendly), and the kernel still skips the fallback's delinearize /
+    bounding-box / zone-map recomputation.
+    """
+    addresses = _csr_like_addresses(
+        payload, meta,
+        ptr_name="col_ptr", ind_name="row_ind", min_dim_as="cols",
+    )
+    if addresses is None:
+        return None
+    order = stable_argsort(addresses)
+    return addresses[order], order
+
+
+def _kernel_from_gcsc(emit):
+    def run(payload, meta, shape):
+        if not fits_index_dtype(shape):
+            return None
+        run_or_none = _gcsc_to_run(payload, meta, shape)
+        if run_or_none is None:
+            return None
+        addresses, order = run_or_none
+        result = emit(addresses, shape)
+        if result is None:
+            return None
+        out_payload, out_meta, value_order = result
+        if value_order is None:
+            value_order = order
+        else:
+            value_order = order[value_order]
+        return out_payload, out_meta, value_order
+
+    return run
+
+
+def _coo_to_csf(payload, meta, shape):
+    if not fits_index_dtype(shape):
+        return None
+    coords = payload.get("coords")
+    if coords is None or coords.shape[0] == 0:
+        return None
+    # The stored coordinates are already in ascending address order; the
+    # tree is assembled from them verbatim (no linearize round trip).
+    return _emit_csf(coords, shape)
+
+
+def _linear_to_csf(payload, meta, shape):
+    if not fits_index_dtype(shape):
+        return None
+    addresses = _linear_addresses(payload, shape)
+    if addresses is None:
+        return None
+    coords = delinearize(addresses, shape, validate=False)
+    return _emit_csf(coords, shape)
+
+
+def _csf_to_coo(payload, meta, shape):
+    if not fits_index_dtype(shape):
+        return None
+    coords = _csf_sorted_coords(payload, meta, shape)
+    if coords is None:
+        return None
+    return {"coords": coords}, {"sorted_by": "linear"}, None
+
+
+def _csf_to_linear(payload, meta, shape):
+    if not fits_index_dtype(shape):
+        return None
+    coords = _csf_sorted_coords(payload, meta, shape)
+    if coords is None:
+        return None
+    return _emit_linear(linearize(coords, shape, validate=False))
+
+
+def _csf_kernel(emit):
+    def run(payload, meta, shape):
+        if not fits_index_dtype(shape):
+            return None
+        coords = _csf_sorted_coords(payload, meta, shape)
+        if coords is None:
+            return None
+        return emit(linearize(coords, shape, validate=False), shape)
+
+    return run
+
+
+#: Every registered directed pair.  Keys are registry format names.
+KERNELS: dict[tuple[str, str], Kernel] = {
+    # COO-SORTED ↔ LINEAR: one linearize / one delinearize.
+    ("COO-SORTED", "LINEAR"): _kernel(
+        _src_coo, lambda a, s: _emit_linear(a)
+    ),
+    ("LINEAR", "COO-SORTED"): _kernel(_src_linear, _emit_coo_sorted),
+    # COO-SORTED / LINEAR → GCSR++: divmod + bincount, sort-free.
+    ("COO-SORTED", "GCSR++"): _kernel(_src_coo, _emit_gcsr),
+    ("LINEAR", "GCSR++"): _kernel(_src_linear, _emit_gcsr),
+    # COO-SORTED / LINEAR → GCSC++: divmod + the format's own radix sort.
+    ("COO-SORTED", "GCSC++"): _kernel(_src_coo, _emit_gcsc),
+    ("LINEAR", "GCSC++"): _kernel(_src_linear, _emit_gcsc),
+    # GCSR++ → COO-SORTED / LINEAR: pointer expansion, sort-free.
+    ("GCSR++", "LINEAR"): _kernel(
+        _src_gcsr, lambda a, s: _emit_linear(a)
+    ),
+    ("GCSR++", "COO-SORTED"): _kernel(_src_gcsr, _emit_coo_sorted),
+    # GCSC++ → COO-SORTED / LINEAR: pointer expansion + one argsort.
+    ("GCSC++", "LINEAR"): _kernel_from_gcsc(
+        lambda a, s: _emit_linear(a)
+    ),
+    ("GCSC++", "COO-SORTED"): _kernel_from_gcsc(_emit_coo_sorted),
+    # COO-SORTED / LINEAR ↔ identity-permutation CSF.
+    ("COO-SORTED", "CSF"): _coo_to_csf,
+    ("LINEAR", "CSF"): _linear_to_csf,
+    ("CSF", "COO-SORTED"): _csf_to_coo,
+    ("CSF", "LINEAR"): _csf_to_linear,
+    ("CSF", "GCSR++"): _csf_kernel(_emit_gcsr),
+    ("CSF", "GCSC++"): _csf_kernel(_emit_gcsc),
+}

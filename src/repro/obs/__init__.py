@@ -64,6 +64,18 @@ truncated during replay), ``store.wal.pack_runs``,
 files removed by :meth:`~repro.storage.store.FragmentStore.gc`), and
 the ``store.wal.bytes`` gauge (live log footprint).  ``repro stats
 --wal`` prints a WAL section from these plus ``store.wal_stats()``.
+
+Format migration (:mod:`repro.storage.migrate`) records
+``migrate.direct`` / ``migrate.fallback`` (conversions served by a
+direct payload→payload kernel vs the canonical rebuild, labelled
+``src``/``dst``), ``store.migrate.fragments`` (fragments re-formatted
+in place), and ``store.migrate.noop`` (migrations skipped because the
+fragment already had the target format).  The *workload ledger*
+(:mod:`repro.obs.workload`) is this layer's per-fragment counterpart:
+per-fragment read/write counts, point-vs-box mix, query selectivity and
+load time, persisted beside the store manifest as ``workload.json`` and
+consumed by the online migration policy.  ``repro stats --store DIR
+--migration`` prints both.
 """
 
 from .metrics import (
@@ -86,8 +98,12 @@ from .metrics import (
     to_json,
 )
 from .spans import NULL_SPAN, Span, span
+from .workload import LEDGER_VERSION, FragmentWorkload, WorkloadLedger
 
 __all__ = [
+    "LEDGER_VERSION",
+    "FragmentWorkload",
+    "WorkloadLedger",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",

@@ -94,6 +94,13 @@ class FragmentInfo:
     set when compaction or WAL packing supersedes it.  Retired
     fragments live in the manifest's ``"retired"`` list until
     retention/GC deletes them (see ``docs/WAL_SNAPSHOTS.md``).
+
+    ``seq`` is the fragment's *logical* write sequence, used to order
+    fragments for newest-wins reads.  ``None`` (every manifest before
+    format migration existed) means "use the number in the file name";
+    format migration writes the replacement under a fresh file name but
+    pins ``seq`` to the replaced fragment's slot, so the re-formatted
+    points keep their original position in the shadowing order.
     """
 
     path: Path
@@ -108,6 +115,16 @@ class FragmentInfo:
     retired: int | None = None
     codecs: dict[str, int] | None = None
     raw_nbytes: int | None = None
+    seq: int | None = None
+
+    def effective_seq(self) -> int:
+        """The logical write sequence (explicit ``seq`` or the file name's)."""
+        if self.seq is not None:
+            return int(self.seq)
+        import re
+
+        m = re.search(r"frag-(\d+)", self.path.name)
+        return int(m.group(1)) if m else 0
 
     @classmethod
     def from_header(cls, path: Path, header: dict[str, Any]) -> "FragmentInfo":

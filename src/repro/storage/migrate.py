@@ -1,0 +1,319 @@
+"""Format-migration engine: direct-kernel dispatch and the online policy.
+
+Two halves, mirroring the paper's conclusion ("characterize, score,
+migrate"):
+
+**Dispatch** — a ``(src_format, dst_format) → kernel`` registry over the
+direct payload→payload kernels of
+:mod:`repro.formats.convert_kernels`.  ``EncodedTensor.convert`` and
+:func:`repro.storage.convert.convert_store` route every conversion
+through :func:`direct_convert` first; a registered kernel transcribes
+the payload with vectorized numpy ops and **zero re-sorting**, an
+unregistered pair (or a payload failing a kernel's preconditions) falls
+back to the canonical path transparently.  Counters:
+``migrate.direct`` / ``migrate.fallback`` (labelled ``src``/``dst``).
+
+**Policy** — :class:`MigrationPolicy` applies the paper's Table IV
+scoring (:func:`repro.analysis.advisor.recommend`) *online*, per
+fragment, against the observed :class:`~repro.obs.workload.
+FragmentWorkload`: a fragment is re-formatted only when the projected
+combined cost of the best candidate beats the current format's by more
+than a hysteresis margin and the fragment has seen enough reads for the
+observation to mean something.  :class:`~repro.storage.adaptive.
+AdaptiveStore` runs the sweep during ``compact()`` / ``pack_wal()``
+(``StoreOptions(migrate="compact")``) or opportunistically after reads
+(``migrate="auto"``).
+
+See ``docs/FORMAT_MIGRATION.md`` for the kernel table, the ledger
+schema, and the crash matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..formats.convert_kernels import KERNELS, Kernel
+from ..formats.registry import get_format
+from ..obs import counter_add, span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.advisor import Recommendation, Workload
+    from ..formats.base import EncodedTensor
+    from ..obs.workload import FragmentWorkload
+
+#: The live registry; seeded with every kernel the formats layer ships.
+_KERNELS: dict[tuple[str, str], Kernel] = dict(KERNELS)
+
+
+def register_kernel(src: str, dst: str, kernel: Kernel) -> None:
+    """Register (or override) the direct kernel for a directed pair.
+
+    Names are resolved through the format registry, so aliases and
+    case-insensitive spellings land on the canonical pair key.
+    """
+    _KERNELS[(get_format(src).name, get_format(dst).name)] = kernel
+
+
+def get_kernel(src: str, dst: str) -> Kernel | None:
+    """The registered kernel for ``(src, dst)``, or ``None``."""
+    return _KERNELS.get((src, dst))
+
+
+def registered_pairs() -> tuple[tuple[str, str], ...]:
+    """Every directed pair with a registered kernel, sorted."""
+    return tuple(sorted(_KERNELS))
+
+
+def direct_convert(encoded: "EncodedTensor", fmt) -> "EncodedTensor | None":
+    """Convert via a registered direct kernel, or ``None`` to fall back.
+
+    The returned tensor is byte-identical (payload buffers, dtypes,
+    meta, value alignment) to what the canonical path produces for the
+    same input — kernels that cannot guarantee that return ``None``
+    themselves.  Charges ``migrate.direct`` on a kernel hit and
+    ``migrate.fallback`` on a miss, labelled with the pair.
+    """
+    from ..formats.base import EncodedTensor
+    from ..formats.registry import resolve_format
+
+    fmt = resolve_format(fmt)
+    kernel = _KERNELS.get((encoded.fmt.name, fmt.name))
+    result = None
+    if kernel is not None:
+        result = kernel(encoded.payload, encoded.meta, encoded.shape)
+    if result is None:
+        counter_add(
+            "migrate.fallback", src=encoded.fmt.name, dst=fmt.name
+        )
+        return None
+    counter_add("migrate.direct", src=encoded.fmt.name, dst=fmt.name)
+    payload, meta, value_order = result
+    values = (
+        encoded.values if value_order is None
+        else encoded.values[value_order]
+    )
+    return EncodedTensor(
+        fmt=fmt,
+        shape=tuple(encoded.shape),
+        nnz=encoded.nnz,
+        payload=dict(payload),
+        meta=dict(meta),
+        values=values,
+    )
+
+
+# ----------------------------------------------------------------------
+# Online migration policy (Table IV scoring over observed workloads)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """When is re-formatting a fragment worth it?
+
+    Attributes
+    ----------
+    min_reads:
+        A fragment must have served at least this many read operations
+        before its observed workload is trusted (cold fragments keep
+        their write-time format).
+    hysteresis:
+        Relative combined-cost margin the best candidate must clear:
+        migrate only when ``best.combined < (1 - hysteresis) *
+        current.combined``.  Damps oscillation between near-tied
+        formats.
+    direct_only:
+        Restrict candidate targets to pairs with a registered direct
+        kernel (so a policy-driven sweep never pays a canonical-path
+        rebuild).  ``False`` considers every candidate format.
+    max_fragment_nnz:
+        Skip fragments larger than this many points (0 = no limit);
+        a guard for latency-sensitive ``migrate="auto"`` sweeps.
+    """
+
+    min_reads: int = 4
+    hysteresis: float = 0.1
+    direct_only: bool = True
+    max_fragment_nnz: int = 0
+
+    def __post_init__(self) -> None:
+        if int(self.min_reads) < 0:
+            raise ValueError("min_reads must be >= 0")
+        if not 0.0 <= float(self.hysteresis) < 1.0:
+            raise ValueError("hysteresis must be in [0, 1)")
+        if int(self.max_fragment_nnz) < 0:
+            raise ValueError("max_fragment_nnz must be >= 0")
+
+    def replace(self, **changes: Any) -> "MigrationPolicy":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """One fragment's verdict from :func:`plan_migrations`."""
+
+    index: int
+    current_format: str
+    target_format: str | None  #: ``None`` = keep the current format.
+    reason: str
+    current_cost: float = 0.0
+    target_cost: float = 0.0
+
+    @property
+    def migrate(self) -> bool:
+        return self.target_format is not None
+
+
+def observed_workload(
+    base: "Workload", stats: "FragmentWorkload"
+) -> "Workload":
+    """Specialize the store's base workload with a fragment's ledger entry.
+
+    The advisor's :class:`~repro.analysis.advisor.Workload` carries two
+    observable ratios — ``reads_per_write`` and ``queries_per_read`` —
+    alongside the user-stated weights.  The weights are kept (they
+    encode intent the ledger cannot see); the ratios are replaced with
+    what the fragment actually served.
+    """
+    reads = stats.reads
+    writes = max(stats.writes, 1)
+    changes: dict[str, Any] = {}
+    if reads:
+        changes["reads_per_write"] = max(reads / writes, 1e-6)
+    if stats.point_reads:
+        changes["queries_per_read"] = max(
+            stats.points_queried / stats.point_reads, 1.0
+        )
+    return dataclasses.replace(base, **changes) if changes else base
+
+
+def score_fragment(
+    stats_or_tensor,
+    workload: "Workload",
+    *,
+    candidates: Iterable[str] | None = None,
+) -> "Recommendation":
+    """Table IV scoring of one fragment under an observed workload."""
+    from ..analysis.advisor import PAPER_FORMATS, recommend
+
+    formats = tuple(candidates) if candidates is not None else PAPER_FORMATS
+    return recommend(stats_or_tensor, workload, formats=formats)
+
+
+def decide(
+    index: int,
+    current_format: str,
+    recommendation: "Recommendation",
+    stats: "FragmentWorkload",
+    policy: MigrationPolicy,
+) -> MigrationDecision:
+    """Apply the policy gates to a scored fragment."""
+    ranked = {p.format_name: p for p in recommendation.ranked}
+    current = ranked.get(current_format)
+    best = recommendation.ranked[0]
+    if stats.reads < policy.min_reads:
+        return MigrationDecision(
+            index, current_format, None,
+            f"cold: {stats.reads} reads < min_reads={policy.min_reads}",
+        )
+    if current is None:
+        # Current format was not among the candidates — treat the best
+        # candidate as an unconditional win (it was chosen by the user's
+        # candidate list, the incumbent wasn't).
+        if policy.direct_only and get_kernel(
+            current_format, best.format_name
+        ) is None:
+            return MigrationDecision(
+                index, current_format, None,
+                f"no direct kernel {current_format}->{best.format_name}",
+            )
+        return MigrationDecision(
+            index, current_format, best.format_name,
+            "current format not in candidate set",
+            target_cost=best.combined,
+        )
+    if policy.direct_only:
+        reachable = [
+            p for p in recommendation.ranked
+            if p.format_name == current_format
+            or get_kernel(current_format, p.format_name) is not None
+        ]
+        if not reachable:
+            return MigrationDecision(
+                index, current_format, None, "no direct kernel to any candidate",
+                current_cost=current.combined,
+            )
+        best = reachable[0]
+    if best.format_name == current_format:
+        return MigrationDecision(
+            index, current_format, None, "already best",
+            current_cost=current.combined, target_cost=best.combined,
+        )
+    threshold = (1.0 - policy.hysteresis) * current.combined
+    if best.combined >= threshold:
+        return MigrationDecision(
+            index, current_format, None,
+            f"within hysteresis ({best.combined:.4f} >= "
+            f"{threshold:.4f})",
+            current_cost=current.combined, target_cost=best.combined,
+        )
+    return MigrationDecision(
+        index, current_format, best.format_name,
+        f"{best.combined:.4f} < {threshold:.4f} "
+        f"(hysteresis {policy.hysteresis:g})",
+        current_cost=current.combined, target_cost=best.combined,
+    )
+
+
+def plan_migrations(
+    store,
+    *,
+    workload: "Workload",
+    policy: MigrationPolicy | None = None,
+    candidates: Iterable[str] | None = None,
+) -> list[MigrationDecision]:
+    """Score every live fragment of ``store`` and return the verdicts.
+
+    Pure planning — nothing is migrated; feed the positive decisions to
+    ``store.migrate_fragment``.  Fragments without a ledger entry (never
+    read since the ledger began) are reported as cold.
+    """
+    from ..obs.workload import FragmentWorkload
+    from ..patterns.stats import characterize
+
+    policy = policy or MigrationPolicy()
+    ledger = getattr(store, "workload_ledger", None)
+    decisions: list[MigrationDecision] = []
+    with span("store.migrate.plan"):
+        for i, frag in enumerate(store.fragments):
+            stats = None
+            if ledger is not None:
+                stats = ledger.get(frag.path.name)
+            if stats is None:
+                stats = FragmentWorkload()
+            if stats.reads < policy.min_reads:
+                decisions.append(MigrationDecision(
+                    i, frag.format_name, None,
+                    f"cold: {stats.reads} reads < "
+                    f"min_reads={policy.min_reads}",
+                ))
+                continue
+            if policy.max_fragment_nnz and frag.nnz > policy.max_fragment_nnz:
+                decisions.append(MigrationDecision(
+                    i, frag.format_name, None,
+                    f"nnz {frag.nnz} > max_fragment_nnz="
+                    f"{policy.max_fragment_nnz}",
+                ))
+                continue
+            tensor = store.decode_fragment(i)
+            pattern = characterize(tensor)
+            rec = score_fragment(
+                pattern, observed_workload(workload, stats),
+                candidates=candidates,
+            )
+            decisions.append(
+                decide(i, frag.format_name, rec, stats, policy)
+            )
+    return decisions

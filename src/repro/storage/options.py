@@ -52,6 +52,14 @@ CORRUPTION_POLICIES = ("raise", "skip", "quarantine")
 #: re-hash on later loads of the same committed bytes.
 CRC_MODES = ("eager", "once")
 
+#: Workload-adaptive format-migration policies (``StoreOptions.migrate``).
+#: ``"off"`` never re-formats committed fragments; ``"compact"`` runs the
+#: migration sweep after ``compact()`` / ``pack_wal()``; ``"auto"``
+#: additionally sweeps opportunistically after reads.  Honored by
+#: :class:`~repro.storage.adaptive.AdaptiveStore` (plain stores accept
+#: the option but only migrate when asked explicitly).
+MIGRATE_POLICIES = ("off", "compact", "auto")
+
 
 class _Unset:
     """Sentinel distinguishing "keyword not passed" from an explicit value."""
@@ -134,6 +142,15 @@ class StoreOptions:
         time-travel; ``0`` deletes superseded fragments immediately
         (unless a live snapshot pins them).  ``store.gc()`` trims the
         retained set back to this depth.
+    migrate:
+        Workload-adaptive format migration, one of
+        :data:`MIGRATE_POLICIES` (``"off"`` / ``"compact"`` /
+        ``"auto"``).  With ``"compact"``, :class:`~repro.storage.
+        adaptive.AdaptiveStore` re-scores every fragment against its
+        observed workload after ``compact()`` / ``pack_wal()`` and
+        re-formats the winners through the direct-conversion kernels;
+        ``"auto"`` additionally sweeps opportunistically after reads.
+        See ``docs/FORMAT_MIGRATION.md``.
     """
 
     relative_coords: bool = False
@@ -149,6 +166,7 @@ class StoreOptions:
     wal_fsync: bool | None = None
     wal_pack_interval: float | None = None
     retain_generations: int = 0
+    migrate: str = "off"
 
     def __post_init__(self) -> None:
         if self.on_corruption not in CORRUPTION_POLICIES:
@@ -168,6 +186,11 @@ class StoreOptions:
             raise ValueError("wal_pack_interval must be None or > 0")
         if int(self.retain_generations) < 0:
             raise ValueError("retain_generations must be >= 0")
+        if self.migrate not in MIGRATE_POLICIES:
+            raise ValueError(
+                f"migrate must be one of {MIGRATE_POLICIES}, "
+                f"got {self.migrate!r}"
+            )
 
     def replace(self, **changes: Any) -> "StoreOptions":
         """A copy with ``changes`` applied (:func:`dataclasses.replace`)."""

@@ -91,6 +91,7 @@ from .options import (
     resolve_read_options,
     resolve_store_options,
 )
+from .fragment import FragmentInfo
 from .planner import QueryPlan, QueryPlanner, ZoneMap
 from .readpath import RWLock
 from .store import FragmentStore, WriteReceipt
@@ -876,6 +877,30 @@ class ShardedStore:
                         counter_add("store.shard.compactions")
                     self._save_parent_manifest()
         return receipts
+
+    def migrate_all(self, format_name: str) -> list[FragmentInfo]:
+        """Re-format every fragment of every shard to ``format_name``.
+
+        Delegates to each child's
+        :meth:`~repro.storage.store.FragmentStore.migrate_all` (direct
+        payload→payload kernels when registered, canonical fallback
+        otherwise), then refreshes the parent-level shard stats once.
+        Like :meth:`compact`, each child commits independently — a crash
+        mid-sweep leaves a mixed-format store that reads bit-identically.
+        """
+        out: list[FragmentInfo] = []
+        with self._rw.write_locked():
+            touched = []
+            for i in range(len(self._entries)):
+                migrated = self._child(i).migrate_all(format_name)
+                if migrated:
+                    out.extend(migrated)
+                    touched.append(i)
+            for i in touched:
+                self._refresh_entry(i)
+            if touched:
+                self._save_parent_manifest()
+        return out
 
     def _refresh_entry(self, i: int) -> None:
         """Recompute one shard's parent-level stats from its fragments."""

@@ -82,6 +82,7 @@ from ..core.tensor import SparseTensor
 from ..formats.base import EncodedTensor, SparseFormat
 from ..formats.registry import get_format, resolve_format
 from ..obs import counter_add, observe, span
+from ..obs.workload import WorkloadLedger
 from ..readapi import ReadOutcome
 from .durability import (
     MANIFEST_NAME as _MANIFEST,
@@ -132,6 +133,10 @@ from .wal import TailRun, WriteAheadLog, build_tail_run, merge_chunks, wal_path
 MANIFEST_VERSION = 2
 
 _FRAG_RE = re.compile(r"frag-(\d+)\.bin$")
+
+#: Per-fragment workload ledger file, beside the manifest (advisory —
+#: drives the migration policy, never consulted by reads).
+WORKLOAD_LEDGER_NAME = "workload.json"
 
 
 @dataclass
@@ -270,6 +275,11 @@ class FragmentStore:
         self._fragments: list[FragmentInfo] = []
         self._load_manifest()
         self._next_seq = self._scan_next_seq()
+        #: Observed per-fragment workload (advisory; feeds the migration
+        #: policy).  Loaded best-effort: a damaged ledger resets to empty.
+        self.workload_ledger = WorkloadLedger.load(
+            self.directory / WORKLOAD_LEDGER_NAME
+        )
         if self._linearizable and wal_path(self.directory).is_dir():
             with self._rw.write_locked():
                 self._ensure_wal_locked()
@@ -361,6 +371,9 @@ class FragmentStore:
             # the fragment header (compression_stats).
             codecs=e.get("codecs"),
             raw_nbytes=e.get("raw_nbytes"),
+            # Absent unless migration rewrote the fragment in place:
+            # the shadowing order falls back to the file-name number.
+            seq=int(e["seq"]) if e.get("seq") is not None else None,
         )
 
     @staticmethod
@@ -382,6 +395,8 @@ class FragmentStore:
         if f.codecs is not None:
             entry["codecs"] = f.codecs
             entry["raw_nbytes"] = f.raw_nbytes
+        if f.seq is not None:
+            entry["seq"] = f.seq
         return entry
 
     def _save_manifest(self) -> None:
@@ -624,6 +639,7 @@ class FragmentStore:
         with self._state_lock:
             self._fragments.append(info)
         self._save_manifest()
+        self.workload_ledger.record_write(info.path.name)
         return WriteReceipt(
             info=info,
             index_nbytes=result.index_nbytes(),
@@ -698,6 +714,8 @@ class FragmentStore:
                     self._fragments.append(info)
                 infos.append(info)
             self._save_manifest()
+            for info in infos:
+                self.workload_ledger.record_write(info.path.name)
         return infos
 
     def write_tensor(self, tensor: SparseTensor) -> WriteReceipt:
@@ -826,6 +844,7 @@ class FragmentStore:
                 self._tail_cache = None
             sp.add_nnz(merged.canonical.n)
         counter_add("store.wal.pack_runs")
+        self._save_workload_ledger()
         return receipt
 
     def _packer_loop(self) -> None:  # pragma: no cover - timing-dependent
@@ -865,6 +884,27 @@ class FragmentStore:
             self._packer_stop.set()
             thread.join(timeout=30.0)
             self._packer_thread = None
+        self._save_workload_ledger()
+
+    def _save_workload_ledger(self) -> None:
+        """Persist the workload ledger beside the manifest (best-effort).
+
+        Called at durable points (pack / compact / migrate / close),
+        never per read.  The ledger is advisory: an I/O failure here is
+        swallowed — losing observations must not fail the operation that
+        triggered the save.
+        """
+        ledger = self.workload_ledger
+        if not ledger.dirty:
+            return
+        with self._state_lock:
+            keep = {f.path.name for f in self._fragments}
+            keep.update(f.path.name for f in self._retired)
+        ledger.prune(keep)
+        try:
+            ledger.save(self.directory / WORKLOAD_LEDGER_NAME)
+        except OSError:  # pragma: no cover - advisory persistence
+            pass
 
     def __enter__(self) -> "FragmentStore":
         return self
@@ -920,10 +960,11 @@ class FragmentStore:
                     if (f.born or 0) <= generation
                     and (f.retired is None or generation < f.retired)
                 ]
-                # Fragment file names are monotone in commit order, so
-                # name order restores the newest-wins fragment order the
-                # manifest had at that generation.
-                frags.sort(key=lambda f: f.path.name)
+                # The logical write sequence is monotone in commit order
+                # (format migration renames a fragment's file but pins
+                # its ``seq``), so it restores the newest-wins fragment
+                # order the manifest had at that generation.
+                frags.sort(key=lambda f: (f.effective_seq(), f.path.name))
                 token = self._pin_counter
                 self._pin_counter += 1
                 self._pins[token] = frozenset(f.path.name for f in frags)
@@ -1293,10 +1334,14 @@ class FragmentStore:
                 frag.path, check_crc=effective_crc, lazy=self.lazy_load
             )
 
+        t0 = time.perf_counter()
         if self.retry is not None:
             payload = self.retry.run(attempt, op="fragment.load")
         else:
             payload = attempt()
+        self.workload_ledger.record_load(
+            frag.path.name, time.perf_counter() - t0
+        )
         if check_crc and self.crc_mode == "once":
             self._crc_verified.add(frag.path.name)
         self.cache.put(frag.path.name, payload)
@@ -1479,6 +1524,11 @@ class FragmentStore:
                     idx = np.flatnonzero(mask)[res.found]
                     found[idx] = True
                     out_values[idx] = vals
+                    self.workload_ledger.record_point_read(
+                        _frag.path.name,
+                        queried=int(mask.sum()),
+                        matched=int(res.found.sum()),
+                    )
                 # WAL tail overlay: the unpacked tail is newer than every
                 # committed fragment, so its hits overwrite — exactly as
                 # if the tail were one final appended fragment.
@@ -1714,7 +1764,11 @@ class FragmentStore:
                 except OSError:
                     pass
             sp.add_nnz(merged.canonical.n)
+        self.workload_ledger.merge_into(
+            [f.path.name for f in merged_from], receipt.info.path.name
+        )
         counter_add("store.fragments_compacted", n_before)
+        self._save_workload_ledger()
         return receipt
 
     def _compact_decode_locked(self) -> WriteReceipt:
@@ -1752,8 +1806,117 @@ class FragmentStore:
                 except OSError:
                     pass
             sp.add_nnz(merged.nnz)
+        self.workload_ledger.merge_into(
+            [f.path.name for f in merged_from], receipt.info.path.name
+        )
         counter_add("store.fragments_compacted", n_before)
+        self._save_workload_ledger()
         return receipt
+
+    def migrate_fragment(
+        self, index: int, format_name: str | SparseFormat
+    ) -> FragmentInfo | None:
+        """Re-format one committed fragment in place (same points, new
+        organization).
+
+        Loads the fragment's payload and converts it through
+        :meth:`~repro.formats.base.EncodedTensor.convert` — which
+        dispatches to a registered direct kernel when the pair has one
+        (:mod:`repro.storage.migrate`) and falls back to the canonical
+        path otherwise — then commits the replacement under a fresh file
+        name.  The bounding box and zone map carry over unchanged (the
+        point set is identical; they describe the data, not the layout)
+        and the replacement pins the old fragment's logical ``seq``, so
+        the newest-wins shadowing order — including for generation
+        snapshots — is preserved.
+
+        Crash safety follows the store's standard protocol: the new file
+        lands atomically first, the manifest commit is the single switch
+        point, and the old file is retired (retention rules apply) only
+        after that commit.  A crash anywhere leaves the store reading
+        either the old or the new format, never a mix and never a loss.
+
+        Returns the new :class:`FragmentInfo`, or ``None`` when the
+        fragment already has the target format (or was skipped by the
+        corruption policy).
+        """
+        with self._rw.write_locked():
+            return self._migrate_fragment_locked(index, format_name)
+
+    def _migrate_fragment_locked(
+        self, index: int, format_name: str | SparseFormat
+    ) -> FragmentInfo | None:
+        fmt = resolve_format(format_name)
+        with self._state_lock:
+            frag = self._fragments[index]
+        if frag.format_name == fmt.name:
+            counter_add("store.migrate.noop", format=fmt.name)
+            return None
+        payload = self._load_fragment_guarded(frag)
+        if payload is None:
+            return None
+        with span(
+            "store.migrate", src=frag.format_name, dst=fmt.name
+        ) as sp:
+            encoded = EncodedTensor(
+                fmt=get_format(payload.format_name),
+                shape=tuple(int(m) for m in payload.shape),
+                nnz=int(payload.nnz),
+                payload=dict(payload.buffers),
+                meta=dict(payload.meta),
+                values=np.asarray(payload.values),
+            )
+            converted = encoded.convert(fmt)
+            path = self._next_fragment_path()
+            info = write_fragment(
+                path,
+                converted,
+                bbox=frag.bbox,
+                extra=dict(payload.extra),
+                fsync=self.fsync,
+                codec=self.codec,
+            )
+            # Same point set, so the range metadata carries over; the
+            # logical sequence pins the replacement to the old slot in
+            # the newest-wins order.
+            info.zone = frag.zone
+            info.seq = frag.effective_seq()
+            sp.add_nnz(converted.nnz)
+            sp.add_bytes_out(info.nbytes)
+        with self._state_lock:
+            self._fragments[index] = info
+            doomed = self._retire_locked([frag])
+        self._save_manifest()
+        # Manifest-then-delete, as everywhere: a crash before this point
+        # leaves the old file retired/unreferenced, never missing data.
+        for f in doomed:
+            try:
+                remove_file(f.path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self.workload_ledger.carry_over(frag.path.name, info.path.name)
+        counter_add(
+            "store.migrate.fragments", src=frag.format_name, dst=fmt.name
+        )
+        self._save_workload_ledger()
+        return info
+
+    def migrate_all(
+        self, format_name: str | SparseFormat
+    ) -> list[FragmentInfo]:
+        """Re-format every live fragment to ``format_name``.
+
+        Each fragment migrates (and commits) independently — a crash
+        mid-way leaves a mixed-format store that reads bit-identically.
+        Returns the replacement infos (fragments already in the target
+        format are skipped).
+        """
+        out: list[FragmentInfo] = []
+        for i in range(len(self.fragments)):
+            info = self.migrate_fragment(i, format_name)
+            if info is not None:
+                out.append(info)
+        return out
 
     def fsck(self, *, repair: bool = False) -> FsckReport:
         """Verify (and with ``repair=True`` restore) store integrity.
@@ -1849,6 +2012,9 @@ class FragmentStore:
                     coords, values = result
                     all_coords.append(coords)
                     all_values.append(values)
+                    self.workload_ledger.record_box_read(
+                        _frag.path.name, matched=int(values.shape[0])
+                    )
                 # WAL tail overlay, appended last: the final keep-last
                 # dedup below then gives the tail's points the same
                 # newest-wins priority an appended fragment would have.

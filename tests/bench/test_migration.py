@@ -1,0 +1,45 @@
+"""Tier-1 smoke hook for the format-migration microbench (assert-only).
+
+Imports ``benchmarks/bench_migration.py`` by path and asserts the
+direct-kernel speedups at a laxer floor than the standalone run, plus
+the adaptive workload-shift loop (ledger → policy → migration during
+``compact()``).  A regression that loses a hot kernel's advantage, its
+byte-identity (verified inside the bench before timing), or the
+adaptive sweep fails the regular suite, not just the benchmark run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_BENCH = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks" / "bench_migration.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_migration", _BENCH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_direct_kernel_speedup_smoke():
+    bench = _load_bench()
+    result = bench.bench_direct_kernels(
+        n_points=150_000, shape=(256, 256, 256), reps=5
+    )
+    bench.assert_speedup_ok(result, bench.MIN_SPEEDUP_SMOKE)
+    # Every registered pair was exercised and verified byte-identical.
+    assert len(result["pairs"]) == 16
+
+
+def test_adaptive_workload_shift_smoke():
+    bench = _load_bench()
+    result = bench.bench_adaptive_shift(
+        n_points=30_000, shape=(64, 64, 64), n_read_bursts=8
+    )
+    bench.assert_adaptive_ok(result)
+    assert "LINEAR" in result["formats_before"]

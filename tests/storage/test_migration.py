@@ -1,0 +1,483 @@
+"""Workload-adaptive format migration: kernels, policy, ledger, stores.
+
+The heart of the suite is :class:`TestMigrationDifferential`: every
+registered direct-conversion kernel must produce **byte-identical**
+payloads to the canonical (extract_addresses → CanonicalCoords → build)
+path, and every store-level migration must read **bit-identically**
+before and after — across codecs, planner settings, and store kinds
+(including :class:`~repro.storage.sharded.ShardedStore`).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.advisor import ARCHIVAL, BALANCED
+from repro.build.canonical import CanonicalCoords
+from repro.core import Box, SparseTensor
+from repro.formats.registry import get_format, resolve_format
+from repro.obs.workload import FragmentWorkload, WorkloadLedger
+from repro.storage import (
+    AdaptiveStore,
+    FragmentStore,
+    MigrationPolicy,
+    ShardedStore,
+    StoreOptions,
+    convert_store,
+    direct_convert,
+    get_kernel,
+    registered_pairs,
+)
+from repro.storage.store import WORKLOAD_LEDGER_NAME
+
+#: Shapes whose CSF dimension permutation is identity (ascending extents)
+#: so every registered kernel — CSF pairs included — actually fires.
+SHAPE_3D = (48, 64, 96)
+SHAPE_2D = (96, 128)
+
+HOT_PAIRS = registered_pairs()
+
+
+def make_tensor(shape, n, seed=7) -> SparseTensor:
+    """``n`` unique random points over ``shape``, canonical order."""
+    rng = np.random.default_rng(seed)
+    total = int(np.prod(shape))
+    addr = np.sort(rng.choice(total, size=n, replace=False)).astype(np.uint64)
+    coords = np.stack(np.unravel_index(addr, shape), axis=1).astype(np.uint64)
+    return SparseTensor(shape, coords, rng.standard_normal(n))
+
+
+def canonical_convert(enc, fmt):
+    """The registry-free reference: payload → canonical run → payload."""
+    fmt = resolve_format(fmt)
+    addresses, order = enc.fmt.extract_addresses(
+        enc.payload, enc.meta, enc.shape
+    )
+    canon = CanonicalCoords.from_addresses(
+        addresses, enc.shape, is_sorted=True
+    )
+    values = enc.values if order is None else enc.values[order]
+    return fmt.encode_canonical(canon, values)
+
+
+def assert_encoded_identical(got, want):
+    """Payload buffers, dtypes, meta, and value alignment all match."""
+    assert got.fmt.name == want.fmt.name
+    assert got.nnz == want.nnz
+    assert set(got.payload) == set(want.payload)
+    for key in want.payload:
+        g, w = np.asarray(got.payload[key]), np.asarray(want.payload[key])
+        assert g.dtype == w.dtype, f"{key}: {g.dtype} != {w.dtype}"
+        assert g.shape == w.shape, f"{key}: {g.shape} != {w.shape}"
+        assert np.array_equal(g, w), f"buffer {key} differs"
+    assert json.dumps(got.meta, sort_keys=True, default=str) == json.dumps(
+        want.meta, sort_keys=True, default=str
+    )
+    assert np.array_equal(got.values, want.values)
+
+
+class TestMigrationDifferential:
+    """Kernels vs canonical, byte for byte; stores bit-identical."""
+
+    @pytest.mark.parametrize("pair", HOT_PAIRS, ids=lambda p: f"{p[0]}->{p[1]}")
+    @pytest.mark.parametrize("shape", [SHAPE_2D, SHAPE_3D], ids=["2d", "3d"])
+    def test_kernel_matches_canonical(self, pair, shape):
+        src_name, dst_name = pair
+        tensor = make_tensor(shape, 2500)
+        enc = get_format(src_name).encode(tensor)
+        want = canonical_convert(enc, dst_name)
+        got = direct_convert(enc, dst_name)
+        assert got is not None, f"kernel {pair} refused an eligible payload"
+        assert_encoded_identical(got, want)
+        # The public entry point must take the same path.
+        assert_encoded_identical(enc.convert(dst_name), want)
+
+    @pytest.mark.parametrize("pair", HOT_PAIRS, ids=lambda p: f"{p[0]}->{p[1]}")
+    def test_kernel_small_and_single_point(self, pair):
+        src_name, dst_name = pair
+        for n in (1, 17):
+            enc = get_format(src_name).encode(make_tensor(SHAPE_3D, n, seed=n))
+            want = canonical_convert(enc, dst_name)
+            got = direct_convert(enc, dst_name)
+            assert got is not None
+            assert_encoded_identical(got, want)
+
+    def test_unregistered_pair_falls_back_correctly(self):
+        assert get_kernel("GCSR++", "CSF") is None
+        tensor = make_tensor(SHAPE_3D, 1200)
+        enc = get_format("GCSR++").encode(tensor)
+        assert direct_convert(enc, "CSF") is None
+        out = enc.convert("CSF").decode()
+        assert np.array_equal(out.coords, tensor.coords)
+        assert np.array_equal(out.values, tensor.values)
+
+    def test_csf_non_identity_perm_falls_back(self):
+        # Descending extents → CSF sorts dimensions into a non-identity
+        # permutation; the CSF kernels must refuse and the canonical
+        # fallback must still convert correctly.
+        shape = (96, 64, 48)
+        tensor = make_tensor(shape, 1000)
+        enc = get_format("CSF").encode(tensor)
+        assert list(enc.meta["dim_perm"]) != sorted(enc.meta["dim_perm"]) or (
+            direct_convert(enc, "LINEAR") is not None
+        )
+        out = enc.convert("LINEAR").decode()
+        assert np.array_equal(out.coords, tensor.coords)
+        assert np.array_equal(out.values, tensor.values)
+
+    def test_empty_payload_falls_back_to_exact_empty(self):
+        empty = SparseTensor.empty(SHAPE_3D)
+        for src_name, dst_name in HOT_PAIRS:
+            enc = get_format(src_name).encode(empty)
+            want = canonical_convert(enc, dst_name)
+            assert_encoded_identical(enc.convert(dst_name), want)
+
+    @pytest.mark.parametrize("codec", ["raw", "cascade"])
+    @pytest.mark.parametrize("planner", [True, False], ids=["plan", "noplan"])
+    def test_store_migration_reads_bit_identical(
+        self, tmp_path, codec, planner
+    ):
+        tensor = make_tensor(SHAPE_3D, 3000)
+        opts = StoreOptions(codec=codec, planner=planner)
+        store = FragmentStore(tmp_path, SHAPE_3D, "COO-SORTED", options=opts)
+        half = tensor.nnz // 2
+        store.write(tensor.coords[:half], tensor.values[:half])
+        store.write(tensor.coords[half:], tensor.values[half:])
+
+        box = Box((8, 8, 8), (40, 48, 72))
+        before_pts = store.read_points(tensor.coords)
+        before_box = store.read_box(box)
+
+        for target in ("LINEAR", "GCSR++", "GCSC++", "CSF", "COO-SORTED"):
+            migrated = store.migrate_all(target)
+            assert migrated, f"nothing migrated to {target}"
+            assert all(f.format_name == target for f in store.fragments)
+            after_pts = store.read_points(tensor.coords)
+            assert after_pts.found.all()
+            assert np.array_equal(before_pts.values, after_pts.values)
+            after_box = store.read_box(box)
+            assert np.array_equal(before_box.coords, after_box.coords)
+            assert np.array_equal(before_box.values, after_box.values)
+
+        # The final state survives a reopen under the same options.
+        reopened = FragmentStore(
+            tmp_path, SHAPE_3D, "COO-SORTED", options=opts
+        )
+        again = reopened.read_points(tensor.coords)
+        assert again.found.all()
+        assert np.array_equal(before_pts.values, again.values)
+
+    def test_migration_preserves_newest_wins(self, tmp_path):
+        """Overlapping fragments keep their overwrite order through
+        migration — the replacement fragment stays in its slot."""
+        shape = (32, 32)
+        store = FragmentStore(tmp_path, shape, "COO-SORTED")
+        coords = np.array([[1, 1], [2, 2], [3, 3]], dtype=np.uint64)
+        store.write(coords, np.array([10.0, 20.0, 30.0]))
+        store.write(coords[:2], np.array([11.0, 22.0]))  # overwrites
+        before = store.read_points(coords)
+        assert np.array_equal(before.values, [11.0, 22.0, 30.0])
+        store.migrate_fragment(0, "GCSR++")  # migrate the *older* fragment
+        after = store.read_points(coords)
+        assert np.array_equal(after.values, [11.0, 22.0, 30.0])
+        reopened = FragmentStore(tmp_path, shape, "COO-SORTED")
+        assert np.array_equal(
+            reopened.read_points(coords).values, [11.0, 22.0, 30.0]
+        )
+
+    def test_migrate_noop_when_already_target(self, tmp_path):
+        tensor = make_tensor(SHAPE_2D, 500)
+        store = FragmentStore(tmp_path, SHAPE_2D, "LINEAR")
+        store.write_tensor(tensor)
+        frag_before = store.fragments[0]
+        assert store.migrate_fragment(0, "LINEAR") is None
+        assert store.fragments[0] is frag_before
+
+    def test_sharded_store_migration(self, tmp_path):
+        tensor = make_tensor(SHAPE_3D, 2400, seed=11)
+        store = ShardedStore(tmp_path, SHAPE_3D, "COO-SORTED", n_shards=4)
+        store.write(tensor.coords, tensor.values)
+        before = store.read_points(tensor.coords)
+        assert before.found.all()
+        infos = store.migrate_all("GCSR++")
+        assert infos and all(f.format_name == "GCSR++" for f in infos)
+        after = store.read_points(tensor.coords)
+        assert np.array_equal(before.values, after.values)
+        reopened = ShardedStore(
+            tmp_path, SHAPE_3D, "COO-SORTED", n_shards=4
+        )
+        again = reopened.read_points(tensor.coords)
+        assert again.found.all()
+        assert np.array_equal(before.values, again.values)
+        assert all(
+            f.format_name == "GCSR++" for f in reopened.fragments
+        )
+
+    def test_snapshot_pinned_generation_survives_migration(self, tmp_path):
+        tensor = make_tensor(SHAPE_2D, 800)
+        store = FragmentStore(
+            tmp_path, SHAPE_2D, "COO-SORTED",
+            options=StoreOptions(retain_generations=2),
+        )
+        store.write_tensor(tensor)
+        snap = store.snapshot()
+        store.migrate_fragment(0, "LINEAR")
+        out = snap.read_points(tensor.coords)
+        assert out.found.all()
+        assert np.array_equal(out.values, tensor.values)
+
+
+class TestConvertStoreWalTail:
+    """Satellite: ``convert_store`` must not drop an unpacked WAL tail."""
+
+    def test_pending_tail_reaches_destination(self, tmp_path):
+        shape = (64, 64)
+        store = FragmentStore(
+            tmp_path / "src", shape, "LINEAR",
+            options=StoreOptions(wal_segment_bytes=1 << 20),
+        )
+        base = make_tensor(shape, 400, seed=1)
+        store.write_tensor(base)
+        tail_coords = np.array([[60, 60], [61, 61], [62, 62]], dtype=np.uint64)
+        tail_values = np.array([7.0, 8.0, 9.0])
+        store.append(tail_coords, tail_values)
+        assert store._wal_tail() is not None and store._wal_tail().n == 3
+
+        dest = convert_store(store, tmp_path / "dst", "GCSR++")
+        out = dest.read_points(tail_coords)
+        assert out.found.all(), "WAL-tail points missing from conversion"
+        assert np.array_equal(out.values, tail_values)
+        src_all = store.read_box(Box((0, 0), shape))
+        dst_all = dest.read_box(Box((0, 0), shape))
+        assert np.array_equal(src_all.coords, dst_all.coords)
+        assert np.array_equal(src_all.values, dst_all.values)
+        # Source untouched: tail still pending there.
+        assert store._wal_tail() is not None and store._wal_tail().n == 3
+
+    def test_tail_overwrite_priority_preserved(self, tmp_path):
+        shape = (16, 16)
+        store = FragmentStore(tmp_path / "src", shape, "COO-SORTED")
+        coords = np.array([[2, 2], [3, 3]], dtype=np.uint64)
+        store.write(coords, np.array([1.0, 2.0]))
+        store.append(coords[:1], np.array([99.0]))  # tail overwrites (2,2)
+        dest = convert_store(store, tmp_path / "dst", "LINEAR")
+        out = dest.read_points(coords)
+        assert np.array_equal(out.values, [99.0, 2.0])
+
+
+class TestWorkloadLedger:
+    def test_record_and_roundtrip(self, tmp_path):
+        ledger = WorkloadLedger()
+        ledger.record_point_read("a.bin", queried=10, matched=4)
+        ledger.record_box_read("a.bin", matched=25)
+        ledger.record_load("a.bin", 0.25)
+        ledger.record_write("b.bin")
+        assert ledger.dirty
+        path = tmp_path / "workload.json"
+        ledger.save(path)
+        assert not ledger.dirty
+        loaded = WorkloadLedger.load(path)
+        a = loaded.get("a.bin")
+        assert a.point_reads == 1 and a.box_reads == 1
+        assert a.points_queried == 10 and a.points_matched == 4
+        assert a.selectivity == pytest.approx(0.4)
+        assert a.reads == 2
+        assert a.load_seconds == pytest.approx(0.25)
+        assert loaded.get("b.bin").writes == 1
+
+    def test_damaged_file_loads_empty(self, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text("{ not json")
+        assert len(WorkloadLedger.load(path)) == 0
+        assert len(WorkloadLedger.load(tmp_path / "absent.json")) == 0
+
+    def test_merge_into_and_carry_over(self):
+        ledger = WorkloadLedger()
+        ledger.record_point_read("a.bin", queried=5, matched=5)
+        ledger.record_point_read("b.bin", queried=3, matched=1)
+        ledger.merge_into(["a.bin", "b.bin"], "merged.bin")
+        m = ledger.get("merged.bin")
+        assert m.point_reads == 2 and m.points_queried == 8
+        assert ledger.get("a.bin") is None
+        ledger.carry_over("merged.bin", "migrated.bin")
+        mig = ledger.get("migrated.bin")
+        assert mig.point_reads == 2 and mig.writes == 1
+        assert ledger.get("merged.bin") is None
+
+    def test_store_persists_ledger_at_durable_points(self, tmp_path):
+        tensor = make_tensor(SHAPE_2D, 600)
+        store = FragmentStore(tmp_path, SHAPE_2D, "COO-SORTED")
+        store.write_tensor(tensor)
+        store.read_points(tensor.coords[:50])
+        store.close()
+        path = tmp_path / WORKLOAD_LEDGER_NAME
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        (name, entry), = doc["fragments"].items()
+        assert entry["point_reads"] == 1
+        assert entry["points_queried"] == 50
+        # Reopen resumes the same history.
+        reopened = FragmentStore(tmp_path, SHAPE_2D, "COO-SORTED")
+        assert reopened.workload_ledger.get(name).point_reads == 1
+
+    def test_migration_carries_history_to_replacement(self, tmp_path):
+        tensor = make_tensor(SHAPE_2D, 600)
+        store = FragmentStore(tmp_path, SHAPE_2D, "COO-SORTED")
+        store.write_tensor(tensor)
+        for _ in range(3):
+            store.read_points(tensor.coords[:20])
+        old_name = store.fragments[0].path.name
+        info = store.migrate_fragment(0, "LINEAR")
+        assert info.path.name != old_name
+        carried = store.workload_ledger.get(info.path.name)
+        assert carried.point_reads == 3
+        assert store.workload_ledger.get(old_name) is None
+
+
+class TestMigrationPolicy:
+    def _recommendation(self, tensor, workload):
+        from repro.patterns.stats import characterize
+        from repro.storage.migrate import score_fragment
+
+        return score_fragment(characterize(tensor), workload)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MigrationPolicy(min_reads=-1)
+        with pytest.raises(ValueError):
+            MigrationPolicy(hysteresis=1.0)
+        with pytest.raises(ValueError):
+            MigrationPolicy(max_fragment_nnz=-5)
+
+    def test_cold_fragment_keeps_format(self):
+        from repro.storage.migrate import decide
+
+        rec = self._recommendation(make_tensor(SHAPE_3D, 500), BALANCED)
+        d = decide(0, "LINEAR", rec, FragmentWorkload(),
+                   MigrationPolicy(min_reads=4))
+        assert not d.migrate and "cold" in d.reason
+
+    def test_hysteresis_blocks_marginal_wins(self):
+        from repro.storage.migrate import decide
+
+        rec = self._recommendation(make_tensor(SHAPE_3D, 500), BALANCED)
+        stats = FragmentWorkload(point_reads=10, points_queried=100,
+                                 points_matched=100)
+        worst = rec.ranked[-1]
+        assert worst.combined > rec.ranked[0].combined
+        second_best = worst.format_name
+        eager = decide(0, second_best, rec, stats,
+                       MigrationPolicy(min_reads=1, hysteresis=0.0,
+                                       direct_only=False))
+        blocked = decide(0, second_best, rec, stats,
+                         MigrationPolicy(min_reads=1, hysteresis=0.99,
+                                         direct_only=False))
+        assert eager.migrate
+        assert not blocked.migrate and "hysteresis" in blocked.reason
+
+    def test_direct_only_restricts_targets(self):
+        from repro.storage.migrate import decide
+
+        rec = self._recommendation(make_tensor(SHAPE_3D, 500), BALANCED)
+        stats = FragmentWorkload(point_reads=10)
+        d = decide(0, "GCSR++", rec, stats,
+                   MigrationPolicy(min_reads=1, hysteresis=0.0,
+                                   direct_only=True))
+        if d.migrate:
+            assert get_kernel("GCSR++", d.target_format) is not None
+
+    def test_max_fragment_nnz_gate(self, tmp_path):
+        tensor = make_tensor(SHAPE_2D, 600)
+        store = AdaptiveStore(
+            tmp_path, SHAPE_2D,
+            policy=MigrationPolicy(min_reads=1, max_fragment_nnz=10),
+        )
+        store.write_tensor(tensor)
+        store.read_points(tensor.coords[:10])
+        (d,) = store.plan_migrations()
+        assert not d.migrate and "max_fragment_nnz" in d.reason
+
+
+class TestAdaptiveMigration:
+    def _shifted_store(self, directory, migrate="off"):
+        """ARCHIVAL picks LINEAR at write time; heavy selective point
+        reads shift the observed workload until GCSR++ wins."""
+        tensor = make_tensor((64, 64, 64), 3000, seed=3)
+        store = AdaptiveStore(
+            directory, tensor.shape,
+            workload=ARCHIVAL,
+            policy=MigrationPolicy(min_reads=2, hysteresis=0.0),
+            options=StoreOptions(migrate=migrate),
+        )
+        half = tensor.nnz // 2
+        store.write(tensor.coords[:half], tensor.values[:half])
+        store.write(tensor.coords[half:], tensor.values[half:])
+        assert store.format_histogram() == {"LINEAR": 2}
+        rng = np.random.default_rng(5)
+        for _ in range(8):
+            idx = rng.choice(tensor.nnz, size=50, replace=False)
+            store.read_points(tensor.coords[idx])
+        return store, tensor
+
+    def test_explicit_sweep_migrates_after_shift(self, tmp_path):
+        store, tensor = self._shifted_store(tmp_path)
+        before = store.read_points(tensor.coords)
+        decisions = store.migrate_fragments()
+        assert any(d.migrate for d in decisions)
+        assert store.format_histogram() == {"GCSR++": 2}
+        after = store.read_points(tensor.coords)
+        assert after.found.all()
+        assert np.array_equal(before.values, after.values)
+        # Converged: a second sweep plans nothing.
+        assert not any(d.migrate for d in store.plan_migrations())
+
+    def test_compact_policy_triggers_sweep(self, tmp_path):
+        store, tensor = self._shifted_store(tmp_path, migrate="compact")
+        before = store.read_points(tensor.coords)
+        store.compact()
+        assert store.format_histogram() == {"GCSR++": 1}
+        after = store.read_points(tensor.coords)
+        assert after.found.all()
+        assert np.array_equal(before.values, after.values)
+
+    def test_off_policy_never_migrates(self, tmp_path):
+        store, tensor = self._shifted_store(tmp_path, migrate="off")
+        store.compact()
+        assert set(store.format_histogram()) == {"LINEAR"}
+
+    def test_auto_policy_sweeps_after_reads(self, tmp_path):
+        from repro.storage.adaptive import AUTO_MIGRATE_READ_INTERVAL
+
+        store, tensor = self._shifted_store(tmp_path, migrate="auto")
+        for _ in range(AUTO_MIGRATE_READ_INTERVAL):
+            store.read_points(tensor.coords[:5])
+        assert store.format_histogram() == {"GCSR++": 2}
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            StoreOptions(migrate="sometimes")
+
+    def test_format_histogram_counts_live_manifest(self, tmp_path):
+        tensor = make_tensor(SHAPE_2D, 600)
+        store = AdaptiveStore(
+            tmp_path, SHAPE_2D,
+            options=StoreOptions(retain_generations=2),
+        )
+        half = tensor.nnz // 2
+        store.write(tensor.coords[:half], tensor.values[:half])
+        store.write(tensor.coords[half:], tensor.values[half:])
+        assert sum(store.format_histogram().values()) == 2
+        store.compact()
+        live = store.format_histogram()
+        assert sum(live.values()) == 1, (
+            "histogram must reflect the live manifest, not the decision log"
+        )
+        both = store.format_histogram(include_retired=True)
+        assert sum(both.values()) == 3  # 1 live + 2 retained
+        # Survives a reopen (the in-session choices log does not).
+        reopened = AdaptiveStore(
+            tmp_path, SHAPE_2D,
+            options=StoreOptions(retain_generations=2),
+        )
+        assert reopened.format_histogram() == live

@@ -48,6 +48,8 @@ EXPECTED_PUBLIC_API = sorted([
     "BlockedDataset", "FragmentCache", "FragmentStore",
     "FsckReport", "RetryPolicy", "fsck",
     "ReadOptions", "ShardedStore", "StoreOptions", "StoreSnapshot",
+    "MigrationDecision", "MigrationPolicy",
+    "direct_convert", "register_kernel", "registered_pairs",
     "__version__",
 ])
 
@@ -57,6 +59,8 @@ EXPECTED_OBS_API = sorted([
     "NULL_SPAN", "Span", "counter_add", "disable", "enable",
     "enabled_from_env", "gauge_set", "get_registry", "is_enabled", "observe",
     "render_table", "reset", "snapshot", "span", "to_json",
+    # Workload ledger (per-fragment observations driving format migration).
+    "LEDGER_VERSION", "FragmentWorkload", "WorkloadLedger",
 ])
 
 
