@@ -47,7 +47,14 @@ import numpy as np
 from ..core.boundary import Box, extract_boundary
 from ..core.dtypes import as_index_array, fits_index_dtype
 from ..core.errors import ShapeError
-from ..core.linearize import delinearize, linearize
+from ..core.linearize import (
+    DEFAULT_ADDRESS_ORDER,
+    delinearize_order,
+    fits_addr_order,
+    linearize,
+    linearize_order,
+    validate_addr_order,
+)
 from ..core.sorting import lexsort_rows, stable_argsort, segment_boundaries
 from ..obs import counter_add
 
@@ -78,8 +85,10 @@ class CanonicalCoords:
         addresses: np.ndarray | None = None,
         sort_perm: np.ndarray | None = None,
         sorted_addresses: np.ndarray | None = None,
+        addr_order: str = DEFAULT_ADDRESS_ORDER,
     ):
         self.shape = tuple(int(m) for m in shape)
+        self.addr_order = validate_addr_order(addr_order)
         if coords is None and addresses is None:
             raise ShapeError(
                 "CanonicalCoords needs coords or addresses"
@@ -102,7 +111,11 @@ class CanonicalCoords:
 
     @classmethod
     def from_coords(
-        cls, coords: np.ndarray, shape: Sequence[int]
+        cls,
+        coords: np.ndarray,
+        shape: Sequence[int],
+        *,
+        addr_order: str = DEFAULT_ADDRESS_ORDER,
     ) -> "CanonicalCoords":
         """Wrap an unsorted ``(n, d)`` coordinate buffer."""
         coords = as_index_array(coords)
@@ -112,7 +125,7 @@ class CanonicalCoords:
             raise ShapeError(
                 f"coords have {coords.shape[1]} dims, shape has {len(shape)}"
             )
-        return cls(shape, coords=coords)
+        return cls(shape, coords=coords, addr_order=addr_order)
 
     @classmethod
     def from_addresses(
@@ -123,6 +136,7 @@ class CanonicalCoords:
         is_sorted: bool = False,
         sort_perm: np.ndarray | None = None,
         sorted_addresses: np.ndarray | None = None,
+        addr_order: str = DEFAULT_ADDRESS_ORDER,
     ) -> "CanonicalCoords":
         """Wrap a linear-address vector; coordinates derive lazily.
 
@@ -148,6 +162,7 @@ class CanonicalCoords:
             addresses=addresses,
             sort_perm=sort_perm,
             sorted_addresses=sorted_addresses,
+            addr_order=addr_order,
         )
 
     # ------------------------------------------------------------------
@@ -165,8 +180,24 @@ class CanonicalCoords:
 
     @property
     def linearizable(self) -> bool:
-        """Whether the shape's cell count fits the uint64 address space."""
-        return fits_index_dtype(self.shape)
+        """Whether the shape fits the uint64 address space in this order.
+
+        Row-major checks the cell count; ALTO checks the (stricter)
+        interleaved bit budget ``sum(ceil(log2(m_d))) <= 64``.
+        """
+        return fits_addr_order(self.shape, self.addr_order)
+
+    @property
+    def row_major_sorted(self) -> bool:
+        """Whether the cached sort artifacts are in row-major address order.
+
+        Consumers that equate "sorted by address" with "sorted
+        lexicographically" (CSF's identity-permutation fast path,
+        translation-invariant relative rebasing) must gate on this, not
+        on :attr:`linearizable`: an ALTO-ordered canonical is perfectly
+        linearizable but its sorted order interleaves the modes.
+        """
+        return self.addr_order == DEFAULT_ADDRESS_ORDER and self.linearizable
 
     # ------------------------------------------------------------------
     # Lazy artifacts
@@ -177,8 +208,8 @@ class CanonicalCoords:
         """The ``(n, d)`` coordinate buffer (delinearized on demand)."""
         if self._coords is None:
             counter_add("build.canonical.delinearize")
-            self._coords = delinearize(
-                self._addresses, self.shape, validate=False
+            self._coords = delinearize_order(
+                self._addresses, self.shape, self.addr_order, validate=False
             )
         else:
             counter_add("build.canonical.reuse")
@@ -186,7 +217,7 @@ class CanonicalCoords:
 
     @property
     def addresses(self) -> np.ndarray:
-        """Row-major linear address of every point.
+        """Linear address of every point in this instance's address order.
 
         Raises :class:`~repro.core.dtypes.IndexOverflowError` when the
         shape is not linearizable — exactly like the formats that need
@@ -194,8 +225,8 @@ class CanonicalCoords:
         """
         if self._addresses is None:
             counter_add("build.canonical.linearize")
-            self._addresses = linearize(
-                self._coords, self.shape, validate=False
+            self._addresses = linearize_order(
+                self._coords, self.shape, self.addr_order, validate=False
             )
         else:
             counter_add("build.canonical.reuse")
@@ -240,8 +271,9 @@ class CanonicalCoords:
         if self._sorted_coords is None:
             if self._coords is None:
                 counter_add("build.canonical.delinearize")
-                self._sorted_coords = delinearize(
-                    self.sorted_addresses, self.shape, validate=False
+                self._sorted_coords = delinearize_order(
+                    self.sorted_addresses, self.shape, self.addr_order,
+                    validate=False,
                 )
             else:
                 self._sorted_coords = self.coords[self.sort_perm]
@@ -317,7 +349,7 @@ class CanonicalCoords:
         sorts of the same key order, hence return identical permutations.
         """
         dims = [int(p) for p in dim_perm]
-        if dims == list(range(self.d)) and self.linearizable:
+        if dims == list(range(self.d)) and self.row_major_sorted:
             return self.sort_perm
         pcoords = self.coords[:, dims]
         counter_add("build.canonical.sorts")
@@ -335,12 +367,38 @@ class CanonicalCoords:
         Row-major address order equals lexicographic coordinate order,
         and translation preserves lexicographic order, so the cached
         sort permutation carries over to the rebased copy — relative
-        -coordinate fragment writes keep the no-resort fast path.
+        -coordinate fragment writes keep the no-resort fast path.  The
+        ALTO interleaving is shape-dependent (the local box compiles its
+        own bit masks), so an ALTO instance rebases without the cached
+        permutation and re-sorts lazily in the local address space.
         """
         org = as_index_array(list(origin))
+        carry = (
+            self._sort_perm
+            if self.addr_order == DEFAULT_ADDRESS_ORDER
+            else None
+        )
         rebased = CanonicalCoords(
             shape,
             coords=self.coords - org[np.newaxis, :],
-            sort_perm=self._sort_perm,
+            sort_perm=carry,
+            addr_order=self.addr_order,
         )
         return rebased
+
+    def with_order(self, addr_order: str) -> "CanonicalCoords":
+        """This point set re-linearized in ``addr_order``.
+
+        Returns ``self`` when the order already matches.  The converted
+        instance keeps the same point sequence (so value buffers stay
+        aligned) and re-derives addresses and sort artifacts lazily in
+        the new order; the stable re-sort preserves the newest-last
+        position of duplicate coordinates, so :data:`DUPLICATE_POLICY`
+        survives conversion.
+        """
+        validate_addr_order(addr_order)
+        if addr_order == self.addr_order:
+            return self
+        return CanonicalCoords(
+            self.shape, coords=self.coords, addr_order=addr_order
+        )

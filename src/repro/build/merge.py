@@ -66,19 +66,26 @@ class MergedPoints:
 
 
 def merge_sorted_runs(
-    runs: list[SortedRun], shape: tuple[int, ...]
+    runs: list[SortedRun],
+    shape: tuple[int, ...],
+    *,
+    addr_order: str = "row_major",
 ) -> MergedPoints:
     """Newest-wins k-way merge of sorted address runs.
 
     Runs must be given oldest-first (fragment commit order); within a
     run, entries with equal addresses must be in stored order — both are
-    what :meth:`SparseFormat.extract_addresses` yields.
+    what :meth:`SparseFormat.extract_addresses` yields.  ``addr_order``
+    names the address space the runs are sorted in (every run must
+    already be expressed in it — mixed-order sources convert before
+    merging); the merged canonical inherits it.
     """
     counter_add("build.merge.runs", len(runs))
     if not runs:
         return MergedPoints(
             canonical=CanonicalCoords.from_addresses(
-                np.empty(0, dtype=np.uint64), shape, is_sorted=True
+                np.empty(0, dtype=np.uint64), shape, is_sorted=True,
+                addr_order=addr_order,
             ),
             values=np.empty(0, dtype=np.float64),
         )
@@ -100,7 +107,7 @@ def merge_sorted_runs(
     if merged.shape[0] == 0:
         return MergedPoints(
             canonical=CanonicalCoords.from_addresses(
-                merged, shape, is_sorted=True
+                merged, shape, is_sorted=True, addr_order=addr_order
             ),
             values=values,
         )
@@ -125,6 +132,7 @@ def merge_sorted_runs(
             shape,
             sort_perm=sort_perm,
             sorted_addresses=addr_sorted,
+            addr_order=addr_order,
         ),
         values=surv_values[to_concat_order],
     )

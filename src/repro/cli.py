@@ -197,7 +197,10 @@ def _render_cache_section(cache) -> str:
     return "\n".join(lines)
 
 
-def _render_plan_section(explain_summary: str | None = None) -> str:
+def _render_plan_section(
+    explain_summary: str | None = None,
+    addr_order: str | None = None,
+) -> str:
     """The ``repro stats --plan`` section: read-side planner counters."""
     from . import obs
     from .bench.report import format_bytes
@@ -206,6 +209,8 @@ def _render_plan_section(explain_summary: str | None = None) -> str:
         c["name"]: c["value"] for c in obs.snapshot()["counters"]
     }
     lines = ["query planner (spatial index + zone maps)"]
+    if addr_order:
+        lines.append(f"  address order: {addr_order}")
     lines.append(
         f"  visited   {counters.get('store.fragments_visited', 0)}  "
         f"pruned-bbox {counters.get('store.fragments_pruned', 0)}  "
@@ -496,6 +501,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     read_options = ReadOptions(parallel=args.parallel)
     cache = None
     plan_summary = None
+    plan_addr_order = None
     shard_table = None
     wal_section = None
     compression_section = None
@@ -525,6 +531,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
             store.read_box(store.fragments[0].bbox, options=read_options)
         if args.plan:
             plan_summary = store.explain(store.fragments[0].bbox).summary()
+            plan_addr_order = getattr(store, "addr_order", None)
         if args.shards:
             if not isinstance(store, ShardedStore):
                 print(f"store {args.store} is not sharded "
@@ -587,6 +594,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 plan_summary = store.explain(
                     Box((0, 0, 0), (16, 16, 16))
                 ).summary()
+                plan_addr_order = getattr(store, "addr_order", None)
             if args.shards:
                 shard_table = _render_shards_section(store)
             if args.compression:
@@ -652,7 +660,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
             print(migration_section)
         if args.plan:
             print()
-            print(_render_plan_section(plan_summary))
+            print(_render_plan_section(plan_summary, plan_addr_order))
         if args.build:
             print()
             print(_render_build_section())

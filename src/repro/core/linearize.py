@@ -112,7 +112,6 @@ def delinearize(
             )
     d = len(shape)
     out = np.empty((addresses.shape[0], d), dtype=INDEX_DTYPE)
-    rem = addresses
     if order == "row":
         dims = range(d)
         strides = row_major_strides(shape)
@@ -121,10 +120,13 @@ def delinearize(
         strides = column_major_strides(shape)
     else:
         raise ValueError(f"order must be 'row' or 'col', got {order!r}")
+    # Single divmod cascade over a working copy: each np.divmod produces
+    # the dimension's coordinate and the remainder for the next stride in
+    # one pass, halving the arithmetic of the former //-then-% pair while
+    # keeping the outputs byte-identical.
+    rem = addresses.copy()
     for i in dims:
-        s = strides[i]
-        out[:, i] = rem // s
-        rem = rem % s
+        np.divmod(rem, strides[i], out[:, i], rem)
     return out
 
 
@@ -162,6 +164,380 @@ def delinearize_block_local(
     local = delinearize(addresses, block_shape, order=order)
     org = as_index_array(list(origin))
     return local + org[np.newaxis, :]
+
+
+# ---------------------------------------------------------------------------
+# ALTO: adaptive bit-interleaved linearization (PAPERS.md — "ALTO: Adaptive
+# Linearized Storage of Sparse Tensors").
+#
+# Each mode gets ``ceil(log2(m_d))`` address bits; bits are interleaved
+# round-robin from the LSB among the modes that still have bits left, so
+# every mode stays locality-preserving at once (a small step in *any*
+# coordinate only perturbs low address bits).  Modes with more bits end up
+# owning the contiguous high bits once the others are exhausted.  The
+# per-shape interleaving is compiled once into *field segments* — runs of
+# consecutive bits of one mode that map to consecutive address bits — so
+# encode/decode are a handful of vectorized shift/mask gathers, never a
+# per-element Python loop.
+# ---------------------------------------------------------------------------
+
+#: Store-facing address-order names.  ``"row_major"`` is the paper's
+#: default linearization (bit-identical to the historical behavior);
+#: ``"alto"`` is the adaptive bit-interleaved order.
+ADDRESS_ORDERS = ("row_major", "alto")
+
+#: Default order everywhere an ``addr_order`` is optional.
+DEFAULT_ADDRESS_ORDER = "row_major"
+
+
+def validate_addr_order(addr_order: str) -> str:
+    if addr_order not in ADDRESS_ORDERS:
+        raise ValueError(
+            f"addr_order must be one of {ADDRESS_ORDERS}, got {addr_order!r}"
+        )
+    return addr_order
+
+
+class _AltoSpec:
+    """Compiled per-shape ALTO interleaving (cached by shape).
+
+    Attributes
+    ----------
+    bits:
+        ``ceil(log2(m_d))`` per mode.
+    total_bits:
+        Sum of ``bits`` — the width of the interleaved address.
+    segments:
+        ``(dim, src_shift, dst_shift, width)`` tuples: ``width``
+        consecutive bits of mode ``dim`` starting at value bit
+        ``src_shift`` land at address bits ``dst_shift ..``.
+    masks:
+        Per-mode ``uint64`` mask of the *address* bits owned by the mode
+        (the public :func:`alto_masks` view of the interleaving).
+    bit_dim / bit_src:
+        Per address bit (LSB first): owning mode and its value-bit index
+        — the bit-granular view the box decomposition walks.
+    """
+
+    __slots__ = (
+        "shape", "bits", "total_bits", "segments", "masks",
+        "bit_dim", "bit_src", "undecided", "_spread_tables",
+    )
+
+    def __init__(self, shape: tuple[int, ...]):
+        self.shape = shape
+        self.bits = tuple(
+            max(int(m) - 1, 0).bit_length() for m in shape
+        )
+        self.total_bits = sum(self.bits)
+        if self.total_bits > 64:
+            raise ShapeError(
+                f"tensor shape {shape} needs {self.total_bits} interleaved "
+                "address bits; ALTO addresses overflow uint64. Fall back to "
+                "the lexicographic (non-linearizable) path or split the "
+                "tensor into blocks."
+            )
+        remaining = list(self.bits)
+        next_src = [0] * len(shape)
+        bit_dim: list[int] = []
+        bit_src: list[int] = []
+        # Round-robin from the LSB, last mode first (mirrors row-major's
+        # "last dimension varies fastest"), dropping exhausted modes.
+        while len(bit_dim) < self.total_bits:
+            for dim in range(len(shape) - 1, -1, -1):
+                if remaining[dim] > 0:
+                    bit_dim.append(dim)
+                    bit_src.append(next_src[dim])
+                    next_src[dim] += 1
+                    remaining[dim] -= 1
+        self.bit_dim = tuple(bit_dim)
+        self.bit_src = tuple(bit_src)
+        segments: list[tuple[int, int, int, int]] = []
+        for dst, (dim, src) in enumerate(zip(bit_dim, bit_src)):
+            if (
+                segments
+                and segments[-1][0] == dim
+                and segments[-1][1] + segments[-1][3] == src
+                and segments[-1][2] + segments[-1][3] == dst
+            ):
+                dim0, src0, dst0, width = segments[-1]
+                segments[-1] = (dim0, src0, dst0, width + 1)
+            else:
+                segments.append((dim, src, dst, 1))
+        self.segments = tuple(segments)
+        masks = np.zeros(len(shape), dtype=INDEX_DTYPE)
+        for dim, _src, dst, width in segments:
+            masks[dim] |= np.uint64(((1 << width) - 1) << dst)
+        self.masks = masks
+        # undecided[b][d]: value-space mask of mode d's bits living at
+        # address bits 0..b — the per-node slack of the box-range DFS.
+        undecided: list[tuple[int, ...]] = []
+        acc = [0] * len(shape)
+        for dim, src in zip(bit_dim, bit_src):
+            acc[dim] |= 1 << src
+            undecided.append(tuple(acc))
+        self.undecided = tuple(undecided)
+        self._spread_tables: tuple[np.ndarray, ...] | None | bool = False
+
+    @property
+    def spread_tables(self) -> tuple[np.ndarray, ...] | None:
+        """Per-mode ``value -> interleaved bits`` lookup tables.
+
+        Turns the per-segment shift/mask loop of :func:`linearize_alto`
+        into one gather per mode — the encode is then as cheap as the
+        row-major stride dot product.  Built lazily on first use and
+        only while every mode stays within ``_SPREAD_TABLE_BITS``
+        (tables are ``2**bits`` entries per mode); ``None`` means the
+        caller must fall back to the segment loop.
+        """
+        if self._spread_tables is False:
+            if max(self.bits, default=0) > _SPREAD_TABLE_BITS:
+                self._spread_tables = None
+            else:
+                tables = []
+                for d, nbits in enumerate(self.bits):
+                    v = np.arange(1 << nbits, dtype=INDEX_DTYPE)
+                    spread = np.zeros(v.shape[0], dtype=INDEX_DTYPE)
+                    for dim, src, dst, width in self.segments:
+                        if dim != d:
+                            continue
+                        field = (v >> np.uint64(src)) & np.uint64(
+                            (1 << width) - 1
+                        )
+                        spread |= field << np.uint64(dst)
+                    tables.append(spread)
+                self._spread_tables = tuple(tables)
+        return self._spread_tables
+
+
+#: Spread tables cap: modes longer than 2**16 fall back to the segment
+#: loop rather than materialize multi-megabyte lookup tables.
+_SPREAD_TABLE_BITS = 16
+
+
+_ALTO_SPECS: dict[tuple[int, ...], _AltoSpec] = {}
+
+
+def _alto_spec(shape: Sequence[int]) -> _AltoSpec:
+    key = tuple(int(m) for m in shape)
+    spec = _ALTO_SPECS.get(key)
+    if spec is None:
+        spec = _ALTO_SPECS[key] = _AltoSpec(key)
+    return spec
+
+
+def fits_alto(shape: Sequence[int]) -> bool:
+    """Whether ``shape``'s interleaved addresses fit in the index dtype.
+
+    Stricter than :func:`~repro.core.dtypes.fits_index_dtype`: ALTO
+    rounds every mode up to a power of two, so
+    ``sum(ceil(log2(m_d)))`` must stay within 64 bits.
+    """
+    return sum(max(int(m) - 1, 0).bit_length() for m in shape) <= 64
+
+
+def alto_masks(shape: Sequence[int]) -> np.ndarray:
+    """Per-mode ``uint64`` masks of the address bits each mode owns.
+
+    ORing all masks gives the full address mask
+    (``2**total_bits - 1``); the masks are disjoint.
+    """
+    return _alto_spec(shape).masks.copy()
+
+
+def alto_address_bits(shape: Sequence[int]) -> int:
+    """Width of the interleaved address space for ``shape``."""
+    return _alto_spec(shape).total_bits
+
+
+def linearize_alto(
+    coords: np.ndarray,
+    shape: Sequence[int],
+    *,
+    validate: bool = True,
+) -> np.ndarray:
+    """Interleaved ALTO addresses for an ``(n, d)`` coordinate array.
+
+    Unlike row-major addresses, ALTO addresses are *sparse*: the maximum
+    address is ``2**total_bits - 1``, which can exceed
+    ``cell_count(shape) - 1`` whenever a mode size is not a power of two.
+    Monotone per coordinate (others held fixed), so a box's address
+    envelope is still ``[lin(origin), lin(end - 1)]``.
+    """
+    coords = _validate_coords(coords, shape)
+    spec = _alto_spec(shape)
+    if validate and coords.size:
+        bounds = as_index_array(list(shape))
+        if np.any(coords >= bounds[np.newaxis, :]):
+            bad = int(np.argmax(np.any(coords >= bounds[np.newaxis, :], axis=1)))
+            raise ShapeError(
+                f"coordinate {tuple(int(c) for c in coords[bad])} outside "
+                f"tensor shape {tuple(int(m) for m in shape)}"
+            )
+    tables = spec.spread_tables
+    if tables is not None:
+        out = tables[0][coords[:, 0]] if tables else np.zeros(
+            coords.shape[0], dtype=INDEX_DTYPE
+        )
+        for d in range(1, len(tables)):
+            out = out | tables[d][coords[:, d]]
+        return out
+    out = np.zeros(coords.shape[0], dtype=INDEX_DTYPE)
+    for dim, src, dst, width in spec.segments:
+        field = coords[:, dim]
+        if src:
+            field = field >> np.uint64(src)
+        field = field & np.uint64((1 << width) - 1)
+        out |= field << np.uint64(dst)
+    return out
+
+
+def delinearize_alto(
+    addresses: np.ndarray,
+    shape: Sequence[int],
+    *,
+    validate: bool = True,
+) -> np.ndarray:
+    """Inverse of :func:`linearize_alto`."""
+    addresses = as_index_array(addresses)
+    if addresses.ndim != 1:
+        raise ShapeError("addresses must be a 1D vector")
+    spec = _alto_spec(shape)
+    if validate and addresses.size:
+        full = np.uint64((1 << spec.total_bits) - 1)
+        if np.any(addresses & ~full):
+            raise ShapeError(
+                f"address {int(addresses.max())} has bits outside the "
+                f"{spec.total_bits}-bit ALTO space of shape "
+                f"{tuple(int(m) for m in shape)}"
+            )
+    out = np.zeros((addresses.shape[0], len(shape)), dtype=INDEX_DTYPE)
+    for dim, src, dst, width in spec.segments:
+        field = addresses
+        if dst:
+            field = field >> np.uint64(dst)
+        field = field & np.uint64((1 << width) - 1)
+        out[:, dim] |= field << np.uint64(src)
+    return out
+
+
+def address_space_size(
+    shape: Sequence[int], addr_order: str = DEFAULT_ADDRESS_ORDER
+) -> int:
+    """Exclusive upper bound of the address space in ``addr_order``.
+
+    ``row_major`` addresses are dense (``cell_count``); ``alto``
+    addresses span the power-of-two envelope ``2**total_bits``.
+    """
+    validate_addr_order(addr_order)
+    if addr_order == "alto":
+        return 1 << _alto_spec(shape).total_bits
+    from .dtypes import cell_count
+
+    return cell_count(shape)
+
+
+def fits_addr_order(shape: Sequence[int], addr_order: str) -> bool:
+    """Whether ``shape`` is linearizable at all in ``addr_order``."""
+    validate_addr_order(addr_order)
+    if addr_order == "alto":
+        return fits_alto(shape)
+    from .dtypes import fits_index_dtype
+
+    return fits_index_dtype(shape)
+
+
+def linearize_order(
+    coords: np.ndarray,
+    shape: Sequence[int],
+    addr_order: str = DEFAULT_ADDRESS_ORDER,
+    *,
+    validate: bool = True,
+) -> np.ndarray:
+    """Order-dispatched linearize (``row_major`` or ``alto``)."""
+    if addr_order == "alto":
+        return linearize_alto(coords, shape, validate=validate)
+    validate_addr_order(addr_order)
+    return linearize(coords, shape, validate=validate)
+
+
+def delinearize_order(
+    addresses: np.ndarray,
+    shape: Sequence[int],
+    addr_order: str = DEFAULT_ADDRESS_ORDER,
+    *,
+    validate: bool = True,
+) -> np.ndarray:
+    """Order-dispatched delinearize (``row_major`` or ``alto``)."""
+    if addr_order == "alto":
+        return delinearize_alto(addresses, shape, validate=validate)
+    validate_addr_order(addr_order)
+    return delinearize(addresses, shape, validate=validate)
+
+
+def alto_box_ranges(
+    origin: Sequence[int],
+    end: Sequence[int],
+    shape: Sequence[int],
+    *,
+    max_ranges: int = 64,
+) -> list[tuple[int, int]]:
+    """Decompose a half-open box into contiguous ALTO address intervals.
+
+    BIGMIN-style DFS over the interleaved bits, MSB first: a subtree
+    whose per-mode prefix interval misses the box in any mode is pruned;
+    one fully contained in every mode emits its whole address span.  The
+    result is an ascending list of inclusive ``(lo, hi)`` intervals
+    covering exactly the box's addresses — except when the interval
+    budget is hit, where the remaining subtree is emitted whole (a sound
+    over-approximation: pruning with a coarsened list can only visit
+    more, never miss).  A box needs O(bits) intervals per split mode, so
+    ``max_ranges=64`` is rarely binding in practice.
+    """
+    spec = _alto_spec(shape)
+    d = len(spec.shape)
+    lo_box = [max(int(o), 0) for o in origin]
+    hi_box = [min(int(e), int(m)) - 1 for e, m in zip(end, shape)]
+    if any(h < l for l, h in zip(lo_box, hi_box)):
+        return []
+    if spec.total_bits == 0:
+        return [(0, 0)]
+    out: list[tuple[int, int]] = []
+
+    def emit(lo: int, hi: int) -> None:
+        if out and out[-1][1] + 1 == lo:
+            out[-1] = (out[-1][0], hi)
+        else:
+            out.append((lo, hi))
+
+    def rec(bit: int, prefix: int, dvals: list[int]) -> None:
+        # Bits above ``bit`` are decided; the node spans addresses
+        # ``[prefix, prefix + 2**(bit+1) - 1]``.
+        if bit < 0:
+            slack = (0,) * d
+        else:
+            slack = spec.undecided[bit]
+        contained = True
+        for dim in range(d):
+            lo_d = dvals[dim]
+            hi_d = dvals[dim] | slack[dim]
+            if hi_d < lo_box[dim] or lo_d > hi_box[dim]:
+                return
+            if lo_d < lo_box[dim] or hi_d > hi_box[dim]:
+                contained = False
+        span_hi = prefix + ((1 << (bit + 1)) - 1 if bit >= 0 else 0)
+        if contained or bit < 0 or len(out) >= max_ranges:
+            emit(prefix, span_hi)
+            return
+        dim = spec.bit_dim[bit]
+        src = spec.bit_src[bit]
+        rec(bit - 1, prefix, dvals)
+        dvals[dim] |= 1 << src
+        rec(bit - 1, prefix | (1 << bit), dvals)
+        dvals[dim] &= ~(1 << src)
+
+    rec(spec.total_bits - 1, 0, [0] * d)
+    return out
 
 
 def fold_shape_2d(shape: Sequence[int], *, min_dim_as: str = "rows") -> tuple[int, int]:

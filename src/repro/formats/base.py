@@ -39,7 +39,7 @@ import numpy as np
 from ..core.costmodel import NULL_COUNTER, OpCounter
 from ..core.dtypes import as_index_array
 from ..core.errors import FormatError, ShapeError
-from ..core.linearize import linearize
+from ..core.linearize import linearize, linearize_order
 from ..core.sorting import apply_map, stable_argsort
 from ..core.tensor import SparseTensor
 from ..obs import span
@@ -120,6 +120,15 @@ class SparseFormat(abc.ABC):
     #: Whether BUILD reorders points (and therefore returns a ``map``).
     reorders_values: ClassVar[bool] = False
 
+    #: Address orders whose canonical input this format can adopt
+    #: *order-bearingly* — the payload/meta record the order and the read
+    #: side honors it.  ``None`` means the payload is order-independent:
+    #: the same bytes come out whichever order the canonical was sorted
+    #: in (COO's verbatim adopt, CSF/HICOO/GCSR++ trees and segment maps
+    #: are rebuilt from coordinates), so any order is acceptable on input
+    #: and ``extract_addresses`` can re-express in any order on output.
+    payload_orders: ClassVar[tuple[str, ...] | None] = None
+
     # -- build ---------------------------------------------------------
 
     @abc.abstractmethod
@@ -159,6 +168,8 @@ class SparseFormat(abc.ABC):
         payload: Mapping[str, np.ndarray],
         meta: Mapping[str, Any],
         shape: Sequence[int],
+        *,
+        order: str = "row_major",
     ) -> tuple[np.ndarray, np.ndarray | None]:
         """The payload's points as a *sorted* linear-address run.
 
@@ -172,15 +183,21 @@ class SparseFormat(abc.ABC):
         conversion consume it without materializing a
         :class:`SparseTensor`.
 
+        ``order`` names the address space the run is expressed in
+        (``"row_major"`` or ``"alto"``); the addresses are ascending in
+        that space.  Order-bearing formats whose payload is already
+        sorted in a *different* space fall through to this decode+sort
+        default rather than their identity fast path.
+
         The default decodes coordinates and sorts; formats that store
         addresses (LINEAR) or an address-sorted layout (COO-SORTED,
         identity-permutation CSF) override it to skip the decode and/or
         the sort.
         """
         coords = self.decode(payload, meta, shape)
-        addresses = linearize(coords, shape, validate=False)
-        order = stable_argsort(addresses)
-        return addresses[order], order
+        addresses = linearize_order(coords, shape, order, validate=False)
+        value_order = stable_argsort(addresses)
+        return addresses[value_order], value_order
 
     # -- read ----------------------------------------------------------
 
@@ -414,6 +431,7 @@ class EncodedTensor:
         """
         from ..build.canonical import CanonicalCoords
         from ..core.dtypes import fits_index_dtype
+        from ..core.linearize import fits_addr_order
         from ..storage.migrate import direct_convert
         from .registry import resolve_format
 
@@ -421,13 +439,22 @@ class EncodedTensor:
         direct = direct_convert(self, fmt)
         if direct is not None:
             return direct
+        # Preserve the source payload's address order when the target can
+        # carry it (order-free targets accept any canonical order).
+        addr_order = meta_addr_order(self.meta)
+        if (
+            fmt.payload_orders is not None
+            and addr_order not in fmt.payload_orders
+        ) or not fits_addr_order(self.shape, addr_order):
+            addr_order = "row_major"
         with span("format.convert", format=fmt.name) as sp:
             if fits_index_dtype(self.shape):
                 addresses, order = self.fmt.extract_addresses(
-                    self.payload, self.meta, self.shape
+                    self.payload, self.meta, self.shape, order=addr_order
                 )
                 canon = CanonicalCoords.from_addresses(
-                    addresses, self.shape, is_sorted=True
+                    addresses, self.shape, is_sorted=True,
+                    addr_order=addr_order,
                 )
                 values = self.values if order is None else self.values[order]
             else:
@@ -616,11 +643,24 @@ def linearize_for_format(
     counter: OpCounter,
     *,
     note: str,
+    order: str = "row_major",
 ) -> np.ndarray:
-    """Linearize and charge ``n * d`` coordinate transforms."""
+    """Linearize (in ``order``'s space) and charge ``n * d`` transforms."""
     coords = as_index_array(coords)
     counter.charge_transforms(coords.shape[0] * max(1, coords.shape[1]), note=note)
-    return linearize(coords, shape, validate=False)
+    return linearize_order(coords, shape, order, validate=False)
+
+
+def meta_addr_order(meta: Mapping[str, Any] | None) -> str:
+    """Address order a payload's metadata declares (row-major default).
+
+    Order-bearing formats (LINEAR, COO-SORTED) tag non-default orders in
+    their ``meta`` under ``"addr_order"``; absence means row-major, which
+    keeps every pre-existing fragment readable and byte-identical.
+    """
+    if not meta:
+        return "row_major"
+    return meta.get("addr_order", "row_major")
 
 
 def empty_read(q: int) -> ReadResult:

@@ -21,13 +21,18 @@ import numpy as np
 
 from ..core.costmodel import NULL_COUNTER, OpCounter
 from ..core.dtypes import as_index_array
-from ..core.linearize import linearize
+from ..core.linearize import (
+    DEFAULT_ADDRESS_ORDER,
+    linearize,
+    linearize_order,
+)
 from ..core.sorting import stable_argsort
 from .base import (
     BuildResult,
     ReadResult,
     SparseFormat,
     empty_read,
+    meta_addr_order,
     require_buffers,
 )
 
@@ -37,6 +42,7 @@ class SortedCOOFormat(SparseFormat):
 
     name = "COO-SORTED"
     reorders_values = True
+    payload_orders = ("row_major", "alto")
 
     def build(
         self,
@@ -69,16 +75,25 @@ class SortedCOOFormat(SparseFormat):
         # payload is the shared sorted-coordinate artifact — one gather
         # per input buffer however many formats consume it.
         perm = canon.sort_perm
+        meta = {"sorted_by": "linear"}
+        if canon.addr_order != DEFAULT_ADDRESS_ORDER:
+            meta["addr_order"] = canon.addr_order
         return BuildResult(
             payload={"coords": canon.sorted_coords},
             perm=perm,
-            meta={"sorted_by": "linear"},
+            meta=meta,
         )
 
-    def extract_addresses(self, payload, meta, shape):
+    def extract_addresses(self, payload, meta, shape, *, order="row_major"):
+        if meta_addr_order(meta) != order:
+            # Sorted in a different address space: re-linearize + re-sort.
+            return super().extract_addresses(payload, meta, shape, order=order)
         # Stored order is address order already: a free sorted run.
         require_buffers(payload, ["coords"], self.name)
-        return linearize(payload["coords"], shape, validate=False), None
+        return (
+            linearize_order(payload["coords"], shape, order, validate=False),
+            None,
+        )
 
     def decode(
         self,
@@ -90,9 +105,12 @@ class SortedCOOFormat(SparseFormat):
         return as_index_array(payload["coords"])
 
     def _query_addresses(
-        self, payload: Mapping[str, np.ndarray], shape: Sequence[int]
+        self,
+        payload: Mapping[str, np.ndarray],
+        shape: Sequence[int],
+        order: str = "row_major",
     ) -> np.ndarray:
-        return linearize(payload["coords"], shape, validate=False)
+        return linearize_order(payload["coords"], shape, order, validate=False)
 
     def read(
         self,
@@ -108,8 +126,9 @@ class SortedCOOFormat(SparseFormat):
         stored = payload["coords"]
         if stored.shape[0] == 0 or query.shape[0] == 0:
             return empty_read(query.shape[0])
-        stored_addr = self._query_addresses(payload, shape)
-        query_addr = linearize(query, shape, validate=False)
+        addr_order = meta_addr_order(meta)
+        stored_addr = self._query_addresses(payload, shape, addr_order)
+        query_addr = linearize_order(query, shape, addr_order, validate=False)
         # side="right" - 1: the last entry of an equal-address run is the
         # newest write (stable build sort keeps input order), per the
         # central duplicate policy.

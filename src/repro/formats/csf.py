@@ -142,7 +142,7 @@ class CSFFormat(SparseFormat):
         counter.charge_sort(canon.n, note="CSF.build lexsort")
         perm = canon.ordering_for_dims(dim_perm, sorted_shape)
         counter.charge_transforms(canon.n * d, note="CSF.build tree")
-        if list(dim_perm) == list(range(d)) and canon.linearizable:
+        if list(dim_perm) == list(range(d)) and canon.row_major_sorted:
             # Identity permutation: the lexicographic tree input is the
             # shared sorted-coordinate artifact (one gather per buffer).
             sc = canon.sorted_coords
@@ -193,18 +193,20 @@ class CSFFormat(SparseFormat):
             payload[f"fptr_{i}"] = fptr
         return payload
 
-    def extract_addresses(self, payload, meta, shape):
+    def extract_addresses(self, payload, meta, shape, *, order="row_major"):
         """Sorted address run; free of sorting for the identity permutation.
 
         With the identity ``dim_perm`` the stored (decode) order is the
-        natural lexicographic order, which *is* ascending linear-address
-        order — the run only needs one linearize pass.  Other
-        permutations fall back to the generic decode-and-sort.
+        natural lexicographic order, which *is* ascending *row-major*
+        linear-address order — the run only needs one linearize pass.
+        Other permutations (and non-row-major target orders, where
+        lexicographic no longer implies address-sorted) fall back to the
+        generic decode-and-sort.
         """
         d = len(shape)
         dim_perm = [int(p) for p in meta.get("dim_perm", range(d))]
-        if dim_perm != list(range(d)):
-            return super().extract_addresses(payload, meta, shape)
+        if dim_perm != list(range(d)) or order != "row_major":
+            return super().extract_addresses(payload, meta, shape, order=order)
         from ..core.linearize import linearize
 
         coords = self.decode(payload, meta, shape)

@@ -22,7 +22,7 @@ import numpy as np
 from ..core.costmodel import NULL_COUNTER, OpCounter
 from ..core.dtypes import as_index_array
 from ..core.errors import FormatError
-from ..core.linearize import fold_coords_2d, fold_shape_2d
+from ..core.linearize import fold_coords_2d, fold_shape_2d, linearize
 from ..core.sorting import stable_argsort
 from .base import BuildResult, ReadResult, SparseFormat, empty_read, require_buffers
 from .csr2d import CSRMatrix, csr_pack, csr_query_scan, csr_query_vectorized
@@ -149,22 +149,32 @@ class GCSRFormat(SparseFormat):
         if canon.n == 0:
             return self.build(canon.coords, canon.shape, counter=counter)
         counter.charge_transforms(canon.n, note=f"{self.name}.build fold")
-        rows, cols = np.divmod(canon.addresses, np.uint64(shape2d[1]))
+        # The fold is defined over *row-major* addresses; an ALTO-ordered
+        # canonical caches interleaved addresses, so recompute explicitly.
+        if canon.addr_order == "row_major":
+            addresses = canon.addresses
+        else:
+            addresses = linearize(canon.coords, canon.shape, validate=False)
+        rows, cols = np.divmod(addresses, np.uint64(shape2d[1]))
         if self._min_dim_as == "rows":
             comp, other = rows, cols
         else:
             comp, other = cols, rows
         return self._pack(comp, other, shape2d, counter)
 
-    def extract_addresses(self, payload, meta, shape):
+    def extract_addresses(self, payload, meta, shape, *, order="row_major"):
         """Global addresses straight from the CSR structure (no unfold).
 
         Since the fold preserves the global row-major address, it is
         recovered as ``row * n_cols + col`` over the folded 2D shape —
         no per-dimension delinearize/linearize round trip.  For GCSR++
         the structure is row-sorted, so the remaining argsort runs on
-        nearly-sorted keys (timsort-fast).
+        nearly-sorted keys (timsort-fast).  Non-row-major target orders
+        need the per-dimension coordinates and fall back to the generic
+        decode-and-sort.
         """
+        if order != "row_major":
+            return super().extract_addresses(payload, meta, shape, order=order)
         matrix = self._matrix_from_payload(payload, meta)
         shape2d = tuple(int(v) for v in meta["shape2d"])
         counts = np.diff(matrix.indptr.astype(np.int64))

@@ -19,7 +19,7 @@ from typing import Any, Mapping, MutableMapping, Sequence
 import numpy as np
 
 from ..core.costmodel import NULL_COUNTER, OpCounter
-from ..core.linearize import linearize
+from ..core.linearize import DEFAULT_ADDRESS_ORDER, linearize_order
 from ..core.sorting import stable_argsort
 from .base import (
     BuildResult,
@@ -28,6 +28,7 @@ from .base import (
     empty_read,
     linearize_for_format,
     match_addresses,
+    meta_addr_order,
     require_buffers,
     scan_addresses_faithful,
 )
@@ -38,6 +39,7 @@ class LinearFormat(SparseFormat):
 
     name = "LINEAR"
     reorders_values = False
+    payload_orders = ("row_major", "alto")
 
     def build(
         self,
@@ -54,20 +56,31 @@ class LinearFormat(SparseFormat):
     def build_canonical(self, canon, *, counter=NULL_COUNTER) -> BuildResult:
         # Same charges as build (Table I counts the transform regardless
         # of whether the pipeline cached it); the addresses come from the
-        # shared canonical intermediate.
+        # shared canonical intermediate.  The payload adopts the
+        # canonical's address order; meta records it only when it is not
+        # the row-major default (legacy fragments stay byte-identical).
         counter.charge_transforms(
             canon.n * max(1, canon.d), note="LINEAR.build transform"
         )
+        meta = (
+            {}
+            if canon.addr_order == DEFAULT_ADDRESS_ORDER
+            else {"addr_order": canon.addr_order}
+        )
         return BuildResult(
-            payload={"addresses": canon.addresses}, perm=None, meta={}
+            payload={"addresses": canon.addresses}, perm=None, meta=meta
         )
 
-    def extract_addresses(self, payload, meta, shape):
+    def extract_addresses(self, payload, meta, shape, *, order="row_major"):
+        if meta_addr_order(meta) != order:
+            # Stored in a different address space: delinearize + re-linearize
+            # via the generic decode path.
+            return super().extract_addresses(payload, meta, shape, order=order)
         # The payload *is* the address vector: no decode, no linearize.
         require_buffers(payload, ["addresses"], self.name)
         stored = payload["addresses"]
-        order = stable_argsort(stored)
-        return stored[order], order
+        value_order = stable_argsort(stored)
+        return stored[value_order], value_order
 
     def read(
         self,
@@ -83,7 +96,9 @@ class LinearFormat(SparseFormat):
         stored = payload["addresses"]
         if stored.shape[0] == 0 or query.shape[0] == 0:
             return empty_read(query.shape[0])
-        query_addr = linearize(query, shape, validate=False)
+        query_addr = linearize_order(
+            query, shape, meta_addr_order(meta), validate=False
+        )
         found, positions = match_addresses(stored, query_addr, memo=memo)
         return ReadResult(found=found, value_positions=positions)
 
@@ -93,10 +108,12 @@ class LinearFormat(SparseFormat):
         meta: Mapping[str, Any],
         shape: Sequence[int],
     ) -> np.ndarray:
-        from ..core.linearize import delinearize
+        from ..core.linearize import delinearize_order
 
         require_buffers(payload, ["addresses"], self.name)
-        return delinearize(payload["addresses"], shape, validate=False)
+        return delinearize_order(
+            payload["addresses"], shape, meta_addr_order(meta), validate=False
+        )
 
     def read_faithful(
         self,
@@ -113,7 +130,8 @@ class LinearFormat(SparseFormat):
         if stored.shape[0] == 0 or query.shape[0] == 0:
             return empty_read(query.shape[0])
         query_addr = linearize_for_format(
-            query, shape, counter, note="LINEAR.read transform"
+            query, shape, counter, note="LINEAR.read transform",
+            order=meta_addr_order(meta),
         )
         found, positions = scan_addresses_faithful(
             stored, query_addr, counter, note="LINEAR.read scan"

@@ -315,6 +315,16 @@ class CodecAdvice:
     sampled (deterministically) — ``candidate_sizes`` are exact byte
     counts for each structural candidate, which is what the decision
     actually keys on.
+
+    ``width_bits`` / ``n_runs`` summarize the residual distribution the
+    sizes came from: the packed bit width of the delta residuals and
+    the number of equal-residual runs.  Address buffers linearized in
+    different orders produce very different residuals (ALTO interleaving
+    spreads deltas across bit positions, row-major keeps them small and
+    runny), so these two numbers explain *why* ``dbp``/``drle`` won or
+    lost on a given fragment — the decision itself always keys on the
+    exact candidate byte counts, so a worse residual distribution can
+    only ever fall back to ``raw``, never mis-pick.
     """
 
     chain: str
@@ -324,6 +334,8 @@ class CodecAdvice:
     entropy_bits: float
     width_hist: dict[int, int] = field(default_factory=dict)
     candidate_sizes: dict[str, int] = field(default_factory=dict)
+    width_bits: int = 0
+    n_runs: int = 0
 
 
 def _maybe_deflate(payload: bytes, chain: str) -> tuple[bytes, str]:
@@ -382,6 +394,8 @@ def advise_buffer(arr: np.ndarray) -> CodecAdvice:
         entropy_bits=byte_entropy(residuals.tobytes()),
         width_hist=_width_histogram(residuals),
         candidate_sizes=sizes,
+        width_bits=int(width),
+        n_runs=int(n_runs),
     )
 
 

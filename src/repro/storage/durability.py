@@ -563,7 +563,7 @@ def fsck(
                 k: manifest[k]
                 for k in (
                     "version", "shape", "format", "relative_coords", "codec",
-                    "gc_horizon",
+                    "gc_horizon", "addr_order",
                 )
                 if k in manifest
             }
@@ -649,20 +649,29 @@ def fsck(
 
                 data_len = path.stat().st_size
                 frag_codecs, frag_raw = codec_sizes(header)
-                recovered.append(
-                    {
-                        "file": path.name,
-                        "format": header["format"],
-                        "shape": list(header["shape"]),
-                        "nnz": int(header["nnz"]),
-                        "bbox_origin": list(header.get("bbox_origin", [])),
-                        "bbox_size": list(header.get("bbox_size", [])),
-                        "nbytes": int(data_len),
-                        "crc": file_crc(read_bytes(path)),
-                        "codecs": frag_codecs,
-                        "raw_nbytes": frag_raw,
-                    }
+                entry = {
+                    "file": path.name,
+                    "format": header["format"],
+                    "shape": list(header["shape"]),
+                    "nnz": int(header["nnz"]),
+                    "bbox_origin": list(header.get("bbox_origin", [])),
+                    "bbox_size": list(header.get("bbox_size", [])),
+                    "nbytes": int(data_len),
+                    "crc": file_crc(read_bytes(path)),
+                    "codecs": frag_codecs,
+                    "raw_nbytes": frag_raw,
+                }
+                # Fragment headers are self-describing about their
+                # linearization order (written only when non-default),
+                # so a recovered orphan keeps its ``addr_order`` tag and
+                # mixed-order stores stay prunable after repair.
+                addr_order = (
+                    (header.get("extra") or {}).get("addr_order")
+                    or (header.get("meta") or {}).get("addr_order")
                 )
+                if addr_order:
+                    entry["addr_order"] = str(addr_order)
+                recovered.append(entry)
                 issue.repaired = "recovered"
         else:
             issue = FsckIssue(

@@ -101,6 +101,13 @@ class FragmentInfo:
     format migration writes the replacement under a fresh file name but
     pins ``seq`` to the replaced fragment's slot, so the re-formatted
     points keep their original position in the shadowing order.
+
+    ``addr_order`` names the linearization order the fragment's zone map
+    (and any order-bearing payload) is expressed in — ``"row_major"``
+    for every fragment written before address orders existed (the tag is
+    only persisted when it differs, so legacy manifests and fragment
+    bytes are unchanged).  Mixed-order stores prune each fragment in its
+    own space (see :class:`~repro.storage.planner.QueryKeys`).
     """
 
     path: Path
@@ -116,6 +123,7 @@ class FragmentInfo:
     codecs: dict[str, int] | None = None
     raw_nbytes: int | None = None
     seq: int | None = None
+    addr_order: str = "row_major"
 
     def effective_seq(self) -> int:
         """The logical write sequence (explicit ``seq`` or the file name's)."""
@@ -134,6 +142,13 @@ class FragmentInfo:
             origin = tuple(0 for _ in header["shape"])
             size = tuple(int(m) for m in header["shape"])
         codecs, raw_nbytes = codec_sizes(header)
+        extra = header.get("extra") or {}
+        meta = header.get("meta") or {}
+        addr_order = str(
+            extra.get("addr_order")
+            or meta.get("addr_order")
+            or "row_major"
+        )
         return cls(
             path=path,
             format_name=header["format"],
@@ -143,6 +158,7 @@ class FragmentInfo:
             nbytes=path.stat().st_size if path.exists() else 0,
             codecs=codecs,
             raw_nbytes=raw_nbytes,
+            addr_order=addr_order,
         )
 
 
@@ -203,6 +219,11 @@ def write_fragment(
         sp.add_bytes_out(len(blob))
     record_fragment_written(encoded.fmt.name, encoded.nbytes, len(blob))
     codecs, raw_nbytes = codec_sizes(unpack_header(blob)[0])
+    addr_order = str(
+        (extra or {}).get("addr_order")
+        or encoded.meta.get("addr_order")
+        or "row_major"
+    )
     return FragmentInfo(
         path=path,
         format_name=encoded.fmt.name,
@@ -213,6 +234,7 @@ def write_fragment(
         crc=fragment_file_crc(blob),
         codecs=codecs,
         raw_nbytes=raw_nbytes,
+        addr_order=addr_order,
     )
 
 

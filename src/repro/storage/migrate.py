@@ -78,10 +78,15 @@ def direct_convert(encoded: "EncodedTensor", fmt) -> "EncodedTensor | None":
     from ..formats.base import EncodedTensor
     from ..formats.registry import resolve_format
 
+    from ..formats.base import meta_addr_order
+
     fmt = resolve_format(fmt)
     kernel = _KERNELS.get((encoded.fmt.name, fmt.name))
     result = None
-    if kernel is not None:
+    # Direct kernels transcribe row-major payloads; an order-bearing
+    # payload in another address space falls back to the canonical path
+    # (which is order-aware).
+    if kernel is not None and meta_addr_order(encoded.meta) == "row_major":
         result = kernel(encoded.payload, encoded.meta, encoded.shape)
     if result is None:
         counter_add(
@@ -102,6 +107,139 @@ def direct_convert(encoded: "EncodedTensor", fmt) -> "EncodedTensor | None":
         meta=dict(meta),
         values=values,
     )
+
+
+# ----------------------------------------------------------------------
+# Address-order re-linearization kernels (row_major ↔ alto)
+# ----------------------------------------------------------------------
+
+#: An addr kernel: ``(encoded, dst_order) -> EncodedTensor | None``.
+#: ``None`` = precondition failed, use the generic extract-and-rebuild.
+AddrKernel = Any
+
+#: ``(format_name, src_order, dst_order) → kernel``.
+_ADDR_KERNELS: dict[tuple[str, str, str], AddrKernel] = {}
+
+
+def register_addr_kernel(
+    fmt: str, src_order: str, dst_order: str, kernel: AddrKernel
+) -> None:
+    """Register the direct re-linearization kernel for a format/order pair."""
+    _ADDR_KERNELS[(get_format(fmt).name, src_order, dst_order)] = kernel
+
+
+def get_addr_kernel(
+    fmt: str, src_order: str, dst_order: str
+) -> AddrKernel | None:
+    return _ADDR_KERNELS.get((fmt, src_order, dst_order))
+
+
+def _linear_addr_kernel(encoded: "EncodedTensor", dst_order: str):
+    """LINEAR: remap every stored address bit-for-bit, stored order kept.
+
+    One vectorized delinearize (source space) + linearize (target
+    space); no sort, no value gather.
+    """
+    from ..core.linearize import delinearize_order, linearize_order
+    from ..formats.base import EncodedTensor, meta_addr_order
+
+    addresses = encoded.payload.get("addresses")
+    if addresses is None:
+        return None
+    src_order = meta_addr_order(encoded.meta)
+    coords = delinearize_order(
+        addresses, encoded.shape, src_order, validate=False
+    )
+    remapped = linearize_order(coords, encoded.shape, dst_order, validate=False)
+    meta = {} if dst_order == "row_major" else {"addr_order": dst_order}
+    return EncodedTensor(
+        fmt=encoded.fmt,
+        shape=tuple(encoded.shape),
+        nnz=encoded.nnz,
+        payload={"addresses": remapped},
+        meta=meta,
+        values=encoded.values,
+    )
+
+
+def _coo_sorted_addr_kernel(encoded: "EncodedTensor", dst_order: str):
+    """COO-SORTED: re-sort the stored coordinates by the target order.
+
+    The coordinates are already materialized, so the kernel skips the
+    generic path's delinearize round trip — one linearize + one stable
+    argsort + one gather.
+    """
+    from ..core.linearize import linearize_order
+    from ..core.sorting import stable_argsort
+    from ..formats.base import EncodedTensor
+
+    coords = encoded.payload.get("coords")
+    if coords is None:
+        return None
+    addresses = linearize_order(
+        coords, encoded.shape, dst_order, validate=False
+    )
+    order = stable_argsort(addresses)
+    meta: dict[str, Any] = {"sorted_by": "linear"}
+    if dst_order != "row_major":
+        meta["addr_order"] = dst_order
+    return EncodedTensor(
+        fmt=encoded.fmt,
+        shape=tuple(encoded.shape),
+        nnz=encoded.nnz,
+        payload={"coords": coords[order]},
+        meta=meta,
+        values=encoded.values[order],
+    )
+
+
+for _src, _dst in (("row_major", "alto"), ("alto", "row_major")):
+    _ADDR_KERNELS[("LINEAR", _src, _dst)] = _linear_addr_kernel
+    _ADDR_KERNELS[("COO-SORTED", _src, _dst)] = _coo_sorted_addr_kernel
+
+
+def convert_addr_order(
+    encoded: "EncodedTensor", dst_order: str
+) -> "EncodedTensor":
+    """Re-express an encoded tensor in another address order.
+
+    Order-independent payloads (COO, CSF, HICOO, GCSR++/GCSC++ — their
+    buffers do not depend on the canonical sort's address space) pass
+    through untouched; order-bearing payloads (LINEAR, COO-SORTED) go
+    through a registered re-linearization kernel when one exists, else
+    the generic extract-in-target-order + rebuild.  Charges
+    ``migrate.addr_direct`` / ``migrate.addr_fallback``.
+    """
+    from ..build.canonical import CanonicalCoords
+    from ..formats.base import meta_addr_order
+
+    fmt = encoded.fmt
+    if fmt.payload_orders is None:
+        return encoded
+    src_order = meta_addr_order(encoded.meta)
+    if src_order == dst_order:
+        return encoded
+    kernel = _ADDR_KERNELS.get((fmt.name, src_order, dst_order))
+    if kernel is not None:
+        result = kernel(encoded, dst_order)
+        if result is not None:
+            counter_add(
+                "migrate.addr_direct", fmt=fmt.name,
+                src=src_order, dst=dst_order,
+            )
+            return result
+    counter_add(
+        "migrate.addr_fallback", fmt=fmt.name,
+        src=src_order, dst=dst_order,
+    )
+    addresses, order = fmt.extract_addresses(
+        encoded.payload, encoded.meta, encoded.shape, order=dst_order
+    )
+    canon = CanonicalCoords.from_addresses(
+        addresses, encoded.shape, is_sorted=True, addr_order=dst_order
+    )
+    values = encoded.values if order is None else encoded.values[order]
+    return fmt.encode_canonical(canon, values)
 
 
 # ----------------------------------------------------------------------
@@ -131,12 +269,26 @@ class MigrationPolicy:
     max_fragment_nnz:
         Skip fragments larger than this many points (0 = no limit);
         a guard for latency-sensitive ``migrate="auto"`` sweeps.
+    addr_min_reads:
+        Total reads the store must have served (summed over the ledger)
+        before the address-order signal is trusted
+        (:func:`decide_addr_order`).
+    addr_box_ratio:
+        Fraction of reads that are box reads at which a row-major store
+        re-orders to ALTO (box-heavy ledgers want all-mode locality).
+    addr_hysteresis:
+        An ALTO store only reverts to row-major once the box ratio drops
+        below ``addr_box_ratio - addr_hysteresis`` — damps oscillation
+        around the threshold.
     """
 
     min_reads: int = 4
     hysteresis: float = 0.1
     direct_only: bool = True
     max_fragment_nnz: int = 0
+    addr_min_reads: int = 8
+    addr_box_ratio: float = 0.5
+    addr_hysteresis: float = 0.2
 
     def __post_init__(self) -> None:
         if int(self.min_reads) < 0:
@@ -145,6 +297,12 @@ class MigrationPolicy:
             raise ValueError("hysteresis must be in [0, 1)")
         if int(self.max_fragment_nnz) < 0:
             raise ValueError("max_fragment_nnz must be >= 0")
+        if int(self.addr_min_reads) < 0:
+            raise ValueError("addr_min_reads must be >= 0")
+        if not 0.0 < float(self.addr_box_ratio) <= 1.0:
+            raise ValueError("addr_box_ratio must be in (0, 1]")
+        if not 0.0 <= float(self.addr_hysteresis) < 1.0:
+            raise ValueError("addr_hysteresis must be in [0, 1)")
 
     def replace(self, **changes: Any) -> "MigrationPolicy":
         return dataclasses.replace(self, **changes)
@@ -265,6 +423,35 @@ def decide(
         f"(hysteresis {policy.hysteresis:g})",
         current_cost=current.combined, target_cost=best.combined,
     )
+
+
+def decide_addr_order(
+    current_order: str,
+    box_reads: int,
+    point_reads: int,
+    policy: MigrationPolicy,
+) -> str | None:
+    """Store-level address-order verdict from the aggregated ledger.
+
+    Returns the target order (``"alto"`` / ``"row_major"``) or ``None``
+    to keep the current one.  Box-heavy ledgers (box-read fraction ≥
+    ``addr_box_ratio``) pull the store to ALTO; it reverts to row-major
+    only when the fraction falls below ``addr_box_ratio -
+    addr_hysteresis``.  Cold stores (fewer than ``addr_min_reads``
+    total reads) keep their order.
+    """
+    reads = int(box_reads) + int(point_reads)
+    if reads < policy.addr_min_reads:
+        return None
+    ratio = box_reads / reads
+    if ratio >= policy.addr_box_ratio:
+        return "alto" if current_order != "alto" else None
+    if (
+        current_order == "alto"
+        and ratio < policy.addr_box_ratio - policy.addr_hysteresis
+    ):
+        return "row_major"
+    return None
 
 
 def plan_migrations(

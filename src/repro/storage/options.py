@@ -60,6 +60,14 @@ CRC_MODES = ("eager", "once")
 #: the option but only migrate when asked explicitly).
 MIGRATE_POLICIES = ("off", "compact", "auto")
 
+#: Address-order settings (``StoreOptions.addr_order``).  ``"row_major"``
+#: and ``"alto"`` pin the store's linearization order; ``"auto"`` starts
+#: from the persisted (or row-major) order and lets the workload ledger
+#: re-order box-heavy stores during ``compact()`` / ``pack_wal()``.
+#: ``None`` adopts the order recorded in an existing manifest and
+#: defaults to ``"row_major"`` for fresh stores.
+ADDR_ORDER_SETTINGS = ("row_major", "alto", "auto")
+
 
 class _Unset:
     """Sentinel distinguishing "keyword not passed" from an explicit value."""
@@ -151,6 +159,17 @@ class StoreOptions:
         re-formats the winners through the direct-conversion kernels;
         ``"auto"`` additionally sweeps opportunistically after reads.
         See ``docs/FORMAT_MIGRATION.md``.
+    addr_order:
+        Linearization order of the store's address space, one of
+        :data:`ADDR_ORDER_SETTINGS` (``"row_major"`` / ``"alto"`` /
+        ``"auto"``) or ``None`` (adopt the manifest's persisted order;
+        ``"row_major"`` for fresh stores — bit-identical to the
+        pre-ALTO layout).  ``"alto"`` interleaves the coordinate bits
+        adaptively per shape so every mode stays locality-preserving
+        (box reads prune fragments in all dimensions); ``"auto"``
+        re-orders box-heavy stores from the workload ledger during
+        ``compact()`` / ``pack_wal()``.  See
+        ``docs/ADDRESS_ORDERS.md``.
     """
 
     relative_coords: bool = False
@@ -167,6 +186,7 @@ class StoreOptions:
     wal_pack_interval: float | None = None
     retain_generations: int = 0
     migrate: str = "off"
+    addr_order: str | None = None
 
     def __post_init__(self) -> None:
         if self.on_corruption not in CORRUPTION_POLICIES:
@@ -190,6 +210,14 @@ class StoreOptions:
             raise ValueError(
                 f"migrate must be one of {MIGRATE_POLICIES}, "
                 f"got {self.migrate!r}"
+            )
+        if (
+            self.addr_order is not None
+            and self.addr_order not in ADDR_ORDER_SETTINGS
+        ):
+            raise ValueError(
+                f"addr_order must be None or one of {ADDR_ORDER_SETTINGS}, "
+                f"got {self.addr_order!r}"
             )
 
     def replace(self, **changes: Any) -> "StoreOptions":

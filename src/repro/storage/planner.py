@@ -69,6 +69,11 @@ import numpy as np
 
 from ..core.boundary import Box
 from ..core.dtypes import INDEX_DTYPE
+from ..core.linearize import (
+    alto_box_ranges,
+    fits_addr_order,
+    linearize_order,
+)
 from ..obs import counter_add
 
 #: Number of fixed-width buckets in a zone map's coarse address histogram.
@@ -201,6 +206,101 @@ class ZoneMap:
         return bool(occupancy[np.minimum(buckets, len(self.hist) - 1)].any())
 
 
+class QueryKeys:
+    """Per-address-order query keys, computed lazily and memoized.
+
+    A mixed-order store prunes each fragment in the address space its
+    zone map was built over (the fragment's ``addr_order`` tag).  One
+    instance is built per READ; the planner pulls the keys for each
+    fragment's order on demand, so a single-order store pays exactly one
+    linearize (points) or one box decomposition (boxes):
+
+    * point queries linearize the query coordinates once per distinct
+      order and sort them;
+    * box queries reduce to address intervals — one ``[lin(origin),
+      lin(end - 1)]`` envelope in row-major order (per-coordinate
+      monotonicity makes it sound), or O(address bits) contiguous
+      BIGMIN-style ranges in ALTO order (:func:`repro.core.linearize.
+      alto_box_ranges`), each pruned against the zone map separately so
+      an interleaved box does not degrade to one giant span.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        *,
+        points: np.ndarray | None = None,
+        box: Box | None = None,
+        max_ranges: int = 64,
+    ) -> None:
+        self.shape = tuple(int(m) for m in shape)
+        self._points = points
+        self._box = box
+        self._max_ranges = int(max_ranges)
+        self._addresses: dict[str, np.ndarray | None] = {}
+        self._ranges: dict[str, list[tuple[int, int]] | None] = {}
+
+    def addresses(self, order: str) -> np.ndarray | None:
+        """Ascending query addresses in ``order``'s space (``None`` when
+        the shape does not fit that order or this is a box query)."""
+        if self._points is None:
+            return None
+        if order not in self._addresses:
+            if not fits_addr_order(self.shape, order):
+                self._addresses[order] = None
+            else:
+                self._addresses[order] = np.sort(
+                    linearize_order(
+                        self._points, self.shape, order, validate=False
+                    )
+                )
+        return self._addresses[order]
+
+    def ranges(self, order: str) -> "list[tuple[int, int]] | None":
+        """Inclusive address intervals covering the box in ``order``'s
+        space (``None`` when unavailable; ``[]`` for an empty box)."""
+        if self._box is None:
+            return None
+        if order not in self._ranges:
+            self._ranges[order] = self._compute_ranges(order)
+        return self._ranges[order]
+
+    def _compute_ranges(self, order: str) -> "list[tuple[int, int]] | None":
+        if not fits_addr_order(self.shape, order):
+            return None
+        box = self._box
+        origin = np.maximum(np.asarray(box.origin, dtype=np.int64), 0)
+        end = np.minimum(
+            np.asarray(box.end, dtype=np.int64),
+            np.asarray(self.shape, dtype=np.int64),
+        )
+        if bool(np.any(end <= origin)):
+            return []
+        if order == "alto":
+            return alto_box_ranges(
+                origin, end, self.shape, max_ranges=self._max_ranges
+            )
+        lo = int(
+            linearize_order(
+                origin[None, :].astype(np.uint64), self.shape, order,
+                validate=False,
+            )[0]
+        )
+        hi = int(
+            linearize_order(
+                (end - 1)[None, :].astype(np.uint64), self.shape, order,
+                validate=False,
+            )[0]
+        )
+        return [(lo, hi)]
+
+    def interval_count(self) -> int:
+        """Total address intervals materialized so far (explain output)."""
+        return sum(
+            len(r) for r in self._ranges.values() if r is not None
+        )
+
+
 class FragmentIndex:
     """Searchsorted interval stabbing over the manifest bounding boxes.
 
@@ -299,6 +399,11 @@ class QueryPlan:
     used_index: bool = False
     used_zonemaps: bool = False
     codec_bytes: dict[str, int] | None = None
+    #: The store's active address order (``None`` on legacy call paths).
+    addr_order: str | None = None
+    #: Address intervals the query decomposed into, per order actually
+    #: consulted (box queries; ``{"alto": 7, "row_major": 1}``-shaped).
+    intervals: dict[str, int] | None = None
 
     def summary(self) -> str:
         """Human-readable plan rendering (``FragmentStore.explain``)."""
@@ -307,9 +412,20 @@ class QueryPlan:
         lines = [
             f"plan: {self.kind} query over "
             f"{self.total_fragments} fragment(s)",
-            f"  {stage1:>10s}: {self.total_fragments} -> {after_bbox} "
-            f"({self.pruned_bbox} pruned)",
         ]
+        if self.addr_order is not None:
+            order_line = f"  {'order':>10s}: {self.addr_order}"
+            if self.intervals:
+                per_order = ", ".join(
+                    f"{order}={n}"
+                    for order, n in sorted(self.intervals.items())
+                )
+                order_line += f" (intervals: {per_order})"
+            lines.append(order_line)
+        lines.append(
+            f"  {stage1:>10s}: {self.total_fragments} -> {after_bbox} "
+            f"({self.pruned_bbox} pruned)"
+        )
         if self.used_zonemaps:
             lines.append(
                 f"  {'zone-map':>10s}: {after_bbox} -> "
@@ -363,6 +479,8 @@ class QueryPlanner:
         enabled: bool = True,
         sorted_addresses: np.ndarray | None = None,
         address_range: tuple[int, int] | None = None,
+        keys: QueryKeys | None = None,
+        addr_order: str | None = None,
     ) -> QueryPlan:
         """Build the visit plan for one READ.
 
@@ -372,6 +490,14 @@ class QueryPlanner:
         the bbox survivors and, when the caller provides query addresses
         (points) or an address envelope (boxes), zone maps prune further.
         Fragments without a zone map are never pruned by the zone stage.
+
+        ``keys`` (a :class:`QueryKeys`) supersedes ``sorted_addresses``
+        / ``address_range``: every surviving fragment is pruned against
+        the query keys expressed in *its own* address order
+        (``frag.addr_order``), so mixed-order stores prune correctly —
+        and ALTO box queries prune per contiguous interval instead of
+        one giant span.  ``addr_order`` is the store's active order,
+        carried into the plan for ``explain``.
         """
         total = len(fragments)
         if not enabled:
@@ -381,6 +507,7 @@ class QueryPlanner:
                 total_fragments=total,
                 fragments=keep,
                 pruned_bbox=total - len(keep),
+                addr_order=addr_order,
             )
         index = self.index_for(fragments, generation)
         cand = index.candidates(query_box)
@@ -390,18 +517,44 @@ class QueryPlanner:
         for i in cand:
             frag = index.fragments[i]
             zone = getattr(frag, "zone", None)
-            if zone is not None and (
-                sorted_addresses is not None or address_range is not None
-            ):
-                used_zone = True
-                if sorted_addresses is not None:
+            if zone is not None:
+                if keys is not None:
+                    forder = getattr(frag, "addr_order", "row_major")
+                    sa = keys.addresses(forder)
+                    if sa is not None:
+                        used_zone = True
+                        if not zone.may_contain_any(sa):
+                            pruned_zone += 1
+                            continue
+                    else:
+                        ranges = keys.ranges(forder)
+                        if ranges is not None:
+                            used_zone = True
+                            if not any(
+                                zone.overlaps_range(lo, hi)
+                                for lo, hi in ranges
+                            ):
+                                pruned_zone += 1
+                                continue
+                elif sorted_addresses is not None:
+                    used_zone = True
                     if not zone.may_contain_any(sorted_addresses):
                         pruned_zone += 1
                         continue
-                elif not zone.overlaps_range(*address_range):
-                    pruned_zone += 1
-                    continue
+                elif address_range is not None:
+                    used_zone = True
+                    if not zone.overlaps_range(*address_range):
+                        pruned_zone += 1
+                        continue
             keep.append(frag)
+        intervals = None
+        if keys is not None:
+            counted = {
+                order: len(r)
+                for order, r in keys._ranges.items()
+                if r is not None
+            }
+            intervals = counted or None
         return QueryPlan(
             kind=kind,
             total_fragments=total,
@@ -410,4 +563,6 @@ class QueryPlanner:
             pruned_zonemap=pruned_zone,
             used_index=True,
             used_zonemaps=used_zone,
+            addr_order=addr_order,
+            intervals=intervals,
         )

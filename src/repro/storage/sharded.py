@@ -69,7 +69,15 @@ from ..build.canonical import CanonicalCoords
 from ..core.boundary import Box, extract_boundary
 from ..core.dtypes import as_index_array, cell_count, fits_index_dtype
 from ..core.errors import FragmentError, ManifestError, ShapeError
-from ..core.linearize import linearize
+from ..core.linearize import (
+    DEFAULT_ADDRESS_ORDER,
+    address_space_size,
+    delinearize_order,
+    fits_addr_order,
+    linearize,
+    linearize_order,
+    validate_addr_order,
+)
 from ..core.tensor import SparseTensor
 from ..formats.base import SparseFormat
 from ..formats.registry import resolve_format
@@ -92,7 +100,7 @@ from .options import (
     resolve_store_options,
 )
 from .fragment import FragmentInfo
-from .planner import QueryPlan, QueryPlanner, ZoneMap
+from .planner import QueryKeys, QueryPlan, QueryPlanner, ZoneMap
 from .readpath import RWLock
 from .store import FragmentStore, WriteReceipt
 
@@ -132,6 +140,11 @@ class ShardEntry:
     nnz: int = 0
     bbox: Box | None = None
     zone: ZoneMap | None = None
+    #: Linearization order of the band/zone addresses.  Set by the
+    #: parent from its store-level order (one order per sharded store),
+    #: not serialized per entry — the planner's zone stage reads it via
+    #: ``getattr`` so each entry is pruned in its own space.
+    addr_order: str = DEFAULT_ADDRESS_ORDER
 
     def to_json(self) -> dict:
         return {
@@ -266,7 +279,31 @@ class ShardedStore:
         self.merge_nnz = None if merge_nnz is None else int(merge_nnz)
         if self.split_nnz is not None and self.split_nnz < 2:
             raise ValueError("split_nnz must be >= 2")
-        self._cells = cell_count(self.shape)
+        # Bands are cut in the active order's address space, fixed for
+        # the store's lifetime: the band table IS a partition of that
+        # space, so changing the order would invalidate every cut.
+        # ``None``/``"auto"`` adopt the committed order (row-major for
+        # new and legacy stores); an explicit order is honored on
+        # creation and must match the manifest on reopen.
+        persisted = self._peek_addr_order(Path(directory))
+        if opts.addr_order in (None, "auto"):
+            resolved_order = persisted or DEFAULT_ADDRESS_ORDER
+        else:
+            resolved_order = validate_addr_order(opts.addr_order)
+            if persisted is not None and resolved_order != persisted:
+                raise ManifestError(
+                    f"sharded store bands are cut in {persisted!r} address "
+                    f"space; cannot reopen with addr_order="
+                    f"{resolved_order!r} (re-banding is not supported — "
+                    "create a new store and copy the data)"
+                )
+        if not fits_addr_order(self.shape, resolved_order):
+            raise ShapeError(
+                f"shape {self.shape} does not fit addr_order "
+                f"{resolved_order!r}; use 'row_major' or BlockedDataset"
+            )
+        self.addr_order = resolved_order
+        self._cells = address_space_size(self.shape, resolved_order)
         self._rw = RWLock()
         self._state_lock = threading.RLock()
         self._planner = QueryPlanner()
@@ -294,6 +331,21 @@ class ShardedStore:
 
     def _manifest_path(self) -> Path:
         return self.directory / SHARD_MANIFEST_NAME
+
+    @staticmethod
+    def _peek_addr_order(directory: Path) -> str | None:
+        """The committed address order, or ``None`` when no parent
+        manifest exists yet (legacy manifests without the key read as
+        row-major — their bands were cut in that space)."""
+        try:
+            doc = json.loads(
+                (Path(directory) / SHARD_MANIFEST_NAME).read_text()
+            )
+        except (OSError, json.JSONDecodeError, ValueError):
+            return None
+        if not isinstance(doc, dict):
+            return None
+        return str(doc.get("addr_order") or DEFAULT_ADDRESS_ORDER)
 
     @property
     def generation(self) -> int:
@@ -337,6 +389,8 @@ class ShardedStore:
         self._generation = int(doc.get("generation", 0))
         entries = [ShardEntry.from_json(self.directory, b) for b in bands]
         entries.sort(key=lambda e: e.addr_lo)
+        for e in entries:
+            e.addr_order = self.addr_order
         self._validate_bands(entries)
         self._entries = entries
 
@@ -368,6 +422,10 @@ class ShardedStore:
                 "codec": self.options.codec,
                 "bands": [e.to_json() for e in self._entries],
             }
+            # Written only when it differs, so row-major parent
+            # manifests stay byte-identical to pre-address-order ones.
+            if self.addr_order != DEFAULT_ADDRESS_ORDER:
+                doc["addr_order"] = self.addr_order
             write_bytes_atomic(
                 self._manifest_path(),
                 json.dumps(doc, indent=1).encode("utf-8"),
@@ -399,19 +457,22 @@ class ShardedStore:
         name = self._next_shard_name()
         path = self.directory / name
         path.mkdir(parents=True, exist_ok=True)
+        sidecar = {
+            "addr_lo": int(lo),
+            "addr_hi": int(hi),
+            "epoch": int(epoch),
+            "shape": list(self.shape),
+        }
+        if self.addr_order != DEFAULT_ADDRESS_ORDER:
+            sidecar["addr_order"] = self.addr_order
         write_bytes_atomic(
             path / SHARD_RANGE_NAME,
-            json.dumps({
-                "addr_lo": int(lo),
-                "addr_hi": int(hi),
-                "epoch": int(epoch),
-                "shape": list(self.shape),
-            }).encode("utf-8"),
+            json.dumps(sidecar).encode("utf-8"),
             fsync=self.options.fsync,
         )
         return ShardEntry(
             name=name, path=path, addr_lo=int(lo), addr_hi=int(hi),
-            epoch=int(epoch),
+            epoch=int(epoch), addr_order=self.addr_order,
         )
 
     def _create_bands(self, n_shards: int) -> None:
@@ -428,6 +489,17 @@ class ShardedStore:
                          for lo, hi in pairs]
         self._save_parent_manifest()
 
+    def _child_options(self) -> StoreOptions:
+        """Child-store options pinned to the parent's address order.
+
+        Children never resolve the order themselves (``"auto"`` would
+        let a child drift from the band space), so every fragment and
+        zone map in every shard lives in the parent's order.
+        """
+        if self.options.addr_order == self.addr_order:
+            return self.options
+        return self.options.replace(addr_order=self.addr_order)
+
     def _child(self, i: int) -> FragmentStore:
         """The i-th band's child store, opened lazily and cached."""
         entry = self._entries[i]
@@ -435,7 +507,7 @@ class ShardedStore:
         if store is None:
             store = FragmentStore(
                 entry.path, self.shape, self.format_name,
-                options=self.options,
+                options=self._child_options(),
             )
             self._children[entry.name] = store
         return store
@@ -475,7 +547,8 @@ class ShardedStore:
             if e <= s:
                 continue
             sub = CanonicalCoords.from_addresses(
-                addrs[s:e], self.shape, is_sorted=True
+                addrs[s:e], self.shape, is_sorted=True,
+                addr_order=canon.addr_order,
             )
             out.append((i, sub, vals[s:e]))
         return out
@@ -496,7 +569,9 @@ class ShardedStore:
             raise ShapeError("coords must be (n, d) matching the store shape")
         if values.shape[0] != coords.shape[0]:
             raise ShapeError("values must align with coords")
-        canon = CanonicalCoords.from_coords(coords, self.shape)
+        canon = CanonicalCoords.from_coords(
+            coords, self.shape, addr_order=self.addr_order
+        )
         receipts: list[WriteReceipt] = []
         with self._rw.write_locked():
             with span("store.shard.write", format=self.format_name) as sp:
@@ -563,7 +638,9 @@ class ShardedStore:
             raise ShapeError("coords must be (n, d) matching the store shape")
         if values.shape[0] != coords.shape[0]:
             raise ShapeError("values must align with coords")
-        canon = CanonicalCoords.from_coords(coords, self.shape)
+        canon = CanonicalCoords.from_coords(
+            coords, self.shape, addr_order=self.addr_order
+        )
         with self._rw.write_locked():
             with span("store.shard.append", format=self.format_name) as sp:
                 routed = self._route_canonical(canon, values)
@@ -580,9 +657,22 @@ class ShardedStore:
                 if routed:
                     self._save_parent_manifest()
                 for i, sub, vals in routed:
-                    self._child(i)._append_addresses(
-                        sub.sorted_addresses, vals
-                    )
+                    # Routing happens in the store order, but the WAL
+                    # address space is always row-major (the pack path
+                    # converts once at fragment-build time).  Duplicate
+                    # coordinates share one address in either order, so
+                    # the array order — and thus newest-wins — survives
+                    # the translation.
+                    addrs = sub.sorted_addresses
+                    if sub.addr_order != DEFAULT_ADDRESS_ORDER:
+                        addrs = linearize(
+                            delinearize_order(
+                                addrs, self.shape, sub.addr_order,
+                                validate=False,
+                            ),
+                            self.shape, validate=False,
+                        )
+                    self._child(i)._append_addresses(addrs, vals)
                     counter_add("store.shard.routed_parts")
                 sp.add_nnz(canon.n)
         return int(canon.n)
@@ -653,15 +743,16 @@ class ShardedStore:
         query_box: Box,
         kind: str,
         *,
-        sorted_addresses: np.ndarray | None = None,
-        address_range: tuple[int, int] | None = None,
+        keys: QueryKeys | None = None,
     ) -> QueryPlan:
         """Prune whole shards with the unmodified fragment planner.
 
-        :class:`ShardEntry` duck-types a fragment (bbox/nnz/zone/path),
-        so the same interval index + zone-map stages that prune
-        fragments inside one store here prune entire shard directories —
-        before any child manifest is opened.
+        :class:`ShardEntry` duck-types a fragment (bbox/nnz/zone/path/
+        addr_order), so the same interval index + zone-map stages that
+        prune fragments inside one store here prune entire shard
+        directories — before any child manifest is opened.  ``keys``
+        carries the query's per-order addresses/intervals; the zone
+        stage evaluates each entry in the store's active order.
         """
         with self._state_lock:
             entries = [
@@ -670,6 +761,7 @@ class ShardedStore:
                     name=e.name, path=e.path, addr_lo=e.addr_lo,
                     addr_hi=e.addr_hi, epoch=e.epoch, nnz=0,
                     bbox=_empty_box(len(self.shape)),
+                    addr_order=self.addr_order,
                 )
                 for e in self._entries
             ]
@@ -680,8 +772,8 @@ class ShardedStore:
             query_box,
             kind=kind,
             enabled=self.use_planner,
-            sorted_addresses=sorted_addresses,
-            address_range=address_range,
+            keys=keys,
+            addr_order=self.addr_order,
         )
         counter_add("store.shard.visited", len(plan.fragments))
         counter_add(
@@ -690,34 +782,29 @@ class ShardedStore:
         )
         return plan
 
+    def _query_keys(
+        self,
+        *,
+        points: np.ndarray | None = None,
+        box: Box | None = None,
+    ) -> QueryKeys | None:
+        """Per-order query keys for the zone stage (``None``: planner off)."""
+        if not self.use_planner:
+            return None
+        return QueryKeys(self.shape, points=points, box=box)
+
     def explain(self, query) -> QueryPlan:
         """The *shard-level* plan a read of ``query`` would use."""
         if isinstance(query, Box):
             return self._plan_shards(
-                query, "box", address_range=self._box_address_range(query)
+                query, "box", keys=self._query_keys(box=query)
             )
         query = as_index_array(query)
         return self._plan_shards(
             extract_boundary(query),
             "points",
-            sorted_addresses=np.sort(
-                linearize(query, self.shape, validate=False)
-            ),
+            keys=self._query_keys(points=query),
         )
-
-    def _box_address_range(self, box: Box) -> tuple[int, int] | None:
-        if not self.use_planner:
-            return None
-        clipped = box.intersection(
-            Box(tuple(0 for _ in self.shape), self.shape)
-        )
-        if clipped.is_empty():
-            return None
-        corners = as_index_array(
-            [list(clipped.origin), [e - 1 for e in clipped.end]]
-        )
-        lo, hi = linearize(corners, self.shape, validate=False)
-        return int(lo), int(hi)
 
     def read_points(
         self,
@@ -755,11 +842,13 @@ class ShardedStore:
         with self._rw.read_locked():
             with span("store.shard.read_points",
                       format=self.format_name) as sp:
-                addrs = linearize(query, self.shape, validate=False)
+                addrs = linearize_order(
+                    query, self.shape, self.addr_order, validate=False
+                )
                 plan = self._plan_shards(
                     extract_boundary(query),
                     "points",
-                    sorted_addresses=np.sort(addrs),
+                    keys=self._query_keys(points=query),
                 )
                 surviving = {e.name for e in plan.fragments}
                 band_of = (
@@ -823,7 +912,7 @@ class ShardedStore:
         with self._rw.read_locked():
             with span("store.shard.read_box", format=self.format_name):
                 plan = self._plan_shards(
-                    box, "box", address_range=self._box_address_range(box)
+                    box, "box", keys=self._query_keys(box=box)
                 )
                 surviving = {e.name for e in plan.fragments}
                 for i, entry in enumerate(self._entries):
@@ -909,11 +998,17 @@ class ShardedStore:
         entry.nnz = store.nnz
         bbox: Box | None = None
         zone: ZoneMap | None = None
+        mixed = False
         for f in store.fragments:
             bbox = _union_box(bbox, f.bbox)
             zone = _union_zone(zone, f.zone)
+            if f.addr_order != self.addr_order:
+                mixed = True
         entry.bbox = bbox
-        entry.zone = zone
+        # A fragment tagged with a different order (a child manipulated
+        # outside the parent) would poison the union with addresses from
+        # another space; drop the zone instead — sound, just prunes less.
+        entry.zone = None if mixed else zone
 
     def _shard_merged_run(self, i: int):
         """One shard's full content as ``(canonical, values)``.
@@ -935,7 +1030,8 @@ class ShardedStore:
             ))
         if not runs:
             return None
-        merged = merge_sorted_runs(runs, self.shape)
+        merged = merge_sorted_runs(runs, self.shape,
+                                   addr_order=self.addr_order)
         # MergedPoints.values aligns with the canonical's *input* order;
         # the split slices sorted address ranges, so gather first.
         return merged.canonical, merged.values[merged.canonical.sort_perm]
@@ -985,11 +1081,12 @@ class ShardedStore:
                 if e <= s:
                     continue
                 sub = CanonicalCoords.from_addresses(
-                    addrs[s:e], self.shape, is_sorted=True
+                    addrs[s:e], self.shape, is_sorted=True,
+                    addr_order=self.addr_order,
                 )
                 store = FragmentStore(
                     dest.path, self.shape, self.format_name,
-                    options=self.options,
+                    options=self._child_options(),
                 )
                 receipt = store.write_canonical(sub, values[s:e])
                 dest.nnz = receipt.info.nnz
@@ -1024,7 +1121,8 @@ class ShardedStore:
         epoch = self._generation + 1
         dest = self._make_shard_dir(a.addr_lo, b.addr_hi, epoch)
         store = FragmentStore(
-            dest.path, self.shape, self.format_name, options=self.options
+            dest.path, self.shape, self.format_name,
+            options=self._child_options(),
         )
         for i in (index, index + 1):
             src = self._child(i)
@@ -1146,7 +1244,9 @@ class ShardedStore:
                 snap.close()
             raise
         counter_add("store.shard.snapshots")
-        return ShardedSnapshot(self.shape, entries, children)
+        return ShardedSnapshot(
+            self.shape, entries, children, addr_order=self.addr_order
+        )
 
     def gc(self, *, keep_generations: int | None = None) -> int:
         """Run retention GC in every shard; returns total files deleted."""
@@ -1183,10 +1283,14 @@ class ShardedSnapshot:
     release on garbage collection.
     """
 
-    def __init__(self, shape, entries, children) -> None:
+    def __init__(
+        self, shape, entries, children,
+        addr_order: str = DEFAULT_ADDRESS_ORDER,
+    ) -> None:
         self.shape = tuple(shape)
         self._entries = tuple(entries)
         self._children = tuple(children)
+        self.addr_order = addr_order
 
     @property
     def nnz(self) -> int:
@@ -1225,7 +1329,9 @@ class ShardedSnapshot:
         out_values: np.ndarray | None = None
         if q == 0:
             return ReadOutcome(found, np.empty(0), 0, 0)
-        addrs = linearize(query, self.shape, validate=False)
+        addrs = linearize_order(
+            query, self.shape, self.addr_order, validate=False
+        )
         cuts = np.asarray(
             [e.addr_lo for e in self._entries], dtype=np.uint64
         )
@@ -1288,6 +1394,7 @@ def _read_range_sidecar(path: Path) -> dict | None:
             "addr_hi": int(doc["addr_hi"]),
             "epoch": int(doc.get("epoch", 0)),
             "shape": doc.get("shape"),
+            "addr_order": doc.get("addr_order"),
         }
     except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
         return None
@@ -1415,6 +1522,8 @@ def _band_stats_from_child(child_dir: Path) -> dict | None:
     nnz = 0
     bbox: Box | None = None
     zone: ZoneMap | None = None
+    order = str(doc.get("addr_order") or DEFAULT_ADDRESS_ORDER)
+    mixed = False
     for f in frags:
         nnz += int(f.get("nnz", 0))
         if f.get("bbox_origin"):
@@ -1422,6 +1531,10 @@ def _band_stats_from_child(child_dir: Path) -> dict | None:
                 bbox, Box(tuple(f["bbox_origin"]), tuple(f["bbox_size"]))
             )
         zone = _union_zone(zone, ZoneMap.from_json(f.get("zone")))
+        if str(f.get("addr_order") or DEFAULT_ADDRESS_ORDER) != order:
+            mixed = True  # foreign-order zone: drop the union (sound)
+    if mixed:
+        zone = None
     return {
         "nnz": nnz,
         "bbox_origin": list(bbox.origin) if bbox else None,
@@ -1485,15 +1598,29 @@ def fsck_sharded(
                 "format": child_doc.get("format"),
                 "codec": child_doc.get("codec"),
             }
+            if child_doc.get("addr_order"):
+                meta["addr_order"] = child_doc["addr_order"]
             break
         if not meta.get("shape"):
             for p in sorted(directory.glob(f"{_SHARD_DIR_PREFIX}*")):
                 rng = _read_range_sidecar(p) if p.is_dir() else None
                 if rng and rng.get("shape"):
                     meta["shape"] = rng["shape"]
+                    if rng.get("addr_order"):
+                        meta["addr_order"] = rng["addr_order"]
                     break
+        elif not meta.get("addr_order"):
+            # Child manifests of row-major stores omit the key; a
+            # sidecar breadcrumb may still name a non-default order.
+            for p in sorted(directory.glob(f"{_SHARD_DIR_PREFIX}*")):
+                rng = _read_range_sidecar(p) if p.is_dir() else None
+                if rng and rng.get("addr_order"):
+                    meta["addr_order"] = rng["addr_order"]
+                    break
+        order = str(meta.get("addr_order") or DEFAULT_ADDRESS_ORDER)
         cells = (
-            cell_count(tuple(meta["shape"])) if meta.get("shape") else None
+            address_space_size(tuple(meta["shape"]), order)
+            if meta.get("shape") else None
         )
         # Then reconstruct the band table from the sidecars.
         bands = _rebuild_parent(directory, report, repair=repair,
@@ -1501,7 +1628,7 @@ def fsck_sharded(
     else:
         meta = {
             k: doc[k]
-            for k in ("version", "shape", "format", "codec")
+            for k in ("version", "shape", "format", "codec", "addr_order")
             if k in doc
         }
 
@@ -1521,14 +1648,17 @@ def fsck_sharded(
                 # but the band table must keep covering the address
                 # space for the store to stay openable.
                 child_dir.mkdir(parents=True, exist_ok=True)
+                sidecar = {
+                    "addr_lo": int(band.get("addr_lo", 0)),
+                    "addr_hi": int(band.get("addr_hi", 0)),
+                    "epoch": int(band.get("epoch", 0)),
+                    "shape": meta.get("shape"),
+                }
+                if meta.get("addr_order"):
+                    sidecar["addr_order"] = meta["addr_order"]
                 write_bytes_atomic(
                     child_dir / SHARD_RANGE_NAME,
-                    json.dumps({
-                        "addr_lo": int(band.get("addr_lo", 0)),
-                        "addr_hi": int(band.get("addr_hi", 0)),
-                        "epoch": int(band.get("epoch", 0)),
-                        "shape": meta.get("shape"),
-                    }).encode("utf-8"),
+                    json.dumps(sidecar).encode("utf-8"),
                 )
                 band = dict(
                     band, nnz=0, bbox_origin=None, bbox_size=None, zone=None
@@ -1538,7 +1668,10 @@ def fsck_sharded(
                 try:
                     FragmentStore(
                         child_dir, tuple(meta["shape"]), meta["format"],
-                        options=StoreOptions(codec=meta.get("codec")),
+                        options=StoreOptions(
+                            codec=meta.get("codec"),
+                            addr_order=meta.get("addr_order"),
+                        ),
                     )
                 except (KeyError, TypeError, ValueError):
                     # Store metadata unrecoverable: let the fragment-level

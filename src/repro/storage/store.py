@@ -76,8 +76,15 @@ from ..core.boundary import Box, extract_boundary
 from ..core.costmodel import OpCounter
 from ..core.dtypes import as_index_array, fits_index_dtype
 from ..core.errors import FragmentError, ManifestError, ShapeError
-from ..core.linearize import delinearize, linearize
-from ..core.sorting import apply_map
+from ..core.linearize import (
+    DEFAULT_ADDRESS_ORDER,
+    delinearize,
+    fits_addr_order,
+    linearize,
+    linearize_order,
+    validate_addr_order,
+)
+from ..core.sorting import apply_map, stable_argsort
 from ..core.tensor import SparseTensor
 from ..formats.base import EncodedTensor, SparseFormat
 from ..formats.registry import get_format, resolve_format
@@ -117,7 +124,7 @@ from .options import (
     resolve_read_options,
     resolve_store_options,
 )
-from .planner import QueryPlan, QueryPlanner, ZoneMap
+from .planner import QueryKeys, QueryPlan, QueryPlanner, ZoneMap
 from .serialization import unpack_header
 from .readpath import (
     FragmentCache,
@@ -234,8 +241,36 @@ class FragmentStore:
         if resolved_codec is None:
             resolved_codec = self._peek_manifest_codec(self.directory) or "raw"
         self.codec = validate_codec(resolved_codec)
+        # The address order resolves like the codec: ``None`` (and the
+        # workload-driven ``"auto"`` policy) adopts the order persisted
+        # in an existing manifest; fresh stores default to row-major —
+        # bit-identical to the pre-ALTO layout.
+        self._addr_auto = opts.addr_order == "auto"
+        if opts.addr_order in (None, "auto"):
+            resolved_order = (
+                self._peek_manifest_addr_order(self.directory)
+                or DEFAULT_ADDRESS_ORDER
+            )
+        else:
+            resolved_order = opts.addr_order
+        validate_addr_order(resolved_order)
+        if (
+            resolved_order != DEFAULT_ADDRESS_ORDER
+            and not fits_addr_order(shape, resolved_order)
+        ):
+            raise ShapeError(
+                f"shape {tuple(int(m) for m in shape)} does not fit the "
+                f"{resolved_order!r} address order's 64-bit budget"
+            )
+        #: The store's active linearization order (``"row_major"`` /
+        #: ``"alto"``) — the space new fragments' zone maps and
+        #: order-bearing payloads are expressed in.
+        self.addr_order = resolved_order
         #: The effective (fully resolved) construction options.
-        self.options = opts.replace(codec=self.codec)
+        self.options = opts.replace(
+            codec=self.codec,
+            addr_order=opts.addr_order or self.addr_order,
+        )
         self.on_corruption = opts.on_corruption
         self.retry = opts.retry
         self.use_planner = bool(opts.planner)
@@ -322,6 +357,19 @@ class FragmentStore:
         except (OSError, json.JSONDecodeError):
             return None
 
+    @staticmethod
+    def _peek_manifest_addr_order(directory: Path) -> str | None:
+        """Address order recorded in the directory's manifest, if any.
+
+        Manifests written before address orders existed carry no
+        ``addr_order`` key — they load as ``None`` (row-major)."""
+        try:
+            return json.loads(
+                (directory / _MANIFEST).read_text()
+            ).get("addr_order")
+        except (OSError, json.JSONDecodeError):
+            return None
+
     @property
     def generation(self) -> int:
         """Manifest generation: bumped by every committed manifest write."""
@@ -374,6 +422,10 @@ class FragmentStore:
             # Absent unless migration rewrote the fragment in place:
             # the shadowing order falls back to the file-name number.
             seq=int(e["seq"]) if e.get("seq") is not None else None,
+            # Absent for every fragment written row-major (including all
+            # pre-ALTO manifests): the tag is only persisted when it
+            # differs from the default.
+            addr_order=str(e.get("addr_order") or DEFAULT_ADDRESS_ORDER),
         )
 
     @staticmethod
@@ -397,6 +449,8 @@ class FragmentStore:
             entry["raw_nbytes"] = f.raw_nbytes
         if f.seq is not None:
             entry["seq"] = f.seq
+        if f.addr_order != DEFAULT_ADDRESS_ORDER:
+            entry["addr_order"] = f.addr_order
         return entry
 
     def _save_manifest(self) -> None:
@@ -419,6 +473,10 @@ class FragmentStore:
                     self._fragment_entry(f) for f in self._fragments
                 ],
             }
+            # Persisted only when it differs: row-major manifests stay
+            # byte-identical to the pre-ALTO schema.
+            if self.addr_order != DEFAULT_ADDRESS_ORDER:
+                entries["addr_order"] = self.addr_order
             if self._retired:
                 entries["retired"] = [
                     self._fragment_entry(f) for f in self._retired
@@ -548,7 +606,9 @@ class FragmentStore:
             raise ShapeError("coords must be (n, d) matching the store shape")
         if values.shape[0] != coords.shape[0]:
             raise ShapeError("values must align with coords")
-        canon = CanonicalCoords.from_coords(coords, self.shape)
+        canon = CanonicalCoords.from_coords(
+            coords, self.shape, addr_order=self.addr_order
+        )
         return self._write_canonical_locked(canon, values)
 
     def write_canonical(
@@ -591,6 +651,12 @@ class FragmentStore:
             )
         if values.shape[0] != canon.n:
             raise ShapeError("values must align with coords")
+        if canon.addr_order != self.addr_order:
+            # Callers that pre-built their canonical in another order
+            # (the WAL packer merges row-major, convert_store feeds the
+            # source store's order) re-linearize into the store's active
+            # space here — the one shared sort then happens in it.
+            canon = canon.with_order(self.addr_order)
         if bbox is None and canon.n:
             bbox = canon.bounding_box
         if self.relative_coords and canon.n:
@@ -615,19 +681,22 @@ class FragmentStore:
                 values=stored_values,
             )
             path = self._next_fragment_path()
+            extra: dict = {"relative": self.relative_coords}
+            if canon.addr_order != DEFAULT_ADDRESS_ORDER:
+                extra["addr_order"] = canon.addr_order
             info = write_fragment(
                 path,
                 encoded,
                 bbox=bbox,
-                extra={"relative": self.relative_coords},
+                extra=extra,
                 fsync=self.fsync,
                 codec=self.codec,
             )
             t3 = time.perf_counter()
-            # Zone map from the *global* canonical sort (relative stores
-            # build from the rebased copy, so the global addresses are
-            # derived here; translation is monotone, the order is shared).
-            if self._linearizable:
+            # Zone map from the *global* canonical sort in the store's
+            # active order (relative stores build from the rebased copy,
+            # so the global addresses are derived here).
+            if fits_addr_order(self.shape, canon.addr_order):
                 info.zone = ZoneMap.from_addresses(
                     canon.sorted_addresses, assume_sorted=True
                 )
@@ -825,7 +894,9 @@ class FragmentStore:
         Returns ``None`` when the WAL holds no points.
         """
         with self._rw.write_locked():
-            return self._pack_wal_locked()
+            receipt = self._pack_wal_locked()
+            self._maybe_migrate_addr_order_locked()
+            return receipt
 
     def _pack_wal_locked(self) -> WriteReceipt | None:
         wal = self._wal
@@ -1079,14 +1150,17 @@ class FragmentStore:
         *,
         sorted_addresses: np.ndarray | None = None,
         address_range: tuple[int, int] | None = None,
+        keys: QueryKeys | None = None,
     ) -> QueryPlan:
         """Plan one READ: snapshot the fragment list, prune, never load.
 
-        The returned plan's fragment list is materialized (corruption
-        handling may shrink ``self._fragments`` while the caller
-        iterates) and shared verbatim by the sequential and parallel
-        fan-outs, so both visit exactly the same fragments in the same
-        order.
+        ``keys`` carries the per-address-order query keys — the zone
+        stage prunes each fragment in its own ``addr_order`` space, so
+        mixed-order stores stay correct.  The returned plan's fragment
+        list is materialized (corruption handling may shrink
+        ``self._fragments`` while the caller iterates) and shared
+        verbatim by the sequential and parallel fan-outs, so both visit
+        exactly the same fragments in the same order.
         """
         if self.use_planner and not self._zone_backfill_done:
             self.backfill_zone_maps()
@@ -1101,6 +1175,8 @@ class FragmentStore:
             enabled=self.use_planner,
             sorted_addresses=sorted_addresses,
             address_range=address_range,
+            keys=keys,
+            addr_order=self.addr_order,
         )
 
     def _query_addresses(self, query: np.ndarray) -> np.ndarray | None:
@@ -1113,6 +1189,17 @@ class FragmentStore:
         if not (self.use_planner and self._linearizable):
             return None
         return np.sort(linearize(query, self.shape, validate=False))
+
+    def _query_keys(
+        self,
+        *,
+        points: np.ndarray | None = None,
+        box: Box | None = None,
+    ) -> QueryKeys | None:
+        """Per-order query keys for the zone stage (``None``: planner off)."""
+        if not self.use_planner:
+            return None
+        return QueryKeys(self.shape, points=points, box=box)
 
     def _box_address_range(self, box: Box) -> tuple[int, int] | None:
         """Inclusive global-address envelope of ``box`` (zone-map key)."""
@@ -1160,9 +1247,15 @@ class FragmentStore:
                 return 0
             stale = [f for f in self._fragments if f.zone is None and f.nnz]
             for frag in stale:
+                # A zone map must live in the space the fragment's tag
+                # names — the planner prunes it there.
+                if not fits_addr_order(self.shape, frag.addr_order):
+                    continue
                 try:
                     payload = load_fragment(frag.path)
-                    run = self._fragment_sorted_run(frag, payload)
+                    run = self._fragment_sorted_run(
+                        frag, payload, order=frag.addr_order
+                    )
                 except (FragmentError, OSError):
                     continue
                 frag.zone = ZoneMap.from_addresses(
@@ -1196,7 +1289,7 @@ class FragmentStore:
         """
         if isinstance(query, Box):
             plan = self._plan_read(
-                query, "box", address_range=self._box_address_range(query)
+                query, "box", keys=self._query_keys(box=query)
             )
             plan.codec_bytes = self._aggregate_codecs(plan.fragments)
             return plan
@@ -1204,11 +1297,15 @@ class FragmentStore:
         if query.ndim != 2 or query.shape[1] != len(self.shape):
             raise ShapeError("query coords must be (q, d) matching the store")
         if query.shape[0] == 0:
-            return QueryPlan(kind="points", total_fragments=len(self.fragments))
+            return QueryPlan(
+                kind="points",
+                total_fragments=len(self.fragments),
+                addr_order=self.addr_order,
+            )
         plan = self._plan_read(
             extract_boundary(query),
             "points",
-            sorted_addresses=self._query_addresses(query),
+            keys=self._query_keys(points=query),
         )
         plan.codec_bytes = self._aggregate_codecs(plan.fragments)
         return plan
@@ -1495,17 +1592,19 @@ class FragmentStore:
         with self._rw.read_locked():
             with span("store.read_points", format=self.format_name) as sp:
                 tail = self._wal_tail()
+                # The WAL tail lives in row-major address space
+                # regardless of the store's active order (appends must
+                # not pay an interleave), so its overlay keys are
+                # row-major too.
                 qaddrs: np.ndarray | None = None
                 qsorted: np.ndarray | None = None
-                if self._linearizable and (
-                    self.use_planner or (tail is not None and tail.n)
-                ):
+                if self._linearizable and tail is not None and tail.n:
                     qaddrs = linearize(query, self.shape, validate=False)
                     qsorted = np.sort(qaddrs)
                 plan = self._plan_read(
                     extract_boundary(query),
                     "points",
-                    sorted_addresses=qsorted if self.use_planner else None,
+                    keys=self._query_keys(points=query),
                 )
                 frags = plan.fragments
                 visited = len(frags)
@@ -1613,9 +1712,10 @@ class FragmentStore:
             )
         frag = self.fragments[index]
         payload = load_fragment(frag.path)
-        run = self._fragment_sorted_run(frag, payload)
+        order = self._merge_order()
+        run = self._fragment_sorted_run(frag, payload, order=order)
         canon = CanonicalCoords.from_addresses(
-            run.addresses, self.shape, is_sorted=True
+            run.addresses, self.shape, is_sorted=True, addr_order=order
         )
         return canon, run.values
 
@@ -1656,7 +1756,9 @@ class FragmentStore:
                 f"strategy must be 'merge' or 'decode', got {strategy!r}"
             )
         with self._rw.write_locked():
-            return self._compact_locked(strategy)
+            receipt = self._compact_locked(strategy)
+            self._maybe_migrate_addr_order_locked()
+            return receipt
 
     def _compact_locked(self, strategy: str = "merge") -> WriteReceipt:
         if not self._fragments:
@@ -1682,34 +1784,69 @@ class FragmentStore:
             return self._compact_merge_locked()
         return self._compact_decode_locked()
 
+    def _merge_order(self) -> str:
+        """The address order compaction/conversion runs merge in.
+
+        The store's active order when the shape fits it, else row-major
+        (init already rejects an unfittable explicit order, so this only
+        degrades hypothetical edge cases, never a configured store)."""
+        if fits_addr_order(self.shape, self.addr_order):
+            return self.addr_order
+        return DEFAULT_ADDRESS_ORDER
+
     def _fragment_sorted_run(
-        self, frag: FragmentInfo, payload
+        self, frag: FragmentInfo, payload, *, order: str | None = None
     ) -> SortedRun:
-        """One fragment's points as a sorted global-address run.
+        """One fragment's points as a global-address run sorted in
+        ``order`` (default: the store's active order).
 
         Uses the organization's :meth:`extract_addresses` — no
         full-tensor decode.  ``positions`` are the fragment's stored
         positions, so the merge can reconstruct the exact
         concatenated-fragment order the decode path would have produced
         (newest-wins ties included).  Relative fragments translate their
-        local addresses into global space; the translation is monotone,
-        so the run stays sorted.
+        local addresses into global space; for row-major the translation
+        is monotone and the run stays sorted, while interleaved orders
+        re-sort after the rebase (the stable sort keeps newest-last
+        within duplicate runs).
         """
-        fmt = get_format(payload.format_name)
-        addresses, order = fmt.extract_addresses(
-            payload.buffers, payload.meta, payload.shape
-        )
-        values = np.asarray(payload.values)
         if order is None:
+            order = self._merge_order()
+        fmt = get_format(payload.format_name)
+        values = np.asarray(payload.values)
+        if not payload.extra.get("relative"):
+            addresses, value_order = fmt.extract_addresses(
+                payload.buffers, payload.meta, payload.shape, order=order
+            )
+            if value_order is None:
+                positions = np.arange(addresses.shape[0], dtype=np.intp)
+            else:
+                positions = np.asarray(value_order, dtype=np.intp)
+                values = values[positions]
+            return SortedRun(
+                addresses=addresses, values=values, positions=positions
+            )
+        # Relative fragment: extract in the local row-major space (always
+        # fits — the local box is a subset of the store shape), rebase,
+        # then re-linearize globally in the merge order.
+        addresses, value_order = fmt.extract_addresses(
+            payload.buffers, payload.meta, payload.shape,
+            order=DEFAULT_ADDRESS_ORDER,
+        )
+        if value_order is None:
             positions = np.arange(addresses.shape[0], dtype=np.intp)
         else:
-            positions = np.asarray(order, dtype=np.intp)
+            positions = np.asarray(value_order, dtype=np.intp)
             values = values[positions]
-        if payload.extra.get("relative"):
-            local = delinearize(addresses, payload.shape, validate=False)
-            addresses = linearize(
-                self._to_global(frag, local), self.shape, validate=False
-            )
+        local = delinearize(addresses, payload.shape, validate=False)
+        addresses = linearize_order(
+            self._to_global(frag, local), self.shape, order, validate=False
+        )
+        if order != DEFAULT_ADDRESS_ORDER:
+            perm = stable_argsort(addresses)
+            addresses = addresses[perm]
+            values = values[perm]
+            positions = positions[perm]
         return SortedRun(
             addresses=addresses, values=values, positions=positions
         )
@@ -1734,19 +1871,22 @@ class FragmentStore:
         with span("store.compact", format=self.format_name) as sp:
             n_before = len(self._fragments)
             old = list(self._fragments)
+            order = self._merge_order()
             runs: list[SortedRun] = []
             merged_from: list[FragmentInfo] = []
             for frag in old:
                 payload = self._load_fragment_guarded(frag)
                 if payload is None:
                     continue
-                runs.append(self._fragment_sorted_run(frag, payload))
+                runs.append(
+                    self._fragment_sorted_run(frag, payload, order=order)
+                )
                 merged_from.append(frag)
             if not runs:
                 raise FragmentError(
                     "nothing to compact: no readable fragments survive"
                 )
-            merged = merge_sorted_runs(runs, self.shape)
+            merged = merge_sorted_runs(runs, self.shape, addr_order=order)
             receipt = self.write_canonical(
                 merged.canonical,
                 merged.values,
@@ -1918,6 +2058,163 @@ class FragmentStore:
                 out.append(info)
         return out
 
+    # ------------------------------------------------------------------
+    # Address-order migration
+    # ------------------------------------------------------------------
+
+    def set_addr_order(self, addr_order: str) -> int:
+        """Re-linearize the store into ``addr_order``.
+
+        Every live fragment whose tag differs is rewritten: order-bearing
+        payloads (LINEAR, COO-SORTED) re-linearize through the registered
+        address kernels (:mod:`repro.storage.migrate`), order-independent
+        payloads keep their bytes, and the zone map is *rebuilt* in the
+        new space either way.  Each fragment commits independently under
+        the standard crash protocol (new file → manifest switch → retire
+        old), so a crash mid-way leaves a mixed-order store that reads
+        bit-identically; the store-level ``addr_order`` key commits last.
+        Returns the number of fragments rewritten.
+        """
+        validate_addr_order(addr_order)
+        if (
+            addr_order != DEFAULT_ADDRESS_ORDER
+            and not fits_addr_order(self.shape, addr_order)
+        ):
+            raise ShapeError(
+                f"shape {self.shape} does not fit the {addr_order!r} "
+                "address order's 64-bit budget"
+            )
+        with self._rw.write_locked():
+            return self._set_addr_order_locked(addr_order)
+
+    def _set_addr_order_locked(self, addr_order: str) -> int:
+        changed = 0
+        with self._state_lock:
+            count = len(self._fragments)
+        for i in range(count):
+            with self._state_lock:
+                frag = self._fragments[i]
+            if frag.addr_order == addr_order:
+                continue
+            if self._reorder_fragment_locked(i, addr_order) is not None:
+                changed += 1
+        if self.addr_order != addr_order:
+            self.addr_order = addr_order
+            self.options = self.options.replace(
+                addr_order="auto" if self._addr_auto else addr_order
+            )
+            # Commit the store-level order switch (also re-tags any
+            # fragment entries updated above a second time — harmless).
+            self._save_manifest()
+            counter_add(
+                "store.addr_order.switches", order=addr_order
+            )
+        return changed
+
+    def _reorder_fragment_locked(
+        self, index: int, addr_order: str
+    ) -> FragmentInfo | None:
+        """Rewrite one fragment's tag/payload/zone into ``addr_order``.
+
+        Mirrors :meth:`_migrate_fragment_locked`'s commit protocol; the
+        replacement pins the old fragment's logical ``seq`` so the
+        newest-wins shadowing order is untouched.
+        """
+        from .migrate import convert_addr_order
+
+        with self._state_lock:
+            frag = self._fragments[index]
+        payload = self._load_fragment_guarded(frag)
+        if payload is None:
+            return None
+        with span(
+            "store.addr_order.migrate",
+            src=frag.addr_order, dst=addr_order,
+        ) as sp:
+            encoded = EncodedTensor(
+                fmt=get_format(payload.format_name),
+                shape=tuple(int(m) for m in payload.shape),
+                nnz=int(payload.nnz),
+                payload=dict(payload.buffers),
+                meta=dict(payload.meta),
+                values=np.asarray(payload.values),
+            )
+            converted = convert_addr_order(encoded, addr_order)
+            extra = dict(payload.extra)
+            if addr_order == DEFAULT_ADDRESS_ORDER:
+                extra.pop("addr_order", None)
+            else:
+                extra["addr_order"] = addr_order
+            # The zone map is rebuilt from the *old* payload's point set
+            # (identical to the new one), sorted in the target space.
+            zone = None
+            if fits_addr_order(self.shape, addr_order):
+                run = self._fragment_sorted_run(
+                    frag, payload, order=addr_order
+                )
+                zone = ZoneMap.from_addresses(
+                    run.addresses, assume_sorted=True
+                )
+            path = self._next_fragment_path()
+            info = write_fragment(
+                path,
+                converted,
+                bbox=frag.bbox,
+                extra=extra,
+                fsync=self.fsync,
+                codec=self.codec,
+            )
+            info.zone = zone
+            info.seq = frag.effective_seq()
+            sp.add_nnz(converted.nnz)
+            sp.add_bytes_out(info.nbytes)
+        with self._state_lock:
+            self._fragments[index] = info
+            doomed = self._retire_locked([frag])
+        self._save_manifest()
+        for f in doomed:
+            try:
+                remove_file(f.path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self.workload_ledger.carry_over(frag.path.name, info.path.name)
+        counter_add(
+            "store.addr_order.fragments",
+            src=frag.addr_order, dst=addr_order,
+        )
+        return info
+
+    def _maybe_migrate_addr_order_locked(self) -> None:
+        """Workload-driven order switch (``StoreOptions.addr_order="auto"``).
+
+        Consulted after ``compact()`` / ``pack_wal()`` — the moments the
+        store is already rewriting fragments, so a switch is cheapest.
+        The decision comes from the aggregate read mix in the workload
+        ledger (:func:`repro.storage.migrate.decide_addr_order`):
+        box-heavy ledgers flip to ALTO, point-heavy ledgers revert, with
+        hysteresis so an oscillating mix never thrashes.
+        """
+        if not self._addr_auto:
+            return
+        from .migrate import MigrationPolicy, decide_addr_order
+
+        box_reads = 0
+        point_reads = 0
+        for load in self.workload_ledger.snapshot().values():
+            box_reads += load.box_reads
+            point_reads += load.point_reads
+        target = decide_addr_order(
+            self.addr_order, box_reads, point_reads, MigrationPolicy()
+        )
+        if target is None or target == self.addr_order:
+            return
+        if (
+            target != DEFAULT_ADDRESS_ORDER
+            and not fits_addr_order(self.shape, target)
+        ):
+            return
+        self._set_addr_order_locked(target)
+
     def fsck(self, *, repair: bool = False) -> FsckReport:
         """Verify (and with ``repair=True`` restore) store integrity.
 
@@ -2001,7 +2298,7 @@ class FragmentStore:
         with self._rw.read_locked():
             with span("store.read_box", format=self.format_name) as sp:
                 plan = self._plan_read(
-                    box, "box", address_range=self._box_address_range(box)
+                    box, "box", keys=self._query_keys(box=box)
                 )
                 for _frag, result in self._run_fragment_tasks(
                     plan.fragments, box_task,

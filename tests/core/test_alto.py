@@ -1,0 +1,222 @@
+"""Unit tests for the ALTO bit-interleaved linearization core.
+
+Pins the pieces the storage layers build on: per-mode bit masks,
+encode/decode round trips (both the spread-table gather and the
+segment-loop fallback), per-mode monotonicity, the 64-bit overflow
+guard, the sparse address space size, and the BIGMIN-style box→interval
+decomposition (exact when the budget allows, a sound superset when it
+does not).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import cell_count
+from repro.core.errors import ShapeError
+from repro.core.linearize import (
+    ADDRESS_ORDERS,
+    DEFAULT_ADDRESS_ORDER,
+    address_space_size,
+    alto_address_bits,
+    alto_box_ranges,
+    alto_masks,
+    delinearize,
+    delinearize_alto,
+    delinearize_order,
+    fits_addr_order,
+    fits_alto,
+    linearize,
+    linearize_alto,
+    linearize_order,
+    validate_addr_order,
+)
+
+SHAPES = [
+    (4, 4),
+    (4, 2),
+    (7,),
+    (1024, 256, 64),
+    (5, 3, 9, 2, 11),
+    (1, 1, 4),
+    (1 << 17, 3),  # > _SPREAD_TABLE_BITS: exercises the segment loop
+]
+
+
+def random_coords(shape, n=2048, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [rng.integers(0, m, size=n) for m in shape]
+    ).astype(np.uint64)
+
+
+class TestMasks:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_masks_partition_the_address_space(self, shape):
+        masks = alto_masks(shape)
+        total = alto_address_bits(shape)
+        acc = np.uint64(0)
+        for m in masks:
+            assert int(acc) & int(m) == 0, "mode masks overlap"
+            acc |= m
+        assert int(acc) == (1 << total) - 1
+        for m, side in zip(masks, shape):
+            assert bin(int(m)).count("1") == max(side - 1, 0).bit_length()
+
+    def test_low_bits_interleave_last_mode_first(self):
+        # (4, 2): bits (2, 1) → address = d0.b1 d0.b0 d1.b0 (MSB..LSB),
+        # mirroring row-major's "last mode varies fastest" at the LSB.
+        assert [int(m) for m in alto_masks((4, 2))] == [0b110, 0b001]
+        # Equal modes interleave fully (Morton order).
+        assert [int(m) for m in alto_masks((4, 4))] == [0b1010, 0b0101]
+
+    def test_morton_reference(self):
+        # Independent hand computation for the (4, 4) Morton case.
+        coords = np.array([[y, x] for y in range(4) for x in range(4)],
+                          dtype=np.uint64)
+        got = linearize_alto(coords, (4, 4))
+        want = [
+            ((y >> 1 & 1) << 3) | ((x >> 1 & 1) << 2)
+            | ((y & 1) << 1) | (x & 1)
+            for y, x in coords.tolist()
+        ]
+        assert got.tolist() == want
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_encode_decode_identity(self, shape):
+        coords = random_coords(shape)
+        addrs = linearize_alto(coords, shape)
+        assert addrs.dtype == np.uint64
+        assert int(addrs.max()) < (1 << alto_address_bits(shape))
+        np.testing.assert_array_equal(
+            delinearize_alto(addrs, shape), coords
+        )
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_order_dispatch(self, shape):
+        coords = random_coords(shape, n=256, seed=3)
+        np.testing.assert_array_equal(
+            linearize_order(coords, shape, "row_major"),
+            linearize(coords, shape),
+        )
+        np.testing.assert_array_equal(
+            linearize_order(coords, shape, "alto"),
+            linearize_alto(coords, shape),
+        )
+        np.testing.assert_array_equal(
+            delinearize_order(linearize(coords, shape), shape, "row_major"),
+            delinearize(linearize(coords, shape), shape),
+        )
+
+    def test_empty(self):
+        empty = np.empty((0, 2), dtype=np.uint64)
+        assert linearize_alto(empty, (4, 4)).shape == (0,)
+        assert delinearize_alto(
+            np.empty(0, dtype=np.uint64), (4, 4)
+        ).shape == (0, 2)
+
+    @pytest.mark.parametrize("shape", [(8, 8), (1024, 256, 64)])
+    def test_monotone_per_mode(self, shape):
+        # Holding the other coordinates fixed, the address is strictly
+        # increasing in each mode — the property that makes the
+        # [lin(origin), lin(end-1)] box envelope sound.
+        base = np.array([[m // 2 for m in shape]], dtype=np.uint64)
+        for d, m in enumerate(shape):
+            sweep = np.repeat(base, m, axis=0)
+            sweep[:, d] = np.arange(m, dtype=np.uint64)
+            addrs = linearize_alto(sweep, shape)
+            assert np.all(np.diff(addrs.astype(np.int64)) > 0)
+
+    def test_out_of_range_rejected(self):
+        bad = np.array([[4, 0]], dtype=np.uint64)
+        with pytest.raises(ShapeError):
+            linearize_alto(bad, (4, 4))
+
+
+class TestGuards:
+    def test_validate_addr_order(self):
+        for order in ADDRESS_ORDERS:
+            assert validate_addr_order(order) == order
+        with pytest.raises(ValueError):
+            validate_addr_order("hilbert")
+        assert DEFAULT_ADDRESS_ORDER == "row_major"
+
+    def test_overflow_guard(self):
+        wide = (1 << 22,) * 3  # 66 interleaved bits
+        assert not fits_alto(wide)
+        assert not fits_addr_order(wide, "alto")
+        with pytest.raises(ShapeError):
+            linearize_alto(np.zeros((1, 3), dtype=np.uint64), wide)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_address_space_size(self, shape):
+        assert address_space_size(shape, "row_major") == cell_count(shape)
+        alto_cells = address_space_size(shape, "alto")
+        assert alto_cells == 1 << alto_address_bits(shape)
+        assert alto_cells >= cell_count(shape)
+
+
+class TestBoxRanges:
+    @staticmethod
+    def oracle(origin, end, shape):
+        grids = np.meshgrid(
+            *[np.arange(o, e, dtype=np.uint64) for o, e in zip(origin, end)],
+            indexing="ij",
+        )
+        cells = np.column_stack([g.ravel() for g in grids])
+        if not cells.size:
+            return set()
+        return set(linearize_alto(cells, shape).tolist())
+
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 4), (7, 5, 3)])
+    def test_exact_cover_with_ample_budget(self, shape):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            origin = tuple(int(rng.integers(0, m)) for m in shape)
+            end = tuple(
+                int(rng.integers(o + 1, m + 1))
+                for o, m in zip(origin, shape)
+            )
+            ranges = alto_box_ranges(origin, end, shape, max_ranges=1 << 16)
+            covered = set()
+            for lo, hi in ranges:
+                assert lo <= hi
+                covered.update(range(lo, hi + 1))
+            assert covered == self.oracle(origin, end, shape), (
+                origin, end, shape
+            )
+            # Ascending, non-adjacent (adjacent intervals are merged).
+            for (alo, ahi), (blo, bhi) in zip(ranges, ranges[1:]):
+                assert ahi + 1 < blo
+
+    @pytest.mark.parametrize("shape", [(32, 32), (64, 8, 8)])
+    def test_budget_coarsens_soundly(self, shape):
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            origin = tuple(int(rng.integers(0, m // 2)) for m in shape)
+            end = tuple(
+                int(rng.integers(o + 2, m + 1))
+                for o, m in zip(origin, shape)
+            )
+            tight = alto_box_ranges(origin, end, shape, max_ranges=1 << 16)
+            coarse = alto_box_ranges(origin, end, shape, max_ranges=4)
+            # The budget is soft: once full, in-flight sibling subtrees
+            # may each still emit one span — bounded by the bit depth.
+            assert len(coarse) <= 4 + alto_address_bits(shape)
+            want = self.oracle(origin, end, shape)
+            covered = set()
+            for lo, hi in coarse:
+                covered.update(range(lo, hi + 1))
+            assert want <= covered, "coarsened ranges dropped addresses"
+            assert len(coarse) <= len(tight)
+
+    def test_degenerate_boxes(self):
+        assert alto_box_ranges((2, 2), (2, 4), (4, 4)) == []
+        full = alto_box_ranges((0, 0), (4, 4), (4, 4))
+        assert full == [(0, 15)]
+        cell = alto_box_ranges((3, 1), (4, 2), (4, 4))
+        addr = int(linearize_alto(
+            np.array([[3, 1]], dtype=np.uint64), (4, 4)
+        )[0])
+        assert cell == [(addr, addr)]

@@ -653,3 +653,143 @@ class TestPlannerDifferential:
                 eager, tuned, overlay, rng,
                 f"{fmt_name}/seed={seed}/crc-once-lazy",
             )
+
+
+class TestAddressOrderDifferential:
+    """The address order must be unobservable in results.
+
+    Sweeps every format x {row_major, alto} x plan on/off x {raw,
+    cascade} against the brute-force oracle, reads a mixed-order store
+    (legacy row-major fragments alongside new ALTO fragments, then the
+    full ``set_addr_order`` migration), and pins the compatibility
+    contract: a default store stays byte-identical to an explicit
+    ``addr_order="row_major"`` store and serializes no ``addr_order``
+    key anywhere — old readers see exactly the pre-ALTO layout.
+    """
+
+    ORDERS = ("row_major", "alto")
+
+    @pytest.mark.parametrize("fmt_name", DIFF_FORMATS)
+    @pytest.mark.parametrize("addr_order", ORDERS)
+    @pytest.mark.parametrize("codec", ["raw", "cascade"])
+    def test_order_reads_identical_to_oracle(
+        self, tmp_path, fmt_name, addr_order, codec
+    ):
+        seed = 11000 + sum(map(ord, fmt_name + addr_order + codec))
+        store, overlay, rng = TestStoreDifferential.build_store(
+            tmp_path, seed, fmt_name,
+            options=StoreOptions(addr_order=addr_order, codec=codec),
+        )
+        assert store.addr_order == addr_order
+        for frag in store.fragments:
+            assert frag.addr_order == addr_order
+        queries = random_queries(rng, overlay)
+        box = random_box(rng, overlay.shape)
+        for plan in (True, False):
+            reread = FragmentStore(
+                store.directory, overlay.shape, fmt_name,
+                options=StoreOptions(
+                    addr_order=addr_order, codec=codec, planner=plan
+                ),
+            )
+            label = f"{fmt_name}/{addr_order}/{codec}/plan={plan}"
+            assert_points_match(
+                reread.read_points(queries), overlay, queries, label
+            )
+            assert_box_match(reread.read_box(box), overlay, box, label)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mixed_order_store_reads_correctly(self, tmp_path, seed):
+        """Legacy row-major fragments + new ALTO fragments coexist; the
+        planner prunes each fragment in its own tagged space, and the
+        full migration afterwards changes nothing observable."""
+        fmt_name = DIFF_FORMATS[seed % len(DIFF_FORMATS)]
+        store, overlay, rng = TestStoreDifferential.build_store(
+            tmp_path, 500 + seed, fmt_name
+        )
+        mixed = FragmentStore(
+            store.directory, overlay.shape, fmt_name,
+            options=StoreOptions(addr_order="alto"),
+        )
+        chunk = random_sparse_tensor(
+            rng, overlay.shape, max_points=32,
+            dtype=str(overlay.values.dtype),
+        )
+        if not chunk.nnz:
+            chunk = SparseTensor.from_points(
+                overlay.shape, [(0,) * len(overlay.shape)], [2.0]
+            )
+        chunk = chunk.deduplicated(keep="last")
+        mixed.write(chunk.coords, chunk.values)
+        overlay = SparseTensor(
+            overlay.shape,
+            np.vstack([overlay.coords, chunk.coords]),
+            np.concatenate(
+                [overlay.values, chunk.values.astype(overlay.values.dtype)]
+            ),
+        ).deduplicated(keep="last")
+        assert {f.addr_order for f in mixed.fragments} == {
+            "row_major", "alto"
+        }
+        queries = random_queries(rng, overlay)
+        box = random_box(rng, overlay.shape)
+        label = f"{fmt_name}/seed={seed}/mixed"
+        for plan in (True, False):
+            # ``addr_order=None`` adopts the committed order (alto).
+            reread = FragmentStore(
+                mixed.directory, overlay.shape, fmt_name,
+                options=StoreOptions(planner=plan),
+            )
+            assert reread.addr_order == "alto"
+            assert_points_match(
+                reread.read_points(queries), overlay, queries,
+                f"{label}/plan={plan}",
+            )
+            assert_box_match(
+                reread.read_box(box), overlay, box, f"{label}/plan={plan}"
+            )
+        mixed.set_addr_order("alto")
+        assert {f.addr_order for f in mixed.fragments} == {"alto"}
+        assert_points_match(
+            mixed.read_points(queries), overlay, queries,
+            f"{label}/migrated",
+        )
+        assert_box_match(
+            mixed.read_box(box), overlay, box, f"{label}/migrated"
+        )
+
+    def test_row_major_default_byte_identical(self, tmp_path):
+        """Defaults serialize exactly the pre-ALTO layout: the same
+        bytes as an explicit ``addr_order="row_major"`` store, and the
+        ``addr_order`` key appears in no manifest or fragment file."""
+        stores = {}
+        for tag, options in (
+            ("default", StoreOptions()),
+            ("explicit", StoreOptions(addr_order="row_major")),
+        ):
+            rng = np.random.default_rng(4242)
+            store = FragmentStore(
+                tmp_path / tag, (9, 7, 5), "COO-SORTED", options=options
+            )
+            for _ in range(3):
+                t = random_sparse_tensor(
+                    rng, (9, 7, 5), max_points=40, dtype="float64"
+                )
+                if t.nnz:
+                    t = t.deduplicated(keep="last")
+                    store.write(t.coords, t.values)
+            store.compact()
+            stores[tag] = store
+        frags = {
+            tag: sorted(s.directory.glob("frag-*.bin"))
+            for tag, s in stores.items()
+        }
+        assert frags["default"] and (
+            len(frags["default"]) == len(frags["explicit"])
+        )
+        for a, b in zip(frags["default"], frags["explicit"]):
+            assert a.read_bytes() == b.read_bytes(), (a.name, b.name)
+            assert b"addr_order" not in a.read_bytes(), a.name
+        for tag, store in stores.items():
+            manifest = (store.directory / "manifest.json").read_text()
+            assert "addr_order" not in manifest, tag

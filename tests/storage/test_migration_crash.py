@@ -173,3 +173,132 @@ class TestMigrationCrashConsistency:
         assert all(f.format_name == "CSF" for f in store.fragments)
         recovered = reopen(directory)
         assert assert_consistent(recovered, allowed={"CSF"}) == k
+
+
+def run_order_workload(directory):
+    """Open, write twice, re-linearize to ALTO, compact."""
+    store = FragmentStore(directory, SHAPE, "COO-SORTED", options=OPTS)
+    for j in range(N_WRITES):
+        store.write(*part(j))
+    store.set_addr_order("alto")
+    store.compact()
+
+
+def assert_order_consistent(store):
+    """Reads are prefix-consistent and every fragment's manifest tag is
+    old-or-new *and* agrees with its self-describing file header."""
+    from repro.storage.serialization import unpack_header
+
+    k = assert_consistent(store, allowed={"COO-SORTED"})
+    for frag in store.fragments:
+        assert frag.addr_order in ("row_major", "alto"), frag.addr_order
+        header, _ = unpack_header(frag.path.read_bytes())
+        want = str(
+            (header.get("extra") or {}).get("addr_order")
+            or (header.get("meta") or {}).get("addr_order")
+            or "row_major"
+        )
+        assert frag.addr_order == want, (
+            f"{frag.path.name}: manifest tag {frag.addr_order!r} "
+            f"disagrees with header tag {want!r}"
+        )
+    return k
+
+
+class TestAddrOrderMigrationCrashConsistency:
+    """Kill every durable op in write -> set_addr_order("alto") ->
+    compact.  The per-fragment commit protocol must leave a readable
+    (possibly mixed-order) store, and ``fsck --repair`` must recover
+    orphaned re-linearized fragments with the correct ``addr_order``
+    tag taken from their self-describing headers."""
+
+    def record(self, tmp_path):
+        recorder = OpRecorder()
+        with inject(recorder):
+            run_order_workload(tmp_path / "order-record")
+        return recorder.events
+
+    def test_recorded_ops_cover_the_reorder_lifecycle(self, tmp_path):
+        events = self.record(tmp_path)
+        ops = [e.op for e in events]
+        names = [e.path.name for e in events]
+        assert "fsync" in ops and "rename" in ops and "unlink" in ops
+        assert any(n.startswith("frag-") for n in names)
+        assert "manifest.json" in names
+
+    def test_every_injection_point_recovers(self, tmp_path):
+        events = self.record(tmp_path)
+        sizes = []
+        for index in range(len(events)):
+            directory = tmp_path / f"order-crash-{index}"
+            plan = plan_for_crash_point(events, index)
+            with inject(plan):
+                try:
+                    run_order_workload(directory)
+                except OSError:
+                    pass
+            assert plan.fired, "the planned fault never triggered"
+            k = assert_order_consistent(reopen(directory))
+            report = fsck(directory, repair=True)
+            assert fsck(directory).clean, (
+                f"fsck not clean after repair: {report}"
+            )
+            k_repaired = assert_order_consistent(reopen(directory))
+            assert k_repaired >= k, "fsck repair lost a committed write"
+            sizes.append(k_repaired)
+        assert sizes[0] == 0
+        assert max(sizes) == N_WRITES
+
+    def test_torn_reorder_fragment_writes(self, tmp_path):
+        """A torn replacement fragment must never be adopted: the
+        original (row-major) fragment stays live, reads stay intact,
+        and repair discards or completes the orphan — with whatever
+        order tag its header managed to claim."""
+        events = self.record(tmp_path)
+        frag_writes = [
+            i for i, e in enumerate(events)
+            if e.op == "write" and e.path.name.startswith("frag-")
+        ]
+        assert frag_writes
+        for index in frag_writes:
+            for torn in (0, 37):
+                directory = tmp_path / f"order-torn-{index}-{torn}"
+                plan = plan_for_crash_point(events, index, torn_bytes=torn)
+                with inject(plan):
+                    try:
+                        run_order_workload(directory)
+                    except OSError:
+                        pass
+                assert plan.fired
+                k = assert_order_consistent(reopen(directory))
+                fsck(directory, repair=True)
+                assert fsck(directory).clean
+                assert assert_order_consistent(reopen(directory)) >= k
+
+    def test_crash_then_reorder_again(self, tmp_path):
+        """Re-running set_addr_order after recovery converges: every
+        fragment ends tagged alto and reads are unchanged."""
+        events = self.record(tmp_path)
+        # Crash on every manifest commit in turn, then finish the job.
+        manifest_commits = [
+            i for i, e in enumerate(events)
+            if e.op == "rename" and e.path.name == "manifest.json"
+        ]
+        assert manifest_commits
+        for index in manifest_commits[:4]:
+            directory = tmp_path / f"order-resume-{index}"
+            plan = plan_for_crash_point(events, index)
+            with inject(plan):
+                try:
+                    run_order_workload(directory)
+                except OSError:
+                    pass
+            assert plan.fired
+            store = reopen(directory)
+            k = assert_order_consistent(store)
+            store.set_addr_order("alto")
+            assert all(f.addr_order == "alto" for f in store.fragments)
+            assert store.addr_order == "alto"
+            recovered = reopen(directory)
+            assert recovered.addr_order == "alto"
+            assert assert_order_consistent(recovered) == k

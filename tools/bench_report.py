@@ -25,6 +25,11 @@ Currently recorded:
   payload→payload conversion kernels vs the canonical path across every
   registered pair (headline: the minimum speedup over the hot pairs),
   plus the adaptive workload-shift loop.
+* ``alto_linearization`` (``benchmarks/bench_alto.py``, recorded as
+  ``BENCH_alto.json``) — skewed box workloads on sorted-run stores
+  under ``addr_order="alto"`` vs row-major: fragment-prune ratio,
+  end-to-end box-read speedup (headline), and the point/ingest
+  guardrail ratios.
 
 The speedup floors are asserted exactly as in the standalone runs, so a
 CI invocation fails loudly on a real regression — wire it as a
@@ -190,6 +195,23 @@ def run_format_migration(smoke: bool) -> dict:
     }
 
 
+def run_alto_linearization(smoke: bool) -> dict:
+    bench = load_bench("bench_alto")
+    if smoke:
+        result = bench.bench_alto(
+            n_fragments=128, points_per_fragment=300, repeats=2,
+            shapes=("3d",),
+        )
+        floor = bench.MIN_BOX_SPEEDUP_SMOKE
+        side = bench.MAX_SIDE_REGRESSION_SMOKE
+    else:
+        result = bench.bench_alto()
+        floor = bench.MIN_BOX_SPEEDUP
+        side = bench.MAX_SIDE_REGRESSION
+    bench.assert_alto_ok(result, min_speedup=floor, max_side=side)
+    return {**result, "floor": floor}
+
+
 BENCHES = {
     "read_planner": run_read_planner,
     "parallel_read": run_parallel_read,
@@ -197,7 +219,12 @@ BENCHES = {
     "wal_ingest": run_wal_ingest,
     "compression": run_compression,
     "format_migration": run_format_migration,
+    "alto_linearization": run_alto_linearization,
 }
+
+#: Report-file overrides: ``BENCH_<record name>.json`` when the bench's
+#: registry key is longer than its established report name.
+RECORD_NAMES = {"alto_linearization": "alto"}
 
 
 def main(argv: list[str]) -> int:
@@ -225,11 +252,12 @@ def main(argv: list[str]) -> int:
             print(f"{name}: REGRESSION — {exc}", file=sys.stderr)
             failed = True
             continue
-        path = append_record(args.out_dir, name, metrics)
+        path = append_record(args.out_dir, RECORD_NAMES.get(name, name),
+                             metrics)
         headline = next(
             metrics[k] for k in
             ("point_speedup", "ingest_speedup", "speedup",
-             "size_reduction")
+             "size_reduction", "box_speedup")
             if k in metrics
         )
         try:
